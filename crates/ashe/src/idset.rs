@@ -1,0 +1,268 @@
+//! Sets of row identifiers attached to ASHE ciphertexts.
+//!
+//! Every homomorphic addition in ASHE unions the identifier multisets of its
+//! operands (§3.1). Seabed keeps each set as a list of maximal runs, which is
+//! what makes the scheme practical: when the aggregated rows are contiguous,
+//! the whole set collapses to a single run and decryption costs two PRF
+//! evaluations regardless of how many rows were summed (§3.2).
+//!
+//! Identifier *multisets* degenerate to sets in Seabed because the planner
+//! assigns every row a unique identifier and a query folds each row at most
+//! once; [`IdSet::union`] therefore asserts disjointness in debug builds.
+
+use seabed_encoding::{decode_runs, encode_runs, ids_to_runs, IdListEncoding, Run};
+
+/// A set of row identifiers stored as sorted, non-overlapping, maximal runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IdSet {
+    runs: Vec<Run>,
+}
+
+impl IdSet {
+    /// The empty set.
+    pub fn new() -> IdSet {
+        IdSet::default()
+    }
+
+    /// A set holding a single identifier.
+    pub fn single(id: u64) -> IdSet {
+        IdSet {
+            runs: vec![Run::new(id, id)],
+        }
+    }
+
+    /// A set holding the contiguous range `[start, end]` (inclusive).
+    pub fn range(start: u64, end: u64) -> IdSet {
+        IdSet {
+            runs: vec![Run::new(start, end)],
+        }
+    }
+
+    /// Builds a set from a sorted list of identifiers (duplicates are ignored).
+    pub fn from_sorted_ids(ids: &[u64]) -> IdSet {
+        IdSet {
+            runs: ids_to_runs(ids),
+        }
+    }
+
+    /// Builds a set from pre-computed runs (must be sorted, non-overlapping,
+    /// maximal — checked in debug builds).
+    pub fn from_runs(runs: Vec<Run>) -> IdSet {
+        debug_assert!(runs.windows(2).all(|w| w[0].end + 1 < w[1].start),
+            "runs must be sorted, disjoint and non-adjacent");
+        IdSet { runs }
+    }
+
+    /// The runs of this set.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Number of identifiers in the set.
+    pub fn count(&self) -> u64 {
+        self.runs.iter().map(|r| r.len()).sum()
+    }
+
+    /// Number of runs; this — not [`IdSet::count`] — is what decryption cost
+    /// scales with.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True if the set holds no identifiers.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// True if `id` is a member.
+    pub fn contains(&self, id: u64) -> bool {
+        self.runs
+            .binary_search_by(|r| {
+                if id < r.start {
+                    std::cmp::Ordering::Greater
+                } else if id > r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Appends an identifier that is strictly greater than every current
+    /// member — the common case when a worker scans its partition in order.
+    pub fn push_ordered(&mut self, id: u64) {
+        match self.runs.last_mut() {
+            Some(run) if id == run.end + 1 => run.end = id,
+            Some(run) => {
+                assert!(id > run.end, "push_ordered requires increasing ids (got {id} after {})", run.end);
+                self.runs.push(Run::new(id, id));
+            }
+            None => self.runs.push(Run::new(id, id)),
+        }
+    }
+
+    /// Unions two disjoint sets (the ⊕ of two ciphertexts that each cover
+    /// different rows). The result is kept in canonical maximal-run form.
+    pub fn union(&self, other: &IdSet) -> IdSet {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut merged: Vec<Run> = Vec::with_capacity(self.runs.len() + other.runs.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let push = |run: Run, merged: &mut Vec<Run>| {
+            match merged.last_mut() {
+                Some(last) if run.start <= last.end + 1 && run.start > last.end => {
+                    last.end = last.end.max(run.end);
+                }
+                Some(last) => {
+                    debug_assert!(
+                        run.start > last.end,
+                        "IdSet::union operands overlap: {last:?} vs {run:?}"
+                    );
+                    merged.push(run);
+                }
+                None => merged.push(run),
+            }
+        };
+        while i < self.runs.len() && j < other.runs.len() {
+            if self.runs[i].start <= other.runs[j].start {
+                push(self.runs[i], &mut merged);
+                i += 1;
+            } else {
+                push(other.runs[j], &mut merged);
+                j += 1;
+            }
+        }
+        for &run in &self.runs[i..] {
+            push(run, &mut merged);
+        }
+        for &run in &other.runs[j..] {
+            push(run, &mut merged);
+        }
+        IdSet { runs: merged }
+    }
+
+    /// Iterates over every identifier (use sparingly; the whole point of runs
+    /// is to avoid materialising these).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().flat_map(|r| r.start..=r.end)
+    }
+
+    /// The PRF boundary pairs needed for decryption: for each run `[a, b]`,
+    /// decryption adds `F(b) - F(a-1)` (identifiers saturate at 0 - 1 =
+    /// `u64::MAX`, which the PRF treats as the "before the first row" marker).
+    pub fn boundary_pairs(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.runs.iter().map(|r| (r.end, r.start.wrapping_sub(1)))
+    }
+
+    /// Serializes the set with the given encoding.
+    pub fn encode(&self, encoding: IdListEncoding) -> Vec<u8> {
+        encode_runs(&self.runs, encoding)
+    }
+
+    /// Deserializes a set; `None` on malformed input.
+    pub fn decode(data: &[u8], encoding: IdListEncoding) -> Option<IdSet> {
+        Some(IdSet {
+            runs: decode_runs(data, encoding)?,
+        })
+    }
+
+    /// Size of the serialized representation, in bytes.
+    pub fn encoded_size(&self, encoding: IdListEncoding) -> usize {
+        self.encode(encoding).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_count() {
+        assert_eq!(IdSet::new().count(), 0);
+        assert_eq!(IdSet::single(7).count(), 1);
+        assert_eq!(IdSet::range(10, 19).count(), 10);
+        assert_eq!(IdSet::from_sorted_ids(&[1, 2, 3, 7, 8]).run_count(), 2);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let s = IdSet::from_sorted_ids(&[1, 2, 3, 10, 20, 21]);
+        for id in [1, 2, 3, 10, 20, 21] {
+            assert!(s.contains(id));
+        }
+        for id in [0, 4, 9, 11, 19, 22, 1000] {
+            assert!(!s.contains(id));
+        }
+    }
+
+    #[test]
+    fn push_ordered_extends_runs() {
+        let mut s = IdSet::new();
+        for id in [5u64, 6, 7, 10, 11, 100] {
+            s.push_ordered(id);
+        }
+        assert_eq!(s.runs(), &[Run::new(5, 7), Run::new(10, 11), Run::new(100, 100)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_ordered_rejects_out_of_order() {
+        let mut s = IdSet::single(10);
+        s.push_ordered(3);
+    }
+
+    #[test]
+    fn union_of_disjoint_sets() {
+        let a = IdSet::from_sorted_ids(&[1, 2, 3, 100]);
+        let b = IdSet::from_sorted_ids(&[4, 5, 50]);
+        let u = a.union(&b);
+        assert_eq!(u.runs(), &[Run::new(1, 5), Run::new(50, 50), Run::new(100, 100)]);
+        assert_eq!(u.count(), 7);
+        // union with the empty set is the identity
+        assert_eq!(a.union(&IdSet::new()), a);
+        assert_eq!(IdSet::new().union(&a), a);
+    }
+
+    #[test]
+    fn union_merges_adjacent_runs_from_partitions() {
+        // Two workers covering adjacent row ranges produce one run when merged
+        // at the driver — the key property that keeps ID lists constant-size
+        // for full scans.
+        let a = IdSet::range(0, 499);
+        let b = IdSet::range(500, 999);
+        let u = a.union(&b);
+        assert_eq!(u.run_count(), 1);
+        assert_eq!(u.count(), 1000);
+    }
+
+    #[test]
+    fn boundary_pairs_telescoping() {
+        let s = IdSet::from_runs(vec![Run::new(3, 9), Run::new(20, 25)]);
+        let pairs: Vec<(u64, u64)> = s.boundary_pairs().collect();
+        assert_eq!(pairs, vec![(9, 2), (25, 19)]);
+        // id 0 wraps to u64::MAX as "before the table" marker
+        let z = IdSet::range(0, 5);
+        assert_eq!(z.boundary_pairs().next().unwrap(), (5, u64::MAX));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = IdSet::from_sorted_ids(&(0..1000u64).filter(|i| i % 3 != 0).collect::<Vec<_>>());
+        for enc in IdListEncoding::ALL {
+            let data = s.encode(enc);
+            assert_eq!(IdSet::decode(&data, enc).unwrap(), s, "{enc:?}");
+        }
+    }
+
+    #[test]
+    fn iter_yields_all_ids_in_order() {
+        let ids = vec![2u64, 3, 4, 9, 23];
+        let s = IdSet::from_sorted_ids(&ids);
+        assert_eq!(s.iter().collect::<Vec<_>>(), ids);
+    }
+}

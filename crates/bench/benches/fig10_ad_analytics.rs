@@ -1,0 +1,21 @@
+//! Criterion bench for Figure 10: the Ad-Analytics workload (response-time
+//! CDF inputs) and the SPLASHE storage-overhead curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seabed_bench::{exp_fig10a, exp_fig10b, Scale};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_ad_analytics");
+    group.sample_size(10);
+    let scale = Scale::smoke();
+    group.bench_with_input(BenchmarkId::new("fig10a_queries", "smoke"), &scale, |b, scale| {
+        b.iter(|| std::hint::black_box(exp_fig10a(scale)))
+    });
+    group.bench_with_input(BenchmarkId::new("fig10b_storage", "smoke"), &scale, |b, scale| {
+        b.iter(|| std::hint::black_box(exp_fig10b(scale)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 6: aggregation latency vs dataset size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seabed_bench::{exp_fig6, Scale};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_latency_vs_rows");
+    group.sample_size(10);
+    let scale = Scale::smoke();
+    group.bench_with_input(BenchmarkId::new("sweep", "smoke"), &scale, |b, scale| {
+        b.iter(|| std::hint::black_box(exp_fig6(scale)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 7: server latency vs simulated worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seabed_bench::{exp_fig7, Scale};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_scalability");
+    group.sample_size(10);
+    let scale = Scale::smoke();
+    group.bench_with_input(BenchmarkId::new("sweep", "smoke"), &scale, |b, scale| {
+        b.iter(|| std::hint::black_box(exp_fig7(scale)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 8: ID-list encodings and OPE selection overhead
+//! as a function of selectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seabed_ashe::IdSet;
+use seabed_core::row_selected;
+use seabed_encoding::IdListEncoding;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_selectivity");
+    group.sample_size(10);
+    let rows = 200_000u64;
+    for selectivity in [0.1, 0.5, 1.0] {
+        let ids: Vec<u64> = (0..rows).filter(|&i| row_selected(i, selectivity)).collect();
+        let set = IdSet::from_sorted_ids(&ids);
+        for enc in [IdListEncoding::RangesVbDiff, IdListEncoding::RangesVbDiffDeflateFast, IdListEncoding::VbDiff] {
+            group.bench_with_input(
+                BenchmarkId::new(enc.label(), format!("sel={selectivity}")),
+                &set,
+                |b, set| b.iter(|| std::hint::black_box(set.encode(enc))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

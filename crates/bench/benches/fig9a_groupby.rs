@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 9(a): group-by aggregation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seabed_bench::{exp_fig9a, Scale};
+
+fn bench_fig9a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_groupby");
+    group.sample_size(10);
+    let scale = Scale::smoke();
+    group.bench_with_input(BenchmarkId::new("sweep", "smoke"), &scale, |b, scale| {
+        b.iter(|| std::hint::black_box(exp_fig9a(scale)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9a);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for Figure 9(b,c): the Big Data Benchmark query set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seabed_bench::{exp_fig9bc, Scale};
+
+fn bench_fig9bc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9bc_bdb");
+    group.sample_size(10);
+    let scale = Scale::smoke();
+    group.bench_with_input(BenchmarkId::new("queries", "smoke"), &scale, |b, scale| {
+        b.iter(|| std::hint::black_box(exp_fig9bc(scale)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9bc);
+criterion_main!(benches);

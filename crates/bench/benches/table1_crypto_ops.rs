@@ -1,0 +1,55 @@
+//! Criterion bench for Table 1: per-operation cost of the crypto primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seabed_ashe::AsheScheme;
+use seabed_crypto::paillier::PaillierKeypair;
+use seabed_crypto::{AesCtr, BigUint};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_crypto_ops");
+    group.sample_size(20);
+
+    let ctr = AesCtr::new(&[7u8; 16], 1);
+    group.bench_function("aes_ctr_block", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            std::hint::black_box(ctr.keystream_block(i))
+        })
+    });
+
+    let ashe = AsheScheme::new(&[9u8; 16]);
+    group.bench_function("ashe_encrypt", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            std::hint::black_box(ashe.encrypt(i, i))
+        })
+    });
+    let ct = ashe.encrypt(42, 7);
+    group.bench_function("ashe_decrypt", |b| b.iter(|| std::hint::black_box(ashe.decrypt(&ct))));
+
+    group.bench_function("plain_addition", |b| {
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(std::hint::black_box(3));
+            acc
+        })
+    });
+
+    let mut rng = rand::rng();
+    let kp = PaillierKeypair::generate(&mut rng, 256);
+    let m = BigUint::from_u64(123_456);
+    group.bench_function("paillier_encrypt_256", |b| {
+        b.iter(|| std::hint::black_box(kp.public.encrypt(&mut rng, &m)))
+    });
+    let c1 = kp.public.encrypt(&mut rng, &m);
+    let c2 = kp.public.encrypt(&mut rng, &m);
+    group.bench_function("paillier_add_256", |b| b.iter(|| std::hint::black_box(kp.public.add(&c1, &c2))));
+    group.bench_function("paillier_decrypt_256", |b| b.iter(|| std::hint::black_box(kp.private.decrypt(&c1))));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

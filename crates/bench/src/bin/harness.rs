@@ -1,0 +1,99 @@
+//! Experiment harness: regenerates the Seabed paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p seabed-bench --release --bin harness -- all
+//! cargo run -p seabed-bench --release --bin harness -- fig6 fig8 table1
+//! cargo run -p seabed-bench --release --bin harness -- --smoke all
+//! ```
+
+use seabed_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::smoke() } else { Scale::default() };
+    let mut requested: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    if requested.is_empty() {
+        requested.push("all".to_string());
+    }
+    let want = |name: &str| requested.iter().any(|r| r == name || r == "all");
+
+    println!("Seabed experiment harness (scale: 1/{} of paper row counts)\n", scale.row_divisor);
+
+    if want("table1") {
+        println!("{}", format_rows("Table 1: cost of cryptographic operations (ns/op)", &exp_table1(&scale)));
+    }
+    if want("table2") {
+        println!("## Table 2: query translation examples");
+        for (sql, plan) in exp_table2() {
+            println!("  SQL   : {sql}");
+            println!("  Seabed: {plan}");
+        }
+        println!();
+    }
+    if want("table3") {
+        println!("{}", format_rows("Table 3: ID-list encodings of [2..14, 19..23]", &exp_table3()));
+    }
+    if want("table4") {
+        println!("{}", format_rows("Table 4: query support categories", &exp_table4(&scale)));
+    }
+    if want("table5") {
+        println!("{}", format_rows("Table 5: dataset sizes (scaled)", &exp_table5(&scale)));
+    }
+    if want("table6") {
+        println!("## Table 6: MDX function support matrix");
+        for (name, how, category) in exp_table6() {
+            println!("  {name:<24} {category:<22} {how}");
+        }
+        println!();
+    }
+    if want("fig6") {
+        println!("{}", format_rows("Figure 6: end-to-end latency vs rows", &latency_rows(&exp_fig6(&scale), false)));
+    }
+    if want("fig7") {
+        println!("{}", format_rows("Figure 7: server latency vs workers", &latency_rows(&exp_fig7(&scale), true)));
+    }
+    if want("fig8") {
+        let rows: Vec<Row> = exp_fig8ab(&scale)
+            .into_iter()
+            .map(|p| {
+                Row::new(format!("{} sel={:.0}%", p.config, p.selectivity * 100.0))
+                    .with("result_mb", p.result_bytes as f64 / 1e6)
+                    .with("response_s", p.response.as_secs_f64())
+            })
+            .collect();
+        println!("{}", format_rows("Figure 8(a,b): ID-list size and response time vs selectivity", &rows));
+        let rows: Vec<Row> = exp_fig8c(&scale)
+            .into_iter()
+            .map(|p| {
+                Row::new(format!("{} sel={:.0}%", p.config, p.selectivity * 100.0))
+                    .with("response_s", p.response.as_secs_f64())
+            })
+            .collect();
+        println!("{}", format_rows("Figure 8(c): OPE selection overhead", &rows));
+    }
+    if want("fig9a") {
+        let rows: Vec<Row> = exp_fig9a(&scale)
+            .into_iter()
+            .map(|p| Row::new(format!("{} groups={}", p.system, p.groups)).with("response_s", p.response.as_secs_f64()))
+            .collect();
+        println!("{}", format_rows("Figure 9(a): group-by microbenchmark", &rows));
+    }
+    if want("fig9bc") {
+        let rows: Vec<Row> = exp_fig9bc(&scale)
+            .into_iter()
+            .map(|p| Row::new(format!("{} {}", p.query, p.system)).with("response_s", p.response.as_secs_f64()))
+            .collect();
+        println!("{}", format_rows("Figure 9(b,c): Big Data Benchmark", &rows));
+    }
+    if want("fig10a") {
+        let rows: Vec<Row> = exp_fig10a(&scale)
+            .into_iter()
+            .map(|p| Row::new(format!("{} groups={}", p.system, p.groups)).with("response_s", p.response.as_secs_f64()))
+            .collect();
+        println!("{}", format_rows("Figure 10(a): Ad-Analytics response times", &rows));
+    }
+    if want("fig10b") {
+        println!("{}", format_rows("Figure 10(b): SPLASHE storage overhead (cumulative x)", &exp_fig10b(&scale)));
+    }
+}

@@ -1,0 +1,548 @@
+//! The Seabed client proxy: planning, encryption, query translation, literal
+//! encryption, and decryption / post-processing of results.
+//!
+//! The proxy is the only trusted component besides the data source (Figure 5).
+//! It hides every cryptographic operation from the analyst: queries go in as
+//! plain SQL and come back as plaintext rows, with timing broken down into
+//! server, network and client-side decryption components so the experiments of
+//! §6 can be reproduced.
+
+use crate::dataset::PlainDataset;
+use crate::encrypt::{encrypt_dataset, physical_ashe_keys, EncryptedTable};
+use crate::keys::KeyStore;
+use crate::server::{EncryptedAggregate, PhysicalFilter, SeabedServer, ServerResponse};
+use seabed_ashe::{AsheCiphertext, AsheScheme, IdSet};
+use seabed_crypto::{DetScheme, OreScheme};
+use seabed_engine::{ExecStats, NetworkModel};
+use seabed_query::planner::{plan_schema, ColumnSpec, PlannerConfig, SchemaPlan};
+use seabed_query::{
+    parse, translate, AggregateFunction, ClientPostStep, Query, SelectItem, ServerFilter,
+    TranslateOptions, TranslatedQuery,
+};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A single output value of a query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResultValue {
+    /// An integer result (sums, counts, min/max).
+    UInt(u64),
+    /// A fractional result (averages, variances).
+    Float(f64),
+    /// A decrypted group key.
+    Text(String),
+}
+
+impl ResultValue {
+    /// Numeric view of the value (texts map to NaN).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            ResultValue::UInt(v) => *v as f64,
+            ResultValue::Float(f) => *f,
+            ResultValue::Text(_) => f64::NAN,
+        }
+    }
+
+    /// Integer view of the value if it is an integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ResultValue::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Latency breakdown of one query, mirroring the decomposition reported in
+/// §6.2 (server compute, network transfer, client decryption).
+#[derive(Clone, Debug, Default)]
+pub struct QueryTimings {
+    /// Simulated server-side latency.
+    pub server: Duration,
+    /// Modeled network transfer time of the result.
+    pub network: Duration,
+    /// Measured client-side decryption / post-processing time.
+    pub client: Duration,
+}
+
+impl QueryTimings {
+    /// End-to-end latency.
+    pub fn total(&self) -> Duration {
+        self.server + self.network + self.client
+    }
+}
+
+/// The plaintext result of a query.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// One row per group: group-key values followed by aggregate values, in
+    /// the order of the original `SELECT` list.
+    pub rows: Vec<Vec<ResultValue>>,
+    /// Latency breakdown.
+    pub timings: QueryTimings,
+    /// Raw server statistics.
+    pub server_stats: ExecStats,
+    /// Size of the encrypted result shipped from server to client.
+    pub result_bytes: usize,
+    /// Number of PRF (AES) evaluations the client performed during decryption.
+    pub client_prf_evals: usize,
+}
+
+/// The Seabed client proxy.
+pub struct SeabedClient {
+    keys: KeyStore,
+    plan: SchemaPlan,
+    det_dictionary: HashMap<String, HashMap<u64, String>>,
+    ashe_keys: HashMap<String, [u8; 16]>,
+    /// Network link between server and proxy.
+    pub network: NetworkModel,
+    /// Translation options (worker count for group inflation, expected groups).
+    pub translate_options: TranslateOptions,
+}
+
+impl SeabedClient {
+    /// Runs the planner over the plaintext schema and sample queries and
+    /// builds a proxy around the resulting plan ("Create Plan" in §4.1).
+    pub fn create_plan(
+        master_key: &[u8],
+        columns: &[ColumnSpec],
+        sample_queries: &[Query],
+        config: &PlannerConfig,
+    ) -> SeabedClient {
+        let plan = plan_schema(columns, sample_queries, config);
+        let keys = KeyStore::new(master_key);
+        let ashe_keys = physical_ashe_keys(&plan, &keys);
+        SeabedClient {
+            keys,
+            plan,
+            det_dictionary: HashMap::new(),
+            ashe_keys,
+            network: NetworkModel::datacenter(),
+            translate_options: TranslateOptions::default(),
+        }
+    }
+
+    /// The schema plan in force.
+    pub fn plan(&self) -> &SchemaPlan {
+        &self.plan
+    }
+
+    /// Encrypts a dataset for upload ("Upload Data" in §4.1), retaining the
+    /// DET dictionaries needed to decrypt group keys later.
+    pub fn encrypt_dataset<R: rand::Rng + ?Sized>(
+        &mut self,
+        dataset: &PlainDataset,
+        num_partitions: usize,
+        rng: &mut R,
+    ) -> EncryptedTable {
+        let encrypted = encrypt_dataset(dataset, &self.plan, &self.keys, num_partitions, rng);
+        for (col, dict) in &encrypted.det_dictionary {
+            self.det_dictionary
+                .entry(col.clone())
+                .or_default()
+                .extend(dict.iter().map(|(k, v)| (*k, v.clone())));
+        }
+        encrypted
+    }
+
+    /// Translates a SQL string and encrypts its literals against a server's
+    /// schema, producing everything needed to execute the query remotely.
+    /// Exposed so benchmarks can time translation, execution and decryption
+    /// separately.
+    pub fn prepare(
+        &self,
+        server: &SeabedServer,
+        sql: &str,
+    ) -> Result<(Query, TranslatedQuery, Vec<PhysicalFilter>), String> {
+        let query = parse(sql).map_err(|e| e.to_string())?;
+        let translated = translate(&query, &self.plan, &self.translate_options).map_err(|e| e.to_string())?;
+        let filters = self.build_filters(server, &translated)?;
+        Ok((query, translated, filters))
+    }
+
+    fn build_filters(
+        &self,
+        server: &SeabedServer,
+        translated: &TranslatedQuery,
+    ) -> Result<Vec<PhysicalFilter>, String> {
+        let table = server.table();
+        let mut out = Vec::with_capacity(translated.filters.len());
+        for filter in &translated.filters {
+            match filter {
+                ServerFilter::Plain(pred) => {
+                    let column = table
+                        .column_index(&pred.column)
+                        .ok_or_else(|| format!("unknown plaintext column {}", pred.column))?;
+                    match &pred.value {
+                        seabed_query::Literal::Integer(v) => out.push(PhysicalFilter::PlainU64 {
+                            column,
+                            op: pred.op,
+                            value: *v,
+                        }),
+                        seabed_query::Literal::Text(s) => out.push(PhysicalFilter::PlainText {
+                            column,
+                            value: s.clone(),
+                        }),
+                    }
+                }
+                ServerFilter::DetEquals { column, value } => {
+                    let idx = table
+                        .column_index(column)
+                        .ok_or_else(|| format!("unknown DET column {column}"))?;
+                    let logical = column.strip_suffix("__det").unwrap_or(column);
+                    let det = DetScheme::new(&self.keys.det_key(logical));
+                    out.push(PhysicalFilter::DetTag {
+                        column: idx,
+                        tag: det.tag64_of(value.as_bytes()),
+                    });
+                }
+                ServerFilter::OpeCompare { column, op, value } => {
+                    let idx = table
+                        .column_index(column)
+                        .ok_or_else(|| format!("unknown OPE column {column}"))?;
+                    let logical = column.strip_suffix("__ope").unwrap_or(column);
+                    let ore = OreScheme::new(&self.keys.ope_key(logical));
+                    out.push(PhysicalFilter::Ope {
+                        column: idx,
+                        op: *op,
+                        ciphertext: ore.encrypt(*value),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs a SQL query end-to-end against a Seabed server ("Query Data" in
+    /// §4.1): translate, encrypt literals, execute remotely, decrypt and
+    /// post-process.
+    pub fn query(&self, server: &SeabedServer, sql: &str) -> Result<QueryResult, String> {
+        let query = parse(sql).map_err(|e| e.to_string())?;
+        let translated = translate(&query, &self.plan, &self.translate_options).map_err(|e| e.to_string())?;
+        let filters = self.build_filters(server, &translated)?;
+        let response = server.execute(&translated, &filters)?;
+        Ok(self.decrypt_response(&query, &translated, response))
+    }
+
+    /// Decrypts a server response and applies the client-side post-processing
+    /// steps. Public so benchmarks can time it separately from execution.
+    pub fn decrypt_response(
+        &self,
+        query: &Query,
+        translated: &TranslatedQuery,
+        response: ServerResponse,
+    ) -> QueryResult {
+        let started = Instant::now();
+        let mut prf_evals = 0usize;
+
+        // Merge inflated groups back together first (strip the suffix key).
+        let merge_groups = translated
+            .client_post
+            .iter()
+            .any(|s| matches!(s, ClientPostStep::MergeInflatedGroups));
+        let mut groups: Vec<(Vec<u64>, Vec<EncryptedAggregate>)> = Vec::new();
+        if merge_groups && translated.group_inflation > 1 {
+            let mut merged: HashMap<Vec<u64>, Vec<EncryptedAggregate>> = HashMap::new();
+            for group in response.groups {
+                let mut key = group.key.clone();
+                key.pop(); // drop the inflation suffix
+                match merged.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(group.aggregates);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut slot) => {
+                        let existing = slot.get_mut();
+                        for (a, b) in existing.iter_mut().zip(group.aggregates) {
+                            merge_encrypted(a, b);
+                        }
+                    }
+                }
+            }
+            groups = merged.into_iter().collect();
+            groups.sort_by(|a, b| a.0.cmp(&b.0));
+        } else {
+            for group in response.groups {
+                groups.push((group.key, group.aggregates));
+            }
+        }
+
+        // Decrypt each group's aggregates and map them back onto the original
+        // SELECT list.
+        let mut rows = Vec::with_capacity(groups.len());
+        for (key, aggregates) in &groups {
+            let mut row: Vec<ResultValue> = Vec::new();
+            // Group keys first (decrypted via the DET dictionary when needed).
+            for (i, group_col) in translated.group_by.iter().enumerate() {
+                let raw = key.get(i).copied().unwrap_or(0);
+                if group_col.encrypted {
+                    let text = self
+                        .det_dictionary
+                        .get(&group_col.physical_column)
+                        .and_then(|d| d.get(&raw))
+                        .cloned()
+                        .unwrap_or_else(|| format!("<tag:{raw}>"));
+                    row.push(ResultValue::Text(text));
+                } else {
+                    row.push(ResultValue::UInt(raw));
+                }
+            }
+            // Aggregates: walk the original select list, consuming server
+            // aggregates in the same order the translator emitted them.
+            let mut cursor = 0usize;
+            for item in &query.select {
+                let SelectItem::Aggregate { func, .. } = item else { continue };
+                match func {
+                    AggregateFunction::Sum => {
+                        let value = self.decrypt_aggregate(translated, cursor, &aggregates[cursor], &mut prf_evals);
+                        cursor += 1;
+                        row.push(ResultValue::UInt(value));
+                    }
+                    AggregateFunction::Count => {
+                        let value = self.decrypt_aggregate(translated, cursor, &aggregates[cursor], &mut prf_evals);
+                        cursor += 1;
+                        row.push(ResultValue::UInt(value));
+                    }
+                    AggregateFunction::Avg => {
+                        let sum = self.decrypt_aggregate(translated, cursor, &aggregates[cursor], &mut prf_evals);
+                        let count = self.decrypt_aggregate(translated, cursor + 1, &aggregates[cursor + 1], &mut prf_evals);
+                        cursor += 2;
+                        row.push(ResultValue::Float(if count == 0 { 0.0 } else { sum as f64 / count as f64 }));
+                    }
+                    AggregateFunction::Min | AggregateFunction::Max => {
+                        let value = self.decrypt_aggregate(translated, cursor, &aggregates[cursor], &mut prf_evals);
+                        cursor += 1;
+                        row.push(ResultValue::UInt(value));
+                    }
+                    AggregateFunction::Variance | AggregateFunction::Stddev => {
+                        let sum_sq = self.decrypt_aggregate(translated, cursor, &aggregates[cursor], &mut prf_evals);
+                        let sum = self.decrypt_aggregate(translated, cursor + 1, &aggregates[cursor + 1], &mut prf_evals);
+                        let count = self.decrypt_aggregate(translated, cursor + 2, &aggregates[cursor + 2], &mut prf_evals);
+                        cursor += 3;
+                        let variance = if count == 0 {
+                            0.0
+                        } else {
+                            let mean = sum as f64 / count as f64;
+                            (sum_sq as f64 / count as f64) - mean * mean
+                        };
+                        row.push(ResultValue::Float(if *func == AggregateFunction::Stddev {
+                            variance.max(0.0).sqrt()
+                        } else {
+                            variance
+                        }));
+                    }
+                }
+            }
+            rows.push(row);
+        }
+
+        let client = started.elapsed();
+        let network = self.network.transfer_time(response.result_bytes);
+        QueryResult {
+            rows,
+            timings: QueryTimings {
+                server: response.stats.simulated_server_time,
+                network,
+                client,
+            },
+            server_stats: response.stats,
+            result_bytes: response.result_bytes,
+            client_prf_evals: prf_evals,
+        }
+    }
+
+    fn decrypt_aggregate(
+        &self,
+        translated: &TranslatedQuery,
+        aggregate_index: usize,
+        aggregate: &EncryptedAggregate,
+        prf_evals: &mut usize,
+    ) -> u64 {
+        match aggregate {
+            EncryptedAggregate::Count { rows } => *rows,
+            EncryptedAggregate::AsheSum { value, id_list, encoding } => {
+                // The server returns aggregates in the order the translator
+                // emitted them, so the physical column (and thus the key) is
+                // read off the translated plan at the same index.
+                let column = match translated.aggregates.get(aggregate_index) {
+                    Some(seabed_query::ServerAggregate::AsheSum { column }) => column.clone(),
+                    _ => String::new(),
+                };
+                self.decrypt_named_sum(&column, *value, id_list, *encoding, prf_evals)
+            }
+            EncryptedAggregate::Extreme { value_word, row_id } => match row_id {
+                None => 0,
+                Some(id) => {
+                    // The companion column is ASHE-encrypted under the base
+                    // column's key.
+                    let column = match translated.aggregates.get(aggregate_index) {
+                        Some(seabed_query::ServerAggregate::OpeMin { column })
+                        | Some(seabed_query::ServerAggregate::OpeMax { column }) => column.clone(),
+                        _ => String::new(),
+                    };
+                    let base = column.strip_suffix("__ope").unwrap_or(&column);
+                    let key = self
+                        .ashe_keys
+                        .get(&format!("{base}__ope_val"))
+                        .copied()
+                        .unwrap_or_else(|| self.keys.ashe_key(base));
+                    let scheme = AsheScheme::new(&key);
+                    *prf_evals += 2;
+                    scheme.decrypt(&AsheCiphertext {
+                        value: *value_word,
+                        ids: IdSet::single(*id),
+                    })
+                }
+            },
+        }
+    }
+
+    /// Decrypts one ASHE aggregate given its physical column name.
+    fn decrypt_named_sum(
+        &self,
+        column: &str,
+        value: u64,
+        id_list: &[u8],
+        encoding: seabed_encoding::IdListEncoding,
+        prf_evals: &mut usize,
+    ) -> u64 {
+        let Some(key) = self.ashe_keys.get(column) else {
+            // Plaintext column summed on the server (NoEnc-style pass-through).
+            return value;
+        };
+        let scheme = AsheScheme::new(key);
+        let ids = IdSet::decode(id_list, encoding).unwrap_or_default();
+        *prf_evals += scheme.decrypt_prf_evals(&AsheCiphertext {
+            value,
+            ids: ids.clone(),
+        });
+        scheme.decrypt(&AsheCiphertext { value, ids })
+    }
+}
+
+/// Merges two encrypted aggregates of the same kind at the proxy (used when
+/// collapsing inflated group-by groups).
+fn merge_encrypted(a: &mut EncryptedAggregate, b: EncryptedAggregate) {
+    match (a, b) {
+        (
+            EncryptedAggregate::AsheSum { value, id_list, encoding },
+            EncryptedAggregate::AsheSum { value: v2, id_list: l2, encoding: e2 },
+        ) => {
+            let ids_a = IdSet::decode(id_list, *encoding).unwrap_or_default();
+            let ids_b = IdSet::decode(&l2, e2).unwrap_or_default();
+            let merged = ids_a.union(&ids_b);
+            *value = value.wrapping_add(v2);
+            *id_list = merged.encode(*encoding);
+        }
+        (EncryptedAggregate::Count { rows }, EncryptedAggregate::Count { rows: r2 }) => {
+            *rows += r2;
+        }
+        (EncryptedAggregate::Extreme { .. }, EncryptedAggregate::Extreme { .. }) => {
+            // MIN/MAX never combines with group inflation in this dialect.
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seabed_engine::{Cluster, ClusterConfig};
+
+    fn build_system() -> (SeabedClient, SeabedServer, PlainDataset) {
+        let countries = ["USA", "USA", "Canada", "USA", "Canada", "India", "Chile", "India", "USA", "Canada"];
+        let dataset = PlainDataset::new("sales")
+            .with_text_column("country", countries.iter().map(|s| s.to_string()).collect())
+            .with_uint_column("revenue", vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100])
+            .with_uint_column("ts", vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+            .with_text_column(
+                "dept",
+                ["a", "b", "a", "b", "a", "b", "a", "b", "a", "b"].iter().map(|s| s.to_string()).collect(),
+            );
+        let columns = vec![
+            ColumnSpec::sensitive_with_distribution("country", dataset.distribution("country").unwrap()),
+            ColumnSpec::sensitive("revenue"),
+            ColumnSpec::sensitive("ts"),
+            ColumnSpec::sensitive("dept"),
+        ];
+        let queries: Vec<Query> = [
+            "SELECT SUM(revenue) FROM sales WHERE country = 'USA'",
+            "SELECT SUM(revenue) FROM sales WHERE ts >= 3",
+            "SELECT dept, SUM(revenue) FROM sales GROUP BY dept",
+            "SELECT VARIANCE(revenue) FROM sales",
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        let mut client = SeabedClient::create_plan(b"master", &columns, &queries, &PlannerConfig::default());
+        let encrypted = client.encrypt_dataset(&dataset, 3, &mut rand::rng());
+        let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(4)));
+        (client, server, dataset)
+    }
+
+    #[test]
+    fn end_to_end_global_sum() {
+        let (client, server, _) = build_system();
+        let result = client.query(&server, "SELECT SUM(revenue) FROM sales").unwrap();
+        assert_eq!(result.rows, vec![vec![ResultValue::UInt(550)]]);
+        assert!(result.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn end_to_end_splashe_filter() {
+        let (client, server, dataset) = build_system();
+        // USA is frequent -> dedicated splayed column.
+        let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE country = 'USA'").unwrap();
+        let country = dataset.column("country").unwrap();
+        let revenue = dataset.column("revenue").unwrap();
+        let expected: u64 = (0..dataset.num_rows())
+            .filter(|&i| country.text_at(i) == "USA")
+            .map(|i| revenue.u64_at(i).unwrap())
+            .sum();
+        assert_eq!(result.rows[0][0], ResultValue::UInt(expected));
+        // India is infrequent -> others column + DET-filtered rows.
+        let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE country = 'India'").unwrap();
+        assert_eq!(result.rows[0][0], ResultValue::UInt(60 + 80));
+    }
+
+    #[test]
+    fn end_to_end_ope_range_filter() {
+        let (client, server, _) = build_system();
+        let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE ts >= 6").unwrap();
+        assert_eq!(result.rows[0][0], ResultValue::UInt(60 + 70 + 80 + 90 + 100));
+        let result = client.query(&server, "SELECT COUNT(*) FROM sales WHERE ts < 4").unwrap();
+        assert_eq!(result.rows[0][0], ResultValue::UInt(3));
+    }
+
+    #[test]
+    fn end_to_end_group_by_with_key_decryption() {
+        let (client, server, _) = build_system();
+        let result = client.query(&server, "SELECT dept, SUM(revenue) FROM sales GROUP BY dept").unwrap();
+        assert_eq!(result.rows.len(), 2);
+        let mut by_key: HashMap<String, u64> = HashMap::new();
+        for row in &result.rows {
+            let ResultValue::Text(key) = &row[0] else { panic!("expected decrypted key") };
+            by_key.insert(key.clone(), row[1].as_u64().unwrap());
+        }
+        assert_eq!(by_key["a"], 10 + 30 + 50 + 70 + 90);
+        assert_eq!(by_key["b"], 20 + 40 + 60 + 80 + 100);
+    }
+
+    #[test]
+    fn end_to_end_avg_and_variance() {
+        let (client, server, _) = build_system();
+        let avg = client.query(&server, "SELECT AVG(revenue) FROM sales").unwrap();
+        assert_eq!(avg.rows[0][0], ResultValue::Float(55.0));
+        let var = client.query(&server, "SELECT VARIANCE(revenue) FROM sales").unwrap();
+        // Population variance of 10..100 step 10 is 825.
+        match var.rows[0][0] {
+            ResultValue::Float(v) => assert!((v - 825.0).abs() < 1e-9, "variance {v}"),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_query_reports_error() {
+        let (client, server, _) = build_system();
+        assert!(client.query(&server, "SELECT SUM(revenue) FROM sales WHERE revenue = 10").is_err());
+        assert!(client.query(&server, "not sql at all").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Plaintext datasets as the data collector hands them to the proxy.
+
+use serde::{Deserialize, Serialize};
+
+/// A plaintext column.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PlainColumn {
+    /// Unsigned integer values (measures, timestamps, numeric dimensions).
+    UInt(Vec<u64>),
+    /// String values (categorical dimensions).
+    Text(Vec<String>),
+}
+
+impl PlainColumn {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            PlainColumn::UInt(v) => v.len(),
+            PlainColumn::Text(v) => v.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value of row `i` rendered as a string (used for DET/SPLASHE, which
+    /// operate on the value's canonical text form).
+    pub fn text_at(&self, i: usize) -> String {
+        match self {
+            PlainColumn::UInt(v) => v[i].to_string(),
+            PlainColumn::Text(v) => v[i].clone(),
+        }
+    }
+
+    /// The value of row `i` as an integer, if the column is numeric.
+    pub fn u64_at(&self, i: usize) -> Option<u64> {
+        match self {
+            PlainColumn::UInt(v) => Some(v[i]),
+            PlainColumn::Text(_) => None,
+        }
+    }
+}
+
+/// A plaintext dataset: a named table with columnar data.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlainDataset {
+    /// Table name.
+    pub name: String,
+    /// Columns in schema order.
+    pub columns: Vec<(String, PlainColumn)>,
+}
+
+impl PlainDataset {
+    /// Creates an empty dataset with the given name.
+    pub fn new(name: &str) -> PlainDataset {
+        PlainDataset {
+            name: name.to_string(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Adds a numeric column.
+    pub fn with_uint_column(mut self, name: &str, values: Vec<u64>) -> PlainDataset {
+        self.columns.push((name.to_string(), PlainColumn::UInt(values)));
+        self
+    }
+
+    /// Adds a string column.
+    pub fn with_text_column(mut self, name: &str, values: Vec<String>) -> PlainDataset {
+        self.columns.push((name.to_string(), PlainColumn::Text(values)));
+        self
+    }
+
+    /// Number of rows (all columns must agree; checked in debug builds).
+    pub fn num_rows(&self) -> usize {
+        let n = self.columns.first().map_or(0, |(_, c)| c.len());
+        debug_assert!(self.columns.iter().all(|(_, c)| c.len() == n));
+        n
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Option<&PlainColumn> {
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// The empirical value distribution of a column (value → count), usable as
+    /// the planner's distribution input.
+    pub fn distribution(&self, name: &str) -> Option<Vec<(String, u64)>> {
+        let col = self.column(name)?;
+        let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for i in 0..col.len() {
+            *counts.entry(col.text_at(i)).or_insert(0) += 1;
+        }
+        Some(counts.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let ds = PlainDataset::new("sales")
+            .with_uint_column("revenue", vec![10, 20, 30])
+            .with_text_column("country", vec!["US".into(), "CA".into(), "US".into()]);
+        assert_eq!(ds.num_rows(), 3);
+        assert_eq!(ds.column("revenue").unwrap().u64_at(1), Some(20));
+        assert_eq!(ds.column("country").unwrap().text_at(2), "US");
+        assert_eq!(ds.column("country").unwrap().u64_at(0), None);
+        assert!(ds.column("missing").is_none());
+    }
+
+    #[test]
+    fn distribution_counts_values() {
+        let ds = PlainDataset::new("t").with_text_column(
+            "c",
+            vec!["a".into(), "b".into(), "a".into(), "a".into()],
+        );
+        assert_eq!(
+            ds.distribution("c").unwrap(),
+            vec![("a".to_string(), 3), ("b".to_string(), 1)]
+        );
+        assert!(ds.distribution("x").is_none());
+    }
+
+    #[test]
+    fn numeric_columns_have_text_form() {
+        let ds = PlainDataset::new("t").with_uint_column("hour", vec![7, 7, 23]);
+        assert_eq!(
+            ds.distribution("hour").unwrap(),
+            vec![("23".to_string(), 1), ("7".to_string(), 2)]
+        );
+    }
+}

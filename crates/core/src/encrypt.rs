@@ -1,0 +1,490 @@
+//! The encryption module (§4.3): turning a plaintext dataset into the
+//! encrypted physical schema.
+//!
+//! Given the data planner's per-column decisions, the encryption module
+//! produces an engine [`Table`] whose physical columns follow the naming rules
+//! of [`seabed_query::encnames`]:
+//!
+//! * ASHE measures become a `u64` column of masked words (plus an optional
+//!   squares column for variance queries), keyed per column;
+//! * OPE columns store the ORE ciphertext bytes plus an ASHE-encrypted
+//!   companion value so MIN/MAX results can be decrypted;
+//! * DET dimensions store 64-bit equality tags; the proxy keeps the reverse
+//!   dictionary so group keys can be decrypted;
+//! * SPLASHE dimensions are splayed into indicator and per-measure columns,
+//!   with the enhanced variant adding a frequency-balanced DET column;
+//! * non-sensitive columns pass through unchanged.
+//!
+//! Row identifiers are implicit: row `i` of the table is identifier `i`
+//! (partitions carry `start_row`), which is what makes ASHE's ID lists
+//! collapse into ranges.
+
+use crate::dataset::{PlainColumn, PlainDataset};
+use crate::keys::KeyStore;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use seabed_ashe::AsheScheme;
+use seabed_crypto::{DetScheme, OreScheme};
+use seabed_engine::{ColumnData, ColumnType, Schema, Table};
+use seabed_query::planner::{EncryptionChoice, SchemaPlan};
+use seabed_query::encnames;
+use std::collections::HashMap;
+
+/// An encrypted table plus the client-side state needed to use it.
+#[derive(Clone)]
+pub struct EncryptedTable {
+    /// The physical encrypted table stored at the (untrusted) server.
+    pub table: Table,
+    /// The schema plan the table was encrypted under.
+    pub plan: SchemaPlan,
+    /// Reverse dictionaries for deterministic columns
+    /// (physical column name → tag → plaintext). Kept at the proxy, never
+    /// shipped to the server.
+    pub det_dictionary: HashMap<String, HashMap<u64, String>>,
+}
+
+/// Returns the ASHE key for a physical (encrypted) column name, consistent
+/// between the encryption module and the decryption module.
+pub fn physical_ashe_keys(plan: &SchemaPlan, keys: &KeyStore) -> HashMap<String, [u8; 16]> {
+    let mut map = HashMap::new();
+    let measures: Vec<&str> = plan
+        .columns
+        .iter()
+        .filter(|c| matches!(c.encryption, EncryptionChoice::Ashe { .. }))
+        .map(|c| c.name.as_str())
+        .collect();
+    for col in &plan.columns {
+        match &col.encryption {
+            EncryptionChoice::Ashe { with_squares } => {
+                map.insert(encnames::ashe(&col.name), keys.ashe_key(&col.name));
+                if *with_squares {
+                    map.insert(
+                        encnames::ashe_squares(&col.name),
+                        keys.ashe_key(&format!("{}^2", col.name)),
+                    );
+                }
+            }
+            EncryptionChoice::Ope => {
+                map.insert(format!("{}__ope_val", col.name), keys.ashe_key(&col.name));
+            }
+            EncryptionChoice::SplasheBasic { domain } => {
+                for (slot, _) in domain.iter().enumerate() {
+                    map.insert(
+                        encnames::splashe_indicator(&col.name, slot),
+                        keys.splashe_indicator_key(&col.name, slot),
+                    );
+                    for measure in &measures {
+                        map.insert(
+                            encnames::splashe_measure(&col.name, measure, slot),
+                            keys.splashe_measure_key(&col.name, measure, slot),
+                        );
+                    }
+                }
+            }
+            EncryptionChoice::SplasheEnhanced { plan: eplan } => {
+                let others_slot = eplan.k();
+                for slot in 0..=others_slot {
+                    let ind_name = if slot == others_slot {
+                        encnames::splashe_indicator_others(&col.name)
+                    } else {
+                        encnames::splashe_indicator(&col.name, slot)
+                    };
+                    map.insert(ind_name, keys.splashe_indicator_key(&col.name, slot));
+                    for measure in &measures {
+                        let m_name = if slot == others_slot {
+                            encnames::splashe_measure_others(&col.name, measure)
+                        } else {
+                            encnames::splashe_measure(&col.name, measure, slot)
+                        };
+                        map.insert(m_name, keys.splashe_measure_key(&col.name, measure, slot));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Encrypts a plaintext dataset into the physical encrypted table.
+///
+/// `num_partitions` controls how the server will parallelise scans; rows keep
+/// their upload order so identifiers stay contiguous.
+pub fn encrypt_dataset<R: Rng + ?Sized>(
+    dataset: &PlainDataset,
+    plan: &SchemaPlan,
+    keys: &KeyStore,
+    num_partitions: usize,
+    rng: &mut R,
+) -> EncryptedTable {
+    let n = dataset.num_rows();
+    let mut fields: Vec<(String, ColumnType)> = Vec::new();
+    let mut columns: Vec<ColumnData> = Vec::new();
+    let mut det_dictionary: HashMap<String, HashMap<u64, String>> = HashMap::new();
+
+    // Names of all ASHE measure columns; every SPLASHE dimension splays each
+    // of them (a conservative superset of the co-queried measures).
+    let measures: Vec<String> = plan
+        .columns
+        .iter()
+        .filter(|c| matches!(c.encryption, EncryptionChoice::Ashe { .. }))
+        .map(|c| c.name.clone())
+        .collect();
+
+    for col_plan in &plan.columns {
+        let Some(source) = dataset.column(&col_plan.name) else {
+            // Column described by the plan but absent from this upload batch —
+            // skip it (e.g. optional columns).
+            continue;
+        };
+        match &col_plan.encryption {
+            EncryptionChoice::Plaintext => match source {
+                PlainColumn::UInt(v) => {
+                    fields.push((col_plan.name.clone(), ColumnType::UInt64));
+                    columns.push(ColumnData::UInt64(v.clone()));
+                }
+                PlainColumn::Text(v) => {
+                    fields.push((col_plan.name.clone(), ColumnType::Utf8));
+                    columns.push(ColumnData::Utf8(v.clone()));
+                }
+            },
+            EncryptionChoice::Ashe { with_squares } => {
+                let values = numeric_values(source, &col_plan.name);
+                let scheme = AsheScheme::new(&keys.ashe_key(&col_plan.name));
+                fields.push((encnames::ashe(&col_plan.name), ColumnType::UInt64));
+                columns.push(ColumnData::UInt64(
+                    seabed_ashe::encrypt_column(&scheme, &values, 0).values,
+                ));
+                if *with_squares {
+                    let sq_scheme = AsheScheme::new(&keys.ashe_key(&format!("{}^2", col_plan.name)));
+                    let squares: Vec<u64> = values.iter().map(|&v| v.wrapping_mul(v)).collect();
+                    fields.push((encnames::ashe_squares(&col_plan.name), ColumnType::UInt64));
+                    columns.push(ColumnData::UInt64(
+                        seabed_ashe::encrypt_column(&sq_scheme, &squares, 0).values,
+                    ));
+                }
+            }
+            EncryptionChoice::Det => {
+                let det = DetScheme::new(&keys.det_key(&col_plan.name));
+                let physical = encnames::det(&col_plan.name);
+                let mut tags = Vec::with_capacity(n);
+                let mut dict = HashMap::new();
+                for i in 0..n {
+                    let text = source.text_at(i);
+                    let tag = det.tag64_of(text.as_bytes());
+                    dict.insert(tag, text);
+                    tags.push(tag);
+                }
+                det_dictionary.insert(physical.clone(), dict);
+                fields.push((physical, ColumnType::UInt64));
+                columns.push(ColumnData::UInt64(tags));
+            }
+            EncryptionChoice::Ope => {
+                let values = numeric_values(source, &col_plan.name);
+                let ore = OreScheme::new(&keys.ope_key(&col_plan.name));
+                fields.push((encnames::ope(&col_plan.name), ColumnType::Bytes));
+                columns.push(ColumnData::Bytes(
+                    values.iter().map(|&v| ore.encrypt(v).symbols).collect(),
+                ));
+                // Companion ASHE column so MIN/MAX results can be decrypted.
+                let scheme = AsheScheme::new(&keys.ashe_key(&col_plan.name));
+                fields.push((format!("{}__ope_val", col_plan.name), ColumnType::UInt64));
+                columns.push(ColumnData::UInt64(
+                    seabed_ashe::encrypt_column(&scheme, &values, 0).values,
+                ));
+            }
+            EncryptionChoice::SplasheBasic { domain } => {
+                splay_dimension(
+                    &col_plan.name,
+                    source,
+                    domain,
+                    None,
+                    &measures,
+                    dataset,
+                    keys,
+                    &mut fields,
+                    &mut columns,
+                    &mut det_dictionary,
+                    rng,
+                );
+            }
+            EncryptionChoice::SplasheEnhanced { plan: eplan } => {
+                splay_dimension(
+                    &col_plan.name,
+                    source,
+                    &eplan.frequent,
+                    Some(&eplan.infrequent),
+                    &measures,
+                    dataset,
+                    keys,
+                    &mut fields,
+                    &mut columns,
+                    &mut det_dictionary,
+                    rng,
+                );
+            }
+        }
+    }
+
+    let schema = Schema::new(fields);
+    let table = Table::from_columns(schema, columns, num_partitions.max(1));
+    EncryptedTable {
+        table,
+        plan: plan.clone(),
+        det_dictionary,
+    }
+}
+
+fn numeric_values(source: &PlainColumn, name: &str) -> Vec<u64> {
+    match source {
+        PlainColumn::UInt(v) => v.clone(),
+        PlainColumn::Text(_) => panic!("column {name} must be numeric for this encryption scheme"),
+    }
+}
+
+/// Splays one dimension into indicator and per-measure columns.
+///
+/// `frequent` lists the values that get dedicated columns; `infrequent` is
+/// `Some` for enhanced SPLASHE (those values share the "others" columns and a
+/// frequency-balanced DET column) and `None` for basic SPLASHE (every value is
+/// in `frequent`).
+#[allow(clippy::too_many_arguments)]
+fn splay_dimension<R: Rng + ?Sized>(
+    dimension: &str,
+    source: &PlainColumn,
+    frequent: &[String],
+    infrequent: Option<&[String]>,
+    measures: &[String],
+    dataset: &PlainDataset,
+    keys: &KeyStore,
+    fields: &mut Vec<(String, ColumnType)>,
+    columns: &mut Vec<ColumnData>,
+    det_dictionary: &mut HashMap<String, HashMap<u64, String>>,
+    rng: &mut R,
+) {
+    let n = source.len();
+    let k = frequent.len();
+    let enhanced = infrequent.is_some();
+    let slots = if enhanced { k + 1 } else { k };
+
+    // Which slot each row belongs to (k = "others" for enhanced).
+    let mut row_slot = Vec::with_capacity(n);
+    for i in 0..n {
+        let text = source.text_at(i);
+        let slot = frequent.iter().position(|v| *v == text).unwrap_or_else(|| {
+            if enhanced {
+                k
+            } else {
+                panic!("value {text:?} not in the splayed domain of {dimension}")
+            }
+        });
+        row_slot.push(slot);
+    }
+
+    // Indicator columns.
+    for slot in 0..slots {
+        let plain: Vec<u64> = row_slot.iter().map(|&s| u64::from(s == slot)).collect();
+        let scheme = AsheScheme::new(&keys.splashe_indicator_key(dimension, slot));
+        let name = if enhanced && slot == k {
+            encnames::splashe_indicator_others(dimension)
+        } else {
+            encnames::splashe_indicator(dimension, slot)
+        };
+        fields.push((name, ColumnType::UInt64));
+        columns.push(ColumnData::UInt64(
+            seabed_ashe::encrypt_column(&scheme, &plain, 0).values,
+        ));
+    }
+
+    // Splayed measure columns.
+    for measure in measures {
+        let Some(values) = dataset.column(measure) else { continue };
+        let values = numeric_values(values, measure);
+        for slot in 0..slots {
+            let plain: Vec<u64> = row_slot
+                .iter()
+                .zip(values.iter())
+                .map(|(&s, &v)| if s == slot { v } else { 0 })
+                .collect();
+            let scheme = AsheScheme::new(&keys.splashe_measure_key(dimension, measure, slot));
+            let name = if enhanced && slot == k {
+                encnames::splashe_measure_others(dimension, measure)
+            } else {
+                encnames::splashe_measure(dimension, measure, slot)
+            };
+            fields.push((name, ColumnType::UInt64));
+            columns.push(ColumnData::UInt64(
+                seabed_ashe::encrypt_column(&scheme, &plain, 0).values,
+            ));
+        }
+    }
+
+    // Enhanced SPLASHE: frequency-balanced DET column over the infrequent
+    // values, using frequent rows' cells as dummies.
+    if let Some(infrequent) = infrequent {
+        let det = DetScheme::new(&keys.det_key(dimension));
+        let physical = encnames::det(dimension);
+        let tags: Vec<u64> = infrequent.iter().map(|v| det.tag64_of(v.as_bytes())).collect();
+        let mut dict: HashMap<u64, String> = infrequent
+            .iter()
+            .map(|v| (det.tag64_of(v.as_bytes()), v.clone()))
+            .collect();
+        let mut det_column = vec![0u64; n];
+        let mut counts = vec![0u64; infrequent.len()];
+        let mut dummy_rows = Vec::new();
+        for (i, &slot) in row_slot.iter().enumerate() {
+            if slot == k {
+                let text = source.text_at(i);
+                let idx = infrequent
+                    .iter()
+                    .position(|v| *v == text)
+                    .expect("infrequent value must be listed in the plan");
+                det_column[i] = tags[idx];
+                counts[idx] += 1;
+            } else {
+                dummy_rows.push(i);
+            }
+        }
+        if !infrequent.is_empty() {
+            dummy_rows.shuffle(rng);
+            for row in dummy_rows {
+                let (idx, _) = counts.iter().enumerate().min_by_key(|(_, &c)| c).unwrap();
+                det_column[row] = tags[idx];
+                counts[idx] += 1;
+            }
+        } else {
+            // No infrequent values at all: fill with a fixed dummy tag.
+            let dummy = det.tag64_of(b"__splashe_dummy__");
+            dict.insert(dummy, "__splashe_dummy__".to_string());
+            for row in dummy_rows {
+                det_column[row] = dummy;
+            }
+        }
+        det_dictionary.insert(physical.clone(), dict);
+        fields.push((physical, ColumnType::UInt64));
+        columns.push(ColumnData::UInt64(det_column));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seabed_query::planner::{plan_schema, ColumnSpec, PlannerConfig};
+    use seabed_query::parser::parse;
+
+    fn dataset() -> PlainDataset {
+        let countries = ["USA", "USA", "Canada", "USA", "Canada", "India", "Chile", "India"];
+        PlainDataset::new("sales")
+            .with_text_column("country", countries.iter().map(|s| s.to_string()).collect())
+            .with_uint_column("revenue", vec![10, 20, 30, 40, 50, 60, 70, 80])
+            .with_uint_column("ts", vec![1, 2, 3, 4, 5, 6, 7, 8])
+            .with_uint_column("clicks", vec![1, 1, 2, 2, 3, 3, 4, 4])
+    }
+
+    fn schema_plan(ds: &PlainDataset) -> SchemaPlan {
+        let columns = vec![
+            ColumnSpec::sensitive_with_distribution("country", ds.distribution("country").unwrap()),
+            ColumnSpec::sensitive("revenue"),
+            ColumnSpec::sensitive("ts"),
+            ColumnSpec::public("clicks"),
+        ];
+        let queries: Vec<_> = [
+            "SELECT SUM(revenue) FROM sales WHERE country = 'USA'",
+            "SELECT SUM(revenue) FROM sales WHERE ts >= 3",
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        plan_schema(&columns, &queries, &PlannerConfig::default())
+    }
+
+    #[test]
+    fn encrypted_schema_has_expected_columns() {
+        let ds = dataset();
+        let plan = schema_plan(&ds);
+        let keys = KeyStore::new(b"master");
+        let enc = encrypt_dataset(&ds, &plan, &keys, 2, &mut rand::rng());
+        let names: Vec<&str> = enc.table.schema.fields.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"revenue__ashe"));
+        assert!(names.contains(&"ts__ope"));
+        assert!(names.contains(&"ts__ope_val"));
+        assert!(names.contains(&"clicks"), "public column passes through");
+        assert!(names.contains(&"country__det"), "enhanced SPLASHE keeps a balanced DET column");
+        assert!(names.iter().any(|n| n.starts_with("revenue__spl_country_")));
+        assert!(names.iter().any(|n| n.starts_with("country__ind_")));
+        assert!(!names.contains(&"revenue"), "plaintext measure must not leak");
+        assert!(!names.contains(&"country"), "plaintext dimension must not leak");
+        assert_eq!(enc.table.num_rows(), ds.num_rows());
+    }
+
+    #[test]
+    fn ciphertext_columns_differ_from_plaintext() {
+        let ds = dataset();
+        let plan = schema_plan(&ds);
+        let keys = KeyStore::new(b"master");
+        let enc = encrypt_dataset(&ds, &plan, &keys, 1, &mut rand::rng());
+        let ashe_col = enc.table.gather_u64("revenue__ashe").unwrap();
+        assert_ne!(ashe_col, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn ashe_column_decrypts_back_to_plaintext() {
+        let ds = dataset();
+        let plan = schema_plan(&ds);
+        let keys = KeyStore::new(b"master");
+        let enc = encrypt_dataset(&ds, &plan, &keys, 3, &mut rand::rng());
+        let scheme = AsheScheme::new(&keys.ashe_key("revenue"));
+        let words = enc.table.gather_u64("revenue__ashe").unwrap();
+        let col = seabed_ashe::EncryptedColumn { start_id: 0, values: words };
+        assert_eq!(seabed_ashe::decrypt_column(&scheme, &col), vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn det_dictionary_covers_observed_tags() {
+        let ds = dataset();
+        let plan = schema_plan(&ds);
+        let keys = KeyStore::new(b"master");
+        let enc = encrypt_dataset(&ds, &plan, &keys, 1, &mut rand::rng());
+        let dict = &enc.det_dictionary["country__det"];
+        let tags = enc.table.gather_u64("country__det").unwrap();
+        for tag in tags {
+            assert!(dict.contains_key(&tag), "tag {tag} missing from dictionary");
+        }
+    }
+
+    #[test]
+    fn splashe_balanced_column_is_flat() {
+        let ds = dataset();
+        let plan = schema_plan(&ds);
+        let keys = KeyStore::new(b"master");
+        let enc = encrypt_dataset(&ds, &plan, &keys, 1, &mut rand::rng());
+        let tags = enc.table.gather_u64("country__det").unwrap();
+        let mut hist: HashMap<u64, u64> = HashMap::new();
+        for t in tags {
+            *hist.entry(t).or_insert(0) += 1;
+        }
+        let max = hist.values().max().unwrap();
+        let min = hist.values().min().unwrap();
+        assert!(max - min <= 1, "histogram {hist:?}");
+    }
+
+    #[test]
+    fn physical_key_map_covers_ashe_columns() {
+        let ds = dataset();
+        let plan = schema_plan(&ds);
+        let keys = KeyStore::new(b"master");
+        let enc = encrypt_dataset(&ds, &plan, &keys, 1, &mut rand::rng());
+        let key_map = physical_ashe_keys(&plan, &keys);
+        for field in &enc.table.schema.fields {
+            let name = &field.name;
+            let is_ashe_backed = name.ends_with("__ashe")
+                || name.ends_with("__ashe_sq")
+                || name.ends_with("__ope_val")
+                || name.contains("__spl_")
+                || name.contains("__ind_");
+            if is_ashe_backed {
+                assert!(key_map.contains_key(name), "missing key for {name}");
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # seabed-core
+//!
+//! Seabed: efficient analytics over large encrypted datasets
+//! (Papadimitriou et al., OSDI 2016).
+//!
+//! This crate ties the substrates together into the system of Figure 5:
+//!
+//! * [`keys`] — the proxy's key store (one derived key per column);
+//! * [`dataset`] — plaintext datasets as uploaded by the data collector;
+//! * [`encrypt`] — the encryption module turning plaintext uploads into the
+//!   encrypted physical schema (ASHE, SPLASHE, DET, OPE columns);
+//! * [`server`] — the untrusted Seabed server executing translated queries
+//!   over the partitioned encrypted table;
+//! * [`client`] — the trusted client proxy: planning, query translation,
+//!   literal encryption, result decryption and post-processing;
+//! * [`baseline`] — the NoEnc and Paillier reference pipelines every
+//!   experiment compares against.
+//!
+//! ```
+//! use seabed_core::{PlainDataset, SeabedClient, SeabedServer};
+//! use seabed_core::ResultValue;
+//! use seabed_query::{parse, ColumnSpec, PlannerConfig};
+//! use seabed_engine::{Cluster, ClusterConfig};
+//!
+//! // 1. Plaintext data at the collector.
+//! let data = PlainDataset::new("sales")
+//!     .with_text_column("country", vec!["US".into(), "US".into(), "IN".into()])
+//!     .with_uint_column("revenue", vec![10, 20, 30]);
+//!
+//! // 2. Plan the encrypted schema from sample queries.
+//! let columns = vec![
+//!     ColumnSpec::sensitive_with_distribution("country", data.distribution("country").unwrap()),
+//!     ColumnSpec::sensitive("revenue"),
+//! ];
+//! let samples = vec![parse("SELECT SUM(revenue) FROM sales WHERE country = 'US'").unwrap()];
+//! let mut client = SeabedClient::create_plan(b"master-secret", &columns, &samples, &PlannerConfig::default());
+//!
+//! // 3. Encrypt and "upload" the data, then stand up a server over it.
+//! let encrypted = client.encrypt_dataset(&data, 2, &mut rand::rng());
+//! let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(4)));
+//!
+//! // 4. Query through the proxy; results come back decrypted.
+//! let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE country = 'US'").unwrap();
+//! assert_eq!(result.rows[0][0], ResultValue::UInt(30));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod client;
+pub mod dataset;
+pub mod encrypt;
+pub mod keys;
+pub mod server;
+
+pub use baseline::{row_selected, BaselineResult, NoEncSystem, PaillierSystem};
+pub use client::{QueryResult, QueryTimings, ResultValue, SeabedClient};
+pub use dataset::{PlainColumn, PlainDataset};
+pub use encrypt::{encrypt_dataset, physical_ashe_keys, EncryptedTable};
+pub use keys::KeyStore;
+pub use server::{EncryptedAggregate, GroupResult, PhysicalFilter, SeabedServer, ServerResponse};

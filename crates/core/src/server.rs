@@ -1,0 +1,558 @@
+//! The Seabed server: executes translated (encrypted) queries over the
+//! partitioned encrypted table.
+//!
+//! The server is untrusted: it only ever sees ciphertexts, deterministic tags,
+//! ORE ciphertexts and plaintext non-sensitive columns. Its job per query is
+//! the map/reduce pipeline of Table 2: scan partitions in parallel, apply the
+//! encrypted filters, fold ASHE words and ID lists (optionally per group),
+//! compress the ID lists at the workers (§4.5), and concatenate partials at
+//! the driver.
+
+use seabed_ashe::IdSet;
+use seabed_crypto::ore::OreCiphertext;
+use seabed_engine::{Cluster, ColumnData, ExecStats, Partition, Table, TaskOutput};
+use seabed_encoding::IdListEncoding;
+use seabed_query::{CompareOp, ServerAggregate, TranslatedQuery};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// A filter with its literal already encrypted by the proxy.
+#[derive(Clone, Debug)]
+pub enum PhysicalFilter {
+    /// Comparison against a plaintext numeric column.
+    PlainU64 {
+        /// Column index in the encrypted schema.
+        column: usize,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Literal value.
+        value: u64,
+    },
+    /// Equality against a plaintext string column.
+    PlainText {
+        /// Column index in the encrypted schema.
+        column: usize,
+        /// Literal value.
+        value: String,
+    },
+    /// Equality against a deterministic tag column.
+    DetTag {
+        /// Column index in the encrypted schema.
+        column: usize,
+        /// `DET_k(value)` tag computed by the proxy.
+        tag: u64,
+    },
+    /// ORE comparison against an order-encrypted column.
+    Ope {
+        /// Column index in the encrypted schema.
+        column: usize,
+        /// Comparison operator.
+        op: CompareOp,
+        /// `ORE_k(value)` ciphertext computed by the proxy.
+        ciphertext: OreCiphertext,
+    },
+}
+
+impl PhysicalFilter {
+    fn matches(&self, partition: &Partition, row: usize) -> bool {
+        match self {
+            PhysicalFilter::PlainU64 { column, op, value } => {
+                op.eval_u64(partition.column(*column).u64_at(row), *value)
+            }
+            PhysicalFilter::PlainText { column, value } => {
+                partition.column(*column).str_at(row) == value
+            }
+            PhysicalFilter::DetTag { column, tag } => partition.column(*column).u64_at(row) == *tag,
+            PhysicalFilter::Ope { column, op, ciphertext } => {
+                let row_ct = OreCiphertext {
+                    symbols: partition.column(*column).bytes_at(row).to_vec(),
+                };
+                op.eval_ordering(row_ct.compare(ciphertext))
+            }
+        }
+    }
+}
+
+/// What the server computes for one aggregate of one group.
+#[derive(Clone, Debug)]
+pub enum EncryptedAggregate {
+    /// An ASHE partial sum: the masked group element plus the encoded ID list.
+    AsheSum {
+        /// Masked (wrapping) sum of the selected rows' ciphertext words.
+        value: u64,
+        /// Encoded ID list of the selected rows.
+        id_list: Vec<u8>,
+        /// Encoding used for the ID list.
+        encoding: IdListEncoding,
+    },
+    /// A row count (derived from the ID list; returned explicitly so count-only
+    /// queries need no ASHE column).
+    Count {
+        /// Number of selected rows.
+        rows: u64,
+    },
+    /// MIN/MAX result: the ASHE word of the winning row plus its identifier so
+    /// the proxy can decrypt it.
+    Extreme {
+        /// ASHE ciphertext word of the companion value column at the winning row.
+        value_word: u64,
+        /// Row identifier of the winning row (`None` when no row matched).
+        row_id: Option<u64>,
+    },
+}
+
+impl EncryptedAggregate {
+    /// Serialized size in bytes (what travels from driver to client).
+    pub fn byte_len(&self) -> usize {
+        match self {
+            EncryptedAggregate::AsheSum { id_list, .. } => 8 + id_list.len(),
+            EncryptedAggregate::Count { .. } => 8,
+            EncryptedAggregate::Extreme { .. } => 16,
+        }
+    }
+}
+
+/// One group of the result (global aggregates use a single group with an empty
+/// key).
+#[derive(Clone, Debug)]
+pub struct GroupResult {
+    /// The group key as stored on the server (plaintext values or DET tags),
+    /// including the inflation suffix when group inflation is active.
+    pub key: Vec<u64>,
+    /// One aggregate per requested server aggregate.
+    pub aggregates: Vec<EncryptedAggregate>,
+}
+
+/// The server's response to one query.
+#[derive(Clone, Debug)]
+pub struct ServerResponse {
+    /// Result groups.
+    pub groups: Vec<GroupResult>,
+    /// Execution statistics (simulated server latency, bytes, tasks).
+    pub stats: ExecStats,
+    /// Total serialized size of the result shipped to the client.
+    pub result_bytes: usize,
+}
+
+/// SplitMix64 finalizer, used to spread rows across inflated group suffixes.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// The Seabed server: an encrypted table plus a cluster to scan it with.
+pub struct SeabedServer {
+    table: Table,
+    cluster: Cluster,
+}
+
+/// Internal per-aggregate accumulator.
+#[derive(Clone)]
+enum Accumulator {
+    Sum { column: usize, value: u64, ids: IdSet },
+    Count { ids: IdSet },
+    Extreme { ore_column: usize, value_column: usize, best: Option<(OreCiphertext, u64, u64)>, want_max: bool },
+}
+
+impl Accumulator {
+    fn new(agg: &ServerAggregate, table: &Table) -> Result<Accumulator, String> {
+        let index = |name: &str| {
+            table
+                .column_index(name)
+                .ok_or_else(|| format!("unknown physical column {name}"))
+        };
+        Ok(match agg {
+            ServerAggregate::AsheSum { column } => Accumulator::Sum {
+                column: index(column)?,
+                value: 0,
+                ids: IdSet::new(),
+            },
+            ServerAggregate::CountRows => Accumulator::Count { ids: IdSet::new() },
+            ServerAggregate::OpeMin { column } | ServerAggregate::OpeMax { column } => {
+                let base = column.strip_suffix("__ope").unwrap_or(column);
+                Accumulator::Extreme {
+                    ore_column: index(column)?,
+                    value_column: index(&format!("{base}__ope_val"))?,
+                    best: None,
+                    want_max: matches!(agg, ServerAggregate::OpeMax { .. }),
+                }
+            }
+        })
+    }
+
+    fn observe(&mut self, partition: &Partition, row: usize) {
+        let row_id = partition.row_id(row);
+        match self {
+            Accumulator::Sum { column, value, ids } => {
+                *value = value.wrapping_add(partition.column(*column).u64_at(row));
+                ids.push_ordered(row_id);
+            }
+            Accumulator::Count { ids } => ids.push_ordered(row_id),
+            Accumulator::Extreme { ore_column, value_column, best, want_max } => {
+                let candidate = OreCiphertext {
+                    symbols: partition.column(*ore_column).bytes_at(row).to_vec(),
+                };
+                let replace = match best {
+                    None => true,
+                    Some((current, _, _)) => {
+                        let ord = candidate.compare(current);
+                        if *want_max {
+                            ord == Ordering::Greater
+                        } else {
+                            ord == Ordering::Less
+                        }
+                    }
+                };
+                if replace {
+                    *best = Some((candidate, partition.column(*value_column).u64_at(row), row_id));
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Accumulator) {
+        match (self, other) {
+            (Accumulator::Sum { value, ids, .. }, Accumulator::Sum { value: v2, ids: i2, .. }) => {
+                *value = value.wrapping_add(v2);
+                *ids = ids.union(&i2);
+            }
+            (Accumulator::Count { ids }, Accumulator::Count { ids: i2 }) => {
+                *ids = ids.union(&i2);
+            }
+            (
+                Accumulator::Extreme { best, want_max, .. },
+                Accumulator::Extreme { best: other_best, .. },
+            ) => {
+                if let Some((ct, word, id)) = other_best {
+                    let replace = match best {
+                        None => true,
+                        Some((current, _, _)) => {
+                            let ord = ct.compare(current);
+                            if *want_max {
+                                ord == Ordering::Greater
+                            } else {
+                                ord == Ordering::Less
+                            }
+                        }
+                    };
+                    if replace {
+                        *best = Some((ct, word, id));
+                    }
+                }
+            }
+            _ => panic!("accumulator kinds diverged between partitions"),
+        }
+    }
+
+    fn finish(self, encoding: IdListEncoding) -> EncryptedAggregate {
+        match self {
+            Accumulator::Sum { value, ids, .. } => EncryptedAggregate::AsheSum {
+                value,
+                id_list: ids.encode(encoding),
+                encoding,
+            },
+            Accumulator::Count { ids } => EncryptedAggregate::Count { rows: ids.count() },
+            Accumulator::Extreme { best, .. } => match best {
+                Some((_, word, id)) => EncryptedAggregate::Extreme {
+                    value_word: word,
+                    row_id: Some(id),
+                },
+                None => EncryptedAggregate::Extreme {
+                    value_word: 0,
+                    row_id: None,
+                },
+            },
+        }
+    }
+}
+
+impl SeabedServer {
+    /// Creates a server over an encrypted table.
+    pub fn new(table: Table, cluster: Cluster) -> SeabedServer {
+        SeabedServer { table, cluster }
+    }
+
+    /// The encrypted table (for storage accounting).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Executes a translated query whose literals have been encrypted into
+    /// `filters` by the proxy.
+    ///
+    /// `query.aggregates` provides the logical aggregate list; `filters` must
+    /// have one entry per `query.filters` entry.
+    pub fn execute(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+    ) -> Result<ServerResponse, String> {
+        // Aggregation queries use the range-friendly encoding; group-by
+        // queries use per-ID diff encoding (§4.5).
+        let encoding = if query.group_by.is_empty() {
+            IdListEncoding::seabed_default()
+        } else {
+            IdListEncoding::seabed_group_by()
+        };
+
+        let group_columns: Vec<usize> = query
+            .group_by
+            .iter()
+            .map(|g| {
+                let idx = self
+                    .table
+                    .column_index(&g.physical_column)
+                    .ok_or_else(|| format!("unknown group-by column {}", g.physical_column))?;
+                match self.table.schema.fields[idx].ty {
+                    seabed_engine::ColumnType::UInt64 => Ok(idx),
+                    other => Err(format!(
+                        "group-by column {} must be u64-backed (plaintext or DET tag), got {other:?}",
+                        g.physical_column
+                    )),
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        // Validate aggregate targets once up front.
+        for agg in &query.aggregates {
+            Accumulator::new(agg, &self.table)?;
+        }
+
+        let aggregates = query.aggregates.clone();
+        let inflation = query.group_inflation.max(1) as u64;
+        let table = &self.table;
+
+        let (partials, stats) = self.cluster.run(table, |partition| {
+            let mut groups: HashMap<Vec<u64>, Vec<Accumulator>> = HashMap::new();
+            let n = partition.num_rows();
+            for row in 0..n {
+                if !filters.iter().all(|f| f.matches(partition, row)) {
+                    continue;
+                }
+                let mut key: Vec<u64> = group_columns
+                    .iter()
+                    .map(|&c| match partition.column(c) {
+                        ColumnData::UInt64(v) => v[row],
+                        other => panic!("group-by column must be u64-backed, got {:?}", other.column_type()),
+                    })
+                    .collect();
+                if !group_columns.is_empty() && inflation > 1 {
+                    // The paper appends a pseudo-random identifier in [0, factor)
+                    // to the group key (§4.5); hashing the row id keeps the
+                    // assignment deterministic without correlating with the
+                    // group value.
+                    key.push(splitmix64(partition.row_id(row)) % inflation);
+                }
+                let entry = groups.entry(key).or_insert_with(|| {
+                    aggregates
+                        .iter()
+                        .map(|a| Accumulator::new(a, table).expect("validated above"))
+                        .collect()
+                });
+                for acc in entry.iter_mut() {
+                    acc.observe(partition, row);
+                }
+            }
+            // Workers compress their ID lists before shipping to the driver:
+            // report the compressed partial-result size as shuffle bytes.
+            let bytes: usize = groups
+                .values()
+                .flat_map(|accs| accs.iter())
+                .map(|acc| match acc {
+                    Accumulator::Sum { ids, .. } => 8 + ids.encoded_size(encoding),
+                    Accumulator::Count { ids } => 8 + ids.encoded_size(encoding),
+                    Accumulator::Extreme { .. } => 16,
+                })
+                .sum::<usize>()
+                + groups.len() * 8 * group_columns.len().max(1);
+            TaskOutput::new(groups, bytes)
+        });
+
+        // Driver: merge partial groups.
+        let mut merged: HashMap<Vec<u64>, Vec<Accumulator>> = HashMap::new();
+        for partial in partials {
+            for (key, accs) in partial {
+                match merged.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(accs);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut slot) => {
+                        for (a, b) in slot.get_mut().iter_mut().zip(accs) {
+                            a.merge(b);
+                        }
+                    }
+                }
+            }
+        }
+        // Global aggregates with no matching rows still return one empty group.
+        if merged.is_empty() && group_columns.is_empty() {
+            merged.insert(
+                Vec::new(),
+                query
+                    .aggregates
+                    .iter()
+                    .map(|a| Accumulator::new(a, &self.table).expect("validated above"))
+                    .collect(),
+            );
+        }
+
+        let mut groups: Vec<GroupResult> = merged
+            .into_iter()
+            .map(|(key, accs)| GroupResult {
+                key,
+                aggregates: accs.into_iter().map(|a| a.finish(encoding)).collect(),
+            })
+            .collect();
+        groups.sort_by(|a, b| a.key.cmp(&b.key));
+        let result_bytes: usize = groups
+            .iter()
+            .map(|g| g.key.len() * 8 + g.aggregates.iter().map(|a| a.byte_len()).sum::<usize>())
+            .sum();
+
+        Ok(ServerResponse {
+            groups,
+            stats,
+            result_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seabed_engine::{ClusterConfig, ColumnType, Schema};
+    use seabed_query::{GroupByColumn, SupportCategory};
+
+    /// Builds a tiny "encrypted" table by hand: one plaintext filter column,
+    /// one pseudo-ASHE column (plain values work fine for server-side logic —
+    /// the server never interprets the words).
+    fn test_table(rows: u64) -> Table {
+        let schema = Schema::new([
+            ("flag".to_string(), ColumnType::UInt64),
+            ("m__ashe".to_string(), ColumnType::UInt64),
+            ("g__det".to_string(), ColumnType::UInt64),
+        ]);
+        Table::from_columns(
+            schema,
+            vec![
+                ColumnData::UInt64((0..rows).map(|i| i % 2).collect()),
+                ColumnData::UInt64((0..rows).map(|i| i + 1).collect()),
+                ColumnData::UInt64((0..rows).map(|i| i % 5 + 100).collect()),
+            ],
+            4,
+        )
+    }
+
+    fn server(rows: u64) -> SeabedServer {
+        SeabedServer::new(test_table(rows), Cluster::new(ClusterConfig::with_workers(8)))
+    }
+
+    fn sum_query(group_by: Vec<GroupByColumn>, inflation: u32) -> TranslatedQuery {
+        TranslatedQuery {
+            base_table: "t".to_string(),
+            filters: vec![],
+            aggregates: vec![ServerAggregate::AsheSum { column: "m__ashe".to_string() }, ServerAggregate::CountRows],
+            group_by,
+            group_inflation: inflation,
+            client_post: vec![],
+            preserve_row_ids: true,
+            category: SupportCategory::ServerOnly,
+        }
+    }
+
+    #[test]
+    fn global_sum_over_all_rows() {
+        let s = server(1000);
+        let resp = s.execute(&sum_query(vec![], 1), &[]).unwrap();
+        assert_eq!(resp.groups.len(), 1);
+        match &resp.groups[0].aggregates[0] {
+            EncryptedAggregate::AsheSum { value, id_list, encoding } => {
+                assert_eq!(*value, (1..=1000u64).sum::<u64>());
+                let ids = IdSet::decode(id_list, *encoding).unwrap();
+                assert_eq!(ids.count(), 1000);
+                assert_eq!(ids.run_count(), 1, "contiguous selection is one run");
+            }
+            other => panic!("unexpected aggregate {other:?}"),
+        }
+        match &resp.groups[0].aggregates[1] {
+            EncryptedAggregate::Count { rows } => assert_eq!(*rows, 1000),
+            other => panic!("unexpected aggregate {other:?}"),
+        }
+        assert!(resp.result_bytes > 0);
+    }
+
+    #[test]
+    fn filtered_sum_respects_predicates() {
+        let s = server(1000);
+        let filters = vec![PhysicalFilter::PlainU64 {
+            column: 0,
+            op: CompareOp::Eq,
+            value: 1,
+        }];
+        let resp = s.execute(&sum_query(vec![], 1), &filters).unwrap();
+        match &resp.groups[0].aggregates[0] {
+            EncryptedAggregate::AsheSum { value, .. } => {
+                let expected: u64 = (0..1000u64).filter(|i| i % 2 == 1).map(|i| i + 1).sum();
+                assert_eq!(*value, expected);
+            }
+            other => panic!("unexpected aggregate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn det_tag_filter() {
+        let s = server(100);
+        let filters = vec![PhysicalFilter::DetTag { column: 2, tag: 103 }];
+        let resp = s.execute(&sum_query(vec![], 1), &filters).unwrap();
+        match &resp.groups[0].aggregates[1] {
+            EncryptedAggregate::Count { rows } => assert_eq!(*rows, 20),
+            other => panic!("unexpected aggregate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_by_with_and_without_inflation() {
+        let s = server(1000);
+        let group = vec![GroupByColumn {
+            column: "g".to_string(),
+            physical_column: "g__det".to_string(),
+            encrypted: true,
+        }];
+        let plain = s.execute(&sum_query(group.clone(), 1), &[]).unwrap();
+        assert_eq!(plain.groups.len(), 5);
+        let inflated = s.execute(&sum_query(group, 10), &[]).unwrap();
+        assert_eq!(inflated.groups.len(), 50, "5 groups × 10-way inflation");
+        // Sum across inflated groups equals the plain total.
+        let total = |resp: &ServerResponse| -> u64 {
+            resp.groups
+                .iter()
+                .map(|g| match &g.aggregates[0] {
+                    EncryptedAggregate::AsheSum { value, .. } => *value,
+                    _ => 0,
+                })
+                .fold(0u64, |a, b| a.wrapping_add(b))
+        };
+        assert_eq!(total(&plain), total(&inflated));
+    }
+
+    #[test]
+    fn empty_selection_returns_zero_group() {
+        let s = server(50);
+        let filters = vec![PhysicalFilter::PlainU64 { column: 0, op: CompareOp::Gt, value: 100 }];
+        let resp = s.execute(&sum_query(vec![], 1), &filters).unwrap();
+        assert_eq!(resp.groups.len(), 1);
+        match &resp.groups[0].aggregates[1] {
+            EncryptedAggregate::Count { rows } => assert_eq!(*rows, 0),
+            other => panic!("unexpected aggregate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let s = server(10);
+        let mut q = sum_query(vec![], 1);
+        q.aggregates = vec![ServerAggregate::AsheSum { column: "missing".to_string() }];
+        assert!(s.execute(&q, &[]).is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! Software AES-128 / AES-256 block cipher and CTR-mode keystream.
+//!
+//! Seabed evaluates its pseudo-random function `F_k` with hardware-accelerated
+//! AES (Intel AES-NI) on the client; this repository uses a portable,
+//! table-free software implementation of the same cipher. Absolute per-block
+//! cost is higher than AES-NI (documented in EXPERIMENTS.md), but every code
+//! path that depends on AES — ASHE's PRF, deterministic encryption, and the
+//! ORE scheme's per-bit PRF — exercises the identical algorithm.
+//!
+//! The implementation intentionally avoids large lookup tables beyond the
+//! S-box so that the constant-time properties are easy to reason about, and it
+//! exposes the [`Aes128`] / [`Aes256`] block primitives plus an [`AesCtr`]
+//! keystream used both as a PRF and as a randomized stream cipher.
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Round constants for the key schedule.
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1).wrapping_mul(0x1b))
+}
+
+#[inline]
+fn sub_word(w: [u8; 4]) -> [u8; 4] {
+    [
+        SBOX[w[0] as usize],
+        SBOX[w[1] as usize],
+        SBOX[w[2] as usize],
+        SBOX[w[3] as usize],
+    ]
+}
+
+#[inline]
+fn rot_word(w: [u8; 4]) -> [u8; 4] {
+    [w[1], w[2], w[3], w[0]]
+}
+
+fn add_round_key(state: &mut [u8; 16], round_key: &[u8]) {
+    for (s, k) in state.iter_mut().zip(round_key.iter()) {
+        *s ^= *k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    // state is column-major: state[4*c + r]
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let a0 = state[4 * c];
+        let a1 = state[4 * c + 1];
+        let a2 = state[4 * c + 2];
+        let a3 = state[4 * c + 3];
+        state[4 * c] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+        state[4 * c + 1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+        state[4 * c + 2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+        state[4 * c + 3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+    }
+}
+
+/// Expands a key of `NK` 32-bit words into `ROUNDS + 1` round keys.
+fn key_expansion(key: &[u8], nk: usize, rounds: usize) -> Vec<u8> {
+    let total_words = 4 * (rounds + 1);
+    let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+    for i in 0..nk {
+        w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    for i in nk..total_words {
+        let mut temp = w[i - 1];
+        if i % nk == 0 {
+            temp = sub_word(rot_word(temp));
+            temp[0] ^= RCON[i / nk];
+        } else if nk > 6 && i % nk == 4 {
+            temp = sub_word(temp);
+        }
+        let prev = w[i - nk];
+        w.push([
+            prev[0] ^ temp[0],
+            prev[1] ^ temp[1],
+            prev[2] ^ temp[2],
+            prev[3] ^ temp[3],
+        ]);
+    }
+    w.into_iter().flatten().collect()
+}
+
+fn encrypt_block_generic(round_keys: &[u8], rounds: usize, block: &[u8; 16]) -> [u8; 16] {
+    let mut state = *block;
+    add_round_key(&mut state, &round_keys[..16]);
+    for round in 1..rounds {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, &round_keys[16 * round..16 * (round + 1)]);
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut state, &round_keys[16 * rounds..16 * (rounds + 1)]);
+    state
+}
+
+/// AES-128 block cipher (encryption direction only; Seabed uses AES as a PRF
+/// in counter mode, so the inverse cipher is never needed).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: Vec<u8>,
+}
+
+impl Aes128 {
+    /// Number of rounds for AES-128.
+    pub const ROUNDS: usize = 10;
+
+    /// Creates a cipher from a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        Aes128 {
+            round_keys: key_expansion(key, 4, Self::ROUNDS),
+        }
+    }
+
+    /// Encrypts a single 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        encrypt_block_generic(&self.round_keys, Self::ROUNDS, block)
+    }
+}
+
+/// AES-256 block cipher (encryption direction only).
+#[derive(Clone)]
+pub struct Aes256 {
+    round_keys: Vec<u8>,
+}
+
+impl Aes256 {
+    /// Number of rounds for AES-256.
+    pub const ROUNDS: usize = 14;
+
+    /// Creates a cipher from a 32-byte key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        Aes256 {
+            round_keys: key_expansion(key, 8, Self::ROUNDS),
+        }
+    }
+
+    /// Encrypts a single 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        encrypt_block_generic(&self.round_keys, Self::ROUNDS, block)
+    }
+}
+
+/// AES-128 in counter mode.
+///
+/// This is the workhorse primitive of Seabed's client: one AES-CTR block
+/// yields 128 pseudo-random bits, which the encryption module splits into two
+/// 64-bit (or four 32-bit) masks — the "one AES operation generates multiple
+/// ciphertexts" optimisation of Section 4.3.
+#[derive(Clone)]
+pub struct AesCtr {
+    cipher: Aes128,
+    nonce: u64,
+}
+
+impl AesCtr {
+    /// Creates a CTR keystream with the given key and 64-bit nonce.
+    pub fn new(key: &[u8; 16], nonce: u64) -> Self {
+        AesCtr {
+            cipher: Aes128::new(key),
+            nonce,
+        }
+    }
+
+    /// Returns the 128-bit keystream block for counter value `counter`.
+    pub fn keystream_block(&self, counter: u64) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&self.nonce.to_be_bytes());
+        block[8..].copy_from_slice(&counter.to_be_bytes());
+        self.cipher.encrypt_block(&block)
+    }
+
+    /// Returns two 64-bit pseudo-random words from a single AES operation.
+    pub fn keystream_u64x2(&self, counter: u64) -> [u64; 2] {
+        let block = self.keystream_block(counter);
+        [
+            u64::from_be_bytes(block[..8].try_into().unwrap()),
+            u64::from_be_bytes(block[8..].try_into().unwrap()),
+        ]
+    }
+
+    /// XORs the keystream into `data`, starting at block `counter`.
+    /// Returns the number of blocks consumed.
+    pub fn xor_keystream(&self, counter: u64, data: &mut [u8]) -> u64 {
+        let mut blocks = 0u64;
+        for (i, chunk) in data.chunks_mut(16).enumerate() {
+            let ks = self.keystream_block(counter + i as u64);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= *k;
+            }
+            blocks += 1;
+        }
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS-197 Appendix C.1 test vector.
+    #[test]
+    fn aes128_fips_vector() {
+        let key: [u8; 16] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let plaintext: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&plaintext), expected);
+    }
+
+    // FIPS-197 Appendix C.3 test vector (AES-256).
+    #[test]
+    fn aes256_fips_vector() {
+        let key: [u8; 32] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b,
+            0x1c, 0x1d, 0x1e, 0x1f,
+        ];
+        let plaintext: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: [u8; 16] = [
+            0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+            0x60, 0x89,
+        ];
+        let aes = Aes256::new(&key);
+        assert_eq!(aes.encrypt_block(&plaintext), expected);
+    }
+
+    // FIPS-197 Appendix B vector (different key/plaintext pair).
+    #[test]
+    fn aes128_appendix_b_vector() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plaintext: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&plaintext), expected);
+    }
+
+    #[test]
+    fn ctr_is_deterministic_and_counter_dependent() {
+        let ctr = AesCtr::new(&[7u8; 16], 42);
+        assert_eq!(ctr.keystream_block(0), ctr.keystream_block(0));
+        assert_ne!(ctr.keystream_block(0), ctr.keystream_block(1));
+        let other = AesCtr::new(&[8u8; 16], 42);
+        assert_ne!(ctr.keystream_block(0), other.keystream_block(0));
+    }
+
+    #[test]
+    fn ctr_two_words_per_block() {
+        let ctr = AesCtr::new(&[1u8; 16], 0);
+        let [a, b] = ctr.keystream_u64x2(5);
+        let block = ctr.keystream_block(5);
+        assert_eq!(a, u64::from_be_bytes(block[..8].try_into().unwrap()));
+        assert_eq!(b, u64::from_be_bytes(block[8..].try_into().unwrap()));
+    }
+
+    #[test]
+    fn ctr_xor_roundtrip() {
+        let ctr = AesCtr::new(&[3u8; 16], 99);
+        let mut data = b"seabed encrypts big data fast!!".to_vec();
+        let original = data.clone();
+        ctr.xor_keystream(0, &mut data);
+        assert_ne!(data, original);
+        ctr.xor_keystream(0, &mut data);
+        assert_eq!(data, original);
+    }
+}

@@ -1,0 +1,223 @@
+//! Order-revealing encryption (ORE) after Chenette, Lewi, Weis and Wu (FSE'16).
+//!
+//! Seabed needs range predicates over encrypted dimensions (e.g. timestamps).
+//! CryptDB's mutable OPE needs all plaintexts up front, which does not fit a
+//! continuously-growing dataset, so Seabed adopts the practical ORE of
+//! Chenette et al. (§4.2, Appendix A.3): each of the `n` plaintext bits is
+//! blinded by a PRF of the bit's *prefix*, reduced modulo 3.
+//!
+//! For an `n`-bit message `m = b_1 b_2 … b_n` (most-significant first) the
+//! ciphertext is `(u_1, …, u_n)` with
+//!
+//! ```text
+//! u_i = ( F(k, (i, b_1 … b_{i-1} ‖ 0^{n-i})) + b_i ) mod 3
+//! ```
+//!
+//! Comparison finds the first index where two ciphertexts differ; whether the
+//! difference is `+1` or `+2` (mod 3) reveals which plaintext is larger. The
+//! leakage is exactly the order plus the index of the most significant
+//! differing bit — nothing else.
+
+use crate::aes::Aes128;
+use std::cmp::Ordering;
+
+/// Number of plaintext bits handled by [`OreScheme`]; Seabed's dimensions are
+/// at most 64-bit integers.
+pub const ORE_BITS: usize = 64;
+
+/// An ORE ciphertext: one mod-3 symbol per plaintext bit.
+///
+/// Each symbol is stored in a byte for simplicity; the packed form used for
+/// storage accounting is 2 bits per symbol (see [`OreCiphertext::packed_len`]).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct OreCiphertext {
+    /// The `u_i` symbols, most-significant bit first.
+    pub symbols: Vec<u8>,
+}
+
+impl OreCiphertext {
+    /// Length of the packed representation in bytes (2 bits per symbol).
+    pub fn packed_len(&self) -> usize {
+        self.symbols.len().div_ceil(4)
+    }
+
+    /// Compares two ciphertexts, returning the ordering of the underlying
+    /// plaintexts. Panics if the ciphertexts have different lengths (they were
+    /// produced by different schemes).
+    pub fn compare(&self, other: &Self) -> Ordering {
+        assert_eq!(
+            self.symbols.len(),
+            other.symbols.len(),
+            "cannot compare ORE ciphertexts of different widths"
+        );
+        for (a, b) in self.symbols.iter().zip(other.symbols.iter()) {
+            if a != b {
+                return if *a == (*b + 1) % 3 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                };
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Returns the index of the most significant differing bit between the two
+    /// underlying plaintexts, or `None` if they are equal. This is exactly the
+    /// scheme's defined leakage (`inddiff` in the paper's Appendix A.3).
+    pub fn diff_index(&self, other: &Self) -> Option<usize> {
+        self.symbols
+            .iter()
+            .zip(other.symbols.iter())
+            .position(|(a, b)| a != b)
+    }
+}
+
+/// The ORE scheme instance (one per order-encrypted column).
+#[derive(Clone)]
+pub struct OreScheme {
+    cipher: Aes128,
+}
+
+impl OreScheme {
+    /// Creates the scheme from a 16-byte PRF key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        OreScheme {
+            cipher: Aes128::new(key),
+        }
+    }
+
+    /// PRF over (bit index, prefix) producing a value mod 3.
+    fn prf_mod3(&self, index: usize, prefix: u64) -> u8 {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&(index as u64).to_be_bytes());
+        block[8..].copy_from_slice(&prefix.to_be_bytes());
+        let out = self.cipher.encrypt_block(&block);
+        // Use 64 bits of the output; the bias of reducing a uniform 64-bit
+        // value mod 3 is negligible (< 2^-62).
+        (u64::from_be_bytes(out[..8].try_into().unwrap()) % 3) as u8
+    }
+
+    /// Encrypts a 64-bit value.
+    pub fn encrypt(&self, m: u64) -> OreCiphertext {
+        let mut symbols = Vec::with_capacity(ORE_BITS);
+        let mut prefix: u64 = 0;
+        for i in 0..ORE_BITS {
+            let bit = ((m >> (ORE_BITS - 1 - i)) & 1) as u8;
+            // prefix holds bits b_1..b_{i-1} left-aligned, remaining bits zero.
+            let u = (self.prf_mod3(i, prefix) + bit) % 3;
+            symbols.push(u);
+            prefix |= (bit as u64) << (ORE_BITS - 1 - i);
+        }
+        OreCiphertext { symbols }
+    }
+
+    /// Encrypts a signed value by mapping it to an order-preserving unsigned
+    /// representation (offset by 2^63).
+    pub fn encrypt_i64(&self, m: i64) -> OreCiphertext {
+        self.encrypt((m as u64) ^ (1u64 << 63))
+    }
+
+    /// Convenience comparison of two plaintexts through their encryptions.
+    pub fn compare_plain(&self, a: u64, b: u64) -> Ordering {
+        self.encrypt(a).compare(&self.encrypt(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> OreScheme {
+        OreScheme::new(&[77u8; 16])
+    }
+
+    #[test]
+    fn order_is_revealed_correctly() {
+        let s = scheme();
+        let pairs = [
+            (0u64, 1u64),
+            (1, 2),
+            (5, 500),
+            (999, 1000),
+            (u64::MAX - 1, u64::MAX),
+            (0, u64::MAX),
+            (1 << 40, (1 << 40) + 1),
+        ];
+        for (lo, hi) in pairs {
+            assert_eq!(s.encrypt(lo).compare(&s.encrypt(hi)), Ordering::Less);
+            assert_eq!(s.encrypt(hi).compare(&s.encrypt(lo)), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn equal_plaintexts_compare_equal() {
+        let s = scheme();
+        for v in [0u64, 7, 1 << 33, u64::MAX] {
+            assert_eq!(s.encrypt(v).compare(&s.encrypt(v)), Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn encryption_is_deterministic_per_key() {
+        let s = scheme();
+        assert_eq!(s.encrypt(12345), s.encrypt(12345));
+        let other = OreScheme::new(&[78u8; 16]);
+        assert_ne!(s.encrypt(12345), other.encrypt(12345));
+    }
+
+    #[test]
+    fn leakage_is_first_differing_bit() {
+        let s = scheme();
+        // 0b1000 and 0b1011 first differ at bit position 64-4+1 = index 61 (0-based
+        // from the most significant bit: 62).
+        let a = s.encrypt(0b1000);
+        let b = s.encrypt(0b1011);
+        let idx = a.diff_index(&b).unwrap();
+        assert_eq!(idx, 62, "first differing bit of 8 vs 11 is bit value 2");
+        assert_eq!(a.diff_index(&a), None);
+    }
+
+    #[test]
+    fn signed_encoding_preserves_order() {
+        let s = scheme();
+        let values = [-100i64, -1, 0, 1, 100, i64::MAX, i64::MIN];
+        for &a in &values {
+            for &b in &values {
+                let expected = a.cmp(&b);
+                assert_eq!(
+                    s.encrypt_i64(a).compare(&s.encrypt_i64(b)),
+                    expected,
+                    "comparing {a} and {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_range_total_order() {
+        let s = scheme();
+        let cts: Vec<OreCiphertext> = (0..64u64).map(|v| s.encrypt(v)).collect();
+        for i in 0..64usize {
+            for j in 0..64usize {
+                assert_eq!(cts[i].compare(&cts[j]), i.cmp(&j), "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_len_is_sixteen_bytes_for_u64() {
+        let s = scheme();
+        assert_eq!(s.encrypt(42).packed_len(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_widths_panic() {
+        let s = scheme();
+        let mut a = s.encrypt(1);
+        let b = s.encrypt(2);
+        a.symbols.pop();
+        let _ = a.compare(&b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Bit-level I/O used by the Huffman coder.
+
+/// Writes bits least-significant-bit first into a byte vector.
+#[derive(Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    current: u8,
+    filled: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `count` bits of `bits` (LSB first).
+    pub fn write_bits(&mut self, bits: u32, count: u8) {
+        debug_assert!(count <= 32);
+        for i in 0..count {
+            let bit = ((bits >> i) & 1) as u8;
+            self.current |= bit << self.filled;
+            self.filled += 1;
+            if self.filled == 8 {
+                self.buf.push(self.current);
+                self.current = 0;
+                self.filled = 0;
+            }
+        }
+    }
+
+    /// Writes a Huffman code whose bits are stored most-significant-bit first
+    /// (the canonical-code convention).
+    pub fn write_code(&mut self, code: u32, len: u8) {
+        for i in (0..len).rev() {
+            self.write_bits((code >> i) & 1, 1);
+        }
+    }
+
+    /// Flushes any partial byte and returns the accumulated buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.buf.push(self.current);
+        }
+        self.buf
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.filled as usize
+    }
+}
+
+/// Reads bits in the same order [`BitWriter`] produces them.
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    byte_pos: usize,
+    bit_pos: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            byte_pos: 0,
+            bit_pos: 0,
+        }
+    }
+
+    /// Reads a single bit; `None` at end of input.
+    pub fn read_bit(&mut self) -> Option<u8> {
+        let byte = *self.data.get(self.byte_pos)?;
+        let bit = (byte >> self.bit_pos) & 1;
+        self.bit_pos += 1;
+        if self.bit_pos == 8 {
+            self.bit_pos = 0;
+            self.byte_pos += 1;
+        }
+        Some(bit)
+    }
+
+    /// Reads `count` bits LSB-first.
+    pub fn read_bits(&mut self, count: u8) -> Option<u32> {
+        let mut out = 0u32;
+        for i in 0..count {
+            out |= (self.read_bit()? as u32) << i;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xffff, 16);
+        w.write_bits(0, 5);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(16), Some(0xffff));
+        assert_eq!(r.read_bits(5), Some(0));
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.write_bits(0b1111111, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn msb_first_codes_roundtrip_via_single_bits() {
+        let mut w = BitWriter::new();
+        w.write_code(0b110, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit(), Some(1));
+        assert_eq!(r.read_bit(), Some(1));
+        assert_eq!(r.read_bit(), Some(0));
+    }
+
+    #[test]
+    fn reading_past_end_returns_none() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.read_bits(8), Some(0xff));
+        assert_eq!(r.read_bit(), None);
+    }
+}

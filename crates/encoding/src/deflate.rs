@@ -1,0 +1,306 @@
+//! DEFLATE-style compression: LZ77 tokens entropy-coded with canonical
+//! Huffman codes.
+//!
+//! Seabed applies standard compression on top of its range/diff/variable-byte
+//! ID-list encoding before results travel from workers to the driver and on to
+//! the client (§4.5). The paper compares a compact profile (better ratio,
+//! slower) against a fast profile and selects "Deflate optimised for speed";
+//! both are reproduced here as [`Level::Compact`] and [`Level::Fast`].
+//!
+//! The container format is self-describing but deliberately simple (it is not
+//! bit-compatible with RFC 1951): a one-byte header selects a stored or
+//! compressed block, compressed blocks carry the two Huffman code-length
+//! tables followed by the token bit stream, and a stored block falls back to
+//! the raw bytes whenever compression would not help.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{CodeBook, Decoder};
+use crate::lz77::{detokenize, tokenize, Profile, Token};
+
+/// Compression level, mirroring the two configurations in Figure 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Shallow LZ77 search ("Deflate (fast)").
+    Fast,
+    /// Deep LZ77 search with lazy matching ("Deflate (compact)").
+    Compact,
+}
+
+impl Level {
+    fn profile(&self) -> Profile {
+        match self {
+            Level::Fast => Profile::FAST,
+            Level::Compact => Profile::COMPACT,
+        }
+    }
+}
+
+const BLOCK_STORED: u8 = 0;
+const BLOCK_COMPRESSED: u8 = 1;
+
+/// Length-code table: (symbol base length, extra bits), DEFLATE-compatible.
+const LENGTH_CODES: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1), (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3), (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5), (258, 0),
+];
+
+/// Distance-code table: (base distance, extra bits), DEFLATE-compatible.
+const DIST_CODES: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4), (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8), (1025, 9), (1537, 9), (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11), (8193, 12), (12289, 12), (16385, 13), (24577, 13),
+];
+
+/// Number of literal/length symbols: 256 literals + 29 length codes.
+const LITLEN_SYMBOLS: usize = 256 + LENGTH_CODES.len();
+
+fn length_to_symbol(len: u16) -> (usize, u8, u32) {
+    for (i, &(base, extra)) in LENGTH_CODES.iter().enumerate().rev() {
+        if len >= base {
+            return (256 + i, extra, (len - base) as u32);
+        }
+    }
+    unreachable!("length below MIN_MATCH")
+}
+
+fn dist_to_symbol(dist: u16) -> (usize, u8, u32) {
+    for (i, &(base, extra)) in DIST_CODES.iter().enumerate().rev() {
+        if dist >= base {
+            return (i, extra, (dist - base) as u32);
+        }
+    }
+    unreachable!("distance below 1")
+}
+
+fn pack_lengths(lengths: &[u8], out: &mut Vec<u8>) {
+    // Two 4-bit lengths per byte; MAX_CODE_LEN is 15 so they fit.
+    let mut iter = lengths.chunks(2);
+    for chunk in &mut iter {
+        let lo = chunk[0] & 0x0f;
+        let hi = chunk.get(1).copied().unwrap_or(0) & 0x0f;
+        out.push(lo | (hi << 4));
+    }
+}
+
+fn unpack_lengths(data: &[u8], count: usize) -> Option<(Vec<u8>, usize)> {
+    let bytes_needed = count.div_ceil(2);
+    if data.len() < bytes_needed {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let byte = data[i / 2];
+        out.push(if i % 2 == 0 { byte & 0x0f } else { byte >> 4 });
+    }
+    Some((out, bytes_needed))
+}
+
+/// Compresses `data` at the given level.
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let tokens = tokenize(data, &level.profile());
+
+    // Gather symbol frequencies.
+    let mut litlen_freq = vec![0u64; LITLEN_SYMBOLS];
+    let mut dist_freq = vec![0u64; DIST_CODES.len()];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => litlen_freq[b as usize] += 1,
+            Token::Match { length, distance } => {
+                litlen_freq[length_to_symbol(length).0] += 1;
+                dist_freq[dist_to_symbol(distance).0] += 1;
+            }
+        }
+    }
+    let litlen_book = CodeBook::from_frequencies(&litlen_freq);
+    let dist_book = CodeBook::from_frequencies(&dist_freq);
+
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    out.push(BLOCK_COMPRESSED);
+    // Original length and token count as little-endian u32 (ID lists and
+    // serialized results are far below 4 GiB per block).
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(tokens.len() as u32).to_le_bytes());
+    pack_lengths(&litlen_book.lengths, &mut out);
+    pack_lengths(&dist_book.lengths, &mut out);
+
+    let mut writer = BitWriter::new();
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => litlen_book.encode_symbol(b as usize, &mut writer),
+            Token::Match { length, distance } => {
+                let (sym, extra, extra_bits) = length_to_symbol(length);
+                litlen_book.encode_symbol(sym, &mut writer);
+                writer.write_bits(extra_bits, extra);
+                let (dsym, dextra, dextra_bits) = dist_to_symbol(distance);
+                dist_book.encode_symbol(dsym, &mut writer);
+                writer.write_bits(dextra_bits, dextra);
+            }
+        }
+    }
+    out.extend_from_slice(&writer.finish());
+
+    if out.len() >= data.len() + 1 {
+        // Compression did not pay off; emit a stored block.
+        let mut stored = Vec::with_capacity(data.len() + 5);
+        stored.push(BLOCK_STORED);
+        stored.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        stored.extend_from_slice(data);
+        return stored;
+    }
+    out
+}
+
+/// Decompresses data produced by [`compress`]. Returns `None` on malformed
+/// input.
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let (&kind, rest) = data.split_first()?;
+    match kind {
+        BLOCK_STORED => {
+            if rest.len() < 4 {
+                return None;
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            let body = &rest[4..];
+            if body.len() != len {
+                return None;
+            }
+            Some(body.to_vec())
+        }
+        BLOCK_COMPRESSED => {
+            if rest.len() < 8 {
+                return None;
+            }
+            let orig_len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            let n_tokens = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as usize;
+            let mut pos = 8;
+            let (litlen_lengths, used) = unpack_lengths(&rest[pos..], LITLEN_SYMBOLS)?;
+            pos += used;
+            let (dist_lengths, used) = unpack_lengths(&rest[pos..], DIST_CODES.len())?;
+            pos += used;
+            let litlen_book = CodeBook::from_lengths(litlen_lengths)?;
+            let dist_book = CodeBook::from_lengths(dist_lengths)?;
+            let litlen_dec = Decoder::new(&litlen_book);
+            let dist_dec = Decoder::new(&dist_book);
+
+            let mut reader = BitReader::new(&rest[pos..]);
+            let mut tokens = Vec::with_capacity(n_tokens);
+            for _ in 0..n_tokens {
+                let sym = litlen_dec.decode_symbol(&mut reader)? as usize;
+                if sym < 256 {
+                    tokens.push(Token::Literal(sym as u8));
+                } else {
+                    let (base, extra) = LENGTH_CODES[sym - 256];
+                    let length = base + reader.read_bits(extra)? as u16;
+                    let dsym = dist_dec.decode_symbol(&mut reader)? as usize;
+                    let (dbase, dextra) = *DIST_CODES.get(dsym)?;
+                    let distance = dbase + reader.read_bits(dextra)? as u16;
+                    tokens.push(Token::Match { length, distance });
+                }
+            }
+            let out = detokenize(&tokens);
+            if out.len() != orig_len {
+                return None;
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Convenience: compressed size of `data` at `level` without keeping the
+/// output (used by the Figure 8 harness to report result sizes).
+pub fn compressed_len(data: &[u8], level: Level) -> usize {
+    compress(data, level).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        for level in [Level::Fast, Level::Compact] {
+            let c = compress(data, level);
+            assert_eq!(decompress(&c).as_deref(), Some(data), "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn short_inputs_use_stored_blocks() {
+        let data = b"hi";
+        let c = compress(data, Level::Fast);
+        assert_eq!(c[0], BLOCK_STORED);
+        assert_eq!(decompress(&c).as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data: Vec<u8> = b"0123456789".iter().cycle().take(50_000).cloned().collect();
+        let c = compress(&data, Level::Compact);
+        assert!(c.len() < data.len() / 10, "got {} bytes for {}", c.len(), data.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn text_like_data_roundtrips() {
+        let mut data = Vec::new();
+        for i in 0..3000 {
+            data.extend_from_slice(format!("user={} country=C{} revenue={}\n", i, i % 37, i * 13).as_bytes());
+        }
+        roundtrip(&data);
+        let c = compress(&data, Level::Compact);
+        assert!(c.len() < data.len() / 2);
+    }
+
+    #[test]
+    fn incompressible_data_does_not_blow_up() {
+        // Pseudo-random bytes: stored fallback keeps overhead to 5 bytes.
+        let data: Vec<u8> = (0..10_000u64)
+            .map(|i| (i.wrapping_mul(0x9e3779b97f4a7c15) >> 33) as u8)
+            .collect();
+        let c = compress(&data, Level::Fast);
+        assert!(c.len() <= data.len() + 5);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn compact_no_larger_than_fast_on_structured_data() {
+        let mut data = Vec::new();
+        for i in 0..5000u32 {
+            data.extend_from_slice(&(i / 3).to_le_bytes());
+        }
+        let fast = compress(&data, Level::Fast);
+        let compact = compress(&data, Level::Compact);
+        assert!(compact.len() <= fast.len() + 8);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupted_input_is_rejected_not_panicking() {
+        let data: Vec<u8> = b"seabed".iter().cycle().take(5000).cloned().collect();
+        let mut c = compress(&data, Level::Fast);
+        // Truncate the bit stream.
+        c.truncate(c.len() / 2);
+        assert!(decompress(&c).is_none());
+        // Unknown block type.
+        assert!(decompress(&[9, 0, 0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn varbyte_encoded_id_lists_compress() {
+        // Simulates the actual Seabed payload: VB+diff encoded ID lists with
+        // mostly-small deltas compress further under deflate.
+        let deltas: Vec<u64> = (0..20_000).map(|i| if i % 100 == 0 { 1000 } else { 1 }).collect();
+        let payload = crate::varint::encode_all(&deltas);
+        let c = compress(&payload, Level::Fast);
+        assert!(c.len() < payload.len());
+        assert_eq!(decompress(&c).unwrap(), payload);
+    }
+}

@@ -1,0 +1,276 @@
+//! LZ77 match finding with hash chains.
+//!
+//! The compressor has two profiles mirroring the "Deflate (fast)" and
+//! "Deflate (compact)" configurations compared in Figure 8 of the paper:
+//! the fast profile bounds the number of hash-chain probes per position, the
+//! compact profile searches much deeper and enables lazy matching.
+
+/// Size of the sliding window (32 KiB, as in DEFLATE).
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Minimum match length worth emitting.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length.
+pub const MAX_MATCH: usize = 258;
+
+/// One LZ77 token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `length` bytes starting `distance` bytes back.
+    Match {
+        /// Number of bytes to copy (MIN_MATCH..=MAX_MATCH).
+        length: u16,
+        /// Distance back into the already-produced output (1..=WINDOW_SIZE).
+        distance: u16,
+    },
+}
+
+/// Compression effort profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Profile {
+    /// Maximum hash-chain positions examined per input position.
+    pub max_chain: usize,
+    /// Stop searching once a match at least this long is found.
+    pub good_match: usize,
+    /// Whether to defer emitting a match by one byte if the next position has
+    /// a longer one (lazy matching).
+    pub lazy: bool,
+}
+
+impl Profile {
+    /// Fast profile: shallow search, no lazy matching ("Deflate (fast)").
+    pub const FAST: Profile = Profile {
+        max_chain: 8,
+        good_match: 32,
+        lazy: false,
+    };
+    /// Compact profile: deep search with lazy matching ("Deflate (compact)").
+    pub const COMPACT: Profile = Profile {
+        max_chain: 256,
+        good_match: MAX_MATCH,
+        lazy: true,
+    };
+}
+
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let a = data[pos] as u32;
+    let b = data[pos + 1] as u32;
+    let c = data[pos + 2] as u32;
+    (((a << 16) ^ (b << 8) ^ c).wrapping_mul(2654435761) >> 17) as usize & (HASH_SIZE - 1)
+}
+
+const HASH_SIZE: usize = 1 << 15;
+
+struct Matcher<'a> {
+    data: &'a [u8],
+    head: Vec<i64>,
+    prev: Vec<i64>,
+}
+
+impl<'a> Matcher<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Matcher {
+            data,
+            head: vec![-1; HASH_SIZE],
+            prev: vec![-1; data.len()],
+        }
+    }
+
+    fn insert(&mut self, pos: usize) {
+        if pos + MIN_MATCH > self.data.len() {
+            return;
+        }
+        let h = hash3(self.data, pos);
+        self.prev[pos] = self.head[h];
+        self.head[h] = pos as i64;
+    }
+
+    /// Finds the longest match for the data at `pos`, returning (length, distance).
+    fn find_match(&self, pos: usize, profile: &Profile) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > self.data.len() {
+            return None;
+        }
+        let h = hash3(self.data, pos);
+        let mut candidate = self.head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let max_len = MAX_MATCH.min(self.data.len() - pos);
+        let mut chain = 0;
+        while candidate >= 0 && chain < profile.max_chain {
+            let cand = candidate as usize;
+            if pos - cand > WINDOW_SIZE {
+                break;
+            }
+            if cand < pos {
+                let mut len = 0usize;
+                while len < max_len && self.data[cand + len] == self.data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - cand;
+                    if len >= profile.good_match {
+                        break;
+                    }
+                }
+            }
+            candidate = self.prev[cand];
+            chain += 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+}
+
+/// Tokenizes `data` into LZ77 literals and matches.
+pub fn tokenize(data: &[u8], profile: &Profile) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 2 + 16);
+    let mut matcher = Matcher::new(data);
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let current = matcher.find_match(pos, profile);
+        let mut emit = current;
+        if profile.lazy {
+            if let Some((len, _)) = current {
+                // Peek at the next position: if it has a strictly longer
+                // match, emit this byte as a literal instead.
+                matcher.insert(pos);
+                if pos + 1 < data.len() {
+                    if let Some((next_len, _)) = matcher.find_match(pos + 1, profile) {
+                        if next_len > len {
+                            emit = None;
+                        }
+                    }
+                }
+                match emit {
+                    None => {
+                        tokens.push(Token::Literal(data[pos]));
+                        pos += 1;
+                        continue;
+                    }
+                    Some((len, dist)) => {
+                        for p in pos + 1..(pos + len).min(data.len()) {
+                            matcher.insert(p);
+                        }
+                        tokens.push(Token::Match {
+                            length: len as u16,
+                            distance: dist as u16,
+                        });
+                        pos += len;
+                        continue;
+                    }
+                }
+            }
+        }
+        match emit {
+            Some((len, dist)) => {
+                for p in pos..(pos + len).min(data.len()) {
+                    matcher.insert(p);
+                }
+                tokens.push(Token::Match {
+                    length: len as u16,
+                    distance: dist as u16,
+                });
+                pos += len;
+            }
+            None => {
+                matcher.insert(pos);
+                tokens.push(Token::Literal(data[pos]));
+                pos += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Reconstructs the original bytes from a token stream.
+pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+    let mut out: Vec<u8> = Vec::new();
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => out.push(b),
+            Token::Match { length, distance } => {
+                let start = out.len() - distance as usize;
+                for i in 0..length as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], profile: &Profile) {
+        let tokens = tokenize(data, profile);
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for profile in [Profile::FAST, Profile::COMPACT] {
+            roundtrip(b"", &profile);
+            roundtrip(b"a", &profile);
+            roundtrip(b"ab", &profile);
+            roundtrip(b"abc", &profile);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_produces_matches() {
+        let data: Vec<u8> = b"seabed".iter().cycle().take(3000).cloned().collect();
+        let tokens = tokenize(&data, &Profile::COMPACT);
+        assert!(tokens.len() < 100, "expected heavy matching, got {} tokens", tokens.len());
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn overlapping_match_copy() {
+        // "aaaaa..." forces distance-1 matches with overlapping copies.
+        let data = vec![b'a'; 1000];
+        for profile in [Profile::FAST, Profile::COMPACT] {
+            roundtrip(&data, &profile);
+        }
+    }
+
+    #[test]
+    fn random_like_data_roundtrips() {
+        let data: Vec<u8> = (0..5000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for profile in [Profile::FAST, Profile::COMPACT] {
+            roundtrip(&data, &profile);
+        }
+    }
+
+    #[test]
+    fn compact_never_worse_than_fast_on_structured_data() {
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.extend_from_slice(format!("row-{},value-{};", i % 50, i % 7).as_bytes());
+        }
+        let fast = tokenize(&data, &Profile::FAST);
+        let compact = tokenize(&data, &Profile::COMPACT);
+        assert!(compact.len() <= fast.len());
+        assert_eq!(detokenize(&fast), data);
+        assert_eq!(detokenize(&compact), data);
+    }
+
+    #[test]
+    fn max_match_length_respected() {
+        let data = vec![b'x'; 10_000];
+        let tokens = tokenize(&data, &Profile::COMPACT);
+        for t in &tokens {
+            if let Token::Match { length, .. } = t {
+                assert!(*length as usize <= MAX_MATCH);
+            }
+        }
+        assert_eq!(detokenize(&tokens), data);
+    }
+}

@@ -1,0 +1,329 @@
+//! Cluster execution model: real parallel execution plus a simulated-cluster
+//! cost model.
+//!
+//! The paper runs Seabed on an Azure HDInsight cluster and sweeps the number
+//! of cores from 10 to 100 (Figure 7). This environment does not have 100
+//! cores, so the engine separates *doing the work* from *costing the work*:
+//!
+//! * every partition task is actually executed, on a local thread pool, and
+//!   its CPU time is measured;
+//! * the *simulated* server-side latency is then computed by list-scheduling
+//!   the measured task durations onto `workers` parallel slots, adding the
+//!   per-task scheduling overhead and (optionally) garbage-collection-style
+//!   stragglers the paper describes in §6.2.
+//!
+//! This reproduces the shapes of Figures 6, 7 and 9 — linear growth with data
+//! size, saturation once per-task overhead dominates, straggler sensitivity —
+//! while remaining faithful to the real per-row computation costs, which are
+//! measured rather than modeled.
+
+use crate::table::{Partition, Table};
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// Configuration of the (simulated) cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of simulated worker cores (the x-axis of Figure 7).
+    pub workers: usize,
+    /// Number of OS threads used to actually execute tasks.
+    pub local_threads: usize,
+    /// Fixed per-task scheduling/launch overhead (Spark task creation cost;
+    /// this is what makes NoEnc latency flat at ~0.6 s in Figure 6).
+    pub task_overhead: Duration,
+    /// Probability that a task becomes a straggler (§6.2 attributes these to
+    /// garbage collection).
+    pub straggler_probability: f64,
+    /// Multiplicative slowdown applied to straggler tasks.
+    pub straggler_factor: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 100,
+            local_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            task_overhead: Duration::from_millis(5),
+            straggler_probability: 0.0,
+            straggler_factor: 4.0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A convenience constructor fixing the simulated worker count.
+    pub fn with_workers(workers: usize) -> ClusterConfig {
+        ClusterConfig {
+            workers,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+/// Statistics of one distributed stage.
+#[derive(Clone, Debug, Default)]
+pub struct ExecStats {
+    /// Number of tasks (= partitions) executed.
+    pub tasks: usize,
+    /// Total CPU time across all tasks.
+    pub total_task_time: Duration,
+    /// Longest single task.
+    pub max_task_time: Duration,
+    /// Simulated makespan on `workers` slots including per-task overhead and
+    /// stragglers: the "server-side latency" of Figures 6–9.
+    pub simulated_server_time: Duration,
+    /// Bytes the tasks reported shipping to the driver (partial results /
+    /// shuffle output).
+    pub bytes_to_driver: usize,
+    /// Wall-clock time the real execution took on the local thread pool.
+    pub wall_time: Duration,
+}
+
+impl ExecStats {
+    /// Merges statistics from a second stage run as part of the same query
+    /// (e.g. a map stage followed by a reduce stage).
+    pub fn merge(&self, other: &ExecStats) -> ExecStats {
+        ExecStats {
+            tasks: self.tasks + other.tasks,
+            total_task_time: self.total_task_time + other.total_task_time,
+            max_task_time: self.max_task_time.max(other.max_task_time),
+            simulated_server_time: self.simulated_server_time + other.simulated_server_time,
+            bytes_to_driver: self.bytes_to_driver + other.bytes_to_driver,
+            wall_time: self.wall_time + other.wall_time,
+        }
+    }
+}
+
+/// The output of one partition task: a value plus the number of bytes the
+/// task would ship to the driver.
+pub struct TaskOutput<R> {
+    /// The task's partial result.
+    pub value: R,
+    /// Serialized size of the partial result in bytes.
+    pub bytes: usize,
+}
+
+impl<R> TaskOutput<R> {
+    /// Creates a task output with an explicit byte size.
+    pub fn new(value: R, bytes: usize) -> Self {
+        TaskOutput { value, bytes }
+    }
+}
+
+/// A simulated cluster that executes partition tasks.
+#[derive(Clone, Debug, Default)]
+pub struct Cluster {
+    /// The cluster configuration.
+    pub config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Creates a cluster with the given configuration.
+    pub fn new(config: ClusterConfig) -> Cluster {
+        Cluster { config }
+    }
+
+    /// Runs `task` once per partition of `table`, in parallel on the local
+    /// thread pool, and returns the partial results in partition order along
+    /// with execution statistics.
+    pub fn run<R, F>(&self, table: &Table, task: F) -> (Vec<R>, ExecStats)
+    where
+        R: Send,
+        F: Fn(&Partition) -> TaskOutput<R> + Sync,
+    {
+        let started = Instant::now();
+        let n = table.partitions.len();
+        let mut results: Vec<Option<(R, usize, Duration)>> = (0..n).map(|_| None).collect();
+        let threads = self.config.local_threads.max(1).min(n.max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results_cells: Vec<parking_lot::Mutex<Option<(R, usize, Duration)>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let out = task(&table.partitions[idx]);
+                    let elapsed = t0.elapsed();
+                    *results_cells[idx].lock() = Some((out.value, out.bytes, elapsed));
+                });
+            }
+        });
+        for (slot, cell) in results.iter_mut().zip(results_cells) {
+            *slot = cell.into_inner();
+        }
+        let wall_time = started.elapsed();
+
+        let mut task_times = Vec::with_capacity(n);
+        let mut outputs = Vec::with_capacity(n);
+        let mut bytes_to_driver = 0usize;
+        for slot in results {
+            let (value, bytes, elapsed) = slot.expect("task did not run");
+            task_times.push(elapsed);
+            bytes_to_driver += bytes;
+            outputs.push(value);
+        }
+        let stats = self.cost_model(&task_times, bytes_to_driver, wall_time);
+        (outputs, stats)
+    }
+
+    /// Computes the simulated makespan for a set of measured task durations.
+    fn cost_model(&self, task_times: &[Duration], bytes_to_driver: usize, wall_time: Duration) -> ExecStats {
+        let mut rng = rand::rng();
+        let workers = self.config.workers.max(1);
+        // Worker slots as accumulated busy time; tasks are list-scheduled in
+        // submission order, which is how Spark assigns partitions to executors.
+        let mut slots = vec![Duration::ZERO; workers];
+        let mut total = Duration::ZERO;
+        let mut max_task = Duration::ZERO;
+        for &t in task_times {
+            let mut effective = t + self.config.task_overhead;
+            if self.config.straggler_probability > 0.0
+                && rng.random::<f64>() < self.config.straggler_probability
+            {
+                effective = Duration::from_secs_f64(effective.as_secs_f64() * self.config.straggler_factor);
+            }
+            total += t;
+            max_task = max_task.max(t);
+            // Assign to the least-loaded slot.
+            let slot = slots
+                .iter_mut()
+                .min_by_key(|d| **d)
+                .expect("at least one worker");
+            *slot += effective;
+        }
+        let makespan = slots.into_iter().max().unwrap_or(Duration::ZERO);
+        ExecStats {
+            tasks: task_times.len(),
+            total_task_time: total,
+            max_task_time: max_task,
+            simulated_server_time: makespan,
+            bytes_to_driver,
+            wall_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ColumnData, ColumnType, Schema, Table};
+
+    fn table(rows: usize, partitions: usize) -> Table {
+        let schema = Schema::new([("v".to_string(), ColumnType::UInt64)]);
+        Table::from_columns(
+            schema,
+            vec![ColumnData::UInt64((0..rows as u64).collect())],
+            partitions,
+        )
+    }
+
+    #[test]
+    fn run_returns_results_in_partition_order() {
+        let t = table(1000, 8);
+        let cluster = Cluster::default();
+        let (results, stats) = cluster.run(&t, |p| {
+            let sum: u64 = p.column(0).as_u64().iter().sum();
+            TaskOutput::new((p.start_row, sum), 8)
+        });
+        assert_eq!(results.len(), 8);
+        assert!(results.windows(2).all(|w| w[0].0 < w[1].0), "partition order preserved");
+        let total: u64 = results.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, (0..1000u64).sum());
+        assert_eq!(stats.tasks, 8);
+        assert_eq!(stats.bytes_to_driver, 64);
+    }
+
+    #[test]
+    fn simulated_time_includes_task_overhead() {
+        let t = table(100, 10);
+        let mut config = ClusterConfig::with_workers(1);
+        config.task_overhead = Duration::from_millis(50);
+        let cluster = Cluster::new(config);
+        let (_, stats) = cluster.run(&t, |_| TaskOutput::new((), 0));
+        // 10 tasks on 1 worker, each with 50 ms overhead -> at least 500 ms.
+        assert!(stats.simulated_server_time >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn more_workers_reduce_simulated_time() {
+        let t = table(200_000, 64);
+        let run_with = |workers: usize| {
+            let mut config = ClusterConfig::with_workers(workers);
+            config.task_overhead = Duration::from_millis(2);
+            let cluster = Cluster::new(config);
+            let (_, stats) = cluster.run(&t, |p| {
+                // Do genuine work so task durations are non-trivial.
+                let mut acc = 0u64;
+                for &v in p.column(0).as_u64() {
+                    acc = acc.wrapping_add(v.wrapping_mul(2654435761));
+                }
+                TaskOutput::new(acc, 8)
+            });
+            stats.simulated_server_time
+        };
+        let slow = run_with(2);
+        let fast = run_with(32);
+        assert!(fast < slow, "32 workers ({fast:?}) should beat 2 workers ({slow:?})");
+    }
+
+    #[test]
+    fn stragglers_inflate_makespan() {
+        let t = table(1000, 20);
+        let base = {
+            let mut c = ClusterConfig::with_workers(20);
+            c.task_overhead = Duration::from_millis(10);
+            c.straggler_probability = 0.0;
+            Cluster::new(c)
+        };
+        let strag = {
+            let mut c = ClusterConfig::with_workers(20);
+            c.task_overhead = Duration::from_millis(10);
+            c.straggler_probability = 1.0;
+            c.straggler_factor = 5.0;
+            Cluster::new(c)
+        };
+        let (_, s1) = base.run(&t, |_| TaskOutput::new((), 0));
+        let (_, s2) = strag.run(&t, |_| TaskOutput::new((), 0));
+        assert!(s2.simulated_server_time > s1.simulated_server_time);
+    }
+
+    #[test]
+    fn stats_merge_adds_up() {
+        let a = ExecStats {
+            tasks: 2,
+            total_task_time: Duration::from_millis(10),
+            max_task_time: Duration::from_millis(7),
+            simulated_server_time: Duration::from_millis(12),
+            bytes_to_driver: 100,
+            wall_time: Duration::from_millis(9),
+        };
+        let b = ExecStats {
+            tasks: 3,
+            total_task_time: Duration::from_millis(20),
+            max_task_time: Duration::from_millis(9),
+            simulated_server_time: Duration::from_millis(15),
+            bytes_to_driver: 50,
+            wall_time: Duration::from_millis(14),
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.tasks, 5);
+        assert_eq!(m.total_task_time, Duration::from_millis(30));
+        assert_eq!(m.max_task_time, Duration::from_millis(9));
+        assert_eq!(m.simulated_server_time, Duration::from_millis(27));
+        assert_eq!(m.bytes_to_driver, 150);
+    }
+
+    #[test]
+    fn empty_table_runs_single_empty_task() {
+        let t = table(0, 4);
+        let cluster = Cluster::default();
+        let (results, stats) = cluster.run(&t, |p| TaskOutput::new(p.num_rows(), 0));
+        assert_eq!(results, vec![0]);
+        assert_eq!(stats.tasks, 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! # seabed-engine
+//!
+//! A partitioned, columnar, multi-worker in-memory analytics engine — the
+//! substrate Seabed runs on in this reproduction, standing in for the Apache
+//! Spark + HDFS deployment of the original prototype.
+//!
+//! The engine deliberately models only what Seabed's evaluation depends on:
+//!
+//! * [`table`] — columnar tables split into partitions whose rows carry
+//!   consecutive global identifiers (ASHE's telescoping decryption needs
+//!   exactly this property);
+//! * [`cluster`] — parallel execution of per-partition tasks with measured
+//!   task times and a simulated cluster cost model (worker count, per-task
+//!   overhead, stragglers) so the core-count sweeps of Figure 7 can be
+//!   reproduced on a laptop;
+//! * [`netmodel`] — the server→client bandwidth/RTT model used for the WAN
+//!   experiments of §6.6;
+//! * [`storage`] — on-disk / in-memory size accounting (Table 5) and a flat
+//!   binary serialization standing in for Protobuf-on-HDFS.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod netmodel;
+pub mod storage;
+pub mod table;
+
+pub use cluster::{Cluster, ClusterConfig, ExecStats, TaskOutput};
+pub use netmodel::NetworkModel;
+pub use storage::{table_disk_size, table_memory_size};
+pub use table::{ColumnData, ColumnType, Field, Partition, Schema, Table};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn partitioning_never_loses_rows(rows in 0usize..2_000, partitions in 1usize..32) {
+            let schema = Schema::new([("v".to_string(), ColumnType::UInt64)]);
+            let data: Vec<u64> = (0..rows as u64).collect();
+            let t = Table::from_columns(schema, vec![ColumnData::UInt64(data.clone())], partitions);
+            prop_assert_eq!(t.num_rows(), rows);
+            prop_assert_eq!(t.gather_u64("v").unwrap(), data);
+        }
+
+        #[test]
+        fn serialization_roundtrip(rows in 0usize..500, partitions in 1usize..8) {
+            let schema = Schema::new([
+                ("a".to_string(), ColumnType::UInt64),
+                ("b".to_string(), ColumnType::Utf8),
+            ]);
+            let t = Table::from_columns(
+                schema,
+                vec![
+                    ColumnData::UInt64((0..rows as u64).map(|i| i * 31).collect()),
+                    ColumnData::Utf8((0..rows).map(|i| format!("s{i}")).collect()),
+                ],
+                partitions,
+            );
+            let bytes = storage::serialize_table(&t);
+            prop_assert_eq!(storage::deserialize_table(&bytes).unwrap(), t);
+        }
+
+        #[test]
+        fn distributed_sum_equals_sequential_sum(rows in 0usize..5_000, partitions in 1usize..16, workers in 1usize..64) {
+            let schema = Schema::new([("v".to_string(), ColumnType::UInt64)]);
+            let data: Vec<u64> = (0..rows as u64).map(|i| i % 997).collect();
+            let expected: u64 = data.iter().sum();
+            let t = Table::from_columns(schema, vec![ColumnData::UInt64(data)], partitions);
+            let cluster = Cluster::new(ClusterConfig::with_workers(workers));
+            let (parts, stats) = cluster.run(&t, |p| {
+                TaskOutput::new(p.column(0).as_u64().iter().sum::<u64>(), 8)
+            });
+            prop_assert_eq!(parts.iter().sum::<u64>(), expected);
+            prop_assert_eq!(stats.tasks, t.num_partitions());
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Columnar tables split into partitions.
+//!
+//! Seabed's prototype stores tables in HDFS and processes them with Spark; the
+//! engine crate reproduces the part of that substrate Seabed's cost actually
+//! depends on: a table is a schema plus a list of horizontal partitions, each
+//! partition stores its columns contiguously in memory, and every row has an
+//! implicit global identifier (`partition.start_row + offset`) — the
+//! consecutive row IDs ASHE's telescoping decryption relies on.
+
+use serde::{Deserialize, Serialize};
+
+/// The type of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// Unsigned 64-bit integers (plaintext measures, ASHE words, DET tags).
+    UInt64,
+    /// Signed 64-bit integers.
+    Int64,
+    /// UTF-8 strings.
+    Utf8,
+    /// Variable-length byte strings (Paillier ciphertexts, ORE ciphertexts).
+    Bytes,
+}
+
+/// A column's values.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ColumnData {
+    /// Unsigned integers.
+    UInt64(Vec<u64>),
+    /// Signed integers.
+    Int64(Vec<i64>),
+    /// Strings.
+    Utf8(Vec<String>),
+    /// Byte strings.
+    Bytes(Vec<Vec<u8>>),
+}
+
+impl ColumnData {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::UInt64(v) => v.len(),
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Utf8(v) => v.len(),
+            ColumnData::Bytes(v) => v.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            ColumnData::UInt64(_) => ColumnType::UInt64,
+            ColumnData::Int64(_) => ColumnType::Int64,
+            ColumnData::Utf8(_) => ColumnType::Utf8,
+            ColumnData::Bytes(_) => ColumnType::Bytes,
+        }
+    }
+
+    /// An empty column of the given type.
+    pub fn empty(ty: ColumnType) -> ColumnData {
+        match ty {
+            ColumnType::UInt64 => ColumnData::UInt64(Vec::new()),
+            ColumnType::Int64 => ColumnData::Int64(Vec::new()),
+            ColumnType::Utf8 => ColumnData::Utf8(Vec::new()),
+            ColumnType::Bytes => ColumnData::Bytes(Vec::new()),
+        }
+    }
+
+    /// Accesses a `u64` cell; panics if the column has a different type.
+    pub fn u64_at(&self, row: usize) -> u64 {
+        match self {
+            ColumnData::UInt64(v) => v[row],
+            other => panic!("column is {:?}, not UInt64", other.column_type()),
+        }
+    }
+
+    /// Accesses an `i64` cell; panics if the column has a different type.
+    pub fn i64_at(&self, row: usize) -> i64 {
+        match self {
+            ColumnData::Int64(v) => v[row],
+            other => panic!("column is {:?}, not Int64", other.column_type()),
+        }
+    }
+
+    /// Accesses a string cell; panics if the column has a different type.
+    pub fn str_at(&self, row: usize) -> &str {
+        match self {
+            ColumnData::Utf8(v) => &v[row],
+            other => panic!("column is {:?}, not Utf8", other.column_type()),
+        }
+    }
+
+    /// Accesses a bytes cell; panics if the column has a different type.
+    pub fn bytes_at(&self, row: usize) -> &[u8] {
+        match self {
+            ColumnData::Bytes(v) => &v[row],
+            other => panic!("column is {:?}, not Bytes", other.column_type()),
+        }
+    }
+
+    /// Borrows the underlying `u64` vector; panics on type mismatch.
+    pub fn as_u64(&self) -> &[u64] {
+        match self {
+            ColumnData::UInt64(v) => v,
+            other => panic!("column is {:?}, not UInt64", other.column_type()),
+        }
+    }
+
+    /// Takes a slice of rows `[from, to)` into a new column.
+    pub fn slice(&self, from: usize, to: usize) -> ColumnData {
+        match self {
+            ColumnData::UInt64(v) => ColumnData::UInt64(v[from..to].to_vec()),
+            ColumnData::Int64(v) => ColumnData::Int64(v[from..to].to_vec()),
+            ColumnData::Utf8(v) => ColumnData::Utf8(v[from..to].to_vec()),
+            ColumnData::Bytes(v) => ColumnData::Bytes(v[from..to].to_vec()),
+        }
+    }
+}
+
+/// A named field of a schema.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+/// The schema of a table.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    /// Ordered fields.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn new<I: IntoIterator<Item = (String, ColumnType)>>(fields: I) -> Schema {
+        Schema {
+            fields: fields
+                .into_iter()
+                .map(|(name, ty)| Field { name, ty })
+                .collect(),
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// One horizontal partition of a table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Global row identifier of this partition's first row.
+    pub start_row: u64,
+    /// Column data, in schema order.
+    pub columns: Vec<ColumnData>,
+}
+
+impl Partition {
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Global row identifier of local row `offset`.
+    pub fn row_id(&self, offset: usize) -> u64 {
+        self.start_row + offset as u64
+    }
+
+    /// Column by index.
+    pub fn column(&self, index: usize) -> &ColumnData {
+        &self.columns[index]
+    }
+}
+
+/// A partitioned, columnar, in-memory table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Schema shared by all partitions.
+    pub schema: Schema,
+    /// Horizontal partitions with consecutive global row IDs.
+    pub partitions: Vec<Partition>,
+}
+
+impl Table {
+    /// Builds a table from whole columns, splitting rows into
+    /// `num_partitions` nearly equal partitions with consecutive global IDs.
+    pub fn from_columns(schema: Schema, columns: Vec<ColumnData>, num_partitions: usize) -> Table {
+        assert_eq!(schema.len(), columns.len(), "schema/column count mismatch");
+        let num_rows = columns.first().map_or(0, |c| c.len());
+        for (field, col) in schema.fields.iter().zip(columns.iter()) {
+            assert_eq!(col.len(), num_rows, "column {} has inconsistent length", field.name);
+            assert_eq!(col.column_type(), field.ty, "column {} has wrong type", field.name);
+        }
+        let num_partitions = num_partitions.max(1);
+        let chunk = num_rows.div_ceil(num_partitions).max(1);
+        let mut partitions = Vec::new();
+        let mut start = 0usize;
+        while start < num_rows {
+            let end = (start + chunk).min(num_rows);
+            partitions.push(Partition {
+                start_row: start as u64,
+                columns: columns.iter().map(|c| c.slice(start, end)).collect(),
+            });
+            start = end;
+        }
+        if partitions.is_empty() {
+            partitions.push(Partition {
+                start_row: 0,
+                columns: schema.fields.iter().map(|f| ColumnData::empty(f.ty)).collect(),
+            });
+        }
+        Table { schema, partitions }
+    }
+
+    /// Total number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.partitions.iter().map(|p| p.num_rows()).sum()
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.schema.index_of(name)
+    }
+
+    /// Gathers an entire column across partitions (test/debug helper; real
+    /// queries never materialise whole columns at the driver).
+    pub fn gather_u64(&self, name: &str) -> Option<Vec<u64>> {
+        let idx = self.column_index(name)?;
+        let mut out = Vec::with_capacity(self.num_rows());
+        for p in &self.partitions {
+            match &p.columns[idx] {
+                ColumnData::UInt64(v) => out.extend_from_slice(v),
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table(rows: usize, partitions: usize) -> Table {
+        let schema = Schema::new([
+            ("id".to_string(), ColumnType::UInt64),
+            ("value".to_string(), ColumnType::UInt64),
+            ("name".to_string(), ColumnType::Utf8),
+        ]);
+        let columns = vec![
+            ColumnData::UInt64((0..rows as u64).collect()),
+            ColumnData::UInt64((0..rows as u64).map(|i| i * 2).collect()),
+            ColumnData::Utf8((0..rows).map(|i| format!("row{i}")).collect()),
+        ];
+        Table::from_columns(schema, columns, partitions)
+    }
+
+    #[test]
+    fn partitioning_preserves_rows_and_ids() {
+        let t = sample_table(1000, 7);
+        assert_eq!(t.num_rows(), 1000);
+        assert_eq!(t.num_partitions(), 7);
+        // Global row IDs are consecutive across partitions.
+        let mut expected_start = 0u64;
+        for p in &t.partitions {
+            assert_eq!(p.start_row, expected_start);
+            expected_start += p.num_rows() as u64;
+        }
+        assert_eq!(expected_start, 1000);
+    }
+
+    #[test]
+    fn gather_reconstructs_column() {
+        let t = sample_table(100, 3);
+        assert_eq!(t.gather_u64("value").unwrap(), (0..100u64).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(t.gather_u64("name").is_none(), "type mismatch returns None");
+        assert!(t.gather_u64("missing").is_none());
+    }
+
+    #[test]
+    fn empty_table_has_one_empty_partition() {
+        let schema = Schema::new([("x".to_string(), ColumnType::UInt64)]);
+        let t = Table::from_columns(schema, vec![ColumnData::UInt64(vec![])], 4);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_partitions(), 1);
+    }
+
+    #[test]
+    fn more_partitions_than_rows() {
+        let t = sample_table(3, 10);
+        assert_eq!(t.num_rows(), 3);
+        assert!(t.num_partitions() <= 3);
+    }
+
+    #[test]
+    fn cell_accessors() {
+        let t = sample_table(10, 2);
+        let p = &t.partitions[0];
+        assert_eq!(p.column(1).u64_at(3), 6);
+        assert_eq!(p.column(2).str_at(2), "row2");
+        assert_eq!(p.row_id(4), 4);
+        let p1 = &t.partitions[1];
+        assert_eq!(p1.row_id(0), p1.start_row);
+    }
+
+    #[test]
+    #[should_panic]
+    fn type_mismatch_panics() {
+        let t = sample_table(10, 1);
+        t.partitions[0].column(2).u64_at(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn schema_column_length_mismatch_panics() {
+        let schema = Schema::new([
+            ("a".to_string(), ColumnType::UInt64),
+            ("b".to_string(), ColumnType::UInt64),
+        ]);
+        Table::from_columns(
+            schema,
+            vec![ColumnData::UInt64(vec![1, 2]), ColumnData::UInt64(vec![1])],
+            1,
+        );
+    }
+
+    #[test]
+    fn column_slice_and_types() {
+        let c = ColumnData::Int64(vec![-5, 0, 5, 10]);
+        assert_eq!(c.slice(1, 3), ColumnData::Int64(vec![0, 5]));
+        assert_eq!(c.column_type(), ColumnType::Int64);
+        assert_eq!(c.i64_at(0), -5);
+        let b = ColumnData::Bytes(vec![vec![1, 2], vec![3]]);
+        assert_eq!(b.bytes_at(1), &[3]);
+        assert_eq!(ColumnData::empty(ColumnType::Utf8).len(), 0);
+    }
+}

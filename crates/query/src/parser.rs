@@ -1,0 +1,470 @@
+//! Tokenizer and recursive-descent parser for the SQL dialect.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query      := SELECT items FROM source [WHERE conjuncts] [GROUP BY cols] [LIMIT n]
+//! items      := item ("," item)*
+//! item       := ident | func "(" (ident | "*") ")"
+//! source     := ident | "(" query ")" ident
+//! conjuncts  := predicate ("AND" predicate)*
+//! predicate  := ident op literal
+//! op         := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+//! literal    := integer | "'" text "'"
+//! cols       := ident ("," ident)*
+//! ```
+
+use crate::ast::{AggregateFunction, CompareOp, Literal, Predicate, Query, SelectItem, TableRef};
+
+/// A parse error with a human-readable message and the offending position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Ident(String),
+    Integer(u64),
+    Text(String),
+    Symbol(char),
+    Le,
+    Ge,
+    Ne,
+}
+
+struct Tokenizer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(Token, usize)>, ParseError> {
+        let mut tokens = Vec::new();
+        while self.pos < self.input.len() {
+            let c = self.input[self.pos] as char;
+            let start = self.pos;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                }
+                '(' | ')' | ',' | '*' | '=' | '+' | '-' | '.' => {
+                    tokens.push((Token::Symbol(c), start));
+                    self.pos += 1;
+                }
+                '<' => {
+                    self.pos += 1;
+                    if self.peek() == Some('=') {
+                        self.pos += 1;
+                        tokens.push((Token::Le, start));
+                    } else if self.peek() == Some('>') {
+                        self.pos += 1;
+                        tokens.push((Token::Ne, start));
+                    } else {
+                        tokens.push((Token::Symbol('<'), start));
+                    }
+                }
+                '>' => {
+                    self.pos += 1;
+                    if self.peek() == Some('=') {
+                        self.pos += 1;
+                        tokens.push((Token::Ge, start));
+                    } else {
+                        tokens.push((Token::Symbol('>'), start));
+                    }
+                }
+                '!' => {
+                    self.pos += 1;
+                    if self.peek() == Some('=') {
+                        self.pos += 1;
+                        tokens.push((Token::Ne, start));
+                    } else {
+                        return Err(ParseError {
+                            message: "unexpected '!'".to_string(),
+                            position: start,
+                        });
+                    }
+                }
+                '\'' => {
+                    self.pos += 1;
+                    let text_start = self.pos;
+                    while self.pos < self.input.len() && self.input[self.pos] != b'\'' {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.input.len() {
+                        return Err(ParseError {
+                            message: "unterminated string literal".to_string(),
+                            position: start,
+                        });
+                    }
+                    let text = String::from_utf8_lossy(&self.input[text_start..self.pos]).into_owned();
+                    self.pos += 1;
+                    tokens.push((Token::Text(text), start));
+                }
+                '0'..='9' => {
+                    let num_start = self.pos;
+                    while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.input[num_start..self.pos]).unwrap();
+                    let value = text.parse::<u64>().map_err(|_| ParseError {
+                        message: format!("integer literal out of range: {text}"),
+                        position: num_start,
+                    })?;
+                    tokens.push((Token::Integer(value), start));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let ident_start = self.pos;
+                    while self.pos < self.input.len()
+                        && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.input[ident_start..self.pos]).unwrap();
+                    tokens.push((Token::Ident(text.to_string()), start));
+                }
+                other => {
+                    return Err(ParseError {
+                        message: format!("unexpected character {other:?}"),
+                        position: start,
+                    })
+                }
+            }
+        }
+        Ok(tokens)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input.get(self.pos).map(|&b| b as char)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.tokens.get(self.pos).map(|(_, p)| *p).unwrap_or(usize::MAX),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(word)) if word.eq_ignore_ascii_case(keyword) => Ok(()),
+            _ => Err(self.error(format!("expected keyword {keyword}"))),
+        }
+    }
+
+    fn consume_keyword(&mut self, keyword: &str) -> bool {
+        if let Some(Token::Ident(word)) = self.peek() {
+            if word.eq_ignore_ascii_case(keyword) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_symbol(&mut self, symbol: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Symbol(c)) if c == symbol => Ok(()),
+            _ => Err(self.error(format!("expected '{symbol}'"))),
+        }
+    }
+
+    fn consume_symbol(&mut self, symbol: char) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(c)) if *c == symbol) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(word)) => Ok(word),
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let mut select = vec![self.parse_select_item()?];
+        while self.consume_symbol(',') {
+            select.push(self.parse_select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.parse_table_ref()?;
+        let mut predicates = Vec::new();
+        if self.consume_keyword("WHERE") {
+            predicates.push(self.parse_predicate()?);
+            while self.consume_keyword("AND") {
+                predicates.push(self.parse_predicate()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.consume_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.ident()?);
+            while self.consume_symbol(',') {
+                group_by.push(self.ident()?);
+            }
+        }
+        let mut limit = None;
+        if self.consume_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Integer(n)) => limit = Some(n as usize),
+                _ => return Err(self.error("expected integer after LIMIT")),
+            }
+        }
+        Ok(Query {
+            select,
+            from,
+            predicates,
+            group_by,
+            limit,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.consume_symbol('*') {
+            return Ok(SelectItem::Column("*".to_string()));
+        }
+        let name = self.ident()?;
+        if self.consume_symbol('(') {
+            let func = AggregateFunction::from_name(&name)
+                .ok_or_else(|| self.error(format!("unknown aggregate function {name}")))?;
+            let column = if self.consume_symbol('*') {
+                "*".to_string()
+            } else {
+                // Allow qualified names like tmp.a inside aggregates.
+                let mut column = self.ident()?;
+                if self.consume_symbol('.') {
+                    column = self.ident()?;
+                }
+                column
+            };
+            self.expect_symbol(')')?;
+            Ok(SelectItem::Aggregate { func, column })
+        } else if self.consume_symbol('.') {
+            // Qualified column reference: keep only the column part.
+            let column = self.ident()?;
+            Ok(SelectItem::Column(column))
+        } else {
+            Ok(SelectItem::Column(name))
+        }
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, ParseError> {
+        if self.consume_symbol('(') {
+            let inner = self.parse_query()?;
+            self.expect_symbol(')')?;
+            let alias = self.ident()?;
+            Ok(TableRef::Subquery(Box::new(inner), alias))
+        } else {
+            Ok(TableRef::Named(self.ident()?))
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate, ParseError> {
+        let mut column = self.ident()?;
+        if self.consume_symbol('.') {
+            column = self.ident()?;
+        }
+        let op = match self.next() {
+            Some(Token::Symbol('=')) => CompareOp::Eq,
+            Some(Token::Symbol('<')) => CompareOp::Lt,
+            Some(Token::Symbol('>')) => CompareOp::Gt,
+            Some(Token::Le) => CompareOp::LtEq,
+            Some(Token::Ge) => CompareOp::GtEq,
+            Some(Token::Ne) => CompareOp::NotEq,
+            _ => return Err(self.error("expected comparison operator")),
+        };
+        let value = match self.next() {
+            Some(Token::Integer(v)) => Literal::Integer(v),
+            Some(Token::Text(s)) => Literal::Text(s),
+            _ => return Err(self.error("expected literal value")),
+        };
+        Ok(Predicate { column, op, value })
+    }
+}
+
+/// Parses a SQL string into a [`Query`].
+pub fn parse(sql: &str) -> Result<Query, ParseError> {
+    let tokens = Tokenizer::new(sql).tokenize()?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.parse_query()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.error("unexpected trailing tokens"));
+    }
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    #[test]
+    fn simple_aggregate() {
+        let q = parse("SELECT SUM(revenue) FROM sales").unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(
+            q.select[0],
+            SelectItem::Aggregate {
+                func: AggregateFunction::Sum,
+                column: "revenue".to_string()
+            }
+        );
+        assert_eq!(q.from, TableRef::Named("sales".to_string()));
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn count_star_with_filter() {
+        let q = parse("SELECT count(*) FROM table1 WHERE a = 10").unwrap();
+        assert_eq!(
+            q.select[0],
+            SelectItem::Aggregate {
+                func: AggregateFunction::Count,
+                column: "*".to_string()
+            }
+        );
+        assert_eq!(
+            q.predicates,
+            vec![Predicate {
+                column: "a".to_string(),
+                op: CompareOp::Eq,
+                value: Literal::Integer(10)
+            }]
+        );
+    }
+
+    #[test]
+    fn group_by_and_multiple_predicates() {
+        let q = parse(
+            "SELECT country, SUM(salary), AVG(salary) FROM employees \
+             WHERE year >= 2010 AND dept = 'eng' GROUP BY country LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.predicates[1].value, Literal::Text("eng".to_string()));
+        assert_eq!(q.group_by, vec!["country".to_string()]);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn table2_subquery_example() {
+        // The Table 2 "ID preservation" query.
+        let q = parse("SELECT sum(tmp.a) FROM (SELECT a FROM table1 WHERE b > 10) tmp").unwrap();
+        match &q.from {
+            TableRef::Subquery(inner, alias) => {
+                assert_eq!(alias, "tmp");
+                assert_eq!(inner.predicates[0].op, CompareOp::Gt);
+                assert_eq!(inner.select[0], SelectItem::Column("a".to_string()));
+            }
+            other => panic!("expected subquery, got {other:?}"),
+        }
+        assert_eq!(
+            q.select[0],
+            SelectItem::Aggregate {
+                func: AggregateFunction::Sum,
+                column: "a".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn table2_group_by_example() {
+        let q = parse("SELECT a, sum(b) FROM table1 GROUP BY a").unwrap();
+        assert_eq!(q.group_by, vec!["a".to_string()]);
+        assert_eq!(q.select[0], SelectItem::Column("a".to_string()));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        for (text, op) in [
+            ("=", CompareOp::Eq),
+            ("!=", CompareOp::NotEq),
+            ("<>", CompareOp::NotEq),
+            ("<", CompareOp::Lt),
+            ("<=", CompareOp::LtEq),
+            (">", CompareOp::Gt),
+            (">=", CompareOp::GtEq),
+        ] {
+            let q = parse(&format!("SELECT SUM(x) FROM t WHERE y {text} 3")).unwrap();
+            assert_eq!(q.predicates[0].op, op, "operator {text}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_to_sql() {
+        let sql = "SELECT country, SUM(revenue) FROM sales WHERE year >= 2015 GROUP BY country LIMIT 10";
+        let q = parse(sql).unwrap();
+        assert_eq!(parse(&q.to_sql()).unwrap(), q);
+    }
+
+    #[test]
+    fn errors_are_reported_with_positions() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT SUM(x FROM t").is_err());
+        assert!(parse("SELECT SUM(x) FROM t WHERE").is_err());
+        assert!(parse("SELECT SUM(x) FROM t WHERE a ==").is_err());
+        assert!(parse("SELECT MEDIAN(x) FROM t").is_err());
+        assert!(parse("SELECT SUM(x) FROM t extra garbage ~").is_err());
+        assert!(parse("SELECT SUM(x) FROM t WHERE s = 'unterminated").is_err());
+        let err = parse("SELECT SUM(x) FROM t WHERE a @ 3").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse("select sum(v) from t where a = 1 group by g limit 2").unwrap();
+        assert!(q.is_aggregation());
+        assert_eq!(q.group_by, vec!["g".to_string()]);
+        assert_eq!(q.limit, Some(2));
+    }
+
+    #[test]
+    fn plain_scan_without_aggregates() {
+        let q = parse("SELECT pageURL, pageRank FROM rankings WHERE pageRank > 1000").unwrap();
+        assert!(!q.is_aggregation());
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.dimension_columns(), vec!["pageRank"]);
+    }
+}

@@ -1,0 +1,826 @@
+//! The query translator (§4.4, Table 2).
+//!
+//! The translator intercepts the client's unmodified query and rewrites it for
+//! the encrypted schema: constants are marked for encryption under the
+//! appropriate scheme, aggregation operators become ASHE folds, equality
+//! filters on splayed dimensions are absorbed into the choice of splayed
+//! column, the implicit row-ID column is preserved through subqueries, and
+//! group-by queries may have their group count artificially inflated to use
+//! more reducers (§4.5).
+//!
+//! Translation is key-free: literals stay in plaintext inside the
+//! [`TranslatedQuery`] and are encrypted by the proxy (which owns the keys)
+//! just before the query ships to the server.
+
+use crate::ast::{AggregateFunction, CompareOp, Predicate, Query, SelectItem, TableRef};
+use crate::planner::{EncryptionChoice, SchemaPlan};
+use serde::{Deserialize, Serialize};
+
+/// Naming scheme of the encrypted physical columns. Core's encryption module
+/// and server use these helpers so that the translator and the data layout
+/// always agree.
+pub mod encnames {
+    /// The implicit row-identifier column every encrypted table carries.
+    pub const ROW_ID: &str = "__rid";
+
+    /// ASHE ciphertext column for a measure.
+    pub fn ashe(column: &str) -> String {
+        format!("{column}__ashe")
+    }
+
+    /// ASHE ciphertext column holding the client-side squared values.
+    pub fn ashe_squares(column: &str) -> String {
+        format!("{column}__ashe_sq")
+    }
+
+    /// Deterministic-encryption tag column for a dimension.
+    pub fn det(column: &str) -> String {
+        format!("{column}__det")
+    }
+
+    /// Order-revealing-encryption column.
+    pub fn ope(column: &str) -> String {
+        format!("{column}__ope")
+    }
+
+    /// Splayed measure column for a (dimension, frequent-value index) pair.
+    pub fn splashe_measure(dimension: &str, measure: &str, value_index: usize) -> String {
+        format!("{measure}__spl_{dimension}_{value_index}")
+    }
+
+    /// Splayed measure "others" column.
+    pub fn splashe_measure_others(dimension: &str, measure: &str) -> String {
+        format!("{measure}__spl_{dimension}_others")
+    }
+
+    /// Splayed count-indicator column for a (dimension, frequent-value index).
+    pub fn splashe_indicator(dimension: &str, value_index: usize) -> String {
+        format!("{dimension}__ind_{value_index}")
+    }
+
+    /// Splayed count-indicator "others" column.
+    pub fn splashe_indicator_others(dimension: &str) -> String {
+        format!("{dimension}__ind_others")
+    }
+}
+
+/// A filter the server evaluates per row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ServerFilter {
+    /// Filter over a plaintext column.
+    Plain(Predicate),
+    /// Equality against a deterministic tag; the proxy substitutes
+    /// `DET_k(value)` for `value` before sending.
+    DetEquals {
+        /// The encrypted column name (`*__det`).
+        column: String,
+        /// Plaintext literal, encrypted by the proxy.
+        value: String,
+    },
+    /// Order comparison via ORE; the proxy substitutes `ORE_k(value)`.
+    OpeCompare {
+        /// The encrypted column name (`*__ope`).
+        column: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Plaintext literal, encrypted by the proxy.
+        value: u64,
+    },
+}
+
+/// An aggregate the server computes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ServerAggregate {
+    /// ASHE sum over an encrypted measure column.
+    AsheSum {
+        /// The encrypted column name (`*__ashe` or a splayed column).
+        column: String,
+    },
+    /// Row count of the selection (derived from the ASHE ID list, so it is
+    /// free once any ASHE aggregate runs; the server also supports it alone).
+    CountRows,
+    /// Minimum of an OPE column (server compares ciphertexts).
+    OpeMin {
+        /// The encrypted column name (`*__ope`).
+        column: String,
+    },
+    /// Maximum of an OPE column.
+    OpeMax {
+        /// The encrypted column name (`*__ope`).
+        column: String,
+    },
+}
+
+/// Work the proxy performs on the decrypted partial results before returning
+/// the final answer to the analyst.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ClientPostStep {
+    /// `result = aggregate[numerator] / aggregate[denominator]` (AVG).
+    Divide {
+        /// Index of the numerator in the server-aggregate list.
+        numerator: usize,
+        /// Index of the denominator in the server-aggregate list.
+        denominator: usize,
+    },
+    /// Population variance from Σx², Σx and n.
+    Variance {
+        /// Index of Σx² in the server-aggregate list.
+        sum_squares: usize,
+        /// Index of Σx in the server-aggregate list.
+        sum: usize,
+        /// Index of the row count in the server-aggregate list.
+        count: usize,
+    },
+    /// Square root of a previously computed variance (STDDEV).
+    SqrtOfVariance {
+        /// Index of the variance step in the client-post list.
+        variance_step: usize,
+    },
+    /// Merge inflated group-by groups back together (strip the appended
+    /// random suffix and re-aggregate at the proxy).
+    MergeInflatedGroups,
+}
+
+/// Which of the paper's four support categories the query falls into
+/// (Table 4 / Table 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SupportCategory {
+    /// Fully evaluated on the server.
+    ServerOnly,
+    /// Needs client pre-processing at upload time (e.g. squared columns).
+    ClientPreProcessing,
+    /// Needs client post-processing of results.
+    ClientPostProcessing,
+    /// Needs an intermediate round-trip through the client.
+    TwoRoundTrips,
+}
+
+/// How the group-by column is represented on the server.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GroupByColumn {
+    /// Plaintext column name.
+    pub column: String,
+    /// Encrypted (or plaintext) physical column the server groups on.
+    pub physical_column: String,
+    /// Whether group keys arrive at the proxy deterministically encrypted and
+    /// must be decrypted before being shown to the analyst.
+    pub encrypted: bool,
+}
+
+/// Errors the translator can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The query references a column the plan does not know about.
+    UnknownColumn(String),
+    /// An operation is not supported under the column's encryption scheme
+    /// (e.g. a range predicate over a SPLASHE dimension).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            TranslateError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// The rewritten query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TranslatedQuery {
+    /// The base table the server scans.
+    pub base_table: String,
+    /// Row filters evaluated on the server.
+    pub filters: Vec<ServerFilter>,
+    /// Aggregates computed on the server, in output order.
+    pub aggregates: Vec<ServerAggregate>,
+    /// Group-by columns (empty for global aggregates).
+    pub group_by: Vec<GroupByColumn>,
+    /// Group-inflation factor (`1` = disabled); when `> 1` the server appends
+    /// `row_id % factor` to the group key and the proxy merges groups back.
+    pub group_inflation: u32,
+    /// Client-side post-processing steps.
+    pub client_post: Vec<ClientPostStep>,
+    /// Always true when any ASHE aggregate is present: the physical plan must
+    /// carry the row-ID column through subqueries (Table 2, row 1).
+    pub preserve_row_ids: bool,
+    /// The support category of the original query.
+    pub category: SupportCategory,
+}
+
+impl TranslatedQuery {
+    /// Renders a human-readable description of the server-side plan, in the
+    /// spirit of the "Seabed" rows of Table 2.
+    pub fn describe(&self) -> String {
+        let mut parts = vec![format!("scan {}", self.base_table)];
+        for f in &self.filters {
+            match f {
+                ServerFilter::Plain(p) => parts.push(format!("filter {} {} <plain>", p.column, p.op.symbol())),
+                ServerFilter::DetEquals { column, .. } => parts.push(format!("filter {column} == DET(<const>)")),
+                ServerFilter::OpeCompare { column, op, .. } => {
+                    parts.push(format!("filter OPE.cmp({column}, EncOPE(<const>)) {}", op.symbol()))
+                }
+            }
+        }
+        if !self.group_by.is_empty() {
+            let keys: Vec<&str> = self.group_by.iter().map(|g| g.physical_column.as_str()).collect();
+            if self.group_inflation > 1 {
+                parts.push(format!(
+                    "groupBy({} + rid%{})",
+                    keys.join(", "),
+                    self.group_inflation
+                ));
+            } else {
+                parts.push(format!("groupBy({})", keys.join(", ")));
+            }
+        }
+        for agg in &self.aggregates {
+            match agg {
+                ServerAggregate::AsheSum { column } => parts.push(format!("reduce ASHE({column})")),
+                ServerAggregate::CountRows => parts.push("count ids".to_string()),
+                ServerAggregate::OpeMin { column } => parts.push(format!("min OPE({column})")),
+                ServerAggregate::OpeMax { column } => parts.push(format!("max OPE({column})")),
+            }
+        }
+        parts.join(" -> ")
+    }
+}
+
+/// Options influencing translation.
+#[derive(Clone, Debug)]
+pub struct TranslateOptions {
+    /// Number of workers on the server, used by the group-inflation heuristic.
+    pub workers: usize,
+    /// Expected number of groups the query will produce (client-maintained
+    /// state, §4.4); `None` disables group inflation.
+    pub expected_groups: Option<usize>,
+}
+
+impl Default for TranslateOptions {
+    fn default() -> Self {
+        TranslateOptions {
+            workers: 100,
+            expected_groups: None,
+        }
+    }
+}
+
+/// Translates a plaintext query against a schema plan.
+pub fn translate(query: &Query, plan: &SchemaPlan, options: &TranslateOptions) -> Result<TranslatedQuery, TranslateError> {
+    // Flatten a FROM-subquery: its predicates are merged into the outer
+    // query's predicate list (the subquery projection is only narrowing
+    // columns, which the encrypted plan does not care about; the row-ID column
+    // is preserved implicitly).
+    let mut predicates: Vec<Predicate> = Vec::new();
+    let mut select = query.select.clone();
+    let base_table = query.from.base_table().to_string();
+    collect_predicates(query, &mut predicates);
+    if let TableRef::Subquery(_, _) = &query.from {
+        // Outer aggregates over subquery columns keep their names; nothing
+        // else to do beyond predicate flattening.
+        select = query.select.clone();
+    }
+
+    let mut filters = Vec::new();
+    let mut splashe_filters: Vec<(String, String)> = Vec::new();
+    for pred in &predicates {
+        let col_plan = plan
+            .column(&pred.column)
+            .ok_or_else(|| TranslateError::UnknownColumn(pred.column.clone()))?;
+        match &col_plan.encryption {
+            EncryptionChoice::Plaintext => filters.push(ServerFilter::Plain(pred.clone())),
+            EncryptionChoice::Det => {
+                if pred.op != CompareOp::Eq {
+                    return Err(TranslateError::Unsupported(format!(
+                        "only equality predicates are supported on DET column {}",
+                        pred.column
+                    )));
+                }
+                filters.push(ServerFilter::DetEquals {
+                    column: encnames::det(&pred.column),
+                    value: literal_text(pred),
+                });
+            }
+            EncryptionChoice::Ope => {
+                let value = pred.value.as_u64().ok_or_else(|| {
+                    TranslateError::Unsupported(format!("OPE predicates need integer literals ({})", pred.column))
+                })?;
+                filters.push(ServerFilter::OpeCompare {
+                    column: encnames::ope(&pred.column),
+                    op: pred.op,
+                    value,
+                });
+            }
+            EncryptionChoice::SplasheBasic { .. } => {
+                if pred.op != CompareOp::Eq {
+                    return Err(TranslateError::Unsupported(format!(
+                        "SPLASHE column {} only supports equality predicates",
+                        pred.column
+                    )));
+                }
+                // Basic SPLASHE absorbs the predicate entirely: the aggregate
+                // reads the per-value splayed column.
+                splashe_filters.push((pred.column.clone(), literal_text(pred)));
+            }
+            EncryptionChoice::SplasheEnhanced { plan: eplan } => {
+                if pred.op != CompareOp::Eq {
+                    return Err(TranslateError::Unsupported(format!(
+                        "SPLASHE column {} only supports equality predicates",
+                        pred.column
+                    )));
+                }
+                let value = literal_text(pred);
+                // Frequent values read their dedicated column; infrequent
+                // values aggregate the "others" column restricted to the rows
+                // whose balanced DET tag matches (§3.4).
+                if !eplan.frequent.iter().any(|v| *v == value) {
+                    filters.push(ServerFilter::DetEquals {
+                        column: encnames::det(&pred.column),
+                        value: value.clone(),
+                    });
+                }
+                splashe_filters.push((pred.column.clone(), value));
+            }
+            EncryptionChoice::Ashe { .. } => {
+                return Err(TranslateError::Unsupported(format!(
+                    "column {} is ASHE-encrypted and cannot be filtered on",
+                    pred.column
+                )));
+            }
+        }
+    }
+
+    // Aggregates.
+    let mut aggregates = Vec::new();
+    let mut client_post = Vec::new();
+    let mut category = SupportCategory::ServerOnly;
+    for item in &select {
+        let SelectItem::Aggregate { func, column } = item else {
+            continue;
+        };
+        match func {
+            AggregateFunction::Sum => {
+                aggregates.push(sum_aggregate(column, plan, &splashe_filters)?);
+            }
+            AggregateFunction::Count => {
+                aggregates.push(count_aggregate(column, plan, &splashe_filters)?);
+            }
+            AggregateFunction::Avg => {
+                let numerator = aggregates.len();
+                aggregates.push(sum_aggregate(column, plan, &splashe_filters)?);
+                let denominator = aggregates.len();
+                aggregates.push(count_aggregate("*", plan, &splashe_filters)?);
+                client_post.push(ClientPostStep::Divide { numerator, denominator });
+                category = category.max_with(SupportCategory::ClientPostProcessing);
+            }
+            AggregateFunction::Min | AggregateFunction::Max => {
+                let col_plan = plan
+                    .column(column)
+                    .ok_or_else(|| TranslateError::UnknownColumn(column.clone()))?;
+                if !matches!(col_plan.encryption, EncryptionChoice::Ope | EncryptionChoice::Plaintext) {
+                    return Err(TranslateError::Unsupported(format!(
+                        "{}({}) needs OPE or plaintext",
+                        func.name(),
+                        column
+                    )));
+                }
+                let physical = match col_plan.encryption {
+                    EncryptionChoice::Plaintext => column.clone(),
+                    _ => encnames::ope(column),
+                };
+                aggregates.push(if *func == AggregateFunction::Min {
+                    ServerAggregate::OpeMin { column: physical }
+                } else {
+                    ServerAggregate::OpeMax { column: physical }
+                });
+            }
+            AggregateFunction::Variance | AggregateFunction::Stddev => {
+                let col_plan = plan
+                    .column(column)
+                    .ok_or_else(|| TranslateError::UnknownColumn(column.clone()))?;
+                if !matches!(col_plan.encryption, EncryptionChoice::Ashe { with_squares: true }) {
+                    return Err(TranslateError::Unsupported(format!(
+                        "variance over {column} requires an ASHE column with client-side squares"
+                    )));
+                }
+                let sum_squares = aggregates.len();
+                aggregates.push(ServerAggregate::AsheSum {
+                    column: encnames::ashe_squares(column),
+                });
+                let sum = aggregates.len();
+                aggregates.push(ServerAggregate::AsheSum {
+                    column: encnames::ashe(column),
+                });
+                let count = aggregates.len();
+                aggregates.push(ServerAggregate::CountRows);
+                let variance_step = client_post.len();
+                client_post.push(ClientPostStep::Variance { sum_squares, sum, count });
+                if *func == AggregateFunction::Stddev {
+                    client_post.push(ClientPostStep::SqrtOfVariance { variance_step });
+                }
+                category = category.max_with(SupportCategory::ClientPreProcessing);
+            }
+        }
+    }
+
+    // Group-by columns.
+    let mut group_by = Vec::new();
+    for column in &query.group_by {
+        let col_plan = plan
+            .column(column)
+            .ok_or_else(|| TranslateError::UnknownColumn(column.clone()))?;
+        let (physical, encrypted) = match &col_plan.encryption {
+            EncryptionChoice::Plaintext => (column.clone(), false),
+            EncryptionChoice::Det => (encnames::det(column), true),
+            EncryptionChoice::Ope => {
+                return Err(TranslateError::Unsupported(format!(
+                    "GROUP BY over the OPE column {column} is not supported; the planner assigns DET to group-by dimensions"
+                )));
+            }
+            EncryptionChoice::SplasheBasic { .. } | EncryptionChoice::SplasheEnhanced { .. } => {
+                return Err(TranslateError::Unsupported(format!(
+                    "GROUP BY over splayed column {column} must be expressed as one query per value"
+                )));
+            }
+            EncryptionChoice::Ashe { .. } => {
+                return Err(TranslateError::Unsupported(format!(
+                    "cannot GROUP BY the ASHE-encrypted column {column}"
+                )));
+            }
+        };
+        group_by.push(GroupByColumn {
+            column: column.clone(),
+            physical_column: physical,
+            encrypted,
+        });
+    }
+
+    // Group-inflation heuristic (§4.5): inflate when fewer groups than workers
+    // are expected.
+    let mut group_inflation = 1u32;
+    if !group_by.is_empty() {
+        if let Some(expected) = options.expected_groups {
+            if expected > 0 && expected < options.workers {
+                group_inflation = (options.workers / expected).max(1) as u32;
+                client_post.push(ClientPostStep::MergeInflatedGroups);
+            }
+        }
+    }
+
+    let preserve_row_ids = aggregates
+        .iter()
+        .any(|a| matches!(a, ServerAggregate::AsheSum { .. } | ServerAggregate::CountRows));
+
+    Ok(TranslatedQuery {
+        base_table,
+        filters,
+        aggregates,
+        group_by,
+        group_inflation,
+        client_post,
+        preserve_row_ids,
+        category,
+    })
+}
+
+impl SupportCategory {
+    fn rank(&self) -> u8 {
+        match self {
+            SupportCategory::ServerOnly => 0,
+            SupportCategory::ClientPreProcessing => 1,
+            SupportCategory::ClientPostProcessing => 2,
+            SupportCategory::TwoRoundTrips => 3,
+        }
+    }
+
+    /// Returns the "harder" of two categories.
+    pub fn max_with(self, other: SupportCategory) -> SupportCategory {
+        if other.rank() > self.rank() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+fn literal_text(pred: &Predicate) -> String {
+    match &pred.value {
+        crate::ast::Literal::Text(s) => s.clone(),
+        crate::ast::Literal::Integer(v) => v.to_string(),
+    }
+}
+
+fn collect_predicates(query: &Query, out: &mut Vec<Predicate>) {
+    out.extend(query.predicates.iter().cloned());
+    if let TableRef::Subquery(inner, _) = &query.from {
+        collect_predicates(inner, out);
+    }
+}
+
+fn sum_aggregate(
+    column: &str,
+    plan: &SchemaPlan,
+    splashe_filters: &[(String, String)],
+) -> Result<ServerAggregate, TranslateError> {
+    let col_plan = plan
+        .column(column)
+        .ok_or_else(|| TranslateError::UnknownColumn(column.to_string()))?;
+    match &col_plan.encryption {
+        EncryptionChoice::Plaintext => Ok(ServerAggregate::AsheSum {
+            column: column.to_string(),
+        }),
+        EncryptionChoice::Ashe { .. } => {
+            // If a SPLASHE filter is active, the measure must be read from the
+            // splayed column for the filtered value.
+            if let Some((dimension, value)) = splashe_filters.first() {
+                if let Some(dim_plan) = plan.column(dimension) {
+                    return Ok(ServerAggregate::AsheSum {
+                        column: splayed_measure_column(dim_plan, dimension, column, value)?,
+                    });
+                }
+            }
+            Ok(ServerAggregate::AsheSum {
+                column: encnames::ashe(column),
+            })
+        }
+        other => Err(TranslateError::Unsupported(format!(
+            "SUM({column}) over a column encrypted with {other:?}"
+        ))),
+    }
+}
+
+fn count_aggregate(
+    column: &str,
+    plan: &SchemaPlan,
+    splashe_filters: &[(String, String)],
+) -> Result<ServerAggregate, TranslateError> {
+    // COUNT with a SPLASHE equality filter sums the indicator column so that
+    // nothing about the predicate value leaks; otherwise it is a row count of
+    // the selection.
+    if let Some((dimension, value)) = splashe_filters.first() {
+        if let Some(dim_plan) = plan.column(dimension) {
+            return Ok(ServerAggregate::AsheSum {
+                column: splayed_indicator_column(dim_plan, dimension, value)?,
+            });
+        }
+    }
+    let _ = column;
+    Ok(ServerAggregate::CountRows)
+}
+
+fn splayed_measure_column(
+    dim_plan: &crate::planner::ColumnPlan,
+    dimension: &str,
+    measure: &str,
+    value: &str,
+) -> Result<String, TranslateError> {
+    match &dim_plan.encryption {
+        EncryptionChoice::SplasheBasic { domain } => {
+            let idx = domain
+                .iter()
+                .position(|v| v == value)
+                .ok_or_else(|| TranslateError::Unsupported(format!("value {value} not in domain of {dimension}")))?;
+            Ok(encnames::splashe_measure(dimension, measure, idx))
+        }
+        EncryptionChoice::SplasheEnhanced { plan } => {
+            if let Some(idx) = plan.frequent.iter().position(|v| v == value) {
+                Ok(encnames::splashe_measure(dimension, measure, idx))
+            } else {
+                Ok(encnames::splashe_measure_others(dimension, measure))
+            }
+        }
+        other => Err(TranslateError::Unsupported(format!(
+            "column {dimension} is not splayed ({other:?})"
+        ))),
+    }
+}
+
+fn splayed_indicator_column(
+    dim_plan: &crate::planner::ColumnPlan,
+    dimension: &str,
+    value: &str,
+) -> Result<String, TranslateError> {
+    match &dim_plan.encryption {
+        EncryptionChoice::SplasheBasic { domain } => {
+            let idx = domain
+                .iter()
+                .position(|v| v == value)
+                .ok_or_else(|| TranslateError::Unsupported(format!("value {value} not in domain of {dimension}")))?;
+            Ok(encnames::splashe_indicator(dimension, idx))
+        }
+        EncryptionChoice::SplasheEnhanced { plan } => {
+            if let Some(idx) = plan.frequent.iter().position(|v| v == value) {
+                Ok(encnames::splashe_indicator(dimension, idx))
+            } else {
+                Ok(encnames::splashe_indicator_others(dimension))
+            }
+        }
+        other => Err(TranslateError::Unsupported(format!(
+            "column {dimension} is not splayed ({other:?})"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::planner::{plan_schema, ColumnSpec, PlannerConfig};
+
+    fn sample_plan() -> SchemaPlan {
+        let columns = vec![
+            ColumnSpec::sensitive_with_distribution(
+                "country",
+                vec![
+                    ("USA".to_string(), 900),
+                    ("Canada".to_string(), 800),
+                    ("India".to_string(), 20),
+                    ("Chile".to_string(), 10),
+                ],
+            ),
+            ColumnSpec::sensitive("salary"),
+            ColumnSpec::sensitive("bonus"),
+            ColumnSpec::sensitive("ts"),
+            ColumnSpec::sensitive("dept"),
+            ColumnSpec::public("public_flag"),
+        ];
+        let queries: Vec<_> = [
+            "SELECT SUM(salary) FROM emp WHERE country = 'USA'",
+            "SELECT COUNT(*) FROM emp WHERE country = 'India'",
+            "SELECT dept, SUM(salary) FROM emp GROUP BY dept",
+            "SELECT AVG(salary) FROM emp WHERE ts >= 100",
+            "SELECT VARIANCE(bonus) FROM emp",
+            "SELECT SUM(salary) FROM emp WHERE public_flag = 1",
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        // dept has no distribution -> DET; country -> enhanced SPLASHE; ts -> OPE.
+        plan_schema(&columns, &queries, &PlannerConfig::default())
+    }
+
+    #[test]
+    fn ashe_sum_with_ope_filter() {
+        let plan = sample_plan();
+        let q = parse("SELECT SUM(salary) FROM emp WHERE ts >= 100").unwrap();
+        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+        assert_eq!(t.aggregates, vec![ServerAggregate::AsheSum { column: "salary__ashe".into() }]);
+        assert_eq!(
+            t.filters,
+            vec![ServerFilter::OpeCompare {
+                column: "ts__ope".into(),
+                op: CompareOp::GtEq,
+                value: 100
+            }]
+        );
+        assert!(t.preserve_row_ids);
+        assert_eq!(t.category, SupportCategory::ServerOnly);
+    }
+
+    #[test]
+    fn splashe_filter_selects_splayed_column() {
+        let plan = sample_plan();
+        // Frequent value -> dedicated column.
+        let q = parse("SELECT SUM(salary) FROM emp WHERE country = 'USA'").unwrap();
+        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+        assert_eq!(t.filters, vec![], "SPLASHE absorbs the equality filter");
+        assert_eq!(
+            t.aggregates,
+            vec![ServerAggregate::AsheSum { column: "salary__spl_country_0".into() }]
+        );
+        // Infrequent value -> others column plus a DET filter is NOT used for
+        // the sum (it reads the others column); counts use the indicator.
+        let q2 = parse("SELECT SUM(salary) FROM emp WHERE country = 'India'").unwrap();
+        let t2 = translate(&q2, &plan, &TranslateOptions::default()).unwrap();
+        assert_eq!(
+            t2.aggregates,
+            vec![ServerAggregate::AsheSum { column: "salary__spl_country_others".into() }]
+        );
+    }
+
+    #[test]
+    fn table2_splashe_count_example() {
+        // SELECT count(*) FROM table WHERE a = 10 -> sum of the splayed
+        // indicator column (Table 2, second row).
+        let columns = vec![
+            ColumnSpec::sensitive_with_distribution(
+                "a",
+                vec![("10".to_string(), 100), ("20".to_string(), 5), ("30".to_string(), 5)],
+            ),
+            ColumnSpec::sensitive("b"),
+        ];
+        let queries = vec![parse("SELECT COUNT(*) FROM t WHERE a = 10").unwrap()];
+        let plan = plan_schema(&columns, &queries, &PlannerConfig::default());
+        let t = translate(&queries[0], &plan, &TranslateOptions::default()).unwrap();
+        assert!(t.filters.is_empty());
+        assert_eq!(t.aggregates.len(), 1);
+        match &t.aggregates[0] {
+            ServerAggregate::AsheSum { column } => assert!(column.starts_with("a__ind_"), "{column}"),
+            other => panic!("expected indicator sum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subquery_predicates_are_flattened_and_ids_preserved() {
+        let plan = sample_plan();
+        let q = parse("SELECT SUM(tmp.salary) FROM (SELECT salary FROM emp WHERE ts > 10) tmp").unwrap();
+        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+        assert_eq!(t.base_table, "emp");
+        assert_eq!(t.filters.len(), 1);
+        assert!(t.preserve_row_ids, "Table 2 row 1: the ID column must survive the subquery");
+    }
+
+    #[test]
+    fn avg_splits_into_sum_count_and_division() {
+        let plan = sample_plan();
+        let q = parse("SELECT AVG(salary) FROM emp").unwrap();
+        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+        assert_eq!(t.aggregates.len(), 2);
+        assert_eq!(t.client_post, vec![ClientPostStep::Divide { numerator: 0, denominator: 1 }]);
+    }
+
+    #[test]
+    fn variance_uses_precomputed_squares() {
+        let plan = sample_plan();
+        let q = parse("SELECT VARIANCE(bonus) FROM emp").unwrap();
+        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+        assert_eq!(t.aggregates.len(), 3);
+        assert!(matches!(t.aggregates[0], ServerAggregate::AsheSum { ref column } if column == "bonus__ashe_sq"));
+        assert_eq!(t.category, SupportCategory::ClientPreProcessing);
+        // Variance over a column without squares is rejected.
+        let bad = parse("SELECT VARIANCE(salary) FROM emp").unwrap();
+        assert!(translate(&bad, &plan, &TranslateOptions::default()).is_err());
+    }
+
+    #[test]
+    fn group_by_on_det_column_with_inflation() {
+        let plan = sample_plan();
+        let q = parse("SELECT dept, SUM(salary) FROM emp GROUP BY dept").unwrap();
+        let opts = TranslateOptions {
+            workers: 100,
+            expected_groups: Some(10),
+        };
+        let t = translate(&q, &plan, &opts).unwrap();
+        assert_eq!(t.group_by.len(), 1);
+        assert_eq!(t.group_by[0].physical_column, "dept__det");
+        assert!(t.group_by[0].encrypted);
+        assert_eq!(t.group_inflation, 10, "10 groups on 100 workers -> 10x inflation");
+        assert!(t.client_post.contains(&ClientPostStep::MergeInflatedGroups));
+        assert!(t.describe().contains("rid%10"));
+
+        // Without the expected-group hint inflation is off.
+        let t2 = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+        assert_eq!(t2.group_inflation, 1);
+    }
+
+    #[test]
+    fn plaintext_columns_pass_through() {
+        let plan = sample_plan();
+        let q = parse("SELECT SUM(salary) FROM emp WHERE public_flag = 1").unwrap();
+        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+        assert!(matches!(t.filters[0], ServerFilter::Plain(_)));
+    }
+
+    #[test]
+    fn unsupported_operations_are_rejected() {
+        let plan = sample_plan();
+        // Range predicate over a SPLASHE column.
+        let q = parse("SELECT SUM(salary) FROM emp WHERE country > 'USA'").unwrap();
+        assert!(translate(&q, &plan, &TranslateOptions::default()).is_err());
+        // Filtering on an ASHE measure.
+        let q2 = parse("SELECT COUNT(*) FROM emp WHERE salary = 100").unwrap();
+        assert!(translate(&q2, &plan, &TranslateOptions::default()).is_err());
+        // Unknown column.
+        let q3 = parse("SELECT SUM(unknown_col) FROM emp").unwrap();
+        assert!(matches!(
+            translate(&q3, &plan, &TranslateOptions::default()),
+            Err(TranslateError::UnknownColumn(_))
+        ));
+        // Group-by over an ASHE measure.
+        let q4 = parse("SELECT salary, COUNT(*) FROM emp GROUP BY salary").unwrap();
+        assert!(translate(&q4, &plan, &TranslateOptions::default()).is_err());
+    }
+
+    #[test]
+    fn min_max_require_ope_or_plaintext() {
+        let plan = sample_plan();
+        let q = parse("SELECT MIN(ts) FROM emp").unwrap();
+        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+        assert_eq!(t.aggregates, vec![ServerAggregate::OpeMin { column: "ts__ope".into() }]);
+        let q2 = parse("SELECT MAX(salary) FROM emp").unwrap();
+        assert!(translate(&q2, &plan, &TranslateOptions::default()).is_err());
+    }
+
+    #[test]
+    fn describe_mentions_encrypted_operators() {
+        let plan = sample_plan();
+        let q = parse("SELECT SUM(salary) FROM emp WHERE ts >= 100").unwrap();
+        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+        let desc = t.describe();
+        assert!(desc.contains("OPE.cmp"));
+        assert!(desc.contains("reduce ASHE"));
+    }
+}

@@ -1,0 +1,254 @@
+//! SPLASHE storage planning (§4.2, Figure 10b).
+//!
+//! Splaying is not free: each protected dimension multiplies the storage of
+//! every measure it is co-queried with. Seabed's planner therefore lets the
+//! user cap the total storage overhead and prioritises dimensions by
+//! cardinality (lowest first), encrypting as many as the budget allows with
+//! SPLASHE and warning that the rest fall back to DET.
+
+use crate::enhanced::{plan_enhanced, EnhancedPlan};
+
+/// A sensitive dimension the user wants protected, together with the
+/// information the planner needs.
+#[derive(Clone, Debug)]
+pub struct DimensionProfile {
+    /// Column name.
+    pub name: String,
+    /// Expected value distribution (value, occurrence count or weight).
+    pub distribution: Vec<(String, u64)>,
+    /// Number of measure columns that queries combine with this dimension
+    /// (only these need to be splayed alongside it).
+    pub co_queried_measures: usize,
+}
+
+impl DimensionProfile {
+    /// Dimension cardinality.
+    pub fn cardinality(&self) -> usize {
+        self.distribution.len()
+    }
+}
+
+/// How the planner decided to protect one dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DimensionDecision {
+    /// Splay every value (basic SPLASHE).
+    BasicSplashe {
+        /// Storage multiplier this choice costs.
+        factor: f64,
+    },
+    /// Splay only the frequent values (enhanced SPLASHE).
+    EnhancedSplashe {
+        /// The chosen split of frequent vs infrequent values.
+        plan: EnhancedPlan,
+        /// Storage multiplier this choice costs.
+        factor: f64,
+    },
+    /// Budget exhausted: fall back to deterministic encryption and accept the
+    /// frequency leakage (the planner "warns the user", §4.2).
+    DeterministicFallback,
+}
+
+/// Cumulative overhead report for one dimension, in the order Figure 10b plots
+/// them (sorted by cardinality).
+#[derive(Clone, Debug)]
+pub struct OverheadPoint {
+    /// Dimension name.
+    pub name: String,
+    /// Dimension cardinality.
+    pub cardinality: usize,
+    /// Cumulative storage factor if this and all previous dimensions use
+    /// basic SPLASHE.
+    pub cumulative_basic: f64,
+    /// Cumulative storage factor if this and all previous dimensions use
+    /// enhanced SPLASHE.
+    pub cumulative_enhanced: f64,
+}
+
+/// Per-dimension storage factors and the cumulative curves of Figure 10b.
+///
+/// Overheads are modeled the way the paper reports them: each dimension's
+/// splaying multiplies the storage of its own column plus its co-queried
+/// measures; dimensions are independent, so cumulative overhead is the sum of
+/// the per-dimension extra columns normalised by the plaintext column count.
+pub fn overhead_curve(dimensions: &[DimensionProfile], total_plain_columns: usize) -> Vec<OverheadPoint> {
+    let mut dims: Vec<&DimensionProfile> = dimensions.iter().collect();
+    dims.sort_by_key(|d| d.cardinality());
+    let mut extra_basic = 0.0f64;
+    let mut extra_enhanced = 0.0f64;
+    let mut points = Vec::with_capacity(dims.len());
+    for dim in dims {
+        let d = dim.cardinality() as f64;
+        let m = dim.co_queried_measures as f64;
+        // Basic: dimension column becomes d indicator columns, each co-queried
+        // measure becomes d columns.
+        let basic_columns = d + m * d;
+        let plain_columns = 1.0 + m;
+        extra_basic += basic_columns - plain_columns;
+        // Enhanced: dimension keeps 1 DET column, each measure becomes k+1.
+        let plan = plan_enhanced(&dim.distribution);
+        let enhanced_columns = 1.0 + m * (plan.k() as f64 + 1.0);
+        extra_enhanced += enhanced_columns - plain_columns;
+        points.push(OverheadPoint {
+            name: dim.name.clone(),
+            cardinality: dim.cardinality(),
+            cumulative_basic: 1.0 + extra_basic / total_plain_columns as f64,
+            cumulative_enhanced: 1.0 + extra_enhanced / total_plain_columns as f64,
+        });
+    }
+    points
+}
+
+/// Decides, per dimension, whether to use basic SPLASHE, enhanced SPLASHE or
+/// the DET fallback, under a maximum cumulative storage factor.
+///
+/// Dimensions are prioritised lowest-cardinality first, "in order to maximise
+/// protection against frequency attacks" (§4.2): low-cardinality columns are
+/// exactly the ones frequency attacks decode most easily.
+pub fn plan_under_budget(
+    dimensions: &[DimensionProfile],
+    total_plain_columns: usize,
+    max_storage_factor: f64,
+    prefer_enhanced: bool,
+) -> Vec<(String, DimensionDecision)> {
+    let mut dims: Vec<&DimensionProfile> = dimensions.iter().collect();
+    dims.sort_by_key(|d| d.cardinality());
+    let mut decisions = Vec::with_capacity(dims.len());
+    let mut extra_columns = 0.0f64;
+    for dim in dims {
+        let d = dim.cardinality() as f64;
+        let m = dim.co_queried_measures as f64;
+        let plain_columns = 1.0 + m;
+        let (candidate_extra, decision) = if prefer_enhanced {
+            let plan = plan_enhanced(&dim.distribution);
+            let cols = 1.0 + m * (plan.k() as f64 + 1.0);
+            let factor = cols / plain_columns;
+            (cols - plain_columns, DimensionDecision::EnhancedSplashe { plan, factor })
+        } else {
+            let cols = d + m * d;
+            let factor = cols / plain_columns;
+            (cols - plain_columns, DimensionDecision::BasicSplashe { factor })
+        };
+        let projected = 1.0 + (extra_columns + candidate_extra) / total_plain_columns as f64;
+        if projected <= max_storage_factor {
+            extra_columns += candidate_extra;
+            decisions.push((dim.name.clone(), decision));
+        } else {
+            decisions.push((dim.name.clone(), DimensionDecision::DeterministicFallback));
+        }
+    }
+    decisions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zipf_distribution(cardinality: usize, total: u64) -> Vec<(String, u64)> {
+        // A simple Zipf-ish skew: value i gets weight ~ total / (i+1).
+        let h: f64 = (1..=cardinality).map(|i| 1.0 / i as f64).sum();
+        (0..cardinality)
+            .map(|i| {
+                (
+                    format!("v{i}"),
+                    ((total as f64 / h) / (i + 1) as f64).max(1.0) as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn sample_dimensions() -> Vec<DimensionProfile> {
+        (0..10)
+            .map(|i| {
+                let cardinality = 2 + i * 5;
+                DimensionProfile {
+                    name: format!("Col{}", i + 1),
+                    distribution: zipf_distribution(cardinality, 100_000),
+                    co_queried_measures: 2,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn curve_is_sorted_by_cardinality_and_monotone() {
+        let dims = sample_dimensions();
+        let curve = overhead_curve(&dims, 51); // 33 dims + 18 measures
+        assert_eq!(curve.len(), dims.len());
+        for w in curve.windows(2) {
+            assert!(w[0].cardinality <= w[1].cardinality);
+            assert!(w[0].cumulative_basic <= w[1].cumulative_basic);
+            assert!(w[0].cumulative_enhanced <= w[1].cumulative_enhanced);
+        }
+    }
+
+    #[test]
+    fn enhanced_dominates_basic_everywhere() {
+        let curve = overhead_curve(&sample_dimensions(), 51);
+        for p in &curve {
+            assert!(
+                p.cumulative_enhanced <= p.cumulative_basic + 1e-9,
+                "{}: enhanced {} > basic {}",
+                p.name,
+                p.cumulative_enhanced,
+                p.cumulative_basic
+            );
+        }
+    }
+
+    #[test]
+    fn figure10b_shape_more_dimensions_under_same_budget() {
+        // The paper's observation: with a 2x budget, enhanced SPLASHE covers
+        // (at least as many, typically more) dimensions than basic; with 3x it
+        // covers roughly twice as many.
+        let dims = sample_dimensions();
+        let count_covered = |prefer_enhanced: bool, budget: f64| {
+            plan_under_budget(&dims, 51, budget, prefer_enhanced)
+                .iter()
+                .filter(|(_, d)| !matches!(d, DimensionDecision::DeterministicFallback))
+                .count()
+        };
+        for budget in [2.0, 3.0, 5.0] {
+            assert!(
+                count_covered(true, budget) >= count_covered(false, budget),
+                "enhanced should cover at least as many dimensions at {budget}x"
+            );
+        }
+        assert!(count_covered(true, 3.0) > count_covered(false, 3.0));
+    }
+
+    #[test]
+    fn budget_fallback_is_deterministic_encryption() {
+        let dims = sample_dimensions();
+        let decisions = plan_under_budget(&dims, 51, 1.05, true);
+        // A 5% budget cannot fit much splaying; the large dimensions must fall back.
+        assert!(decisions
+            .iter()
+            .any(|(_, d)| matches!(d, DimensionDecision::DeterministicFallback)));
+        // Decisions come back lowest-cardinality first.
+        assert_eq!(decisions.len(), dims.len());
+    }
+
+    #[test]
+    fn generous_budget_covers_everything() {
+        let dims = sample_dimensions();
+        let decisions = plan_under_budget(&dims, 51, 1_000.0, false);
+        assert!(decisions
+            .iter()
+            .all(|(_, d)| matches!(d, DimensionDecision::BasicSplashe { .. })));
+    }
+
+    #[test]
+    fn low_cardinality_dimensions_win_ties_for_budget() {
+        // With a budget that only fits one dimension, the 2-value dimension
+        // (most vulnerable to frequency attacks) must be the one protected.
+        let dims = sample_dimensions();
+        let decisions = plan_under_budget(&dims, 51, 1.3, false);
+        let protected: Vec<&String> = decisions
+            .iter()
+            .filter(|(_, d)| !matches!(d, DimensionDecision::DeterministicFallback))
+            .map(|(n, _)| n)
+            .collect();
+        assert!(!protected.is_empty());
+        assert_eq!(protected[0], "Col1");
+    }
+}

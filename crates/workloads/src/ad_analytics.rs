@@ -1,0 +1,203 @@
+//! Ad-Analytics workload generator (§6.6).
+//!
+//! The paper evaluates Seabed on a production advertising-analytics dataset:
+//! 759 M rows, 33 dimensions, 18 measures, with a month-long log of 168,352
+//! queries, all hour-of-day group-by aggregations producing between 1 and 12
+//! groups. The production data is unavailable, so this generator reproduces
+//! the workload's *shape*: the same column counts, Zipf-skewed dimension
+//! cardinalities matching Figure 10b's x-axis, contiguous upload order (which
+//! is what gives Seabed its small ID lists), and a query-log generator that
+//! draws group counts from {1, 4, 8} the way the paper's performance
+//! experiment does.
+
+use rand::Rng;
+use seabed_core::PlainDataset;
+use seabed_splashe::DimensionProfile;
+
+/// Number of dimension columns in the Ad-Analytics schema.
+pub const NUM_DIMENSIONS: usize = 33;
+/// Number of measure columns in the Ad-Analytics schema.
+pub const NUM_MEASURES: usize = 18;
+/// Number of dimensions the operators marked as sensitive (§6.6).
+pub const SENSITIVE_DIMENSIONS: usize = 10;
+/// Number of measures the operators marked as sensitive (§6.6).
+pub const SENSITIVE_MEASURES: usize = 10;
+
+/// Cardinality of dimension `i` (0-based): grows with the index so that the
+/// Figure 10b curve sorted by cardinality is well defined.
+pub fn dimension_cardinality(index: usize) -> usize {
+    match index {
+        0 => 2,     // e.g. gender
+        1 => 5,     // device class
+        2 => 12,    // hour of day bucket
+        3 => 24,    // hour of day
+        4 => 30,    // ad format
+        5 => 50,    // campaign type
+        6 => 80,    // region
+        7 => 120,   // market
+        8 => 196,   // country
+        9 => 400,   // advertiser segment
+        _ => 50 + index * 37,
+    }
+}
+
+/// Zipf-like distribution over `cardinality` values with total weight `total`.
+pub fn zipf_distribution(cardinality: usize, total: u64) -> Vec<(String, u64)> {
+    let h: f64 = (1..=cardinality).map(|i| 1.0 / i as f64).sum();
+    (0..cardinality)
+        .map(|i| {
+            let weight = ((total as f64 / h) / (i + 1) as f64).max(1.0) as u64;
+            (format!("v{i}"), weight)
+        })
+        .collect()
+}
+
+/// Generates the Ad-Analytics dataset with `rows` rows.
+///
+/// Dimension columns are named `dim00` … `dim32` (hour-of-day is `dim03`),
+/// measures `measure00` … `measure17` (`measure00` is "revenue",
+/// `measure01` is "clicks").
+pub fn generate<R: Rng + ?Sized>(rng: &mut R, rows: usize) -> PlainDataset {
+    let mut dataset = PlainDataset::new("ad_analytics");
+    for d in 0..NUM_DIMENSIONS {
+        let cardinality = dimension_cardinality(d);
+        let dist = zipf_distribution(cardinality, rows as u64);
+        let total: u64 = dist.iter().map(|(_, w)| *w).sum();
+        let column: Vec<String> = (0..rows)
+            .map(|_| {
+                let mut target = rng.random_range(0..total.max(1));
+                for (value, weight) in &dist {
+                    if target < *weight {
+                        return value.clone();
+                    }
+                    target -= weight;
+                }
+                dist.last().map(|(v, _)| v.clone()).unwrap_or_default()
+            })
+            .collect();
+        dataset = dataset.with_text_column(&format!("dim{d:02}"), column);
+    }
+    // Hour-of-day as a numeric column too (the group-by key of the query log).
+    dataset = dataset.with_uint_column("hour", (0..rows).map(|_| rng.random_range(0..24u64)).collect());
+    for m in 0..NUM_MEASURES {
+        let column: Vec<u64> = (0..rows).map(|_| rng.random_range(0..100_000u64)).collect();
+        dataset = dataset.with_uint_column(&format!("measure{m:02}"), column);
+    }
+    dataset
+}
+
+/// Dimension profiles for the 10 sensitive dimensions, as the SPLASHE planner
+/// consumes them (Figure 10b).
+pub fn sensitive_dimension_profiles(rows: u64) -> Vec<DimensionProfile> {
+    (0..SENSITIVE_DIMENSIONS)
+        .map(|d| DimensionProfile {
+            name: format!("dim{d:02}"),
+            distribution: zipf_distribution(dimension_cardinality(d), rows),
+            co_queried_measures: SENSITIVE_MEASURES,
+        })
+        .collect()
+}
+
+/// One query of the Ad-Analytics log.
+#[derive(Clone, Debug)]
+pub struct AdQuery {
+    /// SQL text.
+    pub sql: String,
+    /// Number of hour-of-day groups the query restricts to (1–12).
+    pub groups: usize,
+}
+
+/// Generates a query log in the style of §6.6: aggregations of a sensitive
+/// measure grouped by hour-of-day, restricted to a window of `groups` hours.
+pub fn query_log<R: Rng + ?Sized>(rng: &mut R, count: usize) -> Vec<AdQuery> {
+    (0..count)
+        .map(|_| {
+            let groups = *[1usize, 4, 8].get(rng.random_range(0..3usize)).unwrap();
+            let start = rng.random_range(0..(24 - groups) as u64);
+            let measure = rng.random_range(0..SENSITIVE_MEASURES);
+            let sql = format!(
+                "SELECT hour, SUM(measure{measure:02}) FROM ad_analytics WHERE hour >= {start} AND hour < {} GROUP BY hour",
+                start + groups as u64
+            );
+            AdQuery { sql, groups }
+        })
+        .collect()
+}
+
+/// The 15-query performance set of §6.6: five queries each for group sizes
+/// 1, 4 and 8.
+pub fn performance_query_set<R: Rng + ?Sized>(rng: &mut R) -> Vec<AdQuery> {
+    let mut queries = Vec::new();
+    for &groups in &[1usize, 4, 8] {
+        for _ in 0..5 {
+            let start = rng.random_range(0..(24 - groups) as u64);
+            let measure = rng.random_range(0..2usize);
+            queries.push(AdQuery {
+                sql: format!(
+                    "SELECT hour, SUM(measure{measure:02}) FROM ad_analytics WHERE hour >= {start} AND hour < {} GROUP BY hour",
+                    start + groups as u64
+                ),
+                groups,
+            });
+        }
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seabed_query::parse;
+
+    #[test]
+    fn schema_has_paper_column_counts() {
+        let ds = generate(&mut rand::rng(), 200);
+        let dims = ds.columns.iter().filter(|(n, _)| n.starts_with("dim")).count();
+        let measures = ds.columns.iter().filter(|(n, _)| n.starts_with("measure")).count();
+        assert_eq!(dims, NUM_DIMENSIONS);
+        assert_eq!(measures, NUM_MEASURES);
+        assert!(ds.column("hour").is_some());
+        assert_eq!(ds.num_rows(), 200);
+    }
+
+    #[test]
+    fn dimension_cardinalities_are_increasing() {
+        let cards: Vec<usize> = (0..SENSITIVE_DIMENSIONS).map(dimension_cardinality).collect();
+        assert!(cards.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(cards[0], 2);
+        assert_eq!(cards[8], 196, "the country-like dimension");
+    }
+
+    #[test]
+    fn zipf_distribution_is_skewed() {
+        let dist = zipf_distribution(100, 1_000_000);
+        assert_eq!(dist.len(), 100);
+        assert!(dist[0].1 > 10 * dist[99].1, "head should dominate tail");
+    }
+
+    #[test]
+    fn query_log_parses_and_matches_group_counts() {
+        let queries = query_log(&mut rand::rng(), 50);
+        assert_eq!(queries.len(), 50);
+        for q in &queries {
+            assert!(parse(&q.sql).is_ok(), "failed to parse {}", q.sql);
+            assert!(q.groups >= 1 && q.groups <= 12);
+        }
+    }
+
+    #[test]
+    fn performance_set_has_15_queries() {
+        let set = performance_query_set(&mut rand::rng());
+        assert_eq!(set.len(), 15);
+        assert_eq!(set.iter().filter(|q| q.groups == 1).count(), 5);
+        assert_eq!(set.iter().filter(|q| q.groups == 4).count(), 5);
+        assert_eq!(set.iter().filter(|q| q.groups == 8).count(), 5);
+    }
+
+    #[test]
+    fn sensitive_profiles_match_figure10b_inputs() {
+        let profiles = sensitive_dimension_profiles(10_000);
+        assert_eq!(profiles.len(), SENSITIVE_DIMENSIONS);
+        assert!(profiles.iter().all(|p| p.co_queried_measures == SENSITIVE_MEASURES));
+    }
+}

@@ -1,0 +1,266 @@
+//! Query-support classification (Table 4) and the MDX function matrix
+//! (Table 6).
+//!
+//! Section 5 of the paper analyses three query populations — the Ad-Analytics
+//! log, TPC-DS and the MDX API — and buckets each query into one of four
+//! support categories: fully on the server, client pre-processing, client
+//! post-processing, or two round-trips. This module reproduces the
+//! classification logic for queries expressed in the repo's dialect, carries
+//! the full Table 6 MDX function matrix, and aggregates counts per category so
+//! the Table 4 harness can regenerate the row shapes.
+
+use seabed_query::{parse, AggregateFunction, Query, SelectItem, SupportCategory};
+use std::collections::BTreeMap;
+
+/// Classifies a single query in this repo's dialect into the paper's four
+/// support categories.
+pub fn classify_query(query: &Query) -> SupportCategory {
+    let mut category = SupportCategory::ServerOnly;
+    for item in &query.select {
+        if let SelectItem::Aggregate { func, .. } = item {
+            let c = match func {
+                AggregateFunction::Sum
+                | AggregateFunction::Count
+                | AggregateFunction::Min
+                | AggregateFunction::Max => SupportCategory::ServerOnly,
+                // AVG needs only a final division: the paper still counts it
+                // as server-supported (Table 6, row 2).
+                AggregateFunction::Avg => SupportCategory::ServerOnly,
+                AggregateFunction::Variance | AggregateFunction::Stddev => SupportCategory::ClientPreProcessing,
+            };
+            category = category.max_with(c);
+        }
+    }
+    category
+}
+
+/// Classifies a SQL string, returning `None` when it does not parse (the
+/// paper's ad-analytics heuristic similarly works on query structure only).
+pub fn classify_sql(sql: &str) -> Option<SupportCategory> {
+    parse(sql).ok().map(|q| classify_query(&q))
+}
+
+/// Counts per support category, i.e. one row of Table 4.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CategoryCounts {
+    /// Queries answered entirely on the server.
+    pub server_only: usize,
+    /// Queries needing client pre-processing (e.g. uploaded squares).
+    pub client_pre: usize,
+    /// Queries needing client post-processing.
+    pub client_post: usize,
+    /// Queries needing two round-trips.
+    pub two_round_trips: usize,
+}
+
+impl CategoryCounts {
+    /// Total queries classified.
+    pub fn total(&self) -> usize {
+        self.server_only + self.client_pre + self.client_post + self.two_round_trips
+    }
+
+    /// Adds a query of the given category.
+    pub fn add(&mut self, category: SupportCategory) {
+        match category {
+            SupportCategory::ServerOnly => self.server_only += 1,
+            SupportCategory::ClientPreProcessing => self.client_pre += 1,
+            SupportCategory::ClientPostProcessing => self.client_post += 1,
+            SupportCategory::TwoRoundTrips => self.two_round_trips += 1,
+        }
+    }
+
+    /// Fraction of queries supported purely on the server.
+    pub fn server_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.server_only as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Classifies a whole query set.
+pub fn classify_set<'a, I: IntoIterator<Item = &'a str>>(queries: I) -> CategoryCounts {
+    let mut counts = CategoryCounts::default();
+    for sql in queries {
+        if let Some(category) = classify_sql(sql) {
+            counts.add(category);
+        } else {
+            // Queries outside the dialect (arbitrary user functions) need
+            // client post-processing, mirroring the paper's heuristic.
+            counts.add(SupportCategory::ClientPostProcessing);
+        }
+    }
+    counts
+}
+
+/// One MDX function of Table 6.
+#[derive(Clone, Debug)]
+pub struct MdxFunction {
+    /// Function name.
+    pub name: &'static str,
+    /// How Seabed supports it.
+    pub how: &'static str,
+    /// Support category ("Seabed Type" column).
+    pub category: SupportCategory,
+}
+
+/// The full Table 6 matrix: all 38 MDX functions and how Seabed supports them.
+pub fn mdx_functions() -> Vec<MdxFunction> {
+    use SupportCategory::*;
+    let rows: [(&str, &str, SupportCategory); 38] = [
+        ("Aggregate", "ASHE for Sum, Count; OPE for Max, Min", ServerOnly),
+        ("Avg", "ASHE for Sum, Count; client does division", ServerOnly),
+        ("CalculationCurrentPass", "Independent of Seabed", ServerOnly),
+        ("CalculationPassValue", "Independent of Seabed", ServerOnly),
+        ("CoalesceEmpty", "Extra counter with identity", ClientPreProcessing),
+        ("Correlation", "ASHE & precomputation of XY; client does division", ClientPreProcessing),
+        ("Count(Dimensions)", "Independent of Seabed", ServerOnly),
+        ("Count(Hierarchy Levels)", "Independent of Seabed", ServerOnly),
+        ("Count(Set)", "Using DET or SPLASHE", ServerOnly),
+        ("Count(Tuple)", "Independent of Seabed", ServerOnly),
+        ("Covariance", "Same as Correlation", ClientPreProcessing),
+        ("CovarianceN", "Same as Correlation", ClientPreProcessing),
+        ("DistinctCount", "Using DET or SPLASHE", ServerOnly),
+        ("IIf", "Two values sent back to the client", ClientPostProcessing),
+        ("LinRegIntercept", "Data sent back to client for every iteration", TwoRoundTrips),
+        ("LinRegPoint", "Same as LinRegIntercept", TwoRoundTrips),
+        ("LinRegR2", "Same as LinRegIntercept", TwoRoundTrips),
+        ("LinRegSlope", "Same as LinRegIntercept", TwoRoundTrips),
+        ("LinRegVariance", "Same as LinRegIntercept", TwoRoundTrips),
+        ("LookupCube", "Data sent back to client for computation", ClientPostProcessing),
+        ("Max", "Using OPE", ServerOnly),
+        ("Median", "Using OPE", ServerOnly),
+        ("Min", "Using OPE", ServerOnly),
+        ("Ordinal", "Using OPE", ServerOnly),
+        ("Predict", "Data sent back to client for computation", ClientPostProcessing),
+        ("Rank", "Using OPE", ServerOnly),
+        ("RollupChildren", "Data sent back to client for computation", ClientPostProcessing),
+        ("Stddev", "ASHE when client uploads encrypted squares", ClientPreProcessing),
+        ("StddevP", "Same as Stddev", ClientPreProcessing),
+        ("Stdev", "Alias for Stddev", ClientPreProcessing),
+        ("StdevP", "Alias for StddevP", ClientPreProcessing),
+        ("StrToValue", "Independent of Seabed", ServerOnly),
+        ("Sum", "Using ASHE", ServerOnly),
+        ("Value", "Independent of Seabed", ServerOnly),
+        ("Var", "Same as Stddev", ClientPreProcessing),
+        ("Variance", "Alias for Var", ClientPreProcessing),
+        ("VarianceP", "Alias for VarP", ClientPreProcessing),
+        ("VarP", "Same as Stddev", ClientPreProcessing),
+    ];
+    rows.iter()
+        .map(|(name, how, category)| MdxFunction {
+            name,
+            how,
+            category: *category,
+        })
+        .collect()
+}
+
+/// Table 4's MDX row: category counts over the 38 MDX functions.
+pub fn mdx_category_counts() -> CategoryCounts {
+    let mut counts = CategoryCounts::default();
+    for f in mdx_functions() {
+        counts.add(f.category);
+    }
+    counts
+}
+
+/// A compact stand-in for the TPC-DS query set: 99 queries whose category
+/// proportions follow Table 4 (69 server-only, 2 pre-processing, 25
+/// post-processing, 3 two-round-trip).
+pub fn tpcds_category_counts() -> CategoryCounts {
+    CategoryCounts {
+        server_only: 69,
+        client_pre: 2,
+        client_post: 25,
+        two_round_trips: 3,
+    }
+}
+
+/// Summary rows of Table 4 keyed by query-set name.
+pub fn table4_rows(ad_analytics_counts: &CategoryCounts) -> BTreeMap<&'static str, CategoryCounts> {
+    let mut rows = BTreeMap::new();
+    rows.insert("Ad Analytics", ad_analytics_counts.clone());
+    rows.insert("TPC-DS", tpcds_category_counts());
+    rows.insert("MDX", mdx_category_counts());
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_aggregations_are_server_only() {
+        for sql in [
+            "SELECT SUM(x) FROM t",
+            "SELECT COUNT(*) FROM t WHERE a = 1",
+            "SELECT AVG(x) FROM t",
+            "SELECT g, MIN(x) FROM t GROUP BY g",
+        ] {
+            assert_eq!(classify_sql(sql), Some(seabed_query::SupportCategory::ServerOnly), "{sql}");
+        }
+    }
+
+    #[test]
+    fn quadratic_aggregations_need_preprocessing() {
+        assert_eq!(
+            classify_sql("SELECT VARIANCE(x) FROM t"),
+            Some(seabed_query::SupportCategory::ClientPreProcessing)
+        );
+        assert_eq!(
+            classify_sql("SELECT STDDEV(x) FROM t"),
+            Some(seabed_query::SupportCategory::ClientPreProcessing)
+        );
+    }
+
+    #[test]
+    fn unparseable_queries_fall_into_post_processing() {
+        let counts = classify_set(["SELECT SUM(x) FROM t", "CALL custom_udf(everything)"]);
+        assert_eq!(counts.server_only, 1);
+        assert_eq!(counts.client_post, 1);
+        assert_eq!(counts.total(), 2);
+    }
+
+    #[test]
+    fn mdx_matrix_matches_table6_totals() {
+        let functions = mdx_functions();
+        assert_eq!(functions.len(), 38);
+        let counts = mdx_category_counts();
+        // Table 4's MDX row: 38 total, 17 server, 12 pre, 4 post, 5 two-round-trip.
+        assert_eq!(counts.total(), 38);
+        assert_eq!(counts.server_only, 17);
+        assert_eq!(counts.client_pre, 12);
+        assert_eq!(counts.client_post, 4);
+        assert_eq!(counts.two_round_trips, 5);
+    }
+
+    #[test]
+    fn tpcds_row_matches_table4() {
+        let counts = tpcds_category_counts();
+        assert_eq!(counts.total(), 99);
+        assert_eq!(counts.server_only, 69);
+    }
+
+    #[test]
+    fn ad_analytics_log_is_mostly_server_only() {
+        let queries = crate::ad_analytics::query_log(&mut rand::rng(), 200);
+        let counts = classify_set(queries.iter().map(|q| q.sql.as_str()));
+        assert_eq!(counts.total(), 200);
+        assert!(counts.server_fraction() > 0.75, "the paper reports ~80% server-only");
+    }
+
+    #[test]
+    fn table4_has_three_rows() {
+        let ada = CategoryCounts {
+            server_only: 134_298,
+            client_pre: 0,
+            client_post: 34_054,
+            two_round_trips: 0,
+        };
+        let rows = table4_rows(&ada);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows["Ad Analytics"].total(), 168_352);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: plan, encrypt, upload and query a small dataset with Seabed.
+//!
+//! Run with: `cargo run -p seabed-core --release --example quickstart`
+
+use seabed_core::{PlainDataset, SeabedClient, SeabedServer};
+use seabed_engine::{Cluster, ClusterConfig};
+use seabed_query::{parse, ColumnSpec, PlannerConfig};
+
+fn main() {
+    // 1. The data collector's plaintext table.
+    let countries: Vec<String> = ["USA", "USA", "Canada", "India", "USA", "Canada", "Chile", "India"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let data = PlainDataset::new("sales")
+        .with_text_column("country", countries)
+        .with_uint_column("revenue", vec![120, 80, 200, 40, 160, 90, 30, 55])
+        .with_uint_column("year", vec![2014, 2015, 2015, 2016, 2016, 2016, 2016, 2016]);
+
+    // 2. Create the plan: country is a sensitive dimension with a known
+    //    distribution (so it gets enhanced SPLASHE), revenue a sensitive
+    //    measure (ASHE), year a range-filtered dimension (OPE).
+    let columns = vec![
+        ColumnSpec::sensitive_with_distribution("country", data.distribution("country").unwrap()),
+        ColumnSpec::sensitive("revenue"),
+        ColumnSpec::sensitive("year"),
+    ];
+    let samples = vec![
+        parse("SELECT SUM(revenue) FROM sales WHERE country = 'USA'").unwrap(),
+        parse("SELECT SUM(revenue) FROM sales WHERE year >= 2015").unwrap(),
+        parse("SELECT AVG(revenue) FROM sales").unwrap(),
+    ];
+    let mut client = SeabedClient::create_plan(b"tenant-master-key", &columns, &samples, &PlannerConfig::default());
+    println!("Schema plan:");
+    for col in &client.plan().columns {
+        println!("  {:<10} {:?} -> {:?}", col.name, col.role, col.encryption);
+    }
+
+    // 3. Encrypt and upload; stand up the (untrusted) server.
+    let encrypted = client.encrypt_dataset(&data, 4, &mut rand::rng());
+    println!("\nEncrypted physical columns:");
+    for field in &encrypted.table.schema.fields {
+        println!("  {}", field.name);
+    }
+    let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(8)));
+
+    // 4. Ask questions in plain SQL; the proxy translates, the server computes
+    //    on ciphertexts, the proxy decrypts.
+    for sql in [
+        "SELECT SUM(revenue) FROM sales",
+        "SELECT SUM(revenue) FROM sales WHERE country = 'USA'",
+        "SELECT SUM(revenue) FROM sales WHERE country = 'India'",
+        "SELECT COUNT(*) FROM sales WHERE year >= 2016",
+        "SELECT AVG(revenue) FROM sales",
+    ] {
+        let result = client.query(&server, sql).expect("query failed");
+        println!("\n{sql}\n  -> {:?}  (server {:?}, client {:?})",
+            result.rows, result.timings.server, result.timings.client);
+    }
+}

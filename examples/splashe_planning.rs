@@ -1,0 +1,43 @@
+//! Shows how the Seabed planner budgets SPLASHE storage across dimensions
+//! (Figure 10(b) of the paper).
+//!
+//! Run with: `cargo run -p seabed-core --release --example splashe_planning`
+
+use seabed_splashe::{overhead_curve, plan_under_budget, DimensionDecision};
+use seabed_workloads::ad_analytics;
+
+fn main() {
+    let rows = 1_000_000u64;
+    let profiles = ad_analytics::sensitive_dimension_profiles(rows);
+    let total_columns = ad_analytics::NUM_DIMENSIONS + ad_analytics::NUM_MEASURES;
+
+    println!("Cumulative storage overhead (sorted by cardinality):");
+    println!("{:<12} {:>6} {:>16} {:>18}", "dimension", "card.", "basic SPLASHE x", "enhanced SPLASHE x");
+    for point in overhead_curve(&profiles, total_columns) {
+        println!(
+            "{:<12} {:>6} {:>16.2} {:>18.2}",
+            point.name, point.cardinality, point.cumulative_basic, point.cumulative_enhanced
+        );
+    }
+
+    for budget in [2.0, 3.0, 10.0] {
+        let decisions = plan_under_budget(&profiles, total_columns, budget, true);
+        let protected = decisions
+            .iter()
+            .filter(|(_, d)| !matches!(d, DimensionDecision::DeterministicFallback))
+            .count();
+        println!(
+            "\nWith a {budget}x storage budget, enhanced SPLASHE protects {protected} of {} sensitive dimensions:",
+            profiles.len()
+        );
+        for (name, decision) in &decisions {
+            match decision {
+                DimensionDecision::EnhancedSplashe { plan, factor } => {
+                    println!("  {name:<8} enhanced SPLASHE (k={}, {:.2}x)", plan.k(), factor)
+                }
+                DimensionDecision::BasicSplashe { factor } => println!("  {name:<8} basic SPLASHE ({factor:.2}x)"),
+                DimensionDecision::DeterministicFallback => println!("  {name:<8} DET fallback (frequency leakage!)"),
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end integration test: plan -> encrypt -> query across all schemes.
+
+use seabed_core::{PlainDataset, ResultValue, SeabedClient, SeabedServer};
+use seabed_engine::{Cluster, ClusterConfig};
+use seabed_query::{parse, ColumnSpec, PlannerConfig};
+use std::collections::HashMap;
+
+fn build_world(rows: usize) -> (SeabedClient, SeabedServer, PlainDataset) {
+    let countries = ["USA", "Canada", "India", "Chile", "Japan"];
+    let country_col: Vec<String> = (0..rows)
+        .map(|i| {
+            // Skewed: USA and Canada dominate.
+            match i % 10 {
+                0..=4 => "USA".to_string(),
+                5..=7 => "Canada".to_string(),
+                8 => countries[2 + (i / 10) % 3].to_string(),
+                _ => countries[2 + (i / 7) % 3].to_string(),
+            }
+        })
+        .collect();
+    let dataset = PlainDataset::new("sales")
+        .with_text_column("country", country_col)
+        .with_uint_column("revenue", (0..rows as u64).map(|i| i % 500 + 1).collect())
+        .with_uint_column("clicks", (0..rows as u64).map(|i| i % 7).collect())
+        .with_uint_column("ts", (0..rows as u64).collect())
+        .with_text_column("dept", (0..rows).map(|i| format!("d{}", i % 4)).collect());
+    let columns = vec![
+        ColumnSpec::sensitive_with_distribution("country", dataset.distribution("country").unwrap()),
+        ColumnSpec::sensitive("revenue"),
+        ColumnSpec::sensitive("clicks"),
+        ColumnSpec::sensitive("ts"),
+        ColumnSpec::sensitive("dept"),
+    ];
+    let samples: Vec<_> = [
+        "SELECT SUM(revenue) FROM sales WHERE country = 'USA'",
+        "SELECT SUM(revenue) FROM sales WHERE ts >= 100",
+        "SELECT dept, SUM(revenue) FROM sales GROUP BY dept",
+        "SELECT VARIANCE(clicks) FROM sales",
+        "SELECT AVG(revenue) FROM sales",
+    ]
+    .iter()
+    .map(|s| parse(s).unwrap())
+    .collect();
+    let mut client = SeabedClient::create_plan(b"it-master", &columns, &samples, &PlannerConfig::default());
+    let encrypted = client.encrypt_dataset(&dataset, 8, &mut rand::rng());
+    let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(16)));
+    (client, server, dataset)
+}
+
+fn plain_sum<F: Fn(usize) -> bool>(ds: &PlainDataset, measure: &str, pred: F) -> u64 {
+    let col = ds.column(measure).unwrap();
+    (0..ds.num_rows()).filter(|&i| pred(i)).map(|i| col.u64_at(i).unwrap()).sum()
+}
+
+#[test]
+fn global_and_filtered_sums_match_plaintext() {
+    let (client, server, ds) = build_world(2000);
+    let total = client.query(&server, "SELECT SUM(revenue) FROM sales").unwrap();
+    assert_eq!(total.rows[0][0], ResultValue::UInt(plain_sum(&ds, "revenue", |_| true)));
+
+    let country = ds.column("country").unwrap();
+    for value in ["USA", "Canada", "India", "Chile", "Japan"] {
+        let sql = format!("SELECT SUM(revenue) FROM sales WHERE country = '{value}'");
+        let result = client.query(&server, &sql).unwrap();
+        let expected = plain_sum(&ds, "revenue", |i| country.text_at(i) == value);
+        assert_eq!(result.rows[0][0], ResultValue::UInt(expected), "country {value}");
+    }
+}
+
+#[test]
+fn range_filters_and_counts_match_plaintext() {
+    let (client, server, ds) = build_world(1500);
+    let ts = ds.column("ts").unwrap();
+    let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE ts >= 700").unwrap();
+    let expected = plain_sum(&ds, "revenue", |i| ts.u64_at(i).unwrap() >= 700);
+    assert_eq!(result.rows[0][0], ResultValue::UInt(expected));
+
+    let count = client.query(&server, "SELECT COUNT(*) FROM sales WHERE ts < 300").unwrap();
+    assert_eq!(count.rows[0][0], ResultValue::UInt(300));
+}
+
+#[test]
+fn group_by_matches_plaintext_per_group() {
+    let (client, server, ds) = build_world(1200);
+    let result = client.query(&server, "SELECT dept, SUM(revenue) FROM sales GROUP BY dept").unwrap();
+    assert_eq!(result.rows.len(), 4);
+    let dept = ds.column("dept").unwrap();
+    let mut expected: HashMap<String, u64> = HashMap::new();
+    for i in 0..ds.num_rows() {
+        *expected.entry(dept.text_at(i)).or_insert(0) += ds.column("revenue").unwrap().u64_at(i).unwrap();
+    }
+    for row in &result.rows {
+        let ResultValue::Text(key) = &row[0] else { panic!("expected text key") };
+        assert_eq!(row[1].as_u64().unwrap(), expected[key], "group {key}");
+    }
+}
+
+#[test]
+fn avg_and_variance_match_plaintext() {
+    let (client, server, ds) = build_world(900);
+    let revenue: Vec<f64> = (0..ds.num_rows())
+        .map(|i| ds.column("revenue").unwrap().u64_at(i).unwrap() as f64)
+        .collect();
+    let mean = revenue.iter().sum::<f64>() / revenue.len() as f64;
+    let avg = client.query(&server, "SELECT AVG(revenue) FROM sales").unwrap();
+    assert!((avg.rows[0][0].as_f64() - mean).abs() < 1e-9);
+
+    let clicks: Vec<f64> = (0..ds.num_rows())
+        .map(|i| ds.column("clicks").unwrap().u64_at(i).unwrap() as f64)
+        .collect();
+    let cmean = clicks.iter().sum::<f64>() / clicks.len() as f64;
+    let cvar = clicks.iter().map(|v| (v - cmean) * (v - cmean)).sum::<f64>() / clicks.len() as f64;
+    let var = client.query(&server, "SELECT VARIANCE(clicks) FROM sales").unwrap();
+    assert!((var.rows[0][0].as_f64() - cvar).abs() < 1e-6, "variance {} vs {}", var.rows[0][0].as_f64(), cvar);
+}
+
+#[test]
+fn server_never_sees_plaintext_columns() {
+    let (_, server, _) = build_world(500);
+    let names: Vec<&str> = server.table().schema.fields.iter().map(|f| f.name.as_str()).collect();
+    for leaked in ["revenue", "clicks", "ts", "country", "dept"] {
+        assert!(!names.contains(&leaked), "plaintext column {leaked} must not be stored");
+    }
+}
+
+#[test]
+fn timings_are_populated() {
+    let (client, server, _) = build_world(800);
+    let result = client.query(&server, "SELECT SUM(revenue) FROM sales").unwrap();
+    assert!(result.timings.server > std::time::Duration::ZERO);
+    assert!(result.result_bytes > 0);
+    assert!(result.client_prf_evals >= 2, "at least one telescoped run must be decrypted");
+}
