@@ -51,20 +51,12 @@ pub fn encrypt_column(scheme: &AsheScheme, values: &[u64], start_id: u64) -> Enc
     for (offset, &m) in values.iter().enumerate() {
         out.push(scheme.encrypt(m, start_id + offset as u64).value);
     }
-    EncryptedColumn {
-        start_id,
-        values: out,
-    }
+    EncryptedColumn { start_id, values: out }
 }
 
 /// Encrypts a column using `threads` worker threads (§4.3's multi-threaded
 /// encryption). Falls back to the sequential path for small inputs.
-pub fn encrypt_column_parallel(
-    scheme: &AsheScheme,
-    values: &[u64],
-    start_id: u64,
-    threads: usize,
-) -> EncryptedColumn {
+pub fn encrypt_column_parallel(scheme: &AsheScheme, values: &[u64], start_id: u64, threads: usize) -> EncryptedColumn {
     let threads = threads.max(1);
     if threads == 1 || values.len() < 4096 {
         return encrypt_column(scheme, values, start_id);
@@ -72,11 +64,7 @@ pub fn encrypt_column_parallel(
     let chunk_size = values.len().div_ceil(threads);
     let mut out = vec![0u64; values.len()];
     std::thread::scope(|scope| {
-        for (chunk_idx, (input, output)) in values
-            .chunks(chunk_size)
-            .zip(out.chunks_mut(chunk_size))
-            .enumerate()
-        {
+        for (chunk_idx, (input, output)) in values.chunks(chunk_size).zip(out.chunks_mut(chunk_size)).enumerate() {
             let chunk_start = start_id + (chunk_idx * chunk_size) as u64;
             scope.spawn(move || {
                 for (offset, &m) in input.iter().enumerate() {
@@ -85,10 +73,7 @@ pub fn encrypt_column_parallel(
             });
         }
     });
-    EncryptedColumn {
-        start_id,
-        values: out,
-    }
+    EncryptedColumn { start_id, values: out }
 }
 
 /// Decrypts a whole encrypted column back to plaintext (used by tests and by
@@ -128,10 +113,7 @@ pub fn aggregate_where<F: Fn(usize) -> bool>(
             ids.push_ordered(column.id_of(i));
         }
     }
-    AsheCiphertext {
-        value: value_acc,
-        ids,
-    }
+    AsheCiphertext { value: value_acc, ids }
 }
 
 #[cfg(test)]
@@ -185,7 +167,12 @@ mod tests {
         let values: Vec<u64> = (0..2000).collect();
         let col = encrypt_column(&s, &values, 500);
         let agg = aggregate_where(&s, &col, |i| i % 2 == 0);
-        let expected: u64 = values.iter().enumerate().filter(|(i, _)| i % 2 == 0).map(|(_, v)| v).sum();
+        let expected: u64 = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(_, v)| v)
+            .sum();
         assert_eq!(s.decrypt(&agg), expected);
         assert_eq!(agg.row_count(), 1000);
     }

@@ -40,16 +40,16 @@ impl IdSet {
 
     /// Builds a set from a sorted list of identifiers (duplicates are ignored).
     pub fn from_sorted_ids(ids: &[u64]) -> IdSet {
-        IdSet {
-            runs: ids_to_runs(ids),
-        }
+        IdSet { runs: ids_to_runs(ids) }
     }
 
     /// Builds a set from pre-computed runs (must be sorted, non-overlapping,
     /// maximal — checked in debug builds).
     pub fn from_runs(runs: Vec<Run>) -> IdSet {
-        debug_assert!(runs.windows(2).all(|w| w[0].end + 1 < w[1].start),
-            "runs must be sorted, disjoint and non-adjacent");
+        debug_assert!(
+            runs.windows(2).all(|w| w[0].end + 1 < w[1].start),
+            "runs must be sorted, disjoint and non-adjacent"
+        );
         IdSet { runs }
     }
 
@@ -95,7 +95,11 @@ impl IdSet {
         match self.runs.last_mut() {
             Some(run) if id == run.end + 1 => run.end = id,
             Some(run) => {
-                assert!(id > run.end, "push_ordered requires increasing ids (got {id} after {})", run.end);
+                assert!(
+                    id > run.end,
+                    "push_ordered requires increasing ids (got {id} after {})",
+                    run.end
+                );
                 self.runs.push(Run::new(id, id));
             }
             None => self.runs.push(Run::new(id, id)),
@@ -113,20 +117,18 @@ impl IdSet {
         }
         let mut merged: Vec<Run> = Vec::with_capacity(self.runs.len() + other.runs.len());
         let (mut i, mut j) = (0usize, 0usize);
-        let push = |run: Run, merged: &mut Vec<Run>| {
-            match merged.last_mut() {
-                Some(last) if run.start <= last.end + 1 && run.start > last.end => {
-                    last.end = last.end.max(run.end);
-                }
-                Some(last) => {
-                    debug_assert!(
-                        run.start > last.end,
-                        "IdSet::union operands overlap: {last:?} vs {run:?}"
-                    );
-                    merged.push(run);
-                }
-                None => merged.push(run),
+        let push = |run: Run, merged: &mut Vec<Run>| match merged.last_mut() {
+            Some(last) if run.start <= last.end + 1 && run.start > last.end => {
+                last.end = last.end.max(run.end);
             }
+            Some(last) => {
+                debug_assert!(
+                    run.start > last.end,
+                    "IdSet::union operands overlap: {last:?} vs {run:?}"
+                );
+                merged.push(run);
+            }
+            None => merged.push(run),
         };
         while i < self.runs.len() && j < other.runs.len() {
             if self.runs[i].start <= other.runs[j].start {

@@ -13,7 +13,11 @@ fn bench_fig8(c: &mut Criterion) {
     for selectivity in [0.1, 0.5, 1.0] {
         let ids: Vec<u64> = (0..rows).filter(|&i| row_selected(i, selectivity)).collect();
         let set = IdSet::from_sorted_ids(&ids);
-        for enc in [IdListEncoding::RangesVbDiff, IdListEncoding::RangesVbDiffDeflateFast, IdListEncoding::VbDiff] {
+        for enc in [
+            IdListEncoding::RangesVbDiff,
+            IdListEncoding::RangesVbDiffDeflateFast,
+            IdListEncoding::VbDiff,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(enc.label(), format!("sel={selectivity}")),
                 &set,

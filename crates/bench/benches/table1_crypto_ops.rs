@@ -45,8 +45,12 @@ fn bench_table1(c: &mut Criterion) {
     });
     let c1 = kp.public.encrypt(&mut rng, &m);
     let c2 = kp.public.encrypt(&mut rng, &m);
-    group.bench_function("paillier_add_256", |b| b.iter(|| std::hint::black_box(kp.public.add(&c1, &c2))));
-    group.bench_function("paillier_decrypt_256", |b| b.iter(|| std::hint::black_box(kp.private.decrypt(&c1))));
+    group.bench_function("paillier_add_256", |b| {
+        b.iter(|| std::hint::black_box(kp.public.add(&c1, &c2)))
+    });
+    group.bench_function("paillier_decrypt_256", |b| {
+        b.iter(|| std::hint::black_box(kp.private.decrypt(&c1)))
+    });
 
     group.finish();
 }

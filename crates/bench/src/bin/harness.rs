@@ -4,56 +4,118 @@
 //! cargo run -p seabed-bench --release --bin harness -- all
 //! cargo run -p seabed-bench --release --bin harness -- fig6 fig8 table1
 //! cargo run -p seabed-bench --release --bin harness -- --smoke all
+//! cargo run -p seabed-bench --release --bin harness -- --json-dir=out fig6
 //! ```
+//!
+//! Besides the human-readable tables, every experiment is written as
+//! machine-readable `BENCH_<name>.json` (default directory `bench_results/`)
+//! so successive runs have a perf trajectory to diff against.
 
 use seabed_bench::*;
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let json_dir: PathBuf = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--json-dir="))
+        .unwrap_or("bench_results")
+        .into();
     let scale = if smoke { Scale::smoke() } else { Scale::default() };
+    // "fig8" runs both halves; the emitted JSON names "fig8ab"/"fig8c" are
+    // also accepted so a file name seen in bench_results/ can be replayed.
+    const EXPERIMENTS: [&str; 15] = [
+        "table1", "table2", "table3", "table4", "table5", "table6", "fig6", "fig7", "fig8", "fig8ab", "fig8c", "fig9a",
+        "fig9bc", "fig10a", "fig10b",
+    ];
     let mut requested: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if requested.is_empty() {
         requested.push("all".to_string());
     }
+    let unknown: Vec<&String> = requested
+        .iter()
+        .filter(|r| *r != "all" && !EXPERIMENTS.contains(&r.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment(s): {unknown:?}\nvalid names: all {}",
+            EXPERIMENTS.join(" ")
+        );
+        std::process::exit(2);
+    }
     let want = |name: &str| requested.iter().any(|r| r == name || r == "all");
 
-    println!("Seabed experiment harness (scale: 1/{} of paper row counts)\n", scale.row_divisor);
+    println!(
+        "Seabed experiment harness (scale: 1/{} of paper row counts)\n",
+        scale.row_divisor
+    );
+
+    // Prints the aligned table and writes BENCH_<name>.json alongside.
+    let emit = |name: &str, title: &str, rows: &[Row]| {
+        println!("{}", format_rows(title, rows));
+        match write_bench_json(&json_dir, name, &scale, rows) {
+            Ok(path) => println!("  -> wrote {}\n", path.display()),
+            Err(err) => eprintln!("  !! could not write {name} json: {err}\n"),
+        }
+    };
 
     if want("table1") {
-        println!("{}", format_rows("Table 1: cost of cryptographic operations (ns/op)", &exp_table1(&scale)));
+        emit(
+            "table1",
+            "Table 1: cost of cryptographic operations (ns/op)",
+            &exp_table1(&scale),
+        );
     }
     if want("table2") {
         println!("## Table 2: query translation examples");
+        let mut rows = Vec::new();
         for (sql, plan) in exp_table2() {
             println!("  SQL   : {sql}");
             println!("  Seabed: {plan}");
+            rows.push(Row::new(format!("{sql} => {plan}")));
         }
         println!();
+        if let Ok(path) = write_bench_json(&json_dir, "table2", &scale, &rows) {
+            println!("  -> wrote {}\n", path.display());
+        }
     }
     if want("table3") {
-        println!("{}", format_rows("Table 3: ID-list encodings of [2..14, 19..23]", &exp_table3()));
+        emit("table3", "Table 3: ID-list encodings of [2..14, 19..23]", &exp_table3());
     }
     if want("table4") {
-        println!("{}", format_rows("Table 4: query support categories", &exp_table4(&scale)));
+        emit("table4", "Table 4: query support categories", &exp_table4(&scale));
     }
     if want("table5") {
-        println!("{}", format_rows("Table 5: dataset sizes (scaled)", &exp_table5(&scale)));
+        emit("table5", "Table 5: dataset sizes (scaled)", &exp_table5(&scale));
     }
     if want("table6") {
         println!("## Table 6: MDX function support matrix");
+        let mut rows = Vec::new();
         for (name, how, category) in exp_table6() {
             println!("  {name:<24} {category:<22} {how}");
+            rows.push(Row::new(format!("{name} [{category}] {how}")));
         }
         println!();
+        if let Ok(path) = write_bench_json(&json_dir, "table6", &scale, &rows) {
+            println!("  -> wrote {}\n", path.display());
+        }
     }
     if want("fig6") {
-        println!("{}", format_rows("Figure 6: end-to-end latency vs rows", &latency_rows(&exp_fig6(&scale), false)));
+        emit(
+            "fig6",
+            "Figure 6: end-to-end latency vs rows",
+            &latency_rows(&exp_fig6(&scale), false),
+        );
     }
     if want("fig7") {
-        println!("{}", format_rows("Figure 7: server latency vs workers", &latency_rows(&exp_fig7(&scale), true)));
+        emit(
+            "fig7",
+            "Figure 7: server latency vs workers",
+            &latency_rows(&exp_fig7(&scale), true),
+        );
     }
-    if want("fig8") {
+    if want("fig8") || want("fig8ab") {
         let rows: Vec<Row> = exp_fig8ab(&scale)
             .into_iter()
             .map(|p| {
@@ -62,7 +124,13 @@ fn main() {
                     .with("response_s", p.response.as_secs_f64())
             })
             .collect();
-        println!("{}", format_rows("Figure 8(a,b): ID-list size and response time vs selectivity", &rows));
+        emit(
+            "fig8ab",
+            "Figure 8(a,b): ID-list size and response time vs selectivity",
+            &rows,
+        );
+    }
+    if want("fig8") || want("fig8c") {
         let rows: Vec<Row> = exp_fig8c(&scale)
             .into_iter()
             .map(|p| {
@@ -70,30 +138,34 @@ fn main() {
                     .with("response_s", p.response.as_secs_f64())
             })
             .collect();
-        println!("{}", format_rows("Figure 8(c): OPE selection overhead", &rows));
+        emit("fig8c", "Figure 8(c): OPE selection overhead", &rows);
     }
     if want("fig9a") {
         let rows: Vec<Row> = exp_fig9a(&scale)
             .into_iter()
             .map(|p| Row::new(format!("{} groups={}", p.system, p.groups)).with("response_s", p.response.as_secs_f64()))
             .collect();
-        println!("{}", format_rows("Figure 9(a): group-by microbenchmark", &rows));
+        emit("fig9a", "Figure 9(a): group-by microbenchmark", &rows);
     }
     if want("fig9bc") {
         let rows: Vec<Row> = exp_fig9bc(&scale)
             .into_iter()
             .map(|p| Row::new(format!("{} {}", p.query, p.system)).with("response_s", p.response.as_secs_f64()))
             .collect();
-        println!("{}", format_rows("Figure 9(b,c): Big Data Benchmark", &rows));
+        emit("fig9bc", "Figure 9(b,c): Big Data Benchmark", &rows);
     }
     if want("fig10a") {
         let rows: Vec<Row> = exp_fig10a(&scale)
             .into_iter()
             .map(|p| Row::new(format!("{} groups={}", p.system, p.groups)).with("response_s", p.response.as_secs_f64()))
             .collect();
-        println!("{}", format_rows("Figure 10(a): Ad-Analytics response times", &rows));
+        emit("fig10a", "Figure 10(a): Ad-Analytics response times", &rows);
     }
     if want("fig10b") {
-        println!("{}", format_rows("Figure 10(b): SPLASHE storage overhead (cumulative x)", &exp_fig10b(&scale)));
+        emit(
+            "fig10b",
+            "Figure 10(b): SPLASHE storage overhead (cumulative x)",
+            &exp_fig10b(&scale),
+        );
     }
 }

@@ -123,6 +123,82 @@ pub fn format_rows(title: &str, rows: &[Row]) -> String {
     out
 }
 
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes experiment rows as a machine-readable JSON document:
+///
+/// ```json
+/// {
+///   "experiment": "fig6",
+///   "scale": {"row_divisor": 1000, "partitions": 64, ...},
+///   "rows": [{"label": "...", "values": {"response_s": 1.25}}]
+/// }
+/// ```
+pub fn rows_to_json(experiment: &str, scale: &Scale, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"experiment\": \"{}\",\n", json_escape(experiment)));
+    out.push_str(&format!(
+        "  \"scale\": {{\"row_divisor\": {}, \"paillier_row_cap\": {}, \"paillier_bits\": {}, \"partitions\": {}, \"seed\": {}}},\n",
+        scale.row_divisor, scale.paillier_row_cap, scale.paillier_bits, scale.partitions, scale.seed
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"values\": {{",
+            json_escape(&row.label)
+        ));
+        for (j, (name, value)) in row.values.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", json_escape(name), json_number(*value)));
+        }
+        out.push_str("}}");
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes one experiment's rows to `<dir>/BENCH_<experiment>.json` so future
+/// runs have a perf trajectory to diff against. Returns the file path.
+pub fn write_bench_json(
+    dir: &std::path::Path,
+    experiment: &str,
+    scale: &Scale,
+    rows: &[Row],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, rows_to_json(experiment, scale, rows))?;
+    Ok(path)
+}
+
 fn time_per_op<F: FnMut()>(iterations: u64, mut f: F) -> f64 {
     let start = Instant::now();
     for _ in 0..iterations {
@@ -143,28 +219,40 @@ pub fn exp_table1(scale: &Scale) -> Vec<Row> {
     // AES counter mode (one 128-bit block).
     let ctr = AesCtr::new(&[7u8; 16], 1);
     let mut counter = 0u64;
-    rows.push(Row::new("AES counter mode").with("ns", time_per_op(200_000, || {
-        counter = counter.wrapping_add(1);
-        std::hint::black_box(ctr.keystream_block(counter));
-    })));
+    rows.push(Row::new("AES counter mode").with(
+        "ns",
+        time_per_op(200_000, || {
+            counter = counter.wrapping_add(1);
+            std::hint::black_box(ctr.keystream_block(counter));
+        }),
+    ));
 
     // ASHE encryption / decryption.
     let ashe = AsheScheme::new(&[9u8; 16]);
     let mut id = 0u64;
-    rows.push(Row::new("ASHE encryption").with("ns", time_per_op(200_000, || {
-        id = id.wrapping_add(1);
-        std::hint::black_box(ashe.encrypt(id ^ 0xdead, id));
-    })));
+    rows.push(Row::new("ASHE encryption").with(
+        "ns",
+        time_per_op(200_000, || {
+            id = id.wrapping_add(1);
+            std::hint::black_box(ashe.encrypt(id ^ 0xdead, id));
+        }),
+    ));
     let ct = ashe.encrypt(12345, 42);
-    rows.push(Row::new("ASHE decryption").with("ns", time_per_op(200_000, || {
-        std::hint::black_box(ashe.decrypt(&ct));
-    })));
+    rows.push(Row::new("ASHE decryption").with(
+        "ns",
+        time_per_op(200_000, || {
+            std::hint::black_box(ashe.decrypt(&ct));
+        }),
+    ));
 
     // Plain addition.
     let mut acc = 0u64;
-    rows.push(Row::new("Plain addition").with("ns", time_per_op(2_000_000, || {
-        acc = acc.wrapping_add(std::hint::black_box(3));
-    })));
+    rows.push(Row::new("Plain addition").with(
+        "ns",
+        time_per_op(2_000_000, || {
+            acc = acc.wrapping_add(std::hint::black_box(3));
+        }),
+    ));
     std::hint::black_box(acc);
 
     // Paillier at the configured modulus and at 2048 bits (single ops only).
@@ -326,7 +414,12 @@ pub fn exp_table5(scale: &Scale) -> Vec<Row> {
     let ada = ad_analytics::generate(&mut rng, (scale.rows(759) / 100).max(2_000));
     for (label, dataset, sensitive_measures, splashe_dim) in [
         ("BDB-Rankings", &bdb_tables.rankings, vec!["pageRank"], None),
-        ("BDB-UserVisits", &bdb_tables.uservisits, vec!["adRevenue", "duration"], None),
+        (
+            "BDB-UserVisits",
+            &bdb_tables.uservisits,
+            vec!["adRevenue", "duration"],
+            None,
+        ),
         ("Ad-Analytics", &ada, vec!["measure00", "measure01"], Some("dim00")),
     ] {
         let (noenc_table, seabed_table, paillier_bytes) =
@@ -375,7 +468,13 @@ fn build_size_comparison<R: rand::Rng + ?Sized>(
         .map(|m| parse(&format!("SELECT SUM({m}) FROM t")).unwrap())
         .collect();
     if let Some(dim) = splashe_dim {
-        samples.push(parse(&format!("SELECT SUM({}) FROM t WHERE {dim} = 'v0'", sensitive_measures[0])).unwrap());
+        samples.push(
+            parse(&format!(
+                "SELECT SUM({}) FROM t WHERE {dim} = 'v0'",
+                sensitive_measures[0]
+            ))
+            .unwrap(),
+        );
     }
     let mut seabed_client = SeabedClient::create_plan(b"k", &specs, &samples, &PlannerConfig::default());
     let seabed_table = seabed_client.encrypt_dataset(dataset, scale.partitions, rng).table;
@@ -463,7 +562,12 @@ pub fn exp_fig6(scale: &Scale) -> Vec<LatencyPoint> {
         let ds = synthetic::aggregation_dataset(&mut rng, rows);
 
         // NoEnc.
-        let noenc = NoEncSystem::new(&ds.values, None, scale.partitions, Cluster::new(ClusterConfig::with_workers(100)));
+        let noenc = NoEncSystem::new(
+            &ds.values,
+            None,
+            scale.partitions,
+            Cluster::new(ClusterConfig::with_workers(100)),
+        );
         let r = noenc.sum(1.0);
         points.push(LatencyPoint {
             system: "NoEnc".into(),
@@ -521,7 +625,12 @@ pub fn exp_fig7(scale: &Scale) -> Vec<LatencyPoint> {
     let keypair = PaillierKeypair::generate(&mut rng, scale.paillier_bits);
     let mut points = Vec::new();
     for &workers in &synthetic::FIG7_WORKERS {
-        let noenc = NoEncSystem::new(&ds.values, None, scale.partitions, Cluster::new(ClusterConfig::with_workers(workers)));
+        let noenc = NoEncSystem::new(
+            &ds.values,
+            None,
+            scale.partitions,
+            Cluster::new(ClusterConfig::with_workers(workers)),
+        );
         let r = noenc.sum(1.0);
         points.push(LatencyPoint {
             system: "NoEnc".into(),
@@ -532,8 +641,13 @@ pub fn exp_fig7(scale: &Scale) -> Vec<LatencyPoint> {
             client: Duration::ZERO,
         });
         for (label, sel) in [("Seabed sel=100%", 1.0), ("Seabed sel=50%", 0.5)] {
-            let (_, server, client, _) =
-                ashe_selectivity_run(&ds.values, sel, workers, scale.partitions, IdListEncoding::seabed_default());
+            let (_, server, client, _) = ashe_selectivity_run(
+                &ds.values,
+                sel,
+                workers,
+                scale.partitions,
+                IdListEncoding::seabed_default(),
+            );
             points.push(LatencyPoint {
                 system: label.into(),
                 rows,
@@ -636,8 +750,13 @@ pub fn exp_fig8c(scale: &Scale) -> Vec<SelectivityPoint> {
     let mut points = Vec::new();
     for &selectivity in &synthetic::FIG8_SELECTIVITIES {
         // Plain aggregation at this selectivity (the "Aggregation" line).
-        let (_, server, client, bytes) =
-            ashe_selectivity_run(&ds.values, selectivity, 100, scale.partitions, IdListEncoding::seabed_default());
+        let (_, server, client, bytes) = ashe_selectivity_run(
+            &ds.values,
+            selectivity,
+            100,
+            scale.partitions,
+            IdListEncoding::seabed_default(),
+        );
         points.push(SelectivityPoint {
             config: "Aggregation".into(),
             selectivity,
@@ -650,12 +769,12 @@ pub fn exp_fig8c(scale: &Scale) -> Vec<SelectivityPoint> {
             let words = p.column(0).as_u64();
             let mut sum = 0u64;
             let mut ids = IdSet::new();
-            for i in 0..p.num_rows() {
+            for (i, &word) in words.iter().enumerate() {
                 let ct = seabed_crypto::OreCiphertext {
                     symbols: p.column(1).bytes_at(i).to_vec(),
                 };
                 if ct.compare(&threshold) == std::cmp::Ordering::Less {
-                    sum = sum.wrapping_add(words[i]);
+                    sum = sum.wrapping_add(word);
                     ids.push_ordered(p.row_id(i));
                 }
             }
@@ -669,7 +788,10 @@ pub fn exp_fig8c(scale: &Scale) -> Vec<SelectivityPoint> {
             ids = ids.union(&partial);
         }
         let started = Instant::now();
-        std::hint::black_box(scheme.decrypt(&seabed_ashe::AsheCiphertext { value: total, ids: ids.clone() }));
+        std::hint::black_box(scheme.decrypt(&seabed_ashe::AsheCiphertext {
+            value: total,
+            ids: ids.clone(),
+        }));
         points.push(SelectivityPoint {
             config: "+OPE selection".into(),
             selectivity,
@@ -709,7 +831,12 @@ pub fn exp_fig9a(scale: &Scale) -> Vec<GroupByPoint> {
         let keys = ds.groups.clone().unwrap();
 
         // NoEnc.
-        let noenc = NoEncSystem::new(&ds.values, Some(&keys), scale.partitions, Cluster::new(ClusterConfig::with_workers(workers)));
+        let noenc = NoEncSystem::new(
+            &ds.values,
+            Some(&keys),
+            scale.partitions,
+            Cluster::new(ClusterConfig::with_workers(workers)),
+        );
         let (_, stats) = noenc.group_by_sum(1.0);
         points.push(GroupByPoint {
             system: "NoEnc".into(),
@@ -719,7 +846,10 @@ pub fn exp_fig9a(scale: &Scale) -> Vec<GroupByPoint> {
 
         // Seabed (VB+Diff encoding, no inflation) and Seabed-optimized
         // (inflate group count to the worker count when fewer groups).
-        for (label, inflation) in [("Seabed", 1u64), ("Seabed-optimized", (workers as u64 / groups.max(1)).max(1))] {
+        for (label, inflation) in [
+            ("Seabed", 1u64),
+            ("Seabed-optimized", (workers as u64 / groups.max(1)).max(1)),
+        ] {
             let scheme = AsheScheme::new(&[5u8; 16]);
             let encrypted = seabed_ashe::encrypt_column(&scheme, &ds.values, 0);
             let table = seabed_engine::Table::from_columns(
@@ -740,7 +870,11 @@ pub fn exp_fig9a(scale: &Scale) -> Vec<GroupByPoint> {
                 let grp = p.column(1).as_u64();
                 let mut map: BTreeMap<u64, (u64, IdSet)> = BTreeMap::new();
                 for i in 0..p.num_rows() {
-                    let suffix = if inflation > 1 { (p.row_id(i).wrapping_mul(2654435761)) % inflation } else { 0 };
+                    let suffix = if inflation > 1 {
+                        (p.row_id(i).wrapping_mul(2654435761)) % inflation
+                    } else {
+                        0
+                    };
                     let key = grp[i] * inflation + suffix;
                     let entry = map.entry(key).or_insert_with(|| (0, IdSet::new()));
                     entry.0 = entry.0.wrapping_add(words[i]);
@@ -835,7 +969,10 @@ pub fn exp_fig9bc(scale: &Scale) -> Vec<BdbPoint> {
             .collect();
         let mut client = SeabedClient::create_plan(b"bdb", &specs, &samples, &PlannerConfig::default());
         let encrypted = client.encrypt_dataset(dataset, scale.partitions, rng);
-        let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(workers)));
+        let server = SeabedServer::new(
+            encrypted.table.clone(),
+            Cluster::new(ClusterConfig::with_workers(workers)),
+        );
         (client, server)
     };
     let build_noenc = |dataset: &PlainDataset, rng: &mut StdRng| {
@@ -843,14 +980,24 @@ pub fn exp_fig9bc(scale: &Scale) -> Vec<BdbPoint> {
         let samples = vec![parse("SELECT COUNT(*) FROM t").unwrap()];
         let mut client = SeabedClient::create_plan(b"noenc", &specs, &samples, &PlannerConfig::default());
         let encrypted = client.encrypt_dataset(dataset, scale.partitions, rng);
-        let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(workers)));
+        let server = SeabedServer::new(
+            encrypted.table.clone(),
+            Cluster::new(ClusterConfig::with_workers(workers)),
+        );
         (client, server)
     };
 
     let (rank_client, rank_server) = build(&tables.rankings, &["pageRank", "avgDuration"], &mut rng);
     let (uv_client, uv_server) = build(
         &tables.uservisits,
-        &["adRevenue", "duration", "visitDate", "ipPrefix", "destURL", "countryCode"],
+        &[
+            "adRevenue",
+            "duration",
+            "visitDate",
+            "ipPrefix",
+            "destURL",
+            "countryCode",
+        ],
         &mut rng,
     );
     let (rank_noenc_client, rank_noenc_server) = build_noenc(&tables.rankings, &mut rng);
@@ -950,12 +1097,18 @@ pub fn exp_fig10a(scale: &Scale) -> Vec<AdaPoint> {
     let samples: Vec<_> = queries.iter().map(|q| parse(&q.sql).unwrap()).collect();
     let mut seabed_client = SeabedClient::create_plan(b"ada", &specs, &samples, &PlannerConfig::default());
     let seabed_table = seabed_client.encrypt_dataset(&dataset, scale.partitions, &mut rng);
-    let seabed_server = SeabedServer::new(seabed_table.table.clone(), Cluster::new(ClusterConfig::with_workers(workers)));
+    let seabed_server = SeabedServer::new(
+        seabed_table.table.clone(),
+        Cluster::new(ClusterConfig::with_workers(workers)),
+    );
 
     let noenc_specs: Vec<ColumnSpec> = dataset.columns.iter().map(|(n, _)| ColumnSpec::public(n)).collect();
     let mut noenc_client = SeabedClient::create_plan(b"ada-noenc", &noenc_specs, &samples, &PlannerConfig::default());
     let noenc_table = noenc_client.encrypt_dataset(&dataset, scale.partitions, &mut rng);
-    let noenc_server = SeabedServer::new(noenc_table.table.clone(), Cluster::new(ClusterConfig::with_workers(workers)));
+    let noenc_server = SeabedServer::new(
+        noenc_table.table.clone(),
+        Cluster::new(ClusterConfig::with_workers(workers)),
+    );
 
     // Per-row Paillier addition cost for the estimate.
     let kp = PaillierKeypair::generate(&mut rng, scale.paillier_bits);
@@ -982,8 +1135,8 @@ pub fn exp_fig10a(scale: &Scale) -> Vec<AdaPoint> {
             // Paillier estimate: same selected rows, per-row ciphertext
             // multiplication instead of wrapping addition.
             let selected_rows = rows as f64 * (q.groups as f64 / 24.0);
-            let est = Duration::from_secs_f64(per_add_ns * 1e-9 * selected_rows / workers as f64)
-                + Duration::from_millis(5);
+            let est =
+                Duration::from_secs_f64(per_add_ns * 1e-9 * selected_rows / workers as f64) + Duration::from_millis(5);
             points.push(AdaPoint {
                 system: "Paillier (estimated)".into(),
                 groups: q.groups,
@@ -1088,7 +1241,10 @@ mod tests {
                 .unwrap()
         };
         let rows = points[0].rows;
-        assert!(at("Seabed sel=50%", rows) < at("Paillier", rows), "ASHE must beat Paillier");
+        assert!(
+            at("Seabed sel=50%", rows) < at("Paillier", rows),
+            "ASHE must beat Paillier"
+        );
     }
 
     #[test]
@@ -1108,5 +1264,34 @@ mod tests {
         let text = format_rows("Demo", &rows);
         assert!(text.contains("## Demo"));
         assert!(text.contains("a=1.000"));
+    }
+
+    #[test]
+    fn bench_json_is_machine_readable() {
+        let rows = vec![
+            Row::new("ASHE \"enc\"").with("ns_per_op", 42.5).with("bad", f64::NAN),
+            Row::new("line\ntwo").with("x", 1e9),
+        ];
+        let json = rows_to_json("table1", &Scale::smoke(), &rows);
+        assert!(json.contains("\"experiment\": \"table1\""));
+        assert!(json.contains("\"row_divisor\": 20000"));
+        assert!(json.contains("\"ASHE \\\"enc\\\"\""));
+        assert!(json.contains("\"ns_per_op\": 42.5"));
+        assert!(json.contains("\"bad\": null"));
+        assert!(json.contains("line\\ntwo"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn bench_json_writes_file() {
+        let dir = std::env::temp_dir().join("seabed_bench_json_test");
+        let rows = vec![Row::new("r").with("v", 1.0)];
+        let path = write_bench_json(&dir, "smoke", &Scale::smoke(), &rows).expect("write json");
+        let content = std::fs::read_to_string(&path).expect("read back");
+        assert!(path.ends_with("BENCH_smoke.json"));
+        assert!(content.contains("\"experiment\": \"smoke\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

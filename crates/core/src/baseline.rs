@@ -240,10 +240,10 @@ impl PaillierSystem {
             let keys = p.column(group).as_u64();
             let col = p.column(0);
             let mut map: HashMap<u64, PaillierCiphertext> = HashMap::new();
-            for i in 0..p.num_rows() {
+            for (i, &key) in keys.iter().enumerate() {
                 if row_selected(p.row_id(i), selectivity) {
                     let ct = PaillierCiphertext(BigUint::from_bytes_be(col.bytes_at(i)));
-                    let entry = map.entry(keys[i]).or_insert_with(|| public.zero_ciphertext());
+                    let entry = map.entry(key).or_insert_with(|| public.zero_ciphertext());
                     *entry = public.add(entry, &ct);
                 }
             }
@@ -295,7 +295,12 @@ mod tests {
         assert_eq!(full.sum, vals.iter().sum::<u64>());
         assert_eq!(full.rows, 5000);
         let half = system.sum(0.5);
-        let expected: u64 = vals.iter().enumerate().filter(|(i, _)| row_selected(*i as u64, 0.5)).map(|(_, v)| v).sum();
+        let expected: u64 = vals
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| row_selected(*i as u64, 0.5))
+            .map(|(_, v)| v)
+            .sum();
         assert_eq!(half.sum, expected);
     }
 
@@ -329,7 +334,14 @@ mod tests {
         let vals = values(200);
         let groups: Vec<u64> = (0..200u64).map(|i| i % 4).collect();
         let mut rng = rand::rng();
-        let system = PaillierSystem::new(&vals, Some(&groups), 2, Cluster::new(ClusterConfig::with_workers(4)), 128, &mut rng);
+        let system = PaillierSystem::new(
+            &vals,
+            Some(&groups),
+            2,
+            Cluster::new(ClusterConfig::with_workers(4)),
+            128,
+            &mut rng,
+        );
         let (result, _, _) = system.group_by_sum(1.0);
         assert_eq!(result.len(), 4);
         let expected: u64 = vals.iter().sum();

@@ -6,6 +6,11 @@
 //! plain SQL and come back as plaintext rows, with timing broken down into
 //! server, network and client-side decryption components so the experiments of
 //! §6 can be reproduced.
+//!
+//! Every fallible step returns [`SeabedError`] and the response-decryption
+//! path is panic-free: the server is untrusted, so a response whose shape
+//! does not match the translated plan (missing aggregates, undecodable ID
+//! lists) is reported as an error instead of crashing the trusted proxy.
 
 use crate::dataset::PlainDataset;
 use crate::encrypt::{encrypt_dataset, physical_ashe_keys, EncryptedTable};
@@ -14,10 +19,11 @@ use crate::server::{EncryptedAggregate, PhysicalFilter, SeabedServer, ServerResp
 use seabed_ashe::{AsheCiphertext, AsheScheme, IdSet};
 use seabed_crypto::{DetScheme, OreScheme};
 use seabed_engine::{ExecStats, NetworkModel};
+use seabed_error::SeabedError;
 use seabed_query::planner::{plan_schema, ColumnSpec, PlannerConfig, SchemaPlan};
 use seabed_query::{
-    parse, translate, AggregateFunction, ClientPostStep, Query, SelectItem, ServerFilter,
-    TranslateOptions, TranslatedQuery,
+    parse, translate, AggregateFunction, ClientPostStep, Query, SelectItem, ServerFilter, TranslateOptions,
+    TranslatedQuery,
 };
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -152,9 +158,9 @@ impl SeabedClient {
         &self,
         server: &SeabedServer,
         sql: &str,
-    ) -> Result<(Query, TranslatedQuery, Vec<PhysicalFilter>), String> {
-        let query = parse(sql).map_err(|e| e.to_string())?;
-        let translated = translate(&query, &self.plan, &self.translate_options).map_err(|e| e.to_string())?;
+    ) -> Result<(Query, TranslatedQuery, Vec<PhysicalFilter>), SeabedError> {
+        let query = parse(sql)?;
+        let translated = translate(&query, &self.plan, &self.translate_options)?;
         let filters = self.build_filters(server, &translated)?;
         Ok((query, translated, filters))
     }
@@ -163,15 +169,13 @@ impl SeabedClient {
         &self,
         server: &SeabedServer,
         translated: &TranslatedQuery,
-    ) -> Result<Vec<PhysicalFilter>, String> {
+    ) -> Result<Vec<PhysicalFilter>, SeabedError> {
         let table = server.table();
         let mut out = Vec::with_capacity(translated.filters.len());
         for filter in &translated.filters {
             match filter {
                 ServerFilter::Plain(pred) => {
-                    let column = table
-                        .column_index(&pred.column)
-                        .ok_or_else(|| format!("unknown plaintext column {}", pred.column))?;
+                    let column = table.require_column(&pred.column)?;
                     match &pred.value {
                         seabed_query::Literal::Integer(v) => out.push(PhysicalFilter::PlainU64 {
                             column,
@@ -185,9 +189,7 @@ impl SeabedClient {
                     }
                 }
                 ServerFilter::DetEquals { column, value } => {
-                    let idx = table
-                        .column_index(column)
-                        .ok_or_else(|| format!("unknown DET column {column}"))?;
+                    let idx = table.require_column(column)?;
                     let logical = column.strip_suffix("__det").unwrap_or(column);
                     let det = DetScheme::new(&self.keys.det_key(logical));
                     out.push(PhysicalFilter::DetTag {
@@ -196,9 +198,7 @@ impl SeabedClient {
                     });
                 }
                 ServerFilter::OpeCompare { column, op, value } => {
-                    let idx = table
-                        .column_index(column)
-                        .ok_or_else(|| format!("unknown OPE column {column}"))?;
+                    let idx = table.require_column(column)?;
                     let logical = column.strip_suffix("__ope").unwrap_or(column);
                     let ore = OreScheme::new(&self.keys.ope_key(logical));
                     out.push(PhysicalFilter::Ope {
@@ -215,22 +215,32 @@ impl SeabedClient {
     /// Runs a SQL query end-to-end against a Seabed server ("Query Data" in
     /// §4.1): translate, encrypt literals, execute remotely, decrypt and
     /// post-process.
-    pub fn query(&self, server: &SeabedServer, sql: &str) -> Result<QueryResult, String> {
-        let query = parse(sql).map_err(|e| e.to_string())?;
-        let translated = translate(&query, &self.plan, &self.translate_options).map_err(|e| e.to_string())?;
+    ///
+    /// Every layer reports through [`SeabedError`]: malformed SQL surfaces as
+    /// [`SeabedError::Parse`], references to unknown columns as
+    /// [`SeabedError::Schema`], unsupported operations as
+    /// [`SeabedError::Translate`], and a server response that does not match
+    /// the plan as [`SeabedError::Engine`] / [`SeabedError::Encoding`].
+    pub fn query(&self, server: &SeabedServer, sql: &str) -> Result<QueryResult, SeabedError> {
+        let query = parse(sql)?;
+        let translated = translate(&query, &self.plan, &self.translate_options)?;
         let filters = self.build_filters(server, &translated)?;
         let response = server.execute(&translated, &filters)?;
-        Ok(self.decrypt_response(&query, &translated, response))
+        self.decrypt_response(&query, &translated, response)
     }
 
     /// Decrypts a server response and applies the client-side post-processing
     /// steps. Public so benchmarks can time it separately from execution.
+    ///
+    /// The response comes from the untrusted server, so shape mismatches
+    /// (fewer aggregates than the plan requested, undecodable ID lists) are
+    /// reported as errors rather than panicking the trusted proxy.
     pub fn decrypt_response(
         &self,
         query: &Query,
         translated: &TranslatedQuery,
         response: ServerResponse,
-    ) -> QueryResult {
+    ) -> Result<QueryResult, SeabedError> {
         let started = Instant::now();
         let mut prf_evals = 0usize;
 
@@ -251,8 +261,15 @@ impl SeabedClient {
                     }
                     std::collections::hash_map::Entry::Occupied(mut slot) => {
                         let existing = slot.get_mut();
+                        if existing.len() != group.aggregates.len() {
+                            return Err(SeabedError::engine(format!(
+                                "server returned {} aggregates for an inflated group that previously had {}",
+                                group.aggregates.len(),
+                                existing.len()
+                            )));
+                        }
                         for (a, b) in existing.iter_mut().zip(group.aggregates) {
-                            merge_encrypted(a, b);
+                            merge_encrypted(a, b)?;
                         }
                     }
                 }
@@ -289,33 +306,53 @@ impl SeabedClient {
             // aggregates in the same order the translator emitted them.
             let mut cursor = 0usize;
             for item in &query.select {
-                let SelectItem::Aggregate { func, .. } = item else { continue };
+                let SelectItem::Aggregate { func, .. } = item else {
+                    continue;
+                };
                 match func {
-                    AggregateFunction::Sum => {
-                        let value = self.decrypt_aggregate(translated, cursor, &aggregates[cursor], &mut prf_evals);
-                        cursor += 1;
-                        row.push(ResultValue::UInt(value));
-                    }
-                    AggregateFunction::Count => {
-                        let value = self.decrypt_aggregate(translated, cursor, &aggregates[cursor], &mut prf_evals);
+                    AggregateFunction::Sum | AggregateFunction::Count => {
+                        let value =
+                            self.decrypt_aggregate(translated, cursor, fetch(aggregates, cursor)?, &mut prf_evals)?;
                         cursor += 1;
                         row.push(ResultValue::UInt(value));
                     }
                     AggregateFunction::Avg => {
-                        let sum = self.decrypt_aggregate(translated, cursor, &aggregates[cursor], &mut prf_evals);
-                        let count = self.decrypt_aggregate(translated, cursor + 1, &aggregates[cursor + 1], &mut prf_evals);
+                        let sum =
+                            self.decrypt_aggregate(translated, cursor, fetch(aggregates, cursor)?, &mut prf_evals)?;
+                        let count = self.decrypt_aggregate(
+                            translated,
+                            cursor + 1,
+                            fetch(aggregates, cursor + 1)?,
+                            &mut prf_evals,
+                        )?;
                         cursor += 2;
-                        row.push(ResultValue::Float(if count == 0 { 0.0 } else { sum as f64 / count as f64 }));
+                        row.push(ResultValue::Float(if count == 0 {
+                            0.0
+                        } else {
+                            sum as f64 / count as f64
+                        }));
                     }
                     AggregateFunction::Min | AggregateFunction::Max => {
-                        let value = self.decrypt_aggregate(translated, cursor, &aggregates[cursor], &mut prf_evals);
+                        let value =
+                            self.decrypt_aggregate(translated, cursor, fetch(aggregates, cursor)?, &mut prf_evals)?;
                         cursor += 1;
                         row.push(ResultValue::UInt(value));
                     }
                     AggregateFunction::Variance | AggregateFunction::Stddev => {
-                        let sum_sq = self.decrypt_aggregate(translated, cursor, &aggregates[cursor], &mut prf_evals);
-                        let sum = self.decrypt_aggregate(translated, cursor + 1, &aggregates[cursor + 1], &mut prf_evals);
-                        let count = self.decrypt_aggregate(translated, cursor + 2, &aggregates[cursor + 2], &mut prf_evals);
+                        let sum_sq =
+                            self.decrypt_aggregate(translated, cursor, fetch(aggregates, cursor)?, &mut prf_evals)?;
+                        let sum = self.decrypt_aggregate(
+                            translated,
+                            cursor + 1,
+                            fetch(aggregates, cursor + 1)?,
+                            &mut prf_evals,
+                        )?;
+                        let count = self.decrypt_aggregate(
+                            translated,
+                            cursor + 2,
+                            fetch(aggregates, cursor + 2)?,
+                            &mut prf_evals,
+                        )?;
                         cursor += 3;
                         let variance = if count == 0 {
                             0.0
@@ -336,7 +373,7 @@ impl SeabedClient {
 
         let client = started.elapsed();
         let network = self.network.transfer_time(response.result_bytes);
-        QueryResult {
+        Ok(QueryResult {
             rows,
             timings: QueryTimings {
                 server: response.stats.simulated_server_time,
@@ -346,7 +383,7 @@ impl SeabedClient {
             server_stats: response.stats,
             result_bytes: response.result_bytes,
             client_prf_evals: prf_evals,
-        }
+        })
     }
 
     fn decrypt_aggregate(
@@ -355,44 +392,70 @@ impl SeabedClient {
         aggregate_index: usize,
         aggregate: &EncryptedAggregate,
         prf_evals: &mut usize,
-    ) -> u64 {
-        match aggregate {
-            EncryptedAggregate::Count { rows } => *rows,
-            EncryptedAggregate::AsheSum { value, id_list, encoding } => {
-                // The server returns aggregates in the order the translator
-                // emitted them, so the physical column (and thus the key) is
-                // read off the translated plan at the same index.
-                let column = match translated.aggregates.get(aggregate_index) {
-                    Some(seabed_query::ServerAggregate::AsheSum { column }) => column.clone(),
-                    _ => String::new(),
-                };
-                self.decrypt_named_sum(&column, *value, id_list, *encoding, prf_evals)
-            }
-            EncryptedAggregate::Extreme { value_word, row_id } => match row_id {
-                None => 0,
-                Some(id) => {
-                    // The companion column is ASHE-encrypted under the base
-                    // column's key.
-                    let column = match translated.aggregates.get(aggregate_index) {
-                        Some(seabed_query::ServerAggregate::OpeMin { column })
-                        | Some(seabed_query::ServerAggregate::OpeMax { column }) => column.clone(),
-                        _ => String::new(),
-                    };
-                    let base = column.strip_suffix("__ope").unwrap_or(&column);
-                    let key = self
-                        .ashe_keys
-                        .get(&format!("{base}__ope_val"))
-                        .copied()
-                        .unwrap_or_else(|| self.keys.ashe_key(base));
-                    let scheme = AsheScheme::new(&key);
-                    *prf_evals += 2;
-                    scheme.decrypt(&AsheCiphertext {
-                        value: *value_word,
-                        ids: IdSet::single(*id),
-                    })
+    ) -> Result<u64, SeabedError> {
+        Ok(match aggregate {
+            EncryptedAggregate::Count { rows } => match translated.aggregates.get(aggregate_index) {
+                Some(seabed_query::ServerAggregate::CountRows) => *rows,
+                other => {
+                    return Err(SeabedError::engine(format!(
+                        "server returned a row count at index {aggregate_index} but the plan requested {other:?}"
+                    )))
                 }
             },
-        }
+            EncryptedAggregate::AsheSum {
+                value,
+                id_list,
+                encoding,
+            } => {
+                // The server returns aggregates in the order the translator
+                // emitted them, so the physical column (and thus the key) is
+                // read off the translated plan at the same index. A response
+                // whose kind diverges from the plan at this index is
+                // malformed.
+                let column = match translated.aggregates.get(aggregate_index) {
+                    Some(seabed_query::ServerAggregate::AsheSum { column }) => column.clone(),
+                    other => {
+                        return Err(SeabedError::engine(format!(
+                            "server returned an ASHE sum at index {aggregate_index} but the plan requested {other:?}"
+                        )))
+                    }
+                };
+                self.decrypt_named_sum(&column, *value, id_list, *encoding, prf_evals)?
+            }
+            EncryptedAggregate::Extreme { value_word, row_id } => {
+                // Validate the response kind against the plan even for the
+                // empty-selection (row_id: None) case: an untrusted server
+                // must not be able to satisfy a SUM plan with an Extreme.
+                let column = match translated.aggregates.get(aggregate_index) {
+                    Some(seabed_query::ServerAggregate::OpeMin { column })
+                    | Some(seabed_query::ServerAggregate::OpeMax { column }) => column.clone(),
+                    other => {
+                        return Err(SeabedError::engine(format!(
+                        "server returned a MIN/MAX result at index {aggregate_index} but the plan requested {other:?}"
+                    )))
+                    }
+                };
+                match row_id {
+                    None => 0,
+                    Some(id) => {
+                        // The companion column is ASHE-encrypted under the
+                        // base column's key.
+                        let base = column.strip_suffix("__ope").unwrap_or(&column);
+                        let key = self
+                            .ashe_keys
+                            .get(&format!("{base}__ope_val"))
+                            .copied()
+                            .unwrap_or_else(|| self.keys.ashe_key(base));
+                        let scheme = AsheScheme::new(&key);
+                        *prf_evals += 2;
+                        scheme.decrypt(&AsheCiphertext {
+                            value: *value_word,
+                            ids: IdSet::single(*id),
+                        })
+                    }
+                }
+            }
+        })
     }
 
     /// Decrypts one ASHE aggregate given its physical column name.
@@ -403,31 +466,53 @@ impl SeabedClient {
         id_list: &[u8],
         encoding: seabed_encoding::IdListEncoding,
         prf_evals: &mut usize,
-    ) -> u64 {
+    ) -> Result<u64, SeabedError> {
         let Some(key) = self.ashe_keys.get(column) else {
             // Plaintext column summed on the server (NoEnc-style pass-through).
-            return value;
+            return Ok(value);
         };
         let scheme = AsheScheme::new(key);
-        let ids = IdSet::decode(id_list, encoding).unwrap_or_default();
+        let ids = IdSet::decode(id_list, encoding)
+            .ok_or_else(|| SeabedError::encoding(format!("undecodable ID list for column {column}")))?;
         *prf_evals += scheme.decrypt_prf_evals(&AsheCiphertext {
             value,
             ids: ids.clone(),
         });
-        scheme.decrypt(&AsheCiphertext { value, ids })
+        Ok(scheme.decrypt(&AsheCiphertext { value, ids }))
     }
 }
 
+/// Returns the aggregate at `index` or a [`SeabedError::Engine`] when the
+/// (untrusted) server shipped fewer aggregates than the plan requested.
+fn fetch(aggregates: &[EncryptedAggregate], index: usize) -> Result<&EncryptedAggregate, SeabedError> {
+    aggregates.get(index).ok_or_else(|| {
+        SeabedError::engine(format!(
+            "server response is missing aggregate {index}: response does not match the plan"
+        ))
+    })
+}
+
 /// Merges two encrypted aggregates of the same kind at the proxy (used when
-/// collapsing inflated group-by groups).
-fn merge_encrypted(a: &mut EncryptedAggregate, b: EncryptedAggregate) {
+/// collapsing inflated group-by groups). Mismatched kinds mean the untrusted
+/// server shipped inconsistent groups and are reported as an error.
+fn merge_encrypted(a: &mut EncryptedAggregate, b: EncryptedAggregate) -> Result<(), SeabedError> {
     match (a, b) {
         (
-            EncryptedAggregate::AsheSum { value, id_list, encoding },
-            EncryptedAggregate::AsheSum { value: v2, id_list: l2, encoding: e2 },
+            EncryptedAggregate::AsheSum {
+                value,
+                id_list,
+                encoding,
+            },
+            EncryptedAggregate::AsheSum {
+                value: v2,
+                id_list: l2,
+                encoding: e2,
+            },
         ) => {
-            let ids_a = IdSet::decode(id_list, *encoding).unwrap_or_default();
-            let ids_b = IdSet::decode(&l2, e2).unwrap_or_default();
+            let ids_a = IdSet::decode(id_list, *encoding)
+                .ok_or_else(|| SeabedError::encoding("undecodable ID list in group merge"))?;
+            let ids_b =
+                IdSet::decode(&l2, e2).ok_or_else(|| SeabedError::encoding("undecodable ID list in group merge"))?;
             let merged = ids_a.union(&ids_b);
             *value = value.wrapping_add(v2);
             *id_list = merged.encode(*encoding);
@@ -438,8 +523,13 @@ fn merge_encrypted(a: &mut EncryptedAggregate, b: EncryptedAggregate) {
         (EncryptedAggregate::Extreme { .. }, EncryptedAggregate::Extreme { .. }) => {
             // MIN/MAX never combines with group inflation in this dialect.
         }
-        _ => {}
+        _ => {
+            return Err(SeabedError::engine(
+                "server returned aggregates of different kinds for the same group",
+            ))
+        }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -447,102 +537,212 @@ mod tests {
     use super::*;
     use seabed_engine::{Cluster, ClusterConfig};
 
-    fn build_system() -> (SeabedClient, SeabedServer, PlainDataset) {
-        let countries = ["USA", "USA", "Canada", "USA", "Canada", "India", "Chile", "India", "USA", "Canada"];
+    fn build_system() -> Result<(SeabedClient, SeabedServer, PlainDataset), SeabedError> {
+        let countries = [
+            "USA", "USA", "Canada", "USA", "Canada", "India", "Chile", "India", "USA", "Canada",
+        ];
         let dataset = PlainDataset::new("sales")
             .with_text_column("country", countries.iter().map(|s| s.to_string()).collect())
             .with_uint_column("revenue", vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100])
             .with_uint_column("ts", vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
             .with_text_column(
                 "dept",
-                ["a", "b", "a", "b", "a", "b", "a", "b", "a", "b"].iter().map(|s| s.to_string()).collect(),
+                ["a", "b", "a", "b", "a", "b", "a", "b", "a", "b"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
             );
+        let distribution = dataset
+            .distribution("country")
+            .ok_or_else(|| SeabedError::engine("fixture is missing the country column"))?;
         let columns = vec![
-            ColumnSpec::sensitive_with_distribution("country", dataset.distribution("country").unwrap()),
+            ColumnSpec::sensitive_with_distribution("country", distribution),
             ColumnSpec::sensitive("revenue"),
             ColumnSpec::sensitive("ts"),
             ColumnSpec::sensitive("dept"),
         ];
-        let queries: Vec<Query> = [
+        let mut queries: Vec<Query> = Vec::new();
+        for sql in [
             "SELECT SUM(revenue) FROM sales WHERE country = 'USA'",
             "SELECT SUM(revenue) FROM sales WHERE ts >= 3",
             "SELECT dept, SUM(revenue) FROM sales GROUP BY dept",
             "SELECT VARIANCE(revenue) FROM sales",
-        ]
-        .iter()
-        .map(|s| parse(s).unwrap())
-        .collect();
+        ] {
+            queries.push(parse(sql)?);
+        }
         let mut client = SeabedClient::create_plan(b"master", &columns, &queries, &PlannerConfig::default());
         let encrypted = client.encrypt_dataset(&dataset, 3, &mut rand::rng());
         let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(4)));
-        (client, server, dataset)
+        Ok((client, server, dataset))
     }
 
     #[test]
-    fn end_to_end_global_sum() {
-        let (client, server, _) = build_system();
-        let result = client.query(&server, "SELECT SUM(revenue) FROM sales").unwrap();
+    fn end_to_end_global_sum() -> Result<(), SeabedError> {
+        let (client, server, _) = build_system()?;
+        let result = client.query(&server, "SELECT SUM(revenue) FROM sales")?;
         assert_eq!(result.rows, vec![vec![ResultValue::UInt(550)]]);
         assert!(result.timings.total() > Duration::ZERO);
+        Ok(())
     }
 
     #[test]
-    fn end_to_end_splashe_filter() {
-        let (client, server, dataset) = build_system();
+    fn end_to_end_splashe_filter() -> Result<(), SeabedError> {
+        let (client, server, dataset) = build_system()?;
         // USA is frequent -> dedicated splayed column.
-        let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE country = 'USA'").unwrap();
-        let country = dataset.column("country").unwrap();
-        let revenue = dataset.column("revenue").unwrap();
+        let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE country = 'USA'")?;
+        let country = dataset
+            .column("country")
+            .ok_or_else(|| SeabedError::engine("missing country column"))?;
+        let revenue = dataset
+            .column("revenue")
+            .ok_or_else(|| SeabedError::engine("missing revenue column"))?;
         let expected: u64 = (0..dataset.num_rows())
             .filter(|&i| country.text_at(i) == "USA")
-            .map(|i| revenue.u64_at(i).unwrap())
+            .map(|i| revenue.u64_at(i).unwrap_or_default())
             .sum();
         assert_eq!(result.rows[0][0], ResultValue::UInt(expected));
         // India is infrequent -> others column + DET-filtered rows.
-        let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE country = 'India'").unwrap();
+        let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE country = 'India'")?;
         assert_eq!(result.rows[0][0], ResultValue::UInt(60 + 80));
+        Ok(())
     }
 
     #[test]
-    fn end_to_end_ope_range_filter() {
-        let (client, server, _) = build_system();
-        let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE ts >= 6").unwrap();
+    fn end_to_end_ope_range_filter() -> Result<(), SeabedError> {
+        let (client, server, _) = build_system()?;
+        let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE ts >= 6")?;
         assert_eq!(result.rows[0][0], ResultValue::UInt(60 + 70 + 80 + 90 + 100));
-        let result = client.query(&server, "SELECT COUNT(*) FROM sales WHERE ts < 4").unwrap();
+        let result = client.query(&server, "SELECT COUNT(*) FROM sales WHERE ts < 4")?;
         assert_eq!(result.rows[0][0], ResultValue::UInt(3));
+        Ok(())
     }
 
     #[test]
-    fn end_to_end_group_by_with_key_decryption() {
-        let (client, server, _) = build_system();
-        let result = client.query(&server, "SELECT dept, SUM(revenue) FROM sales GROUP BY dept").unwrap();
+    fn end_to_end_group_by_with_key_decryption() -> Result<(), SeabedError> {
+        let (client, server, _) = build_system()?;
+        let result = client.query(&server, "SELECT dept, SUM(revenue) FROM sales GROUP BY dept")?;
         assert_eq!(result.rows.len(), 2);
         let mut by_key: HashMap<String, u64> = HashMap::new();
         for row in &result.rows {
-            let ResultValue::Text(key) = &row[0] else { panic!("expected decrypted key") };
-            by_key.insert(key.clone(), row[1].as_u64().unwrap());
+            let ResultValue::Text(key) = &row[0] else {
+                return Err(SeabedError::engine(format!("expected decrypted key, got {:?}", row[0])));
+            };
+            by_key.insert(key.clone(), row[1].as_u64().unwrap_or_default());
         }
-        assert_eq!(by_key["a"], 10 + 30 + 50 + 70 + 90);
-        assert_eq!(by_key["b"], 20 + 40 + 60 + 80 + 100);
+        assert_eq!(by_key.get("a").copied(), Some(10 + 30 + 50 + 70 + 90));
+        assert_eq!(by_key.get("b").copied(), Some(20 + 40 + 60 + 80 + 100));
+        Ok(())
     }
 
     #[test]
-    fn end_to_end_avg_and_variance() {
-        let (client, server, _) = build_system();
-        let avg = client.query(&server, "SELECT AVG(revenue) FROM sales").unwrap();
+    fn end_to_end_avg_and_variance() -> Result<(), SeabedError> {
+        let (client, server, _) = build_system()?;
+        let avg = client.query(&server, "SELECT AVG(revenue) FROM sales")?;
         assert_eq!(avg.rows[0][0], ResultValue::Float(55.0));
-        let var = client.query(&server, "SELECT VARIANCE(revenue) FROM sales").unwrap();
+        let var = client.query(&server, "SELECT VARIANCE(revenue) FROM sales")?;
         // Population variance of 10..100 step 10 is 825.
-        match var.rows[0][0] {
-            ResultValue::Float(v) => assert!((v - 825.0).abs() < 1e-9, "variance {v}"),
-            ref other => panic!("unexpected {other:?}"),
-        }
+        assert!(
+            matches!(var.rows[0][0], ResultValue::Float(v) if (v - 825.0).abs() < 1e-9),
+            "unexpected variance {:?}",
+            var.rows[0][0]
+        );
+        Ok(())
     }
 
     #[test]
-    fn unsupported_query_reports_error() {
-        let (client, server, _) = build_system();
-        assert!(client.query(&server, "SELECT SUM(revenue) FROM sales WHERE revenue = 10").is_err());
+    fn unsupported_query_reports_error() -> Result<(), SeabedError> {
+        let (client, server, _) = build_system()?;
+        assert!(client
+            .query(&server, "SELECT SUM(revenue) FROM sales WHERE revenue = 10")
+            .is_err());
         assert!(client.query(&server, "not sql at all").is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn forged_response_kind_is_rejected() -> Result<(), SeabedError> {
+        use crate::server::GroupResult;
+        let (client, server, _) = build_system()?;
+        let (query, translated, _) = client.prepare(&server, "SELECT SUM(revenue) FROM sales")?;
+        let forge = |aggregates: Vec<EncryptedAggregate>| ServerResponse {
+            groups: vec![GroupResult {
+                key: vec![],
+                aggregates,
+            }],
+            stats: ExecStats::default(),
+            result_bytes: 8,
+        };
+        // A row count answering an ASHE-sum plan must not decrypt to Ok.
+        let outcome = client.decrypt_response(&query, &translated, forge(vec![EncryptedAggregate::Count { rows: 7 }]));
+        assert!(matches!(outcome, Err(SeabedError::Engine(_))), "{outcome:?}");
+        // Same for a MIN/MAX result, even the empty-selection form.
+        let outcome = client.decrypt_response(
+            &query,
+            &translated,
+            forge(vec![EncryptedAggregate::Extreme {
+                value_word: 0,
+                row_id: None,
+            }]),
+        );
+        assert!(matches!(outcome, Err(SeabedError::Engine(_))), "{outcome:?}");
+        // And for a response that ships fewer aggregates than the plan asked.
+        let outcome = client.decrypt_response(&query, &translated, forge(vec![]));
+        assert!(matches!(outcome, Err(SeabedError::Engine(_))), "{outcome:?}");
+        Ok(())
+    }
+
+    #[test]
+    fn inflated_groups_with_mismatched_aggregate_counts_are_rejected() -> Result<(), SeabedError> {
+        use crate::server::GroupResult;
+        let (mut client, server, _) = build_system()?;
+        client.translate_options.expected_groups = Some(1);
+        let (query, translated, _) = client.prepare(&server, "SELECT dept, SUM(revenue) FROM sales GROUP BY dept")?;
+        assert!(translated.group_inflation > 1, "fixture should inflate groups");
+        let encoding = seabed_encoding::IdListEncoding::seabed_group_by();
+        let sum = |value: u64| EncryptedAggregate::AsheSum {
+            value,
+            id_list: Vec::new(),
+            encoding,
+        };
+        // Two inflated shards of the same logical group, one shipping a
+        // truncated aggregate list: must error, not silently drop data.
+        let forged = ServerResponse {
+            groups: vec![
+                GroupResult {
+                    key: vec![5, 0],
+                    aggregates: vec![sum(1)],
+                },
+                GroupResult {
+                    key: vec![5, 1],
+                    aggregates: vec![],
+                },
+            ],
+            stats: ExecStats::default(),
+            result_bytes: 16,
+        };
+        let outcome = client.decrypt_response(&query, &translated, forged);
+        assert!(matches!(outcome, Err(SeabedError::Engine(_))), "{outcome:?}");
+        Ok(())
+    }
+
+    #[test]
+    fn error_variants_name_the_failing_layer() -> Result<(), SeabedError> {
+        let (client, server, _) = build_system()?;
+        // Malformed SQL -> Parse.
+        assert!(matches!(
+            client.query(&server, "SELECT FROM WHERE"),
+            Err(SeabedError::Parse(_))
+        ));
+        // Unknown column -> Schema.
+        assert!(matches!(
+            client.query(&server, "SELECT SUM(no_such_column) FROM sales"),
+            Err(SeabedError::Schema(_))
+        ));
+        // Unsupported operation (filter on an ASHE measure) -> Translate.
+        assert!(matches!(
+            client.query(&server, "SELECT COUNT(*) FROM sales WHERE revenue = 10"),
+            Err(SeabedError::Translate(_))
+        ));
+        Ok(())
     }
 }

@@ -115,10 +115,7 @@ mod tests {
 
     #[test]
     fn distribution_counts_values() {
-        let ds = PlainDataset::new("t").with_text_column(
-            "c",
-            vec!["a".into(), "b".into(), "a".into(), "a".into()],
-        );
+        let ds = PlainDataset::new("t").with_text_column("c", vec!["a".into(), "b".into(), "a".into(), "a".into()]);
         assert_eq!(
             ds.distribution("c").unwrap(),
             vec![("a".to_string(), 3), ("b".to_string(), 1)]

@@ -26,8 +26,8 @@ use rand::Rng;
 use seabed_ashe::AsheScheme;
 use seabed_crypto::{DetScheme, OreScheme};
 use seabed_engine::{ColumnData, ColumnType, Schema, Table};
-use seabed_query::planner::{EncryptionChoice, SchemaPlan};
 use seabed_query::encnames;
+use seabed_query::planner::{EncryptionChoice, SchemaPlan};
 use std::collections::HashMap;
 
 /// An encrypted table plus the client-side state needed to use it.
@@ -298,7 +298,9 @@ fn splay_dimension<R: Rng + ?Sized>(
 
     // Splayed measure columns.
     for measure in measures {
-        let Some(values) = dataset.column(measure) else { continue };
+        let Some(values) = dataset.column(measure) else {
+            continue;
+        };
         let values = numeric_values(values, measure);
         for slot in 0..slots {
             let plain: Vec<u64> = row_slot
@@ -369,8 +371,8 @@ fn splay_dimension<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seabed_query::planner::{plan_schema, ColumnSpec, PlannerConfig};
     use seabed_query::parser::parse;
+    use seabed_query::planner::{plan_schema, ColumnSpec, PlannerConfig};
 
     fn dataset() -> PlainDataset {
         let countries = ["USA", "USA", "Canada", "USA", "Canada", "India", "Chile", "India"];
@@ -409,7 +411,10 @@ mod tests {
         assert!(names.contains(&"ts__ope"));
         assert!(names.contains(&"ts__ope_val"));
         assert!(names.contains(&"clicks"), "public column passes through");
-        assert!(names.contains(&"country__det"), "enhanced SPLASHE keeps a balanced DET column");
+        assert!(
+            names.contains(&"country__det"),
+            "enhanced SPLASHE keeps a balanced DET column"
+        );
         assert!(names.iter().any(|n| n.starts_with("revenue__spl_country_")));
         assert!(names.iter().any(|n| n.starts_with("country__ind_")));
         assert!(!names.contains(&"revenue"), "plaintext measure must not leak");
@@ -435,8 +440,14 @@ mod tests {
         let enc = encrypt_dataset(&ds, &plan, &keys, 3, &mut rand::rng());
         let scheme = AsheScheme::new(&keys.ashe_key("revenue"));
         let words = enc.table.gather_u64("revenue__ashe").unwrap();
-        let col = seabed_ashe::EncryptedColumn { start_id: 0, values: words };
-        assert_eq!(seabed_ashe::decrypt_column(&scheme, &col), vec![10, 20, 30, 40, 50, 60, 70, 80]);
+        let col = seabed_ashe::EncryptedColumn {
+            start_id: 0,
+            values: words,
+        };
+        assert_eq!(
+            seabed_ashe::decrypt_column(&scheme, &col),
+            vec![10, 20, 30, 40, 50, 60, 70, 80]
+        );
     }
 
     #[test]

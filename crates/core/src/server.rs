@@ -7,11 +7,18 @@
 //! encrypted filters, fold ASHE words and ID lists (optionally per group),
 //! compress the ID lists at the workers (§4.5), and concatenate partials at
 //! the driver.
+//!
+//! Execution is panic-free by construction: every column reference in the
+//! plan and in the filters is resolved and type-checked against the schema
+//! *before* the scan starts, returning [`SeabedError`] on mismatch, and the
+//! per-row hot loop uses only total accessors. A malformed plan can therefore
+//! never take the server (or, via a poisoned response, the proxy) down.
 
 use seabed_ashe::IdSet;
 use seabed_crypto::ore::OreCiphertext;
-use seabed_engine::{Cluster, ColumnData, ExecStats, Partition, Table, TaskOutput};
 use seabed_encoding::IdListEncoding;
+use seabed_engine::{Cluster, ColumnType, ExecStats, Partition, Table, TaskOutput};
+use seabed_error::SeabedError;
 use seabed_query::{CompareOp, ServerAggregate, TranslatedQuery};
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -54,21 +61,54 @@ pub enum PhysicalFilter {
 }
 
 impl PhysicalFilter {
+    /// Checks that the filter's column exists with the physical type the
+    /// filter reads, so the scan loop cannot fail.
+    fn validate(&self, table: &Table) -> Result<(), SeabedError> {
+        let (index, expected) = match self {
+            PhysicalFilter::PlainU64 { column, .. } => (*column, ColumnType::UInt64),
+            PhysicalFilter::PlainText { column, .. } => (*column, ColumnType::Utf8),
+            PhysicalFilter::DetTag { column, .. } => (*column, ColumnType::UInt64),
+            PhysicalFilter::Ope { column, .. } => (*column, ColumnType::Bytes),
+        };
+        let field = table
+            .schema
+            .fields
+            .get(index)
+            .ok_or_else(|| SeabedError::engine(format!("filter column index {index} out of range")))?;
+        if field.ty == expected {
+            Ok(())
+        } else {
+            Err(SeabedError::engine(format!(
+                "filter column {} is {:?}, expected {expected:?}",
+                field.name, field.ty
+            )))
+        }
+    }
+
+    /// Row predicate. Types were checked by [`PhysicalFilter::validate`]; a
+    /// (structurally impossible) mismatch deselects the row instead of
+    /// panicking.
     fn matches(&self, partition: &Partition, row: usize) -> bool {
         match self {
-            PhysicalFilter::PlainU64 { column, op, value } => {
-                op.eval_u64(partition.column(*column).u64_at(row), *value)
-            }
-            PhysicalFilter::PlainText { column, value } => {
-                partition.column(*column).str_at(row) == value
-            }
-            PhysicalFilter::DetTag { column, tag } => partition.column(*column).u64_at(row) == *tag,
-            PhysicalFilter::Ope { column, op, ciphertext } => {
-                let row_ct = OreCiphertext {
-                    symbols: partition.column(*column).bytes_at(row).to_vec(),
-                };
-                op.eval_ordering(row_ct.compare(ciphertext))
-            }
+            PhysicalFilter::PlainU64 { column, op, value } => partition
+                .column_get(*column)
+                .and_then(|c| c.u64_get(row))
+                .is_some_and(|cell| op.eval_u64(cell, *value)),
+            PhysicalFilter::PlainText { column, value } => partition
+                .column_get(*column)
+                .and_then(|c| c.str_get(row))
+                .is_some_and(|cell| cell == value),
+            PhysicalFilter::DetTag { column, tag } => partition
+                .column_get(*column)
+                .and_then(|c| c.u64_get(row))
+                .is_some_and(|cell| cell == *tag),
+            PhysicalFilter::Ope { column, op, ciphertext } => partition
+                .column_get(*column)
+                .and_then(|c| c.bytes_get(row))
+                .is_some_and(|cell| {
+                    let row_ct = OreCiphertext { symbols: cell.to_vec() };
+                    op.eval_ordering(row_ct.compare(ciphertext))
+                }),
         }
     }
 }
@@ -148,51 +188,105 @@ pub struct SeabedServer {
     cluster: Cluster,
 }
 
-/// Internal per-aggregate accumulator.
-#[derive(Clone)]
-enum Accumulator {
-    Sum { column: usize, value: u64, ids: IdSet },
-    Count { ids: IdSet },
-    Extreme { ore_column: usize, value_column: usize, best: Option<(OreCiphertext, u64, u64)>, want_max: bool },
+/// A logical aggregate with its physical column indices already resolved and
+/// type-checked against the table schema. Building one is the only fallible
+/// step; everything downstream (accumulate, merge, finish) is total.
+#[derive(Clone, Copy, Debug)]
+enum ResolvedAggregate {
+    Sum {
+        column: usize,
+    },
+    Count,
+    Extreme {
+        ore_column: usize,
+        value_column: usize,
+        want_max: bool,
+    },
 }
 
-impl Accumulator {
-    fn new(agg: &ServerAggregate, table: &Table) -> Result<Accumulator, String> {
-        let index = |name: &str| {
-            table
-                .column_index(name)
-                .ok_or_else(|| format!("unknown physical column {name}"))
-        };
+impl ResolvedAggregate {
+    fn resolve(agg: &ServerAggregate, table: &Table) -> Result<ResolvedAggregate, SeabedError> {
         Ok(match agg {
-            ServerAggregate::AsheSum { column } => Accumulator::Sum {
-                column: index(column)?,
-                value: 0,
-                ids: IdSet::new(),
+            ServerAggregate::AsheSum { column } => ResolvedAggregate::Sum {
+                column: table.require_typed_column(column, ColumnType::UInt64)?,
             },
-            ServerAggregate::CountRows => Accumulator::Count { ids: IdSet::new() },
+            ServerAggregate::CountRows => ResolvedAggregate::Count,
             ServerAggregate::OpeMin { column } | ServerAggregate::OpeMax { column } => {
                 let base = column.strip_suffix("__ope").unwrap_or(column);
-                Accumulator::Extreme {
-                    ore_column: index(column)?,
-                    value_column: index(&format!("{base}__ope_val"))?,
-                    best: None,
+                ResolvedAggregate::Extreme {
+                    ore_column: table.require_typed_column(column, ColumnType::Bytes)?,
+                    value_column: table.require_typed_column(&format!("{base}__ope_val"), ColumnType::UInt64)?,
                     want_max: matches!(agg, ServerAggregate::OpeMax { .. }),
                 }
             }
         })
     }
 
+    fn accumulator(&self) -> Accumulator {
+        match *self {
+            ResolvedAggregate::Sum { column } => Accumulator::Sum {
+                column,
+                value: 0,
+                ids: IdSet::new(),
+            },
+            ResolvedAggregate::Count => Accumulator::Count { ids: IdSet::new() },
+            ResolvedAggregate::Extreme {
+                ore_column,
+                value_column,
+                want_max,
+            } => Accumulator::Extreme {
+                ore_column,
+                value_column,
+                best: None,
+                want_max,
+            },
+        }
+    }
+}
+
+/// Internal per-aggregate accumulator.
+#[derive(Clone)]
+enum Accumulator {
+    Sum {
+        column: usize,
+        value: u64,
+        ids: IdSet,
+    },
+    Count {
+        ids: IdSet,
+    },
+    Extreme {
+        ore_column: usize,
+        value_column: usize,
+        best: Option<(OreCiphertext, u64, u64)>,
+        want_max: bool,
+    },
+}
+
+impl Accumulator {
     fn observe(&mut self, partition: &Partition, row: usize) {
         let row_id = partition.row_id(row);
         match self {
             Accumulator::Sum { column, value, ids } => {
-                *value = value.wrapping_add(partition.column(*column).u64_at(row));
+                let cell = partition
+                    .column_get(*column)
+                    .and_then(|c| c.u64_get(row))
+                    .unwrap_or_default();
+                *value = value.wrapping_add(cell);
                 ids.push_ordered(row_id);
             }
             Accumulator::Count { ids } => ids.push_ordered(row_id),
-            Accumulator::Extreme { ore_column, value_column, best, want_max } => {
+            Accumulator::Extreme {
+                ore_column,
+                value_column,
+                best,
+                want_max,
+            } => {
+                let Some(symbols) = partition.column_get(*ore_column).and_then(|c| c.bytes_get(row)) else {
+                    return;
+                };
                 let candidate = OreCiphertext {
-                    symbols: partition.column(*ore_column).bytes_at(row).to_vec(),
+                    symbols: symbols.to_vec(),
                 };
                 let replace = match best {
                     None => true,
@@ -206,12 +300,20 @@ impl Accumulator {
                     }
                 };
                 if replace {
-                    *best = Some((candidate, partition.column(*value_column).u64_at(row), row_id));
+                    let word = partition
+                        .column_get(*value_column)
+                        .and_then(|c| c.u64_get(row))
+                        .unwrap_or_default();
+                    *best = Some((candidate, word, row_id));
                 }
             }
         }
     }
 
+    /// Folds another partition's partial into this one. All accumulator
+    /// vectors are built from the same resolved-aggregate list, so the kinds
+    /// always line up; a mismatched pair (impossible by construction) leaves
+    /// `self` unchanged rather than panicking.
     fn merge(&mut self, other: Accumulator) {
         match (self, other) {
             (Accumulator::Sum { value, ids, .. }, Accumulator::Sum { value: v2, ids: i2, .. }) => {
@@ -223,26 +325,27 @@ impl Accumulator {
             }
             (
                 Accumulator::Extreme { best, want_max, .. },
-                Accumulator::Extreme { best: other_best, .. },
+                Accumulator::Extreme {
+                    best: Some((ct, word, id)),
+                    ..
+                },
             ) => {
-                if let Some((ct, word, id)) = other_best {
-                    let replace = match best {
-                        None => true,
-                        Some((current, _, _)) => {
-                            let ord = ct.compare(current);
-                            if *want_max {
-                                ord == Ordering::Greater
-                            } else {
-                                ord == Ordering::Less
-                            }
+                let replace = match best {
+                    None => true,
+                    Some((current, _, _)) => {
+                        let ord = ct.compare(current);
+                        if *want_max {
+                            ord == Ordering::Greater
+                        } else {
+                            ord == Ordering::Less
                         }
-                    };
-                    if replace {
-                        *best = Some((ct, word, id));
                     }
+                };
+                if replace {
+                    *best = Some((ct, word, id));
                 }
             }
-            _ => panic!("accumulator kinds diverged between partitions"),
+            _ => {}
         }
     }
 
@@ -283,12 +386,12 @@ impl SeabedServer {
     /// `filters` by the proxy.
     ///
     /// `query.aggregates` provides the logical aggregate list; `filters` must
-    /// have one entry per `query.filters` entry.
-    pub fn execute(
-        &self,
-        query: &TranslatedQuery,
-        filters: &[PhysicalFilter],
-    ) -> Result<ServerResponse, String> {
+    /// have one entry per `query.filters` entry. Every column reference is
+    /// validated before the scan starts, so a plan that does not fit this
+    /// table's schema yields `Err(SeabedError::Schema(..))` (or
+    /// `Err(SeabedError::Engine(..))` for malformed filter indices) instead
+    /// of a panic.
+    pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
         // Aggregation queries use the range-friendly encoding; group-by
         // queries use per-ID diff encoding (§4.5).
         let encoding = if query.group_by.is_empty() {
@@ -297,29 +400,23 @@ impl SeabedServer {
             IdListEncoding::seabed_group_by()
         };
 
+        for filter in filters {
+            filter.validate(&self.table)?;
+        }
         let group_columns: Vec<usize> = query
             .group_by
             .iter()
             .map(|g| {
-                let idx = self
-                    .table
-                    .column_index(&g.physical_column)
-                    .ok_or_else(|| format!("unknown group-by column {}", g.physical_column))?;
-                match self.table.schema.fields[idx].ty {
-                    seabed_engine::ColumnType::UInt64 => Ok(idx),
-                    other => Err(format!(
-                        "group-by column {} must be u64-backed (plaintext or DET tag), got {other:?}",
-                        g.physical_column
-                    )),
-                }
+                // Group keys must be u64-backed (plaintext or DET tag).
+                self.table.require_typed_column(&g.physical_column, ColumnType::UInt64)
             })
             .collect::<Result<_, _>>()?;
-        // Validate aggregate targets once up front.
-        for agg in &query.aggregates {
-            Accumulator::new(agg, &self.table)?;
-        }
+        let resolved: Vec<ResolvedAggregate> = query
+            .aggregates
+            .iter()
+            .map(|agg| ResolvedAggregate::resolve(agg, &self.table))
+            .collect::<Result<_, _>>()?;
 
-        let aggregates = query.aggregates.clone();
         let inflation = query.group_inflation.max(1) as u64;
         let table = &self.table;
 
@@ -332,9 +429,11 @@ impl SeabedServer {
                 }
                 let mut key: Vec<u64> = group_columns
                     .iter()
-                    .map(|&c| match partition.column(c) {
-                        ColumnData::UInt64(v) => v[row],
-                        other => panic!("group-by column must be u64-backed, got {:?}", other.column_type()),
+                    .map(|&c| {
+                        partition
+                            .column_get(c)
+                            .and_then(|col| col.u64_get(row))
+                            .unwrap_or_default()
                     })
                     .collect();
                 if !group_columns.is_empty() && inflation > 1 {
@@ -344,12 +443,9 @@ impl SeabedServer {
                     // group value.
                     key.push(splitmix64(partition.row_id(row)) % inflation);
                 }
-                let entry = groups.entry(key).or_insert_with(|| {
-                    aggregates
-                        .iter()
-                        .map(|a| Accumulator::new(a, table).expect("validated above"))
-                        .collect()
-                });
+                let entry = groups
+                    .entry(key)
+                    .or_insert_with(|| resolved.iter().map(|r| r.accumulator()).collect());
                 for acc in entry.iter_mut() {
                     acc.observe(partition, row);
                 }
@@ -387,14 +483,7 @@ impl SeabedServer {
         }
         // Global aggregates with no matching rows still return one empty group.
         if merged.is_empty() && group_columns.is_empty() {
-            merged.insert(
-                Vec::new(),
-                query
-                    .aggregates
-                    .iter()
-                    .map(|a| Accumulator::new(a, &self.table).expect("validated above"))
-                    .collect(),
-            );
+            merged.insert(Vec::new(), resolved.iter().map(|r| r.accumulator()).collect());
         }
 
         let mut groups: Vec<GroupResult> = merged
@@ -421,7 +510,7 @@ impl SeabedServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seabed_engine::{ClusterConfig, ColumnType, Schema};
+    use seabed_engine::{ClusterConfig, ColumnData, Schema};
     use seabed_query::{GroupByColumn, SupportCategory};
 
     /// Builds a tiny "encrypted" table by hand: one plaintext filter column,
@@ -452,7 +541,12 @@ mod tests {
         TranslatedQuery {
             base_table: "t".to_string(),
             filters: vec![],
-            aggregates: vec![ServerAggregate::AsheSum { column: "m__ashe".to_string() }, ServerAggregate::CountRows],
+            aggregates: vec![
+                ServerAggregate::AsheSum {
+                    column: "m__ashe".to_string(),
+                },
+                ServerAggregate::CountRows,
+            ],
             group_by,
             group_inflation: inflation,
             client_post: vec![],
@@ -462,66 +556,76 @@ mod tests {
     }
 
     #[test]
-    fn global_sum_over_all_rows() {
+    fn global_sum_over_all_rows() -> Result<(), SeabedError> {
         let s = server(1000);
-        let resp = s.execute(&sum_query(vec![], 1), &[]).unwrap();
+        let resp = s.execute(&sum_query(vec![], 1), &[])?;
         assert_eq!(resp.groups.len(), 1);
-        match &resp.groups[0].aggregates[0] {
-            EncryptedAggregate::AsheSum { value, id_list, encoding } => {
-                assert_eq!(*value, (1..=1000u64).sum::<u64>());
-                let ids = IdSet::decode(id_list, *encoding).unwrap();
-                assert_eq!(ids.count(), 1000);
-                assert_eq!(ids.run_count(), 1, "contiguous selection is one run");
-            }
-            other => panic!("unexpected aggregate {other:?}"),
-        }
-        match &resp.groups[0].aggregates[1] {
-            EncryptedAggregate::Count { rows } => assert_eq!(*rows, 1000),
-            other => panic!("unexpected aggregate {other:?}"),
-        }
+        let EncryptedAggregate::AsheSum {
+            value,
+            id_list,
+            encoding,
+        } = &resp.groups[0].aggregates[0]
+        else {
+            return Err(SeabedError::engine(format!(
+                "unexpected aggregate {:?}",
+                resp.groups[0].aggregates[0]
+            )));
+        };
+        assert_eq!(*value, (1..=1000u64).sum::<u64>());
+        let ids = IdSet::decode(id_list, *encoding).unwrap_or_default();
+        assert_eq!(ids.count(), 1000);
+        assert_eq!(ids.run_count(), 1, "contiguous selection is one run");
+        assert!(
+            matches!(&resp.groups[0].aggregates[1], EncryptedAggregate::Count { rows } if *rows == 1000),
+            "unexpected aggregate {:?}",
+            resp.groups[0].aggregates[1]
+        );
         assert!(resp.result_bytes > 0);
+        Ok(())
     }
 
     #[test]
-    fn filtered_sum_respects_predicates() {
+    fn filtered_sum_respects_predicates() -> Result<(), SeabedError> {
         let s = server(1000);
         let filters = vec![PhysicalFilter::PlainU64 {
             column: 0,
             op: CompareOp::Eq,
             value: 1,
         }];
-        let resp = s.execute(&sum_query(vec![], 1), &filters).unwrap();
-        match &resp.groups[0].aggregates[0] {
-            EncryptedAggregate::AsheSum { value, .. } => {
-                let expected: u64 = (0..1000u64).filter(|i| i % 2 == 1).map(|i| i + 1).sum();
-                assert_eq!(*value, expected);
-            }
-            other => panic!("unexpected aggregate {other:?}"),
-        }
+        let resp = s.execute(&sum_query(vec![], 1), &filters)?;
+        let expected: u64 = (0..1000u64).filter(|i| i % 2 == 1).map(|i| i + 1).sum();
+        assert!(
+            matches!(&resp.groups[0].aggregates[0], EncryptedAggregate::AsheSum { value, .. } if *value == expected),
+            "unexpected aggregate {:?}",
+            resp.groups[0].aggregates[0]
+        );
+        Ok(())
     }
 
     #[test]
-    fn det_tag_filter() {
+    fn det_tag_filter() -> Result<(), SeabedError> {
         let s = server(100);
         let filters = vec![PhysicalFilter::DetTag { column: 2, tag: 103 }];
-        let resp = s.execute(&sum_query(vec![], 1), &filters).unwrap();
-        match &resp.groups[0].aggregates[1] {
-            EncryptedAggregate::Count { rows } => assert_eq!(*rows, 20),
-            other => panic!("unexpected aggregate {other:?}"),
-        }
+        let resp = s.execute(&sum_query(vec![], 1), &filters)?;
+        assert!(
+            matches!(&resp.groups[0].aggregates[1], EncryptedAggregate::Count { rows } if *rows == 20),
+            "unexpected aggregate {:?}",
+            resp.groups[0].aggregates[1]
+        );
+        Ok(())
     }
 
     #[test]
-    fn group_by_with_and_without_inflation() {
+    fn group_by_with_and_without_inflation() -> Result<(), SeabedError> {
         let s = server(1000);
         let group = vec![GroupByColumn {
             column: "g".to_string(),
             physical_column: "g__det".to_string(),
             encrypted: true,
         }];
-        let plain = s.execute(&sum_query(group.clone(), 1), &[]).unwrap();
+        let plain = s.execute(&sum_query(group.clone(), 1), &[])?;
         assert_eq!(plain.groups.len(), 5);
-        let inflated = s.execute(&sum_query(group, 10), &[]).unwrap();
+        let inflated = s.execute(&sum_query(group, 10), &[])?;
         assert_eq!(inflated.groups.len(), 50, "5 groups × 10-way inflation");
         // Sum across inflated groups equals the plain total.
         let total = |resp: &ServerResponse| -> u64 {
@@ -534,25 +638,48 @@ mod tests {
                 .fold(0u64, |a, b| a.wrapping_add(b))
         };
         assert_eq!(total(&plain), total(&inflated));
+        Ok(())
     }
 
     #[test]
-    fn empty_selection_returns_zero_group() {
+    fn empty_selection_returns_zero_group() -> Result<(), SeabedError> {
         let s = server(50);
-        let filters = vec![PhysicalFilter::PlainU64 { column: 0, op: CompareOp::Gt, value: 100 }];
-        let resp = s.execute(&sum_query(vec![], 1), &filters).unwrap();
+        let filters = vec![PhysicalFilter::PlainU64 {
+            column: 0,
+            op: CompareOp::Gt,
+            value: 100,
+        }];
+        let resp = s.execute(&sum_query(vec![], 1), &filters)?;
         assert_eq!(resp.groups.len(), 1);
-        match &resp.groups[0].aggregates[1] {
-            EncryptedAggregate::Count { rows } => assert_eq!(*rows, 0),
-            other => panic!("unexpected aggregate {other:?}"),
-        }
+        assert!(
+            matches!(&resp.groups[0].aggregates[1], EncryptedAggregate::Count { rows } if *rows == 0),
+            "unexpected aggregate {:?}",
+            resp.groups[0].aggregates[1]
+        );
+        Ok(())
     }
 
     #[test]
-    fn unknown_column_is_an_error() {
+    fn unknown_column_is_a_schema_error() {
         let s = server(10);
         let mut q = sum_query(vec![], 1);
-        q.aggregates = vec![ServerAggregate::AsheSum { column: "missing".to_string() }];
-        assert!(s.execute(&q, &[]).is_err());
+        q.aggregates = vec![ServerAggregate::AsheSum {
+            column: "missing".to_string(),
+        }];
+        assert!(matches!(s.execute(&q, &[]), Err(SeabedError::Schema(_))));
+    }
+
+    #[test]
+    fn malformed_filter_index_is_an_engine_error() {
+        let s = server(10);
+        let filters = vec![PhysicalFilter::PlainU64 {
+            column: 99,
+            op: CompareOp::Eq,
+            value: 1,
+        }];
+        assert!(matches!(
+            s.execute(&sum_query(vec![], 1), &filters),
+            Err(SeabedError::Engine(_))
+        ));
     }
 }

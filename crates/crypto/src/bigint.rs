@@ -192,7 +192,7 @@ impl BigUint {
 
     /// Returns true if the lowest bit is clear.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (zero has zero bits).
@@ -207,7 +207,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 32;
         let off = i % 32;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     fn normalize(mut limbs: Vec<u32>) -> Self {
@@ -226,8 +226,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(a.len() + 1);
         let mut carry: u64 = 0;
-        for i in 0..a.len() {
-            let sum = a[i] as u64 + *b.get(i).unwrap_or(&0) as u64 + carry;
+        for (i, &limb) in a.iter().enumerate() {
+            let sum = limb as u64 + *b.get(i).unwrap_or(&0) as u64 + carry;
             out.push((sum & 0xffff_ffff) as u32);
             carry = sum >> 32;
         }
@@ -239,15 +239,11 @@ impl BigUint {
 
     /// Subtraction; panics if `other > self`.
     pub fn sub(&self, other: &Self) -> Self {
-        assert!(
-            self.cmp_val(other) != Ordering::Less,
-            "BigUint::sub underflow"
-        );
+        assert!(self.cmp_val(other) != Ordering::Less, "BigUint::sub underflow");
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow: i64 = 0;
         for i in 0..self.limbs.len() {
-            let mut diff =
-                self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            let mut diff = self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
             if diff < 0 {
                 diff += 1 << 32;
                 borrow = 1;
@@ -329,7 +325,7 @@ impl BigUint {
             let mut carry = 0u32;
             for &l in &self.limbs {
                 out.push((l << bit_shift) | carry);
-                carry = (l >> (32 - bit_shift)) as u32;
+                carry = l >> (32 - bit_shift);
             }
             if carry > 0 {
                 out.push(carry);
@@ -407,9 +403,7 @@ impl BigUint {
             let numer = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
             let mut q_hat = numer / v_hi;
             let mut r_hat = numer % v_hi;
-            while q_hat >= 1 << 32
-                || q_hat * v_lo > ((r_hat << 32) | un[j + n - 2] as u64)
-            {
+            while q_hat >= 1 << 32 || q_hat * v_lo > ((r_hat << 32) | un[j + n - 2] as u64) {
                 q_hat -= 1;
                 r_hat += v_hi;
                 if r_hat >= 1 << 32 {
@@ -536,11 +530,7 @@ impl BigUint {
             return None;
         }
         // t0 is the inverse, possibly negative.
-        let inv = if t0.0 {
-            m.sub(&t0.1.rem(m))
-        } else {
-            t0.1.rem(m)
-        };
+        let inv = if t0.0 { m.sub(&t0.1.rem(m)) } else { t0.1.rem(m) };
         Some(inv.rem(m))
     }
 
@@ -624,7 +614,7 @@ fn signed_sub(a: (bool, BigUint), b: (bool, BigUint)) -> (bool, BigUint) {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_val(other))
+        Some(self.cmp(other))
     }
 }
 

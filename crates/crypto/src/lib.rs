@@ -64,9 +64,9 @@ mod proptests {
             let (big_a, big_b) = (BigUint::from_u64(a), BigUint::from_u64(b));
             prop_assert_eq!(big_a.add(&big_b).to_u128_truncated(), a as u128 + b as u128);
             prop_assert_eq!(big_a.mul(&big_b).to_u128_truncated(), a as u128 * b as u128);
-            if b != 0 {
-                prop_assert_eq!(big_a.divrem(&big_b).0.to_u64_truncated(), a / b);
-                prop_assert_eq!(big_a.divrem(&big_b).1.to_u64_truncated(), a % b);
+            if let (Some(q), Some(r)) = (a.checked_div(b), a.checked_rem(b)) {
+                prop_assert_eq!(big_a.divrem(&big_b).0.to_u64_truncated(), q);
+                prop_assert_eq!(big_a.divrem(&big_b).1.to_u64_truncated(), r);
             }
         }
 

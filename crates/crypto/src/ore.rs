@@ -66,10 +66,7 @@ impl OreCiphertext {
     /// underlying plaintexts, or `None` if they are equal. This is exactly the
     /// scheme's defined leakage (`inddiff` in the paper's Appendix A.3).
     pub fn diff_index(&self, other: &Self) -> Option<usize> {
-        self.symbols
-            .iter()
-            .zip(other.symbols.iter())
-            .position(|(a, b)| a != b)
+        self.symbols.iter().zip(other.symbols.iter()).position(|(a, b)| a != b)
     }
 }
 

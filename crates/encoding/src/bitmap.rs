@@ -236,7 +236,11 @@ mod tests {
 
     #[test]
     fn serialize_roundtrip_sparse_and_dense() {
-        let runs = vec![Run::new(10, 20), Run::new(100_000, 108_000), Run::new(1 << 40, (1 << 40) + 3)];
+        let runs = vec![
+            Run::new(10, 20),
+            Run::new(100_000, 108_000),
+            Run::new(1 << 40, (1 << 40) + 3),
+        ];
         let bm = Bitmap::from_runs(&runs);
         let data = bm.serialize();
         let back = Bitmap::deserialize(&data).unwrap();

@@ -33,10 +33,7 @@ impl CodeBook {
         let mut scale = 1u64;
         while lengths.iter().any(|&l| l > MAX_CODE_LEN) {
             scale *= 2;
-            let scaled: Vec<u64> = freqs
-                .iter()
-                .map(|&f| if f == 0 { 0 } else { f / scale + 1 })
-                .collect();
+            let scaled: Vec<u64> = freqs.iter().map(|&f| if f == 0 { 0 } else { f / scale + 1 }).collect();
             lengths = compute_code_lengths(&scaled);
         }
         let codes = canonical_codes(&lengths);
@@ -100,10 +97,7 @@ impl Decoder {
                 return None;
             }
             // Binary search over entries with this (len, code).
-            if let Ok(idx) = self
-                .entries
-                .binary_search_by(|&(l, c, _)| (l, c).cmp(&(len, code)))
-            {
+            if let Ok(idx) = self.entries.binary_search_by(|&(l, c, _)| (l, c).cmp(&(len, code))) {
                 return Some(self.entries[idx].2);
             }
         }
@@ -122,8 +116,7 @@ fn compute_code_lengths(freqs: &[u64]) -> Vec<u8> {
     }
 
     let mut nodes: Vec<Node> = Vec::new();
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
-        std::collections::BinaryHeap::new();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = std::collections::BinaryHeap::new();
     for (s, &f) in freqs.iter().enumerate() {
         if f > 0 {
             nodes.push(Node {
@@ -247,10 +240,7 @@ mod tests {
                 }
                 // code a must not be a prefix of code b
                 let prefix = book.codes[b] >> (lb - la);
-                assert!(
-                    prefix != book.codes[a],
-                    "code {a} is a prefix of code {b}"
-                );
+                assert!(prefix != book.codes[a], "code {a} is a prefix of code {b}");
             }
         }
     }

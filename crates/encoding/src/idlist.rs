@@ -207,12 +207,8 @@ pub fn encode_runs(runs: &[Run], encoding: IdListEncoding) -> Vec<u8> {
     match encoding {
         IdListEncoding::RangesVb => encode_ranges_vb(runs),
         IdListEncoding::RangesVbDiff => encode_ranges_vb_diff(runs),
-        IdListEncoding::RangesVbDiffDeflateCompact => {
-            deflate::compress(&encode_ranges_vb_diff(runs), Level::Compact)
-        }
-        IdListEncoding::RangesVbDiffDeflateFast => {
-            deflate::compress(&encode_ranges_vb_diff(runs), Level::Fast)
-        }
+        IdListEncoding::RangesVbDiffDeflateCompact => deflate::compress(&encode_ranges_vb_diff(runs), Level::Compact),
+        IdListEncoding::RangesVbDiffDeflateFast => deflate::compress(&encode_ranges_vb_diff(runs), Level::Fast),
         IdListEncoding::VbDiff => encode_vb_diff(runs),
         IdListEncoding::Bitmap => Bitmap::from_runs(runs).serialize(),
     }
@@ -223,8 +219,7 @@ pub fn decode_runs(data: &[u8], encoding: IdListEncoding) -> Option<Vec<Run>> {
     match encoding {
         IdListEncoding::RangesVb => decode_ranges_vb(data),
         IdListEncoding::RangesVbDiff => decode_ranges_vb_diff(data),
-        IdListEncoding::RangesVbDiffDeflateCompact
-        | IdListEncoding::RangesVbDiffDeflateFast => {
+        IdListEncoding::RangesVbDiffDeflateCompact | IdListEncoding::RangesVbDiffDeflateFast => {
             decode_ranges_vb_diff(&deflate::decompress(data)?)
         }
         IdListEncoding::VbDiff => decode_vb_diff(data),

@@ -228,7 +228,11 @@ mod tests {
     fn repetitive_data_produces_matches() {
         let data: Vec<u8> = b"seabed".iter().cycle().take(3000).cloned().collect();
         let tokens = tokenize(&data, &Profile::COMPACT);
-        assert!(tokens.len() < 100, "expected heavy matching, got {} tokens", tokens.len());
+        assert!(
+            tokens.len() < 100,
+            "expected heavy matching, got {} tokens",
+            tokens.len()
+        );
         assert_eq!(detokenize(&tokens), data);
     }
 

@@ -136,8 +136,8 @@ impl Cluster {
         let mut results: Vec<Option<(R, usize, Duration)>> = (0..n).map(|_| None).collect();
         let threads = self.config.local_threads.max(1).min(n.max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results_cells: Vec<parking_lot::Mutex<Option<(R, usize, Duration)>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let results_cells: Vec<std::sync::Mutex<Option<(R, usize, Duration)>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -149,12 +149,16 @@ impl Cluster {
                     let t0 = Instant::now();
                     let out = task(&table.partitions[idx]);
                     let elapsed = t0.elapsed();
-                    *results_cells[idx].lock() = Some((out.value, out.bytes, elapsed));
+                    // Each cell is written exactly once by the thread that
+                    // claimed its index, so the lock never contends; poisoning
+                    // is recovered because the data is the write itself.
+                    *results_cells[idx].lock().unwrap_or_else(|p| p.into_inner()) =
+                        Some((out.value, out.bytes, elapsed));
                 });
             }
         });
         for (slot, cell) in results.iter_mut().zip(results_cells) {
-            *slot = cell.into_inner();
+            *slot = cell.into_inner().unwrap_or_else(|p| p.into_inner());
         }
         let wall_time = started.elapsed();
 
@@ -182,18 +186,13 @@ impl Cluster {
         let mut max_task = Duration::ZERO;
         for &t in task_times {
             let mut effective = t + self.config.task_overhead;
-            if self.config.straggler_probability > 0.0
-                && rng.random::<f64>() < self.config.straggler_probability
-            {
+            if self.config.straggler_probability > 0.0 && rng.random::<f64>() < self.config.straggler_probability {
                 effective = Duration::from_secs_f64(effective.as_secs_f64() * self.config.straggler_factor);
             }
             total += t;
             max_task = max_task.max(t);
             // Assign to the least-loaded slot.
-            let slot = slots
-                .iter_mut()
-                .min_by_key(|d| **d)
-                .expect("at least one worker");
+            let slot = slots.iter_mut().min_by_key(|d| **d).expect("at least one worker");
             *slot += effective;
         }
         let makespan = slots.into_iter().max().unwrap_or(Duration::ZERO);
@@ -215,11 +214,7 @@ mod tests {
 
     fn table(rows: usize, partitions: usize) -> Table {
         let schema = Schema::new([("v".to_string(), ColumnType::UInt64)]);
-        Table::from_columns(
-            schema,
-            vec![ColumnData::UInt64((0..rows as u64).collect())],
-            partitions,
-        )
+        Table::from_columns(schema, vec![ColumnData::UInt64((0..rows as u64).collect())], partitions)
     }
 
     #[test]

@@ -83,13 +83,7 @@ mod tests {
     #[test]
     fn slower_links_are_slower() {
         let bytes = 1_000_000;
-        assert!(
-            NetworkModel::wan_10mbps().transfer_time(bytes)
-                > NetworkModel::wan_100mbps().transfer_time(bytes)
-        );
-        assert!(
-            NetworkModel::wan_100mbps().transfer_time(bytes)
-                > NetworkModel::datacenter().transfer_time(bytes)
-        );
+        assert!(NetworkModel::wan_10mbps().transfer_time(bytes) > NetworkModel::wan_100mbps().transfer_time(bytes));
+        assert!(NetworkModel::wan_100mbps().transfer_time(bytes) > NetworkModel::datacenter().transfer_time(bytes));
     }
 }

@@ -7,6 +7,7 @@
 //! implicit global identifier (`partition.start_row + offset`) — the
 //! consecutive row IDs ASHE's telescoping decryption relies on.
 
+use seabed_error::{SchemaError, SeabedError};
 use serde::{Deserialize, Serialize};
 
 /// The type of a column.
@@ -79,6 +80,33 @@ impl ColumnData {
         }
     }
 
+    /// Total variant of [`ColumnData::u64_at`]: `None` on type mismatch or an
+    /// out-of-range row. Query execution validates column types up front and
+    /// uses these accessors in the scan so untrusted plan shapes can never
+    /// panic the engine.
+    pub fn u64_get(&self, row: usize) -> Option<u64> {
+        match self {
+            ColumnData::UInt64(v) => v.get(row).copied(),
+            _ => None,
+        }
+    }
+
+    /// Total variant of [`ColumnData::str_at`].
+    pub fn str_get(&self, row: usize) -> Option<&str> {
+        match self {
+            ColumnData::Utf8(v) => v.get(row).map(|s| s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Total variant of [`ColumnData::bytes_at`].
+    pub fn bytes_get(&self, row: usize) -> Option<&[u8]> {
+        match self {
+            ColumnData::Bytes(v) => v.get(row).map(|b| b.as_slice()),
+            _ => None,
+        }
+    }
+
     /// Accesses an `i64` cell; panics if the column has a different type.
     pub fn i64_at(&self, row: usize) -> i64 {
         match self {
@@ -142,10 +170,7 @@ impl Schema {
     /// Builds a schema from `(name, type)` pairs.
     pub fn new<I: IntoIterator<Item = (String, ColumnType)>>(fields: I) -> Schema {
         Schema {
-            fields: fields
-                .into_iter()
-                .map(|(name, ty)| Field { name, ty })
-                .collect(),
+            fields: fields.into_iter().map(|(name, ty)| Field { name, ty }).collect(),
         }
     }
 
@@ -188,6 +213,11 @@ impl Partition {
     /// Column by index.
     pub fn column(&self, index: usize) -> &ColumnData {
         &self.columns[index]
+    }
+
+    /// Total variant of [`Partition::column`]: `None` when out of range.
+    pub fn column_get(&self, index: usize) -> Option<&ColumnData> {
+        self.columns.get(index)
     }
 }
 
@@ -246,6 +276,28 @@ impl Table {
         self.schema.index_of(name)
     }
 
+    /// Index of a column by name, as a [`SeabedError::Schema`] when missing.
+    pub fn require_column(&self, name: &str) -> Result<usize, SeabedError> {
+        self.column_index(name)
+            .ok_or_else(|| SchemaError::UnknownPhysicalColumn(name.to_string()).into())
+    }
+
+    /// Index of a column that must have a specific physical type.
+    pub fn require_typed_column(&self, name: &str, ty: ColumnType) -> Result<usize, SeabedError> {
+        let index = self.require_column(name)?;
+        let actual = self.schema.fields[index].ty;
+        if actual == ty {
+            Ok(index)
+        } else {
+            Err(SchemaError::TypeMismatch {
+                column: name.to_string(),
+                expected: format!("{ty:?}"),
+                actual: format!("{actual:?}"),
+            }
+            .into())
+        }
+    }
+
     /// Gathers an entire column across partitions (test/debug helper; real
     /// queries never materialise whole columns at the driver).
     pub fn gather_u64(&self, name: &str) -> Option<Vec<u64>> {
@@ -296,7 +348,10 @@ mod tests {
     #[test]
     fn gather_reconstructs_column() {
         let t = sample_table(100, 3);
-        assert_eq!(t.gather_u64("value").unwrap(), (0..100u64).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(
+            t.gather_u64("value").unwrap(),
+            (0..100u64).map(|i| i * 2).collect::<Vec<_>>()
+        );
         assert!(t.gather_u64("name").is_none(), "type mismatch returns None");
         assert!(t.gather_u64("missing").is_none());
     }

@@ -1,0 +1,229 @@
+//! # seabed-error
+//!
+//! The workspace-wide typed error spine.
+//!
+//! Seabed's trust model (§4.1) splits the system into a trusted client proxy
+//! and an untrusted server. Before this crate existed, the query path crossed
+//! that boundary on `unwrap()`/`panic!`: a malformed response or an unknown
+//! physical column could crash the *trusted* proxy from *untrusted* input.
+//! Every layer now reports failures through one enum, [`SeabedError`], with a
+//! variant per layer, so fallibility is visible in every signature along the
+//! client→server query path and callers can match on the layer that failed.
+//!
+//! Layer-specific error types that existed before the refactor
+//! ([`ParseError`], [`TranslateError`]) live here too and convert into
+//! [`SeabedError`] via `From`, so `?` propagates them across layers without
+//! ceremony.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A parse error with a human-readable message and the offending position.
+///
+/// Returned by `seabed_query::parse`; absorbed into [`SeabedError::Parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors the query translator can report.
+///
+/// `UnknownColumn` is a schema-level failure and maps to
+/// [`SeabedError::Schema`]; `Unsupported` maps to [`SeabedError::Translate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The query references a column the plan does not know about.
+    UnknownColumn(String),
+    /// An operation is not supported under the column's encryption scheme
+    /// (e.g. a range predicate over a SPLASHE dimension).
+    Unsupported(String),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            TranslateError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Schema-level failures: references to columns that do not exist or whose
+/// physical representation does not support the requested operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A logical column the schema plan does not know about.
+    UnknownColumn(String),
+    /// A physical column missing from the encrypted table.
+    UnknownPhysicalColumn(String),
+    /// A column exists but has the wrong physical type for the operation.
+    TypeMismatch {
+        /// The column name.
+        column: String,
+        /// What the operation needed.
+        expected: String,
+        /// What the schema actually holds.
+        actual: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SchemaError::UnknownPhysicalColumn(c) => write!(f, "unknown physical column: {c}"),
+            SchemaError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => {
+                write!(f, "column {column} is {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// The unified error type of the Seabed workspace, one variant per layer.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SeabedError {
+    /// SQL could not be parsed.
+    Parse(ParseError),
+    /// The query parsed but cannot be rewritten for the encrypted schema.
+    Translate(String),
+    /// The data planner could not produce a usable schema plan.
+    Plan(String),
+    /// A cryptographic operation failed (bad key material, ciphertext
+    /// corruption, modulus constraints).
+    Crypto(String),
+    /// An encoded payload (ID list, compressed block, serialized table) could
+    /// not be decoded.
+    Encoding(String),
+    /// The execution engine failed (malformed partition, task breakdown,
+    /// response/plan shape mismatch).
+    Engine(String),
+    /// A schema-level failure: unknown or wrongly-typed column.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for SeabedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeabedError::Parse(e) => write!(f, "parse: {e}"),
+            SeabedError::Translate(msg) => write!(f, "translate: {msg}"),
+            SeabedError::Plan(msg) => write!(f, "plan: {msg}"),
+            SeabedError::Crypto(msg) => write!(f, "crypto: {msg}"),
+            SeabedError::Encoding(msg) => write!(f, "encoding: {msg}"),
+            SeabedError::Engine(msg) => write!(f, "engine: {msg}"),
+            SeabedError::Schema(e) => write!(f, "schema: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SeabedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeabedError::Parse(e) => Some(e),
+            SeabedError::Schema(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for SeabedError {
+    fn from(e: ParseError) -> SeabedError {
+        SeabedError::Parse(e)
+    }
+}
+
+impl From<TranslateError> for SeabedError {
+    fn from(e: TranslateError) -> SeabedError {
+        match e {
+            // An unknown column is a property of the schema, not of the
+            // translation pass that happened to discover it.
+            TranslateError::UnknownColumn(c) => SeabedError::Schema(SchemaError::UnknownColumn(c)),
+            TranslateError::Unsupported(msg) => SeabedError::Translate(msg),
+        }
+    }
+}
+
+impl From<SchemaError> for SeabedError {
+    fn from(e: SchemaError) -> SeabedError {
+        SeabedError::Schema(e)
+    }
+}
+
+impl SeabedError {
+    /// Shorthand constructor for [`SeabedError::Engine`].
+    pub fn engine(msg: impl Into<String>) -> SeabedError {
+        SeabedError::Engine(msg.into())
+    }
+
+    /// Shorthand constructor for [`SeabedError::Encoding`].
+    pub fn encoding(msg: impl Into<String>) -> SeabedError {
+        SeabedError::Encoding(msg.into())
+    }
+
+    /// Shorthand constructor for [`SeabedError::Crypto`].
+    pub fn crypto(msg: impl Into<String>) -> SeabedError {
+        SeabedError::Crypto(msg.into())
+    }
+
+    /// Shorthand constructor for an unknown-physical-column schema error.
+    pub fn unknown_physical_column(name: impl Into<String>) -> SeabedError {
+        SeabedError::Schema(SchemaError::UnknownPhysicalColumn(name.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_unknown_column_maps_to_schema() {
+        let e: SeabedError = TranslateError::UnknownColumn("x".to_string()).into();
+        assert_eq!(e, SeabedError::Schema(SchemaError::UnknownColumn("x".to_string())));
+        let e: SeabedError = TranslateError::Unsupported("nope".to_string()).into();
+        assert_eq!(e, SeabedError::Translate("nope".to_string()));
+    }
+
+    #[test]
+    fn display_prefixes_layer() {
+        let e = SeabedError::from(ParseError {
+            message: "bad token".to_string(),
+            position: 7,
+        });
+        assert_eq!(e.to_string(), "parse: parse error at byte 7: bad token");
+        assert_eq!(
+            SeabedError::unknown_physical_column("m__ashe").to_string(),
+            "schema: unknown physical column: m__ashe"
+        );
+    }
+
+    #[test]
+    fn source_chain_exposes_layer_errors() {
+        use std::error::Error;
+        let e = SeabedError::from(ParseError {
+            message: "m".to_string(),
+            position: 0,
+        });
+        assert!(e.source().is_some());
+        assert!(SeabedError::Translate("t".to_string()).source().is_none());
+    }
+}

@@ -23,10 +23,12 @@ pub mod translate;
 
 pub use ast::{AggregateFunction, CompareOp, Literal, Predicate, Query, SelectItem, TableRef};
 pub use parser::{parse, ParseError};
-pub use planner::{classify_roles, plan_schema, ColumnPlan, ColumnRole, ColumnSpec, EncryptionChoice, PlannerConfig, SchemaPlan};
+pub use planner::{
+    classify_roles, plan_schema, ColumnPlan, ColumnRole, ColumnSpec, EncryptionChoice, PlannerConfig, SchemaPlan,
+};
 pub use translate::{
-    encnames, translate, ClientPostStep, GroupByColumn, ServerAggregate, ServerFilter, SupportCategory,
-    TranslateError, TranslateOptions, TranslatedQuery,
+    encnames, translate, ClientPostStep, GroupByColumn, ServerAggregate, ServerFilter, SupportCategory, TranslateError,
+    TranslateOptions, TranslatedQuery,
 };
 
 #[cfg(test)]

@@ -16,22 +16,7 @@
 
 use crate::ast::{AggregateFunction, CompareOp, Literal, Predicate, Query, SelectItem, TableRef};
 
-/// A parse error with a human-readable message and the offending position.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ParseError {
-    /// What went wrong.
-    pub message: String,
-    /// Byte offset in the input where the error was detected.
-    pub position: usize,
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.position, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
+pub use seabed_error::ParseError;
 
 #[derive(Clone, Debug, PartialEq)]
 enum Token {
@@ -124,7 +109,8 @@ impl<'a> Tokenizer<'a> {
                     while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
                         self.pos += 1;
                     }
-                    let text = std::str::from_utf8(&self.input[num_start..self.pos]).unwrap();
+                    // The scanned bytes are ASCII digits, so lossy decoding is exact.
+                    let text = String::from_utf8_lossy(&self.input[num_start..self.pos]);
                     let value = text.parse::<u64>().map_err(|_| ParseError {
                         message: format!("integer literal out of range: {text}"),
                         position: num_start,
@@ -138,8 +124,9 @@ impl<'a> Tokenizer<'a> {
                     {
                         self.pos += 1;
                     }
-                    let text = std::str::from_utf8(&self.input[ident_start..self.pos]).unwrap();
-                    tokens.push((Token::Ident(text.to_string()), start));
+                    // ASCII alphanumerics only, so lossy decoding is exact.
+                    let text = String::from_utf8_lossy(&self.input[ident_start..self.pos]);
+                    tokens.push((Token::Ident(text.into_owned()), start));
                 }
                 other => {
                     return Err(ParseError {
@@ -164,9 +151,17 @@ struct Parser {
 
 impl Parser {
     fn error(&self, message: impl Into<String>) -> ParseError {
+        // Past the last token (truncated input), point just after it rather
+        // than at a usize::MAX sentinel that leaks into the message.
+        let position = self
+            .tokens
+            .get(self.pos)
+            .or(self.tokens.last())
+            .map(|(_, p)| *p)
+            .unwrap_or(0);
         ParseError {
             message: message.into(),
-            position: self.tokens.get(self.pos).map(|(_, p)| *p).unwrap_or(usize::MAX),
+            position,
         }
     }
 
@@ -340,8 +335,8 @@ mod tests {
     use crate::ast::*;
 
     #[test]
-    fn simple_aggregate() {
-        let q = parse("SELECT SUM(revenue) FROM sales").unwrap();
+    fn simple_aggregate() -> Result<(), ParseError> {
+        let q = parse("SELECT SUM(revenue) FROM sales")?;
         assert_eq!(q.select.len(), 1);
         assert_eq!(
             q.select[0],
@@ -352,11 +347,12 @@ mod tests {
         );
         assert_eq!(q.from, TableRef::Named("sales".to_string()));
         assert!(q.predicates.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn count_star_with_filter() {
-        let q = parse("SELECT count(*) FROM table1 WHERE a = 10").unwrap();
+    fn count_star_with_filter() -> Result<(), ParseError> {
+        let q = parse("SELECT count(*) FROM table1 WHERE a = 10")?;
         assert_eq!(
             q.select[0],
             SelectItem::Aggregate {
@@ -372,33 +368,35 @@ mod tests {
                 value: Literal::Integer(10)
             }]
         );
+        Ok(())
     }
 
     #[test]
-    fn group_by_and_multiple_predicates() {
+    fn group_by_and_multiple_predicates() -> Result<(), ParseError> {
         let q = parse(
             "SELECT country, SUM(salary), AVG(salary) FROM employees \
              WHERE year >= 2010 AND dept = 'eng' GROUP BY country LIMIT 5",
-        )
-        .unwrap();
+        )?;
         assert_eq!(q.select.len(), 3);
         assert_eq!(q.predicates.len(), 2);
         assert_eq!(q.predicates[1].value, Literal::Text("eng".to_string()));
         assert_eq!(q.group_by, vec!["country".to_string()]);
         assert_eq!(q.limit, Some(5));
+        Ok(())
     }
 
     #[test]
-    fn table2_subquery_example() {
+    fn table2_subquery_example() -> Result<(), ParseError> {
         // The Table 2 "ID preservation" query.
-        let q = parse("SELECT sum(tmp.a) FROM (SELECT a FROM table1 WHERE b > 10) tmp").unwrap();
-        match &q.from {
-            TableRef::Subquery(inner, alias) => {
-                assert_eq!(alias, "tmp");
-                assert_eq!(inner.predicates[0].op, CompareOp::Gt);
-                assert_eq!(inner.select[0], SelectItem::Column("a".to_string()));
-            }
-            other => panic!("expected subquery, got {other:?}"),
+        let q = parse("SELECT sum(tmp.a) FROM (SELECT a FROM table1 WHERE b > 10) tmp")?;
+        assert!(
+            matches!(&q.from, TableRef::Subquery(_, alias) if alias == "tmp"),
+            "expected subquery, got {:?}",
+            q.from
+        );
+        if let TableRef::Subquery(inner, _) = &q.from {
+            assert_eq!(inner.predicates[0].op, CompareOp::Gt);
+            assert_eq!(inner.select[0], SelectItem::Column("a".to_string()));
         }
         assert_eq!(
             q.select[0],
@@ -407,17 +405,19 @@ mod tests {
                 column: "a".to_string()
             }
         );
+        Ok(())
     }
 
     #[test]
-    fn table2_group_by_example() {
-        let q = parse("SELECT a, sum(b) FROM table1 GROUP BY a").unwrap();
+    fn table2_group_by_example() -> Result<(), ParseError> {
+        let q = parse("SELECT a, sum(b) FROM table1 GROUP BY a")?;
         assert_eq!(q.group_by, vec!["a".to_string()]);
         assert_eq!(q.select[0], SelectItem::Column("a".to_string()));
+        Ok(())
     }
 
     #[test]
-    fn comparison_operators() {
+    fn comparison_operators() -> Result<(), ParseError> {
         for (text, op) in [
             ("=", CompareOp::Eq),
             ("!=", CompareOp::NotEq),
@@ -427,16 +427,18 @@ mod tests {
             (">", CompareOp::Gt),
             (">=", CompareOp::GtEq),
         ] {
-            let q = parse(&format!("SELECT SUM(x) FROM t WHERE y {text} 3")).unwrap();
+            let q = parse(&format!("SELECT SUM(x) FROM t WHERE y {text} 3"))?;
             assert_eq!(q.predicates[0].op, op, "operator {text}");
         }
+        Ok(())
     }
 
     #[test]
-    fn roundtrip_through_to_sql() {
+    fn roundtrip_through_to_sql() -> Result<(), ParseError> {
         let sql = "SELECT country, SUM(revenue) FROM sales WHERE year >= 2015 GROUP BY country LIMIT 10";
-        let q = parse(sql).unwrap();
-        assert_eq!(parse(&q.to_sql()).unwrap(), q);
+        let q = parse(sql)?;
+        assert_eq!(parse(&q.to_sql())?, q);
+        Ok(())
     }
 
     #[test]
@@ -448,23 +450,29 @@ mod tests {
         assert!(parse("SELECT MEDIAN(x) FROM t").is_err());
         assert!(parse("SELECT SUM(x) FROM t extra garbage ~").is_err());
         assert!(parse("SELECT SUM(x) FROM t WHERE s = 'unterminated").is_err());
-        let err = parse("SELECT SUM(x) FROM t WHERE a @ 3").unwrap_err();
-        assert!(err.to_string().contains("unexpected character"));
+        let err = parse("SELECT SUM(x) FROM t WHERE a @ 3").err();
+        assert!(
+            err.as_ref()
+                .is_some_and(|e| e.to_string().contains("unexpected character")),
+            "{err:?}"
+        );
     }
 
     #[test]
-    fn keywords_are_case_insensitive() {
-        let q = parse("select sum(v) from t where a = 1 group by g limit 2").unwrap();
+    fn keywords_are_case_insensitive() -> Result<(), ParseError> {
+        let q = parse("select sum(v) from t where a = 1 group by g limit 2")?;
         assert!(q.is_aggregation());
         assert_eq!(q.group_by, vec!["g".to_string()]);
         assert_eq!(q.limit, Some(2));
+        Ok(())
     }
 
     #[test]
-    fn plain_scan_without_aggregates() {
-        let q = parse("SELECT pageURL, pageRank FROM rankings WHERE pageRank > 1000").unwrap();
+    fn plain_scan_without_aggregates() -> Result<(), ParseError> {
+        let q = parse("SELECT pageURL, pageRank FROM rankings WHERE pageRank > 1000")?;
         assert!(!q.is_aggregation());
         assert_eq!(q.select.len(), 2);
         assert_eq!(q.dimension_columns(), vec!["pageRank"]);
+        Ok(())
     }
 }

@@ -205,9 +205,7 @@ fn collect_roles<'a>(q: &'a Query, dimensions: &mut BTreeSet<&'a str>, measures:
 /// the column.
 fn needs_order(column: &str, queries: &[Query]) -> bool {
     queries.iter().any(|q| {
-        q.predicates
-            .iter()
-            .any(|p| p.column == column && p.op.needs_order())
+        q.predicates.iter().any(|p| p.column == column && p.op.needs_order())
             || q.aggregates().iter().any(|(f, c)| {
                 *c == column
                     && matches!(
@@ -246,7 +244,9 @@ pub fn plan_schema(columns: &[ColumnSpec], queries: &[Query], config: &PlannerCo
     let mut splashe_candidates: Vec<&ColumnSpec> = Vec::new();
     let mut decisions: BTreeMap<String, EncryptionChoice> = BTreeMap::new();
     for spec in columns {
-        let role = roles[&spec.name];
+        // classify_roles emits one entry per spec, so the lookup always hits;
+        // treat a (impossible) miss as an unqueried column.
+        let role = roles.get(&spec.name).copied().unwrap_or(ColumnRole::Unused);
         if !spec.sensitive {
             decisions.insert(spec.name.clone(), EncryptionChoice::Plaintext);
             continue;
@@ -329,10 +329,8 @@ pub fn plan_schema(columns: &[ColumnSpec], queries: &[Query], config: &PlannerCo
     for spec in columns {
         plan.columns.push(ColumnPlan {
             name: spec.name.clone(),
-            role: roles[&spec.name],
-            encryption: decisions
-                .remove(&spec.name)
-                .unwrap_or(EncryptionChoice::Plaintext),
+            role: roles.get(&spec.name).copied().unwrap_or(ColumnRole::Unused),
+            encryption: decisions.remove(&spec.name).unwrap_or(EncryptionChoice::Plaintext),
         });
     }
     plan
@@ -357,7 +355,7 @@ mod tests {
     use crate::parser::parse;
 
     fn sample_queries() -> Vec<Query> {
-        [
+        let queries = [
             "SELECT SUM(salary) FROM emp WHERE country = 'USA'",
             "SELECT country, SUM(salary) FROM emp GROUP BY country",
             "SELECT AVG(salary) FROM emp WHERE year >= 2010",
@@ -365,8 +363,10 @@ mod tests {
             "SELECT MAX(age) FROM emp",
         ]
         .iter()
-        .map(|s| parse(s).unwrap())
-        .collect()
+        .filter_map(|s| parse(s).ok())
+        .collect::<Vec<_>>();
+        assert_eq!(queries.len(), 5, "all sample queries must parse");
+        queries
     }
 
     fn country_distribution() -> Vec<(String, u64)> {
@@ -400,47 +400,55 @@ mod tests {
         assert_eq!(roles["emp_id"], ColumnRole::Unused);
     }
 
+    /// The planner's choice for a column, as an `Option` so assertions stay
+    /// total (a missing column shows up as `None`, never a panic).
+    fn choice(plan: &SchemaPlan, name: &str) -> Option<EncryptionChoice> {
+        plan.column(name).map(|c| c.encryption.clone())
+    }
+
     #[test]
     fn measures_get_ashe() {
         let plan = plan_schema(&specs(), &sample_queries(), &PlannerConfig::default());
         assert_eq!(
-            plan.column("salary").unwrap().encryption,
-            EncryptionChoice::Ashe { with_squares: false }
+            choice(&plan, "salary"),
+            Some(EncryptionChoice::Ashe { with_squares: false })
         );
         // Variance over bonus needs the squares column.
         assert_eq!(
-            plan.column("bonus").unwrap().encryption,
-            EncryptionChoice::Ashe { with_squares: true }
+            choice(&plan, "bonus"),
+            Some(EncryptionChoice::Ashe { with_squares: true })
         );
     }
 
     #[test]
     fn min_max_measures_get_ope() {
         let plan = plan_schema(&specs(), &sample_queries(), &PlannerConfig::default());
-        assert_eq!(plan.column("age").unwrap().encryption, EncryptionChoice::Ope);
+        assert_eq!(choice(&plan, "age"), Some(EncryptionChoice::Ope));
     }
 
     #[test]
     fn range_filtered_dimensions_get_ope() {
         let plan = plan_schema(&specs(), &sample_queries(), &PlannerConfig::default());
-        assert_eq!(plan.column("year").unwrap().encryption, EncryptionChoice::Ope);
+        assert_eq!(choice(&plan, "year"), Some(EncryptionChoice::Ope));
     }
 
     #[test]
     fn equality_dimension_with_distribution_gets_enhanced_splashe() {
         let plan = plan_schema(&specs(), &sample_queries(), &PlannerConfig::default());
-        match &plan.column("country").unwrap().encryption {
-            EncryptionChoice::SplasheEnhanced { plan } => {
-                assert!(plan.frequent.contains(&"USA".to_string()));
-            }
-            other => panic!("expected enhanced SPLASHE, got {other:?}"),
-        }
+        let country = choice(&plan, "country");
+        assert!(
+            matches!(
+                &country,
+                Some(EncryptionChoice::SplasheEnhanced { plan }) if plan.frequent.contains(&"USA".to_string())
+            ),
+            "expected enhanced SPLASHE with USA frequent, got {country:?}"
+        );
     }
 
     #[test]
     fn non_sensitive_columns_stay_plaintext() {
         let plan = plan_schema(&specs(), &sample_queries(), &PlannerConfig::default());
-        assert_eq!(plan.column("emp_id").unwrap().encryption, EncryptionChoice::Plaintext);
+        assert_eq!(choice(&plan, "emp_id"), Some(EncryptionChoice::Plaintext));
     }
 
     #[test]
@@ -448,7 +456,7 @@ mod tests {
         let mut s = specs();
         s[0] = ColumnSpec::sensitive("country");
         let plan = plan_schema(&s, &sample_queries(), &PlannerConfig::default());
-        assert_eq!(plan.column("country").unwrap().encryption, EncryptionChoice::Det);
+        assert_eq!(choice(&plan, "country"), Some(EncryptionChoice::Det));
         assert!(plan.warnings.iter().any(|w| w.contains("country")));
         assert_eq!(plan.property_preserving_columns(), vec!["country", "age", "year"]);
     }
@@ -460,7 +468,7 @@ mod tests {
             total_columns: Some(6),
         };
         let plan = plan_schema(&specs(), &sample_queries(), &config);
-        assert_eq!(plan.column("country").unwrap().encryption, EncryptionChoice::Det);
+        assert_eq!(choice(&plan, "country"), Some(EncryptionChoice::Det));
         assert!(plan.warnings.iter().any(|w| w.contains("budget")));
     }
 
@@ -469,8 +477,8 @@ mod tests {
         let specs = vec![ColumnSpec::sensitive("secret_notes")];
         let plan = plan_schema(&specs, &sample_queries(), &PlannerConfig::default());
         assert_eq!(
-            plan.column("secret_notes").unwrap().encryption,
-            EncryptionChoice::Ashe { with_squares: false }
+            choice(&plan, "secret_notes"),
+            Some(EncryptionChoice::Ashe { with_squares: false })
         );
     }
 }

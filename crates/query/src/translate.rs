@@ -167,26 +167,7 @@ pub struct GroupByColumn {
     pub encrypted: bool,
 }
 
-/// Errors the translator can report.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TranslateError {
-    /// The query references a column the plan does not know about.
-    UnknownColumn(String),
-    /// An operation is not supported under the column's encryption scheme
-    /// (e.g. a range predicate over a SPLASHE dimension).
-    Unsupported(String),
-}
-
-impl std::fmt::Display for TranslateError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TranslateError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
-            TranslateError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for TranslateError {}
+pub use seabed_error::TranslateError;
 
 /// The rewritten query.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -228,11 +209,7 @@ impl TranslatedQuery {
         if !self.group_by.is_empty() {
             let keys: Vec<&str> = self.group_by.iter().map(|g| g.physical_column.as_str()).collect();
             if self.group_inflation > 1 {
-                parts.push(format!(
-                    "groupBy({} + rid%{})",
-                    keys.join(", "),
-                    self.group_inflation
-                ));
+                parts.push(format!("groupBy({} + rid%{})", keys.join(", "), self.group_inflation));
             } else {
                 parts.push(format!("groupBy({})", keys.join(", ")));
             }
@@ -269,7 +246,11 @@ impl Default for TranslateOptions {
 }
 
 /// Translates a plaintext query against a schema plan.
-pub fn translate(query: &Query, plan: &SchemaPlan, options: &TranslateOptions) -> Result<TranslatedQuery, TranslateError> {
+pub fn translate(
+    query: &Query,
+    plan: &SchemaPlan,
+    options: &TranslateOptions,
+) -> Result<TranslatedQuery, TranslateError> {
     // Flatten a FROM-subquery: its predicates are merged into the outer
     // query's predicate list (the subquery projection is only narrowing
     // columns, which the encrypted plan does not care about; the row-ID column
@@ -336,7 +317,7 @@ pub fn translate(query: &Query, plan: &SchemaPlan, options: &TranslateOptions) -
                 // Frequent values read their dedicated column; infrequent
                 // values aggregate the "others" column restricted to the rows
                 // whose balanced DET tag matches (§3.4).
-                if !eplan.frequent.iter().any(|v| *v == value) {
+                if !eplan.frequent.contains(&value) {
                     filters.push(ServerFilter::DetEquals {
                         column: encnames::det(&pred.column),
                         value: value.clone(),
@@ -417,7 +398,11 @@ pub fn translate(query: &Query, plan: &SchemaPlan, options: &TranslateOptions) -
                 let count = aggregates.len();
                 aggregates.push(ServerAggregate::CountRows);
                 let variance_step = client_post.len();
-                client_post.push(ClientPostStep::Variance { sum_squares, sum, count });
+                client_post.push(ClientPostStep::Variance {
+                    sum_squares,
+                    sum,
+                    count,
+                });
                 if *func == AggregateFunction::Stddev {
                     client_post.push(ClientPostStep::SqrtOfVariance { variance_step });
                 }
@@ -629,8 +614,9 @@ mod tests {
     use super::*;
     use crate::parser::parse;
     use crate::planner::{plan_schema, ColumnSpec, PlannerConfig};
+    use seabed_error::SeabedError;
 
-    fn sample_plan() -> SchemaPlan {
+    fn sample_plan() -> Result<SchemaPlan, SeabedError> {
         let columns = vec![
             ColumnSpec::sensitive_with_distribution(
                 "country",
@@ -647,27 +633,32 @@ mod tests {
             ColumnSpec::sensitive("dept"),
             ColumnSpec::public("public_flag"),
         ];
-        let queries: Vec<_> = [
+        let mut queries = Vec::new();
+        for sql in [
             "SELECT SUM(salary) FROM emp WHERE country = 'USA'",
             "SELECT COUNT(*) FROM emp WHERE country = 'India'",
             "SELECT dept, SUM(salary) FROM emp GROUP BY dept",
             "SELECT AVG(salary) FROM emp WHERE ts >= 100",
             "SELECT VARIANCE(bonus) FROM emp",
             "SELECT SUM(salary) FROM emp WHERE public_flag = 1",
-        ]
-        .iter()
-        .map(|s| parse(s).unwrap())
-        .collect();
+        ] {
+            queries.push(parse(sql)?);
+        }
         // dept has no distribution -> DET; country -> enhanced SPLASHE; ts -> OPE.
-        plan_schema(&columns, &queries, &PlannerConfig::default())
+        Ok(plan_schema(&columns, &queries, &PlannerConfig::default()))
     }
 
     #[test]
-    fn ashe_sum_with_ope_filter() {
-        let plan = sample_plan();
-        let q = parse("SELECT SUM(salary) FROM emp WHERE ts >= 100").unwrap();
-        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
-        assert_eq!(t.aggregates, vec![ServerAggregate::AsheSum { column: "salary__ashe".into() }]);
+    fn ashe_sum_with_ope_filter() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        let q = parse("SELECT SUM(salary) FROM emp WHERE ts >= 100")?;
+        let t = translate(&q, &plan, &TranslateOptions::default())?;
+        assert_eq!(
+            t.aggregates,
+            vec![ServerAggregate::AsheSum {
+                column: "salary__ashe".into()
+            }]
+        );
         assert_eq!(
             t.filters,
             vec![ServerFilter::OpeCompare {
@@ -678,31 +669,37 @@ mod tests {
         );
         assert!(t.preserve_row_ids);
         assert_eq!(t.category, SupportCategory::ServerOnly);
+        Ok(())
     }
 
     #[test]
-    fn splashe_filter_selects_splayed_column() {
-        let plan = sample_plan();
+    fn splashe_filter_selects_splayed_column() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
         // Frequent value -> dedicated column.
-        let q = parse("SELECT SUM(salary) FROM emp WHERE country = 'USA'").unwrap();
-        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+        let q = parse("SELECT SUM(salary) FROM emp WHERE country = 'USA'")?;
+        let t = translate(&q, &plan, &TranslateOptions::default())?;
         assert_eq!(t.filters, vec![], "SPLASHE absorbs the equality filter");
         assert_eq!(
             t.aggregates,
-            vec![ServerAggregate::AsheSum { column: "salary__spl_country_0".into() }]
+            vec![ServerAggregate::AsheSum {
+                column: "salary__spl_country_0".into()
+            }]
         );
         // Infrequent value -> others column plus a DET filter is NOT used for
         // the sum (it reads the others column); counts use the indicator.
-        let q2 = parse("SELECT SUM(salary) FROM emp WHERE country = 'India'").unwrap();
-        let t2 = translate(&q2, &plan, &TranslateOptions::default()).unwrap();
+        let q2 = parse("SELECT SUM(salary) FROM emp WHERE country = 'India'")?;
+        let t2 = translate(&q2, &plan, &TranslateOptions::default())?;
         assert_eq!(
             t2.aggregates,
-            vec![ServerAggregate::AsheSum { column: "salary__spl_country_others".into() }]
+            vec![ServerAggregate::AsheSum {
+                column: "salary__spl_country_others".into()
+            }]
         );
+        Ok(())
     }
 
     #[test]
-    fn table2_splashe_count_example() {
+    fn table2_splashe_count_example() -> Result<(), SeabedError> {
         // SELECT count(*) FROM table WHERE a = 10 -> sum of the splayed
         // indicator column (Table 2, second row).
         let columns = vec![
@@ -712,58 +709,72 @@ mod tests {
             ),
             ColumnSpec::sensitive("b"),
         ];
-        let queries = vec![parse("SELECT COUNT(*) FROM t WHERE a = 10").unwrap()];
+        let queries = vec![parse("SELECT COUNT(*) FROM t WHERE a = 10")?];
         let plan = plan_schema(&columns, &queries, &PlannerConfig::default());
-        let t = translate(&queries[0], &plan, &TranslateOptions::default()).unwrap();
+        let t = translate(&queries[0], &plan, &TranslateOptions::default())?;
         assert!(t.filters.is_empty());
         assert_eq!(t.aggregates.len(), 1);
-        match &t.aggregates[0] {
-            ServerAggregate::AsheSum { column } => assert!(column.starts_with("a__ind_"), "{column}"),
-            other => panic!("expected indicator sum, got {other:?}"),
-        }
+        assert!(
+            matches!(&t.aggregates[0], ServerAggregate::AsheSum { column } if column.starts_with("a__ind_")),
+            "expected indicator sum, got {:?}",
+            t.aggregates[0]
+        );
+        Ok(())
     }
 
     #[test]
-    fn subquery_predicates_are_flattened_and_ids_preserved() {
-        let plan = sample_plan();
-        let q = parse("SELECT SUM(tmp.salary) FROM (SELECT salary FROM emp WHERE ts > 10) tmp").unwrap();
-        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+    fn subquery_predicates_are_flattened_and_ids_preserved() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        let q = parse("SELECT SUM(tmp.salary) FROM (SELECT salary FROM emp WHERE ts > 10) tmp")?;
+        let t = translate(&q, &plan, &TranslateOptions::default())?;
         assert_eq!(t.base_table, "emp");
         assert_eq!(t.filters.len(), 1);
-        assert!(t.preserve_row_ids, "Table 2 row 1: the ID column must survive the subquery");
+        assert!(
+            t.preserve_row_ids,
+            "Table 2 row 1: the ID column must survive the subquery"
+        );
+        Ok(())
     }
 
     #[test]
-    fn avg_splits_into_sum_count_and_division() {
-        let plan = sample_plan();
-        let q = parse("SELECT AVG(salary) FROM emp").unwrap();
-        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+    fn avg_splits_into_sum_count_and_division() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        let q = parse("SELECT AVG(salary) FROM emp")?;
+        let t = translate(&q, &plan, &TranslateOptions::default())?;
         assert_eq!(t.aggregates.len(), 2);
-        assert_eq!(t.client_post, vec![ClientPostStep::Divide { numerator: 0, denominator: 1 }]);
+        assert_eq!(
+            t.client_post,
+            vec![ClientPostStep::Divide {
+                numerator: 0,
+                denominator: 1
+            }]
+        );
+        Ok(())
     }
 
     #[test]
-    fn variance_uses_precomputed_squares() {
-        let plan = sample_plan();
-        let q = parse("SELECT VARIANCE(bonus) FROM emp").unwrap();
-        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+    fn variance_uses_precomputed_squares() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        let q = parse("SELECT VARIANCE(bonus) FROM emp")?;
+        let t = translate(&q, &plan, &TranslateOptions::default())?;
         assert_eq!(t.aggregates.len(), 3);
         assert!(matches!(t.aggregates[0], ServerAggregate::AsheSum { ref column } if column == "bonus__ashe_sq"));
         assert_eq!(t.category, SupportCategory::ClientPreProcessing);
         // Variance over a column without squares is rejected.
-        let bad = parse("SELECT VARIANCE(salary) FROM emp").unwrap();
+        let bad = parse("SELECT VARIANCE(salary) FROM emp")?;
         assert!(translate(&bad, &plan, &TranslateOptions::default()).is_err());
+        Ok(())
     }
 
     #[test]
-    fn group_by_on_det_column_with_inflation() {
-        let plan = sample_plan();
-        let q = parse("SELECT dept, SUM(salary) FROM emp GROUP BY dept").unwrap();
+    fn group_by_on_det_column_with_inflation() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        let q = parse("SELECT dept, SUM(salary) FROM emp GROUP BY dept")?;
         let opts = TranslateOptions {
             workers: 100,
             expected_groups: Some(10),
         };
-        let t = translate(&q, &plan, &opts).unwrap();
+        let t = translate(&q, &plan, &opts)?;
         assert_eq!(t.group_by.len(), 1);
         assert_eq!(t.group_by[0].physical_column, "dept__det");
         assert!(t.group_by[0].encrypted);
@@ -772,55 +783,65 @@ mod tests {
         assert!(t.describe().contains("rid%10"));
 
         // Without the expected-group hint inflation is off.
-        let t2 = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+        let t2 = translate(&q, &plan, &TranslateOptions::default())?;
         assert_eq!(t2.group_inflation, 1);
+        Ok(())
     }
 
     #[test]
-    fn plaintext_columns_pass_through() {
-        let plan = sample_plan();
-        let q = parse("SELECT SUM(salary) FROM emp WHERE public_flag = 1").unwrap();
-        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+    fn plaintext_columns_pass_through() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        let q = parse("SELECT SUM(salary) FROM emp WHERE public_flag = 1")?;
+        let t = translate(&q, &plan, &TranslateOptions::default())?;
         assert!(matches!(t.filters[0], ServerFilter::Plain(_)));
+        Ok(())
     }
 
     #[test]
-    fn unsupported_operations_are_rejected() {
-        let plan = sample_plan();
+    fn unsupported_operations_are_rejected() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
         // Range predicate over a SPLASHE column.
-        let q = parse("SELECT SUM(salary) FROM emp WHERE country > 'USA'").unwrap();
+        let q = parse("SELECT SUM(salary) FROM emp WHERE country > 'USA'")?;
         assert!(translate(&q, &plan, &TranslateOptions::default()).is_err());
         // Filtering on an ASHE measure.
-        let q2 = parse("SELECT COUNT(*) FROM emp WHERE salary = 100").unwrap();
+        let q2 = parse("SELECT COUNT(*) FROM emp WHERE salary = 100")?;
         assert!(translate(&q2, &plan, &TranslateOptions::default()).is_err());
         // Unknown column.
-        let q3 = parse("SELECT SUM(unknown_col) FROM emp").unwrap();
+        let q3 = parse("SELECT SUM(unknown_col) FROM emp")?;
         assert!(matches!(
             translate(&q3, &plan, &TranslateOptions::default()),
             Err(TranslateError::UnknownColumn(_))
         ));
         // Group-by over an ASHE measure.
-        let q4 = parse("SELECT salary, COUNT(*) FROM emp GROUP BY salary").unwrap();
+        let q4 = parse("SELECT salary, COUNT(*) FROM emp GROUP BY salary")?;
         assert!(translate(&q4, &plan, &TranslateOptions::default()).is_err());
+        Ok(())
     }
 
     #[test]
-    fn min_max_require_ope_or_plaintext() {
-        let plan = sample_plan();
-        let q = parse("SELECT MIN(ts) FROM emp").unwrap();
-        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
-        assert_eq!(t.aggregates, vec![ServerAggregate::OpeMin { column: "ts__ope".into() }]);
-        let q2 = parse("SELECT MAX(salary) FROM emp").unwrap();
+    fn min_max_require_ope_or_plaintext() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        let q = parse("SELECT MIN(ts) FROM emp")?;
+        let t = translate(&q, &plan, &TranslateOptions::default())?;
+        assert_eq!(
+            t.aggregates,
+            vec![ServerAggregate::OpeMin {
+                column: "ts__ope".into()
+            }]
+        );
+        let q2 = parse("SELECT MAX(salary) FROM emp")?;
         assert!(translate(&q2, &plan, &TranslateOptions::default()).is_err());
+        Ok(())
     }
 
     #[test]
-    fn describe_mentions_encrypted_operators() {
-        let plan = sample_plan();
-        let q = parse("SELECT SUM(salary) FROM emp WHERE ts >= 100").unwrap();
-        let t = translate(&q, &plan, &TranslateOptions::default()).unwrap();
+    fn describe_mentions_encrypted_operators() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        let q = parse("SELECT SUM(salary) FROM emp WHERE ts >= 100")?;
+        let t = translate(&q, &plan, &TranslateOptions::default())?;
         let desc = t.describe();
         assert!(desc.contains("OPE.cmp"));
         assert!(desc.contains("reduce ASHE"));
+        Ok(())
     }
 }

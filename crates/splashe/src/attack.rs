@@ -24,10 +24,7 @@ impl AuxiliaryDistribution {
     /// adversary the paper considers).
     pub fn from_counts<'a, I: IntoIterator<Item = (&'a str, u64)>>(counts: I) -> Self {
         AuxiliaryDistribution {
-            weights: counts
-                .into_iter()
-                .map(|(v, c)| (v.to_string(), c as f64))
-                .collect(),
+            weights: counts.into_iter().map(|(v, c)| (v.to_string(), c as f64)).collect(),
         }
     }
 }
@@ -113,10 +110,7 @@ pub fn frequency_attack(
         let entry = correct_per_value.entry(truth.as_str()).or_insert(false);
         *entry = *entry || correct;
     }
-    let values_total = ground_truth
-        .iter()
-        .collect::<std::collections::HashSet<_>>()
-        .len();
+    let values_total = ground_truth.iter().collect::<std::collections::HashSet<_>>().len();
     let values_recovered = correct_per_value.values().filter(|&&v| v).count();
 
     AttackResult {
@@ -136,7 +130,13 @@ mod tests {
     /// A skewed population: the attack's favourite target.
     fn skewed_rows() -> Vec<String> {
         let mut rows = Vec::new();
-        for (value, count) in [("USA", 500), ("Canada", 300), ("India", 120), ("Chile", 60), ("Iraq", 20)] {
+        for (value, count) in [
+            ("USA", 500),
+            ("Canada", 300),
+            ("India", 120),
+            ("Chile", 60),
+            ("Iraq", 20),
+        ] {
             for _ in 0..count {
                 rows.push(value.to_string());
             }

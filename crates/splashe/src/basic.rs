@@ -205,9 +205,7 @@ mod tests {
     fn larger_domain_roundtrip() {
         let domain: Vec<String> = (0..8).map(|i| format!("value-{i}")).collect();
         let enc = BasicSplashe::new(domain.clone(), keys(16));
-        let rows: Vec<(String, u64)> = (0..200)
-            .map(|i| (format!("value-{}", i % 8), (i * 3) as u64))
-            .collect();
+        let rows: Vec<(String, u64)> = (0..200).map(|i| (format!("value-{}", i % 8), (i * 3) as u64)).collect();
         let cols = enc.encode_rows(&rows, 1000);
         for (j, value) in domain.iter().enumerate() {
             let expected_count = rows.iter().filter(|(v, _)| v == value).count() as u64;

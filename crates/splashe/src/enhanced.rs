@@ -304,7 +304,11 @@ mod tests {
         assert!(plan.frequent.contains(&"USA".to_string()));
         assert!(plan.frequent.contains(&"Canada".to_string()));
         assert_eq!(plan.cardinality(), 9);
-        assert!(plan.k() <= 3, "should not splay infrequent countries, got k={}", plan.k());
+        assert!(
+            plan.k() <= 3,
+            "should not splay infrequent countries, got k={}",
+            plan.k()
+        );
     }
 
     #[test]
@@ -322,15 +326,16 @@ mod tests {
     #[test]
     fn skewed_distribution_needs_few_columns() {
         // 2 heavy hitters out of 196 countries (the k=2, d=196 example).
-        let mut dist: Vec<(String, u64)> = vec![
-            ("USA".into(), 100_000),
-            ("Canada".into(), 80_000),
-        ];
+        let mut dist: Vec<(String, u64)> = vec![("USA".into(), 100_000), ("Canada".into(), 80_000)];
         for i in 0..194 {
             dist.push((format!("Country{i}"), 50 + (i % 7) as u64));
         }
         let plan = plan_enhanced(&dist);
-        assert!(plan.k() <= 3, "heavily skewed distribution should need k≈2, got {}", plan.k());
+        assert!(
+            plan.k() <= 3,
+            "heavily skewed distribution should need k≈2, got {}",
+            plan.k()
+        );
         assert!(plan.storage_factor(1) < 3.0);
     }
 
@@ -381,7 +386,7 @@ mod tests {
         // A frequent row reused as a dummy "India" entry must contribute 0 to
         // India's sum: compare against plaintext truth for a larger dataset.
         let mut dist: Vec<(String, u64)> = vec![("Hot".into(), 600), ("A".into(), 30), ("B".into(), 10)];
-        dist.sort_by(|a, b| b.1.cmp(&a.1));
+        dist.sort_by_key(|d| std::cmp::Reverse(d.1));
         let plan = plan_enhanced(&dist);
         let enc = EnhancedSplashe::new(plan.clone(), &[9u8; 32], keys(plan.k() + 1));
         let mut rows = Vec::new();

@@ -122,7 +122,10 @@ pub fn plan_under_budget(
             let plan = plan_enhanced(&dim.distribution);
             let cols = 1.0 + m * (plan.k() as f64 + 1.0);
             let factor = cols / plain_columns;
-            (cols - plain_columns, DimensionDecision::EnhancedSplashe { plan, factor })
+            (
+                cols - plain_columns,
+                DimensionDecision::EnhancedSplashe { plan, factor },
+            )
         } else {
             let cols = d + m * d;
             let factor = cols / plain_columns;
@@ -147,12 +150,7 @@ mod tests {
         // A simple Zipf-ish skew: value i gets weight ~ total / (i+1).
         let h: f64 = (1..=cardinality).map(|i| 1.0 / i as f64).sum();
         (0..cardinality)
-            .map(|i| {
-                (
-                    format!("v{i}"),
-                    ((total as f64 / h) / (i + 1) as f64).max(1.0) as u64,
-                )
-            })
+            .map(|i| (format!("v{i}"), ((total as f64 / h) / (i + 1) as f64).max(1.0) as u64))
             .collect()
     }
 

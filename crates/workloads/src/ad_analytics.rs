@@ -27,16 +27,16 @@ pub const SENSITIVE_MEASURES: usize = 10;
 /// Figure 10b curve sorted by cardinality is well defined.
 pub fn dimension_cardinality(index: usize) -> usize {
     match index {
-        0 => 2,     // e.g. gender
-        1 => 5,     // device class
-        2 => 12,    // hour of day bucket
-        3 => 24,    // hour of day
-        4 => 30,    // ad format
-        5 => 50,    // campaign type
-        6 => 80,    // region
-        7 => 120,   // market
-        8 => 196,   // country
-        9 => 400,   // advertiser segment
+        0 => 2,   // e.g. gender
+        1 => 5,   // device class
+        2 => 12,  // hour of day bucket
+        3 => 24,  // hour of day
+        4 => 30,  // ad format
+        5 => 50,  // campaign type
+        6 => 80,  // region
+        7 => 120, // market
+        8 => 196, // country
+        9 => 400, // advertiser segment
         _ => 50 + index * 37,
     }
 }

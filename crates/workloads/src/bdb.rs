@@ -56,7 +56,10 @@ pub fn uservisits<R: Rng + ?Sized>(rng: &mut R, rows: usize, url_count: usize) -
         })
         .collect();
     // Substring-prefix grouping (query 2) is simplified to the first octet.
-    let ip_prefix: Vec<String> = source_ip.iter().map(|ip| ip.split('.').next().unwrap().to_string()).collect();
+    let ip_prefix: Vec<String> = source_ip
+        .iter()
+        .map(|ip| ip.split('.').next().unwrap().to_string())
+        .collect();
     let dest_url: Vec<String> = (0..rows)
         .map(|_| format!("url{:09}", rng.random_range(0..url_count.max(1))))
         .collect();
@@ -179,7 +182,15 @@ mod tests {
         for col in ["pageURL", "pageRank", "avgDuration"] {
             assert!(tables.rankings.column(col).is_some(), "rankings missing {col}");
         }
-        for col in ["sourceIP", "ipPrefix", "destURL", "visitDate", "adRevenue", "countryCode", "duration"] {
+        for col in [
+            "sourceIP",
+            "ipPrefix",
+            "destURL",
+            "visitDate",
+            "adRevenue",
+            "countryCode",
+            "duration",
+        ] {
             assert!(tables.uservisits.column(col).is_some(), "uservisits missing {col}");
         }
     }

@@ -19,10 +19,9 @@ pub fn classify_query(query: &Query) -> SupportCategory {
     for item in &query.select {
         if let SelectItem::Aggregate { func, .. } = item {
             let c = match func {
-                AggregateFunction::Sum
-                | AggregateFunction::Count
-                | AggregateFunction::Min
-                | AggregateFunction::Max => SupportCategory::ServerOnly,
+                AggregateFunction::Sum | AggregateFunction::Count | AggregateFunction::Min | AggregateFunction::Max => {
+                    SupportCategory::ServerOnly
+                }
                 // AVG needs only a final division: the paper still counts it
                 // as server-supported (Table 6, row 2).
                 AggregateFunction::Avg => SupportCategory::ServerOnly,
@@ -114,7 +113,11 @@ pub fn mdx_functions() -> Vec<MdxFunction> {
         ("CalculationCurrentPass", "Independent of Seabed", ServerOnly),
         ("CalculationPassValue", "Independent of Seabed", ServerOnly),
         ("CoalesceEmpty", "Extra counter with identity", ClientPreProcessing),
-        ("Correlation", "ASHE & precomputation of XY; client does division", ClientPreProcessing),
+        (
+            "Correlation",
+            "ASHE & precomputation of XY; client does division",
+            ClientPreProcessing,
+        ),
         ("Count(Dimensions)", "Independent of Seabed", ServerOnly),
         ("Count(Hierarchy Levels)", "Independent of Seabed", ServerOnly),
         ("Count(Set)", "Using DET or SPLASHE", ServerOnly),
@@ -123,20 +126,40 @@ pub fn mdx_functions() -> Vec<MdxFunction> {
         ("CovarianceN", "Same as Correlation", ClientPreProcessing),
         ("DistinctCount", "Using DET or SPLASHE", ServerOnly),
         ("IIf", "Two values sent back to the client", ClientPostProcessing),
-        ("LinRegIntercept", "Data sent back to client for every iteration", TwoRoundTrips),
+        (
+            "LinRegIntercept",
+            "Data sent back to client for every iteration",
+            TwoRoundTrips,
+        ),
         ("LinRegPoint", "Same as LinRegIntercept", TwoRoundTrips),
         ("LinRegR2", "Same as LinRegIntercept", TwoRoundTrips),
         ("LinRegSlope", "Same as LinRegIntercept", TwoRoundTrips),
         ("LinRegVariance", "Same as LinRegIntercept", TwoRoundTrips),
-        ("LookupCube", "Data sent back to client for computation", ClientPostProcessing),
+        (
+            "LookupCube",
+            "Data sent back to client for computation",
+            ClientPostProcessing,
+        ),
         ("Max", "Using OPE", ServerOnly),
         ("Median", "Using OPE", ServerOnly),
         ("Min", "Using OPE", ServerOnly),
         ("Ordinal", "Using OPE", ServerOnly),
-        ("Predict", "Data sent back to client for computation", ClientPostProcessing),
+        (
+            "Predict",
+            "Data sent back to client for computation",
+            ClientPostProcessing,
+        ),
         ("Rank", "Using OPE", ServerOnly),
-        ("RollupChildren", "Data sent back to client for computation", ClientPostProcessing),
-        ("Stddev", "ASHE when client uploads encrypted squares", ClientPreProcessing),
+        (
+            "RollupChildren",
+            "Data sent back to client for computation",
+            ClientPostProcessing,
+        ),
+        (
+            "Stddev",
+            "ASHE when client uploads encrypted squares",
+            ClientPreProcessing,
+        ),
         ("StddevP", "Same as Stddev", ClientPreProcessing),
         ("Stdev", "Alias for Stddev", ClientPreProcessing),
         ("StdevP", "Alias for StddevP", ClientPreProcessing),
@@ -199,7 +222,11 @@ mod tests {
             "SELECT AVG(x) FROM t",
             "SELECT g, MIN(x) FROM t GROUP BY g",
         ] {
-            assert_eq!(classify_sql(sql), Some(seabed_query::SupportCategory::ServerOnly), "{sql}");
+            assert_eq!(
+                classify_sql(sql),
+                Some(seabed_query::SupportCategory::ServerOnly),
+                "{sql}"
+            );
         }
     }
 

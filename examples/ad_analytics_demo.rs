@@ -11,8 +11,12 @@ use seabed_workloads::ad_analytics;
 fn main() {
     let rows = 50_000;
     let mut rng = rand::rng();
-    println!("Generating {} rows with {} dimensions and {} measures...",
-        rows, ad_analytics::NUM_DIMENSIONS, ad_analytics::NUM_MEASURES);
+    println!(
+        "Generating {} rows with {} dimensions and {} measures...",
+        rows,
+        ad_analytics::NUM_DIMENSIONS,
+        ad_analytics::NUM_MEASURES
+    );
     let dataset = ad_analytics::generate(&mut rng, rows);
     let queries = ad_analytics::performance_query_set(&mut rng);
 

@@ -42,7 +42,14 @@ fn main() {
     let (rank_client, rank_server) = build(&tables.rankings, &["pageRank", "avgDuration"], &mut rng);
     let (uv_client, uv_server) = build(
         &tables.uservisits,
-        &["adRevenue", "duration", "visitDate", "ipPrefix", "destURL", "countryCode"],
+        &[
+            "adRevenue",
+            "duration",
+            "visitDate",
+            "ipPrefix",
+            "destURL",
+            "countryCode",
+        ],
         &mut rng,
     );
 

@@ -9,8 +9,14 @@ use std::collections::HashMap;
 
 fn main() {
     // A skewed population of countries, as in the paper's motivating example.
-    let population: Vec<(&str, usize)> =
-        vec![("USA", 5000), ("Canada", 2500), ("India", 900), ("Chile", 350), ("Iraq", 150), ("Japan", 100)];
+    let population: Vec<(&str, usize)> = vec![
+        ("USA", 5000),
+        ("Canada", 2500),
+        ("India", 900),
+        ("Chile", 350),
+        ("Iraq", 150),
+        ("Japan", 100),
+    ];
     let mut rows: Vec<(String, u64)> = Vec::new();
     for (country, count) in &population {
         for i in 0..*count {

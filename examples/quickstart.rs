@@ -54,7 +54,9 @@ fn main() {
         "SELECT AVG(revenue) FROM sales",
     ] {
         let result = client.query(&server, sql).expect("query failed");
-        println!("\n{sql}\n  -> {:?}  (server {:?}, client {:?})",
-            result.rows, result.timings.server, result.timings.client);
+        println!(
+            "\n{sql}\n  -> {:?}  (server {:?}, client {:?})",
+            result.rows, result.timings.server, result.timings.client
+        );
     }
 }

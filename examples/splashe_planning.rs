@@ -12,7 +12,10 @@ fn main() {
     let total_columns = ad_analytics::NUM_DIMENSIONS + ad_analytics::NUM_MEASURES;
 
     println!("Cumulative storage overhead (sorted by cardinality):");
-    println!("{:<12} {:>6} {:>16} {:>18}", "dimension", "card.", "basic SPLASHE x", "enhanced SPLASHE x");
+    println!(
+        "{:<12} {:>6} {:>16} {:>18}",
+        "dimension", "card.", "basic SPLASHE x", "enhanced SPLASHE x"
+    );
     for point in overhead_curve(&profiles, total_columns) {
         println!(
             "{:<12} {:>6} {:>16.2} {:>18.2}",

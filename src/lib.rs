@@ -1,0 +1,31 @@
+//! # seabed
+//!
+//! Umbrella crate of the Seabed reproduction (Papadimitriou et al., OSDI
+//! 2016): re-exports every layer under one roof and hosts the workspace-level
+//! integration tests (`tests/`) and runnable walkthroughs (`examples/`).
+//!
+//! The layers, bottom to top:
+//!
+//! * [`error`] — the unified [`error::SeabedError`] spine;
+//! * [`crypto`] — AES, SHA-256/HMAC, Paillier, DET, ORE, big integers;
+//! * [`encoding`] — ID-list encodings, bitmaps, DEFLATE;
+//! * [`ashe`] — the additively symmetric homomorphic encryption scheme;
+//! * [`splashe`] — splayed aggregation over low-cardinality dimensions;
+//! * [`engine`] — the partitioned columnar engine and cluster cost model;
+//! * [`query`] — SQL dialect, data planner, query translator;
+//! * [`core`] — client proxy, untrusted server, baselines;
+//! * [`workloads`] — synthetic, BDB and Ad-Analytics workload generators.
+
+#![warn(missing_docs)]
+
+pub use seabed_ashe as ashe;
+pub use seabed_core as core;
+pub use seabed_crypto as crypto;
+pub use seabed_encoding as encoding;
+pub use seabed_engine as engine;
+pub use seabed_error as error;
+pub use seabed_query as query;
+pub use seabed_splashe as splashe;
+pub use seabed_workloads as workloads;
+
+pub use seabed_error::SeabedError;

@@ -43,8 +43,26 @@ fn hourly_aggregations_match_plaintext() {
             .next()
             .unwrap()
             .to_string();
-        let lo: u64 = q.sql.split(">= ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap();
-        let hi: u64 = q.sql.split("< ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap();
+        let lo: u64 = q
+            .sql
+            .split(">= ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let hi: u64 = q
+            .sql
+            .split("< ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         let measure = dataset.column(&measure_name).unwrap();
         let mut expected: HashMap<u64, u64> = HashMap::new();
         for i in 0..dataset.num_rows() {
@@ -111,6 +129,9 @@ fn hour_group_keys_round_trip_as_values() {
     let result = client.query(&server, sql).unwrap();
     assert_eq!(result.rows.len(), 24);
     for row in &result.rows {
-        assert!(matches!(row[0], ResultValue::UInt(h) if h < 24), "plaintext hour key expected");
+        assert!(
+            matches!(row[0], ResultValue::UInt(h) if h < 24),
+            "plaintext hour key expected"
+        );
     }
 }

@@ -2,9 +2,9 @@
 //! identical answers for the same selections, and their relative costs must
 //! have the shape the paper reports.
 
+use seabed_ashe::{AsheScheme, IdSet};
 use seabed_core::{row_selected, NoEncSystem, PaillierSystem};
 use seabed_engine::{Cluster, ClusterConfig};
-use seabed_ashe::{AsheScheme, IdSet};
 
 fn values(n: u64) -> Vec<u64> {
     (0..n).map(|i| (i * 31 + 7) % 10_000).collect()

@@ -36,9 +36,14 @@ fn q1_scan_counts_match_plaintext() {
     let (client, server) = build(&rankings, &["pageRank", "avgDuration"]);
     let rank = rankings.column("pageRank").unwrap();
     for threshold in [10u64, 100, 1000] {
-        let expected = (0..rankings.num_rows()).filter(|&i| rank.u64_at(i).unwrap() > threshold).count() as u64;
+        let expected = (0..rankings.num_rows())
+            .filter(|&i| rank.u64_at(i).unwrap() > threshold)
+            .count() as u64;
         let result = client
-            .query(&server, &format!("SELECT COUNT(*) FROM rankings WHERE pageRank > {threshold}"))
+            .query(
+                &server,
+                &format!("SELECT COUNT(*) FROM rankings WHERE pageRank > {threshold}"),
+            )
             .unwrap();
         assert_eq!(result.rows[0][0], ResultValue::UInt(expected), "threshold {threshold}");
     }
@@ -49,7 +54,10 @@ fn q2_prefix_aggregation_matches_plaintext() {
     let uservisits = bdb::uservisits(&mut rand::rng(), 3_000, 500);
     let (client, server) = build(&uservisits, &["adRevenue", "duration", "visitDate", "ipPrefix"]);
     let result = client
-        .query(&server, "SELECT ipPrefix, SUM(adRevenue) FROM uservisits GROUP BY ipPrefix")
+        .query(
+            &server,
+            "SELECT ipPrefix, SUM(adRevenue) FROM uservisits GROUP BY ipPrefix",
+        )
         .unwrap();
     let prefix = uservisits.column("ipPrefix").unwrap();
     let revenue = uservisits.column("adRevenue").unwrap();
@@ -59,7 +67,9 @@ fn q2_prefix_aggregation_matches_plaintext() {
     }
     assert_eq!(result.rows.len(), expected.len());
     for row in &result.rows {
-        let ResultValue::Text(key) = &row[0] else { panic!("expected decrypted group key") };
+        let ResultValue::Text(key) = &row[0] else {
+            panic!("expected decrypted group key")
+        };
         assert_eq!(row[1].as_u64().unwrap(), expected[key], "prefix {key}");
     }
 }
@@ -94,7 +104,10 @@ fn q4_country_counts_match_plaintext() {
     let uservisits = bdb::uservisits(&mut rand::rng(), 2_000, 100);
     let (client, server) = build(&uservisits, &["adRevenue", "countryCode"]);
     let result = client
-        .query(&server, "SELECT countryCode, COUNT(*) FROM uservisits GROUP BY countryCode")
+        .query(
+            &server,
+            "SELECT countryCode, COUNT(*) FROM uservisits GROUP BY countryCode",
+        )
         .unwrap();
     let country = uservisits.column("countryCode").unwrap();
     let mut expected: HashMap<String, u64> = HashMap::new();

@@ -49,7 +49,10 @@ fn build_world(rows: usize) -> (SeabedClient, SeabedServer, PlainDataset) {
 
 fn plain_sum<F: Fn(usize) -> bool>(ds: &PlainDataset, measure: &str, pred: F) -> u64 {
     let col = ds.column(measure).unwrap();
-    (0..ds.num_rows()).filter(|&i| pred(i)).map(|i| col.u64_at(i).unwrap()).sum()
+    (0..ds.num_rows())
+        .filter(|&i| pred(i))
+        .map(|i| col.u64_at(i).unwrap())
+        .sum()
 }
 
 #[test]
@@ -71,18 +74,24 @@ fn global_and_filtered_sums_match_plaintext() {
 fn range_filters_and_counts_match_plaintext() {
     let (client, server, ds) = build_world(1500);
     let ts = ds.column("ts").unwrap();
-    let result = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE ts >= 700").unwrap();
+    let result = client
+        .query(&server, "SELECT SUM(revenue) FROM sales WHERE ts >= 700")
+        .unwrap();
     let expected = plain_sum(&ds, "revenue", |i| ts.u64_at(i).unwrap() >= 700);
     assert_eq!(result.rows[0][0], ResultValue::UInt(expected));
 
-    let count = client.query(&server, "SELECT COUNT(*) FROM sales WHERE ts < 300").unwrap();
+    let count = client
+        .query(&server, "SELECT COUNT(*) FROM sales WHERE ts < 300")
+        .unwrap();
     assert_eq!(count.rows[0][0], ResultValue::UInt(300));
 }
 
 #[test]
 fn group_by_matches_plaintext_per_group() {
     let (client, server, ds) = build_world(1200);
-    let result = client.query(&server, "SELECT dept, SUM(revenue) FROM sales GROUP BY dept").unwrap();
+    let result = client
+        .query(&server, "SELECT dept, SUM(revenue) FROM sales GROUP BY dept")
+        .unwrap();
     assert_eq!(result.rows.len(), 4);
     let dept = ds.column("dept").unwrap();
     let mut expected: HashMap<String, u64> = HashMap::new();
@@ -90,7 +99,9 @@ fn group_by_matches_plaintext_per_group() {
         *expected.entry(dept.text_at(i)).or_insert(0) += ds.column("revenue").unwrap().u64_at(i).unwrap();
     }
     for row in &result.rows {
-        let ResultValue::Text(key) = &row[0] else { panic!("expected text key") };
+        let ResultValue::Text(key) = &row[0] else {
+            panic!("expected text key")
+        };
         assert_eq!(row[1].as_u64().unwrap(), expected[key], "group {key}");
     }
 }
@@ -111,7 +122,12 @@ fn avg_and_variance_match_plaintext() {
     let cmean = clicks.iter().sum::<f64>() / clicks.len() as f64;
     let cvar = clicks.iter().map(|v| (v - cmean) * (v - cmean)).sum::<f64>() / clicks.len() as f64;
     let var = client.query(&server, "SELECT VARIANCE(clicks) FROM sales").unwrap();
-    assert!((var.rows[0][0].as_f64() - cvar).abs() < 1e-6, "variance {} vs {}", var.rows[0][0].as_f64(), cvar);
+    assert!(
+        (var.rows[0][0].as_f64() - cvar).abs() < 1e-6,
+        "variance {} vs {}",
+        var.rows[0][0].as_f64(),
+        cvar
+    );
 }
 
 #[test]
@@ -129,5 +145,8 @@ fn timings_are_populated() {
     let result = client.query(&server, "SELECT SUM(revenue) FROM sales").unwrap();
     assert!(result.timings.server > std::time::Duration::ZERO);
     assert!(result.result_bytes > 0);
-    assert!(result.client_prf_evals >= 2, "at least one telescoped run must be decrypted");
+    assert!(
+        result.client_prf_evals >= 2,
+        "at least one telescoped run must be decrypted"
+    );
 }

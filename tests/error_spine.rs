@@ -1,0 +1,154 @@
+//! Negative-path integration tests for the `SeabedError` spine: malformed or
+//! unsupported queries must surface as typed errors from `SeabedClient::query`
+//! — never as panics — with the variant naming the layer that failed.
+
+use seabed_core::{PlainDataset, SeabedClient, SeabedServer};
+use seabed_engine::{Cluster, ClusterConfig};
+use seabed_error::{SchemaError, SeabedError};
+use seabed_query::{parse, ColumnSpec, PlannerConfig};
+
+fn build_world() -> Result<(SeabedClient, SeabedServer), SeabedError> {
+    let dataset = PlainDataset::new("sales")
+        .with_text_column(
+            "country",
+            ["USA", "USA", "Canada", "India"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        )
+        .with_uint_column("revenue", vec![10, 20, 30, 40])
+        .with_uint_column("ts", vec![1, 2, 3, 4]);
+    let distribution = dataset
+        .distribution("country")
+        .ok_or_else(|| SeabedError::engine("fixture is missing the country column"))?;
+    let columns = vec![
+        ColumnSpec::sensitive_with_distribution("country", distribution),
+        ColumnSpec::sensitive("revenue"),
+        ColumnSpec::sensitive("ts"),
+    ];
+    let mut samples = Vec::new();
+    for sql in [
+        "SELECT SUM(revenue) FROM sales WHERE country = 'USA'",
+        "SELECT SUM(revenue) FROM sales WHERE ts >= 2",
+    ] {
+        samples.push(parse(sql)?);
+    }
+    let mut client = SeabedClient::create_plan(b"err-master", &columns, &samples, &PlannerConfig::default());
+    let encrypted = client.encrypt_dataset(&dataset, 2, &mut rand::rng());
+    let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(4)));
+    Ok((client, server))
+}
+
+#[test]
+fn malformed_sql_returns_parse_error() -> Result<(), SeabedError> {
+    let (client, server) = build_world()?;
+    for bad in [
+        "",
+        "not sql at all",
+        "SELECT FROM sales",
+        "SELECT SUM(revenue FROM sales",
+        "SELECT SUM(revenue) FROM sales WHERE ts >",
+        "SELECT SUM(revenue) FROM sales trailing ~ garbage",
+    ] {
+        let outcome = client.query(&server, bad);
+        assert!(
+            matches!(outcome, Err(SeabedError::Parse(_))),
+            "{bad:?} should be a parse error, got {outcome:?}"
+        );
+    }
+    Ok(())
+}
+
+#[test]
+fn parse_errors_carry_position_and_message() -> Result<(), SeabedError> {
+    let (client, server) = build_world()?;
+    let Err(SeabedError::Parse(err)) = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE ts @ 3") else {
+        return Err(SeabedError::engine("expected a parse error"));
+    };
+    assert!(err.message.contains("unexpected character"), "{err}");
+    assert!(err.position > 0, "{err}");
+    Ok(())
+}
+
+#[test]
+fn unknown_column_returns_schema_error() -> Result<(), SeabedError> {
+    let (client, server) = build_world()?;
+    for bad in [
+        "SELECT SUM(no_such_measure) FROM sales",
+        "SELECT COUNT(*) FROM sales WHERE no_such_dim = 3",
+        "SELECT no_such_key, SUM(revenue) FROM sales GROUP BY no_such_key",
+    ] {
+        let outcome = client.query(&server, bad);
+        assert!(
+            matches!(&outcome, Err(SeabedError::Schema(SchemaError::UnknownColumn(c))) if bad.contains(c.as_str())),
+            "{bad:?} should be an unknown-column schema error, got {outcome:?}"
+        );
+    }
+    Ok(())
+}
+
+#[test]
+fn unsupported_operations_return_translate_error() -> Result<(), SeabedError> {
+    let (client, server) = build_world()?;
+    for bad in [
+        // Filtering on an ASHE-encrypted measure.
+        "SELECT COUNT(*) FROM sales WHERE revenue = 10",
+        // Range predicate over a SPLASHE dimension.
+        "SELECT SUM(revenue) FROM sales WHERE country > 'USA'",
+        // MIN over an ASHE (not OPE) column.
+        "SELECT MIN(revenue) FROM sales",
+    ] {
+        let outcome = client.query(&server, bad);
+        assert!(
+            matches!(outcome, Err(SeabedError::Translate(_))),
+            "{bad:?} should be a translate error, got {outcome:?}"
+        );
+    }
+    Ok(())
+}
+
+#[test]
+fn server_rejects_plans_for_foreign_schemas() -> Result<(), SeabedError> {
+    // A plan translated against one schema executed against a server that
+    // never stored those columns: the untrusted boundary must answer with a
+    // typed error, not a panic.
+    let (client, server) = build_world()?;
+    let (_, translated, _) = client.prepare(&server, "SELECT SUM(revenue) FROM sales")?;
+
+    let other = PlainDataset::new("other").with_uint_column("x", vec![1, 2, 3]);
+    let columns = vec![ColumnSpec::sensitive("x")];
+    let samples = vec![parse("SELECT SUM(x) FROM other")?];
+    let mut other_client = SeabedClient::create_plan(b"other", &columns, &samples, &PlannerConfig::default());
+    let other_encrypted = other_client.encrypt_dataset(&other, 1, &mut rand::rng());
+    let other_server = SeabedServer::new(
+        other_encrypted.table.clone(),
+        Cluster::new(ClusterConfig::with_workers(2)),
+    );
+
+    let outcome = other_server.execute(&translated, &[]);
+    assert!(
+        matches!(outcome, Err(SeabedError::Schema(_))),
+        "foreign plan should fail with a schema error, got {:?}",
+        outcome.map(|r| r.groups.len())
+    );
+    Ok(())
+}
+
+#[test]
+fn errors_format_with_layer_prefix() -> Result<(), SeabedError> {
+    let (client, server) = build_world()?;
+    let parse_err = client.query(&server, "garbage").map(|_| ()).map_err(|e| e.to_string());
+    assert!(
+        parse_err.as_ref().is_err_and(|m| m.starts_with("parse: ")),
+        "{parse_err:?}"
+    );
+    let schema_err = client
+        .query(&server, "SELECT SUM(missing) FROM sales")
+        .map(|_| ())
+        .map_err(|e| e.to_string());
+    assert!(
+        schema_err.as_ref().is_err_and(|m| m.starts_with("schema: ")),
+        "{schema_err:?}"
+    );
+    Ok(())
+}

@@ -10,10 +10,7 @@ fn plan() -> seabed_query::SchemaPlan {
     let columns = vec![
         ColumnSpec::sensitive("a_measure"),
         ColumnSpec::sensitive("b"),
-        ColumnSpec::sensitive_with_distribution(
-            "a",
-            vec![("10".into(), 1000), ("20".into(), 30), ("30".into(), 20)],
-        ),
+        ColumnSpec::sensitive_with_distribution("a", vec![("10".into(), 1000), ("20".into(), 30), ("30".into(), 20)]),
         ColumnSpec::sensitive("g"),
         ColumnSpec::public("pub"),
     ];
@@ -38,7 +35,9 @@ fn table2_row1_id_preservation_through_subquery() {
     assert!(matches!(t.filters[0], ServerFilter::OpeCompare { .. }));
     assert_eq!(
         t.aggregates,
-        vec![ServerAggregate::AsheSum { column: encnames::ashe("a_measure") }]
+        vec![ServerAggregate::AsheSum {
+            column: encnames::ashe("a_measure")
+        }]
     );
 }
 
@@ -59,7 +58,10 @@ fn table2_row2_splashe_rewrite() {
 fn table2_row3_group_by_inflation() {
     let p = plan();
     let q = parse("SELECT g, sum(a_measure) FROM t GROUP BY g").unwrap();
-    let opts = TranslateOptions { workers: 100, expected_groups: Some(10) };
+    let opts = TranslateOptions {
+        workers: 100,
+        expected_groups: Some(10),
+    };
     let t = translate(&q, &p, &opts).unwrap();
     assert_eq!(t.group_inflation, 10);
     assert!(t.describe().contains("groupBy"));
@@ -80,11 +82,20 @@ fn infrequent_splashe_value_keeps_det_filter() {
 #[test]
 fn planner_choices_match_section_4_2() {
     let p = plan();
-    assert!(matches!(p.column("a_measure").unwrap().encryption, EncryptionChoice::Ashe { .. }));
+    assert!(matches!(
+        p.column("a_measure").unwrap().encryption,
+        EncryptionChoice::Ashe { .. }
+    ));
     assert!(matches!(p.column("b").unwrap().encryption, EncryptionChoice::Ope));
-    assert!(matches!(p.column("a").unwrap().encryption, EncryptionChoice::SplasheEnhanced { .. }));
+    assert!(matches!(
+        p.column("a").unwrap().encryption,
+        EncryptionChoice::SplasheEnhanced { .. }
+    ));
     assert!(matches!(p.column("g").unwrap().encryption, EncryptionChoice::Det));
-    assert!(matches!(p.column("pub").unwrap().encryption, EncryptionChoice::Plaintext));
+    assert!(matches!(
+        p.column("pub").unwrap().encryption,
+        EncryptionChoice::Plaintext
+    ));
 }
 
 #[test]
@@ -97,6 +108,9 @@ fn unsupported_operations_error_cleanly() {
         "SELECT MIN(a_measure) FROM t",
     ] {
         let q = parse(sql).unwrap();
-        assert!(translate(&q, &p, &TranslateOptions::default()).is_err(), "{sql} should be rejected");
+        assert!(
+            translate(&q, &p, &TranslateOptions::default()).is_err(),
+            "{sql} should be rejected"
+        );
     }
 }

@@ -55,7 +55,10 @@ fn sums_are_correct_for_every_country() {
 #[test]
 fn stored_det_column_has_flat_histogram() {
     let (_, server, _) = build(2500);
-    let tags = server.table().gather_u64("country__det").expect("balanced DET column present");
+    let tags = server
+        .table()
+        .gather_u64("country__det")
+        .expect("balanced DET column present");
     let mut hist: HashMap<u64, u64> = HashMap::new();
     for t in tags {
         *hist.entry(t).or_insert(0) += 1;
@@ -69,7 +72,9 @@ fn stored_det_column_has_flat_histogram() {
 fn frequency_attack_fails_against_stored_column() {
     let (_, server, ds) = build(2500);
     let tags = server.table().gather_u64("country__det").unwrap();
-    let truth: Vec<String> = (0..ds.num_rows()).map(|i| ds.column("country").unwrap().text_at(i)).collect();
+    let truth: Vec<String> = (0..ds.num_rows())
+        .map(|i| ds.column("country").unwrap().text_at(i))
+        .collect();
     let aux = AuxiliaryDistribution::from_counts(
         ds.distribution("country")
             .unwrap()
@@ -95,7 +100,9 @@ fn plain_det_column_would_be_recovered() {
     // Control experiment: the same data under plain DET is fully recovered.
     let ds = skewed_dataset(2500);
     let det = seabed_crypto::DetScheme::new(&[3u8; 32]);
-    let truth: Vec<String> = (0..ds.num_rows()).map(|i| ds.column("country").unwrap().text_at(i)).collect();
+    let truth: Vec<String> = (0..ds.num_rows())
+        .map(|i| ds.column("country").unwrap().text_at(i))
+        .collect();
     let tags: Vec<u64> = truth.iter().map(|c| det.tag64_of(c.as_bytes())).collect();
     let aux = AuxiliaryDistribution::from_counts(
         ds.distribution("country")

@@ -1,0 +1,357 @@
+//! The [`Strategy`] trait, [`any`], range strategies, string-pattern
+//! strategies and the `prop_map` combinator.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying a predicate (regenerating otherwise; the
+    /// macro's rejection budget bounds the retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f, reason }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 consecutive candidates", self.reason);
+    }
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: Arbitrary + Default + Copy, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::arbitrary(rng);
+        }
+        out
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as u64).wrapping_sub(self.start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: any word works.
+                    rng.next_u64() as $t
+                } else {
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end - self.start;
+        self.start + u128::arbitrary(rng) % span
+    }
+}
+
+impl Strategy for RangeFrom<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        let span = u128::MAX - self.start;
+        if span == u128::MAX {
+            u128::arbitrary(rng)
+        } else {
+            self.start + u128::arbitrary(rng) % (span + 1)
+        }
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + f64::arbitrary(rng) * (self.end - self.start)
+    }
+}
+
+/// String-pattern strategies: a `&'static str` literal is interpreted as a
+/// simplified regex — a sequence of atoms (`[class]`, `.`, or a literal
+/// character), each optionally repeated with `{m,n}` / `{n}`. This covers the
+/// patterns used in this workspace (identifier- and arbitrary-text shapes).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.usize_in(atom.min, atom.max + 1)
+            };
+            for _ in 0..count {
+                out.push(atom.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    choices: AtomChoices,
+    min: usize,
+    max: usize,
+}
+
+enum AtomChoices {
+    /// Explicit character alternatives from a `[...]` class.
+    Class(Vec<char>),
+    /// `.`: any printable ASCII character.
+    AnyPrintable,
+}
+
+impl PatternAtom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match &self.choices {
+            AtomChoices::Class(chars) => chars[rng.usize_in(0, chars.len())],
+            AtomChoices::AnyPrintable => (0x20u8 + rng.below(0x5f) as u8) as char,
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let mut class = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        for c in lo..=hi {
+                            class.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        class.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!class.is_empty(), "empty character class in pattern {pattern:?}");
+                i = close + 1;
+                AtomChoices::Class(class)
+            }
+            '.' => {
+                i += 1;
+                AtomChoices::AnyPrintable
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                AtomChoices::Class(vec![chars[i - 1]])
+            }
+            c => {
+                i += 1;
+                AtomChoices::Class(vec![c])
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().unwrap_or(0), hi.trim().parse().unwrap_or(0)),
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom { choices, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern_shapes() {
+        let mut rng = TestRng::from_name("identifier_pattern_shapes");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().is_some_and(|c| c.is_ascii_lowercase()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn dot_pattern_is_printable_and_bounded() {
+        let mut rng = TestRng::from_name("dot_pattern");
+        for _ in 0..100 {
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut rng = TestRng::from_name("ranges_and_maps");
+        let strat = (5u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((10..20).contains(&v) && v % 2 == 0);
+        }
+    }
+}

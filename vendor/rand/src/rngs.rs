@@ -1,0 +1,104 @@
+//! Concrete generators: [`StdRng`] (seedable) and [`ThreadRng`] (ambient).
+
+use crate::{splitmix64, RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// xoshiro256** core shared by both generators.
+#[derive(Clone, Debug)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Xoshiro256 {
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut state);
+        }
+        // All-zero state would be a fixed point; splitmix64 of any seed never
+        // yields four zero words, but guard anyway.
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 0x9e3779b97f4a7c15;
+        }
+        Xoshiro256 { s }
+    }
+
+    fn next(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The standard seedable generator (stand-in for rand's `StdRng`).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    core: Xoshiro256,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.core.next()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut words = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            words[i] = u64::from_le_bytes(buf);
+        }
+        let mut folded = 0u64;
+        for w in words {
+            folded = folded.rotate_left(17) ^ w;
+        }
+        StdRng {
+            core: Xoshiro256::from_u64(folded),
+        }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng {
+            core: Xoshiro256::from_u64(state),
+        }
+    }
+}
+
+/// An ambient generator freshly seeded per [`crate::rng()`] call from the
+/// wall clock and a process-wide counter (stand-in for rand's `ThreadRng`).
+#[derive(Clone, Debug)]
+pub struct ThreadRng {
+    core: Xoshiro256,
+}
+
+impl ThreadRng {
+    pub(crate) fn fresh() -> ThreadRng {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed);
+        let unique = COUNTER.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
+        ThreadRng {
+            core: Xoshiro256::from_u64(nanos ^ unique.rotate_left(32)),
+        }
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.core.next()
+    }
+}

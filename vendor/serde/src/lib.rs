@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op [`serde_derive`] macros so `use serde::{Serialize,
+//! Deserialize}` and `#[derive(Serialize, Deserialize)]` compile without
+//! registry access. The marker traits below occupy the type namespace (the
+//! derives occupy the macro namespace), mirroring real serde's layout, so
+//! swapping the real crate back in is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

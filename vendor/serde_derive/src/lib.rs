@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace annotates its wire-facing types with serde derives so that a
+//! real serde can be dropped in once the build environment has registry
+//! access. Until then these derives expand to nothing: the annotations parse
+//! and compile, and no code in the workspace currently calls serialization.
+
+use proc_macro::TokenStream;
+
+/// Expands `#[derive(Serialize)]` to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands `#[derive(Deserialize)]` to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
