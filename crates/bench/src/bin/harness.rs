@@ -25,9 +25,24 @@ fn main() {
     let scale = if smoke { Scale::smoke() } else { Scale::default() };
     // "fig8" runs both halves; the emitted JSON names "fig8ab"/"fig8c" are
     // also accepted so a file name seen in bench_results/ can be replayed.
-    const EXPERIMENTS: [&str; 15] = [
-        "table1", "table2", "table3", "table4", "table5", "table6", "fig6", "fig7", "fig8", "fig8ab", "fig8c", "fig9a",
-        "fig9bc", "fig10a", "fig10b",
+    const EXPERIMENTS: [&str; 17] = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig8ab",
+        "fig8c",
+        "fig9a",
+        "fig9bc",
+        "fig10a",
+        "fig10b",
+        "scan_throughput",
+        "groupby_card",
     ];
     let mut requested: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if requested.is_empty() {
@@ -166,6 +181,20 @@ fn main() {
             "fig10b",
             "Figure 10(b): SPLASHE storage overhead (cumulative x)",
             &exp_fig10b(&scale),
+        );
+    }
+    if want("scan_throughput") {
+        emit(
+            "scan_throughput",
+            "Scan throughput vs selectivity: scalar vs vectorized single-filter SUM",
+            &exp_scan_throughput(&scale),
+        );
+    }
+    if want("groupby_card") {
+        emit(
+            "groupby_card",
+            "Group-by cardinality sweep: scalar vs vectorized",
+            &exp_groupby_cardinality(&scale),
         );
     }
 }

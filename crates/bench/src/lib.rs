@@ -18,12 +18,17 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seabed_ashe::{AsheScheme, IdSet};
-use seabed_core::{row_selected, NoEncSystem, PaillierSystem, PlainDataset, SeabedClient, SeabedServer};
+use seabed_core::{
+    row_selected, NoEncSystem, PaillierSystem, PhysicalFilter, PlainDataset, SeabedClient, SeabedServer,
+};
 use seabed_crypto::paillier::PaillierKeypair;
 use seabed_crypto::{AesCtr, BigUint};
 use seabed_encoding::IdListEncoding;
-use seabed_engine::{table_disk_size, table_memory_size, Cluster, ClusterConfig, TaskOutput};
-use seabed_query::{parse, ColumnSpec, PlannerConfig, TranslateOptions};
+use seabed_engine::{table_disk_size, table_memory_size, Cluster, ClusterConfig, ExecMode, TaskOutput};
+use seabed_query::{
+    parse, ColumnSpec, CompareOp, GroupByColumn, PlannerConfig, ServerAggregate, SupportCategory, TranslateOptions,
+    TranslatedQuery,
+};
 use seabed_workloads::{ad_analytics, bdb, classify, synthetic};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -1163,6 +1168,159 @@ pub fn exp_fig10b(scale: &Scale) -> Vec<Row> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Execution-engine experiments: scalar vs vectorized partition scans
+// ---------------------------------------------------------------------------
+
+/// Builds the "encrypted" microbenchmark table for the execution-engine
+/// experiments: a pseudo-ASHE measure column (random words — the server never
+/// interprets them), a plaintext filter column cycling through `0..1000` so a
+/// `< threshold` predicate hits an exact selectivity, and a group-key column
+/// cycling through `groups` distinct keys.
+fn exec_bench_server(rows: usize, groups: u64, scale: &Scale, mode: ExecMode) -> SeabedServer {
+    let mut rng = scale.rng();
+    let words = synthetic::aggregation_dataset(&mut rng, rows).values;
+    let table = seabed_engine::Table::from_columns(
+        seabed_engine::Schema::new([
+            ("m__ashe".to_string(), seabed_engine::ColumnType::UInt64),
+            ("f".to_string(), seabed_engine::ColumnType::UInt64),
+            ("g".to_string(), seabed_engine::ColumnType::UInt64),
+        ]),
+        vec![
+            seabed_engine::ColumnData::UInt64(words),
+            seabed_engine::ColumnData::UInt64((0..rows as u64).map(|i| i % 1000).collect()),
+            seabed_engine::ColumnData::UInt64((0..rows as u64).map(|i| i % groups.max(1)).collect()),
+        ],
+        scale.partitions,
+    );
+    let config = ClusterConfig::with_workers(100).exec_mode(mode);
+    SeabedServer::new(table, Cluster::new(config))
+}
+
+fn exec_bench_query(group_by: bool) -> TranslatedQuery {
+    TranslatedQuery {
+        base_table: "t".to_string(),
+        filters: vec![],
+        aggregates: vec![ServerAggregate::AsheSum {
+            column: "m__ashe".to_string(),
+        }],
+        group_by: if group_by {
+            vec![GroupByColumn {
+                column: "g".to_string(),
+                physical_column: "g".to_string(),
+                encrypted: false,
+            }]
+        } else {
+            vec![]
+        },
+        group_inflation: 1,
+        client_post: vec![],
+        preserve_row_ids: true,
+        category: SupportCategory::ServerOnly,
+    }
+}
+
+/// Best-of-3 execution: returns (scan CPU time summed over tasks, wall time).
+/// CPU task time is the stable signal for scan throughput; wall time also
+/// carries local thread-pool scheduling noise.
+fn exec_bench_run(server: &SeabedServer, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> (Duration, Duration) {
+    let mut best_cpu = Duration::MAX;
+    let mut best_wall = Duration::MAX;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let resp = server.execute(query, filters).expect("bench query must execute");
+        best_wall = best_wall.min(started.elapsed());
+        best_cpu = best_cpu.min(resp.stats.total_task_time);
+    }
+    (best_cpu, best_wall)
+}
+
+/// Scan throughput vs selectivity: a single-filter SUM query over a
+/// 1-million-row table (at the default scale), run on the scalar and the
+/// vectorized path. The `speedup` rows record vectorized-over-scalar ratios;
+/// the acceptance bar for the vectorized engine is ≥ 2× on this query.
+pub fn exp_scan_throughput(scale: &Scale) -> Vec<Row> {
+    let rows = scale.rows(1000); // 1 M rows at the default scale
+    let mut out = Vec::new();
+    // The table does not depend on the selectivity (the filter threshold
+    // does), so one server per mode serves the whole sweep.
+    let servers = [ExecMode::Scalar, ExecMode::Vectorized].map(|mode| exec_bench_server(rows, 1, scale, mode));
+    let query = exec_bench_query(false);
+    for selectivity in [0.01, 0.1, 0.5, 1.0] {
+        let threshold = (1000.0 * selectivity) as u64;
+        let filters = vec![PhysicalFilter::PlainU64 {
+            column: 1,
+            op: CompareOp::Lt,
+            value: threshold,
+        }];
+        let mut timings = Vec::new();
+        for (mode, server) in [ExecMode::Scalar, ExecMode::Vectorized].iter().zip(servers.iter()) {
+            let (cpu, wall) = exec_bench_run(server, &query, &filters);
+            let label = format!("{} sel={:.0}%", mode_label(*mode), selectivity * 100.0);
+            out.push(
+                Row::new(label)
+                    .with("rows", rows as f64)
+                    .with("scan_cpu_s", cpu.as_secs_f64())
+                    .with("wall_s", wall.as_secs_f64())
+                    .with("mrows_per_s", rows as f64 / 1e6 / cpu.as_secs_f64().max(1e-9)),
+            );
+            timings.push((cpu, wall));
+        }
+        let (scalar, vectorized) = (timings[0], timings[1]);
+        out.push(
+            Row::new(format!("speedup sel={:.0}%", selectivity * 100.0))
+                .with("rows", rows as f64)
+                .with(
+                    "scan_cpu_x",
+                    scalar.0.as_secs_f64() / vectorized.0.as_secs_f64().max(1e-9),
+                )
+                .with("wall_x", scalar.1.as_secs_f64() / vectorized.1.as_secs_f64().max(1e-9)),
+        );
+    }
+    out
+}
+
+/// Group-by cardinality sweep: a group-by SUM over the same table at rising
+/// group counts, scalar vs vectorized. Low cardinalities exercise the
+/// single-`u64`-key fast path's per-row win; at very high cardinalities the
+/// hash table itself dominates and the two paths converge.
+pub fn exp_groupby_cardinality(scale: &Scale) -> Vec<Row> {
+    let rows = scale.rows(500); // 500 k rows at the default scale
+    let mut out = Vec::new();
+    for groups in [1u64, 16, 256, 4_096, 65_536] {
+        let groups = groups.min(rows as u64 / 2).max(1);
+        let query = exec_bench_query(true);
+        let mut timings = Vec::new();
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+            let server = exec_bench_server(rows, groups, scale, mode);
+            let (cpu, wall) = exec_bench_run(&server, &query, &[]);
+            out.push(
+                Row::new(format!("{} groups={groups}", mode_label(mode)))
+                    .with("rows", rows as f64)
+                    .with("scan_cpu_s", cpu.as_secs_f64())
+                    .with("wall_s", wall.as_secs_f64()),
+            );
+            timings.push(cpu);
+        }
+        out.push(
+            Row::new(format!("speedup groups={groups}"))
+                .with("rows", rows as f64)
+                .with(
+                    "scan_cpu_x",
+                    timings[0].as_secs_f64() / timings[1].as_secs_f64().max(1e-9),
+                ),
+        );
+    }
+    out
+}
+
+fn mode_label(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Scalar => "scalar",
+        ExecMode::Vectorized => "vectorized",
+    }
+}
+
 /// Helper converting latency points into printable rows.
 pub fn latency_rows(points: &[LatencyPoint], by_workers: bool) -> Vec<Row> {
     points
@@ -1256,6 +1414,34 @@ mod tests {
             let enhanced = row.values.iter().find(|(n, _)| n == "enhanced_splashe_x").unwrap().1;
             assert!(enhanced <= basic + 1e-9);
         }
+    }
+
+    #[test]
+    fn scan_throughput_reports_both_modes_and_speedups() {
+        let rows = exp_scan_throughput(&tiny_scale());
+        // 4 selectivities × (scalar + vectorized + speedup).
+        assert_eq!(rows.len(), 12);
+        assert!(rows.iter().any(|r| r.label.starts_with("scalar sel=")));
+        assert!(rows.iter().any(|r| r.label.starts_with("vectorized sel=")));
+        let speedups: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.label.starts_with("speedup"))
+            .map(|r| r.values.iter().find(|(n, _)| n == "scan_cpu_x").unwrap().1)
+            .collect();
+        assert_eq!(speedups.len(), 4);
+        assert!(
+            speedups.iter().all(|s| s.is_finite() && *s > 0.0),
+            "speedups must be positive and finite: {speedups:?}"
+        );
+    }
+
+    #[test]
+    fn groupby_cardinality_sweep_shape() {
+        let rows = exp_groupby_cardinality(&tiny_scale());
+        // Tiny scale clamps every cardinality to rows/2, but the sweep still
+        // emits 5 × (scalar + vectorized + speedup).
+        assert_eq!(rows.len(), 15);
+        assert!(rows.iter().any(|r| r.label.starts_with("speedup groups=")));
     }
 
     #[test]

@@ -8,16 +8,40 @@
 //! compress the ID lists at the workers (§4.5), and concatenate partials at
 //! the driver.
 //!
+//! # Scalar and vectorized scans
+//!
+//! Each partition scan runs in one of two modes, selected by
+//! [`seabed_engine::ExecMode`] on the cluster configuration:
+//!
+//! * **Scalar** — the reference path: per row, every filter is re-evaluated
+//!   through [`PhysicalFilter::matches`] and matching rows are pushed through
+//!   the accumulators one at a time.
+//! * **Vectorized** (default) — filters are evaluated *column at a time* via
+//!   [`PhysicalFilter::refine`], cheapest filter class first
+//!   ([`PhysicalFilter::cost_rank`]), each narrowing a shared
+//!   [`SelectionVector`] so more expensive filters (string equality, ORE
+//!   comparison) only touch surviving rows. Aggregation is then driven off
+//!   the final selection in batches; a single-`u64`-key group-by fast path
+//!   avoids the per-row `Vec<u64>` key allocation of the general composite
+//!   path.
+//!
+//! The two paths are differentially tested against each other and against the
+//! plaintext baseline (`tests/differential_exec.rs`), and must stay
+//! result-identical — including group-inflation suffixes and ID-list order.
+//!
 //! Execution is panic-free by construction: every column reference in the
 //! plan and in the filters is resolved and type-checked against the schema
-//! *before* the scan starts, returning [`SeabedError`] on mismatch, and the
-//! per-row hot loop uses only total accessors. A malformed plan can therefore
-//! never take the server (or, via a poisoned response, the proxy) down.
+//! *before* the scan starts, the physical partition layout is validated
+//! against the schema once up front ([`Table::validate_layout`]), and the
+//! scan loops use only total accessors. A malformed plan or a corrupt
+//! partition therefore yields a [`SeabedError`] instead of taking the server
+//! (or, via a poisoned response, the proxy) down.
 
 use seabed_ashe::IdSet;
-use seabed_crypto::ore::OreCiphertext;
+use seabed_crypto::ore::{try_compare_symbols, OreCiphertext};
 use seabed_encoding::IdListEncoding;
-use seabed_engine::{Cluster, ColumnType, ExecStats, Partition, Table, TaskOutput};
+use seabed_engine::exec::{self, SelectionVector};
+use seabed_engine::{Cluster, ColumnType, ExecMode, ExecStats, Partition, Table, TaskOutput};
 use seabed_error::SeabedError;
 use seabed_query::{CompareOp, ServerAggregate, TranslatedQuery};
 use std::cmp::Ordering;
@@ -60,6 +84,87 @@ pub enum PhysicalFilter {
     },
 }
 
+/// Borrows a partition column as a typed slice, reporting a corrupt layout
+/// (validated away before the scan, so effectively unreachable) as an engine
+/// error instead of panicking.
+macro_rules! typed_slice {
+    ($partition:expr, $column:expr, $accessor:ident, $what:literal) => {
+        $partition
+            .column_get($column)
+            .and_then(|c| c.$accessor())
+            .ok_or_else(|| {
+                SeabedError::engine(format!(
+                    concat!("partition column {} is missing or not ", $what),
+                    $column
+                ))
+            })
+    };
+}
+
+/// Single source of truth for the per-variant filter predicates of the
+/// vectorized kernels. The caller supplies two kernel templates — one driven
+/// by a `u64` cell predicate (`pred`), one by a row-offset predicate
+/// (`rpred`) — and the macro expands the variant/operator dispatch once, so
+/// the dense-select and refine paths cannot diverge. Each expansion site
+/// still monomorphizes every predicate into its own tight loop.
+macro_rules! dispatch_filter {
+    ($filter:expr, $partition:expr, |$col:ident, $pred:ident| $u64_kernel:expr, |$rpred:ident| $row_kernel:expr) => {
+        match $filter {
+            PhysicalFilter::PlainU64 { column, op, value } => {
+                let $col = typed_slice!($partition, *column, u64_slice, "UInt64")?;
+                let v = *value;
+                match op {
+                    CompareOp::Eq => {
+                        let $pred = |cell: u64| cell == v;
+                        $u64_kernel
+                    }
+                    CompareOp::NotEq => {
+                        let $pred = |cell: u64| cell != v;
+                        $u64_kernel
+                    }
+                    CompareOp::Lt => {
+                        let $pred = |cell: u64| cell < v;
+                        $u64_kernel
+                    }
+                    CompareOp::LtEq => {
+                        let $pred = |cell: u64| cell <= v;
+                        $u64_kernel
+                    }
+                    CompareOp::Gt => {
+                        let $pred = |cell: u64| cell > v;
+                        $u64_kernel
+                    }
+                    CompareOp::GtEq => {
+                        let $pred = |cell: u64| cell >= v;
+                        $u64_kernel
+                    }
+                }
+            }
+            PhysicalFilter::DetTag { column, tag } => {
+                let $col = typed_slice!($partition, *column, u64_slice, "UInt64")?;
+                let t = *tag;
+                let $pred = |cell: u64| cell == t;
+                $u64_kernel
+            }
+            PhysicalFilter::PlainText { column, value } => {
+                let col = typed_slice!($partition, *column, str_slice, "Utf8")?;
+                let $rpred = |row: usize| col.get(row).is_some_and(|cell| cell == value);
+                $row_kernel
+            }
+            PhysicalFilter::Ope { column, op, ciphertext } => {
+                let col = typed_slice!($partition, *column, bytes_slice, "Bytes")?;
+                let literal = ciphertext.symbols.as_slice();
+                let $rpred = |row: usize| {
+                    col.get(row)
+                        .and_then(|cell| try_compare_symbols(cell, literal))
+                        .is_some_and(|ord| op.eval_ordering(ord))
+                };
+                $row_kernel
+            }
+        }
+    };
+}
+
 impl PhysicalFilter {
     /// Checks that the filter's column exists with the physical type the
     /// filter reads, so the scan loop cannot fail.
@@ -85,10 +190,23 @@ impl PhysicalFilter {
         }
     }
 
-    /// Row predicate. Types were checked by [`PhysicalFilter::validate`]; a
-    /// (structurally impossible) mismatch deselects the row instead of
-    /// panicking.
-    fn matches(&self, partition: &Partition, row: usize) -> bool {
+    /// Relative evaluation cost of the filter class. The vectorized scan
+    /// evaluates cheap filters first so the shrinking selection vector spares
+    /// the expensive ones most of their work: `u64` compares (plain and DET
+    /// tags) are a load and a branch, string equality touches heap data, and
+    /// an ORE comparison walks up to 64 PRF symbols per row.
+    pub fn cost_rank(&self) -> u8 {
+        match self {
+            PhysicalFilter::PlainU64 { .. } | PhysicalFilter::DetTag { .. } => 0,
+            PhysicalFilter::PlainText { .. } => 1,
+            PhysicalFilter::Ope { .. } => 2,
+        }
+    }
+
+    /// Row predicate of the scalar path. Types were checked by
+    /// [`PhysicalFilter::validate`]; a (structurally impossible) mismatch
+    /// deselects the row instead of panicking.
+    pub fn matches(&self, partition: &Partition, row: usize) -> bool {
         match self {
             PhysicalFilter::PlainU64 { column, op, value } => partition
                 .column_get(*column)
@@ -105,16 +223,42 @@ impl PhysicalFilter {
             PhysicalFilter::Ope { column, op, ciphertext } => partition
                 .column_get(*column)
                 .and_then(|c| c.bytes_get(row))
-                .is_some_and(|cell| {
-                    let row_ct = OreCiphertext { symbols: cell.to_vec() };
-                    op.eval_ordering(row_ct.compare(ciphertext))
-                }),
+                .and_then(|cell| try_compare_symbols(cell, &ciphertext.symbols))
+                .is_some_and(|ord| op.eval_ordering(ord)),
         }
+    }
+
+    /// Vectorized filter kernel: shrinks `sel` to the selected rows that also
+    /// satisfy this filter, reading the column as one contiguous slice. The
+    /// comparison-operator dispatch happens once per partition, outside the
+    /// row loop, so each arm monomorphizes into a tight scan.
+    ///
+    /// Equivalent to retaining the rows where [`PhysicalFilter::matches`]
+    /// holds — `tests/filter_kernels.rs` pins that property per variant.
+    pub fn refine(&self, partition: &Partition, sel: &mut SelectionVector) -> Result<(), SeabedError> {
+        dispatch_filter!(self, partition, |col, pred| exec::refine_u64(sel, col, pred), |rpred| {
+            exec::refine_rows(sel, rpred)
+        });
+        Ok(())
+    }
+
+    /// Dense first-filter kernel: builds the selection of an entire partition
+    /// in one pass, without materialising an all-rows selection first. The
+    /// vectorized scan uses this for the cheapest filter and
+    /// [`PhysicalFilter::refine`] for the rest.
+    pub fn select_dense(&self, partition: &Partition) -> Result<SelectionVector, SeabedError> {
+        let n = partition.num_rows();
+        Ok(dispatch_filter!(
+            self,
+            partition,
+            |col, pred| exec::select_u64(col, pred),
+            |rpred| exec::select_rows(n, rpred)
+        ))
     }
 }
 
 /// What the server computes for one aggregate of one group.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EncryptedAggregate {
     /// An ASHE partial sum: the masked group element plus the encoded ID list.
     AsheSum {
@@ -154,7 +298,7 @@ impl EncryptedAggregate {
 
 /// One group of the result (global aggregates use a single group with an empty
 /// key).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GroupResult {
     /// The group key as stored on the server (plaintext values or DET tags),
     /// including the inflation suffix when group inflation is active.
@@ -285,29 +429,102 @@ impl Accumulator {
                 let Some(symbols) = partition.column_get(*ore_column).and_then(|c| c.bytes_get(row)) else {
                     return;
                 };
-                let candidate = OreCiphertext {
-                    symbols: symbols.to_vec(),
-                };
+                // A corrupt-width cell is incomparable with every well-formed
+                // ciphertext: skip it, exactly as the filter path treats such
+                // rows as non-matching. This also keeps it from becoming an
+                // undisplaceable `best`.
+                if symbols.len() != seabed_crypto::ore::ORE_BITS {
+                    return;
+                }
                 let replace = match best {
                     None => true,
-                    Some((current, _, _)) => {
-                        let ord = candidate.compare(current);
+                    Some((current, _, _)) => try_compare_symbols(symbols, &current.symbols).is_some_and(|ord| {
                         if *want_max {
                             ord == Ordering::Greater
                         } else {
                             ord == Ordering::Less
                         }
-                    }
+                    }),
                 };
                 if replace {
                     let word = partition
                         .column_get(*value_column)
                         .and_then(|c| c.u64_get(row))
                         .unwrap_or_default();
-                    *best = Some((candidate, word, row_id));
+                    *best = Some((
+                        OreCiphertext {
+                            symbols: symbols.to_vec(),
+                        },
+                        word,
+                        row_id,
+                    ));
                 }
             }
         }
+    }
+
+    /// Batched accumulation over a selection vector (the vectorized path):
+    /// the needed column is resolved to a slice once, then consumed in
+    /// [`exec::BATCH_ROWS`]-row batches in ascending row order — the same
+    /// visit order as the scalar path, so ID lists come out identical.
+    fn accumulate(&mut self, partition: &Partition, sel: &SelectionVector) -> Result<(), SeabedError> {
+        match self {
+            Accumulator::Sum { column, value, ids } => {
+                let col = typed_slice!(partition, *column, u64_slice, "UInt64")?;
+                for batch in sel.batches() {
+                    for &row in batch {
+                        *value = value.wrapping_add(col.get(row as usize).copied().unwrap_or_default());
+                        ids.push_ordered(partition.row_id(row as usize));
+                    }
+                }
+            }
+            Accumulator::Count { ids } => {
+                for batch in sel.batches() {
+                    for &row in batch {
+                        ids.push_ordered(partition.row_id(row as usize));
+                    }
+                }
+            }
+            Accumulator::Extreme { .. } => {
+                for batch in sel.batches() {
+                    for &row in batch {
+                        self.observe(partition, row as usize);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dense accumulation of an entire partition (the no-filter vectorized
+    /// path): no selection vector is materialised at all — sums stream over
+    /// the column slice and the ID lists collapse into one contiguous run.
+    fn accumulate_dense(&mut self, partition: &Partition) -> Result<(), SeabedError> {
+        let n = partition.num_rows();
+        if n == 0 {
+            return Ok(());
+        }
+        let full_range = IdSet::range(partition.row_id(0), partition.row_id(n - 1));
+        match self {
+            Accumulator::Sum { column, value, ids } => {
+                let col = typed_slice!(partition, *column, u64_slice, "UInt64")?;
+                let mut acc = 0u64;
+                for &cell in col {
+                    acc = acc.wrapping_add(cell);
+                }
+                *value = value.wrapping_add(acc);
+                *ids = ids.union(&full_range);
+            }
+            Accumulator::Count { ids } => {
+                *ids = ids.union(&full_range);
+            }
+            Accumulator::Extreme { .. } => {
+                for row in 0..n {
+                    self.observe(partition, row);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Folds another partition's partial into this one. All accumulator
@@ -332,14 +549,16 @@ impl Accumulator {
             ) => {
                 let replace = match best {
                     None => true,
-                    Some((current, _, _)) => {
-                        let ord = ct.compare(current);
+                    // Total comparison: partition winners of different widths
+                    // (possible only with corrupt cells) must not panic the
+                    // driver; the incomparable candidate is simply not taken.
+                    Some((current, _, _)) => try_compare_symbols(&ct.symbols, &current.symbols).is_some_and(|ord| {
                         if *want_max {
                             ord == Ordering::Greater
                         } else {
                             ord == Ordering::Less
                         }
-                    }
+                    }),
                 };
                 if replace {
                     *best = Some((ct, word, id));
@@ -371,6 +590,25 @@ impl Accumulator {
     }
 }
 
+/// Per-partition partial result: accumulators per (possibly inflated) key.
+type PartialGroups = HashMap<Vec<u64>, Vec<Accumulator>>;
+
+/// Compressed partial-result size in bytes: what this partition's worker
+/// would ship to the driver. Shared by both execution paths so the reported
+/// shuffle bytes cannot diverge between them.
+fn partial_bytes(groups: &PartialGroups, encoding: IdListEncoding, group_columns: usize) -> usize {
+    groups
+        .values()
+        .flat_map(|accs| accs.iter())
+        .map(|acc| match acc {
+            Accumulator::Sum { ids, .. } => 8 + ids.encoded_size(encoding),
+            Accumulator::Count { ids } => 8 + ids.encoded_size(encoding),
+            Accumulator::Extreme { .. } => 16,
+        })
+        .sum::<usize>()
+        + groups.len() * 8 * group_columns.max(1)
+}
+
 impl SeabedServer {
     /// Creates a server over an encrypted table.
     pub fn new(table: Table, cluster: Cluster) -> SeabedServer {
@@ -382,6 +620,11 @@ impl SeabedServer {
         &self.table
     }
 
+    /// The execution mode partition scans run under.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.cluster.config.exec_mode
+    }
+
     /// Executes a translated query whose literals have been encrypted into
     /// `filters` by the proxy.
     ///
@@ -390,7 +633,9 @@ impl SeabedServer {
     /// validated before the scan starts, so a plan that does not fit this
     /// table's schema yields `Err(SeabedError::Schema(..))` (or
     /// `Err(SeabedError::Engine(..))` for malformed filter indices) instead
-    /// of a panic.
+    /// of a panic; a table whose partitions physically contradict the schema
+    /// yields `Err(SeabedError::Schema(SchemaError::CorruptPartition { .. }))`
+    /// instead of silently mis-grouping rows.
     pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
         // Aggregation queries use the range-friendly encoding; group-by
         // queries use per-ID diff encoding (§4.5).
@@ -400,6 +645,7 @@ impl SeabedServer {
             IdListEncoding::seabed_group_by()
         };
 
+        self.table.validate_layout()?;
         for filter in filters {
             filter.validate(&self.table)?;
         }
@@ -418,57 +664,36 @@ impl SeabedServer {
             .collect::<Result<_, _>>()?;
 
         let inflation = query.group_inflation.max(1) as u64;
+        let mode = self.cluster.config.exec_mode;
         let table = &self.table;
 
+        // The vectorized path evaluates cheap filter classes first so the
+        // shrinking selection spares the expensive ones; the sort is stable,
+        // and conjunction order cannot change the result either way.
+        let mut ordered: Vec<&PhysicalFilter> = filters.iter().collect();
+        ordered.sort_by_key(|f| f.cost_rank());
+
         let (partials, stats) = self.cluster.run(table, |partition| {
-            let mut groups: HashMap<Vec<u64>, Vec<Accumulator>> = HashMap::new();
-            let n = partition.num_rows();
-            for row in 0..n {
-                if !filters.iter().all(|f| f.matches(partition, row)) {
-                    continue;
+            let scanned = match mode {
+                ExecMode::Scalar => scan_scalar(partition, filters, &group_columns, &resolved, inflation),
+                ExecMode::Vectorized => scan_vectorized(partition, &ordered, &group_columns, &resolved, inflation),
+            };
+            match scanned {
+                Ok(groups) => {
+                    // Workers compress their ID lists before shipping to the
+                    // driver: report the compressed partial-result size as
+                    // shuffle bytes.
+                    let bytes = partial_bytes(&groups, encoding, group_columns.len());
+                    TaskOutput::new(Ok(groups), bytes)
                 }
-                let mut key: Vec<u64> = group_columns
-                    .iter()
-                    .map(|&c| {
-                        partition
-                            .column_get(c)
-                            .and_then(|col| col.u64_get(row))
-                            .unwrap_or_default()
-                    })
-                    .collect();
-                if !group_columns.is_empty() && inflation > 1 {
-                    // The paper appends a pseudo-random identifier in [0, factor)
-                    // to the group key (§4.5); hashing the row id keeps the
-                    // assignment deterministic without correlating with the
-                    // group value.
-                    key.push(splitmix64(partition.row_id(row)) % inflation);
-                }
-                let entry = groups
-                    .entry(key)
-                    .or_insert_with(|| resolved.iter().map(|r| r.accumulator()).collect());
-                for acc in entry.iter_mut() {
-                    acc.observe(partition, row);
-                }
+                Err(err) => TaskOutput::new(Err(err), 0),
             }
-            // Workers compress their ID lists before shipping to the driver:
-            // report the compressed partial-result size as shuffle bytes.
-            let bytes: usize = groups
-                .values()
-                .flat_map(|accs| accs.iter())
-                .map(|acc| match acc {
-                    Accumulator::Sum { ids, .. } => 8 + ids.encoded_size(encoding),
-                    Accumulator::Count { ids } => 8 + ids.encoded_size(encoding),
-                    Accumulator::Extreme { .. } => 16,
-                })
-                .sum::<usize>()
-                + groups.len() * 8 * group_columns.len().max(1);
-            TaskOutput::new(groups, bytes)
         });
 
-        // Driver: merge partial groups.
-        let mut merged: HashMap<Vec<u64>, Vec<Accumulator>> = HashMap::new();
+        // Driver: merge partial groups (propagating any partition failure).
+        let mut merged: PartialGroups = HashMap::new();
         for partial in partials {
-            for (key, accs) in partial {
+            for (key, accs) in partial? {
                 match merged.entry(key) {
                     std::collections::hash_map::Entry::Vacant(slot) => {
                         slot.insert(accs);
@@ -507,10 +732,183 @@ impl SeabedServer {
     }
 }
 
+/// Reference row-at-a-time partition scan.
+fn scan_scalar(
+    partition: &Partition,
+    filters: &[PhysicalFilter],
+    group_columns: &[usize],
+    resolved: &[ResolvedAggregate],
+    inflation: u64,
+) -> Result<PartialGroups, SeabedError> {
+    let mut groups: PartialGroups = HashMap::new();
+    let n = partition.num_rows();
+    for row in 0..n {
+        if !filters.iter().all(|f| f.matches(partition, row)) {
+            continue;
+        }
+        let mut key: Vec<u64> = Vec::with_capacity(group_columns.len() + usize::from(inflation > 1));
+        for &c in group_columns {
+            // A missing or mistyped group column must fail loudly: defaulting
+            // here would silently fold the row into group key 0.
+            let cell = partition
+                .column_get(c)
+                .and_then(|col| col.u64_get(row))
+                .ok_or_else(|| {
+                    SeabedError::engine(format!("group column {c} is missing or not UInt64 in partition"))
+                })?;
+            key.push(cell);
+        }
+        if !group_columns.is_empty() && inflation > 1 {
+            // The paper appends a pseudo-random identifier in [0, factor)
+            // to the group key (§4.5); hashing the row id keeps the
+            // assignment deterministic without correlating with the
+            // group value.
+            key.push(splitmix64(partition.row_id(row)) % inflation);
+        }
+        let entry = groups
+            .entry(key)
+            .or_insert_with(|| resolved.iter().map(|r| r.accumulator()).collect());
+        for acc in entry.iter_mut() {
+            acc.observe(partition, row);
+        }
+    }
+    Ok(groups)
+}
+
+/// Drives `body` once per selected row, in ascending order: densely over the
+/// whole partition when no filter narrowed it (`sel` is `None` — no all-rows
+/// selection is ever materialised), otherwise off the selection vector in
+/// batches. Monomorphizes per call site, so the grouped hot loops stay tight.
+fn for_each_selected(
+    sel: Option<&SelectionVector>,
+    n: usize,
+    mut body: impl FnMut(usize) -> Result<(), SeabedError>,
+) -> Result<(), SeabedError> {
+    match sel {
+        None => {
+            for row in 0..n {
+                body(row)?;
+            }
+        }
+        Some(sel) => {
+            for batch in sel.batches() {
+                for &row in batch {
+                    body(row as usize)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Vectorized partition scan: filters narrow a selection vector column at a
+/// time, then aggregation runs off the selection in batches (or streams the
+/// partition densely when there are no filters).
+fn scan_vectorized(
+    partition: &Partition,
+    ordered_filters: &[&PhysicalFilter],
+    group_columns: &[usize],
+    resolved: &[ResolvedAggregate],
+    inflation: u64,
+) -> Result<PartialGroups, SeabedError> {
+    let n = partition.num_rows();
+    if n > exec::MAX_PARTITION_ROWS {
+        return Err(SeabedError::engine(format!(
+            "partition of {n} rows exceeds the vectorized row limit; repartition the table"
+        )));
+    }
+
+    // The cheapest filter dense-selects in one pass; the rest refine the
+    // shrinking selection. An unfiltered scan builds no selection at all —
+    // the aggregation below then streams the partition densely.
+    let sel: Option<SelectionVector> = match ordered_filters.split_first() {
+        None => None,
+        Some((first, rest)) => {
+            let mut sel = first.select_dense(partition)?;
+            for filter in rest {
+                if sel.is_empty() {
+                    break;
+                }
+                filter.refine(partition, &mut sel)?;
+            }
+            Some(sel)
+        }
+    };
+
+    let mut groups: PartialGroups = HashMap::new();
+    let selected_rows = sel.as_ref().map_or(n, |s| s.len());
+    if selected_rows == 0 {
+        return Ok(groups);
+    }
+
+    if group_columns.is_empty() {
+        // Global aggregation: one accumulator vector, no per-row key hashing
+        // at all; the unfiltered case collapses ID lists into one run.
+        let mut accs: Vec<Accumulator> = resolved.iter().map(|r| r.accumulator()).collect();
+        for acc in &mut accs {
+            match &sel {
+                None => acc.accumulate_dense(partition)?,
+                Some(sel) => acc.accumulate(partition, sel)?,
+            }
+        }
+        groups.insert(Vec::new(), accs);
+    } else if group_columns.len() == 1 && inflation == 1 {
+        // Single-u64-key fast path: hash a bare u64 per row instead of
+        // allocating and hashing a Vec<u64> key.
+        let keys = typed_slice!(partition, group_columns[0], u64_slice, "UInt64")?;
+        let mut fast: HashMap<u64, Vec<Accumulator>> = HashMap::new();
+        for_each_selected(sel.as_ref(), n, |row| {
+            let Some(&key) = keys.get(row) else {
+                return Err(SeabedError::engine(format!(
+                    "group column {} shorter than partition",
+                    group_columns[0]
+                )));
+            };
+            let entry = fast
+                .entry(key)
+                .or_insert_with(|| resolved.iter().map(|r| r.accumulator()).collect());
+            for acc in entry.iter_mut() {
+                acc.observe(partition, row);
+            }
+            Ok(())
+        })?;
+        groups.extend(fast.into_iter().map(|(k, accs)| (vec![k], accs)));
+    } else {
+        // General composite-key path (multiple group columns and/or an
+        // inflation suffix): key columns are resolved to slices once, the
+        // per-row Vec<u64> key remains inherent to composite keys.
+        let key_cols: Vec<&[u64]> = group_columns
+            .iter()
+            .map(|&c| typed_slice!(partition, c, u64_slice, "UInt64"))
+            .collect::<Result<_, _>>()?;
+        for_each_selected(sel.as_ref(), n, |row| {
+            let mut key: Vec<u64> = Vec::with_capacity(key_cols.len() + usize::from(inflation > 1));
+            for col in &key_cols {
+                let Some(&cell) = col.get(row) else {
+                    return Err(SeabedError::engine("group column shorter than partition"));
+                };
+                key.push(cell);
+            }
+            if inflation > 1 {
+                key.push(splitmix64(partition.row_id(row)) % inflation);
+            }
+            let entry = groups
+                .entry(key)
+                .or_insert_with(|| resolved.iter().map(|r| r.accumulator()).collect());
+            for acc in entry.iter_mut() {
+                acc.observe(partition, row);
+            }
+            Ok(())
+        })?;
+    }
+    Ok(groups)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use seabed_engine::{ClusterConfig, ColumnData, Schema};
+    use seabed_error::SchemaError;
     use seabed_query::{GroupByColumn, SupportCategory};
 
     /// Builds a tiny "encrypted" table by hand: one plaintext filter column,
@@ -533,8 +931,13 @@ mod tests {
         )
     }
 
+    fn server_with_mode(rows: u64, mode: ExecMode) -> SeabedServer {
+        let config = ClusterConfig::with_workers(8).exec_mode(mode);
+        SeabedServer::new(test_table(rows), Cluster::new(config))
+    }
+
     fn server(rows: u64) -> SeabedServer {
-        SeabedServer::new(test_table(rows), Cluster::new(ClusterConfig::with_workers(8)))
+        server_with_mode(rows, ExecMode::Vectorized)
     }
 
     fn sum_query(group_by: Vec<GroupByColumn>, inflation: u32) -> TranslatedQuery {
@@ -555,50 +958,62 @@ mod tests {
         }
     }
 
+    fn group_by_g() -> Vec<GroupByColumn> {
+        vec![GroupByColumn {
+            column: "g".to_string(),
+            physical_column: "g__det".to_string(),
+            encrypted: true,
+        }]
+    }
+
     #[test]
     fn global_sum_over_all_rows() -> Result<(), SeabedError> {
-        let s = server(1000);
-        let resp = s.execute(&sum_query(vec![], 1), &[])?;
-        assert_eq!(resp.groups.len(), 1);
-        let EncryptedAggregate::AsheSum {
-            value,
-            id_list,
-            encoding,
-        } = &resp.groups[0].aggregates[0]
-        else {
-            return Err(SeabedError::engine(format!(
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+            let s = server_with_mode(1000, mode);
+            let resp = s.execute(&sum_query(vec![], 1), &[])?;
+            assert_eq!(resp.groups.len(), 1);
+            let EncryptedAggregate::AsheSum {
+                value,
+                id_list,
+                encoding,
+            } = &resp.groups[0].aggregates[0]
+            else {
+                return Err(SeabedError::engine(format!(
+                    "unexpected aggregate {:?}",
+                    resp.groups[0].aggregates[0]
+                )));
+            };
+            assert_eq!(*value, (1..=1000u64).sum::<u64>());
+            let ids = IdSet::decode(id_list, *encoding).unwrap_or_default();
+            assert_eq!(ids.count(), 1000);
+            assert_eq!(ids.run_count(), 1, "contiguous selection is one run");
+            assert!(
+                matches!(&resp.groups[0].aggregates[1], EncryptedAggregate::Count { rows } if *rows == 1000),
                 "unexpected aggregate {:?}",
-                resp.groups[0].aggregates[0]
-            )));
-        };
-        assert_eq!(*value, (1..=1000u64).sum::<u64>());
-        let ids = IdSet::decode(id_list, *encoding).unwrap_or_default();
-        assert_eq!(ids.count(), 1000);
-        assert_eq!(ids.run_count(), 1, "contiguous selection is one run");
-        assert!(
-            matches!(&resp.groups[0].aggregates[1], EncryptedAggregate::Count { rows } if *rows == 1000),
-            "unexpected aggregate {:?}",
-            resp.groups[0].aggregates[1]
-        );
-        assert!(resp.result_bytes > 0);
+                resp.groups[0].aggregates[1]
+            );
+            assert!(resp.result_bytes > 0);
+        }
         Ok(())
     }
 
     #[test]
     fn filtered_sum_respects_predicates() -> Result<(), SeabedError> {
-        let s = server(1000);
-        let filters = vec![PhysicalFilter::PlainU64 {
-            column: 0,
-            op: CompareOp::Eq,
-            value: 1,
-        }];
-        let resp = s.execute(&sum_query(vec![], 1), &filters)?;
-        let expected: u64 = (0..1000u64).filter(|i| i % 2 == 1).map(|i| i + 1).sum();
-        assert!(
-            matches!(&resp.groups[0].aggregates[0], EncryptedAggregate::AsheSum { value, .. } if *value == expected),
-            "unexpected aggregate {:?}",
-            resp.groups[0].aggregates[0]
-        );
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+            let s = server_with_mode(1000, mode);
+            let filters = vec![PhysicalFilter::PlainU64 {
+                column: 0,
+                op: CompareOp::Eq,
+                value: 1,
+            }];
+            let resp = s.execute(&sum_query(vec![], 1), &filters)?;
+            let expected: u64 = (0..1000u64).filter(|i| i % 2 == 1).map(|i| i + 1).sum();
+            assert!(
+                matches!(&resp.groups[0].aggregates[0], EncryptedAggregate::AsheSum { value, .. } if *value == expected),
+                "unexpected aggregate {:?}",
+                resp.groups[0].aggregates[0]
+            );
+        }
         Ok(())
     }
 
@@ -617,45 +1032,88 @@ mod tests {
 
     #[test]
     fn group_by_with_and_without_inflation() -> Result<(), SeabedError> {
-        let s = server(1000);
-        let group = vec![GroupByColumn {
-            column: "g".to_string(),
-            physical_column: "g__det".to_string(),
-            encrypted: true,
-        }];
-        let plain = s.execute(&sum_query(group.clone(), 1), &[])?;
-        assert_eq!(plain.groups.len(), 5);
-        let inflated = s.execute(&sum_query(group, 10), &[])?;
-        assert_eq!(inflated.groups.len(), 50, "5 groups × 10-way inflation");
-        // Sum across inflated groups equals the plain total.
-        let total = |resp: &ServerResponse| -> u64 {
-            resp.groups
-                .iter()
-                .map(|g| match &g.aggregates[0] {
-                    EncryptedAggregate::AsheSum { value, .. } => *value,
-                    _ => 0,
-                })
-                .fold(0u64, |a, b| a.wrapping_add(b))
-        };
-        assert_eq!(total(&plain), total(&inflated));
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+            let s = server_with_mode(1000, mode);
+            let plain = s.execute(&sum_query(group_by_g(), 1), &[])?;
+            assert_eq!(plain.groups.len(), 5);
+            let inflated = s.execute(&sum_query(group_by_g(), 10), &[])?;
+            assert_eq!(inflated.groups.len(), 50, "5 groups × 10-way inflation");
+            // Sum across inflated groups equals the plain total.
+            let total = |resp: &ServerResponse| -> u64 {
+                resp.groups
+                    .iter()
+                    .map(|g| match &g.aggregates[0] {
+                        EncryptedAggregate::AsheSum { value, .. } => *value,
+                        _ => 0,
+                    })
+                    .fold(0u64, |a, b| a.wrapping_add(b))
+            };
+            assert_eq!(total(&plain), total(&inflated));
+        }
         Ok(())
     }
 
     #[test]
-    fn empty_selection_returns_zero_group() -> Result<(), SeabedError> {
-        let s = server(50);
-        let filters = vec![PhysicalFilter::PlainU64 {
+    fn scalar_and_vectorized_responses_are_identical() -> Result<(), SeabedError> {
+        // The full differential suite lives in tests/differential_exec.rs;
+        // this is the fast in-crate smoke version over a mixed query.
+        let filters = vec![
+            PhysicalFilter::PlainU64 {
+                column: 0,
+                op: CompareOp::Eq,
+                value: 0,
+            },
+            PhysicalFilter::DetTag { column: 2, tag: 102 },
+        ];
+        for (group_by, inflation) in [(vec![], 1u32), (group_by_g(), 1), (group_by_g(), 7)] {
+            let query = sum_query(group_by, inflation);
+            let scalar = server_with_mode(997, ExecMode::Scalar).execute(&query, &filters)?;
+            let vectorized = server_with_mode(997, ExecMode::Vectorized).execute(&query, &filters)?;
+            assert_eq!(scalar.groups, vectorized.groups);
+            assert_eq!(scalar.result_bytes, vectorized.result_bytes);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn filter_cost_ordering_runs_cheap_filters_first() {
+        let ope = PhysicalFilter::Ope {
             column: 0,
-            op: CompareOp::Gt,
-            value: 100,
-        }];
-        let resp = s.execute(&sum_query(vec![], 1), &filters)?;
-        assert_eq!(resp.groups.len(), 1);
-        assert!(
-            matches!(&resp.groups[0].aggregates[1], EncryptedAggregate::Count { rows } if *rows == 0),
-            "unexpected aggregate {:?}",
-            resp.groups[0].aggregates[1]
-        );
+            op: CompareOp::Lt,
+            ciphertext: OreCiphertext { symbols: vec![0; 64] },
+        };
+        let text = PhysicalFilter::PlainText {
+            column: 0,
+            value: "x".into(),
+        };
+        let plain = PhysicalFilter::PlainU64 {
+            column: 0,
+            op: CompareOp::Eq,
+            value: 1,
+        };
+        let mut ordered = [&ope, &text, &plain];
+        ordered.sort_by_key(|f| f.cost_rank());
+        assert!(matches!(ordered[0], PhysicalFilter::PlainU64 { .. }));
+        assert!(matches!(ordered[2], PhysicalFilter::Ope { .. }));
+    }
+
+    #[test]
+    fn empty_selection_returns_zero_group() -> Result<(), SeabedError> {
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+            let s = server_with_mode(50, mode);
+            let filters = vec![PhysicalFilter::PlainU64 {
+                column: 0,
+                op: CompareOp::Gt,
+                value: 100,
+            }];
+            let resp = s.execute(&sum_query(vec![], 1), &filters)?;
+            assert_eq!(resp.groups.len(), 1);
+            assert!(
+                matches!(&resp.groups[0].aggregates[1], EncryptedAggregate::Count { rows } if *rows == 0),
+                "unexpected aggregate {:?}",
+                resp.groups[0].aggregates[1]
+            );
+        }
         Ok(())
     }
 
@@ -681,5 +1139,90 @@ mod tests {
             s.execute(&sum_query(vec![], 1), &filters),
             Err(SeabedError::Engine(_))
         ));
+    }
+
+    /// Regression test for the silent-default bug: a partition whose group
+    /// column is physically mistyped used to fold every row into group key 0
+    /// (`unwrap_or_default`); it must instead fail as a corrupt partition —
+    /// in both execution modes.
+    #[test]
+    fn mistyped_group_column_is_an_error_not_key_zero() {
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+            let mut table = test_table(100);
+            let n = table.partitions[1].num_rows();
+            table.partitions[1].columns[2] = ColumnData::Utf8(vec!["oops".to_string(); n]);
+            let s = SeabedServer::new(table, Cluster::new(ClusterConfig::with_workers(4).exec_mode(mode)));
+            let outcome = s.execute(&sum_query(group_by_g(), 1), &[]);
+            assert!(
+                matches!(
+                    outcome,
+                    Err(SeabedError::Schema(SchemaError::CorruptPartition { partition: 1, .. }))
+                ),
+                "{mode:?}: expected corrupt-partition error, got {outcome:?}"
+            );
+        }
+    }
+
+    /// A corrupt-width ORE cell must neither panic the driver merge nor win a
+    /// MIN/MAX aggregate: it is incomparable, so it is skipped — in both
+    /// modes. (Table::validate_layout cannot catch this: the column type and
+    /// length are fine, only the symbol width inside one cell is wrong.)
+    #[test]
+    fn corrupt_ore_cell_is_skipped_by_min_max() -> Result<(), SeabedError> {
+        use seabed_crypto::OreScheme;
+        let ore = OreScheme::new(&[3u8; 16]);
+        let plain: Vec<u64> = (0..40).map(|i| (i * 13 + 7) % 100).collect();
+        let mut cells: Vec<Vec<u8>> = plain.iter().map(|&v| ore.encrypt(v).symbols).collect();
+        // Row 0 would otherwise be scanned first and become the initial
+        // `best`; truncate it to a corrupt width.
+        cells[0].truncate(10);
+        let schema = Schema::new([
+            ("o__ope".to_string(), ColumnType::Bytes),
+            ("o__ope_val".to_string(), ColumnType::UInt64),
+        ]);
+        let table = Table::from_columns(
+            schema,
+            vec![ColumnData::Bytes(cells), ColumnData::UInt64((1000..1040u64).collect())],
+            4,
+        );
+        let expected_min_row = (1..40).min_by_key(|&i| plain[i]).expect("non-empty") as u64;
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+            let s = SeabedServer::new(
+                table.clone(),
+                Cluster::new(ClusterConfig::with_workers(4).exec_mode(mode)),
+            );
+            let mut q = sum_query(vec![], 1);
+            q.aggregates = vec![ServerAggregate::OpeMin {
+                column: "o__ope".to_string(),
+            }];
+            let resp = s.execute(&q, &[])?;
+            assert!(
+                matches!(
+                    &resp.groups[0].aggregates[0],
+                    EncryptedAggregate::Extreme { value_word, row_id: Some(id) }
+                        if *id == expected_min_row && *value_word == 1000 + expected_min_row
+                ),
+                "{mode:?}: corrupt cell must not win: {:?}",
+                resp.groups[0].aggregates[0]
+            );
+        }
+        Ok(())
+    }
+
+    /// Same for a group column that is shorter than its partition.
+    #[test]
+    fn short_group_column_is_an_error() {
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+            let mut table = test_table(100);
+            table.partitions[0].columns[2] = ColumnData::UInt64(vec![5]);
+            let s = SeabedServer::new(table, Cluster::new(ClusterConfig::with_workers(4).exec_mode(mode)));
+            assert!(
+                matches!(
+                    s.execute(&sum_query(group_by_g(), 1), &[]),
+                    Err(SeabedError::Schema(SchemaError::CorruptPartition { .. }))
+                ),
+                "{mode:?}"
+            );
+        }
     }
 }

@@ -45,21 +45,7 @@ impl OreCiphertext {
     /// plaintexts. Panics if the ciphertexts have different lengths (they were
     /// produced by different schemes).
     pub fn compare(&self, other: &Self) -> Ordering {
-        assert_eq!(
-            self.symbols.len(),
-            other.symbols.len(),
-            "cannot compare ORE ciphertexts of different widths"
-        );
-        for (a, b) in self.symbols.iter().zip(other.symbols.iter()) {
-            if a != b {
-                return if *a == (*b + 1) % 3 {
-                    Ordering::Greater
-                } else {
-                    Ordering::Less
-                };
-            }
-        }
-        Ordering::Equal
+        try_compare_symbols(&self.symbols, &other.symbols).expect("cannot compare ORE ciphertexts of different widths")
     }
 
     /// Returns the index of the most significant differing bit between the two
@@ -68,6 +54,29 @@ impl OreCiphertext {
     pub fn diff_index(&self, other: &Self) -> Option<usize> {
         self.symbols.iter().zip(other.symbols.iter()).position(|(a, b)| a != b)
     }
+}
+
+/// Total, allocation-free comparison of two ORE symbol strings (the stored
+/// form of [`OreCiphertext`]). Returns `None` when the widths differ — a
+/// corrupt cell or a ciphertext from a different scheme — so scan loops can
+/// treat such rows as non-matching instead of panicking or cloning each cell
+/// into an [`OreCiphertext`] first.
+pub fn try_compare_symbols(a: &[u8], b: &[u8]) -> Option<Ordering> {
+    if a.len() != b.len() {
+        return None;
+    }
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x != y {
+            // Wrapping add: symbols are mod-3 in well-formed ciphertexts, but
+            // corrupt cells may hold any byte and must not overflow-panic.
+            return Some(if *x == y.wrapping_add(1) % 3 {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            });
+        }
+    }
+    Some(Ordering::Equal)
 }
 
 /// The ORE scheme instance (one per order-encrypted column).
@@ -145,6 +154,24 @@ mod tests {
             assert_eq!(s.encrypt(lo).compare(&s.encrypt(hi)), Ordering::Less);
             assert_eq!(s.encrypt(hi).compare(&s.encrypt(lo)), Ordering::Greater);
         }
+    }
+
+    #[test]
+    fn symbol_slice_comparison_is_total() {
+        let s = scheme();
+        let a = s.encrypt(10);
+        let b = s.encrypt(20);
+        assert_eq!(try_compare_symbols(&a.symbols, &b.symbols), Some(Ordering::Less));
+        assert_eq!(try_compare_symbols(&a.symbols, &a.symbols), Some(Ordering::Equal));
+        // Width mismatch (corrupt cell) is None, not a panic.
+        assert_eq!(try_compare_symbols(&a.symbols, &a.symbols[..10]), None);
+        assert_eq!(try_compare_symbols(&[], &a.symbols), None);
+        // Out-of-domain symbol bytes (corrupt cells) must not panic either,
+        // even with overflow checks on; the ordering itself is arbitrary.
+        let mut forged = a.symbols.clone();
+        forged[0] = 255;
+        assert!(try_compare_symbols(&forged, &a.symbols).is_some());
+        assert!(try_compare_symbols(&a.symbols, &forged).is_some());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! while remaining faithful to the real per-row computation costs, which are
 //! measured rather than modeled.
 
+use crate::exec::ExecMode;
 use crate::table::{Partition, Table};
 use rand::Rng;
 use std::time::{Duration, Instant};
@@ -36,6 +37,9 @@ pub struct ClusterConfig {
     pub straggler_probability: f64,
     /// Multiplicative slowdown applied to straggler tasks.
     pub straggler_factor: f64,
+    /// How partition scans are executed (scalar reference path or vectorized
+    /// fast path). Defaults to [`ExecMode::Vectorized`].
+    pub exec_mode: ExecMode,
 }
 
 impl Default for ClusterConfig {
@@ -46,6 +50,7 @@ impl Default for ClusterConfig {
             task_overhead: Duration::from_millis(5),
             straggler_probability: 0.0,
             straggler_factor: 4.0,
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -57,6 +62,12 @@ impl ClusterConfig {
             workers,
             ..ClusterConfig::default()
         }
+    }
+
+    /// Returns the configuration with the execution mode replaced.
+    pub fn exec_mode(mut self, mode: ExecMode) -> ClusterConfig {
+        self.exec_mode = mode;
+        self
     }
 }
 

@@ -13,6 +13,10 @@
 //!   task times and a simulated cluster cost model (worker count, per-task
 //!   overhead, stragglers) so the core-count sweeps of Figure 7 can be
 //!   reproduced on a laptop;
+//! * [`exec`] — vectorized execution primitives: selection vectors, batched
+//!   filter/aggregation kernels, and the [`ExecMode`] knob that switches the
+//!   scan between the row-at-a-time reference path and the column-at-a-time
+//!   fast path;
 //! * [`netmodel`] — the server→client bandwidth/RTT model used for the WAN
 //!   experiments of §6.6;
 //! * [`storage`] — on-disk / in-memory size accounting (Table 5) and a flat
@@ -21,11 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod exec;
 pub mod netmodel;
 pub mod storage;
 pub mod table;
 
 pub use cluster::{Cluster, ClusterConfig, ExecStats, TaskOutput};
+pub use exec::{ExecMode, SelectionVector};
 pub use netmodel::NetworkModel;
 pub use storage::{table_disk_size, table_memory_size};
 pub use table::{ColumnData, ColumnType, Field, Partition, Schema, Table};
@@ -48,21 +54,45 @@ mod proptests {
         }
 
         #[test]
-        fn serialization_roundtrip(rows in 0usize..500, partitions in 1usize..8) {
+        fn serialization_roundtrip_all_column_types(rows in 0usize..500, partitions in 1usize..8) {
             let schema = Schema::new([
                 ("a".to_string(), ColumnType::UInt64),
                 ("b".to_string(), ColumnType::Utf8),
+                ("c".to_string(), ColumnType::Int64),
+                ("d".to_string(), ColumnType::Bytes),
             ]);
             let t = Table::from_columns(
                 schema,
                 vec![
                     ColumnData::UInt64((0..rows as u64).map(|i| i * 31).collect()),
                     ColumnData::Utf8((0..rows).map(|i| format!("s{i}")).collect()),
+                    ColumnData::Int64((0..rows as i64).map(|i| 250 - i).collect()),
+                    ColumnData::Bytes((0..rows).map(|i| vec![(i % 256) as u8; i % 7]).collect()),
                 ],
                 partitions,
             );
             let bytes = storage::serialize_table(&t);
             prop_assert_eq!(storage::deserialize_table(&bytes).unwrap(), t);
+        }
+
+        #[test]
+        fn truncated_serialization_never_panics(rows in 0usize..120, partitions in 1usize..6, cut_seed in any::<u64>()) {
+            let schema = Schema::new([
+                ("a".to_string(), ColumnType::UInt64),
+                ("b".to_string(), ColumnType::Bytes),
+            ]);
+            let t = Table::from_columns(
+                schema,
+                vec![
+                    ColumnData::UInt64((0..rows as u64).collect()),
+                    ColumnData::Bytes((0..rows).map(|i| vec![i as u8; i % 5]).collect()),
+                ],
+                partitions,
+            );
+            let bytes = storage::serialize_table(&t);
+            let cut = (cut_seed % bytes.len() as u64) as usize;
+            // Corruption by truncation must be reported, never panic.
+            prop_assert!(storage::deserialize_table(&bytes[..cut]).is_none());
         }
 
         #[test]

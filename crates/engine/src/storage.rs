@@ -106,12 +106,21 @@ pub fn serialize_table(table: &Table) -> Vec<u8> {
     out
 }
 
+/// Caps a length prefix read from untrusted input: a forged count cannot ask
+/// for more elements than the remaining bytes could possibly encode (at
+/// `min_size` bytes each), so `Vec::with_capacity` on corrupt data cannot
+/// balloon into a multi-gigabyte allocation before the element reads fail.
+fn capped(len: usize, data: &[u8], pos: usize, min_size: usize) -> usize {
+    len.min(data.len().saturating_sub(pos) / min_size.max(1))
+}
+
 /// Deserializes a table produced by [`serialize_table`]; returns `None` on
-/// malformed input.
+/// malformed input (truncation, forged counts, invalid type tags) — it never
+/// panics or over-allocates.
 pub fn deserialize_table(data: &[u8]) -> Option<Table> {
     let mut pos = 0usize;
     let n_fields = read_u32(data, &mut pos)? as usize;
-    let mut fields = Vec::with_capacity(n_fields);
+    let mut fields = Vec::with_capacity(capped(n_fields, data, pos, 5));
     for _ in 0..n_fields {
         let name = read_str(data, &mut pos)?;
         let ty = match *data.get(pos)? {
@@ -126,7 +135,7 @@ pub fn deserialize_table(data: &[u8]) -> Option<Table> {
     }
     let schema = crate::table::Schema::new(fields);
     let n_partitions = read_u32(data, &mut pos)? as usize;
-    let mut partitions = Vec::with_capacity(n_partitions);
+    let mut partitions = Vec::with_capacity(capped(n_partitions, data, pos, 8));
     for _ in 0..n_partitions {
         let start_row = read_u64(data, &mut pos)?;
         let mut columns = Vec::with_capacity(schema.fields.len());
@@ -134,28 +143,28 @@ pub fn deserialize_table(data: &[u8]) -> Option<Table> {
             let len = read_u32(data, &mut pos)? as usize;
             let column = match field.ty {
                 crate::table::ColumnType::UInt64 => {
-                    let mut v = Vec::with_capacity(len);
+                    let mut v = Vec::with_capacity(capped(len, data, pos, 8));
                     for _ in 0..len {
                         v.push(read_u64(data, &mut pos)?);
                     }
                     ColumnData::UInt64(v)
                 }
                 crate::table::ColumnType::Int64 => {
-                    let mut v = Vec::with_capacity(len);
+                    let mut v = Vec::with_capacity(capped(len, data, pos, 8));
                     for _ in 0..len {
                         v.push(read_u64(data, &mut pos)? as i64);
                     }
                     ColumnData::Int64(v)
                 }
                 crate::table::ColumnType::Utf8 => {
-                    let mut v = Vec::with_capacity(len);
+                    let mut v = Vec::with_capacity(capped(len, data, pos, 4));
                     for _ in 0..len {
                         v.push(read_str(data, &mut pos)?);
                     }
                     ColumnData::Utf8(v)
                 }
                 crate::table::ColumnType::Bytes => {
-                    let mut v = Vec::with_capacity(len);
+                    let mut v = Vec::with_capacity(capped(len, data, pos, 4));
                     for _ in 0..len {
                         let blen = read_u32(data, &mut pos)? as usize;
                         let bytes = data.get(pos..pos + blen)?.to_vec();
@@ -243,6 +252,71 @@ mod tests {
         let data = serialize_table(&t);
         assert!(deserialize_table(&data[..data.len() / 2]).is_none());
         assert!(deserialize_table(&[]).is_none());
+    }
+
+    /// Every strict prefix of a serialized table must deserialize to `None`
+    /// (all data is demanded by the leading counts, so truncation anywhere is
+    /// detectable) — and must never panic.
+    #[test]
+    fn every_truncation_is_rejected_without_panic() {
+        let schema = Schema::new([
+            ("u".to_string(), ColumnType::UInt64),
+            ("i".to_string(), ColumnType::Int64),
+            ("s".to_string(), ColumnType::Utf8),
+            ("b".to_string(), ColumnType::Bytes),
+        ]);
+        let t = Table::from_columns(
+            schema,
+            vec![
+                ColumnData::UInt64(vec![1, 2, 3, 4, 5, 6]),
+                ColumnData::Int64(vec![-3, -2, -1, 0, 1, 2]),
+                ColumnData::Utf8((0..6).map(|i| format!("s{i}")).collect()),
+                ColumnData::Bytes((0..6usize).map(|i| vec![i as u8; i]).collect()),
+            ],
+            3,
+        );
+        let data = serialize_table(&t);
+        assert_eq!(deserialize_table(&data), Some(t));
+        for cut in 0..data.len() {
+            assert!(
+                deserialize_table(&data[..cut]).is_none(),
+                "prefix of {cut}/{} bytes must be rejected",
+                data.len()
+            );
+        }
+    }
+
+    /// A forged element count far beyond the payload must fail cleanly — in
+    /// particular it must not pre-allocate gigabytes before the reads fail.
+    #[test]
+    fn forged_huge_length_prefix_is_rejected() {
+        let t = sample_table();
+        let mut data = serialize_table(&t);
+        // The field count is the first u32; forge it to u32::MAX.
+        data[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(deserialize_table(&data).is_none());
+        // Forge a huge row count for the first partition's first column: it
+        // sits right after the schema block and the partition start_row.
+        let mut data = serialize_table(&t);
+        let schema_end = {
+            let mut pos = 4usize;
+            for field in &t.schema.fields {
+                pos += 4 + field.name.len() + 1;
+            }
+            pos + 4 + 8 // partition count + start_row
+        };
+        data[schema_end..schema_end + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(deserialize_table(&data).is_none());
+    }
+
+    #[test]
+    fn invalid_type_tag_is_rejected() {
+        let t = sample_table();
+        let mut data = serialize_table(&t);
+        // First field: count(4) + name length prefix(4) + "id"(2) -> tag at 10.
+        assert_eq!(data[10], 0, "expected the UInt64 tag for column id");
+        data[10] = 9;
+        assert!(deserialize_table(&data).is_none());
     }
 
     #[test]

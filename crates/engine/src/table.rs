@@ -91,6 +91,32 @@ impl ColumnData {
         }
     }
 
+    /// Borrows the whole `u64` column as a slice, or `None` on type mismatch.
+    /// The vectorized scan resolves each needed column once per partition via
+    /// these total slice accessors, then runs allocation-free kernel loops.
+    pub fn u64_slice(&self) -> Option<&[u64]> {
+        match self {
+            ColumnData::UInt64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the whole string column, or `None` on type mismatch.
+    pub fn str_slice(&self) -> Option<&[String]> {
+        match self {
+            ColumnData::Utf8(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the whole bytes column, or `None` on type mismatch.
+    pub fn bytes_slice(&self) -> Option<&[Vec<u8>]> {
+        match self {
+            ColumnData::Bytes(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Total variant of [`ColumnData::str_at`].
     pub fn str_get(&self, row: usize) -> Option<&str> {
         match self {
@@ -298,6 +324,51 @@ impl Table {
         }
     }
 
+    /// Checks that every partition physically matches the schema: same column
+    /// count, same column types, and consistent row counts. [`Table::from_columns`]
+    /// establishes these invariants, but `Table`'s fields are public (the
+    /// storage layer and tests build partitions directly), so query execution
+    /// re-validates the layout once up front and the scan loops can then rely
+    /// on it instead of silently mis-reading corrupt partitions.
+    pub fn validate_layout(&self) -> Result<(), SeabedError> {
+        for (p, partition) in self.partitions.iter().enumerate() {
+            if partition.columns.len() != self.schema.len() {
+                return Err(SchemaError::CorruptPartition {
+                    partition: p,
+                    detail: format!(
+                        "has {} columns, schema has {}",
+                        partition.columns.len(),
+                        self.schema.len()
+                    ),
+                }
+                .into());
+            }
+            let rows = partition.num_rows();
+            for (field, column) in self.schema.fields.iter().zip(partition.columns.iter()) {
+                if column.column_type() != field.ty {
+                    return Err(SchemaError::CorruptPartition {
+                        partition: p,
+                        detail: format!(
+                            "column {} is {:?}, schema says {:?}",
+                            field.name,
+                            column.column_type(),
+                            field.ty
+                        ),
+                    }
+                    .into());
+                }
+                if column.len() != rows {
+                    return Err(SchemaError::CorruptPartition {
+                        partition: p,
+                        detail: format!("column {} has {} rows, expected {rows}", field.name, column.len()),
+                    }
+                    .into());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Gathers an entire column across partitions (test/debug helper; real
     /// queries never materialise whole columns at the driver).
     pub fn gather_u64(&self, name: &str) -> Option<Vec<u64>> {
@@ -401,6 +472,57 @@ mod tests {
             vec![ColumnData::UInt64(vec![1, 2]), ColumnData::UInt64(vec![1])],
             1,
         );
+    }
+
+    #[test]
+    fn slice_accessors_are_total() {
+        let t = sample_table(10, 2);
+        let p = &t.partitions[0];
+        assert_eq!(p.column(0).u64_slice().unwrap().len(), p.num_rows());
+        assert_eq!(p.column(2).str_slice().unwrap()[2], "row2");
+        assert!(p.column(2).u64_slice().is_none());
+        assert!(p.column(0).str_slice().is_none());
+        assert!(p.column(0).bytes_slice().is_none());
+        let b = ColumnData::Bytes(vec![vec![1u8], vec![2, 3]]);
+        assert_eq!(b.bytes_slice().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn validate_layout_accepts_well_formed_tables() {
+        assert!(sample_table(100, 3).validate_layout().is_ok());
+        let empty = Table::from_columns(
+            Schema::new([("x".to_string(), ColumnType::UInt64)]),
+            vec![ColumnData::UInt64(vec![])],
+            4,
+        );
+        assert!(empty.validate_layout().is_ok());
+    }
+
+    #[test]
+    fn validate_layout_rejects_corrupt_partitions() {
+        // Mistyped column data (fields are public, so storage layers and
+        // tests can build this shape).
+        let mut t = sample_table(10, 2);
+        let n = t.partitions[0].num_rows();
+        t.partitions[0].columns[1] = ColumnData::Utf8(vec!["x".to_string(); n]);
+        assert!(matches!(
+            t.validate_layout(),
+            Err(SeabedError::Schema(SchemaError::CorruptPartition { partition: 0, .. }))
+        ));
+        // Short column.
+        let mut t = sample_table(10, 2);
+        t.partitions[1].columns[1] = ColumnData::UInt64(vec![7]);
+        assert!(matches!(
+            t.validate_layout(),
+            Err(SeabedError::Schema(SchemaError::CorruptPartition { partition: 1, .. }))
+        ));
+        // Missing column.
+        let mut t = sample_table(10, 2);
+        t.partitions[0].columns.pop();
+        assert!(matches!(
+            t.validate_layout(),
+            Err(SeabedError::Schema(SchemaError::CorruptPartition { partition: 0, .. }))
+        ));
     }
 
     #[test]

@@ -79,6 +79,16 @@ pub enum SchemaError {
         /// What the schema actually holds.
         actual: String,
     },
+    /// A partition's physical layout contradicts the table schema (missing,
+    /// mistyped or short column data). Scans validate the layout up front and
+    /// report this instead of silently mis-reading cells (e.g. grouping every
+    /// row of a corrupt partition under key 0).
+    CorruptPartition {
+        /// Index of the offending partition.
+        partition: usize,
+        /// What was inconsistent.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SchemaError {
@@ -92,6 +102,9 @@ impl fmt::Display for SchemaError {
                 actual,
             } => {
                 write!(f, "column {column} is {actual}, expected {expected}")
+            }
+            SchemaError::CorruptPartition { partition, detail } => {
+                write!(f, "partition {partition} does not match the schema: {detail}")
             }
         }
     }
@@ -213,6 +226,14 @@ mod tests {
         assert_eq!(
             SeabedError::unknown_physical_column("m__ashe").to_string(),
             "schema: unknown physical column: m__ashe"
+        );
+        let e = SeabedError::from(SchemaError::CorruptPartition {
+            partition: 3,
+            detail: "column g is Utf8, schema says UInt64".to_string(),
+        });
+        assert_eq!(
+            e.to_string(),
+            "schema: partition 3 does not match the schema: column g is Utf8, schema says UInt64"
         );
     }
 

@@ -1,0 +1,230 @@
+//! Property tests for the vectorized filter kernels.
+//!
+//! For every [`PhysicalFilter`] variant, the kernel
+//! ([`PhysicalFilter::refine`]) applied to a full selection must produce
+//! exactly the set of rows where the scalar predicate
+//! ([`PhysicalFilter::matches`]) returns true — over random columns, random
+//! operators and literals, empty partitions, and the all-match / none-match
+//! edges. Refining an already-narrowed selection must behave as set
+//! intersection.
+
+use proptest::prelude::*;
+use seabed_core::PhysicalFilter;
+use seabed_crypto::OreScheme;
+use seabed_engine::{ColumnData, ColumnType, Partition, Schema, SelectionVector, Table};
+use seabed_query::CompareOp;
+use std::sync::OnceLock;
+
+const ORE_DOMAIN: u64 = 16;
+
+fn ore_symbols() -> &'static Vec<Vec<u8>> {
+    static SYMS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    SYMS.get_or_init(|| {
+        let scheme = OreScheme::new(&[9u8; 16]);
+        (0..ORE_DOMAIN).map(|v| scheme.encrypt(v).symbols).collect()
+    })
+}
+
+fn op_of(code: u8) -> CompareOp {
+    match code % 6 {
+        0 => CompareOp::Eq,
+        1 => CompareOp::NotEq,
+        2 => CompareOp::Lt,
+        3 => CompareOp::LtEq,
+        4 => CompareOp::Gt,
+        _ => CompareOp::GtEq,
+    }
+}
+
+/// Builds a one-partition table holding every column type the filters read.
+fn partition(u64s: Vec<u64>, texts: Vec<String>, bytes: Vec<Vec<u8>>) -> Partition {
+    let schema = Schema::new([
+        ("u".to_string(), ColumnType::UInt64),
+        ("s".to_string(), ColumnType::Utf8),
+        ("b".to_string(), ColumnType::Bytes),
+    ]);
+    let table = Table::from_columns(
+        schema,
+        vec![
+            ColumnData::UInt64(u64s),
+            ColumnData::Utf8(texts),
+            ColumnData::Bytes(bytes),
+        ],
+        1,
+    );
+    table.partitions.into_iter().next().expect("one partition")
+}
+
+/// The property: the kernel's surviving rows equal the scalar-match set.
+fn assert_kernel_matches_scalar(filter: &PhysicalFilter, p: &Partition) -> Result<(), TestCaseError> {
+    let n = p.num_rows();
+    let mut sel = SelectionVector::all(n);
+    if let Err(e) = filter.refine(p, &mut sel) {
+        return Err(TestCaseError::Fail(format!("kernel failed on valid partition: {e}")));
+    }
+    let expected: Vec<u32> = (0..n)
+        .filter(|&row| filter.matches(p, row))
+        .map(|row| row as u32)
+        .collect();
+    prop_assert_eq!(sel.rows(), expected.as_slice());
+
+    // Refinement from a narrowed selection is intersection: keep every third
+    // row, then refine.
+    let narrowed: Vec<u32> = (0..n as u32).step_by(3).collect();
+    let mut sel = SelectionVector::from_sorted_rows(narrowed.clone());
+    if let Err(e) = filter.refine(p, &mut sel) {
+        return Err(TestCaseError::Fail(format!("kernel failed on valid partition: {e}")));
+    }
+    let expected: Vec<u32> = narrowed
+        .into_iter()
+        .filter(|&row| filter.matches(p, row as usize))
+        .collect();
+    prop_assert_eq!(sel.rows(), expected.as_slice());
+    Ok(())
+}
+
+fn texts_of(seeds: &[u64]) -> Vec<String> {
+    seeds.iter().map(|v| format!("t{}", v % 5)).collect()
+}
+
+fn ore_cells_of(seeds: &[u64]) -> Vec<Vec<u8>> {
+    seeds
+        .iter()
+        .map(|v| ore_symbols()[(v % ORE_DOMAIN) as usize].clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plain_u64_kernel_equals_scalar_matches(
+        cells in proptest::collection::vec(0u64..32, 0..300),
+        opc in 0u8..6,
+        value in 0u64..34,
+    ) {
+        let n = cells.len();
+        let p = partition(cells, texts_of(&vec![0; n]), ore_cells_of(&vec![0; n]));
+        let filter = PhysicalFilter::PlainU64 { column: 0, op: op_of(opc), value };
+        assert_kernel_matches_scalar(&filter, &p)?;
+    }
+
+    #[test]
+    fn det_tag_kernel_equals_scalar_matches(
+        cells in proptest::collection::vec(0u64..8, 0..300),
+        tag in 0u64..10,
+    ) {
+        let n = cells.len();
+        let p = partition(cells, texts_of(&vec![0; n]), ore_cells_of(&vec![0; n]));
+        let filter = PhysicalFilter::DetTag { column: 0, tag };
+        assert_kernel_matches_scalar(&filter, &p)?;
+    }
+
+    #[test]
+    fn plain_text_kernel_equals_scalar_matches(
+        seeds in proptest::collection::vec(any::<u64>(), 0..300),
+        pick in 0u64..7,
+    ) {
+        let n = seeds.len();
+        // pick 5/6 never occur in the column: the none-match edge.
+        let value = format!("t{pick}");
+        let p = partition(vec![0; n], texts_of(&seeds), ore_cells_of(&vec![0; n]));
+        let filter = PhysicalFilter::PlainText { column: 1, value };
+        assert_kernel_matches_scalar(&filter, &p)?;
+    }
+
+    #[test]
+    fn ope_kernel_equals_scalar_matches(
+        seeds in proptest::collection::vec(any::<u64>(), 0..200),
+        opc in 0u8..6,
+        literal in 0u64..16,
+    ) {
+        let n = seeds.len();
+        let p = partition(vec![0; n], texts_of(&vec![0; n]), ore_cells_of(&seeds));
+        let filter = PhysicalFilter::Ope {
+            column: 2,
+            op: op_of(opc),
+            ciphertext: seabed_crypto::OreCiphertext { symbols: ore_symbols()[literal as usize].clone() },
+        };
+        assert_kernel_matches_scalar(&filter, &p)?;
+    }
+}
+
+#[test]
+fn kernels_handle_empty_partitions() {
+    let p = partition(vec![], vec![], vec![]);
+    for filter in [
+        PhysicalFilter::PlainU64 {
+            column: 0,
+            op: CompareOp::Lt,
+            value: 5,
+        },
+        PhysicalFilter::DetTag { column: 0, tag: 5 },
+        PhysicalFilter::PlainText {
+            column: 1,
+            value: "x".to_string(),
+        },
+        PhysicalFilter::Ope {
+            column: 2,
+            op: CompareOp::GtEq,
+            ciphertext: seabed_crypto::OreCiphertext {
+                symbols: ore_symbols()[0].clone(),
+            },
+        },
+    ] {
+        let mut sel = SelectionVector::all(0);
+        filter.refine(&p, &mut sel).expect("empty partition is valid");
+        assert!(sel.is_empty());
+    }
+}
+
+#[test]
+fn kernels_handle_all_match_and_none_match_edges() {
+    let n = 100usize;
+    let p = partition(
+        (0..n as u64).collect(),
+        texts_of(&vec![0; n]),
+        ore_cells_of(&(0..n as u64).collect::<Vec<_>>()),
+    );
+    // All match: every u64 cell is < 1000.
+    let all = PhysicalFilter::PlainU64 {
+        column: 0,
+        op: CompareOp::Lt,
+        value: 1000,
+    };
+    let mut sel = SelectionVector::all(n);
+    all.refine(&p, &mut sel).expect("valid");
+    assert_eq!(sel.len(), n);
+    // None match: no cell is > 1000.
+    let none = PhysicalFilter::PlainU64 {
+        column: 0,
+        op: CompareOp::Gt,
+        value: 1000,
+    };
+    let mut sel = SelectionVector::all(n);
+    none.refine(&p, &mut sel).expect("valid");
+    assert!(sel.is_empty());
+    // Text that no row holds.
+    let none_text = PhysicalFilter::PlainText {
+        column: 1,
+        value: "absent".to_string(),
+    };
+    let mut sel = SelectionVector::all(n);
+    none_text.refine(&p, &mut sel).expect("valid");
+    assert!(sel.is_empty());
+}
+
+#[test]
+fn kernel_on_mistyped_column_is_an_error() {
+    let p = partition(vec![1, 2, 3], texts_of(&[0, 0, 0]), ore_cells_of(&[0, 0, 0]));
+    // u64 filter pointed at the Utf8 column.
+    let filter = PhysicalFilter::PlainU64 {
+        column: 1,
+        op: CompareOp::Eq,
+        value: 1,
+    };
+    let mut sel = SelectionVector::all(3);
+    assert!(filter.refine(&p, &mut sel).is_err());
+    // Scalar path deselects instead (types are validated before any scan).
+    assert!(!filter.matches(&p, 0));
+}
