@@ -25,7 +25,7 @@ fn main() {
     let scale = if smoke { Scale::smoke() } else { Scale::default() };
     // "fig8" runs both halves; the emitted JSON names "fig8ab"/"fig8c" are
     // also accepted so a file name seen in bench_results/ can be replayed.
-    const EXPERIMENTS: [&str; 17] = [
+    const EXPERIMENTS: [&str; 18] = [
         "table1",
         "table2",
         "table3",
@@ -43,6 +43,7 @@ fn main() {
         "fig10b",
         "scan_throughput",
         "groupby_card",
+        "net_qps",
     ];
     let mut requested: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if requested.is_empty() {
@@ -195,6 +196,13 @@ fn main() {
             "groupby_card",
             "Group-by cardinality sweep: scalar vs vectorized",
             &exp_groupby_cardinality(&scale),
+        );
+    }
+    if want("net_qps") {
+        emit(
+            "net_qps",
+            "Service layer: QPS and latency vs concurrent TCP clients",
+            &exp_net_qps(&scale),
         );
     }
 }

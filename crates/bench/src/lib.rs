@@ -16,7 +16,7 @@
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use seabed_ashe::{AsheScheme, IdSet};
 use seabed_core::{
     row_selected, NoEncSystem, PaillierSystem, PhysicalFilter, PlainDataset, SeabedClient, SeabedServer,
@@ -1319,6 +1319,157 @@ fn mode_label(mode: ExecMode) -> &'static str {
         ExecMode::Scalar => "scalar",
         ExecMode::Vectorized => "vectorized",
     }
+}
+
+// ---------------------------------------------------------------------------
+// Service-layer experiment: QPS / latency vs concurrent remote clients
+// ---------------------------------------------------------------------------
+
+/// Sweep of concurrent remote clients for the `net_qps` experiment.
+pub const NET_QPS_CLIENTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// QPS / latency sweep of the TCP service layer: a [`seabed_net::NetServer`]
+/// hosts an encrypted table, and 1..32 concurrent
+/// [`seabed_net::RemoteSeabedClient`]s hammer it with the Ad-Analytics-style
+/// hourly aggregation for a fixed window each. Every request runs the full
+/// pipeline — literal encryption, wire encode, TCP, server scan, wire decode,
+/// ASHE decryption — and the reported bytes are the frames that really
+/// crossed the loopback.
+///
+/// The hosted cluster runs with `local_threads = 1`, so a single request does
+/// not saturate the machine and the sweep measures *connection-level*
+/// parallelism: aggregate QPS should scale with the client count until the
+/// physical cores are busy. The trailing `netmodel *` rows apply the §6.6
+/// [`seabed_engine::NetworkModel`] presets to the measured mean response
+/// frame, unifying the modeled and the real network paths.
+pub fn exp_net_qps(scale: &Scale) -> Vec<Row> {
+    use seabed_net::{NetServer, RemoteSeabedClient, ServiceConfig};
+
+    let rows = scale.rows(50).max(5_000); // 50 k rows at the default scale
+    let mut rng = scale.rng();
+    let dataset = PlainDataset::new("svc")
+        .with_uint_column("hour", (0..rows as u64).map(|i| i % 24).collect())
+        .with_uint_column(
+            "measure00",
+            (0..rows).map(|_| rng.random_range(0..100_000u64)).collect(),
+        );
+    let sql = "SELECT hour, SUM(measure00) FROM svc WHERE hour >= 6 AND hour < 14 GROUP BY hour";
+    let specs = vec![ColumnSpec::public("hour"), ColumnSpec::sensitive("measure00")];
+    let samples = vec![parse(sql).expect("bench query must parse")];
+    let mut client = SeabedClient::create_plan(b"net-qps", &specs, &samples, &PlannerConfig::default());
+    let encrypted = client.encrypt_dataset(&dataset, scale.partitions, &mut rng);
+    let server = SeabedServer::new(
+        encrypted.table.clone(),
+        // One local thread per request: concurrency comes from connections.
+        Cluster::new(ClusterConfig::with_workers(100).local_threads(1)),
+    );
+    let max_clients = NET_QPS_CLIENTS.iter().copied().max().unwrap_or(1);
+    let net = NetServer::serve(
+        server,
+        "127.0.0.1:0",
+        ServiceConfig::default().worker_threads(max_clients + 1),
+    )
+    .expect("bench service must start");
+    let addr = net.local_addr();
+
+    let window = Duration::from_millis(400);
+    let mut out = Vec::new();
+    let mut total_requests = 0u64;
+    let mut total_response_bytes = 0u64;
+    for &clients in &NET_QPS_CLIENTS {
+        let mut all_latencies: Vec<Duration> = Vec::new();
+        let mut requests = 0u64;
+        let mut bytes_sent = 0u64;
+        let mut bytes_received = 0u64;
+        // Every client connects and warms up *before* the measurement window
+        // opens (barrier), so connect/handshake cost — which grows with the
+        // client count — cannot deflate the QPS of the larger sweeps.
+        let barrier = std::sync::Barrier::new(clients);
+        let mut elapsed = 0f64;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let proxy = client.clone();
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        let remote = RemoteSeabedClient::connect(addr, proxy).expect("bench client must connect");
+                        // Warm up the connection (schema handshake happened in
+                        // connect; one query warms the server-side caches).
+                        remote.query(sql).expect("warm-up query must succeed");
+                        let baseline = remote.wire_stats();
+                        barrier.wait();
+                        let started = Instant::now();
+                        let deadline = started + window;
+                        let mut latencies = Vec::new();
+                        while Instant::now() < deadline {
+                            let t0 = Instant::now();
+                            remote.query(sql).expect("bench query must succeed");
+                            latencies.push(t0.elapsed());
+                        }
+                        let thread_elapsed = started.elapsed();
+                        let stats = remote.wire_stats();
+                        (
+                            latencies,
+                            stats.bytes_sent - baseline.bytes_sent,
+                            stats.bytes_received - baseline.bytes_received,
+                            thread_elapsed,
+                        )
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (latencies, sent, received, thread_elapsed) = handle.join().expect("bench client thread panicked");
+                requests += latencies.len() as u64;
+                bytes_sent += sent;
+                bytes_received += received;
+                elapsed = elapsed.max(thread_elapsed.as_secs_f64());
+                all_latencies.extend(latencies);
+            }
+        });
+        total_requests += requests;
+        total_response_bytes += bytes_received;
+        all_latencies.sort_unstable();
+        let percentile = |p: f64| -> f64 {
+            if all_latencies.is_empty() {
+                return 0.0;
+            }
+            let idx = ((all_latencies.len() - 1) as f64 * p).round() as usize;
+            all_latencies[idx].as_secs_f64() * 1e3
+        };
+        out.push(
+            Row::new(format!("clients={clients}"))
+                .with("qps", requests as f64 / elapsed.max(1e-9))
+                .with("p50_ms", percentile(0.50))
+                .with("p99_ms", percentile(0.99))
+                .with("requests", requests as f64)
+                .with("req_bytes", bytes_sent as f64 / (requests as f64).max(1.0))
+                .with("resp_bytes", bytes_received as f64 / (requests as f64).max(1.0)),
+        );
+    }
+
+    // §6.6 cross-check: what would shipping the mean *measured* response
+    // frame cost over the paper's three links?
+    let mean_response_bytes = total_response_bytes as f64 / (total_requests as f64).max(1.0);
+    for (label, model) in [
+        ("netmodel datacenter", seabed_engine::NetworkModel::datacenter()),
+        ("netmodel wan_100mbps", seabed_engine::NetworkModel::wan_100mbps()),
+        ("netmodel wan_10mbps", seabed_engine::NetworkModel::wan_10mbps()),
+    ] {
+        out.push(Row::new(label).with("resp_bytes", mean_response_bytes).with(
+            "predicted_ms",
+            model.transfer_time(mean_response_bytes as usize).as_secs_f64() * 1e3,
+        ));
+    }
+
+    let stats = net.shutdown();
+    out.push(
+        Row::new("service totals")
+            .with("connections", stats.connections as f64)
+            .with("requests_served", stats.requests_served as f64)
+            .with("bytes_in", stats.bytes_in as f64)
+            .with("bytes_out", stats.bytes_out as f64),
+    );
+    out
 }
 
 /// Helper converting latency points into printable rows.

@@ -18,7 +18,7 @@ use crate::keys::KeyStore;
 use crate::server::{EncryptedAggregate, PhysicalFilter, SeabedServer, ServerResponse};
 use seabed_ashe::{AsheCiphertext, AsheScheme, IdSet};
 use seabed_crypto::{DetScheme, OreScheme};
-use seabed_engine::{ExecStats, NetworkModel};
+use seabed_engine::{ExecStats, NetworkModel, Schema};
 use seabed_error::SeabedError;
 use seabed_query::planner::{plan_schema, ColumnSpec, PlannerConfig, SchemaPlan};
 use seabed_query::{
@@ -94,6 +94,12 @@ pub struct QueryResult {
 }
 
 /// The Seabed client proxy.
+///
+/// `Clone` is cheap relative to the data it manages (keys, plan, DET
+/// dictionaries) and lets concurrent workloads — e.g. the `seabed-net` bench
+/// sweeping many simultaneous remote clients — hand each connection its own
+/// proxy without re-planning.
+#[derive(Clone)]
 pub struct SeabedClient {
     keys: KeyStore,
     plan: SchemaPlan,
@@ -159,23 +165,36 @@ impl SeabedClient {
         server: &SeabedServer,
         sql: &str,
     ) -> Result<(Query, TranslatedQuery, Vec<PhysicalFilter>), SeabedError> {
+        self.prepare_with_schema(&server.table().schema, sql)
+    }
+
+    /// Like [`SeabedClient::prepare`], but resolves filter columns against a
+    /// bare [`Schema`] instead of an in-process server. This is the entry
+    /// point remote deployments use: `seabed_net::RemoteSeabedClient` fetches
+    /// the schema over the wire at connect time and prepares every query
+    /// against it, so the proxy never needs a reference to the server object.
+    pub fn prepare_with_schema(
+        &self,
+        schema: &Schema,
+        sql: &str,
+    ) -> Result<(Query, TranslatedQuery, Vec<PhysicalFilter>), SeabedError> {
         let query = parse(sql)?;
         let translated = translate(&query, &self.plan, &self.translate_options)?;
-        let filters = self.build_filters(server, &translated)?;
+        let filters = self.build_filters(schema, &translated)?;
         Ok((query, translated, filters))
     }
 
-    fn build_filters(
-        &self,
-        server: &SeabedServer,
-        translated: &TranslatedQuery,
-    ) -> Result<Vec<PhysicalFilter>, SeabedError> {
-        let table = server.table();
+    fn build_filters(&self, schema: &Schema, translated: &TranslatedQuery) -> Result<Vec<PhysicalFilter>, SeabedError> {
+        let require_column = |name: &str| -> Result<usize, SeabedError> {
+            schema
+                .index_of(name)
+                .ok_or_else(|| SeabedError::unknown_physical_column(name))
+        };
         let mut out = Vec::with_capacity(translated.filters.len());
         for filter in &translated.filters {
             match filter {
                 ServerFilter::Plain(pred) => {
-                    let column = table.require_column(&pred.column)?;
+                    let column = require_column(&pred.column)?;
                     match &pred.value {
                         seabed_query::Literal::Integer(v) => out.push(PhysicalFilter::PlainU64 {
                             column,
@@ -189,7 +208,7 @@ impl SeabedClient {
                     }
                 }
                 ServerFilter::DetEquals { column, value } => {
-                    let idx = table.require_column(column)?;
+                    let idx = require_column(column)?;
                     let logical = column.strip_suffix("__det").unwrap_or(column);
                     let det = DetScheme::new(&self.keys.det_key(logical));
                     out.push(PhysicalFilter::DetTag {
@@ -198,7 +217,7 @@ impl SeabedClient {
                     });
                 }
                 ServerFilter::OpeCompare { column, op, value } => {
-                    let idx = table.require_column(column)?;
+                    let idx = require_column(column)?;
                     let logical = column.strip_suffix("__ope").unwrap_or(column);
                     let ore = OreScheme::new(&self.keys.ope_key(logical));
                     out.push(PhysicalFilter::Ope {
@@ -222,9 +241,7 @@ impl SeabedClient {
     /// [`SeabedError::Translate`], and a server response that does not match
     /// the plan as [`SeabedError::Engine`] / [`SeabedError::Encoding`].
     pub fn query(&self, server: &SeabedServer, sql: &str) -> Result<QueryResult, SeabedError> {
-        let query = parse(sql)?;
-        let translated = translate(&query, &self.plan, &self.translate_options)?;
-        let filters = self.build_filters(server, &translated)?;
+        let (query, translated, filters) = self.prepare(server, sql)?;
         let response = server.execute(&translated, &filters)?;
         self.decrypt_response(&query, &translated, response)
     }

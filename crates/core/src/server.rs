@@ -48,7 +48,7 @@ use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// A filter with its literal already encrypted by the proxy.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PhysicalFilter {
     /// Comparison against a plaintext numeric column.
     PlainU64 {
@@ -308,7 +308,7 @@ pub struct GroupResult {
 }
 
 /// The server's response to one query.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServerResponse {
     /// Result groups.
     pub groups: Vec<GroupResult>,

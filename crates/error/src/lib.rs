@@ -133,6 +133,15 @@ pub enum SeabedError {
     Engine(String),
     /// A schema-level failure: unknown or wrongly-typed column.
     Schema(SchemaError),
+    /// A network/transport failure on the client↔server link (connect,
+    /// timeout, unexpected disconnect, I/O error on the socket).
+    Net(String),
+    /// A wire-protocol failure: a frame or payload received over the network
+    /// could not be decoded (bad magic, unsupported version, forged length
+    /// prefix, truncated or malformed payload). Distinct from
+    /// [`SeabedError::Encoding`], which covers application-level payloads
+    /// such as ID lists.
+    Wire(String),
 }
 
 impl fmt::Display for SeabedError {
@@ -145,6 +154,8 @@ impl fmt::Display for SeabedError {
             SeabedError::Encoding(msg) => write!(f, "encoding: {msg}"),
             SeabedError::Engine(msg) => write!(f, "engine: {msg}"),
             SeabedError::Schema(e) => write!(f, "schema: {e}"),
+            SeabedError::Net(msg) => write!(f, "net: {msg}"),
+            SeabedError::Wire(msg) => write!(f, "wire: {msg}"),
         }
     }
 }
@@ -202,6 +213,16 @@ impl SeabedError {
     pub fn unknown_physical_column(name: impl Into<String>) -> SeabedError {
         SeabedError::Schema(SchemaError::UnknownPhysicalColumn(name.into()))
     }
+
+    /// Shorthand constructor for [`SeabedError::Net`].
+    pub fn net(msg: impl Into<String>) -> SeabedError {
+        SeabedError::Net(msg.into())
+    }
+
+    /// Shorthand constructor for [`SeabedError::Wire`].
+    pub fn wire(msg: impl Into<String>) -> SeabedError {
+        SeabedError::Wire(msg.into())
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +256,11 @@ mod tests {
             e.to_string(),
             "schema: partition 3 does not match the schema: column g is Utf8, schema says UInt64"
         );
+        assert_eq!(
+            SeabedError::net("connection reset").to_string(),
+            "net: connection reset"
+        );
+        assert_eq!(SeabedError::wire("bad magic").to_string(), "wire: bad magic");
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! The remote Seabed client proxy: the in-process [`SeabedClient`] surface —
+//! `prepare` / `query` / `decrypt_response` — spoken over the wire protocol,
+//! so existing workloads run unchanged against a socket.
+//!
+//! On connect, the client performs the schema handshake (one
+//! `SchemaRequest`/`Schema` round trip) and thereafter prepares every query
+//! against that schema — exactly what the in-process path does with
+//! `server.table().schema`, minus the shared address space. All cryptography
+//! stays inside the wrapped [`SeabedClient`]: literals are encrypted before a
+//! request frame is built, responses are decrypted after the frame is
+//! decoded, and the server side of the socket only ever sees ciphertexts.
+//!
+//! The connection counts the bytes it really puts on / takes off the wire
+//! ([`RemoteSeabedClient::wire_stats`]), and the per-query network timing is
+//! the [`seabed_engine::NetworkModel`] prediction applied to those *measured*
+//! response bytes — the point where the modeled and the real network paths
+//! meet (§6.6).
+
+use crate::wire::{self, Frame, HEADER_LEN};
+use seabed_core::{PhysicalFilter, QueryResult, SeabedClient, ServerResponse};
+use seabed_engine::Schema;
+use seabed_error::SeabedError;
+use seabed_query::{Query, TranslatedQuery};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Byte accounting of one client connection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Requests sent (including the schema handshake).
+    pub requests: u64,
+    /// Total bytes written to the socket.
+    pub bytes_sent: u64,
+    /// Total bytes read from the socket.
+    pub bytes_received: u64,
+    /// Size of the most recent request frame (header + payload).
+    pub last_request_bytes: u64,
+    /// Size of the most recent response frame (header + payload).
+    pub last_response_bytes: u64,
+}
+
+struct Connection {
+    stream: TcpStream,
+    stats: WireStats,
+    /// Set when a round trip failed partway: the stream may hold a stale or
+    /// half-read frame, so reusing it could silently pair a new request with
+    /// an old response. Every further round trip is refused until the caller
+    /// reconnects.
+    poisoned: bool,
+}
+
+impl Connection {
+    /// One request/response round trip; returns the decoded reply and the
+    /// size of the reply frame on the wire. Any I/O failure is a
+    /// [`SeabedError::Net`], any framing failure a [`SeabedError::Wire`] —
+    /// and either one poisons the connection (the stream can no longer be
+    /// assumed frame-aligned, nor empty of stale responses).
+    fn round_trip(&mut self, frame: &Frame, max_frame_len: u32) -> Result<(Frame, u64), SeabedError> {
+        if self.poisoned {
+            return Err(SeabedError::net(
+                "connection poisoned by an earlier failure; reconnect to continue",
+            ));
+        }
+        match self.try_round_trip(frame, max_frame_len) {
+            Ok(reply) => Ok(reply),
+            Err(err) => {
+                self.poisoned = true;
+                Err(err)
+            }
+        }
+    }
+
+    fn try_round_trip(&mut self, frame: &Frame, max_frame_len: u32) -> Result<(Frame, u64), SeabedError> {
+        let bytes = wire::encode_frame(frame, max_frame_len)?;
+        self.stream
+            .write_all(&bytes)
+            .and_then(|_| self.stream.flush())
+            .map_err(|e| SeabedError::net(format!("send: {e}")))?;
+        self.stats.requests += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        self.stats.last_request_bytes = bytes.len() as u64;
+
+        let mut header_bytes = [0u8; HEADER_LEN];
+        read_exact(&mut self.stream, &mut header_bytes)?;
+        let header = wire::decode_header(&header_bytes, max_frame_len)?;
+        let mut payload = vec![0u8; header.payload_len as usize];
+        read_exact(&mut self.stream, &mut payload)?;
+        let frame_bytes = (HEADER_LEN + payload.len()) as u64;
+        self.stats.bytes_received += frame_bytes;
+        self.stats.last_response_bytes = frame_bytes;
+        Ok((wire::decode_payload(header.kind, &payload)?, frame_bytes))
+    }
+}
+
+fn read_exact(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), SeabedError> {
+    stream.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            SeabedError::net("server closed the connection")
+        } else {
+            SeabedError::net(format!("receive: {e}"))
+        }
+    })
+}
+
+/// A Seabed client proxy talking to a remote [`seabed_core::SeabedServer`]
+/// over TCP.
+pub struct RemoteSeabedClient {
+    inner: SeabedClient,
+    schema: Schema,
+    peer: SocketAddr,
+    max_frame_len: u32,
+    conn: Mutex<Connection>,
+}
+
+impl RemoteSeabedClient {
+    /// Connects to a Seabed service, performs the schema handshake, and wraps
+    /// `client` (which holds the keys, plan and DET dictionaries) into a
+    /// remote proxy with the same query surface.
+    pub fn connect(addr: impl ToSocketAddrs, client: SeabedClient) -> Result<RemoteSeabedClient, SeabedError> {
+        RemoteSeabedClient::connect_with(addr, client, wire::DEFAULT_MAX_FRAME_LEN, Duration::from_secs(30))
+    }
+
+    /// [`RemoteSeabedClient::connect`] with an explicit frame limit and
+    /// socket read timeout.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        client: SeabedClient,
+        max_frame_len: u32,
+        read_timeout: Duration,
+    ) -> Result<RemoteSeabedClient, SeabedError> {
+        let peer = addr
+            .to_socket_addrs()
+            .map_err(|e| SeabedError::net(format!("resolve: {e}")))?
+            .next()
+            .ok_or_else(|| SeabedError::net("address resolved to nothing"))?;
+        let stream = TcpStream::connect(peer).map_err(|e| SeabedError::net(format!("connect {peer}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(read_timeout))
+            .map_err(|e| SeabedError::net(format!("set_read_timeout: {e}")))?;
+        let mut conn = Connection {
+            stream,
+            stats: WireStats::default(),
+            poisoned: false,
+        };
+        let schema = match conn.round_trip(&Frame::SchemaRequest, max_frame_len)?.0 {
+            Frame::Schema(schema) => schema,
+            Frame::Error(err) => return Err(err),
+            other => {
+                return Err(SeabedError::wire(format!(
+                    "expected a schema frame during the handshake, got {:?}",
+                    other.kind()
+                )))
+            }
+        };
+        Ok(RemoteSeabedClient {
+            inner: client,
+            schema,
+            peer,
+            max_frame_len,
+            conn: Mutex::new(conn),
+        })
+    }
+
+    /// The wrapped in-process proxy (keys, plan, network model).
+    pub fn client(&self) -> &SeabedClient {
+        &self.inner
+    }
+
+    /// The server's table schema as fetched during the handshake.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The address of the connected service.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// A snapshot of the connection's byte accounting.
+    pub fn wire_stats(&self) -> WireStats {
+        self.conn.lock().unwrap_or_else(|p| p.into_inner()).stats
+    }
+
+    /// Translates a SQL string and encrypts its literals against the remote
+    /// schema — the wire twin of [`SeabedClient::prepare`].
+    pub fn prepare(&self, sql: &str) -> Result<(Query, TranslatedQuery, Vec<PhysicalFilter>), SeabedError> {
+        self.inner.prepare_with_schema(&self.schema, sql)
+    }
+
+    /// Ships a prepared query over the wire and returns the (still encrypted)
+    /// server response. A typed error frame from the server is surfaced as
+    /// the [`SeabedError`] it carries.
+    pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
+        Ok(self.execute_measured(query, filters)?.0)
+    }
+
+    /// [`RemoteSeabedClient::execute`] plus the measured size of the response
+    /// frame, captured inside the connection lock so concurrent queries on a
+    /// shared client cannot attribute each other's frames.
+    fn execute_measured(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+    ) -> Result<(ServerResponse, u64), SeabedError> {
+        let request = Frame::Request {
+            query: query.clone(),
+            filters: filters.to_vec(),
+        };
+        let mut conn = self.conn.lock().unwrap_or_else(|p| p.into_inner());
+        match conn.round_trip(&request, self.max_frame_len)? {
+            (Frame::Response(response), frame_bytes) => Ok((response, frame_bytes)),
+            (Frame::Error(err), _) => Err(err),
+            (other, _) => Err(SeabedError::wire(format!(
+                "expected a response frame, got {:?}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Decrypts a server response — the wire twin of
+    /// [`SeabedClient::decrypt_response`].
+    pub fn decrypt_response(
+        &self,
+        query: &Query,
+        translated: &TranslatedQuery,
+        response: ServerResponse,
+    ) -> Result<QueryResult, SeabedError> {
+        self.inner.decrypt_response(query, translated, response)
+    }
+
+    /// Runs a SQL query end-to-end over the socket: translate and encrypt
+    /// literals, execute remotely, decrypt and post-process. Results are
+    /// byte-identical to the in-process [`SeabedClient::query`] path; the
+    /// network component of the timings is the client's
+    /// [`seabed_engine::NetworkModel`] applied to the *measured* size of the
+    /// response frame that actually crossed the wire.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, SeabedError> {
+        let (query, translated, filters) = self.prepare(sql)?;
+        let (response, wire_response_bytes) = self.execute_measured(&translated, &filters)?;
+        let mut result = self.inner.decrypt_response(&query, &translated, response)?;
+        result.timings.network = self.inner.network.transfer_time(wire_response_bytes as usize);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A round trip that fails mid-stream poisons the connection: a retry
+    /// must not be allowed to pair a fresh request with a stale or partial
+    /// response left in the socket.
+    #[test]
+    fn failed_round_trip_poisons_the_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let fake_server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            // Read whatever the client sent, then answer with a valid header
+            // whose payload is garbage — a decode failure after a complete
+            // frame read.
+            let mut buf = [0u8; 256];
+            let _ = std::io::Read::read(&mut stream, &mut buf);
+            let mut reply = Vec::new();
+            reply.extend_from_slice(&wire::MAGIC);
+            reply.extend_from_slice(&wire::PROTOCOL_VERSION.to_le_bytes());
+            reply.push(2); // response kind
+            reply.extend_from_slice(&4u32.to_le_bytes());
+            reply.extend_from_slice(&[0xff, 0xff, 0xff, 0xff]);
+            std::io::Write::write_all(&mut stream, &reply).expect("reply");
+            // Keep the stream open so a (buggy) retry would not just see EOF.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+
+        let mut conn = Connection {
+            stream: TcpStream::connect(addr).expect("connect"),
+            stats: WireStats::default(),
+            poisoned: false,
+        };
+        conn.stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let first = conn.round_trip(&Frame::SchemaRequest, wire::DEFAULT_MAX_FRAME_LEN);
+        assert!(matches!(first, Err(SeabedError::Wire(_))), "{first:?}");
+        // The retry is refused up front instead of desynchronizing.
+        let second = conn.round_trip(&Frame::SchemaRequest, wire::DEFAULT_MAX_FRAME_LEN);
+        match second {
+            Err(SeabedError::Net(msg)) => assert!(msg.contains("poisoned"), "{msg}"),
+            other => panic!("expected a poisoned-connection error, got {other:?}"),
+        }
+        fake_server.join().expect("fake server");
+    }
+}

@@ -1,0 +1,36 @@
+//! # seabed-net
+//!
+//! The wire protocol and concurrent TCP service layer of the Seabed
+//! reproduction: the trusted-proxy ↔ untrusted-server boundary of Figure 5 as
+//! a real socket instead of an in-process call.
+//!
+//! The paper's deployment model always had this link — §6.6 even degrades it
+//! with `tc` to 100 Mbps and 10 Mbps to show that compressed ID lists keep
+//! the WAN penalty small. This crate makes the link concrete:
+//!
+//! * [`wire`] — a versioned, length-prefixed binary frame format for
+//!   requests (`TranslatedQuery` + encrypted filters), responses
+//!   (`ServerResponse`), typed errors and the schema handshake, with every
+//!   length prefix capped by the bytes actually remaining (forged-prefix
+//!   hardening);
+//! * [`server`] — [`NetServer`]: a `TcpListener` + worker-thread-pool
+//!   service hosting a [`seabed_core::SeabedServer`], with per-connection
+//!   framing, read/write timeouts, a max-frame-size limit, typed error
+//!   frames for malformed input, graceful shutdown, and per-connection /
+//!   aggregate byte accounting;
+//! * [`client`] — [`RemoteSeabedClient`]: the in-process
+//!   `prepare`/`query`/`decrypt_response` surface spoken over the socket, so
+//!   every existing workload runs unchanged against the service.
+//!
+//! Nothing about the trust model changes: only ciphertexts, deterministic
+//! tags and ORE symbols cross the wire, in both directions.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{RemoteSeabedClient, WireStats};
+pub use server::{ConnectionStats, NetServer, ServiceConfig, ServiceStats};
+pub use wire::{Frame, FrameKind, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};

@@ -1,0 +1,593 @@
+//! The concurrent TCP service hosting a [`SeabedServer`].
+//!
+//! An acceptor thread listens on a [`std::net::TcpListener`] and hands
+//! accepted connections to a fixed pool of worker threads over a channel; a
+//! worker owns its connection until the peer disconnects (size the pool to
+//! the expected number of simultaneous connections — queued connections wait
+//! for a free worker, they are never dropped). Each worker runs the framing
+//! loop of [`crate::wire`]:
+//!
+//! * request frames are executed against the shared [`SeabedServer`]; the
+//!   result (or the typed [`SeabedError`] the engine reported) goes back as
+//!   one frame;
+//! * malformed payloads, unknown frame kinds and protocol misuse are answered
+//!   with a typed error frame and the connection *survives* — only a
+//!   desynchronized stream (bad magic, wrong version, oversized length
+//!   prefix) or an I/O failure closes it, and even that closes one
+//!   connection, never the process;
+//! * reads poll in short ticks so a graceful [`NetServer::shutdown`] is
+//!   observed promptly, while a peer that stalls mid-frame for longer than
+//!   the configured read timeout is disconnected (slow-loris guard).
+//!
+//! The service keeps aggregate counters (connections, requests, error
+//! frames, bytes in/out) and a per-connection log, so benches and tests can
+//! account for every byte that really crossed the wire — the measured
+//! counterpart of [`seabed_engine::NetworkModel`]'s predictions.
+
+use crate::wire::{self, Frame, FrameKind, HEADER_LEN};
+use seabed_core::SeabedServer;
+use seabed_error::SeabedError;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the TCP service.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of connection-handling worker threads. A worker owns its
+    /// connection until the peer disconnects, so this bounds the number of
+    /// *simultaneously served* connections; further accepted connections
+    /// queue until a worker frees up.
+    pub worker_threads: usize,
+    /// How long a peer may stall in the middle of a frame before the
+    /// connection is closed. Idle connections (no frame started) are not
+    /// subject to this timeout.
+    pub read_timeout: Duration,
+    /// Socket write timeout for response frames.
+    pub write_timeout: Duration,
+    /// Upper bound on a frame payload; larger length prefixes are rejected
+    /// before any allocation.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            worker_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Returns the configuration with the worker count replaced.
+    pub fn worker_threads(mut self, workers: usize) -> ServiceConfig {
+        self.worker_threads = workers.max(1);
+        self
+    }
+
+    /// Returns the configuration with the frame limit replaced.
+    pub fn max_frame_len(mut self, limit: u32) -> ServiceConfig {
+        self.max_frame_len = limit;
+        self
+    }
+}
+
+/// Aggregate service counters (monotonic over the server's lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request frames answered with a response frame.
+    pub requests_served: u64,
+    /// Error frames sent (malformed input, failed queries, protocol misuse).
+    pub error_frames: u64,
+    /// Bytes read off all sockets.
+    pub bytes_in: u64,
+    /// Bytes written to all sockets.
+    pub bytes_out: u64,
+}
+
+/// Final accounting of one closed connection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Connection sequence number (order of acceptance).
+    pub id: u64,
+    /// Request frames answered with a response frame.
+    pub requests_served: u64,
+    /// Error frames sent on this connection.
+    pub error_frames: u64,
+    /// Bytes read from this peer.
+    pub bytes_in: u64,
+    /// Bytes written to this peer.
+    pub bytes_out: u64,
+}
+
+#[derive(Default)]
+struct SharedStats {
+    connections: AtomicU64,
+    requests_served: AtomicU64,
+    error_frames: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    closed: Mutex<Vec<ConnectionStats>>,
+}
+
+/// Poll tick for blocking reads: the granularity at which idle workers notice
+/// a shutdown request.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// A running Seabed TCP service.
+///
+/// Created by [`NetServer::serve`]; stopped by [`NetServer::shutdown`] (or on
+/// drop, which performs the same graceful stop).
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the acceptor
+    /// and worker pool, and starts serving `server` — which only ever sees
+    /// ciphertexts, so hosting it on a socket does not change the trust
+    /// boundary, it just makes it real.
+    pub fn serve(server: SeabedServer, addr: &str, config: ServiceConfig) -> Result<NetServer, SeabedError> {
+        let listener = TcpListener::bind(addr).map_err(|e| SeabedError::net(format!("bind {addr}: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| SeabedError::net(format!("local_addr: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(SharedStats::default());
+        let server = Arc::new(server);
+        let (tx, rx) = mpsc::channel::<(u64, TcpStream)>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(config.worker_threads);
+        for _ in 0..config.worker_threads.max(1) {
+            let rx = Arc::clone(&rx);
+            let server = Arc::clone(&server);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
+            workers.push(std::thread::spawn(move || loop {
+                // Holding the lock only for the recv keeps the pool honest:
+                // one queued connection wakes exactly one worker.
+                let conn = {
+                    let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                    guard.recv()
+                };
+                match conn {
+                    Ok((id, stream)) => handle_connection(id, stream, &server, &stats, &shutdown, &config),
+                    Err(_) => break, // acceptor gone: service is shutting down
+                }
+            }));
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            // The pre-increment value is the connection's
+                            // sequence number; it travels with the stream so
+                            // the handling worker cannot race the counter.
+                            let id = stats.connections.fetch_add(1, Ordering::Relaxed);
+                            if tx.send((id, stream)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            // Transient accept errors (e.g. aborted handshakes)
+                            // must not kill the service.
+                            continue;
+                        }
+                    }
+                }
+                // Dropping `tx` here closes the queue and releases the pool.
+            })
+        };
+
+        Ok(NetServer {
+            local_addr,
+            shutdown,
+            stats,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address the service is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            requests_served: self.stats.requests_served.load(Ordering::Relaxed),
+            error_frames: self.stats.error_frames.load(Ordering::Relaxed),
+            bytes_in: self.stats.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.stats.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-connection accounting of every connection closed so far.
+    pub fn connection_log(&self) -> Vec<ConnectionStats> {
+        self.stats.closed.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Gracefully stops the service: stops accepting, lets every worker
+    /// finish its in-flight request, closes the connections, joins all
+    /// threads, and returns the final aggregate counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already stopped
+        }
+        // Unblock the acceptor's blocking accept() with a throwaway
+        // connection to ourselves; it observes the flag and exits.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Why the connection loop stopped.
+enum ConnExit {
+    /// Peer closed or an I/O / framing failure made the stream unusable.
+    Closed,
+    /// The service is shutting down.
+    Shutdown,
+}
+
+fn handle_connection(
+    id: u64,
+    stream: TcpStream,
+    server: &SeabedServer,
+    shared: &SharedStats,
+    shutdown: &Arc<AtomicBool>,
+    config: &ServiceConfig,
+) {
+    let mut conn = ConnectionStats {
+        id,
+        ..ConnectionStats::default()
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let mut stream = stream;
+    // Both exit reasons end the connection the same way; the distinction only
+    // matters inside the framing loop.
+    let (ConnExit::Closed | ConnExit::Shutdown) = serve_frames(&mut stream, server, shutdown, config, &mut conn);
+    shared
+        .requests_served
+        .fetch_add(conn.requests_served, Ordering::Relaxed);
+    shared.error_frames.fetch_add(conn.error_frames, Ordering::Relaxed);
+    shared.bytes_in.fetch_add(conn.bytes_in, Ordering::Relaxed);
+    shared.bytes_out.fetch_add(conn.bytes_out, Ordering::Relaxed);
+    shared.closed.lock().unwrap_or_else(|p| p.into_inner()).push(conn);
+}
+
+/// Serves frames until the connection must close or the service shuts down.
+fn serve_frames(
+    stream: &mut TcpStream,
+    server: &SeabedServer,
+    shutdown: &Arc<AtomicBool>,
+    config: &ServiceConfig,
+    conn: &mut ConnectionStats,
+) -> ConnExit {
+    loop {
+        // --- read the fixed header ------------------------------------------------
+        let mut header_bytes = [0u8; HEADER_LEN];
+        match read_exact_polled(stream, &mut header_bytes, shutdown, config.read_timeout, conn) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Eof | ReadOutcome::Failed => return ConnExit::Closed,
+            ReadOutcome::Shutdown => return ConnExit::Shutdown,
+        }
+        let header = match wire::decode_header(&header_bytes, config.max_frame_len) {
+            Ok(header) => header,
+            Err(err) => {
+                // Bad magic / version / oversized length: the stream cannot
+                // be trusted to be frame-aligned any more. Answer with a
+                // typed error, then close this connection (only this one).
+                let _ = send_frame(stream, &Frame::Error(err), config, conn);
+                return ConnExit::Closed;
+            }
+        };
+
+        // --- read the payload -----------------------------------------------------
+        let mut payload = vec![0u8; header.payload_len as usize];
+        match read_exact_polled(stream, &mut payload, shutdown, config.read_timeout, conn) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Eof | ReadOutcome::Failed => return ConnExit::Closed,
+            ReadOutcome::Shutdown => return ConnExit::Shutdown,
+        }
+
+        // --- decode and dispatch --------------------------------------------------
+        // The frame boundary is intact from here on, so every failure below
+        // is answered with a typed error frame and the connection survives.
+        let reply = match wire::decode_payload(header.kind, &payload) {
+            Err(err) => Frame::Error(err),
+            Ok(Frame::Request { query, filters }) => match server.execute(&query, &filters) {
+                Ok(response) => Frame::Response(response),
+                Err(err) => Frame::Error(err),
+            },
+            Ok(Frame::SchemaRequest) => Frame::Schema(server.table().schema.clone()),
+            Ok(other) => Frame::Error(SeabedError::wire(format!(
+                "unexpected {:?} frame from a client",
+                other.kind()
+            ))),
+        };
+        match send_frame(stream, &reply, config, conn) {
+            None => return ConnExit::Closed,
+            // Counted off the frame that actually went out: a response that
+            // outgrew the frame limit was substituted with an error frame and
+            // must not count as served.
+            Some(FrameKind::Response) => conn.requests_served += 1,
+            Some(_) => {}
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return ConnExit::Shutdown;
+        }
+    }
+}
+
+/// Encodes and writes one frame; counts bytes and error frames. Returns the
+/// kind of the frame that actually went out (an oversized response is
+/// substituted with a typed error frame), or `None` when the connection is no
+/// longer writable.
+fn send_frame(
+    stream: &mut TcpStream,
+    frame: &Frame,
+    config: &ServiceConfig,
+    conn: &mut ConnectionStats,
+) -> Option<FrameKind> {
+    let (bytes, kind) = match wire::encode_frame(frame, config.max_frame_len) {
+        Ok(bytes) => (bytes, frame.kind()),
+        Err(_) => {
+            // The response outgrew the frame limit; tell the client why with
+            // a (small) typed error instead of silently dropping the frame.
+            let err = Frame::Error(SeabedError::wire("response exceeds the connection's frame limit"));
+            (wire::encode_frame(&err, config.max_frame_len).ok()?, FrameKind::Error)
+        }
+    };
+    if kind == FrameKind::Error {
+        conn.error_frames += 1;
+    }
+    match stream.write_all(&bytes).and_then(|_| stream.flush()) {
+        Ok(()) => {
+            conn.bytes_out += bytes.len() as u64;
+            Some(kind)
+        }
+        Err(_) => None,
+    }
+}
+
+enum ReadOutcome {
+    Ok,
+    Eof,
+    Failed,
+    Shutdown,
+}
+
+/// Fills `buf` from the socket, polling in [`POLL_TICK`] slices so shutdown
+/// is noticed while idle. An idle connection (zero bytes of the next frame
+/// read) may wait forever; once a frame has started, a stall longer than
+/// `read_timeout` fails the read.
+fn read_exact_polled(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &Arc<AtomicBool>,
+    read_timeout: Duration,
+    conn: &mut ConnectionStats,
+) -> ReadOutcome {
+    let mut filled = 0usize;
+    let mut stalled_since: Option<Instant> = None;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::SeqCst) && filled == 0 {
+            return ReadOutcome::Shutdown;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadOutcome::Eof,
+            Ok(n) => {
+                filled += n;
+                conn.bytes_in += n as u64;
+                stalled_since = None;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if filled > 0 {
+                    let since = *stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= read_timeout {
+                        return ReadOutcome::Failed; // mid-frame stall: slow-loris guard
+                    }
+                } else if shutdown.load(Ordering::SeqCst) {
+                    return ReadOutcome::Shutdown;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    ReadOutcome::Ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_header, decode_payload, encode_frame, DEFAULT_MAX_FRAME_LEN};
+    use seabed_engine::{Cluster, ClusterConfig, ColumnData, ColumnType, Schema, Table};
+    use seabed_query::{ServerAggregate, SupportCategory, TranslatedQuery};
+
+    fn test_server() -> SeabedServer {
+        let schema = Schema::new([
+            ("flag".to_string(), ColumnType::UInt64),
+            ("m__ashe".to_string(), ColumnType::UInt64),
+        ]);
+        let table = Table::from_columns(
+            schema,
+            vec![
+                ColumnData::UInt64((0..100u64).map(|i| i % 2).collect()),
+                ColumnData::UInt64((0..100u64).map(|i| i + 1).collect()),
+            ],
+            4,
+        );
+        SeabedServer::new(table, Cluster::new(ClusterConfig::with_workers(4).local_threads(1)))
+    }
+
+    fn sum_query() -> TranslatedQuery {
+        TranslatedQuery {
+            base_table: "t".to_string(),
+            filters: vec![],
+            aggregates: vec![ServerAggregate::CountRows],
+            group_by: vec![],
+            group_inflation: 1,
+            client_post: vec![],
+            preserve_row_ids: true,
+            category: SupportCategory::ServerOnly,
+        }
+    }
+
+    fn round_trip(stream: &mut TcpStream, frame: &Frame) -> Frame {
+        let bytes = encode_frame(frame, DEFAULT_MAX_FRAME_LEN).expect("encode");
+        stream.write_all(&bytes).expect("send");
+        read_reply(stream)
+    }
+
+    fn read_reply(stream: &mut TcpStream) -> Frame {
+        let mut header_bytes = [0u8; HEADER_LEN];
+        stream.read_exact(&mut header_bytes).expect("header");
+        let header = decode_header(&header_bytes, DEFAULT_MAX_FRAME_LEN).expect("valid header");
+        let mut payload = vec![0u8; header.payload_len as usize];
+        stream.read_exact(&mut payload).expect("payload");
+        decode_payload(header.kind, &payload).expect("valid payload")
+    }
+
+    #[test]
+    fn serves_schema_requests_and_errors_on_one_connection() {
+        let net = NetServer::serve(test_server(), "127.0.0.1:0", ServiceConfig::default()).expect("serve");
+        let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        // Schema handshake.
+        let Frame::Schema(schema) = round_trip(&mut stream, &Frame::SchemaRequest) else {
+            panic!("expected a schema frame");
+        };
+        assert_eq!(schema.fields.len(), 2);
+
+        // A valid request.
+        let reply = round_trip(
+            &mut stream,
+            &Frame::Request {
+                query: sum_query(),
+                filters: vec![],
+            },
+        );
+        let Frame::Response(response) = reply else {
+            panic!("expected a response frame, got {reply:?}");
+        };
+        assert_eq!(
+            response.groups[0].aggregates[0],
+            seabed_core::EncryptedAggregate::Count { rows: 100 }
+        );
+
+        // A malformed request (unknown column): typed error, connection lives.
+        let mut bad = sum_query();
+        bad.aggregates = vec![ServerAggregate::AsheSum {
+            column: "missing".to_string(),
+        }];
+        let reply = round_trip(
+            &mut stream,
+            &Frame::Request {
+                query: bad,
+                filters: vec![],
+            },
+        );
+        assert!(matches!(reply, Frame::Error(SeabedError::Schema(_))), "{reply:?}");
+
+        // The same connection still serves valid requests afterwards.
+        let reply = round_trip(
+            &mut stream,
+            &Frame::Request {
+                query: sum_query(),
+                filters: vec![],
+            },
+        );
+        assert!(matches!(reply, Frame::Response(_)));
+
+        let stats = net.shutdown();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.requests_served, 2);
+        assert_eq!(stats.error_frames, 1);
+        assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+    }
+
+    #[test]
+    fn garbage_header_gets_typed_error_then_close_but_service_survives() {
+        let net = NetServer::serve(test_server(), "127.0.0.1:0", ServiceConfig::default()).expect("serve");
+        {
+            let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            stream
+                .write_all(b"GET / HTTP/1.1\r\n\r\n\0\0\0\0\0\0")
+                .expect("send garbage");
+            let reply = read_reply(&mut stream);
+            assert!(matches!(reply, Frame::Error(SeabedError::Wire(_))), "{reply:?}");
+            // The stream is desynchronized; the server closes it.
+            let mut probe = [0u8; 1];
+            assert_eq!(stream.read(&mut probe).unwrap_or(0), 0, "connection should be closed");
+        }
+        // A fresh connection is served normally: the process survived.
+        let mut stream = TcpStream::connect(net.local_addr()).expect("reconnect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        assert!(matches!(
+            round_trip(&mut stream, &Frame::SchemaRequest),
+            Frame::Schema(_)
+        ));
+        net.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_joins_with_idle_connections_open() {
+        let net = NetServer::serve(test_server(), "127.0.0.1:0", ServiceConfig::default()).expect("serve");
+        let _idle1 = TcpStream::connect(net.local_addr()).expect("connect");
+        let _idle2 = TcpStream::connect(net.local_addr()).expect("connect");
+        std::thread::sleep(Duration::from_millis(100));
+        let started = Instant::now();
+        net.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown must not hang on idle connections"
+        );
+    }
+}

@@ -1,0 +1,1217 @@
+//! The Seabed wire format: a versioned, length-prefixed binary protocol for
+//! the proxy ↔ server link.
+//!
+//! # Framing
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! +---------+---------+------+-------------+=================+
+//! | magic   | version | kind | payload_len |   payload ...   |
+//! | "SBWF"  | u16 LE  | u8   | u32 LE      | payload_len B   |
+//! +---------+---------+------+-------------+=================+
+//!     4B        2B      1B        4B
+//! ```
+//!
+//! The header is fixed at [`HEADER_LEN`] bytes; `payload_len` is bounded by
+//! the receiver's max-frame limit *before* any allocation happens. Payloads
+//! are encoded with the same variable-byte integers as the ID lists
+//! ([`seabed_encoding::varint`]) and the same defensive posture as
+//! `seabed_engine::storage`: every interior length prefix is capped by the
+//! bytes actually remaining, so a forged count can never balloon an
+//! allocation, and every decode path is total — malformed input yields
+//! [`SeabedError::Wire`], never a panic.
+//!
+//! # Frame kinds
+//!
+//! | kind | direction       | payload                                        |
+//! |------|-----------------|------------------------------------------------|
+//! | 1    | client → server | request: `TranslatedQuery` + `Vec<PhysicalFilter>` |
+//! | 2    | server → client | response: `ServerResponse`                     |
+//! | 3    | server → client | typed error: `SeabedError`                     |
+//! | 4    | client → server | schema request (empty payload)                 |
+//! | 5    | server → client | schema: `seabed_engine::Schema`                |
+//!
+//! Request frames never carry the plaintext predicate literals of DET/OPE
+//! filters — those are redacted structurally at encode time (see
+//! [`redact_query`]); the server only ever reads the proxy-encrypted
+//! `PhysicalFilter`s. Round-trip fidelity (`decode(encode(x)) == x`, modulo
+//! that redaction for requests) is pinned by unit tests here and by the
+//! randomized suite in `tests/wire_robustness.rs`.
+
+use seabed_core::{EncryptedAggregate, GroupResult, PhysicalFilter, ServerResponse};
+use seabed_encoding::{varint, IdListEncoding};
+use seabed_engine::{ColumnType, ExecStats, Schema};
+use seabed_error::{ParseError, SchemaError, SeabedError};
+use seabed_query::{
+    ClientPostStep, CompareOp, GroupByColumn, Literal, Predicate, ServerAggregate, ServerFilter, SupportCategory,
+    TranslatedQuery,
+};
+use std::time::Duration;
+
+/// Magic bytes opening every frame ("SeaBed Wire Frame").
+pub const MAGIC: [u8; 4] = *b"SBWF";
+
+/// Version of the wire protocol. Receivers reject frames from any other
+/// version with a typed error instead of guessing at the layout.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 11;
+
+/// Default upper bound on a frame's payload size (64 MiB). Connections reject
+/// larger length prefixes before allocating anything.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// The kind byte of a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: execute a translated query.
+    Request = 1,
+    /// Server → client: the query's result.
+    Response = 2,
+    /// Server → client: a typed error (the request failed, the connection
+    /// survives).
+    Error = 3,
+    /// Client → server: send me the table schema.
+    SchemaRequest = 4,
+    /// Server → client: the table schema.
+    Schema = 5,
+}
+
+impl FrameKind {
+    /// Decodes a kind byte; `None` for kinds this version does not know.
+    pub fn from_u8(byte: u8) -> Option<FrameKind> {
+        Some(match byte {
+            1 => FrameKind::Request,
+            2 => FrameKind::Response,
+            3 => FrameKind::Error,
+            4 => FrameKind::SchemaRequest,
+            5 => FrameKind::Schema,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded wire frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A query execution request.
+    Request {
+        /// The translated (literal-encrypted) query.
+        query: TranslatedQuery,
+        /// Physical filters with proxy-encrypted literals, one per
+        /// `query.filters` entry.
+        filters: Vec<PhysicalFilter>,
+    },
+    /// A query response.
+    Response(ServerResponse),
+    /// A typed error.
+    Error(SeabedError),
+    /// A schema handshake request.
+    SchemaRequest,
+    /// The served table's schema.
+    Schema(Schema),
+}
+
+impl Frame {
+    /// The kind byte this frame serializes under.
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            Frame::Request { .. } => FrameKind::Request,
+            Frame::Response(_) => FrameKind::Response,
+            Frame::Error(_) => FrameKind::Error,
+            Frame::SchemaRequest => FrameKind::SchemaRequest,
+            Frame::Schema(_) => FrameKind::Schema,
+        }
+    }
+}
+
+/// A decoded frame header (the payload has not been read yet).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Raw kind byte (may be unknown to this version; see
+    /// [`FrameKind::from_u8`]).
+    pub kind: u8,
+    /// Payload length in bytes, already validated against the frame limit.
+    pub payload_len: u32,
+}
+
+/// Encodes a frame (header + payload). Fails with [`SeabedError::Wire`] if
+/// the payload would exceed `max_frame_len`.
+pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, SeabedError> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Request { query, filters } => {
+            write_translated_query(&mut payload, query);
+            write_vec(&mut payload, filters, write_physical_filter);
+        }
+        Frame::Response(response) => write_server_response(&mut payload, response),
+        Frame::Error(error) => write_error(&mut payload, error),
+        Frame::SchemaRequest => {}
+        Frame::Schema(schema) => write_schema(&mut payload, schema),
+    }
+    if payload.len() > max_frame_len as usize {
+        return Err(SeabedError::wire(format!(
+            "frame payload of {} bytes exceeds the {max_frame_len}-byte limit",
+            payload.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.push(frame.kind() as u8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Validates a frame header: magic, protocol version and the payload length
+/// against `max_frame_len`. The length check happens here, before any payload
+/// allocation, so a forged multi-gigabyte prefix costs the receiver nothing.
+pub fn decode_header(bytes: &[u8; HEADER_LEN], max_frame_len: u32) -> Result<FrameHeader, SeabedError> {
+    if bytes[..4] != MAGIC {
+        return Err(SeabedError::wire("bad frame magic"));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(SeabedError::wire(format!(
+            "unsupported protocol version {version} (this side speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    let payload_len = u32::from_le_bytes([bytes[7], bytes[8], bytes[9], bytes[10]]);
+    if payload_len > max_frame_len {
+        return Err(SeabedError::wire(format!(
+            "frame payload of {payload_len} bytes exceeds the {max_frame_len}-byte limit"
+        )));
+    }
+    Ok(FrameHeader {
+        kind: bytes[6],
+        payload_len,
+    })
+}
+
+/// Decodes a frame payload of known kind. The payload must be consumed
+/// exactly; trailing bytes are treated as corruption.
+pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
+    let kind = FrameKind::from_u8(kind).ok_or_else(|| SeabedError::wire(format!("unknown frame kind {kind}")))?;
+    let mut r = Reader::new(payload);
+    let frame = match kind {
+        FrameKind::Request => {
+            let query = read_translated_query(&mut r)?;
+            let filters = read_vec(&mut r, 2, read_physical_filter)?;
+            Frame::Request { query, filters }
+        }
+        FrameKind::Response => Frame::Response(read_server_response(&mut r)?),
+        FrameKind::Error => Frame::Error(read_error(&mut r)?),
+        FrameKind::SchemaRequest => Frame::SchemaRequest,
+        FrameKind::Schema => Frame::Schema(read_schema(&mut r)?),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Decodes one complete frame from a byte slice (header + payload, consumed
+/// exactly). This is the slice-level entry point the adversarial tests drive;
+/// connections read the header and payload off the socket separately.
+pub fn decode_frame(data: &[u8], max_frame_len: u32) -> Result<Frame, SeabedError> {
+    let header_bytes: &[u8; HEADER_LEN] = data
+        .get(..HEADER_LEN)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| SeabedError::wire("truncated frame header"))?;
+    let header = decode_header(header_bytes, max_frame_len)?;
+    let payload = data
+        .get(HEADER_LEN..HEADER_LEN + header.payload_len as usize)
+        .ok_or_else(|| SeabedError::wire("truncated frame payload"))?;
+    if data.len() != HEADER_LEN + header.payload_len as usize {
+        return Err(SeabedError::wire("trailing bytes after frame payload"));
+    }
+    decode_payload(header.kind, payload)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive readers / writers
+// ---------------------------------------------------------------------------
+
+/// A totalizing cursor over untrusted payload bytes: every read returns
+/// [`SeabedError::Wire`] on truncation, and every collection pre-allocation
+/// is capped by the bytes actually remaining (the PR-2 forged-prefix
+/// hardening, applied to the network).
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Caps an element count read from the payload: at `min_size` bytes per
+    /// element, no honest prefix can promise more elements than this.
+    fn capped(&self, count: usize, min_size: usize) -> usize {
+        count.min(self.remaining() / min_size.max(1))
+    }
+
+    fn u8(&mut self) -> Result<u8, SeabedError> {
+        let byte = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| SeabedError::wire("truncated payload: expected a byte"))?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    fn varint(&mut self) -> Result<u64, SeabedError> {
+        let (value, next) = varint::decode_u64(self.data, self.pos)
+            .ok_or_else(|| SeabedError::wire("truncated or overlong varint in payload"))?;
+        self.pos = next;
+        Ok(value)
+    }
+
+    fn len(&mut self) -> Result<usize, SeabedError> {
+        let value = self.varint()?;
+        usize::try_from(value).map_err(|_| SeabedError::wire(format!("length {value} does not fit this platform")))
+    }
+
+    fn bool(&mut self) -> Result<bool, SeabedError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SeabedError::wire(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, SeabedError> {
+        let len = self.len()?;
+        let slice = self
+            .data
+            .get(self.pos..self.pos.saturating_add(len))
+            .ok_or_else(|| SeabedError::wire("byte-string length prefix exceeds remaining payload"))?;
+        self.pos += len;
+        Ok(slice.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, SeabedError> {
+        String::from_utf8(self.bytes()?).map_err(|_| SeabedError::wire("string payload is not valid UTF-8"))
+    }
+
+    fn duration(&mut self) -> Result<Duration, SeabedError> {
+        Ok(Duration::from_nanos(self.varint()?))
+    }
+
+    fn finish(self) -> Result<(), SeabedError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SeabedError::wire(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, value: u64) {
+    varint::encode_u64(value, out);
+}
+
+fn write_bool(out: &mut Vec<u8>, value: bool) {
+    out.push(u8::from(value));
+}
+
+fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    write_bytes(out, s.as_bytes());
+}
+
+fn write_duration(out: &mut Vec<u8>, d: Duration) {
+    write_varint(out, u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+}
+
+fn write_vec<T>(out: &mut Vec<u8>, items: &[T], write_item: impl Fn(&mut Vec<u8>, &T)) {
+    write_varint(out, items.len() as u64);
+    for item in items {
+        write_item(out, item);
+    }
+}
+
+fn read_vec<T>(
+    r: &mut Reader<'_>,
+    min_item_size: usize,
+    mut read_item: impl FnMut(&mut Reader<'_>) -> Result<T, SeabedError>,
+) -> Result<Vec<T>, SeabedError> {
+    let count = r.len()?;
+    let mut out = Vec::with_capacity(r.capped(count, min_item_size));
+    for _ in 0..count {
+        out.push(read_item(r)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Query-layer types (request direction)
+// ---------------------------------------------------------------------------
+
+fn write_compare_op(out: &mut Vec<u8>, op: CompareOp) {
+    out.push(match op {
+        CompareOp::Eq => 0,
+        CompareOp::NotEq => 1,
+        CompareOp::Lt => 2,
+        CompareOp::LtEq => 3,
+        CompareOp::Gt => 4,
+        CompareOp::GtEq => 5,
+    });
+}
+
+fn read_compare_op(r: &mut Reader<'_>) -> Result<CompareOp, SeabedError> {
+    Ok(match r.u8()? {
+        0 => CompareOp::Eq,
+        1 => CompareOp::NotEq,
+        2 => CompareOp::Lt,
+        3 => CompareOp::LtEq,
+        4 => CompareOp::Gt,
+        5 => CompareOp::GtEq,
+        other => return Err(SeabedError::wire(format!("invalid comparison operator tag {other}"))),
+    })
+}
+
+fn write_literal(out: &mut Vec<u8>, literal: &Literal) {
+    match literal {
+        Literal::Integer(v) => {
+            out.push(0);
+            write_varint(out, *v);
+        }
+        Literal::Text(s) => {
+            out.push(1);
+            write_string(out, s);
+        }
+    }
+}
+
+fn read_literal(r: &mut Reader<'_>) -> Result<Literal, SeabedError> {
+    Ok(match r.u8()? {
+        0 => Literal::Integer(r.varint()?),
+        1 => Literal::Text(r.string()?),
+        other => return Err(SeabedError::wire(format!("invalid literal tag {other}"))),
+    })
+}
+
+/// Returns the form of a translated query that crosses the wire: the
+/// plaintext literals of DET and OPE filters are **redacted** (the proxy
+/// encrypts them into the accompanying `PhysicalFilter`s, which is all the
+/// server reads — shipping the plaintext would hand the untrusted server
+/// exactly the predicate values DET/SPLASHE/ORE exist to hide). `Plain`
+/// predicates target public columns whose literals already travel in the
+/// clear inside `PhysicalFilter::PlainU64`/`PlainText`, so they are kept.
+///
+/// [`encode_frame`] applies this structurally — `write_server_filter` never
+/// writes the secret bytes — so `decode(encode(request))` yields the
+/// *redacted* query; this helper states the expected round-trip image.
+pub fn redact_query(query: &TranslatedQuery) -> TranslatedQuery {
+    let mut query = query.clone();
+    for filter in &mut query.filters {
+        match filter {
+            ServerFilter::Plain(_) => {}
+            ServerFilter::DetEquals { value, .. } => *value = String::new(),
+            ServerFilter::OpeCompare { value, .. } => *value = 0,
+        }
+    }
+    query
+}
+
+fn write_server_filter(out: &mut Vec<u8>, filter: &ServerFilter) {
+    match filter {
+        ServerFilter::Plain(pred) => {
+            out.push(0);
+            write_string(out, &pred.column);
+            write_compare_op(out, pred.op);
+            write_literal(out, &pred.value);
+        }
+        ServerFilter::DetEquals { column, .. } => {
+            out.push(1);
+            write_string(out, column);
+            // Literal redacted: see `redact_query`.
+            write_string(out, "");
+        }
+        ServerFilter::OpeCompare { column, op, .. } => {
+            out.push(2);
+            write_string(out, column);
+            write_compare_op(out, *op);
+            // Literal redacted: see `redact_query`.
+            write_varint(out, 0);
+        }
+    }
+}
+
+fn read_server_filter(r: &mut Reader<'_>) -> Result<ServerFilter, SeabedError> {
+    Ok(match r.u8()? {
+        0 => ServerFilter::Plain(Predicate {
+            column: r.string()?,
+            op: read_compare_op(r)?,
+            value: read_literal(r)?,
+        }),
+        1 => ServerFilter::DetEquals {
+            column: r.string()?,
+            value: r.string()?,
+        },
+        2 => ServerFilter::OpeCompare {
+            column: r.string()?,
+            op: read_compare_op(r)?,
+            value: r.varint()?,
+        },
+        other => return Err(SeabedError::wire(format!("invalid server-filter tag {other}"))),
+    })
+}
+
+fn write_server_aggregate(out: &mut Vec<u8>, agg: &ServerAggregate) {
+    match agg {
+        ServerAggregate::AsheSum { column } => {
+            out.push(0);
+            write_string(out, column);
+        }
+        ServerAggregate::CountRows => out.push(1),
+        ServerAggregate::OpeMin { column } => {
+            out.push(2);
+            write_string(out, column);
+        }
+        ServerAggregate::OpeMax { column } => {
+            out.push(3);
+            write_string(out, column);
+        }
+    }
+}
+
+fn read_server_aggregate(r: &mut Reader<'_>) -> Result<ServerAggregate, SeabedError> {
+    Ok(match r.u8()? {
+        0 => ServerAggregate::AsheSum { column: r.string()? },
+        1 => ServerAggregate::CountRows,
+        2 => ServerAggregate::OpeMin { column: r.string()? },
+        3 => ServerAggregate::OpeMax { column: r.string()? },
+        other => return Err(SeabedError::wire(format!("invalid server-aggregate tag {other}"))),
+    })
+}
+
+fn write_group_by_column(out: &mut Vec<u8>, g: &GroupByColumn) {
+    write_string(out, &g.column);
+    write_string(out, &g.physical_column);
+    write_bool(out, g.encrypted);
+}
+
+fn read_group_by_column(r: &mut Reader<'_>) -> Result<GroupByColumn, SeabedError> {
+    Ok(GroupByColumn {
+        column: r.string()?,
+        physical_column: r.string()?,
+        encrypted: r.bool()?,
+    })
+}
+
+fn write_client_post_step(out: &mut Vec<u8>, step: &ClientPostStep) {
+    match step {
+        ClientPostStep::Divide { numerator, denominator } => {
+            out.push(0);
+            write_varint(out, *numerator as u64);
+            write_varint(out, *denominator as u64);
+        }
+        ClientPostStep::Variance {
+            sum_squares,
+            sum,
+            count,
+        } => {
+            out.push(1);
+            write_varint(out, *sum_squares as u64);
+            write_varint(out, *sum as u64);
+            write_varint(out, *count as u64);
+        }
+        ClientPostStep::SqrtOfVariance { variance_step } => {
+            out.push(2);
+            write_varint(out, *variance_step as u64);
+        }
+        ClientPostStep::MergeInflatedGroups => out.push(3),
+    }
+}
+
+fn read_client_post_step(r: &mut Reader<'_>) -> Result<ClientPostStep, SeabedError> {
+    Ok(match r.u8()? {
+        0 => ClientPostStep::Divide {
+            numerator: r.len()?,
+            denominator: r.len()?,
+        },
+        1 => ClientPostStep::Variance {
+            sum_squares: r.len()?,
+            sum: r.len()?,
+            count: r.len()?,
+        },
+        2 => ClientPostStep::SqrtOfVariance {
+            variance_step: r.len()?,
+        },
+        3 => ClientPostStep::MergeInflatedGroups,
+        other => return Err(SeabedError::wire(format!("invalid client-post-step tag {other}"))),
+    })
+}
+
+fn write_support_category(out: &mut Vec<u8>, category: SupportCategory) {
+    out.push(match category {
+        SupportCategory::ServerOnly => 0,
+        SupportCategory::ClientPreProcessing => 1,
+        SupportCategory::ClientPostProcessing => 2,
+        SupportCategory::TwoRoundTrips => 3,
+    });
+}
+
+fn read_support_category(r: &mut Reader<'_>) -> Result<SupportCategory, SeabedError> {
+    Ok(match r.u8()? {
+        0 => SupportCategory::ServerOnly,
+        1 => SupportCategory::ClientPreProcessing,
+        2 => SupportCategory::ClientPostProcessing,
+        3 => SupportCategory::TwoRoundTrips,
+        other => return Err(SeabedError::wire(format!("invalid support-category tag {other}"))),
+    })
+}
+
+fn write_translated_query(out: &mut Vec<u8>, q: &TranslatedQuery) {
+    write_string(out, &q.base_table);
+    write_vec(out, &q.filters, write_server_filter);
+    write_vec(out, &q.aggregates, write_server_aggregate);
+    write_vec(out, &q.group_by, write_group_by_column);
+    write_varint(out, u64::from(q.group_inflation));
+    write_vec(out, &q.client_post, write_client_post_step);
+    write_bool(out, q.preserve_row_ids);
+    write_support_category(out, q.category);
+}
+
+fn read_translated_query(r: &mut Reader<'_>) -> Result<TranslatedQuery, SeabedError> {
+    let base_table = r.string()?;
+    let filters = read_vec(r, 2, read_server_filter)?;
+    let aggregates = read_vec(r, 1, read_server_aggregate)?;
+    let group_by = read_vec(r, 3, read_group_by_column)?;
+    let inflation = r.varint()?;
+    let group_inflation =
+        u32::try_from(inflation).map_err(|_| SeabedError::wire(format!("group inflation {inflation} exceeds u32")))?;
+    let client_post = read_vec(r, 1, read_client_post_step)?;
+    let preserve_row_ids = r.bool()?;
+    let category = read_support_category(r)?;
+    Ok(TranslatedQuery {
+        base_table,
+        filters,
+        aggregates,
+        group_by,
+        group_inflation,
+        client_post,
+        preserve_row_ids,
+        category,
+    })
+}
+
+fn write_physical_filter(out: &mut Vec<u8>, filter: &PhysicalFilter) {
+    match filter {
+        PhysicalFilter::PlainU64 { column, op, value } => {
+            out.push(0);
+            write_varint(out, *column as u64);
+            write_compare_op(out, *op);
+            write_varint(out, *value);
+        }
+        PhysicalFilter::PlainText { column, value } => {
+            out.push(1);
+            write_varint(out, *column as u64);
+            write_string(out, value);
+        }
+        PhysicalFilter::DetTag { column, tag } => {
+            out.push(2);
+            write_varint(out, *column as u64);
+            write_varint(out, *tag);
+        }
+        PhysicalFilter::Ope { column, op, ciphertext } => {
+            out.push(3);
+            write_varint(out, *column as u64);
+            write_compare_op(out, *op);
+            write_bytes(out, &ciphertext.symbols);
+        }
+    }
+}
+
+fn read_physical_filter(r: &mut Reader<'_>) -> Result<PhysicalFilter, SeabedError> {
+    Ok(match r.u8()? {
+        0 => PhysicalFilter::PlainU64 {
+            column: r.len()?,
+            op: read_compare_op(r)?,
+            value: r.varint()?,
+        },
+        1 => PhysicalFilter::PlainText {
+            column: r.len()?,
+            value: r.string()?,
+        },
+        2 => PhysicalFilter::DetTag {
+            column: r.len()?,
+            tag: r.varint()?,
+        },
+        3 => PhysicalFilter::Ope {
+            column: r.len()?,
+            op: read_compare_op(r)?,
+            // The symbol width is validated by the server's scan kernels,
+            // which treat corrupt widths as non-matching; the wire layer
+            // ships the bytes verbatim.
+            ciphertext: seabed_crypto::OreCiphertext { symbols: r.bytes()? },
+        },
+        other => return Err(SeabedError::wire(format!("invalid physical-filter tag {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Result-layer types (response direction)
+// ---------------------------------------------------------------------------
+
+fn write_id_list_encoding(out: &mut Vec<u8>, encoding: IdListEncoding) {
+    out.push(match encoding {
+        IdListEncoding::RangesVb => 0,
+        IdListEncoding::RangesVbDiff => 1,
+        IdListEncoding::RangesVbDiffDeflateCompact => 2,
+        IdListEncoding::RangesVbDiffDeflateFast => 3,
+        IdListEncoding::VbDiff => 4,
+        IdListEncoding::Bitmap => 5,
+    });
+}
+
+fn read_id_list_encoding(r: &mut Reader<'_>) -> Result<IdListEncoding, SeabedError> {
+    Ok(match r.u8()? {
+        0 => IdListEncoding::RangesVb,
+        1 => IdListEncoding::RangesVbDiff,
+        2 => IdListEncoding::RangesVbDiffDeflateCompact,
+        3 => IdListEncoding::RangesVbDiffDeflateFast,
+        4 => IdListEncoding::VbDiff,
+        5 => IdListEncoding::Bitmap,
+        other => return Err(SeabedError::wire(format!("invalid ID-list encoding tag {other}"))),
+    })
+}
+
+fn write_encrypted_aggregate(out: &mut Vec<u8>, agg: &EncryptedAggregate) {
+    match agg {
+        EncryptedAggregate::AsheSum {
+            value,
+            id_list,
+            encoding,
+        } => {
+            out.push(0);
+            write_varint(out, *value);
+            write_bytes(out, id_list);
+            write_id_list_encoding(out, *encoding);
+        }
+        EncryptedAggregate::Count { rows } => {
+            out.push(1);
+            write_varint(out, *rows);
+        }
+        EncryptedAggregate::Extreme { value_word, row_id } => {
+            out.push(2);
+            write_varint(out, *value_word);
+            match row_id {
+                None => out.push(0),
+                Some(id) => {
+                    out.push(1);
+                    write_varint(out, *id);
+                }
+            }
+        }
+    }
+}
+
+fn read_encrypted_aggregate(r: &mut Reader<'_>) -> Result<EncryptedAggregate, SeabedError> {
+    Ok(match r.u8()? {
+        0 => EncryptedAggregate::AsheSum {
+            value: r.varint()?,
+            id_list: r.bytes()?,
+            encoding: read_id_list_encoding(r)?,
+        },
+        1 => EncryptedAggregate::Count { rows: r.varint()? },
+        2 => EncryptedAggregate::Extreme {
+            value_word: r.varint()?,
+            row_id: match r.u8()? {
+                0 => None,
+                1 => Some(r.varint()?),
+                other => return Err(SeabedError::wire(format!("invalid option tag {other}"))),
+            },
+        },
+        other => return Err(SeabedError::wire(format!("invalid encrypted-aggregate tag {other}"))),
+    })
+}
+
+fn write_group_result(out: &mut Vec<u8>, group: &GroupResult) {
+    write_vec(out, &group.key, |out, k| write_varint(out, *k));
+    write_vec(out, &group.aggregates, write_encrypted_aggregate);
+}
+
+fn read_group_result(r: &mut Reader<'_>) -> Result<GroupResult, SeabedError> {
+    Ok(GroupResult {
+        key: read_vec(r, 1, |r| r.varint())?,
+        aggregates: read_vec(r, 2, read_encrypted_aggregate)?,
+    })
+}
+
+fn write_exec_stats(out: &mut Vec<u8>, stats: &ExecStats) {
+    write_varint(out, stats.tasks as u64);
+    write_duration(out, stats.total_task_time);
+    write_duration(out, stats.max_task_time);
+    write_duration(out, stats.simulated_server_time);
+    write_varint(out, stats.bytes_to_driver as u64);
+    write_duration(out, stats.wall_time);
+}
+
+fn read_exec_stats(r: &mut Reader<'_>) -> Result<ExecStats, SeabedError> {
+    Ok(ExecStats {
+        tasks: r.len()?,
+        total_task_time: r.duration()?,
+        max_task_time: r.duration()?,
+        simulated_server_time: r.duration()?,
+        bytes_to_driver: r.len()?,
+        wall_time: r.duration()?,
+    })
+}
+
+fn write_server_response(out: &mut Vec<u8>, response: &ServerResponse) {
+    write_vec(out, &response.groups, write_group_result);
+    write_exec_stats(out, &response.stats);
+    write_varint(out, response.result_bytes as u64);
+}
+
+fn read_server_response(r: &mut Reader<'_>) -> Result<ServerResponse, SeabedError> {
+    Ok(ServerResponse {
+        groups: read_vec(r, 2, read_group_result)?,
+        stats: read_exec_stats(r)?,
+        result_bytes: r.len()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+fn write_schema(out: &mut Vec<u8>, schema: &Schema) {
+    write_vec(out, &schema.fields, |out, field| {
+        write_string(out, &field.name);
+        out.push(match field.ty {
+            ColumnType::UInt64 => 0,
+            ColumnType::Int64 => 1,
+            ColumnType::Utf8 => 2,
+            ColumnType::Bytes => 3,
+        });
+    });
+}
+
+fn read_schema(r: &mut Reader<'_>) -> Result<Schema, SeabedError> {
+    let fields = read_vec(r, 2, |r| {
+        let name = r.string()?;
+        let ty = match r.u8()? {
+            0 => ColumnType::UInt64,
+            1 => ColumnType::Int64,
+            2 => ColumnType::Utf8,
+            3 => ColumnType::Bytes,
+            other => return Err(SeabedError::wire(format!("invalid column-type tag {other}"))),
+        };
+        Ok((name, ty))
+    })?;
+    Ok(Schema::new(fields))
+}
+
+// ---------------------------------------------------------------------------
+// Typed errors
+// ---------------------------------------------------------------------------
+
+fn write_error(out: &mut Vec<u8>, error: &SeabedError) {
+    match error {
+        SeabedError::Parse(e) => {
+            out.push(0);
+            write_string(out, &e.message);
+            write_varint(out, e.position as u64);
+        }
+        SeabedError::Translate(msg) => {
+            out.push(1);
+            write_string(out, msg);
+        }
+        SeabedError::Plan(msg) => {
+            out.push(2);
+            write_string(out, msg);
+        }
+        SeabedError::Crypto(msg) => {
+            out.push(3);
+            write_string(out, msg);
+        }
+        SeabedError::Encoding(msg) => {
+            out.push(4);
+            write_string(out, msg);
+        }
+        SeabedError::Engine(msg) => {
+            out.push(5);
+            write_string(out, msg);
+        }
+        SeabedError::Schema(schema_error) => {
+            out.push(6);
+            match schema_error {
+                SchemaError::UnknownColumn(c) => {
+                    out.push(0);
+                    write_string(out, c);
+                }
+                SchemaError::UnknownPhysicalColumn(c) => {
+                    out.push(1);
+                    write_string(out, c);
+                }
+                SchemaError::TypeMismatch {
+                    column,
+                    expected,
+                    actual,
+                } => {
+                    out.push(2);
+                    write_string(out, column);
+                    write_string(out, expected);
+                    write_string(out, actual);
+                }
+                SchemaError::CorruptPartition { partition, detail } => {
+                    out.push(3);
+                    write_varint(out, *partition as u64);
+                    write_string(out, detail);
+                }
+            }
+        }
+        SeabedError::Net(msg) => {
+            out.push(7);
+            write_string(out, msg);
+        }
+        SeabedError::Wire(msg) => {
+            out.push(8);
+            write_string(out, msg);
+        }
+        // `SeabedError` is #[non_exhaustive]; a variant this protocol version
+        // does not know still crosses the wire with its layer erased but its
+        // message intact.
+        other => {
+            out.push(5);
+            write_string(out, &other.to_string());
+        }
+    }
+}
+
+fn read_error(r: &mut Reader<'_>) -> Result<SeabedError, SeabedError> {
+    Ok(match r.u8()? {
+        0 => SeabedError::Parse(ParseError {
+            message: r.string()?,
+            position: r.len()?,
+        }),
+        1 => SeabedError::Translate(r.string()?),
+        2 => SeabedError::Plan(r.string()?),
+        3 => SeabedError::Crypto(r.string()?),
+        4 => SeabedError::Encoding(r.string()?),
+        5 => SeabedError::Engine(r.string()?),
+        6 => SeabedError::Schema(match r.u8()? {
+            0 => SchemaError::UnknownColumn(r.string()?),
+            1 => SchemaError::UnknownPhysicalColumn(r.string()?),
+            2 => SchemaError::TypeMismatch {
+                column: r.string()?,
+                expected: r.string()?,
+                actual: r.string()?,
+            },
+            3 => SchemaError::CorruptPartition {
+                partition: r.len()?,
+                detail: r.string()?,
+            },
+            other => return Err(SeabedError::wire(format!("invalid schema-error tag {other}"))),
+        }),
+        7 => SeabedError::Net(r.string()?),
+        8 => SeabedError::Wire(r.string()?),
+        other => return Err(SeabedError::wire(format!("invalid error tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seabed_crypto::OreCiphertext;
+
+    fn sample_query() -> TranslatedQuery {
+        TranslatedQuery {
+            base_table: "sales".to_string(),
+            filters: vec![
+                ServerFilter::Plain(Predicate {
+                    column: "hour".to_string(),
+                    op: CompareOp::GtEq,
+                    value: Literal::Integer(6),
+                }),
+                ServerFilter::DetEquals {
+                    column: "country__det".to_string(),
+                    value: "USA".to_string(),
+                },
+                ServerFilter::OpeCompare {
+                    column: "ts__ope".to_string(),
+                    op: CompareOp::Lt,
+                    value: u64::MAX,
+                },
+            ],
+            aggregates: vec![
+                ServerAggregate::AsheSum {
+                    column: "revenue__ashe".to_string(),
+                },
+                ServerAggregate::CountRows,
+                ServerAggregate::OpeMin {
+                    column: "ts__ope".to_string(),
+                },
+                ServerAggregate::OpeMax {
+                    column: "ts__ope".to_string(),
+                },
+            ],
+            group_by: vec![GroupByColumn {
+                column: "dept".to_string(),
+                physical_column: "dept__det".to_string(),
+                encrypted: true,
+            }],
+            group_inflation: 7,
+            client_post: vec![
+                ClientPostStep::Divide {
+                    numerator: 0,
+                    denominator: 1,
+                },
+                ClientPostStep::Variance {
+                    sum_squares: 0,
+                    sum: 1,
+                    count: 2,
+                },
+                ClientPostStep::SqrtOfVariance { variance_step: 0 },
+                ClientPostStep::MergeInflatedGroups,
+            ],
+            preserve_row_ids: true,
+            category: SupportCategory::ClientPostProcessing,
+        }
+    }
+
+    fn sample_filters() -> Vec<PhysicalFilter> {
+        vec![
+            PhysicalFilter::PlainU64 {
+                column: 3,
+                op: CompareOp::GtEq,
+                value: 6,
+            },
+            PhysicalFilter::PlainText {
+                column: 1,
+                value: "USA".to_string(),
+            },
+            PhysicalFilter::DetTag {
+                column: 2,
+                tag: 0xdead_beef_dead_beef,
+            },
+            PhysicalFilter::Ope {
+                column: 4,
+                op: CompareOp::Lt,
+                ciphertext: OreCiphertext {
+                    symbols: (0..64u8).collect(),
+                },
+            },
+        ]
+    }
+
+    fn sample_response() -> ServerResponse {
+        ServerResponse {
+            groups: vec![
+                GroupResult {
+                    key: vec![],
+                    aggregates: vec![
+                        EncryptedAggregate::AsheSum {
+                            value: u64::MAX,
+                            id_list: vec![1, 2, 3, 0x80, 0xff],
+                            encoding: IdListEncoding::RangesVbDiffDeflateFast,
+                        },
+                        EncryptedAggregate::Count { rows: 42 },
+                    ],
+                },
+                GroupResult {
+                    key: vec![5, 0, u64::MAX],
+                    aggregates: vec![
+                        EncryptedAggregate::Extreme {
+                            value_word: 9,
+                            row_id: Some(77),
+                        },
+                        EncryptedAggregate::Extreme {
+                            value_word: 0,
+                            row_id: None,
+                        },
+                    ],
+                },
+            ],
+            stats: ExecStats {
+                tasks: 8,
+                total_task_time: Duration::from_micros(1234),
+                max_task_time: Duration::from_micros(400),
+                simulated_server_time: Duration::from_millis(52),
+                bytes_to_driver: 9000,
+                wall_time: Duration::from_micros(800),
+            },
+            result_bytes: 123,
+        }
+    }
+
+    #[test]
+    fn request_frame_roundtrips_with_literals_redacted() {
+        let frame = Frame::Request {
+            query: sample_query(),
+            filters: sample_filters(),
+        };
+        let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+        let expected = Frame::Request {
+            query: redact_query(&sample_query()),
+            filters: sample_filters(),
+        };
+        assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap(), expected);
+        // A query whose filters are already redacted round-trips exactly.
+        let redacted = encode_frame(&expected, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(decode_frame(&redacted, DEFAULT_MAX_FRAME_LEN).unwrap(), expected);
+    }
+
+    /// The untrusted server must never see the plaintext literal of a DET or
+    /// OPE predicate: only the proxy-encrypted `PhysicalFilter` carries the
+    /// (encrypted) value.
+    #[test]
+    fn request_frames_do_not_leak_det_or_ope_literals() {
+        let secret = "SECRET-DET-LITERAL";
+        let query = TranslatedQuery {
+            base_table: "t".to_string(),
+            filters: vec![
+                ServerFilter::DetEquals {
+                    column: "country__det".to_string(),
+                    value: secret.to_string(),
+                },
+                ServerFilter::OpeCompare {
+                    column: "ts__ope".to_string(),
+                    op: CompareOp::GtEq,
+                    value: 0xfeed_beef_cafe_f00d,
+                },
+            ],
+            aggregates: vec![ServerAggregate::CountRows],
+            group_by: vec![],
+            group_inflation: 1,
+            client_post: vec![],
+            preserve_row_ids: true,
+            category: SupportCategory::ServerOnly,
+        };
+        let bytes = encode_frame(&Frame::Request { query, filters: vec![] }, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert!(
+            !bytes.windows(secret.len()).any(|w| w == secret.as_bytes()),
+            "DET literal leaked into the request frame"
+        );
+        let mut ope_literal = Vec::new();
+        varint::encode_u64(0xfeed_beef_cafe_f00d, &mut ope_literal);
+        assert!(
+            !bytes.windows(ope_literal.len()).any(|w| w == ope_literal.as_slice()),
+            "OPE literal leaked into the request frame"
+        );
+    }
+
+    #[test]
+    fn response_frame_roundtrips() {
+        let frame = Frame::Response(sample_response());
+        let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap(), frame);
+    }
+
+    #[test]
+    fn schema_and_handshake_frames_roundtrip() {
+        let schema = Schema::new([
+            ("a".to_string(), ColumnType::UInt64),
+            ("b".to_string(), ColumnType::Int64),
+            ("c".to_string(), ColumnType::Utf8),
+            ("d".to_string(), ColumnType::Bytes),
+        ]);
+        for frame in [Frame::SchemaRequest, Frame::Schema(schema)] {
+            let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+            assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn every_error_variant_roundtrips() {
+        let errors = vec![
+            SeabedError::Parse(ParseError {
+                message: "bad token".to_string(),
+                position: 17,
+            }),
+            SeabedError::Translate("no can do".to_string()),
+            SeabedError::Plan("p".to_string()),
+            SeabedError::Crypto("c".to_string()),
+            SeabedError::Encoding("e".to_string()),
+            SeabedError::Engine("boom".to_string()),
+            SeabedError::Schema(SchemaError::UnknownColumn("x".to_string())),
+            SeabedError::Schema(SchemaError::UnknownPhysicalColumn("y__det".to_string())),
+            SeabedError::Schema(SchemaError::TypeMismatch {
+                column: "c".to_string(),
+                expected: "UInt64".to_string(),
+                actual: "Utf8".to_string(),
+            }),
+            SeabedError::Schema(SchemaError::CorruptPartition {
+                partition: 3,
+                detail: "short column".to_string(),
+            }),
+            SeabedError::Net("reset".to_string()),
+            SeabedError::Wire("garbage".to_string()),
+        ];
+        for error in errors {
+            let frame = Frame::Error(error.clone());
+            let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+            assert_eq!(
+                decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap(),
+                Frame::Error(error)
+            );
+        }
+    }
+
+    #[test]
+    fn header_rejects_magic_version_and_oversized_length() {
+        let good = encode_frame(&Frame::SchemaRequest, DEFAULT_MAX_FRAME_LEN).unwrap();
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_FRAME_LEN),
+            Err(SeabedError::Wire(_))
+        ));
+        // Unknown version.
+        let mut bad = good.clone();
+        bad[4] = 0x99;
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_FRAME_LEN),
+            Err(SeabedError::Wire(_))
+        ));
+        // Oversized payload length.
+        let mut bad = good.clone();
+        bad[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_FRAME_LEN),
+            Err(SeabedError::Wire(_))
+        ));
+        // Unknown frame kind (valid header, rejected at payload decode).
+        let mut bad = good;
+        bad[6] = 200;
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_FRAME_LEN),
+            Err(SeabedError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_frame(&Frame::Response(sample_response()), DEFAULT_MAX_FRAME_LEN).unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN),
+            Err(SeabedError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn encode_refuses_oversized_frames() {
+        let frame = Frame::Error(SeabedError::engine("x".repeat(1024)));
+        assert!(matches!(encode_frame(&frame, 16), Err(SeabedError::Wire(_))));
+    }
+}

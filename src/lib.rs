@@ -14,6 +14,8 @@
 //! * [`engine`] — the partitioned columnar engine and cluster cost model;
 //! * [`query`] — SQL dialect, data planner, query translator;
 //! * [`core`] — client proxy, untrusted server, baselines;
+//! * [`net`] — wire protocol + concurrent TCP service layer (the proxy ↔
+//!   server boundary as a real socket);
 //! * [`workloads`] — synthetic, BDB and Ad-Analytics workload generators.
 
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@ pub use seabed_crypto as crypto;
 pub use seabed_encoding as encoding;
 pub use seabed_engine as engine;
 pub use seabed_error as error;
+pub use seabed_net as net;
 pub use seabed_query as query;
 pub use seabed_splashe as splashe;
 pub use seabed_workloads as workloads;
