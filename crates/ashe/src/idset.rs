@@ -8,7 +8,9 @@
 //!
 //! Identifier *multisets* degenerate to sets in Seabed because the planner
 //! assigns every row a unique identifier and a query folds each row at most
-//! once; [`IdSet::union`] therefore asserts disjointness in debug builds.
+//! once; [`IdSet::union`] is nonetheless a *total* set union — overlapping
+//! operands (possible only with forged or duplicated partial results from an
+//! untrusted worker) coalesce canonically instead of panicking the merge.
 
 use seabed_encoding::{decode_runs, encode_runs, ids_to_runs, IdListEncoding, Run};
 
@@ -106,8 +108,14 @@ impl IdSet {
         }
     }
 
-    /// Unions two disjoint sets (the ⊕ of two ciphertexts that each cover
-    /// different rows). The result is kept in canonical maximal-run form.
+    /// Unions two sets, keeping the result in canonical maximal-run form.
+    ///
+    /// In the query pipeline the operands are always disjoint (the ⊕ of two
+    /// ciphertexts that each cover different rows), but the operation is
+    /// total: overlapping or adjacent runs coalesce instead of panicking or
+    /// producing a non-canonical set, so a forged or duplicated partial
+    /// result gathered from an untrusted worker can never take down the
+    /// merging side.
     pub fn union(&self, other: &IdSet) -> IdSet {
         if self.is_empty() {
             return other.clone();
@@ -118,17 +126,11 @@ impl IdSet {
         let mut merged: Vec<Run> = Vec::with_capacity(self.runs.len() + other.runs.len());
         let (mut i, mut j) = (0usize, 0usize);
         let push = |run: Run, merged: &mut Vec<Run>| match merged.last_mut() {
-            Some(last) if run.start <= last.end + 1 && run.start > last.end => {
+            // Overlapping or adjacent (watch the u64::MAX edge): coalesce.
+            Some(last) if run.start <= last.end.saturating_add(1) => {
                 last.end = last.end.max(run.end);
             }
-            Some(last) => {
-                debug_assert!(
-                    run.start > last.end,
-                    "IdSet::union operands overlap: {last:?} vs {run:?}"
-                );
-                merged.push(run);
-            }
-            None => merged.push(run),
+            _ => merged.push(run),
         };
         while i < self.runs.len() && j < other.runs.len() {
             if self.runs[i].start <= other.runs[j].start {
@@ -240,6 +242,23 @@ mod tests {
         let u = a.union(&b);
         assert_eq!(u.run_count(), 1);
         assert_eq!(u.count(), 1000);
+    }
+
+    #[test]
+    fn union_is_total_over_overlapping_operands() {
+        // Overlap never arises from honest disjoint partitions, but a forged
+        // or duplicated partial gathered from an untrusted worker can ship
+        // one; the union must stay canonical (sorted maximal runs, each id
+        // counted once) instead of panicking or double-counting.
+        let a = IdSet::from_runs(vec![Run::new(1, 5), Run::new(10, 12)]);
+        let b = IdSet::from_runs(vec![Run::new(4, 10), Run::new(20, 20)]);
+        let u = a.union(&b);
+        assert_eq!(u.runs(), &[Run::new(1, 12), Run::new(20, 20)]);
+        assert_eq!(u.count(), 13);
+        // Identical operands are idempotent, and the u64::MAX edge is safe.
+        assert_eq!(a.union(&a), a);
+        let top = IdSet::range(u64::MAX - 1, u64::MAX);
+        assert_eq!(top.union(&top), top);
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn main() {
     let scale = if smoke { Scale::smoke() } else { Scale::default() };
     // "fig8" runs both halves; the emitted JSON names "fig8ab"/"fig8c" are
     // also accepted so a file name seen in bench_results/ can be replayed.
-    const EXPERIMENTS: [&str; 18] = [
+    const EXPERIMENTS: [&str; 19] = [
         "table1",
         "table2",
         "table3",
@@ -44,6 +44,7 @@ fn main() {
         "scan_throughput",
         "groupby_card",
         "net_qps",
+        "scaleout",
     ];
     let mut requested: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if requested.is_empty() {
@@ -203,6 +204,13 @@ fn main() {
             "net_qps",
             "Service layer: QPS and latency vs concurrent TCP clients",
             &exp_net_qps(&scale),
+        );
+    }
+    if want("scaleout") {
+        emit(
+            "scaleout",
+            "Scale-out: distributed workers, measured vs Cluster::simulate-predicted",
+            &exp_scaleout(&scale),
         );
     }
 }

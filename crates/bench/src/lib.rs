@@ -1472,6 +1472,154 @@ pub fn exp_net_qps(scale: &Scale) -> Vec<Row> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Scale-out experiment: real distributed workers vs the simulated cluster
+// ---------------------------------------------------------------------------
+
+/// Worker counts swept by [`exp_scaleout`] at the default scale; smoke runs
+/// (CI) stop at 2 workers.
+pub const SCALEOUT_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Scale-out sweep of the `seabed-dist` subsystem: the 1M-row single-filter
+/// SUM and the group-by workload, executed through a real coordinator over
+/// 1..8 `seabed-net` workers on loopback sockets, against the
+/// `Cluster::simulate` prediction for the same worker count.
+///
+/// Two measured quantities per point:
+///
+/// * `wall_s` — end-to-end coordinator wall time (scatter + worker scans +
+///   gather). On a host with fewer cores than workers this cannot shrink
+///   with the worker count — concurrent workers time-slice one another —
+///   which is exactly why this repo separates *doing* the work from
+///   *costing* it (see `seabed_engine::cluster`).
+/// * `measured_server_s` — the distributed makespan built from what each
+///   worker *measured* for its own shard scans (workers are queried one at a
+///   time, `ScatterMode::Sequential`, so a worker's measurement is never
+///   inflated by a sibling time-slicing it): max over workers of their
+///   summed shard scan wall times, plus the coordinator's gather/merge time.
+///   This is the real-network analogue of `simulated_server_time`, and the
+///   quantity the `speedup` rows report.
+///
+/// `predicted_s` is `Cluster::simulate` for the same worker count (per-task
+/// overhead zeroed — the wire replaces the modeled Spark launch cost), from
+/// an in-process execution of the identical query; the distributed response
+/// is asserted byte-identical to the in-process one while we're at it.
+pub fn exp_scaleout(scale: &Scale) -> Vec<Row> {
+    use seabed_dist::{DistConfig, DistCoordinator, ScatterMode};
+    use seabed_net::ServiceConfig;
+    use std::collections::HashMap as Map;
+
+    let rows = scale.rows(1000); // 1 M rows at the default scale
+    let worker_counts: Vec<usize> = if scale.row_divisor > 1_000 {
+        vec![1, 2] // smoke: 2 workers, small rows
+    } else {
+        SCALEOUT_WORKERS.to_vec()
+    };
+
+    // The 1M-row single-filter SUM (selectivity 50%) and the group-by
+    // workload, over the same physical table.
+    let sum_query = exec_bench_query(false);
+    let sum_filters = vec![PhysicalFilter::PlainU64 {
+        column: 1,
+        op: CompareOp::Lt,
+        value: 500,
+    }];
+    let group_query = exec_bench_query(true);
+    let workloads: [(&str, &TranslatedQuery, &[PhysicalFilter]); 2] =
+        [("sum", &sum_query, &sum_filters), ("groupby", &group_query, &[])];
+
+    let mut out = Vec::new();
+    let mut baselines: Map<String, f64> = Map::new();
+    let base = exec_bench_server(rows, 64, scale, ExecMode::Vectorized);
+    for &workers in &worker_counts {
+        // In-process reference: the same scans, costed by Cluster::simulate
+        // at this worker count (task overhead zeroed: the wire replaces the
+        // modeled Spark task-launch cost).
+        let mut reference_config = ClusterConfig::with_workers(workers).local_threads(1);
+        reference_config.task_overhead = Duration::ZERO;
+        let reference = SeabedServer::new(base.table().clone(), Cluster::new(reference_config));
+
+        // Real cluster: `workers` shard-hosting services on loopback.
+        let services: Vec<_> = (0..workers)
+            .map(|_| {
+                seabed_dist::spawn_worker("127.0.0.1:0", ServiceConfig::default().worker_threads(2))
+                    .expect("scaleout worker must start")
+            })
+            .collect();
+        let addrs: Vec<_> = services.iter().map(|s| s.local_addr()).collect();
+        let coordinator = DistCoordinator::connect(
+            &addrs,
+            reference.table().clone(),
+            DistConfig::default().scatter(ScatterMode::Sequential),
+        )
+        .expect("scaleout coordinator must connect");
+
+        for (name, query, filters) in workloads {
+            // Best-of-3 on the reference too: the prediction inherits the
+            // measured per-partition task times, which are noisy on a busy
+            // host just like the distributed measurements are.
+            let mut expected = reference.execute(query, filters).expect("reference execution");
+            for _ in 0..2 {
+                let again = reference.execute(query, filters).expect("reference execution");
+                if again.stats.simulated_server_time < expected.stats.simulated_server_time {
+                    expected = again;
+                }
+            }
+            let mut best_wall = f64::MAX;
+            let mut best_measured = f64::MAX;
+            for _ in 0..3 {
+                let response = coordinator.execute(query, filters).expect("distributed execution");
+                assert_eq!(
+                    expected.groups, response.groups,
+                    "distributed result diverged from single-server execution"
+                );
+                let report = coordinator.last_report();
+                // Makespan over workers of their measured shard-scan time.
+                let mut busy: Map<&str, Duration> = Map::new();
+                for run in &report.runs {
+                    *busy.entry(run.worker.as_str()).or_insert(Duration::ZERO) += run.stats.wall_time;
+                }
+                let makespan = busy.values().max().copied().unwrap_or(Duration::ZERO) + report.gather_time;
+                best_measured = best_measured.min(makespan.as_secs_f64());
+                best_wall = best_wall.min(report.wall_time.as_secs_f64());
+            }
+            let predicted = expected.stats.simulated_server_time.as_secs_f64();
+            out.push(
+                Row::new(format!("{name} workers={workers}"))
+                    .with("workers", workers as f64)
+                    .with("rows", rows as f64)
+                    .with("wall_s", best_wall)
+                    .with("measured_server_s", best_measured)
+                    .with("predicted_s", predicted),
+            );
+            if workers == 1 {
+                baselines.insert(format!("{name}_measured"), best_measured);
+                baselines.insert(format!("{name}_predicted"), predicted);
+            } else {
+                let measured_base = baselines
+                    .get(&format!("{name}_measured"))
+                    .copied()
+                    .unwrap_or(best_measured);
+                let predicted_base = baselines
+                    .get(&format!("{name}_predicted"))
+                    .copied()
+                    .unwrap_or(predicted);
+                out.push(
+                    Row::new(format!("speedup {name} workers={workers}"))
+                        .with("workers", workers as f64)
+                        .with("measured_x", measured_base / best_measured.max(1e-9))
+                        .with("predicted_x", predicted_base / predicted.max(1e-9)),
+                );
+            }
+        }
+        drop(coordinator);
+        for service in services {
+            service.shutdown();
+        }
+    }
+    out
+}
+
 /// Helper converting latency points into printable rows.
 pub fn latency_rows(points: &[LatencyPoint], by_workers: bool) -> Vec<Row> {
     points

@@ -15,7 +15,7 @@
 use crate::dataset::PlainDataset;
 use crate::encrypt::{encrypt_dataset, physical_ashe_keys, EncryptedTable};
 use crate::keys::KeyStore;
-use crate::server::{EncryptedAggregate, PhysicalFilter, SeabedServer, ServerResponse};
+use crate::server::{EncryptedAggregate, PhysicalFilter, QueryTarget, ServerResponse};
 use seabed_ashe::{AsheCiphertext, AsheScheme, IdSet};
 use seabed_crypto::{DetScheme, OreScheme};
 use seabed_engine::{ExecStats, NetworkModel, Schema};
@@ -156,16 +156,20 @@ impl SeabedClient {
         encrypted
     }
 
-    /// Translates a SQL string and encrypts its literals against a server's
+    /// Translates a SQL string and encrypts its literals against a target's
     /// schema, producing everything needed to execute the query remotely.
     /// Exposed so benchmarks can time translation, execution and decryption
     /// separately.
+    ///
+    /// `target` is anything implementing [`QueryTarget`]: the in-process
+    /// [`crate::SeabedServer`], or a `seabed-dist` coordinator fanning the
+    /// query out across sharded workers — the proxy surface is identical.
     pub fn prepare(
         &self,
-        server: &SeabedServer,
+        target: &impl QueryTarget,
         sql: &str,
     ) -> Result<(Query, TranslatedQuery, Vec<PhysicalFilter>), SeabedError> {
-        self.prepare_with_schema(&server.table().schema, sql)
+        self.prepare_with_schema(target.schema(), sql)
     }
 
     /// Like [`SeabedClient::prepare`], but resolves filter columns against a
@@ -231,18 +235,19 @@ impl SeabedClient {
         Ok(out)
     }
 
-    /// Runs a SQL query end-to-end against a Seabed server ("Query Data" in
+    /// Runs a SQL query end-to-end against a query target ("Query Data" in
     /// §4.1): translate, encrypt literals, execute remotely, decrypt and
-    /// post-process.
+    /// post-process. The target may be the in-process [`crate::SeabedServer`]
+    /// or a `seabed-dist` coordinator — same surface either way.
     ///
     /// Every layer reports through [`SeabedError`]: malformed SQL surfaces as
     /// [`SeabedError::Parse`], references to unknown columns as
     /// [`SeabedError::Schema`], unsupported operations as
     /// [`SeabedError::Translate`], and a server response that does not match
     /// the plan as [`SeabedError::Engine`] / [`SeabedError::Encoding`].
-    pub fn query(&self, server: &SeabedServer, sql: &str) -> Result<QueryResult, SeabedError> {
-        let (query, translated, filters) = self.prepare(server, sql)?;
-        let response = server.execute(&translated, &filters)?;
+    pub fn query(&self, target: &impl QueryTarget, sql: &str) -> Result<QueryResult, SeabedError> {
+        let (query, translated, filters) = self.prepare(target, sql)?;
+        let response = target.execute_query(&translated, &filters)?;
         self.decrypt_response(&query, &translated, response)
     }
 
@@ -552,6 +557,7 @@ fn merge_encrypted(a: &mut EncryptedAggregate, b: EncryptedAggregate) -> Result<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::SeabedServer;
     use seabed_engine::{Cluster, ClusterConfig};
 
     fn build_system() -> Result<(SeabedClient, SeabedServer, PlainDataset), SeabedError> {

@@ -58,4 +58,7 @@ pub use client::{QueryResult, QueryTimings, ResultValue, SeabedClient};
 pub use dataset::{PlainColumn, PlainDataset};
 pub use encrypt::{encrypt_dataset, physical_ashe_keys, EncryptedTable};
 pub use keys::KeyStore;
-pub use server::{EncryptedAggregate, GroupResult, PhysicalFilter, SeabedServer, ServerResponse};
+pub use server::{
+    finalize_partials, EncryptedAggregate, GroupResult, PartialResponse, PhysicalFilter, QueryTarget, SeabedServer,
+    ServerResponse,
+};

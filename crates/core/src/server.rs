@@ -41,10 +41,10 @@ use seabed_ashe::IdSet;
 use seabed_crypto::ore::{try_compare_symbols, OreCiphertext};
 use seabed_encoding::IdListEncoding;
 use seabed_engine::exec::{self, SelectionVector};
-use seabed_engine::{Cluster, ColumnType, ExecMode, ExecStats, Partition, Table, TaskOutput};
+use seabed_engine::merge::{extreme_replaces, merge_partial_groups, ExtremeCandidate, PartialAggregate, PartialGroups};
+use seabed_engine::{Cluster, ColumnType, ExecMode, ExecStats, Partition, Schema, Table, TaskOutput};
 use seabed_error::SeabedError;
 use seabed_query::{CompareOp, ServerAggregate, TranslatedQuery};
-use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// A filter with its literal already encrypted by the proxy.
@@ -366,100 +366,67 @@ impl ResolvedAggregate {
         })
     }
 
-    fn accumulator(&self) -> Accumulator {
+    /// The empty (identity) merge state for this aggregate. The mergeable
+    /// state type lives in [`seabed_engine::merge`], so the driver merge and
+    /// the `seabed-dist` coordinator gather share one implementation.
+    fn empty_state(&self) -> PartialAggregate {
         match *self {
-            ResolvedAggregate::Sum { column } => Accumulator::Sum {
-                column,
+            ResolvedAggregate::Sum { .. } => PartialAggregate::Sum {
                 value: 0,
                 ids: IdSet::new(),
             },
-            ResolvedAggregate::Count => Accumulator::Count { ids: IdSet::new() },
-            ResolvedAggregate::Extreme {
-                ore_column,
-                value_column,
-                want_max,
-            } => Accumulator::Extreme {
-                ore_column,
-                value_column,
-                best: None,
-                want_max,
-            },
+            ResolvedAggregate::Count => PartialAggregate::Count { ids: IdSet::new() },
+            ResolvedAggregate::Extreme { want_max, .. } => PartialAggregate::Extreme { best: None, want_max },
         }
     }
-}
 
-/// Internal per-aggregate accumulator.
-#[derive(Clone)]
-enum Accumulator {
-    Sum {
-        column: usize,
-        value: u64,
-        ids: IdSet,
-    },
-    Count {
-        ids: IdSet,
-    },
-    Extreme {
-        ore_column: usize,
-        value_column: usize,
-        best: Option<(OreCiphertext, u64, u64)>,
-        want_max: bool,
-    },
-}
-
-impl Accumulator {
-    fn observe(&mut self, partition: &Partition, row: usize) {
+    /// Folds one selected row into `state`. The state vectors are always
+    /// built from the same resolved-aggregate list this spec came from, so
+    /// the kinds line up; a (structurally impossible) mismatch leaves the
+    /// state unchanged rather than panicking.
+    fn observe(&self, state: &mut PartialAggregate, partition: &Partition, row: usize) {
         let row_id = partition.row_id(row);
-        match self {
-            Accumulator::Sum { column, value, ids } => {
+        match (*self, state) {
+            (ResolvedAggregate::Sum { column }, PartialAggregate::Sum { value, ids }) => {
                 let cell = partition
-                    .column_get(*column)
+                    .column_get(column)
                     .and_then(|c| c.u64_get(row))
                     .unwrap_or_default();
                 *value = value.wrapping_add(cell);
                 ids.push_ordered(row_id);
             }
-            Accumulator::Count { ids } => ids.push_ordered(row_id),
-            Accumulator::Extreme {
-                ore_column,
-                value_column,
-                best,
-                want_max,
-            } => {
-                let Some(symbols) = partition.column_get(*ore_column).and_then(|c| c.bytes_get(row)) else {
+            (ResolvedAggregate::Count, PartialAggregate::Count { ids }) => ids.push_ordered(row_id),
+            (
+                ResolvedAggregate::Extreme {
+                    ore_column,
+                    value_column,
+                    ..
+                },
+                PartialAggregate::Extreme { best, want_max },
+            ) => {
+                let Some(symbols) = partition.column_get(ore_column).and_then(|c| c.bytes_get(row)) else {
                     return;
                 };
-                // A corrupt-width cell is incomparable with every well-formed
-                // ciphertext: skip it, exactly as the filter path treats such
-                // rows as non-matching. This also keeps it from becoming an
-                // undisplaceable `best`.
-                if symbols.len() != seabed_crypto::ore::ORE_BITS {
-                    return;
-                }
-                let replace = match best {
-                    None => true,
-                    Some((current, _, _)) => try_compare_symbols(symbols, &current.symbols).is_some_and(|ord| {
-                        if *want_max {
-                            ord == Ordering::Greater
-                        } else {
-                            ord == Ordering::Less
-                        }
-                    }),
-                };
-                if replace {
+                // `extreme_replaces` is total and rejects corrupt-width cells
+                // outright (exactly as the filter path treats such rows as
+                // non-matching), so a corrupt cell can neither win nor become
+                // an undisplaceable `best`. The candidate's symbols are only
+                // cloned when it actually wins.
+                if extreme_replaces(best.as_ref(), symbols, *want_max) {
                     let word = partition
-                        .column_get(*value_column)
+                        .column_get(value_column)
                         .and_then(|c| c.u64_get(row))
                         .unwrap_or_default();
-                    *best = Some((
-                        OreCiphertext {
+                    *best = Some(ExtremeCandidate {
+                        ciphertext: OreCiphertext {
                             symbols: symbols.to_vec(),
                         },
-                        word,
+                        value_word: word,
                         row_id,
-                    ));
+                    });
                 }
             }
+            _ => {}
         }
     }
 
@@ -467,10 +434,15 @@ impl Accumulator {
     /// the needed column is resolved to a slice once, then consumed in
     /// [`exec::BATCH_ROWS`]-row batches in ascending row order — the same
     /// visit order as the scalar path, so ID lists come out identical.
-    fn accumulate(&mut self, partition: &Partition, sel: &SelectionVector) -> Result<(), SeabedError> {
-        match self {
-            Accumulator::Sum { column, value, ids } => {
-                let col = typed_slice!(partition, *column, u64_slice, "UInt64")?;
+    fn accumulate(
+        &self,
+        state: &mut PartialAggregate,
+        partition: &Partition,
+        sel: &SelectionVector,
+    ) -> Result<(), SeabedError> {
+        match (*self, state) {
+            (ResolvedAggregate::Sum { column }, PartialAggregate::Sum { value, ids }) => {
+                let col = typed_slice!(partition, column, u64_slice, "UInt64")?;
                 for batch in sel.batches() {
                     for &row in batch {
                         *value = value.wrapping_add(col.get(row as usize).copied().unwrap_or_default());
@@ -478,17 +450,17 @@ impl Accumulator {
                     }
                 }
             }
-            Accumulator::Count { ids } => {
+            (ResolvedAggregate::Count, PartialAggregate::Count { ids }) => {
                 for batch in sel.batches() {
                     for &row in batch {
                         ids.push_ordered(partition.row_id(row as usize));
                     }
                 }
             }
-            Accumulator::Extreme { .. } => {
+            (_, state) => {
                 for batch in sel.batches() {
                     for &row in batch {
-                        self.observe(partition, row as usize);
+                        self.observe(state, partition, row as usize);
                     }
                 }
             }
@@ -499,15 +471,15 @@ impl Accumulator {
     /// Dense accumulation of an entire partition (the no-filter vectorized
     /// path): no selection vector is materialised at all — sums stream over
     /// the column slice and the ID lists collapse into one contiguous run.
-    fn accumulate_dense(&mut self, partition: &Partition) -> Result<(), SeabedError> {
+    fn accumulate_dense(&self, state: &mut PartialAggregate, partition: &Partition) -> Result<(), SeabedError> {
         let n = partition.num_rows();
         if n == 0 {
             return Ok(());
         }
         let full_range = IdSet::range(partition.row_id(0), partition.row_id(n - 1));
-        match self {
-            Accumulator::Sum { column, value, ids } => {
-                let col = typed_slice!(partition, *column, u64_slice, "UInt64")?;
+        match (*self, state) {
+            (ResolvedAggregate::Sum { column }, PartialAggregate::Sum { value, ids }) => {
+                let col = typed_slice!(partition, column, u64_slice, "UInt64")?;
                 let mut acc = 0u64;
                 for &cell in col {
                     acc = acc.wrapping_add(cell);
@@ -515,83 +487,42 @@ impl Accumulator {
                 *value = value.wrapping_add(acc);
                 *ids = ids.union(&full_range);
             }
-            Accumulator::Count { ids } => {
+            (ResolvedAggregate::Count, PartialAggregate::Count { ids }) => {
                 *ids = ids.union(&full_range);
             }
-            Accumulator::Extreme { .. } => {
+            (_, state) => {
                 for row in 0..n {
-                    self.observe(partition, row);
+                    self.observe(state, partition, row);
                 }
             }
         }
         Ok(())
     }
-
-    /// Folds another partition's partial into this one. All accumulator
-    /// vectors are built from the same resolved-aggregate list, so the kinds
-    /// always line up; a mismatched pair (impossible by construction) leaves
-    /// `self` unchanged rather than panicking.
-    fn merge(&mut self, other: Accumulator) {
-        match (self, other) {
-            (Accumulator::Sum { value, ids, .. }, Accumulator::Sum { value: v2, ids: i2, .. }) => {
-                *value = value.wrapping_add(v2);
-                *ids = ids.union(&i2);
-            }
-            (Accumulator::Count { ids }, Accumulator::Count { ids: i2 }) => {
-                *ids = ids.union(&i2);
-            }
-            (
-                Accumulator::Extreme { best, want_max, .. },
-                Accumulator::Extreme {
-                    best: Some((ct, word, id)),
-                    ..
-                },
-            ) => {
-                let replace = match best {
-                    None => true,
-                    // Total comparison: partition winners of different widths
-                    // (possible only with corrupt cells) must not panic the
-                    // driver; the incomparable candidate is simply not taken.
-                    Some((current, _, _)) => try_compare_symbols(&ct.symbols, &current.symbols).is_some_and(|ord| {
-                        if *want_max {
-                            ord == Ordering::Greater
-                        } else {
-                            ord == Ordering::Less
-                        }
-                    }),
-                };
-                if replace {
-                    *best = Some((ct, word, id));
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn finish(self, encoding: IdListEncoding) -> EncryptedAggregate {
-        match self {
-            Accumulator::Sum { value, ids, .. } => EncryptedAggregate::AsheSum {
-                value,
-                id_list: ids.encode(encoding),
-                encoding,
-            },
-            Accumulator::Count { ids } => EncryptedAggregate::Count { rows: ids.count() },
-            Accumulator::Extreme { best, .. } => match best {
-                Some((_, word, id)) => EncryptedAggregate::Extreme {
-                    value_word: word,
-                    row_id: Some(id),
-                },
-                None => EncryptedAggregate::Extreme {
-                    value_word: 0,
-                    row_id: None,
-                },
-            },
-        }
-    }
 }
 
-/// Per-partition partial result: accumulators per (possibly inflated) key.
-type PartialGroups = HashMap<Vec<u64>, Vec<Accumulator>>;
+/// Finalizes one merged partial into the client-facing aggregate: IDs are
+/// encoded (sums) or counted (counts), and MIN/MAX candidates drop their ORE
+/// ciphertext, keeping only the winning value word and row identifier.
+fn finish_partial(state: PartialAggregate, encoding: IdListEncoding) -> EncryptedAggregate {
+    match state {
+        PartialAggregate::Sum { value, ids } => EncryptedAggregate::AsheSum {
+            value,
+            id_list: ids.encode(encoding),
+            encoding,
+        },
+        PartialAggregate::Count { ids } => EncryptedAggregate::Count { rows: ids.count() },
+        PartialAggregate::Extreme { best, .. } => match best {
+            Some(candidate) => EncryptedAggregate::Extreme {
+                value_word: candidate.value_word,
+                row_id: Some(candidate.row_id),
+            },
+            None => EncryptedAggregate::Extreme {
+                value_word: 0,
+                row_id: None,
+            },
+        },
+    }
+}
 
 /// Compressed partial-result size in bytes: what this partition's worker
 /// would ship to the driver. Shared by both execution paths so the reported
@@ -599,11 +530,11 @@ type PartialGroups = HashMap<Vec<u64>, Vec<Accumulator>>;
 fn partial_bytes(groups: &PartialGroups, encoding: IdListEncoding, group_columns: usize) -> usize {
     groups
         .values()
-        .flat_map(|accs| accs.iter())
-        .map(|acc| match acc {
-            Accumulator::Sum { ids, .. } => 8 + ids.encoded_size(encoding),
-            Accumulator::Count { ids } => 8 + ids.encoded_size(encoding),
-            Accumulator::Extreme { .. } => 16,
+        .flat_map(|partials| partials.iter())
+        .map(|partial| match partial {
+            PartialAggregate::Sum { ids, .. } => 8 + ids.encoded_size(encoding),
+            PartialAggregate::Count { ids } => 8 + ids.encoded_size(encoding),
+            PartialAggregate::Extreme { .. } => 16,
         })
         .sum::<usize>()
         + groups.len() * 8 * group_columns.max(1)
@@ -637,13 +568,27 @@ impl SeabedServer {
     /// yields `Err(SeabedError::Schema(SchemaError::CorruptPartition { .. }))`
     /// instead of silently mis-grouping rows.
     pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
-        // Aggregation queries use the range-friendly encoding; group-by
-        // queries use per-ID diff encoding (§4.5).
-        let encoding = if query.group_by.is_empty() {
-            IdListEncoding::seabed_default()
-        } else {
-            IdListEncoding::seabed_group_by()
-        };
+        let partial = self.execute_partial(query, filters)?;
+        Ok(finalize_partials(query, partial.groups, partial.stats))
+    }
+
+    /// Executes a translated query but stops before finalization, returning
+    /// the still-mergeable per-group partial states. This is the map side of
+    /// the distributed pipeline: a `seabed-dist` worker answers shard queries
+    /// with exactly this, the coordinator folds the shards' partials with
+    /// [`seabed_engine::merge`], and [`finalize_partials`] turns the fold
+    /// into a [`ServerResponse`] — the same two steps `execute` performs
+    /// in-process, so distributed and single-server results are identical by
+    /// construction.
+    pub fn execute_partial(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+    ) -> Result<PartialResponse, SeabedError> {
+        // Degenerate cluster configurations (zero workers / zero local
+        // threads) are rejected before any scan starts.
+        self.cluster.config.validate()?;
+        let encoding = response_encoding(query);
 
         self.table.validate_layout()?;
         for filter in filters {
@@ -690,45 +635,125 @@ impl SeabedServer {
             }
         });
 
-        // Driver: merge partial groups (propagating any partition failure).
+        // Driver: merge partial groups (propagating any partition failure)
+        // through the shared merge implementation.
         let mut merged: PartialGroups = HashMap::new();
         for partial in partials {
-            for (key, accs) in partial? {
-                match merged.entry(key) {
-                    std::collections::hash_map::Entry::Vacant(slot) => {
-                        slot.insert(accs);
-                    }
-                    std::collections::hash_map::Entry::Occupied(mut slot) => {
-                        for (a, b) in slot.get_mut().iter_mut().zip(accs) {
-                            a.merge(b);
-                        }
-                    }
-                }
-            }
+            merge_partial_groups(&mut merged, partial?);
         }
-        // Global aggregates with no matching rows still return one empty group.
-        if merged.is_empty() && group_columns.is_empty() {
-            merged.insert(Vec::new(), resolved.iter().map(|r| r.accumulator()).collect());
-        }
+        Ok(PartialResponse { groups: merged, stats })
+    }
+}
 
-        let mut groups: Vec<GroupResult> = merged
-            .into_iter()
-            .map(|(key, accs)| GroupResult {
-                key,
-                aggregates: accs.into_iter().map(|a| a.finish(encoding)).collect(),
-            })
-            .collect();
-        groups.sort_by(|a, b| a.key.cmp(&b.key));
-        let result_bytes: usize = groups
-            .iter()
-            .map(|g| g.key.len() * 8 + g.aggregates.iter().map(|a| a.byte_len()).sum::<usize>())
-            .sum();
+/// The ID-list encoding a query's response uses: aggregation queries use the
+/// range-friendly encoding; group-by queries use per-ID diff encoding (§4.5).
+fn response_encoding(query: &TranslatedQuery) -> IdListEncoding {
+    if query.group_by.is_empty() {
+        IdListEncoding::seabed_default()
+    } else {
+        IdListEncoding::seabed_group_by()
+    }
+}
 
-        Ok(ServerResponse {
-            groups,
-            stats,
-            result_bytes,
+/// The empty (identity) merge state for a logical server aggregate, without
+/// needing a table to resolve columns against. Matches
+/// `ResolvedAggregate::empty_state` for every resolvable aggregate, so a
+/// gather point that never saw the table (the `seabed-dist` coordinator) can
+/// still synthesize the empty global group.
+fn empty_state_of(agg: &ServerAggregate) -> PartialAggregate {
+    match agg {
+        ServerAggregate::AsheSum { .. } => PartialAggregate::Sum {
+            value: 0,
+            ids: IdSet::new(),
+        },
+        ServerAggregate::CountRows => PartialAggregate::Count { ids: IdSet::new() },
+        ServerAggregate::OpeMin { .. } => PartialAggregate::Extreme {
+            best: None,
+            want_max: false,
+        },
+        ServerAggregate::OpeMax { .. } => PartialAggregate::Extreme {
+            best: None,
+            want_max: true,
+        },
+    }
+}
+
+/// Turns fully-merged partial groups into the client-facing response: the
+/// reduce tail shared by in-process execution and the `seabed-dist`
+/// coordinator. Inserts the empty global group for aggregates with no
+/// matching rows, finalizes every partial, sorts groups by key, and accounts
+/// the serialized result size.
+pub fn finalize_partials(query: &TranslatedQuery, mut merged: PartialGroups, stats: ExecStats) -> ServerResponse {
+    let encoding = response_encoding(query);
+    // Global aggregates with no matching rows still return one empty group.
+    if merged.is_empty() && query.group_by.is_empty() {
+        merged.insert(Vec::new(), query.aggregates.iter().map(empty_state_of).collect());
+    }
+    let mut groups: Vec<GroupResult> = merged
+        .into_iter()
+        .map(|(key, partials)| GroupResult {
+            key,
+            aggregates: partials.into_iter().map(|p| finish_partial(p, encoding)).collect(),
         })
+        .collect();
+    groups.sort_by(|a, b| a.key.cmp(&b.key));
+    let result_bytes: usize = groups
+        .iter()
+        .map(|g| g.key.len() * 8 + g.aggregates.iter().map(|a| a.byte_len()).sum::<usize>())
+        .sum();
+    ServerResponse {
+        groups,
+        stats,
+        result_bytes,
+    }
+}
+
+/// A still-mergeable query result: per (possibly inflated) group key, one
+/// [`PartialAggregate`] per requested aggregate, plus the execution
+/// statistics of the scan that produced it. What a `seabed-dist` worker ships
+/// to the coordinator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartialResponse {
+    /// Mergeable per-group partial states.
+    pub groups: PartialGroups,
+    /// Statistics of the scan.
+    pub stats: ExecStats,
+}
+
+impl PartialResponse {
+    /// Compressed size in bytes of these partials under the encoding `query`
+    /// would ship them with (what a worker→coordinator transfer costs).
+    pub fn shuffle_bytes(&self, query: &TranslatedQuery) -> usize {
+        partial_bytes(&self.groups, response_encoding(query), query.group_by.len())
+    }
+}
+
+/// Anything a [`crate::SeabedClient`] can point a query at: the in-process
+/// [`SeabedServer`], a `seabed-net` remote proxy, or a `seabed-dist`
+/// coordinator fanning the query out over sharded workers. The proxy only
+/// needs a schema to prepare against and an execution entry point; planning,
+/// literal encryption and response decryption stay in the client regardless
+/// of the target's topology.
+pub trait QueryTarget {
+    /// The schema queries are prepared against.
+    fn schema(&self) -> &Schema;
+
+    /// Executes a prepared (translated, literal-encrypted) query.
+    fn execute_query(&self, query: &TranslatedQuery, filters: &[PhysicalFilter])
+        -> Result<ServerResponse, SeabedError>;
+}
+
+impl QueryTarget for SeabedServer {
+    fn schema(&self) -> &Schema {
+        &self.table.schema
+    }
+
+    fn execute_query(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+    ) -> Result<ServerResponse, SeabedError> {
+        self.execute(query, filters)
     }
 }
 
@@ -767,9 +792,9 @@ fn scan_scalar(
         }
         let entry = groups
             .entry(key)
-            .or_insert_with(|| resolved.iter().map(|r| r.accumulator()).collect());
-        for acc in entry.iter_mut() {
-            acc.observe(partition, row);
+            .or_insert_with(|| resolved.iter().map(|r| r.empty_state()).collect());
+        for (spec, state) in resolved.iter().zip(entry.iter_mut()) {
+            spec.observe(state, partition, row);
         }
     }
     Ok(groups)
@@ -842,21 +867,21 @@ fn scan_vectorized(
     }
 
     if group_columns.is_empty() {
-        // Global aggregation: one accumulator vector, no per-row key hashing
-        // at all; the unfiltered case collapses ID lists into one run.
-        let mut accs: Vec<Accumulator> = resolved.iter().map(|r| r.accumulator()).collect();
-        for acc in &mut accs {
+        // Global aggregation: one partial-state vector, no per-row key
+        // hashing at all; the unfiltered case collapses ID lists into one run.
+        let mut states: Vec<PartialAggregate> = resolved.iter().map(|r| r.empty_state()).collect();
+        for (spec, state) in resolved.iter().zip(states.iter_mut()) {
             match &sel {
-                None => acc.accumulate_dense(partition)?,
-                Some(sel) => acc.accumulate(partition, sel)?,
+                None => spec.accumulate_dense(state, partition)?,
+                Some(sel) => spec.accumulate(state, partition, sel)?,
             }
         }
-        groups.insert(Vec::new(), accs);
+        groups.insert(Vec::new(), states);
     } else if group_columns.len() == 1 && inflation == 1 {
         // Single-u64-key fast path: hash a bare u64 per row instead of
         // allocating and hashing a Vec<u64> key.
         let keys = typed_slice!(partition, group_columns[0], u64_slice, "UInt64")?;
-        let mut fast: HashMap<u64, Vec<Accumulator>> = HashMap::new();
+        let mut fast: HashMap<u64, Vec<PartialAggregate>> = HashMap::new();
         for_each_selected(sel.as_ref(), n, |row| {
             let Some(&key) = keys.get(row) else {
                 return Err(SeabedError::engine(format!(
@@ -866,13 +891,13 @@ fn scan_vectorized(
             };
             let entry = fast
                 .entry(key)
-                .or_insert_with(|| resolved.iter().map(|r| r.accumulator()).collect());
-            for acc in entry.iter_mut() {
-                acc.observe(partition, row);
+                .or_insert_with(|| resolved.iter().map(|r| r.empty_state()).collect());
+            for (spec, state) in resolved.iter().zip(entry.iter_mut()) {
+                spec.observe(state, partition, row);
             }
             Ok(())
         })?;
-        groups.extend(fast.into_iter().map(|(k, accs)| (vec![k], accs)));
+        groups.extend(fast.into_iter().map(|(k, states)| (vec![k], states)));
     } else {
         // General composite-key path (multiple group columns and/or an
         // inflation suffix): key columns are resolved to slices once, the
@@ -894,9 +919,9 @@ fn scan_vectorized(
             }
             let entry = groups
                 .entry(key)
-                .or_insert_with(|| resolved.iter().map(|r| r.accumulator()).collect());
-            for acc in entry.iter_mut() {
-                acc.observe(partition, row);
+                .or_insert_with(|| resolved.iter().map(|r| r.empty_state()).collect());
+            for (spec, state) in resolved.iter().zip(entry.iter_mut()) {
+                spec.observe(state, partition, row);
             }
             Ok(())
         })?;
@@ -1115,6 +1140,42 @@ mod tests {
             );
         }
         Ok(())
+    }
+
+    /// `execute` is by construction `execute_partial` + `finalize_partials`;
+    /// pin that the seam really is byte-identical so the `seabed-dist`
+    /// coordinator (which reassembles the same two halves across a network)
+    /// cannot diverge from single-server execution.
+    #[test]
+    fn execute_equals_partial_plus_finalize() -> Result<(), SeabedError> {
+        let s = server(500);
+        for (group_by, inflation) in [(vec![], 1u32), (group_by_g(), 1), (group_by_g(), 4)] {
+            let query = sum_query(group_by, inflation);
+            let direct = s.execute(&query, &[])?;
+            let partial = s.execute_partial(&query, &[])?;
+            assert!(partial.shuffle_bytes(&query) > 0);
+            let reassembled = finalize_partials(&query, partial.groups, partial.stats);
+            assert_eq!(direct.groups, reassembled.groups);
+            assert_eq!(direct.result_bytes, reassembled.result_bytes);
+        }
+        Ok(())
+    }
+
+    /// Degenerate cluster configurations (zero workers / zero local threads)
+    /// used to reach the execution path unchecked; they are now rejected with
+    /// a typed error before any scan starts.
+    #[test]
+    fn degenerate_cluster_config_is_rejected_at_execution() {
+        for config in [
+            ClusterConfig::with_workers(0),
+            ClusterConfig::with_workers(8).local_threads(0),
+        ] {
+            let s = SeabedServer::new(test_table(10), Cluster::new(config));
+            assert!(matches!(
+                s.execute(&sum_query(vec![], 1), &[]),
+                Err(SeabedError::Engine(_))
+            ));
+        }
     }
 
     #[test]

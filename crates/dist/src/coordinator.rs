@@ -1,0 +1,896 @@
+//! The scatter/gather coordinator.
+//!
+//! [`DistCoordinator::connect`] shards an encrypted [`Table`]'s partitions
+//! across N workers (contiguous partition ranges, so per-worker ID lists stay
+//! run-compressed), announces a fresh **epoch** to every worker, and loads
+//! each shard over the wire. [`DistCoordinator::execute`] then scatters the
+//! translated query to every worker holding shards — concurrently over the
+//! persistent connections — and gathers the mergeable partial results into
+//! one [`ServerResponse`] via [`seabed_engine::merge`] +
+//! [`seabed_core::finalize_partials`]: the *same* two steps in-process
+//! execution runs, so the distributed answer is byte-identical by
+//! construction.
+//!
+//! # Failure semantics
+//!
+//! Per shard query, the coordinator distinguishes:
+//!
+//! * **transport/protocol failures** (connect reset, mid-frame stall past the
+//!   read timeout, framing desync, epoch/sequence mismatch, shard not
+//!   resident): the worker's connection is poisoned and the shard is
+//!   **re-dispatched** — re-loaded from the coordinator's retained copy onto
+//!   a surviving worker and re-queried there. The coordinator itself never
+//!   dies; only when no worker survives does the query return a typed
+//!   [`SeabedError::Dist`].
+//! * **query failures** (schema mismatch, corrupt shard, translation
+//!   problems): deterministic — every worker would answer the same — so they
+//!   propagate to the caller immediately instead of burning retries.
+//!
+//! A worker's reply must echo the `(epoch, shard, seq)` triple of the
+//! in-flight request. Stale triples (a duplicate or a late answer to an
+//! earlier sequence number) are discarded and counted; anything else poisons
+//! the connection, reusing the `seabed-net` rule that a response can never be
+//! paired with the wrong request.
+
+use seabed_core::{finalize_partials, PartialResponse, PhysicalFilter, QueryTarget, ServerResponse};
+use seabed_engine::merge::{merge_partial_groups, PartialGroups};
+use seabed_engine::{ExecStats, Schema, Table};
+use seabed_error::SeabedError;
+use seabed_net::wire::{self, Frame, ShardExecConfig, HEADER_LEN};
+use seabed_query::TranslatedQuery;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
+
+/// How the coordinator walks the workers during a query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScatterMode {
+    /// One thread per worker; shards of different workers run in parallel.
+    #[default]
+    Concurrent,
+    /// Workers are queried one after another. Useful when measuring
+    /// per-worker scan times on an oversubscribed host (the `exp_scaleout`
+    /// bench), where concurrent workers would time-slice each other and
+    /// inflate every measurement.
+    Sequential,
+}
+
+/// Configuration of a [`DistCoordinator`].
+#[derive(Clone, Copy, Debug)]
+pub struct DistConfig {
+    /// Stall timeout for one worker round trip (connect, load, or query):
+    /// a worker that goes silent longer than this mid-request is treated as
+    /// dead and its shards are re-dispatched.
+    pub read_timeout: Duration,
+    /// Frame limit for worker connections (shard loads carry whole partition
+    /// sets, so this defaults to the wire maximum).
+    pub max_frame_len: u32,
+    /// Execution knobs fixed for every shard (worker-side scan threads and
+    /// scalar/vectorized mode).
+    pub exec: ShardExecConfig,
+    /// Scatter strategy.
+    pub scatter: ScatterMode,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            read_timeout: Duration::from_secs(10),
+            max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+            exec: ShardExecConfig {
+                local_threads: 1,
+                exec_mode: seabed_engine::ExecMode::Vectorized,
+            },
+            scatter: ScatterMode::Concurrent,
+        }
+    }
+}
+
+impl DistConfig {
+    /// Returns the configuration with the stall timeout replaced.
+    pub fn read_timeout(mut self, timeout: Duration) -> DistConfig {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Returns the configuration with the scatter mode replaced.
+    pub fn scatter(mut self, mode: ScatterMode) -> DistConfig {
+        self.scatter = mode;
+        self
+    }
+
+    /// Returns the configuration with the per-shard execution knobs replaced.
+    pub fn exec(mut self, exec: ShardExecConfig) -> DistConfig {
+        self.exec = exec;
+        self
+    }
+}
+
+/// One shard's execution record within a query (for observability and the
+/// scale-out bench's measured-vs-predicted comparison).
+#[derive(Clone, Debug)]
+pub struct ShardRun {
+    /// Shard identifier.
+    pub shard: u32,
+    /// Label (address) of the worker that answered.
+    pub worker: String,
+    /// The worker-side scan statistics (measured on the worker).
+    pub stats: ExecStats,
+    /// Coordinator-observed round-trip time for this shard's query.
+    pub round_trip: Duration,
+    /// True when the shard had to be re-dispatched away from its original
+    /// worker during this query.
+    pub redispatched: bool,
+}
+
+/// What one `execute` call did, shard by shard.
+#[derive(Clone, Debug, Default)]
+pub struct QueryReport {
+    /// Per-shard execution records.
+    pub runs: Vec<ShardRun>,
+    /// Time spent merging partials and finalizing at the coordinator.
+    pub gather_time: Duration,
+    /// End-to-end wall time of the scatter/gather.
+    pub wall_time: Duration,
+    /// Stale (duplicate or late) partials discarded during this query.
+    pub discarded_partials: u64,
+}
+
+/// Health and traffic summary of one worker.
+#[derive(Clone, Debug)]
+pub struct WorkerSummary {
+    /// Worker label (resolved address).
+    pub label: String,
+    /// False once the connection was poisoned by a failure.
+    pub alive: bool,
+    /// Shards currently assigned to this worker.
+    pub shards: Vec<u32>,
+    /// Shard queries answered by this worker.
+    pub queries: u64,
+    /// Bytes written to this worker.
+    pub bytes_sent: u64,
+    /// Bytes read from this worker.
+    pub bytes_received: u64,
+}
+
+/// A framed, persistent connection to one worker. Any transport or framing
+/// failure poisons it (the stream can no longer be assumed frame-aligned,
+/// nor empty of stale replies), which the coordinator treats as worker death.
+struct FramedConn {
+    stream: TcpStream,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+impl FramedConn {
+    /// Writes one pre-encoded frame. Encoding happens *before* the
+    /// connection is involved (see the callers): a local encode failure —
+    /// e.g. a shard table that outgrows the frame limit — is deterministic
+    /// and must not read as worker death.
+    fn send(&mut self, bytes: &[u8]) -> Result<(), SeabedError> {
+        self.stream
+            .write_all(bytes)
+            .and_then(|_| self.stream.flush())
+            .map_err(|e| SeabedError::net(format!("send: {e}")))?;
+        self.bytes_sent += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn recv(&mut self, max_frame_len: u32) -> Result<Frame, SeabedError> {
+        let mut header_bytes = [0u8; HEADER_LEN];
+        read_exact(&mut self.stream, &mut header_bytes)?;
+        let header = wire::decode_header(&header_bytes, max_frame_len)?;
+        let mut payload = vec![0u8; header.payload_len as usize];
+        read_exact(&mut self.stream, &mut payload)?;
+        self.bytes_received += (HEADER_LEN + payload.len()) as u64;
+        wire::decode_payload(header.kind, &payload)
+    }
+}
+
+fn read_exact(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), SeabedError> {
+    stream.read_exact(buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => SeabedError::net("worker closed the connection"),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            SeabedError::net("worker stalled past the read timeout")
+        }
+        _ => SeabedError::net(format!("receive: {e}")),
+    })
+}
+
+/// One worker as the coordinator sees it.
+struct WorkerLink {
+    label: String,
+    /// `None` once poisoned. Guarded per worker, so concurrent scatter
+    /// threads to *different* workers never contend.
+    conn: Mutex<Option<FramedConn>>,
+    queries: AtomicU64,
+    /// Cumulative traffic totals, mirrored out of the connection after every
+    /// exchange so they survive poisoning — the post-mortem summary of a dead
+    /// worker still reports what it really shipped.
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl WorkerLink {
+    /// Runs `op` under this worker's connection lock. `op` reports on two
+    /// levels: the **outer** error means the exchange itself broke
+    /// (transport failure, framing desync, protocol violation) and always
+    /// poisons the connection; the **inner** error is a complete,
+    /// well-framed error frame the worker sent — e.g. a query the shard
+    /// rejected, or a response that outgrew the worker's frame limit — and
+    /// leaves the healthy connection alone.
+    fn with_conn<T>(
+        &self,
+        op: impl FnOnce(&mut FramedConn) -> Result<Result<T, SeabedError>, SeabedError>,
+    ) -> Result<T, SeabedError> {
+        let mut guard = self.conn.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(conn) = guard.as_mut() else {
+            return Err(SeabedError::dist(
+                &self.label,
+                "connection is poisoned (worker presumed dead)",
+            ));
+        };
+        let outcome = op(conn);
+        self.bytes_sent.store(conn.bytes_sent, Ordering::Relaxed);
+        self.bytes_received.store(conn.bytes_received, Ordering::Relaxed);
+        match outcome {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(reported)) => Err(reported),
+            Err(err) => {
+                *guard = None;
+                Err(err)
+            }
+        }
+    }
+
+    fn alive(&self) -> bool {
+        self.conn.lock().unwrap_or_else(|p| p.into_inner()).is_some()
+    }
+
+    fn traffic(&self) -> (u64, u64) {
+        (
+            self.bytes_sent.load(Ordering::Relaxed),
+            self.bytes_received.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Whether a failed shard query is worth re-dispatching to another worker:
+/// transport and wire failures (this worker or its link misbehaved) and
+/// dist-protocol errors (e.g. "shard not resident" after a worker restart)
+/// are; deterministic query-semantics failures are not — every worker would
+/// answer the same.
+fn retry_elsewhere(err: &SeabedError) -> bool {
+    matches!(
+        err,
+        SeabedError::Net(_) | SeabedError::Wire(_) | SeabedError::Dist { .. }
+    )
+}
+
+/// The scatter/gather coordinator over N `seabed-net` workers.
+pub struct DistCoordinator {
+    schema: Schema,
+    /// Every shard is retained so a dead worker's shards can be re-loaded
+    /// onto a survivor mid-query.
+    shards: Vec<Table>,
+    workers: Vec<WorkerLink>,
+    /// `assignment[shard] = worker index`.
+    assignment: Mutex<Vec<usize>>,
+    epoch: u64,
+    seq: AtomicU64,
+    config: DistConfig,
+    discarded: AtomicU64,
+    last_report: Mutex<QueryReport>,
+}
+
+impl DistCoordinator {
+    /// Connects to `addrs`, shards `table`'s partitions across them
+    /// (contiguous ranges, one shard per worker; extra workers stay empty as
+    /// hot spares for re-dispatch), announces a fresh epoch, and loads every
+    /// shard. Workers keep their shards until a coordinator with a different
+    /// epoch claims them.
+    pub fn connect<A: ToSocketAddrs>(
+        addrs: &[A],
+        table: Table,
+        config: DistConfig,
+    ) -> Result<DistCoordinator, SeabedError> {
+        if addrs.is_empty() {
+            return Err(SeabedError::dist("coordinator", "no worker addresses given"));
+        }
+        table.validate_layout()?;
+        let schema = table.schema.clone();
+        let num_shards = addrs.len().min(table.partitions.len()).max(1);
+        let shards = split_into_shards(table, num_shards);
+
+        // The epoch orders coordinator generations: workers drop shards of
+        // any other epoch at handshake, so a restarted coordinator can never
+        // race its own stale assignments.
+        let epoch = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1)
+            .max(1);
+
+        let mut workers = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            workers.push(connect_worker(addr, epoch, &config)?);
+        }
+
+        let coordinator = DistCoordinator {
+            schema,
+            shards,
+            workers,
+            assignment: Mutex::new(Vec::new()),
+            epoch,
+            seq: AtomicU64::new(0),
+            config,
+            discarded: AtomicU64::new(0),
+            last_report: Mutex::new(QueryReport::default()),
+        };
+        // Initial placement: shard i on worker i.
+        let mut assignment = Vec::with_capacity(coordinator.shards.len());
+        for shard in 0..coordinator.shards.len() {
+            coordinator.load_shard(shard as u32, shard)?;
+            assignment.push(shard);
+        }
+        *coordinator.assignment.lock().unwrap_or_else(|p| p.into_inner()) = assignment;
+        Ok(coordinator)
+    }
+
+    /// The schema queries are prepared against (identical on every shard).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of shards the table was split into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard epoch in force on every worker.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// What the most recent `execute` did, shard by shard.
+    pub fn last_report(&self) -> QueryReport {
+        self.last_report.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Health and traffic summaries, one per worker.
+    pub fn worker_summaries(&self) -> Vec<WorkerSummary> {
+        let assignment = self.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(w, link)| {
+                let (bytes_sent, bytes_received) = link.traffic();
+                WorkerSummary {
+                    label: link.label.clone(),
+                    alive: link.alive(),
+                    shards: assignment
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &owner)| owner == w)
+                        .map(|(shard, _)| shard as u32)
+                        .collect(),
+                    queries: link.queries.load(Ordering::Relaxed),
+                    bytes_sent,
+                    bytes_received,
+                }
+            })
+            .collect()
+    }
+
+    /// Executes a translated query across every shard and merges the partial
+    /// results into one response, byte-identical to single-server execution.
+    /// Shards on a worker that died or stalled are re-dispatched to
+    /// survivors; the call fails only when a shard cannot run anywhere or a
+    /// worker reports a deterministic query error.
+    pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
+        let started = Instant::now();
+        let assignment = self.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let discarded_before = self.discarded.load(Ordering::Relaxed);
+
+        // Scatter: group shards by owning worker, one lane per worker.
+        let mut lanes: Vec<(usize, Vec<u32>)> = Vec::new();
+        for (shard, &worker) in assignment.iter().enumerate() {
+            match lanes.iter_mut().find(|(w, _)| *w == worker) {
+                Some((_, shards)) => shards.push(shard as u32),
+                None => lanes.push((worker, vec![shard as u32])),
+            }
+        }
+
+        let mut runs: Vec<LaneRun> = Vec::new();
+        let mut failed: Vec<(u32, SeabedError)> = Vec::new();
+        match self.config.scatter {
+            ScatterMode::Sequential => {
+                for (worker, shards) in &lanes {
+                    let (mut ok, mut bad) = self.query_lane(*worker, shards, query, filters);
+                    runs.append(&mut ok);
+                    failed.append(&mut bad);
+                }
+            }
+            ScatterMode::Concurrent => {
+                let outcomes: Vec<LaneOutcome> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = lanes
+                        .iter()
+                        .map(|(worker, shards)| {
+                            let worker = *worker;
+                            let shards = shards.as_slice();
+                            scope.spawn(move || self.query_lane(worker, shards, query, filters))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|_| {
+                                (
+                                    Vec::new(),
+                                    vec![(u32::MAX, SeabedError::dist("coordinator", "scatter thread panicked"))],
+                                )
+                            })
+                        })
+                        .collect()
+                });
+                for (mut ok, mut bad) in outcomes {
+                    runs.append(&mut ok);
+                    failed.append(&mut bad);
+                }
+            }
+        }
+
+        // Re-dispatch: transport/protocol casualties move to survivors; a
+        // deterministic query error fails the whole query immediately.
+        for (shard, err) in failed {
+            if !retry_elsewhere(&err) || shard == u32::MAX {
+                return Err(err);
+            }
+            let run = self.redispatch(shard, query, filters)?;
+            runs.push(run);
+        }
+
+        // Gather: fold every shard's partial groups through the shared merge
+        // implementation, then finalize exactly as the in-process driver.
+        let gather_started = Instant::now();
+        let mut merged: PartialGroups = PartialGroups::new();
+        let mut stats = ExecStats::default();
+        runs.sort_by_key(|r| r.shard);
+        for run in &mut runs {
+            let partial = std::mem::take(&mut run.partial);
+            let Some(partial) = partial else {
+                return Err(SeabedError::dist(&run.worker, "shard partial vanished before gather"));
+            };
+            stats = stats.merge(&partial.stats);
+            merge_partial_groups(&mut merged, partial.groups);
+        }
+        stats.wall_time = started.elapsed();
+        let response = finalize_partials(query, merged, stats);
+
+        let report = QueryReport {
+            runs: runs
+                .into_iter()
+                .map(|r| ShardRun {
+                    shard: r.shard,
+                    worker: r.worker,
+                    stats: r.stats,
+                    round_trip: r.round_trip,
+                    redispatched: r.redispatched,
+                })
+                .collect(),
+            gather_time: gather_started.elapsed(),
+            wall_time: started.elapsed(),
+            discarded_partials: self.discarded.load(Ordering::Relaxed) - discarded_before,
+        };
+        *self.last_report.lock().unwrap_or_else(|p| p.into_inner()) = report;
+        Ok(response)
+    }
+
+    /// Queries every shard in one worker's lane sequentially over its
+    /// persistent connection. Once the lane's connection is actually gone
+    /// (poisoned), the remaining shards are failed without further round
+    /// trips and handed to re-dispatch.
+    fn query_lane(
+        &self,
+        worker: usize,
+        shards: &[u32],
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+    ) -> LaneOutcome {
+        let mut ok = Vec::new();
+        let mut bad = Vec::new();
+        for (i, &shard) in shards.iter().enumerate() {
+            match self.query_shard(worker, shard, query, filters) {
+                Ok(run) => ok.push(run),
+                Err(err) => {
+                    bad.push((shard, err));
+                    if !self.workers[worker].alive() {
+                        // The lane's connection is gone; every remaining
+                        // shard fails the same way without more round trips.
+                        for &rest in &shards[i + 1..] {
+                            bad.push((
+                                rest,
+                                SeabedError::dist(&self.workers[worker].label, "lane lost before this shard ran"),
+                            ));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        (ok, bad)
+    }
+
+    /// One shard query on one worker: send, then read until the reply that
+    /// echoes this request's `(epoch, shard, seq)` arrives and shape-checks
+    /// against the query. Stale triples (late or duplicated partials of
+    /// earlier sequence numbers) are discarded; error frames are
+    /// worker-reported failures that leave the connection healthy; anything
+    /// else — including a malformed partial — poisons the connection.
+    fn query_shard(
+        &self,
+        worker: usize,
+        shard: u32,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+    ) -> Result<LaneRun, SeabedError> {
+        let link = &self.workers[worker];
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let request = Frame::ShardQuery {
+            epoch: self.epoch,
+            shard,
+            seq,
+            query: query.clone(),
+            filters: filters.to_vec(),
+        };
+        // Encode before touching the connection: a request that cannot be
+        // framed is a deterministic failure, not worker death.
+        let request_bytes = wire::encode_frame(&request, self.config.max_frame_len)?;
+        let started = Instant::now();
+        let max_frame_len = self.config.max_frame_len;
+        let epoch = self.epoch;
+        let discarded = &self.discarded;
+        let label = &link.label;
+        let partial = link.with_conn(|conn| {
+            conn.send(&request_bytes)?;
+            loop {
+                match conn.recv(max_frame_len)? {
+                    Frame::ShardPartial {
+                        epoch: e,
+                        shard: s,
+                        seq: q,
+                        partial,
+                    } if e == epoch && s == shard && q == seq => {
+                        // Shape-check before the partial may reach the merge:
+                        // a forged or buggy partial must be rejected here,
+                        // never silently zip-truncated by the fold.
+                        return match validate_partial(query, &partial) {
+                            Ok(()) => Ok(Ok(partial)),
+                            Err(detail) => Err(SeabedError::dist(label, detail)),
+                        };
+                    }
+                    // A stale reply: a duplicate, or the late answer to an
+                    // earlier (timed-out, re-dispatched) request. Discard and
+                    // keep waiting for ours.
+                    Frame::ShardPartial { epoch: e, seq: q, .. } if e == epoch && q < seq => {
+                        discarded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // A complete, well-framed error from the worker: the
+                    // exchange succeeded, the connection stays healthy.
+                    Frame::Error(err) => return Ok(Err(err)),
+                    other => {
+                        return Err(SeabedError::dist(
+                            label,
+                            format!(
+                                "expected the partial for (shard {shard}, seq {seq}), got {:?}",
+                                other.kind()
+                            ),
+                        ))
+                    }
+                }
+            }
+        })?;
+        link.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(LaneRun {
+            shard,
+            worker: link.label.clone(),
+            stats: partial.stats.clone(),
+            partial: Some(partial),
+            round_trip: started.elapsed(),
+            redispatched: false,
+        })
+    }
+
+    /// Loads shard `shard` onto `worker` and verifies the acknowledgement.
+    fn load_shard(&self, shard: u32, worker: usize) -> Result<(), SeabedError> {
+        let link = &self.workers[worker];
+        let table = self.shards[shard as usize].clone();
+        let rows = table.num_rows() as u64;
+        let frame = Frame::LoadShard {
+            epoch: self.epoch,
+            shard,
+            exec: self.config.exec,
+            table,
+        };
+        // A shard too large for the frame limit is a configuration problem,
+        // reported as-is without condemning the worker.
+        let frame_bytes = wire::encode_frame(&frame, self.config.max_frame_len)?;
+        let max_frame_len = self.config.max_frame_len;
+        let epoch = self.epoch;
+        let label = &link.label;
+        link.with_conn(|conn| {
+            conn.send(&frame_bytes)?;
+            match conn.recv(max_frame_len)? {
+                Frame::ShardLoaded {
+                    epoch: e,
+                    shard: s,
+                    rows: r,
+                } if e == epoch && s == shard && r == rows => Ok(Ok(())),
+                Frame::Error(err) => Ok(Err(err)),
+                other => Err(SeabedError::dist(
+                    label,
+                    format!("expected the load ack for shard {shard}, got {:?}", other.kind()),
+                )),
+            }
+        })
+    }
+
+    /// Moves a failed shard to a surviving worker and re-runs the query
+    /// there: the hedged retry of the subsystem. Tries every live worker
+    /// before giving up; success updates the standing assignment so later
+    /// queries go straight to the survivor.
+    fn redispatch(
+        &self,
+        shard: u32,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+    ) -> Result<LaneRun, SeabedError> {
+        let mut last_err = SeabedError::dist("coordinator", format!("no surviving worker could take shard {shard}"));
+        for (worker, link) in self.workers.iter().enumerate() {
+            if !link.alive() {
+                continue;
+            }
+            let attempt = self
+                .load_shard(shard, worker)
+                .and_then(|()| self.query_shard(worker, shard, query, filters));
+            match attempt {
+                Ok(mut run) => {
+                    run.redispatched = true;
+                    let mut assignment = self.assignment.lock().unwrap_or_else(|p| p.into_inner());
+                    if let Some(slot) = assignment.get_mut(shard as usize) {
+                        *slot = worker;
+                    }
+                    return Ok(run);
+                }
+                Err(err) => {
+                    // Deterministic query errors abort re-dispatch: another
+                    // worker would answer identically.
+                    if !retry_elsewhere(&err) {
+                        return Err(err);
+                    }
+                    last_err = err;
+                }
+            }
+        }
+        Err(SeabedError::dist(
+            "coordinator",
+            format!("shard {shard} could not be re-dispatched: {last_err}"),
+        ))
+    }
+}
+
+impl QueryTarget for DistCoordinator {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn execute_query(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+    ) -> Result<ServerResponse, SeabedError> {
+        self.execute(query, filters)
+    }
+}
+
+/// What one worker lane produced: completed shard runs plus the shards that
+/// failed with the error that felled them.
+type LaneOutcome = (Vec<LaneRun>, Vec<(u32, SeabedError)>);
+
+/// A [`ShardRun`] still carrying its mergeable partial.
+struct LaneRun {
+    shard: u32,
+    worker: String,
+    stats: ExecStats,
+    partial: Option<PartialResponse>,
+    round_trip: Duration,
+    redispatched: bool,
+}
+
+/// Splits a table's partitions into exactly `min(num_shards, partitions)`
+/// contiguous shard tables whose sizes differ by at most one partition (the
+/// first `len % shards` shards take the remainder), so no requested worker
+/// silently idles. Global row IDs travel with their partitions, so ASHE's
+/// telescoping decryption — and the exact de-inflated ID sets — are
+/// unchanged.
+fn split_into_shards(table: Table, num_shards: usize) -> Vec<Table> {
+    let schema = table.schema;
+    let partitions = table.partitions;
+    let total = partitions.len();
+    let shards_wanted = num_shards.max(1).min(total.max(1));
+    if total == 0 {
+        return vec![Table {
+            schema,
+            partitions: Vec::new(),
+        }];
+    }
+    let base = total / shards_wanted;
+    let remainder = total % shards_wanted;
+    let mut shards: Vec<Table> = Vec::with_capacity(shards_wanted);
+    let mut partitions = partitions.into_iter();
+    for shard in 0..shards_wanted {
+        let take = base + usize::from(shard < remainder);
+        shards.push(Table {
+            schema: schema.clone(),
+            partitions: partitions.by_ref().take(take).collect(),
+        });
+    }
+    shards
+}
+
+/// Shape-checks a worker's partial against the query before it may reach
+/// the merge: aggregate arity and kinds per group (including the MIN/MAX
+/// direction) and the group-key width. A forged or buggy partial is rejected
+/// with a description instead of being silently zip-truncated or inserted
+/// wholesale by the fold.
+fn validate_partial(query: &TranslatedQuery, partial: &PartialResponse) -> Result<(), String> {
+    use seabed_engine::merge::PartialAggregate;
+    use seabed_query::ServerAggregate;
+
+    let expected_key_len = if query.group_by.is_empty() {
+        0
+    } else {
+        query.group_by.len() + usize::from(query.group_inflation > 1)
+    };
+    for (key, partials) in &partial.groups {
+        if key.len() != expected_key_len {
+            return Err(format!(
+                "partial group key has {} component(s), the query expects {expected_key_len}",
+                key.len()
+            ));
+        }
+        if partials.len() != query.aggregates.len() {
+            return Err(format!(
+                "partial group carries {} aggregate(s), the query expects {}",
+                partials.len(),
+                query.aggregates.len()
+            ));
+        }
+        for (agg, state) in query.aggregates.iter().zip(partials) {
+            let matches_plan = match (agg, state) {
+                (ServerAggregate::AsheSum { .. }, PartialAggregate::Sum { .. })
+                | (ServerAggregate::CountRows, PartialAggregate::Count { .. }) => true,
+                (ServerAggregate::OpeMin { .. }, PartialAggregate::Extreme { want_max, .. }) => !want_max,
+                (ServerAggregate::OpeMax { .. }, PartialAggregate::Extreme { want_max, .. }) => *want_max,
+                _ => false,
+            };
+            if !matches_plan {
+                return Err(format!("partial aggregate kind does not match the plan entry {agg:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Connects to one worker and performs the epoch handshake.
+fn connect_worker<A: ToSocketAddrs>(addr: &A, epoch: u64, config: &DistConfig) -> Result<WorkerLink, SeabedError> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| SeabedError::net(format!("resolve: {e}")))?
+        .next()
+        .ok_or_else(|| SeabedError::net("worker address resolved to nothing"))?;
+    let label = addr.to_string();
+    let stream = TcpStream::connect(addr).map_err(|e| SeabedError::net(format!("connect {label}: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(config.read_timeout))
+        .map_err(|e| SeabedError::net(format!("set_read_timeout: {e}")))?;
+    stream
+        .set_write_timeout(Some(config.read_timeout))
+        .map_err(|e| SeabedError::net(format!("set_write_timeout: {e}")))?;
+    let mut conn = FramedConn {
+        stream,
+        bytes_sent: 0,
+        bytes_received: 0,
+    };
+    let hello = wire::encode_frame(&Frame::WorkerHandshake { epoch }, config.max_frame_len)?;
+    conn.send(&hello)?;
+    match conn.recv(config.max_frame_len)? {
+        Frame::WorkerReady { epoch: e, .. } if e == epoch => {}
+        Frame::Error(err) => return Err(err),
+        other => {
+            return Err(SeabedError::dist(
+                &label,
+                format!("expected a handshake ack, got {:?}", other.kind()),
+            ))
+        }
+    }
+    Ok(WorkerLink {
+        label,
+        queries: AtomicU64::new(0),
+        bytes_sent: AtomicU64::new(conn.bytes_sent),
+        bytes_received: AtomicU64::new(conn.bytes_received),
+        conn: Mutex::new(Some(conn)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seabed_engine::{ColumnData, ColumnType};
+
+    fn table(rows: u64, partitions: usize) -> Table {
+        Table::from_columns(
+            Schema::new([("v".to_string(), ColumnType::UInt64)]),
+            vec![ColumnData::UInt64((0..rows).collect())],
+            partitions,
+        )
+    }
+
+    #[test]
+    fn sharding_preserves_partitions_and_row_ids() {
+        let t = table(100, 8);
+        let shards = split_into_shards(t.clone(), 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().map(|s| s.num_rows()).sum::<usize>(), 100);
+        // Partition start rows are preserved verbatim, in order.
+        let mut starts = Vec::new();
+        for shard in &shards {
+            assert!(shard.validate_layout().is_ok());
+            for p in &shard.partitions {
+                starts.push(p.start_row);
+            }
+        }
+        let original: Vec<u64> = t.partitions.iter().map(|p| p.start_row).collect();
+        assert_eq!(starts, original);
+    }
+
+    #[test]
+    fn sharding_degenerate_shapes() {
+        // More shards than partitions: capped by the caller, but the splitter
+        // itself never produces an empty shard unless the table is empty.
+        let shards = split_into_shards(table(10, 2), 2);
+        assert_eq!(shards.len(), 2);
+        let empty = split_into_shards(table(0, 4), 3);
+        assert_eq!(empty.iter().map(|s| s.num_rows()).sum::<usize>(), 0);
+        assert!(!empty.is_empty());
+    }
+
+    /// The splitter must produce exactly the requested shard count with
+    /// sizes differing by at most one partition — a greedy `div_ceil` chunking
+    /// would leave workers idle (4 partitions over 3 workers used to yield
+    /// shards of [2, 2] instead of [2, 1, 1]).
+    #[test]
+    fn sharding_spreads_the_remainder_instead_of_idling_workers() {
+        for (partitions, wanted) in [(4usize, 3usize), (5, 4), (10, 4), (7, 7), (9, 2)] {
+            let shards = split_into_shards(table(100, partitions), wanted);
+            assert_eq!(shards.len(), wanted.min(partitions), "{partitions} over {wanted}");
+            let sizes: Vec<usize> = shards.iter().map(|s| s.partitions.len()).collect();
+            let min = sizes.iter().min().copied().unwrap_or(0);
+            let max = sizes.iter().max().copied().unwrap_or(0);
+            assert!(max - min <= 1, "{partitions} over {wanted}: uneven sizes {sizes:?}");
+            assert_eq!(
+                sizes.iter().sum::<usize>(),
+                shards.iter().map(|s| s.partitions.len()).sum()
+            );
+        }
+    }
+
+    #[test]
+    fn connecting_with_no_workers_is_a_dist_error() {
+        let outcome = DistCoordinator::connect::<std::net::SocketAddr>(&[], table(10, 2), DistConfig::default());
+        assert!(matches!(outcome, Err(SeabedError::Dist { .. })));
+    }
+}

@@ -1,0 +1,45 @@
+//! # seabed-dist
+//!
+//! Sharded scatter/gather execution across networked workers: the step from
+//! *one* `seabed-net` service to a real coordinator/worker cluster, mirroring
+//! the Spark deployment the paper evaluates on (§6).
+//!
+//! ```text
+//!                         ┌──────────────► worker 0 (NetServer, shards 0..)
+//! SeabedClient ──► DistCoordinator ──────► worker 1 (NetServer, shards ..)
+//!  (keys, plan)    shard / scatter └─────► worker N-1
+//!                  gather / merge ◄─────── mergeable PartialResponses
+//! ```
+//!
+//! * [`coordinator`] — [`DistCoordinator`]: splits a table's partitions into
+//!   shards, assigns them to workers under a fresh **epoch**, scatters
+//!   partition-scoped sub-queries concurrently over persistent connections,
+//!   and gathers the workers' *mergeable* partial results — ASHE partial
+//!   sums with ID lists, SPLASHE splayed counts, MIN/MAX ORE candidates,
+//!   group-by maps — folding them with [`seabed_engine::merge`], the same
+//!   implementation the in-process driver uses, so distributed responses are
+//!   byte-identical to single-server execution by construction.
+//! * [`worker`] — a one-call helper standing up a shard-hosting
+//!   [`seabed_net::NetServer`]; the worker side of the protocol lives in
+//!   `seabed-net` itself (frame kinds 6–11).
+//!
+//! Resilience: a worker that dies or stalls mid-query has its shards
+//! re-dispatched to a surviving worker (the coordinator retains every
+//! shard, so it can re-load and re-query); per-shard sequence numbers echo
+//! through the protocol so a late or duplicated partial can never be paired
+//! with the wrong request, and any transport or framing failure poisons the
+//! worker's connection rather than risking a desynchronized stream.
+//!
+//! The trust model is unchanged from `seabed-net`: workers are untrusted and
+//! only ever see ciphertexts, deterministic tags and ORE symbols; all keys
+//! stay in the client proxy, which talks to the coordinator through the
+//! same `prepare`/`query`/`decrypt_response` surface it uses against an
+//! in-process server ([`seabed_core::QueryTarget`]).
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod worker;
+
+pub use coordinator::{DistConfig, DistCoordinator, QueryReport, ScatterMode, ShardRun, WorkerSummary};
+pub use worker::spawn_worker;

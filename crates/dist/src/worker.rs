@@ -1,0 +1,22 @@
+//! Standing up shard-hosting workers.
+//!
+//! A `seabed-dist` worker is just a [`seabed_net::NetServer`]: the worker
+//! side of the shard protocol (handshake, shard load, shard query) is part of
+//! every service. This helper starts one with an *empty* base table — the
+//! worker owns no data until a coordinator assigns it shards, which is the
+//! natural deployment shape (workers boot first, a coordinator shards the
+//! encrypted table across whatever registered).
+
+use seabed_core::SeabedServer;
+use seabed_engine::{Cluster, ClusterConfig, Schema, Table};
+use seabed_error::SeabedError;
+use seabed_net::{NetServer, ServiceConfig};
+
+/// Starts a shard-hosting worker service on `addr` (use port 0 for an
+/// ephemeral port). The base table is empty; data arrives as shard
+/// assignments from a coordinator.
+pub fn spawn_worker(addr: &str, config: ServiceConfig) -> Result<NetServer, SeabedError> {
+    let empty = Table::from_columns(Schema::new([]), Vec::new(), 1);
+    let cluster = Cluster::try_new(ClusterConfig::with_workers(1).local_threads(1))?;
+    NetServer::serve(SeabedServer::new(empty, cluster), addr, config)
+}

@@ -20,6 +20,7 @@
 use crate::exec::ExecMode;
 use crate::table::{Partition, Table};
 use rand::{Rng, SeedableRng};
+use seabed_error::SeabedError;
 use std::time::{Duration, Instant};
 
 /// Configuration of the (simulated) cluster.
@@ -85,8 +86,40 @@ impl ClusterConfig {
 
     /// Returns the configuration with the local thread count replaced.
     pub fn local_threads(mut self, threads: usize) -> ClusterConfig {
-        self.local_threads = threads.max(1);
+        self.local_threads = threads;
         self
+    }
+
+    /// Checks the configuration for degenerate values that would make the
+    /// execution or cost model meaningless: zero simulated workers, zero
+    /// local threads, or non-finite straggler parameters. Rejected with a
+    /// typed [`SeabedError`] here — at construction via [`Cluster::try_new`]
+    /// and again at the top of query execution — instead of being silently
+    /// clamped somewhere down the execution path.
+    pub fn validate(&self) -> Result<(), SeabedError> {
+        if self.workers == 0 {
+            return Err(SeabedError::engine(
+                "cluster config is degenerate: workers must be at least 1",
+            ));
+        }
+        if self.local_threads == 0 {
+            return Err(SeabedError::engine(
+                "cluster config is degenerate: local_threads must be at least 1",
+            ));
+        }
+        if !self.straggler_probability.is_finite() || !(0.0..=1.0).contains(&self.straggler_probability) {
+            return Err(SeabedError::engine(format!(
+                "cluster config is degenerate: straggler_probability {} is not a probability",
+                self.straggler_probability
+            )));
+        }
+        if !self.straggler_factor.is_finite() || self.straggler_factor < 1.0 {
+            return Err(SeabedError::engine(format!(
+                "cluster config is degenerate: straggler_factor {} must be a finite slowdown >= 1",
+                self.straggler_factor
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -149,8 +182,20 @@ pub struct Cluster {
 
 impl Cluster {
     /// Creates a cluster with the given configuration.
+    ///
+    /// The configuration is *not* validated here (this constructor predates
+    /// [`ClusterConfig::validate`] and is used pervasively with literal
+    /// configurations); query execution validates it before any scan starts.
+    /// Prefer [`Cluster::try_new`] when the configuration comes from outside.
     pub fn new(config: ClusterConfig) -> Cluster {
         Cluster { config }
+    }
+
+    /// Creates a cluster, rejecting degenerate configurations — zero workers
+    /// or zero local threads — with a typed [`SeabedError`] at construction.
+    pub fn try_new(config: ClusterConfig) -> Result<Cluster, SeabedError> {
+        config.validate()?;
+        Ok(Cluster { config })
     }
 
     /// Runs `task` once per partition of `table`, in parallel on the local
@@ -373,6 +418,35 @@ mod tests {
         assert_eq!(m.max_task_time, Duration::from_millis(9));
         assert_eq!(m.simulated_server_time, Duration::from_millis(27));
         assert_eq!(m.bytes_to_driver, 150);
+    }
+
+    /// Regression tests for degenerate configurations: `with_workers(0)` and
+    /// `local_threads(0)` used to flow into the execution path unchecked
+    /// (silently clamped deep inside `run`/`simulate`); they are now rejected
+    /// with a typed error at construction via `try_new` and by
+    /// `ClusterConfig::validate` on the execution path.
+    #[test]
+    fn degenerate_configs_are_rejected_with_typed_errors() {
+        let zero_workers = ClusterConfig::with_workers(0);
+        assert!(matches!(zero_workers.validate(), Err(SeabedError::Engine(_))));
+        assert!(matches!(Cluster::try_new(zero_workers), Err(SeabedError::Engine(_))));
+
+        let zero_threads = ClusterConfig::with_workers(4).local_threads(0);
+        assert!(matches!(zero_threads.validate(), Err(SeabedError::Engine(_))));
+        assert!(matches!(Cluster::try_new(zero_threads), Err(SeabedError::Engine(_))));
+
+        let mut bad_probability = ClusterConfig::with_workers(4);
+        bad_probability.straggler_probability = 1.5;
+        assert!(matches!(bad_probability.validate(), Err(SeabedError::Engine(_))));
+
+        let mut bad_factor = ClusterConfig::with_workers(4);
+        bad_factor.straggler_factor = f64::NAN;
+        assert!(matches!(Cluster::try_new(bad_factor), Err(SeabedError::Engine(_))));
+
+        // Well-formed configurations pass and construct.
+        let good = ClusterConfig::with_workers(4).local_threads(2);
+        assert!(good.validate().is_ok());
+        assert!(Cluster::try_new(good).is_ok());
     }
 
     #[test]

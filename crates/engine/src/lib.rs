@@ -17,6 +17,10 @@
 //!   filter/aggregation kernels, and the [`ExecMode`] knob that switches the
 //!   scan between the row-at-a-time reference path and the column-at-a-time
 //!   fast path;
+//! * [`merge`] — the partial-aggregate merge algebra (ASHE partial sums,
+//!   ID-list unions, MIN/MAX ORE candidates) shared by the in-process driver
+//!   merge and the `seabed-dist` coordinator gather, so the two can never
+//!   diverge;
 //! * [`netmodel`] — the server→client bandwidth/RTT model used for the WAN
 //!   experiments of §6.6;
 //! * [`storage`] — on-disk / in-memory size accounting (Table 5) and a flat
@@ -26,12 +30,14 @@
 
 pub mod cluster;
 pub mod exec;
+pub mod merge;
 pub mod netmodel;
 pub mod storage;
 pub mod table;
 
 pub use cluster::{Cluster, ClusterConfig, ExecStats, TaskOutput};
 pub use exec::{ExecMode, SelectionVector};
+pub use merge::{merge_partial_groups, ExtremeCandidate, PartialAggregate, PartialGroups};
 pub use netmodel::NetworkModel;
 pub use storage::{table_disk_size, table_memory_size};
 pub use table::{ColumnData, ColumnType, Field, Partition, Schema, Table};

@@ -1,0 +1,315 @@
+//! The partial-aggregate merge algebra shared by every gather point.
+//!
+//! Seabed's reduce step is *additive*: each partition task produces, per
+//! (possibly inflated) group key, one partial state per requested aggregate —
+//! an ASHE partial sum with its ID list, a count's ID list, or a MIN/MAX ORE
+//! candidate — and the driver folds partials pairwise. With `seabed-dist`,
+//! the exact same fold happens one level up: workers fold their partitions'
+//! partials locally, and the coordinator folds the per-worker partials it
+//! gathered over the network. Both folds MUST be the same implementation, or
+//! a distributed query could silently diverge from the single-server answer;
+//! this module is that single implementation.
+//!
+//! The algebra is **associative**, **commutative**, and **order-invariant**:
+//! any bracketing of any permutation of the same set of partials folds to the
+//! same state (`tests/merge_properties.rs` pins this through real
+//! ASHE/SPLASHE pipelines), so shard gather order, straggler arrival order
+//! and re-dispatch cannot change results.
+//!
+//! * `Sum` — ASHE words add with wrapping arithmetic (the masked group is
+//!   `(Z/2^64, +)`), ID lists union; both operations are commutative
+//!   monoids.
+//! * `Count` — ID-list union only (the count is derived at finalization).
+//! * `Extreme` — the ORE-greater (or -smaller) candidate wins; ORE exposes a
+//!   total order over well-formed ciphertexts, and corrupt-width candidates
+//!   are incomparable, never displace a well-formed one, and never panic the
+//!   fold.
+
+use seabed_ashe::IdSet;
+use seabed_crypto::ore::{try_compare_symbols, OreCiphertext};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// A MIN/MAX candidate: the winning row's ORE ciphertext (needed so candidates
+/// from different partitions/workers stay comparable), its companion ASHE
+/// value word, and its row identifier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtremeCandidate {
+    /// ORE ciphertext of the candidate row's ordering column.
+    pub ciphertext: OreCiphertext,
+    /// ASHE word of the companion value column at the candidate row.
+    pub value_word: u64,
+    /// Global row identifier of the candidate row.
+    pub row_id: u64,
+}
+
+/// The mergeable state of one aggregate of one group.
+///
+/// This is what partition tasks accumulate into, what crosses the wire from
+/// `seabed-dist` workers to the coordinator, and what both the driver and the
+/// coordinator fold with [`PartialAggregate::merge`]. Finalization into the
+/// client-facing `EncryptedAggregate` (counting the IDs, dropping the ORE
+/// ciphertext) happens once, at whichever node answers the query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartialAggregate {
+    /// An ASHE partial sum: masked wrapping sum plus the selected IDs.
+    Sum {
+        /// Wrapping sum of the selected rows' ASHE ciphertext words.
+        value: u64,
+        /// Selected row identifiers.
+        ids: IdSet,
+    },
+    /// A row count, kept as the ID set it is derived from.
+    Count {
+        /// Selected row identifiers.
+        ids: IdSet,
+    },
+    /// A MIN/MAX candidate under the ORE order.
+    Extreme {
+        /// Best candidate seen so far (`None` when no row matched).
+        best: Option<ExtremeCandidate>,
+        /// True for MAX, false for MIN.
+        want_max: bool,
+    },
+}
+
+impl PartialAggregate {
+    /// Folds `other` into `self`.
+    ///
+    /// All partial vectors for one query are built from the same aggregate
+    /// list, so the kinds always line up; a mismatched pair (possible only
+    /// with a forged distributed partial — which the `seabed-dist`
+    /// coordinator shape-checks against the query and rejects before
+    /// anything reaches this fold) leaves `self` unchanged rather than
+    /// panicking.
+    pub fn merge(&mut self, other: PartialAggregate) {
+        match (self, other) {
+            (PartialAggregate::Sum { value, ids }, PartialAggregate::Sum { value: v2, ids: i2 }) => {
+                *value = value.wrapping_add(v2);
+                *ids = ids.union(&i2);
+            }
+            (PartialAggregate::Count { ids }, PartialAggregate::Count { ids: i2 }) => {
+                *ids = ids.union(&i2);
+            }
+            (
+                PartialAggregate::Extreme { best, want_max },
+                PartialAggregate::Extreme {
+                    best: Some(candidate), ..
+                },
+            ) if extreme_replaces(best.as_ref(), &candidate.ciphertext.symbols, *want_max) => {
+                *best = Some(candidate);
+            }
+            _ => {}
+        }
+    }
+
+    /// True when this partial reflects zero matched rows (the identity of the
+    /// merge for its kind).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            PartialAggregate::Sum { value, ids } => *value == 0 && ids.is_empty(),
+            PartialAggregate::Count { ids } => ids.is_empty(),
+            PartialAggregate::Extreme { best, .. } => best.is_none(),
+        }
+    }
+}
+
+/// Whether a candidate with the given ORE symbols displaces `best` under the
+/// MIN/MAX order. Takes the symbols as a borrowed slice so scan loops can
+/// test before allocating a candidate. Total, and corrupt-width symbols never
+/// replace anything — not even an empty `best`, where an incomparable
+/// squatter would otherwise block every honest later candidate.
+pub fn extreme_replaces(best: Option<&ExtremeCandidate>, candidate_symbols: &[u8], want_max: bool) -> bool {
+    if candidate_symbols.len() != seabed_crypto::ore::ORE_BITS {
+        return false;
+    }
+    match best {
+        None => true,
+        Some(current) => try_compare_symbols(candidate_symbols, &current.ciphertext.symbols).is_some_and(|ord| {
+            if want_max {
+                ord == Ordering::Greater
+            } else {
+                ord == Ordering::Less
+            }
+        }),
+    }
+}
+
+/// Partial results of one scan unit (a partition, a worker shard, or a whole
+/// server): per (possibly inflated) group key, one partial per aggregate.
+pub type PartialGroups = HashMap<Vec<u64>, Vec<PartialAggregate>>;
+
+/// Folds `from` into `into`, group by group. Vacant keys move over wholesale;
+/// occupied keys merge aggregate-by-aggregate via [`PartialAggregate::merge`].
+/// This is the single gather implementation shared by the in-process driver
+/// merge and the `seabed-dist` coordinator merge.
+pub fn merge_partial_groups(into: &mut PartialGroups, from: PartialGroups) {
+    for (key, partials) in from {
+        match into.entry(key) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(partials);
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                for (a, b) in slot.get_mut().iter_mut().zip(partials) {
+                    a.merge(b);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum(value: u64, ids: &[u64]) -> PartialAggregate {
+        PartialAggregate::Sum {
+            value,
+            ids: IdSet::from_sorted_ids(ids),
+        }
+    }
+
+    fn extreme(bits: u8, value_word: u64, row_id: u64, want_max: bool) -> PartialAggregate {
+        PartialAggregate::Extreme {
+            best: Some(ExtremeCandidate {
+                ciphertext: OreCiphertext {
+                    symbols: vec![bits; seabed_crypto::ore::ORE_BITS],
+                },
+                value_word,
+                row_id,
+            }),
+            want_max,
+        }
+    }
+
+    #[test]
+    fn sums_add_and_ids_union() {
+        let mut a = sum(10, &[1, 2]);
+        a.merge(sum(u64::MAX, &[2, 7]));
+        let PartialAggregate::Sum { value, ids } = &a else {
+            panic!("kind changed");
+        };
+        assert_eq!(*value, 9, "wrapping add");
+        assert_eq!(ids.iter().collect::<Vec<_>>(), vec![1, 2, 7]);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_for_sums() {
+        let parts = [sum(3, &[0, 5]), sum(9, &[1]), sum(u64::MAX - 1, &[5, 9])];
+        let fold = |order: &[usize]| {
+            let mut acc = sum(0, &[]);
+            for &i in order {
+                acc.merge(parts[i].clone());
+            }
+            acc
+        };
+        let reference = fold(&[0, 1, 2]);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert_eq!(fold(&order), reference, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_picks_ore_winner_regardless_of_order() {
+        // All-zero symbols < all-one symbols under the prefix compare.
+        let lo = extreme(0, 100, 1, true);
+        let hi = extreme(1, 200, 2, true);
+        let mut a = lo.clone();
+        a.merge(hi.clone());
+        let mut b = hi.clone();
+        b.merge(lo.clone());
+        assert_eq!(a, b);
+        assert!(matches!(
+            a,
+            PartialAggregate::Extreme {
+                best: Some(ExtremeCandidate { value_word: 200, .. }),
+                ..
+            }
+        ));
+        // MIN flips the winner.
+        let mut c = PartialAggregate::Extreme {
+            best: None,
+            want_max: false,
+        };
+        c.merge(extreme(1, 200, 2, false));
+        c.merge(extreme(0, 100, 1, false));
+        assert!(matches!(
+            c,
+            PartialAggregate::Extreme {
+                best: Some(ExtremeCandidate { value_word: 100, .. }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn corrupt_width_candidate_never_wins_or_panics() {
+        let corrupt = PartialAggregate::Extreme {
+            best: Some(ExtremeCandidate {
+                ciphertext: OreCiphertext { symbols: vec![9; 3] },
+                value_word: 999,
+                row_id: 99,
+            }),
+            want_max: true,
+        };
+        let mut a = extreme(1, 200, 2, true);
+        a.merge(corrupt.clone());
+        assert!(matches!(
+            &a,
+            PartialAggregate::Extreme {
+                best: Some(ExtremeCandidate { value_word: 200, .. }),
+                ..
+            }
+        ));
+        // Nor may it squat on an empty best, where it would be incomparable
+        // with (and thus block) every honest later candidate.
+        let mut b = PartialAggregate::Extreme {
+            best: None,
+            want_max: true,
+        };
+        b.merge(corrupt);
+        b.merge(extreme(1, 200, 2, true));
+        assert!(matches!(
+            &b,
+            PartialAggregate::Extreme {
+                best: Some(ExtremeCandidate { value_word: 200, .. }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn mismatched_kinds_leave_self_unchanged() {
+        let mut a = sum(5, &[1]);
+        a.merge(PartialAggregate::Count { ids: IdSet::single(3) });
+        assert_eq!(a, sum(5, &[1]));
+    }
+
+    #[test]
+    fn group_maps_merge_by_key() {
+        let mut into: PartialGroups = HashMap::new();
+        into.insert(vec![1], vec![sum(10, &[0])]);
+        let mut from: PartialGroups = HashMap::new();
+        from.insert(vec![1], vec![sum(5, &[3])]);
+        from.insert(vec![2], vec![sum(7, &[4])]);
+        merge_partial_groups(&mut into, from);
+        assert_eq!(into.len(), 2);
+        assert_eq!(into[&vec![1u64]], vec![sum(15, &[0, 3])]);
+        assert_eq!(into[&vec![2u64]], vec![sum(7, &[4])]);
+    }
+
+    #[test]
+    fn empty_identity() {
+        assert!(sum(0, &[]).is_empty());
+        assert!(!sum(0, &[1]).is_empty());
+        assert!(PartialAggregate::Count { ids: IdSet::new() }.is_empty());
+        assert!(PartialAggregate::Extreme {
+            best: None,
+            want_max: true
+        }
+        .is_empty());
+        let mut a = sum(42, &[1, 2]);
+        a.merge(sum(0, &[]));
+        assert_eq!(a, sum(42, &[1, 2]), "empty partial is the identity");
+    }
+}

@@ -142,6 +142,19 @@ pub enum SeabedError {
     /// [`SeabedError::Encoding`], which covers application-level payloads
     /// such as ID lists.
     Wire(String),
+    /// A distributed-execution failure in the coordinator/worker layer,
+    /// carrying the identity of the worker involved (its address, or a
+    /// coordinator-assigned label) so operators can tell *which* node
+    /// misbehaved. Used for shard-assignment failures, exhausted re-dispatch
+    /// attempts, and protocol violations such as a partial response whose
+    /// epoch or sequence number does not match the in-flight request.
+    Dist {
+        /// Identity of the worker (address or label) the failure concerns;
+        /// the coordinator itself reports as `"coordinator"`.
+        worker: String,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for SeabedError {
@@ -156,6 +169,7 @@ impl fmt::Display for SeabedError {
             SeabedError::Schema(e) => write!(f, "schema: {e}"),
             SeabedError::Net(msg) => write!(f, "net: {msg}"),
             SeabedError::Wire(msg) => write!(f, "wire: {msg}"),
+            SeabedError::Dist { worker, message } => write!(f, "dist: worker {worker}: {message}"),
         }
     }
 }
@@ -223,6 +237,14 @@ impl SeabedError {
     pub fn wire(msg: impl Into<String>) -> SeabedError {
         SeabedError::Wire(msg.into())
     }
+
+    /// Shorthand constructor for [`SeabedError::Dist`].
+    pub fn dist(worker: impl Into<String>, message: impl Into<String>) -> SeabedError {
+        SeabedError::Dist {
+            worker: worker.into(),
+            message: message.into(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +283,10 @@ mod tests {
             "net: connection reset"
         );
         assert_eq!(SeabedError::wire("bad magic").to_string(), "wire: bad magic");
+        assert_eq!(
+            SeabedError::dist("127.0.0.1:7070", "stalled mid-query").to_string(),
+            "dist: worker 127.0.0.1:7070: stalled mid-query"
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!   service hosting a [`seabed_core::SeabedServer`], with per-connection
 //!   framing, read/write timeouts, a max-frame-size limit, typed error
 //!   frames for malformed input, graceful shutdown, and per-connection /
-//!   aggregate byte accounting;
+//!   aggregate byte accounting. The same service speaks the `seabed-dist`
+//!   worker protocol: it accepts shard assignments under a coordinator's
+//!   epoch and answers shard queries with *mergeable* partial results;
 //! * [`client`] — [`RemoteSeabedClient`]: the in-process
 //!   `prepare`/`query`/`decrypt_response` surface spoken over the socket, so
 //!   every existing workload runs unchanged against the service.
@@ -33,4 +35,4 @@ pub mod wire;
 
 pub use client::{RemoteSeabedClient, WireStats};
 pub use server::{ConnectionStats, NetServer, ServiceConfig, ServiceStats};
-pub use wire::{Frame, FrameKind, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use wire::{Frame, FrameKind, ShardExecConfig, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};

@@ -26,7 +26,9 @@
 
 use crate::wire::{self, Frame, FrameKind, HEADER_LEN};
 use seabed_core::SeabedServer;
+use seabed_engine::{Cluster, ClusterConfig};
 use seabed_error::SeabedError;
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -125,6 +127,70 @@ struct SharedStats {
 /// a shutdown request.
 const POLL_TICK: Duration = Duration::from_millis(50);
 
+/// Shards resident on this service for the `seabed-dist` scatter/gather
+/// protocol, keyed by coordinator-assigned shard id under one epoch.
+///
+/// A coordinator announces its epoch with a `WorkerHandshake`; seeing a *new*
+/// epoch drops every shard of the old one, so a restarted coordinator can
+/// never query stale assignments. Shards are wrapped in `Arc` so a shard
+/// query executes outside the store lock — a long scan on one connection
+/// cannot block shard loads or queries on another.
+#[derive(Default)]
+struct ShardStore {
+    inner: Mutex<ShardEpoch>,
+}
+
+#[derive(Default)]
+struct ShardEpoch {
+    epoch: u64,
+    shards: HashMap<u32, Arc<SeabedServer>>,
+}
+
+impl ShardStore {
+    /// Applies a handshake: a new epoch evicts all resident shards.
+    fn handshake(&self, epoch: u64) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.epoch != epoch {
+            inner.epoch = epoch;
+            inner.shards.clear();
+        }
+        inner.shards.len() as u64
+    }
+
+    /// Installs a shard under `epoch`; fails when the epoch is not current.
+    fn load(&self, identity: &str, epoch: u64, shard: u32, server: SeabedServer) -> Result<u64, SeabedError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.epoch != epoch {
+            return Err(SeabedError::dist(
+                identity,
+                format!(
+                    "shard {shard} arrived for epoch {epoch} but epoch {} is in force",
+                    inner.epoch
+                ),
+            ));
+        }
+        let rows = server.table().num_rows() as u64;
+        inner.shards.insert(shard, Arc::new(server));
+        Ok(rows)
+    }
+
+    /// Fetches a shard for querying; fails on epoch mismatch or unknown id.
+    fn get(&self, identity: &str, epoch: u64, shard: u32) -> Result<Arc<SeabedServer>, SeabedError> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.epoch != epoch {
+            return Err(SeabedError::dist(
+                identity,
+                format!("query for epoch {epoch} but epoch {} is in force", inner.epoch),
+            ));
+        }
+        inner
+            .shards
+            .get(&shard)
+            .cloned()
+            .ok_or_else(|| SeabedError::dist(identity, format!("shard {shard} is not resident on this worker")))
+    }
+}
+
 /// A running Seabed TCP service.
 ///
 /// Created by [`NetServer::serve`]; stopped by [`NetServer::shutdown`] (or on
@@ -150,6 +216,10 @@ impl NetServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(SharedStats::default());
         let server = Arc::new(server);
+        let shards = Arc::new(ShardStore::default());
+        // Worker identity carried in SeabedError::Dist reports, so a
+        // coordinator log names the node that failed.
+        let identity: Arc<str> = Arc::from(local_addr.to_string());
         let (tx, rx) = mpsc::channel::<(u64, TcpStream)>();
         let rx = Arc::new(Mutex::new(rx));
 
@@ -159,6 +229,8 @@ impl NetServer {
             let server = Arc::clone(&server);
             let stats = Arc::clone(&stats);
             let shutdown = Arc::clone(&shutdown);
+            let shards = Arc::clone(&shards);
+            let identity = Arc::clone(&identity);
             let config = config.clone();
             workers.push(std::thread::spawn(move || loop {
                 // Holding the lock only for the recv keeps the pool honest:
@@ -168,7 +240,15 @@ impl NetServer {
                     guard.recv()
                 };
                 match conn {
-                    Ok((id, stream)) => handle_connection(id, stream, &server, &stats, &shutdown, &config),
+                    Ok((id, stream)) => {
+                        let ctx = ConnContext {
+                            server: &server,
+                            shards: &shards,
+                            identity: &identity,
+                            config: &config,
+                        };
+                        handle_connection(id, stream, ctx, &stats, &shutdown)
+                    }
                     Err(_) => break, // acceptor gone: service is shutting down
                 }
             }));
@@ -271,13 +351,22 @@ enum ConnExit {
     Shutdown,
 }
 
+/// Everything a connection needs besides its socket: the hosted base server,
+/// the shard store, the worker identity, and the service configuration.
+#[derive(Clone, Copy)]
+struct ConnContext<'a> {
+    server: &'a SeabedServer,
+    shards: &'a ShardStore,
+    identity: &'a str,
+    config: &'a ServiceConfig,
+}
+
 fn handle_connection(
     id: u64,
     stream: TcpStream,
-    server: &SeabedServer,
+    ctx: ConnContext<'_>,
     shared: &SharedStats,
     shutdown: &Arc<AtomicBool>,
-    config: &ServiceConfig,
 ) {
     let mut conn = ConnectionStats {
         id,
@@ -285,11 +374,11 @@ fn handle_connection(
     };
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_TICK));
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = stream.set_write_timeout(Some(ctx.config.write_timeout));
     let mut stream = stream;
     // Both exit reasons end the connection the same way; the distinction only
     // matters inside the framing loop.
-    let (ConnExit::Closed | ConnExit::Shutdown) = serve_frames(&mut stream, server, shutdown, config, &mut conn);
+    let (ConnExit::Closed | ConnExit::Shutdown) = serve_frames(&mut stream, ctx, shutdown, &mut conn);
     shared
         .requests_served
         .fetch_add(conn.requests_served, Ordering::Relaxed);
@@ -302,11 +391,11 @@ fn handle_connection(
 /// Serves frames until the connection must close or the service shuts down.
 fn serve_frames(
     stream: &mut TcpStream,
-    server: &SeabedServer,
+    ctx: ConnContext<'_>,
     shutdown: &Arc<AtomicBool>,
-    config: &ServiceConfig,
     conn: &mut ConnectionStats,
 ) -> ConnExit {
+    let config = ctx.config;
     loop {
         // --- read the fixed header ------------------------------------------------
         let mut header_bytes = [0u8; HEADER_LEN];
@@ -339,27 +428,82 @@ fn serve_frames(
         // is answered with a typed error frame and the connection survives.
         let reply = match wire::decode_payload(header.kind, &payload) {
             Err(err) => Frame::Error(err),
-            Ok(Frame::Request { query, filters }) => match server.execute(&query, &filters) {
-                Ok(response) => Frame::Response(response),
-                Err(err) => Frame::Error(err),
-            },
-            Ok(Frame::SchemaRequest) => Frame::Schema(server.table().schema.clone()),
-            Ok(other) => Frame::Error(SeabedError::wire(format!(
-                "unexpected {:?} frame from a client",
-                other.kind()
-            ))),
+            Ok(frame) => dispatch_frame(frame, ctx),
         };
         match send_frame(stream, &reply, config, conn) {
             None => return ConnExit::Closed,
             // Counted off the frame that actually went out: a response that
             // outgrew the frame limit was substituted with an error frame and
             // must not count as served.
-            Some(FrameKind::Response) => conn.requests_served += 1,
+            Some(FrameKind::Response | FrameKind::ShardPartial) => conn.requests_served += 1,
             Some(_) => {}
         }
         if shutdown.load(Ordering::SeqCst) {
             return ConnExit::Shutdown;
         }
+    }
+}
+
+/// Computes the reply to one well-framed request. Service-level failures come
+/// back as typed error frames; the connection framing above is unaffected.
+fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
+    match frame {
+        Frame::Request { query, filters } => match ctx.server.execute(&query, &filters) {
+            Ok(response) => Frame::Response(response),
+            Err(err) => Frame::Error(err),
+        },
+        Frame::SchemaRequest => Frame::Schema(ctx.server.table().schema.clone()),
+        Frame::WorkerHandshake { epoch } => Frame::WorkerReady {
+            epoch,
+            shards: ctx.shards.handshake(epoch),
+        },
+        Frame::LoadShard {
+            epoch,
+            shard,
+            exec,
+            table,
+        } => {
+            // Validate the shard's cluster configuration and physical layout
+            // *now*, so a bad assignment fails its load instead of every
+            // later query.
+            let config = ClusterConfig::with_workers((exec.local_threads as usize).max(1))
+                .local_threads(exec.local_threads as usize)
+                .exec_mode(exec.exec_mode);
+            let loaded = Cluster::try_new(config)
+                .and_then(|cluster| table.validate_layout().map(|()| cluster))
+                .and_then(|cluster| {
+                    ctx.shards
+                        .load(ctx.identity, epoch, shard, SeabedServer::new(table, cluster))
+                });
+            match loaded {
+                Ok(rows) => Frame::ShardLoaded { epoch, shard, rows },
+                Err(err) => Frame::Error(err),
+            }
+        }
+        Frame::ShardQuery {
+            epoch,
+            shard,
+            seq,
+            query,
+            filters,
+        } => match ctx
+            .shards
+            .get(ctx.identity, epoch, shard)
+            // The Arc clone lets the scan run outside the store lock.
+            .and_then(|server| server.execute_partial(&query, &filters))
+        {
+            Ok(partial) => Frame::ShardPartial {
+                epoch,
+                shard,
+                seq,
+                partial,
+            },
+            Err(err) => Frame::Error(err),
+        },
+        other => Frame::Error(SeabedError::wire(format!(
+            "unexpected {:?} frame from a client",
+            other.kind()
+        ))),
     }
 }
 
@@ -574,6 +718,121 @@ mod tests {
             round_trip(&mut stream, &Frame::SchemaRequest),
             Frame::Schema(_)
         ));
+        net.shutdown();
+    }
+
+    /// The worker side of the seabed-dist protocol on one connection:
+    /// handshake fixes the epoch, shards load under it, shard queries return
+    /// mergeable partials echoing (epoch, shard, seq), a new epoch evicts,
+    /// and wrong-epoch / unknown-shard traffic gets typed Dist errors.
+    #[test]
+    fn worker_protocol_loads_and_queries_shards() {
+        use crate::wire::ShardExecConfig;
+        use seabed_engine::{ColumnData, Schema, Table};
+
+        let net = NetServer::serve(test_server(), "127.0.0.1:0", ServiceConfig::default()).expect("serve");
+        let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        let reply = round_trip(&mut stream, &Frame::WorkerHandshake { epoch: 42 });
+        assert_eq!(reply, Frame::WorkerReady { epoch: 42, shards: 0 });
+
+        let shard_table = Table::from_columns(
+            Schema::new([("m__ashe".to_string(), seabed_engine::ColumnType::UInt64)]),
+            vec![ColumnData::UInt64((1..=10u64).collect())],
+            2,
+        );
+        let exec = ShardExecConfig {
+            local_threads: 1,
+            exec_mode: seabed_engine::ExecMode::Vectorized,
+        };
+        let reply = round_trip(
+            &mut stream,
+            &Frame::LoadShard {
+                epoch: 42,
+                shard: 3,
+                exec,
+                table: shard_table.clone(),
+            },
+        );
+        assert_eq!(
+            reply,
+            Frame::ShardLoaded {
+                epoch: 42,
+                shard: 3,
+                rows: 10
+            }
+        );
+
+        // Loading under a stale epoch is refused with a Dist error.
+        let reply = round_trip(
+            &mut stream,
+            &Frame::LoadShard {
+                epoch: 41,
+                shard: 9,
+                exec,
+                table: shard_table,
+            },
+        );
+        assert!(matches!(reply, Frame::Error(SeabedError::Dist { .. })), "{reply:?}");
+
+        // A shard query returns the mergeable partial, echoing the triple.
+        let mut query = sum_query();
+        query.aggregates = vec![seabed_query::ServerAggregate::AsheSum {
+            column: "m__ashe".to_string(),
+        }];
+        let reply = round_trip(
+            &mut stream,
+            &Frame::ShardQuery {
+                epoch: 42,
+                shard: 3,
+                seq: 7,
+                query: query.clone(),
+                filters: vec![],
+            },
+        );
+        let Frame::ShardPartial {
+            epoch: 42,
+            shard: 3,
+            seq: 7,
+            partial,
+        } = reply
+        else {
+            panic!("expected the echoed shard partial, got {reply:?}");
+        };
+        let states = &partial.groups[&vec![]];
+        assert_eq!(states.len(), 1);
+        assert!(
+            matches!(&states[0], seabed_engine::PartialAggregate::Sum { value: 55, ids } if ids.count() == 10),
+            "{states:?}"
+        );
+
+        // Unknown shard → Dist error; new epoch evicts shard 3.
+        let reply = round_trip(
+            &mut stream,
+            &Frame::ShardQuery {
+                epoch: 42,
+                shard: 8,
+                seq: 8,
+                query: query.clone(),
+                filters: vec![],
+            },
+        );
+        assert!(matches!(reply, Frame::Error(SeabedError::Dist { .. })), "{reply:?}");
+        let reply = round_trip(&mut stream, &Frame::WorkerHandshake { epoch: 43 });
+        assert_eq!(reply, Frame::WorkerReady { epoch: 43, shards: 0 });
+        let reply = round_trip(
+            &mut stream,
+            &Frame::ShardQuery {
+                epoch: 43,
+                shard: 3,
+                seq: 9,
+                query,
+                filters: vec![],
+            },
+        );
+        assert!(matches!(reply, Frame::Error(SeabedError::Dist { .. })), "{reply:?}");
+
         net.shutdown();
     }
 

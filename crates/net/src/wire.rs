@@ -31,6 +31,20 @@
 //! | 3    | server → client | typed error: `SeabedError`                     |
 //! | 4    | client → server | schema request (empty payload)                 |
 //! | 5    | server → client | schema: `seabed_engine::Schema`                |
+//! | 6    | coord → worker  | worker handshake: shard epoch                  |
+//! | 7    | worker → coord  | handshake ack: epoch + resident shard count    |
+//! | 8    | coord → worker  | shard assignment: epoch, shard id, exec config, serialized `Table` |
+//! | 9    | worker → coord  | shard loaded: epoch, shard id, row count       |
+//! | 10   | coord → worker  | shard query: epoch, shard id, sequence number, `TranslatedQuery` + filters |
+//! | 11   | worker → coord  | shard partial: echoed (epoch, shard, seq) + mergeable `PartialResponse` |
+//!
+//! Kinds 6–11 are the `seabed-dist` scatter/gather sub-protocol. A worker
+//! echoes the `(epoch, shard, seq)` triple of the query it answers, so a
+//! coordinator can never pair a late or duplicated partial with the wrong
+//! in-flight request; partials carry *mergeable* state (ASHE partial sums
+//! with ID lists, MIN/MAX ORE candidates) rather than finalized aggregates,
+//! so the coordinator's gather is the same
+//! [`seabed_engine::merge`] fold the in-process driver runs.
 //!
 //! Request frames never carry the plaintext predicate literals of DET/OPE
 //! filters — those are redacted structurally at encode time (see
@@ -39,9 +53,10 @@
 //! that redaction for requests) is pinned by unit tests here and by the
 //! randomized suite in `tests/wire_robustness.rs`.
 
-use seabed_core::{EncryptedAggregate, GroupResult, PhysicalFilter, ServerResponse};
+use seabed_core::{EncryptedAggregate, GroupResult, PartialResponse, PhysicalFilter, ServerResponse};
 use seabed_encoding::{varint, IdListEncoding};
-use seabed_engine::{ColumnType, ExecStats, Schema};
+use seabed_engine::merge::{ExtremeCandidate, PartialAggregate, PartialGroups};
+use seabed_engine::{storage, ColumnType, ExecMode, ExecStats, Schema, Table};
 use seabed_error::{ParseError, SchemaError, SeabedError};
 use seabed_query::{
     ClientPostStep, CompareOp, GroupByColumn, Literal, Predicate, ServerAggregate, ServerFilter, SupportCategory,
@@ -78,6 +93,18 @@ pub enum FrameKind {
     SchemaRequest = 4,
     /// Server → client: the table schema.
     Schema = 5,
+    /// Coordinator → worker: announce the shard epoch.
+    WorkerHandshake = 6,
+    /// Worker → coordinator: handshake acknowledgement.
+    WorkerReady = 7,
+    /// Coordinator → worker: load a shard of the table.
+    LoadShard = 8,
+    /// Worker → coordinator: shard-assignment acknowledgement.
+    ShardLoaded = 9,
+    /// Coordinator → worker: execute a query over one resident shard.
+    ShardQuery = 10,
+    /// Worker → coordinator: the mergeable partial result of a shard query.
+    ShardPartial = 11,
 }
 
 impl FrameKind {
@@ -89,9 +116,26 @@ impl FrameKind {
             3 => FrameKind::Error,
             4 => FrameKind::SchemaRequest,
             5 => FrameKind::Schema,
+            6 => FrameKind::WorkerHandshake,
+            7 => FrameKind::WorkerReady,
+            8 => FrameKind::LoadShard,
+            9 => FrameKind::ShardLoaded,
+            10 => FrameKind::ShardQuery,
+            11 => FrameKind::ShardPartial,
             _ => return None,
         })
     }
+}
+
+/// Execution knobs a coordinator fixes for every shard it assigns, so result
+/// *timings* (never results — those are mode-invariant and differentially
+/// tested) are comparable across workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardExecConfig {
+    /// Local scan threads of the worker-side cluster.
+    pub local_threads: u32,
+    /// Scan mode (scalar reference path or vectorized).
+    pub exec_mode: ExecMode,
 }
 
 /// One decoded wire frame.
@@ -113,6 +157,67 @@ pub enum Frame {
     SchemaRequest,
     /// The served table's schema.
     Schema(Schema),
+    /// Coordinator → worker: begin (or confirm) a shard epoch. A worker that
+    /// sees a new epoch drops every shard of the old one, so a coordinator
+    /// restart can never query stale data.
+    WorkerHandshake {
+        /// The coordinator's shard epoch.
+        epoch: u64,
+    },
+    /// Worker → coordinator: handshake acknowledgement.
+    WorkerReady {
+        /// The epoch now in force on the worker.
+        epoch: u64,
+        /// Number of shards resident under that epoch.
+        shards: u64,
+    },
+    /// Coordinator → worker: take ownership of one shard of the table.
+    LoadShard {
+        /// Shard epoch the assignment belongs to.
+        epoch: u64,
+        /// Coordinator-assigned shard identifier.
+        shard: u32,
+        /// Execution knobs for this shard's scans.
+        exec: ShardExecConfig,
+        /// The shard's partitions (global row IDs preserved, so ASHE
+        /// decryption works unchanged on gathered results).
+        table: Table,
+    },
+    /// Worker → coordinator: shard-assignment acknowledgement.
+    ShardLoaded {
+        /// Echoed shard epoch.
+        epoch: u64,
+        /// Echoed shard identifier.
+        shard: u32,
+        /// Rows now resident for this shard.
+        rows: u64,
+    },
+    /// Coordinator → worker: execute a query over one resident shard.
+    ShardQuery {
+        /// Shard epoch the query belongs to.
+        epoch: u64,
+        /// Target shard.
+        shard: u32,
+        /// Coordinator-assigned sequence number; echoed in the partial so a
+        /// late or duplicated response can never be paired with the wrong
+        /// request.
+        seq: u64,
+        /// The translated (literal-encrypted, DET/OPE-redacted) query.
+        query: TranslatedQuery,
+        /// Proxy-encrypted physical filters.
+        filters: Vec<PhysicalFilter>,
+    },
+    /// Worker → coordinator: the mergeable partial result of a shard query.
+    ShardPartial {
+        /// Echoed shard epoch.
+        epoch: u64,
+        /// Echoed shard identifier.
+        shard: u32,
+        /// Echoed sequence number.
+        seq: u64,
+        /// Mergeable per-group partial aggregates plus scan statistics.
+        partial: PartialResponse,
+    },
 }
 
 impl Frame {
@@ -124,6 +229,12 @@ impl Frame {
             Frame::Error(_) => FrameKind::Error,
             Frame::SchemaRequest => FrameKind::SchemaRequest,
             Frame::Schema(_) => FrameKind::Schema,
+            Frame::WorkerHandshake { .. } => FrameKind::WorkerHandshake,
+            Frame::WorkerReady { .. } => FrameKind::WorkerReady,
+            Frame::LoadShard { .. } => FrameKind::LoadShard,
+            Frame::ShardLoaded { .. } => FrameKind::ShardLoaded,
+            Frame::ShardQuery { .. } => FrameKind::ShardQuery,
+            Frame::ShardPartial { .. } => FrameKind::ShardPartial,
         }
     }
 }
@@ -151,6 +262,55 @@ pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, Seabed
         Frame::Error(error) => write_error(&mut payload, error),
         Frame::SchemaRequest => {}
         Frame::Schema(schema) => write_schema(&mut payload, schema),
+        Frame::WorkerHandshake { epoch } => write_varint(&mut payload, *epoch),
+        Frame::WorkerReady { epoch, shards } => {
+            write_varint(&mut payload, *epoch);
+            write_varint(&mut payload, *shards);
+        }
+        Frame::LoadShard {
+            epoch,
+            shard,
+            exec,
+            table,
+        } => {
+            write_varint(&mut payload, *epoch);
+            write_varint(&mut payload, u64::from(*shard));
+            write_varint(&mut payload, u64::from(exec.local_threads));
+            payload.push(match exec.exec_mode {
+                ExecMode::Scalar => 0,
+                ExecMode::Vectorized => 1,
+            });
+            write_bytes(&mut payload, &storage::serialize_table(table));
+        }
+        Frame::ShardLoaded { epoch, shard, rows } => {
+            write_varint(&mut payload, *epoch);
+            write_varint(&mut payload, u64::from(*shard));
+            write_varint(&mut payload, *rows);
+        }
+        Frame::ShardQuery {
+            epoch,
+            shard,
+            seq,
+            query,
+            filters,
+        } => {
+            write_varint(&mut payload, *epoch);
+            write_varint(&mut payload, u64::from(*shard));
+            write_varint(&mut payload, *seq);
+            write_translated_query(&mut payload, query);
+            write_vec(&mut payload, filters, write_physical_filter);
+        }
+        Frame::ShardPartial {
+            epoch,
+            shard,
+            seq,
+            partial,
+        } => {
+            write_varint(&mut payload, *epoch);
+            write_varint(&mut payload, u64::from(*shard));
+            write_varint(&mut payload, *seq);
+            write_partial_response(&mut payload, partial);
+        }
     }
     if payload.len() > max_frame_len as usize {
         return Err(SeabedError::wire(format!(
@@ -207,6 +367,51 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
         FrameKind::Error => Frame::Error(read_error(&mut r)?),
         FrameKind::SchemaRequest => Frame::SchemaRequest,
         FrameKind::Schema => Frame::Schema(read_schema(&mut r)?),
+        FrameKind::WorkerHandshake => Frame::WorkerHandshake { epoch: r.varint()? },
+        FrameKind::WorkerReady => Frame::WorkerReady {
+            epoch: r.varint()?,
+            shards: r.varint()?,
+        },
+        FrameKind::LoadShard => {
+            let epoch = r.varint()?;
+            let shard = read_u32(&mut r, "shard id")?;
+            let local_threads = read_u32(&mut r, "local thread count")?;
+            let exec_mode = match r.u8()? {
+                0 => ExecMode::Scalar,
+                1 => ExecMode::Vectorized,
+                other => return Err(SeabedError::wire(format!("invalid exec-mode tag {other}"))),
+            };
+            let table_bytes = r.bytes()?;
+            let table = storage::deserialize_table(&table_bytes)
+                .ok_or_else(|| SeabedError::wire("shard table payload is corrupt or truncated"))?;
+            Frame::LoadShard {
+                epoch,
+                shard,
+                exec: ShardExecConfig {
+                    local_threads,
+                    exec_mode,
+                },
+                table,
+            }
+        }
+        FrameKind::ShardLoaded => Frame::ShardLoaded {
+            epoch: r.varint()?,
+            shard: read_u32(&mut r, "shard id")?,
+            rows: r.varint()?,
+        },
+        FrameKind::ShardQuery => Frame::ShardQuery {
+            epoch: r.varint()?,
+            shard: read_u32(&mut r, "shard id")?,
+            seq: r.varint()?,
+            query: read_translated_query(&mut r)?,
+            filters: read_vec(&mut r, 2, read_physical_filter)?,
+        },
+        FrameKind::ShardPartial => Frame::ShardPartial {
+            epoch: r.varint()?,
+            shard: read_u32(&mut r, "shard id")?,
+            seq: r.varint()?,
+            partial: read_partial_response(&mut r)?,
+        },
     };
     r.finish()?;
     Ok(frame)
@@ -356,6 +561,11 @@ fn read_vec<T>(
         out.push(read_item(r)?);
     }
     Ok(out)
+}
+
+fn read_u32(r: &mut Reader<'_>, what: &str) -> Result<u32, SeabedError> {
+    let value = r.varint()?;
+    u32::try_from(value).map_err(|_| SeabedError::wire(format!("{what} {value} exceeds u32")))
 }
 
 // ---------------------------------------------------------------------------
@@ -790,6 +1000,106 @@ fn read_server_response(r: &mut Reader<'_>) -> Result<ServerResponse, SeabedErro
 }
 
 // ---------------------------------------------------------------------------
+// Mergeable partial results (the seabed-dist gather direction)
+// ---------------------------------------------------------------------------
+
+/// ID lists inside partial results travel under a fixed, query-independent
+/// encoding: the coordinator decodes them back into [`seabed_ashe::IdSet`]s
+/// for merging and re-encodes at finalization under the query's own encoding,
+/// so the final response is byte-identical to single-server execution.
+const PARTIAL_ID_ENCODING: IdListEncoding = IdListEncoding::RangesVb;
+
+fn write_id_set(out: &mut Vec<u8>, ids: &seabed_ashe::IdSet) {
+    write_bytes(out, &ids.encode(PARTIAL_ID_ENCODING));
+}
+
+fn read_id_set(r: &mut Reader<'_>) -> Result<seabed_ashe::IdSet, SeabedError> {
+    let bytes = r.bytes()?;
+    seabed_ashe::IdSet::decode(&bytes, PARTIAL_ID_ENCODING)
+        .ok_or_else(|| SeabedError::wire("undecodable ID set in partial result"))
+}
+
+fn write_partial_aggregate(out: &mut Vec<u8>, partial: &PartialAggregate) {
+    match partial {
+        PartialAggregate::Sum { value, ids } => {
+            out.push(0);
+            write_varint(out, *value);
+            write_id_set(out, ids);
+        }
+        PartialAggregate::Count { ids } => {
+            out.push(1);
+            write_id_set(out, ids);
+        }
+        PartialAggregate::Extreme { best, want_max } => {
+            out.push(2);
+            write_bool(out, *want_max);
+            match best {
+                None => out.push(0),
+                Some(candidate) => {
+                    out.push(1);
+                    write_bytes(out, &candidate.ciphertext.symbols);
+                    write_varint(out, candidate.value_word);
+                    write_varint(out, candidate.row_id);
+                }
+            }
+        }
+    }
+}
+
+fn read_partial_aggregate(r: &mut Reader<'_>) -> Result<PartialAggregate, SeabedError> {
+    Ok(match r.u8()? {
+        0 => PartialAggregate::Sum {
+            value: r.varint()?,
+            ids: read_id_set(r)?,
+        },
+        1 => PartialAggregate::Count { ids: read_id_set(r)? },
+        2 => {
+            let want_max = r.bool()?;
+            let best = match r.u8()? {
+                0 => None,
+                1 => Some(ExtremeCandidate {
+                    // Width is validated by the merge algebra, which rejects
+                    // corrupt-width candidates; the wire ships bytes verbatim.
+                    ciphertext: seabed_crypto::OreCiphertext { symbols: r.bytes()? },
+                    value_word: r.varint()?,
+                    row_id: r.varint()?,
+                }),
+                other => return Err(SeabedError::wire(format!("invalid option tag {other}"))),
+            };
+            PartialAggregate::Extreme { best, want_max }
+        }
+        other => return Err(SeabedError::wire(format!("invalid partial-aggregate tag {other}"))),
+    })
+}
+
+fn write_partial_response(out: &mut Vec<u8>, partial: &PartialResponse) {
+    // HashMap iteration order is not deterministic; sort by group key so a
+    // given partial always serializes to the same bytes.
+    let mut groups: Vec<(&Vec<u64>, &Vec<PartialAggregate>)> = partial.groups.iter().collect();
+    groups.sort_by(|a, b| a.0.cmp(b.0));
+    write_varint(out, groups.len() as u64);
+    for (key, partials) in groups {
+        write_vec(out, key, |out, k| write_varint(out, *k));
+        write_vec(out, partials, write_partial_aggregate);
+    }
+    write_exec_stats(out, &partial.stats);
+}
+
+fn read_partial_response(r: &mut Reader<'_>) -> Result<PartialResponse, SeabedError> {
+    let count = r.len()?;
+    let mut groups = PartialGroups::with_capacity(r.capped(count, 4));
+    for _ in 0..count {
+        let key = read_vec(r, 1, |r| r.varint())?;
+        let partials = read_vec(r, 2, read_partial_aggregate)?;
+        groups.insert(key, partials);
+    }
+    Ok(PartialResponse {
+        groups,
+        stats: read_exec_stats(r)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Schema
 // ---------------------------------------------------------------------------
 
@@ -887,6 +1197,11 @@ fn write_error(out: &mut Vec<u8>, error: &SeabedError) {
             out.push(8);
             write_string(out, msg);
         }
+        SeabedError::Dist { worker, message } => {
+            out.push(9);
+            write_string(out, worker);
+            write_string(out, message);
+        }
         // `SeabedError` is #[non_exhaustive]; a variant this protocol version
         // does not know still crosses the wire with its layer erased but its
         // message intact.
@@ -924,6 +1239,10 @@ fn read_error(r: &mut Reader<'_>) -> Result<SeabedError, SeabedError> {
         }),
         7 => SeabedError::Net(r.string()?),
         8 => SeabedError::Wire(r.string()?),
+        9 => SeabedError::Dist {
+            worker: r.string()?,
+            message: r.string()?,
+        },
         other => return Err(SeabedError::wire(format!("invalid error tag {other}"))),
     })
 }
@@ -1155,6 +1474,10 @@ mod tests {
             }),
             SeabedError::Net("reset".to_string()),
             SeabedError::Wire("garbage".to_string()),
+            SeabedError::Dist {
+                worker: "127.0.0.1:9999".to_string(),
+                message: "stalled mid-query".to_string(),
+            },
         ];
         for error in errors {
             let frame = Frame::Error(error.clone());
@@ -1164,6 +1487,145 @@ mod tests {
                 Frame::Error(error)
             );
         }
+    }
+
+    fn sample_partial() -> PartialResponse {
+        use seabed_ashe::IdSet;
+        let mut groups = PartialGroups::new();
+        groups.insert(
+            vec![],
+            vec![
+                PartialAggregate::Sum {
+                    value: u64::MAX,
+                    ids: IdSet::from_sorted_ids(&[1, 2, 3, 900]),
+                },
+                PartialAggregate::Count {
+                    ids: IdSet::range(5, 10),
+                },
+            ],
+        );
+        groups.insert(
+            vec![7, u64::MAX],
+            vec![
+                PartialAggregate::Extreme {
+                    best: Some(ExtremeCandidate {
+                        ciphertext: seabed_crypto::OreCiphertext {
+                            symbols: (0..64u8).map(|i| i % 3).collect(),
+                        },
+                        value_word: 42,
+                        row_id: 17,
+                    }),
+                    want_max: true,
+                },
+                PartialAggregate::Extreme {
+                    best: None,
+                    want_max: false,
+                },
+            ],
+        );
+        PartialResponse {
+            groups,
+            stats: ExecStats {
+                tasks: 3,
+                total_task_time: Duration::from_micros(500),
+                max_task_time: Duration::from_micros(300),
+                simulated_server_time: Duration::from_millis(4),
+                bytes_to_driver: 1234,
+                wall_time: Duration::from_micros(450),
+            },
+        }
+    }
+
+    #[test]
+    fn dist_frames_roundtrip() {
+        let table = seabed_engine::Table::from_columns(
+            Schema::new([
+                ("m__ashe".to_string(), ColumnType::UInt64),
+                ("g".to_string(), ColumnType::UInt64),
+            ]),
+            vec![
+                seabed_engine::ColumnData::UInt64((0..50).collect()),
+                seabed_engine::ColumnData::UInt64((0..50).map(|i| i % 3).collect()),
+            ],
+            4,
+        );
+        let frames = vec![
+            Frame::WorkerHandshake { epoch: u64::MAX },
+            Frame::WorkerReady { epoch: 7, shards: 3 },
+            Frame::LoadShard {
+                epoch: 7,
+                shard: 2,
+                exec: ShardExecConfig {
+                    local_threads: 4,
+                    exec_mode: ExecMode::Scalar,
+                },
+                table,
+            },
+            Frame::ShardLoaded {
+                epoch: 7,
+                shard: 2,
+                rows: 50,
+            },
+            Frame::ShardQuery {
+                epoch: 7,
+                shard: 2,
+                seq: 99,
+                query: redact_query(&sample_query()),
+                filters: sample_filters(),
+            },
+            Frame::ShardPartial {
+                epoch: 7,
+                shard: 2,
+                seq: 99,
+                partial: sample_partial(),
+            },
+        ];
+        for frame in frames {
+            let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+            assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap(), frame);
+        }
+    }
+
+    /// A partial response serializes deterministically (groups sorted by key)
+    /// even though it is carried in a `HashMap`.
+    #[test]
+    fn partial_response_encoding_is_deterministic() {
+        let frame = Frame::ShardPartial {
+            epoch: 1,
+            shard: 0,
+            seq: 1,
+            partial: sample_partial(),
+        };
+        let a = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+        let b = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_shard_table_payload_is_a_wire_error() {
+        let frame = Frame::LoadShard {
+            epoch: 1,
+            shard: 0,
+            exec: ShardExecConfig {
+                local_threads: 1,
+                exec_mode: ExecMode::Vectorized,
+            },
+            table: seabed_engine::Table::from_columns(
+                Schema::new([("v".to_string(), ColumnType::UInt64)]),
+                vec![seabed_engine::ColumnData::UInt64((0..10).collect())],
+                2,
+            ),
+        };
+        let good = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+        // Truncate inside the serialized table: decode must report, not panic.
+        let mut bad = good.clone();
+        let cut = good.len() - 8;
+        bad.truncate(cut);
+        bad[7..11].copy_from_slice(&((cut - HEADER_LEN) as u32).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_FRAME_LEN),
+            Err(SeabedError::Wire(_))
+        ));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`core`] — client proxy, untrusted server, baselines;
 //! * [`net`] — wire protocol + concurrent TCP service layer (the proxy ↔
 //!   server boundary as a real socket);
+//! * [`dist`] — sharded scatter/gather execution: a coordinator fanning
+//!   encrypted queries out across networked workers and merging their
+//!   partial results;
 //! * [`workloads`] — synthetic, BDB and Ad-Analytics workload generators.
 
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@
 pub use seabed_ashe as ashe;
 pub use seabed_core as core;
 pub use seabed_crypto as crypto;
+pub use seabed_dist as dist;
 pub use seabed_encoding as encoding;
 pub use seabed_engine as engine;
 pub use seabed_error as error;

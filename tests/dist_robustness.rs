@@ -1,0 +1,412 @@
+//! Failure-mode tests for the `seabed-dist` coordinator: worker death and
+//! stalls mid-query (hedged re-dispatch), garbage and truncated
+//! partial-response frames (typed errors, coordinator survives), and
+//! duplicate / late partial responses (discarded, never merged twice).
+
+use seabed_core::{SeabedServer, ServerResponse};
+use seabed_dist::{spawn_worker, DistConfig, DistCoordinator};
+use seabed_engine::{Cluster, ClusterConfig, ColumnData, ColumnType, Schema, Table};
+use seabed_error::SeabedError;
+use seabed_net::wire::{self, Frame, HEADER_LEN};
+use seabed_net::ServiceConfig;
+use seabed_query::{ServerAggregate, SupportCategory, TranslatedQuery};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+fn test_table(rows: u64, partitions: usize) -> Table {
+    Table::from_columns(
+        Schema::new([
+            ("m__ashe".to_string(), ColumnType::UInt64),
+            ("g".to_string(), ColumnType::UInt64),
+        ]),
+        vec![
+            ColumnData::UInt64((0..rows).map(|i| i * 3 + 1).collect()),
+            ColumnData::UInt64((0..rows).map(|i| i % 7).collect()),
+        ],
+        partitions,
+    )
+}
+
+fn sum_query(group_by: bool) -> TranslatedQuery {
+    TranslatedQuery {
+        base_table: "t".to_string(),
+        filters: vec![],
+        aggregates: vec![
+            ServerAggregate::AsheSum {
+                column: "m__ashe".to_string(),
+            },
+            ServerAggregate::CountRows,
+        ],
+        group_by: if group_by {
+            vec![seabed_query::GroupByColumn {
+                column: "g".to_string(),
+                physical_column: "g".to_string(),
+                encrypted: false,
+            }]
+        } else {
+            vec![]
+        },
+        group_inflation: 1,
+        client_post: vec![],
+        preserve_row_ids: true,
+        category: SupportCategory::ServerOnly,
+    }
+}
+
+fn local_answer(table: &Table, query: &TranslatedQuery) -> ServerResponse {
+    SeabedServer::new(table.clone(), Cluster::new(ClusterConfig::with_workers(4)))
+        .execute(query, &[])
+        .expect("local execution")
+}
+
+// ---------------------------------------------------------------------------
+// A scriptable fake worker: speaks the genuine protocol (handshake, shard
+// load, shard execution via the real engine) except where its misbehavior
+// says otherwise.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum Misbehavior {
+    /// Close the connection the moment a shard query arrives (worker death).
+    DieOnQuery,
+    /// Go silent on a shard query (stall past the coordinator's timeout).
+    StallOnQuery,
+    /// Answer a shard query with raw garbage bytes (stream desync).
+    GarbageOnQuery,
+    /// Answer with a frame header whose payload never fully arrives.
+    TruncateOnQuery,
+    /// Answer correctly, but first ship a duplicate partial under a stale
+    /// sequence number.
+    DuplicateStaleThenCorrect,
+    /// Answer with a well-framed partial whose groups carry fewer aggregates
+    /// than the query requested (a forged/buggy shape).
+    ForgedShortPartial,
+}
+
+fn read_frame(stream: &mut TcpStream) -> Option<Frame> {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header_bytes).ok()?;
+    let header = wire::decode_header(&header_bytes, wire::DEFAULT_MAX_FRAME_LEN).ok()?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    stream.read_exact(&mut payload).ok()?;
+    wire::decode_payload(header.kind, &payload).ok()
+}
+
+fn send_frame(stream: &mut TcpStream, frame: &Frame) {
+    let bytes = wire::encode_frame(frame, wire::DEFAULT_MAX_FRAME_LEN).expect("encode");
+    let _ = stream.write_all(&bytes);
+}
+
+/// Spawns the fake worker; it serves exactly one coordinator connection.
+fn fake_worker(behavior: Misbehavior) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || {
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        let mut shards: HashMap<u32, SeabedServer> = HashMap::new();
+        while let Some(frame) = read_frame(&mut stream) {
+            match frame {
+                Frame::WorkerHandshake { epoch } => send_frame(&mut stream, &Frame::WorkerReady { epoch, shards: 0 }),
+                Frame::LoadShard {
+                    epoch, shard, table, ..
+                } => {
+                    let rows = table.num_rows() as u64;
+                    shards.insert(
+                        shard,
+                        SeabedServer::new(table, Cluster::new(ClusterConfig::with_workers(1).local_threads(1))),
+                    );
+                    send_frame(&mut stream, &Frame::ShardLoaded { epoch, shard, rows });
+                }
+                Frame::ShardQuery {
+                    epoch,
+                    shard,
+                    seq,
+                    query,
+                    filters,
+                } => match behavior {
+                    Misbehavior::DieOnQuery => return,
+                    Misbehavior::StallOnQuery => {
+                        std::thread::sleep(Duration::from_secs(3));
+                        return;
+                    }
+                    Misbehavior::GarbageOnQuery => {
+                        let _ = stream.write_all(b"NOT A SEABED FRAME AT ALL \xff\xff\xff\xff");
+                        return;
+                    }
+                    Misbehavior::TruncateOnQuery => {
+                        // A plausible header promising 64 payload bytes,
+                        // followed by silence and a close.
+                        let mut bytes = Vec::new();
+                        bytes.extend_from_slice(&wire::MAGIC);
+                        bytes.extend_from_slice(&wire::PROTOCOL_VERSION.to_le_bytes());
+                        bytes.push(11); // ShardPartial kind
+                        bytes.extend_from_slice(&64u32.to_le_bytes());
+                        bytes.extend_from_slice(&[0u8; 10]);
+                        let _ = stream.write_all(&bytes);
+                        return;
+                    }
+                    Misbehavior::ForgedShortPartial => {
+                        let mut partial = shards
+                            .get(&shard)
+                            .expect("shard resident")
+                            .execute_partial(&query, &filters)
+                            .expect("shard execution");
+                        for states in partial.groups.values_mut() {
+                            states.truncate(1);
+                        }
+                        send_frame(
+                            &mut stream,
+                            &Frame::ShardPartial {
+                                epoch,
+                                shard,
+                                seq,
+                                partial,
+                            },
+                        );
+                    }
+                    Misbehavior::DuplicateStaleThenCorrect => {
+                        let partial = shards
+                            .get(&shard)
+                            .expect("shard resident")
+                            .execute_partial(&query, &filters)
+                            .expect("shard execution");
+                        // A duplicate under an older sequence number first —
+                        // the coordinator must discard it, not merge twice.
+                        send_frame(
+                            &mut stream,
+                            &Frame::ShardPartial {
+                                epoch,
+                                shard,
+                                seq: seq.saturating_sub(1),
+                                partial: partial.clone(),
+                            },
+                        );
+                        send_frame(
+                            &mut stream,
+                            &Frame::ShardPartial {
+                                epoch,
+                                shard,
+                                seq,
+                                partial,
+                            },
+                        );
+                    }
+                },
+                _ => return,
+            }
+        }
+    });
+    (addr, handle)
+}
+
+/// Connects a coordinator over a mix of real and fake workers.
+fn mixed_cluster(
+    real: usize,
+    behavior: Misbehavior,
+    table: Table,
+    config: DistConfig,
+) -> (Vec<seabed_net::NetServer>, std::thread::JoinHandle<()>, DistCoordinator) {
+    let workers: Vec<_> = (0..real)
+        .map(|_| spawn_worker("127.0.0.1:0", ServiceConfig::default()).expect("worker"))
+        .collect();
+    let (fake_addr, fake_handle) = fake_worker(behavior);
+    let mut addrs: Vec<SocketAddr> = workers.iter().map(|w| w.local_addr()).collect();
+    // The fake sits in the middle so it owns a real shard.
+    addrs.insert(real / 2, fake_addr);
+    let coordinator = DistCoordinator::connect(&addrs, table, config).expect("connect");
+    (workers, fake_handle, coordinator)
+}
+
+// ---------------------------------------------------------------------------
+// Worker death and stalls
+// ---------------------------------------------------------------------------
+
+/// A worker that dies mid-query: its shard is re-dispatched to a survivor,
+/// the query completes with the exact single-server answer, and the
+/// coordinator stays alive for further queries.
+#[test]
+fn worker_death_mid_query_redispatches_and_completes() {
+    let table = test_table(2_000, 8);
+    let query = sum_query(false);
+    let expected = local_answer(&table, &query);
+    let (workers, fake, coordinator) = mixed_cluster(2, Misbehavior::DieOnQuery, table, DistConfig::default());
+
+    let response = coordinator.execute(&query, &[]).expect("query must survive the death");
+    assert_eq!(expected.groups, response.groups);
+    assert_eq!(expected.result_bytes, response.result_bytes);
+    let report = coordinator.last_report();
+    assert!(
+        report.runs.iter().any(|r| r.redispatched),
+        "a shard must have been re-dispatched: {report:?}"
+    );
+    assert!(
+        coordinator.worker_summaries().iter().any(|w| !w.alive),
+        "the dead worker must be marked"
+    );
+
+    // The coordinator survives and keeps answering (now without the corpse).
+    let again = coordinator.execute(&query, &[]).expect("follow-up query");
+    assert_eq!(expected.groups, again.groups);
+    assert!(coordinator.last_report().runs.iter().all(|r| !r.redispatched));
+
+    fake.join().expect("fake worker");
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+/// A real `NetServer` worker shut down between queries: the coordinator sees
+/// the closed connections and re-dispatches its shards.
+#[test]
+fn real_worker_shutdown_between_queries_is_survived() {
+    let table = test_table(1_000, 6);
+    let query = sum_query(true);
+    let expected = local_answer(&table, &query);
+
+    let mut workers: Vec<_> = (0..3)
+        .map(|_| spawn_worker("127.0.0.1:0", ServiceConfig::default()).expect("worker"))
+        .collect();
+    let addrs: Vec<SocketAddr> = workers.iter().map(|w| w.local_addr()).collect();
+    let coordinator = DistCoordinator::connect(&addrs, table, DistConfig::default()).expect("connect");
+    let first = coordinator.execute(&query, &[]).expect("healthy query");
+    assert_eq!(expected.groups, first.groups);
+
+    // Kill worker 1 for real.
+    workers.remove(1).shutdown();
+    let response = coordinator.execute(&query, &[]).expect("query after the kill");
+    assert_eq!(expected.groups, response.groups);
+    assert!(coordinator.last_report().runs.iter().any(|r| r.redispatched));
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+/// A worker that stalls mid-query past the coordinator's read timeout is
+/// treated as dead: hedged re-dispatch completes the query correctly.
+#[test]
+fn stalled_worker_triggers_hedged_redispatch() {
+    let table = test_table(1_200, 6);
+    let query = sum_query(false);
+    let expected = local_answer(&table, &query);
+    let config = DistConfig::default().read_timeout(Duration::from_millis(300));
+    let (workers, fake, coordinator) = mixed_cluster(2, Misbehavior::StallOnQuery, table, config);
+
+    let response = coordinator.execute(&query, &[]).expect("query must survive the stall");
+    assert_eq!(expected.groups, response.groups);
+    assert!(coordinator.last_report().runs.iter().any(|r| r.redispatched));
+
+    fake.join().expect("fake worker");
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed partial-response frames
+// ---------------------------------------------------------------------------
+
+/// Garbage instead of a partial: a typed error internally, re-dispatch
+/// externally — and with no survivors, a typed error to the caller while the
+/// coordinator process stays up.
+#[test]
+fn garbage_partial_frames_are_survived_or_typed() {
+    let table = test_table(900, 4);
+    let query = sum_query(false);
+    let expected = local_answer(&table, &query);
+
+    // With a survivor: correct result.
+    let (workers, fake, coordinator) =
+        mixed_cluster(1, Misbehavior::GarbageOnQuery, table.clone(), DistConfig::default());
+    let response = coordinator.execute(&query, &[]).expect("survivor must carry the query");
+    assert_eq!(expected.groups, response.groups);
+    fake.join().expect("fake worker");
+    for w in workers {
+        w.shutdown();
+    }
+
+    // Without survivors: a typed Dist error, not a panic — and the
+    // coordinator remains usable as an object (every call answers).
+    let (fake_addr, fake_handle) = fake_worker(Misbehavior::GarbageOnQuery);
+    let coordinator = DistCoordinator::connect(&[fake_addr], table, DistConfig::default()).expect("connect");
+    let outcome = coordinator.execute(&query, &[]);
+    assert!(matches!(outcome, Err(SeabedError::Dist { .. })), "{outcome:?}");
+    let again = coordinator.execute(&query, &[]);
+    assert!(matches!(again, Err(SeabedError::Dist { .. })), "{again:?}");
+    fake_handle.join().expect("fake worker");
+}
+
+/// A truncated partial frame (valid header, missing payload bytes) is a
+/// typed error and a re-dispatch, never a hang or a panic.
+#[test]
+fn truncated_partial_frames_are_survived() {
+    let table = test_table(900, 4);
+    let query = sum_query(true);
+    let expected = local_answer(&table, &query);
+    let config = DistConfig::default().read_timeout(Duration::from_millis(500));
+    let (workers, fake, coordinator) = mixed_cluster(1, Misbehavior::TruncateOnQuery, table, config);
+    let response = coordinator.execute(&query, &[]).expect("survivor must carry the query");
+    assert_eq!(expected.groups, response.groups);
+    assert!(coordinator.last_report().runs.iter().any(|r| r.redispatched));
+    fake.join().expect("fake worker");
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+/// A well-framed partial whose groups carry the wrong number of aggregates
+/// is rejected by the coordinator's shape check (never zip-truncated into
+/// the merge) and the shard is re-dispatched to a survivor.
+#[test]
+fn forged_short_partials_are_rejected_and_redispatched() {
+    let table = test_table(1_000, 4);
+    let query = sum_query(false); // two aggregates; the forger ships one
+    let expected = local_answer(&table, &query);
+    let (workers, fake, coordinator) = mixed_cluster(1, Misbehavior::ForgedShortPartial, table, DistConfig::default());
+    let response = coordinator.execute(&query, &[]).expect("survivor must carry the query");
+    assert_eq!(expected.groups, response.groups, "forged shape must never merge");
+    assert!(coordinator.last_report().runs.iter().any(|r| r.redispatched));
+    drop(coordinator);
+    fake.join().expect("fake worker");
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate / late partials
+// ---------------------------------------------------------------------------
+
+/// A duplicated partial under a stale sequence number is discarded — the
+/// result matches single-server execution exactly (merging the duplicate
+/// would double the sums and ID sets) and the discard is counted.
+#[test]
+fn duplicate_stale_partials_are_discarded_not_merged() {
+    let table = test_table(1_500, 6);
+    let query = sum_query(false);
+    let expected = local_answer(&table, &query);
+    let (workers, fake, coordinator) =
+        mixed_cluster(2, Misbehavior::DuplicateStaleThenCorrect, table, DistConfig::default());
+
+    // Two queries: the fake duplicates on each, so by the second query the
+    // stale seq of query 2 can also collide with in-flight expectations.
+    for _ in 0..2 {
+        let response = coordinator.execute(&query, &[]).expect("query");
+        assert_eq!(expected.groups, response.groups, "duplicate partial must not be merged");
+    }
+    let report = coordinator.last_report();
+    assert!(
+        report.discarded_partials >= 1,
+        "the stale duplicate must be counted as discarded: {report:?}"
+    );
+    // The fake worker keeps serving until its connection closes; dropping
+    // the coordinator closes it, so the join below can complete.
+    drop(coordinator);
+    fake.join().expect("fake worker");
+    for w in workers {
+        w.shutdown();
+    }
+}
