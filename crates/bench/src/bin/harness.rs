@@ -25,7 +25,7 @@ fn main() {
     let scale = if smoke { Scale::smoke() } else { Scale::default() };
     // "fig8" runs both halves; the emitted JSON names "fig8ab"/"fig8c" are
     // also accepted so a file name seen in bench_results/ can be replayed.
-    const EXPERIMENTS: [&str; 19] = [
+    const EXPERIMENTS: [&str; 20] = [
         "table1",
         "table2",
         "table3",
@@ -44,6 +44,7 @@ fn main() {
         "scan_throughput",
         "groupby_card",
         "net_qps",
+        "prepared_qps",
         "scaleout",
     ];
     let mut requested: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
@@ -204,6 +205,13 @@ fn main() {
             "net_qps",
             "Service layer: QPS and latency vs concurrent TCP clients",
             &exp_net_qps(&scale),
+        );
+    }
+    if want("prepared_qps") {
+        emit(
+            "prepared_qps",
+            "Prepared statements: prepared-execute vs one-shot QPS over the TCP service",
+            &exp_prepared_qps(&scale),
         );
     }
     if want("scaleout") {

@@ -1217,6 +1217,7 @@ fn exec_bench_query(group_by: bool) -> TranslatedQuery {
         client_post: vec![],
         preserve_row_ids: true,
         category: SupportCategory::ServerOnly,
+        params: vec![],
     }
 }
 
@@ -1466,6 +1467,237 @@ pub fn exp_net_qps(scale: &Scale) -> Vec<Row> {
         Row::new("service totals")
             .with("connections", stats.connections as f64)
             .with("requests_served", stats.requests_served as f64)
+            .with("bytes_in", stats.bytes_in as f64)
+            .with("bytes_out", stats.bytes_out as f64),
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Prepared-statement experiment: prepared execute vs one-shot strings
+// ---------------------------------------------------------------------------
+
+/// QPS of prepared-statement execution vs one-shot SQL strings over the TCP
+/// service, on a small-query remote workload where per-query client work
+/// matters: the query carries one DET equality and six ORE range predicates,
+/// so the one-shot path pays parse + translate + one DET tag + six 64-symbol
+/// ORE encryptions (each with its per-filter AES key schedule) *and* ships
+/// the full redacted plan per request, while a prepared statement pays all
+/// of that once — executions ship an 8-byte statement handle plus the bound
+/// filters.
+///
+/// Three measured modes:
+///
+/// * `one-shot` — `RemoteSeabedClient::query(sql)` per request;
+/// * `prepared` — a fully-bound `SeabedSession` statement (no `?`): zero
+///   per-execute crypto, fixed filters;
+/// * `prepared+bind` — the same statement with its seven literals as `?`
+///   parameters bound per execute: only the bound literals are re-encrypted.
+///
+/// The `speedup` row reports prepared-over-one-shot QPS; the PR acceptance
+/// bar is ≥ 1.5×.
+pub fn exp_prepared_qps(scale: &Scale) -> Vec<Row> {
+    use seabed_core::SeabedSession;
+    use seabed_net::{NetServer, RemoteSeabedClient, ServiceConfig};
+    use seabed_query::Literal;
+
+    let rows = 800usize; // small queries: per-query fixed work, not the scan, is the story
+    let mut rng = scale.rng();
+    let dataset = PlainDataset::new("qps")
+        .with_text_column("tag", (0..rows).map(|i| format!("v{}", i % 16)).collect())
+        .with_uint_column("ts", (0..rows).map(|_| rng.random_range(0..10_000u64)).collect())
+        .with_uint_column("day", (0..rows).map(|_| rng.random_range(0..365u64)).collect())
+        .with_uint_column("size", (0..rows).map(|_| rng.random_range(0..1_000u64)).collect())
+        .with_uint_column("m", (0..rows).map(|_| rng.random_range(0..100_000u64)).collect());
+    let specs = vec![
+        ColumnSpec::sensitive("tag"),
+        ColumnSpec::sensitive("ts"),
+        ColumnSpec::sensitive("day"),
+        ColumnSpec::sensitive("size"),
+        ColumnSpec::sensitive("m"),
+    ];
+    let samples = vec![
+        parse("SELECT SUM(m) FROM qps WHERE tag = 'v3'").expect("sample"),
+        parse("SELECT SUM(m) FROM qps WHERE ts >= 100 AND ts < 900").expect("sample"),
+        parse("SELECT SUM(m) FROM qps WHERE day >= 10 AND day < 20").expect("sample"),
+        parse("SELECT SUM(m) FROM qps WHERE size >= 10 AND size < 20").expect("sample"),
+    ];
+    let mut client = SeabedClient::create_plan(b"prepared-qps", &specs, &samples, &PlannerConfig::default());
+    let encrypted = client.encrypt_dataset(&dataset, 4, &mut rng);
+    let server = SeabedServer::new(
+        encrypted.table.clone(),
+        Cluster::new(ClusterConfig::with_workers(100).local_threads(1)),
+    );
+    // Enough service workers for every concurrent client of a mode.
+    let clients = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let net = NetServer::serve(
+        server,
+        "127.0.0.1:0",
+        ServiceConfig::default().worker_threads(clients + 1),
+    )
+    .expect("bench service must start");
+    let addr = net.local_addr();
+
+    // A narrow point-lookup-style query with one DET equality and six ORE
+    // range predicates: a handful of matching rows, so the response (and its
+    // ASHE ID-list decryption) is small and the per-query *fixed* costs —
+    // parse, translate, one DET tag, six 64-symbol ORE encryptions (each
+    // with its per-filter AES key schedule), shipping the full plan — are
+    // what differ between the modes. Each mode runs `clients` concurrent
+    // connections, so the socket round trip overlaps across connections and
+    // QPS is governed by per-request work.
+    let one_shot_sql = "SELECT SUM(m) FROM qps WHERE tag = 'v3' AND ts >= 4900 AND ts < 5100 \
+                        AND day >= 100 AND day < 200 AND size >= 100 AND size < 900";
+    let prepared_sql =
+        "SELECT SUM(m) FROM qps WHERE tag = ? AND ts >= ? AND ts < ? AND day >= ? AND day < ? AND size >= ? AND size < ?";
+    let params = vec![
+        Literal::Text("v3".to_string()),
+        Literal::Integer(4_900),
+        Literal::Integer(5_100),
+        Literal::Integer(100),
+        Literal::Integer(200),
+        Literal::Integer(100),
+        Literal::Integer(900),
+    ];
+    let window = Duration::from_millis(400);
+    let mut out = Vec::new();
+
+    let expected = {
+        let probe = RemoteSeabedClient::connect(addr, client.clone()).expect("probe connect");
+        probe.query(one_shot_sql).expect("probe query").rows
+    };
+    let expected = &expected;
+
+    // Runs one mode: `clients` threads, each with its own connection,
+    // running `body` — warm-up, barrier wait, measured loop — and returning
+    // (requests, request bytes, elapsed seconds). Aggregate QPS is pushed as
+    // the mode's row (with mean request-frame bytes).
+    let window_loop = |started: Instant, mut f: Box<dyn FnMut() + '_>| -> u64 {
+        let mut requests = 0u64;
+        while started.elapsed() < window {
+            f();
+            requests += 1;
+        }
+        requests
+    };
+    let mut run_mode =
+        |label: &str, body: &(dyn Fn(&RemoteSeabedClient, &std::sync::Barrier) -> (u64, u64, f64) + Sync)| -> f64 {
+            let barrier = std::sync::Barrier::new(clients);
+            let mut total_requests = 0u64;
+            let mut total_request_bytes = 0u64;
+            let mut elapsed = 0f64;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| {
+                        let proxy = client.clone();
+                        let barrier = &barrier;
+                        scope.spawn(move || {
+                            let remote = RemoteSeabedClient::connect(addr, proxy).expect("bench client must connect");
+                            body(&remote, barrier)
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    let (requests, bytes, thread_elapsed) = handle.join().expect("bench client thread panicked");
+                    total_requests += requests;
+                    total_request_bytes += bytes;
+                    elapsed = f64::max(elapsed, thread_elapsed);
+                }
+            });
+            let qps = total_requests as f64 / elapsed.max(1e-9);
+            out.push(
+                Row::new(label)
+                    .with("qps", qps)
+                    .with("clients", clients as f64)
+                    .with("rows", rows as f64)
+                    .with(
+                        "req_bytes",
+                        total_request_bytes as f64 / (total_requests as f64).max(1.0),
+                    ),
+            );
+            qps
+        };
+
+    let one_shot_qps = run_mode("one-shot", &|remote, barrier| {
+        remote.query(one_shot_sql).expect("warm-up");
+        let baseline = remote.wire_stats();
+        barrier.wait();
+        let started = Instant::now();
+        let requests = window_loop(
+            started,
+            Box::new(|| {
+                let result = remote.query(one_shot_sql).expect("one-shot query");
+                debug_assert_eq!(&result.rows, expected);
+            }),
+        );
+        let stats = remote.wire_stats();
+        (
+            requests,
+            stats.bytes_sent - baseline.bytes_sent,
+            started.elapsed().as_secs_f64(),
+        )
+    });
+
+    let prepared_qps = run_mode("prepared", &|remote, barrier| {
+        // Prepare once per connection (warm-up also registers the statement
+        // handle on the server); executions ship only handle + filters.
+        let session = SeabedSession::single("qps", client.clone(), remote);
+        let prepared = session.prepare(one_shot_sql).expect("prepare");
+        session.execute(&prepared, &[]).expect("warm-up");
+        let baseline = remote.wire_stats();
+        barrier.wait();
+        let started = Instant::now();
+        let requests = window_loop(
+            started,
+            Box::new(|| {
+                let result = session.execute(&prepared, &[]).expect("prepared execute");
+                debug_assert_eq!(&result.rows, expected);
+            }),
+        );
+        let stats = remote.wire_stats();
+        (
+            requests,
+            stats.bytes_sent - baseline.bytes_sent,
+            started.elapsed().as_secs_f64(),
+        )
+    });
+
+    let bound_qps = run_mode("prepared+bind", &|remote, barrier| {
+        let session = SeabedSession::single("qps", client.clone(), remote);
+        let prepared = session.prepare(prepared_sql).expect("prepare");
+        session.execute(&prepared, &params).expect("warm-up");
+        let baseline = remote.wire_stats();
+        barrier.wait();
+        let started = Instant::now();
+        let requests = window_loop(
+            started,
+            Box::new(|| {
+                let result = session.execute(&prepared, &params).expect("bound execute");
+                debug_assert_eq!(&result.rows, expected);
+            }),
+        );
+        let stats = remote.wire_stats();
+        (
+            requests,
+            stats.bytes_sent - baseline.bytes_sent,
+            started.elapsed().as_secs_f64(),
+        )
+    });
+
+    out.push(
+        Row::new("speedup")
+            .with("prepared_x", prepared_qps / one_shot_qps.max(1e-9))
+            .with("prepared_bind_x", bound_qps / one_shot_qps.max(1e-9)),
+    );
+
+    let stats = net.shutdown();
+    out.push(
+        Row::new("service totals")
+            .with("requests_served", stats.requests_served as f64)
+            .with("statements_prepared", stats.statements_prepared as f64)
             .with("bytes_in", stats.bytes_in as f64)
             .with("bytes_out", stats.bytes_out as f64),
     );

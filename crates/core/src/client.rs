@@ -18,7 +18,7 @@ use crate::keys::KeyStore;
 use crate::server::{EncryptedAggregate, PhysicalFilter, QueryTarget, ServerResponse};
 use seabed_ashe::{AsheCiphertext, AsheScheme, IdSet};
 use seabed_crypto::{DetScheme, OreScheme};
-use seabed_engine::{ExecStats, NetworkModel, Schema};
+use seabed_engine::{ColumnType, ExecStats, NetworkModel, Schema};
 use seabed_error::SeabedError;
 use seabed_query::planner::{plan_schema, ColumnSpec, PlannerConfig, SchemaPlan};
 use seabed_query::{
@@ -161,15 +161,23 @@ impl SeabedClient {
     /// Exposed so benchmarks can time translation, execution and decryption
     /// separately.
     ///
+    /// This is the *one-shot* path: every literal must be inline in the SQL
+    /// (a `?` placeholder is a typed error — prepare parameterized statements
+    /// through [`crate::SeabedSession`] instead, which binds and encrypts
+    /// only the bound literals per execution).
+    ///
     /// `target` is anything implementing [`QueryTarget`]: the in-process
-    /// [`crate::SeabedServer`], or a `seabed-dist` coordinator fanning the
-    /// query out across sharded workers — the proxy surface is identical.
+    /// [`crate::SeabedServer`], a `seabed-net` remote proxy, or a
+    /// `seabed-dist` coordinator fanning the query out across sharded
+    /// workers — the proxy surface is identical.
     pub fn prepare(
         &self,
         target: &impl QueryTarget,
         sql: &str,
     ) -> Result<(Query, TranslatedQuery, Vec<PhysicalFilter>), SeabedError> {
-        self.prepare_with_schema(target.schema(), sql)
+        let query = parse(sql)?;
+        let schema = target.schema_of(query.from.base_table())?;
+        self.prepare_parsed(schema, query)
     }
 
     /// Like [`SeabedClient::prepare`], but resolves filter columns against a
@@ -182,57 +190,88 @@ impl SeabedClient {
         schema: &Schema,
         sql: &str,
     ) -> Result<(Query, TranslatedQuery, Vec<PhysicalFilter>), SeabedError> {
-        let query = parse(sql)?;
+        self.prepare_parsed(schema, parse(sql)?)
+    }
+
+    fn prepare_parsed(
+        &self,
+        schema: &Schema,
+        query: Query,
+    ) -> Result<(Query, TranslatedQuery, Vec<PhysicalFilter>), SeabedError> {
         let translated = translate(&query, &self.plan, &self.translate_options)?;
-        let filters = self.build_filters(schema, &translated)?;
+        if !translated.is_bound() {
+            return Err(SeabedError::Translate(format!(
+                "query has {} unbound placeholder(s): prepare it through a SeabedSession and bind parameters at \
+                 execute time",
+                translated.params.len()
+            )));
+        }
+        let filters = self.encrypt_filters(schema, &translated)?;
         Ok((query, translated, filters))
     }
 
-    fn build_filters(&self, schema: &Schema, translated: &TranslatedQuery) -> Result<Vec<PhysicalFilter>, SeabedError> {
-        let require_column = |name: &str| -> Result<usize, SeabedError> {
-            schema
-                .index_of(name)
-                .ok_or_else(|| SeabedError::unknown_physical_column(name))
-        };
-        let mut out = Vec::with_capacity(translated.filters.len());
-        for filter in &translated.filters {
-            match filter {
-                ServerFilter::Plain(pred) => {
-                    let column = require_column(&pred.column)?;
-                    match &pred.value {
-                        seabed_query::Literal::Integer(v) => out.push(PhysicalFilter::PlainU64 {
-                            column,
-                            op: pred.op,
-                            value: *v,
-                        }),
-                        seabed_query::Literal::Text(s) => out.push(PhysicalFilter::PlainText {
-                            column,
-                            value: s.clone(),
-                        }),
-                    }
+    /// Encrypts the literals of a fully-bound translated query into the
+    /// [`PhysicalFilter`]s the server evaluates: DET literals become tags,
+    /// OPE literals become ORE ciphertexts, plaintext literals pass through.
+    /// Every filter column is resolved against `schema` and type-checked
+    /// *here*, at the proxy — a mismatch is a typed [`SeabedError::Schema`]
+    /// at bind time, never a server-side execution failure.
+    pub fn encrypt_filters(
+        &self,
+        schema: &Schema,
+        translated: &TranslatedQuery,
+    ) -> Result<Vec<PhysicalFilter>, SeabedError> {
+        translated
+            .filters
+            .iter()
+            .map(|filter| self.encrypt_filter(schema, filter))
+            .collect()
+    }
+
+    /// Encrypts one fully-bound server filter into its physical form — the
+    /// unit the session uses to re-encrypt *only* the placeholder positions
+    /// of a partially-bound statement per execution.
+    pub fn encrypt_filter(&self, schema: &Schema, filter: &ServerFilter) -> Result<PhysicalFilter, SeabedError> {
+        // One shared rule set (`filter_column_expectation`) decides which
+        // physical type each filter reads, so prepare-time validation and
+        // bind-time encryption cannot diverge.
+        let idx = require_filter_column(schema, filter)?;
+        Ok(match filter {
+            ServerFilter::Plain(pred) => match &pred.value {
+                seabed_query::Literal::Integer(v) => PhysicalFilter::PlainU64 {
+                    column: idx,
+                    op: pred.op,
+                    value: *v,
+                },
+                seabed_query::Literal::Text(s) => PhysicalFilter::PlainText {
+                    column: idx,
+                    value: s.clone(),
+                },
+                seabed_query::Literal::Param(_) => {
+                    return Err(SeabedError::Translate(format!(
+                        "filter on {} still carries an unbound placeholder; bind parameters first",
+                        pred.column
+                    )))
                 }
-                ServerFilter::DetEquals { column, value } => {
-                    let idx = require_column(column)?;
-                    let logical = column.strip_suffix("__det").unwrap_or(column);
-                    let det = DetScheme::new(&self.keys.det_key(logical));
-                    out.push(PhysicalFilter::DetTag {
-                        column: idx,
-                        tag: det.tag64_of(value.as_bytes()),
-                    });
-                }
-                ServerFilter::OpeCompare { column, op, value } => {
-                    let idx = require_column(column)?;
-                    let logical = column.strip_suffix("__ope").unwrap_or(column);
-                    let ore = OreScheme::new(&self.keys.ope_key(logical));
-                    out.push(PhysicalFilter::Ope {
-                        column: idx,
-                        op: *op,
-                        ciphertext: ore.encrypt(*value),
-                    });
+            },
+            ServerFilter::DetEquals { column, value } => {
+                let logical = column.strip_suffix("__det").unwrap_or(column);
+                let det = DetScheme::new(&self.keys.det_key(logical));
+                PhysicalFilter::DetTag {
+                    column: idx,
+                    tag: det.tag64_of(value.as_bytes()),
                 }
             }
-        }
-        Ok(out)
+            ServerFilter::OpeCompare { column, op, value } => {
+                let logical = column.strip_suffix("__ope").unwrap_or(column);
+                let ore = OreScheme::new(&self.keys.ope_key(logical));
+                PhysicalFilter::Ope {
+                    column: idx,
+                    op: *op,
+                    ciphertext: ore.encrypt(*value),
+                }
+            }
+        })
     }
 
     /// Runs a SQL query end-to-end against a query target ("Query Data" in
@@ -502,6 +541,51 @@ impl SeabedClient {
         });
         Ok(scheme.decrypt(&AsheCiphertext { value, ids }))
     }
+}
+
+/// The physical column a server filter reads and the type it must have —
+/// `None` for a plaintext filter whose literal is still an unbound
+/// placeholder (the column must exist, but its type is only checkable once a
+/// literal is bound). This is the single source of truth shared by
+/// prepare-time validation (`crate::session`) and bind-time encryption
+/// ([`SeabedClient::encrypt_filters`]), so the two can never disagree on the
+/// rules.
+pub(crate) fn filter_column_expectation(filter: &ServerFilter) -> (&str, Option<ColumnType>) {
+    match filter {
+        ServerFilter::Plain(pred) => (
+            &pred.column,
+            match &pred.value {
+                seabed_query::Literal::Integer(_) => Some(ColumnType::UInt64),
+                seabed_query::Literal::Text(_) => Some(ColumnType::Utf8),
+                seabed_query::Literal::Param(_) => None,
+            },
+        ),
+        ServerFilter::DetEquals { column, .. } => (column, Some(ColumnType::UInt64)),
+        ServerFilter::OpeCompare { column, .. } => (column, Some(ColumnType::Bytes)),
+    }
+}
+
+/// Resolves a filter's column against `schema` and type-checks it per
+/// [`filter_column_expectation`]: unknown columns and physical-type
+/// mismatches are typed [`SeabedError::Schema`] errors at the proxy, never
+/// server-side failures.
+pub(crate) fn require_filter_column(schema: &Schema, filter: &ServerFilter) -> Result<usize, SeabedError> {
+    let (name, expected) = filter_column_expectation(filter);
+    let idx = schema
+        .index_of(name)
+        .ok_or_else(|| SeabedError::unknown_physical_column(name))?;
+    if let Some(expected) = expected {
+        let actual = schema.fields[idx].ty;
+        if actual != expected {
+            return Err(seabed_error::SchemaError::TypeMismatch {
+                column: name.to_string(),
+                expected: format!("{expected:?}"),
+                actual: format!("{actual:?}"),
+            }
+            .into());
+        }
+    }
+    Ok(idx)
 }
 
 /// Returns the aggregate at `index` or a [`SeabedError::Engine`] when the

@@ -52,6 +52,7 @@ pub mod dataset;
 pub mod encrypt;
 pub mod keys;
 pub mod server;
+pub mod session;
 
 pub use baseline::{row_selected, BaselineResult, NoEncSystem, PaillierSystem};
 pub use client::{QueryResult, QueryTimings, ResultValue, SeabedClient};
@@ -62,3 +63,4 @@ pub use server::{
     finalize_partials, EncryptedAggregate, GroupResult, PartialResponse, PhysicalFilter, QueryTarget, SeabedServer,
     ServerResponse,
 };
+pub use session::{fnv1a64, Catalog, PreparedQuery, SeabedSession, SessionStats};

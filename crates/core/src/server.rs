@@ -551,6 +551,11 @@ impl SeabedServer {
         &self.table
     }
 
+    /// The encrypted table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.table.schema
+    }
+
     /// The execution mode partition scans run under.
     pub fn exec_mode(&self) -> ExecMode {
         self.cluster.config.exec_mode
@@ -728,24 +733,61 @@ impl PartialResponse {
     }
 }
 
-/// Anything a [`crate::SeabedClient`] can point a query at: the in-process
-/// [`SeabedServer`], a `seabed-net` remote proxy, or a `seabed-dist`
-/// coordinator fanning the query out over sharded workers. The proxy only
-/// needs a schema to prepare against and an execution entry point; planning,
-/// literal encryption and response decryption stay in the client regardless
-/// of the target's topology.
+/// Anything a [`crate::SeabedClient`] or [`crate::SeabedSession`] can point a
+/// query at: the in-process [`SeabedServer`], a `seabed-net` remote proxy, or
+/// a `seabed-dist` coordinator fanning the query out over sharded workers.
+/// The proxy only needs a schema to prepare against and an execution entry
+/// point; planning, literal encryption and response decryption stay in the
+/// client regardless of the target's topology.
+///
+/// Targets are addressed by *table*: `schema_of` resolves the table named in
+/// a query's `FROM`, so one target can host many encrypted tables (the
+/// multi-tenant `seabed-dist` coordinator does). A single-table target that
+/// was never told its table's name accepts any name — the catalog on the
+/// session side is then the authority on which names exist.
 pub trait QueryTarget {
-    /// The schema queries are prepared against.
-    fn schema(&self) -> &Schema;
+    /// The schema of the named table, or a typed
+    /// [`seabed_error::SchemaError::UnknownTable`] when this target does not
+    /// host it. Anonymous single-table targets accept every name.
+    fn schema_of(&self, table: &str) -> Result<&Schema, SeabedError>;
 
-    /// Executes a prepared (translated, literal-encrypted) query.
+    /// True when this target resolves table names strictly (multi-table
+    /// hosts); false for anonymous single-table targets, which accept any
+    /// name. A `SeabedSession` refuses to pair a multi-table catalog with a
+    /// non-routing target: the target would silently run every query against
+    /// its one table regardless of the `FROM` name.
+    fn routes_by_table(&self) -> bool {
+        false
+    }
+
+    /// Executes a prepared (translated, literal-encrypted) query. Multi-table
+    /// targets route by `query.base_table`.
     fn execute_query(&self, query: &TranslatedQuery, filters: &[PhysicalFilter])
         -> Result<ServerResponse, SeabedError>;
+
+    /// Executes a *prepared statement*: `statement` is the unbound translated
+    /// plan (stable across executions — the server side only reads its shape:
+    /// aggregates, grouping, inflation), `statement_id` a caller-stable cache
+    /// key for it, and `filters` the bound, literal-encrypted filters of this
+    /// execution. The default just executes the plan; remote targets override
+    /// this to register the statement once and ship only a handle plus the
+    /// bound filters on every execution.
+    fn execute_prepared(
+        &self,
+        statement: &TranslatedQuery,
+        statement_id: u64,
+        filters: &[PhysicalFilter],
+    ) -> Result<ServerResponse, SeabedError> {
+        let _ = statement_id;
+        self.execute_query(statement, filters)
+    }
 }
 
 impl QueryTarget for SeabedServer {
-    fn schema(&self) -> &Schema {
-        &self.table.schema
+    fn schema_of(&self, _table: &str) -> Result<&Schema, SeabedError> {
+        // A `SeabedServer` hosts exactly one (anonymous) table; name
+        // resolution is the catalog's job on the session side.
+        Ok(&self.table.schema)
     }
 
     fn execute_query(
@@ -980,6 +1022,7 @@ mod tests {
             client_post: vec![],
             preserve_row_ids: true,
             category: SupportCategory::ServerOnly,
+            params: vec![],
         }
     }
 

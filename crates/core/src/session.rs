@@ -1,0 +1,711 @@
+//! The session-oriented query surface: [`Catalog`], [`SeabedSession`] and
+//! [`PreparedQuery`].
+//!
+//! [`SeabedClient::query`] is a *one-shot* pipeline: every call re-parses,
+//! re-plans, re-translates and re-encrypts the SQL string, and each client is
+//! bound to a single table. A [`SeabedSession`] amortizes all of that across
+//! executions and across tables:
+//!
+//! ```text
+//!   Catalog ──────────── N × (table name → SeabedClient: plan + keys + dicts)
+//!      │
+//!   SeabedSession ─────── statement cache (SQL hash → Arc<PreparedQuery>)
+//!      │  prepare(sql)        parse → resolve FROM against the catalog →
+//!      │                      translate → validate against the target schema
+//!      │  execute(p, params)  bind `?` literals → encrypt ONLY bound literals
+//!      ▼                      → dispatch → decrypt
+//!   QueryTarget ────────── SeabedServer | RemoteSeabedClient | DistCoordinator
+//! ```
+//!
+//! Every failure mode of the lifecycle is typed and raised on the client
+//! side, before anything ships: an unknown `FROM` table is
+//! [`SchemaError::UnknownTable`] at prepare, wrong parameter arity is
+//! [`SchemaError::ParamCount`] at bind, a mistyped literal is
+//! [`SchemaError::TypeMismatch`] at bind, and a placeholder in a position
+//! whose plan shape depends on the value (SPLASHE dimensions, `LIMIT`) is
+//! rejected at parse/translate time. The server never sees any of them.
+//!
+//! Prepared execution is byte-identical to one-shot execution by
+//! construction: the server side of a plan only reads its *shape*
+//! (aggregates, grouping, inflation), which binding never changes, and
+//! filter encryption is deterministic — `tests/prepared_equivalence.rs` pins
+//! this across all three execution targets.
+
+use crate::client::{QueryResult, SeabedClient};
+use crate::server::{PhysicalFilter, QueryTarget, ServerResponse};
+use seabed_engine::{ColumnType, Schema};
+use seabed_error::{SchemaError, SeabedError};
+use seabed_query::{parse, translate, Literal, Query, TranslatedQuery};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// 64-bit FNV-1a, the statement-cache hash. Stable across processes (the
+/// `seabed-net` statement handles reuse it on the server side), no
+/// dependencies, and good enough dispersion for a cache keyed by SQL text.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A registry of encrypted tables: one [`SeabedClient`] — schema plan, keys,
+/// DET dictionaries — per table name. The catalog is the client-side
+/// authority on which table names exist; sessions resolve every query's
+/// `FROM` against it before anything else happens.
+#[derive(Clone, Default)]
+pub struct Catalog {
+    entries: Vec<(String, SeabedClient)>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table's proxy state under `name`. Builder
+    /// form so multi-table catalogs read declaratively.
+    pub fn with_table(mut self, name: impl Into<String>, client: SeabedClient) -> Catalog {
+        self.register(name, client);
+        self
+    }
+
+    /// Registers (or replaces) a table's proxy state under `name`.
+    pub fn register(&mut self, name: impl Into<String>, client: SeabedClient) {
+        let name = name.into();
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, slot)) => *slot = client,
+            None => self.entries.push((name, client)),
+        }
+    }
+
+    /// The proxy state of a registered table.
+    pub fn client(&self, name: &str) -> Option<&SeabedClient> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// Registered table names, in registration order.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A statement prepared once — parsed, resolved against the catalog,
+/// translated, schema-validated — and executable many times with different
+/// bound parameters. Obtained from [`SeabedSession::prepare`]; immutable and
+/// shareable (`Arc`) across threads.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    table: String,
+    sql: String,
+    statement_id: u64,
+    query: Query,
+    translated: TranslatedQuery,
+    filters: PreparedFilters,
+}
+
+/// The physical filters of a prepared statement, encrypted as far as prepare
+/// time allows: every literal that is inline in the SQL is encrypted exactly
+/// once, and only placeholder positions pay crypto per execution.
+#[derive(Debug)]
+enum PreparedFilters {
+    /// No placeholders: the complete filter list, borrowed per execute
+    /// (zero per-execute allocation or crypto).
+    Fixed(Vec<PhysicalFilter>),
+    /// Placeholders present: `Some` at inline-literal positions (encrypted
+    /// at prepare), `None` at placeholder positions (encrypted per execute
+    /// from the bound literal).
+    Template(Vec<Option<PhysicalFilter>>),
+}
+
+impl PreparedQuery {
+    /// The catalog table this statement reads.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The original SQL text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Stable identifier of this statement: the FNV-1a hash of its SQL text,
+    /// which is also the session's cache key. Passed to
+    /// [`QueryTarget::execute_prepared`] for observability; note that remote
+    /// targets deliberately identify server-side statements by *plan
+    /// content*, not by this id, so a re-planned statement under the same
+    /// SQL text can never pair with a stale server registration.
+    pub fn statement_id(&self) -> u64 {
+        self.statement_id
+    }
+
+    /// Number of `?` placeholders to bind at execute time.
+    pub fn param_count(&self) -> usize {
+        self.translated.params.len()
+    }
+
+    /// The parsed query (the decryption side walks its `SELECT` list).
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The unbound translated plan.
+    pub fn translated(&self) -> &TranslatedQuery {
+        &self.translated
+    }
+}
+
+/// Counters of one session's lifecycle activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// `prepare` calls that built a new statement (cache misses).
+    pub statements_prepared: u64,
+    /// `prepare` calls answered from the statement cache.
+    pub cache_hits: u64,
+    /// Successful `execute` calls.
+    pub executes: u64,
+}
+
+/// A multi-table, prepared-statement query session over one execution target.
+///
+/// See the [module docs](self) for the lifecycle. The session is `Sync`: the
+/// statement cache is internally locked, prepared statements are shared via
+/// `Arc`, and `execute` takes `&self`, so concurrent workloads can hammer one
+/// session from many threads.
+pub struct SeabedSession<'t, T: QueryTarget + ?Sized> {
+    catalog: Catalog,
+    target: &'t T,
+    cache: Mutex<StatementCache>,
+    statements_prepared: AtomicU64,
+    cache_hits: AtomicU64,
+    executes: AtomicU64,
+}
+
+/// The session's bounded statement cache: FIFO eviction beyond `capacity`
+/// (re-preparing refreshes a statement's position), so workloads that
+/// interpolate literals into distinct SQL strings cannot grow it without
+/// limit. Mirrors the server-side statement store's policy.
+struct StatementCache {
+    statements: HashMap<u64, Arc<PreparedQuery>>,
+    order: std::collections::VecDeque<u64>,
+    capacity: usize,
+}
+
+impl StatementCache {
+    fn new(capacity: usize) -> StatementCache {
+        StatementCache {
+            statements: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn insert(&mut self, id: u64, prepared: Arc<PreparedQuery>) {
+        self.order.retain(|&h| h != id);
+        self.order.push_back(id);
+        self.statements.insert(id, prepared);
+        while self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.statements.remove(&old);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.statements.clear();
+        self.order.clear();
+    }
+}
+
+/// Default capacity of a session's statement cache.
+pub const DEFAULT_STATEMENT_CAPACITY: usize = 256;
+
+impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
+    /// Opens a session over `target` with the given catalog.
+    pub fn new(catalog: Catalog, target: &'t T) -> SeabedSession<'t, T> {
+        SeabedSession {
+            catalog,
+            target,
+            cache: Mutex::new(StatementCache::new(DEFAULT_STATEMENT_CAPACITY)),
+            statements_prepared: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            executes: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the statement-cache capacity (FIFO eviction beyond it).
+    pub fn with_statement_capacity(mut self, capacity: usize) -> SeabedSession<'t, T> {
+        self.cache = Mutex::new(StatementCache::new(capacity));
+        self
+    }
+
+    /// Convenience constructor for the single-table case — what the legacy
+    /// `SeabedClient::query` shim amounts to, with the table given a name.
+    pub fn single(table: impl Into<String>, client: SeabedClient, target: &'t T) -> SeabedSession<'t, T> {
+        SeabedSession::new(Catalog::new().with_table(table, client), target)
+    }
+
+    /// The session's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The execution target.
+    pub fn target(&self) -> &T {
+        self.target
+    }
+
+    /// A snapshot of the session counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            statements_prepared: self.statements_prepared.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            executes: self.executes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached statement. Call after a schema change (re-planned
+    /// catalog entry, re-encrypted table) so stale plans cannot be executed;
+    /// remote targets additionally surface server-side staleness as
+    /// [`SeabedError::StaleStatement`], which their transport layer recovers
+    /// from by re-preparing.
+    pub fn invalidate_statements(&self) {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+
+    /// Prepares `sql`: parse, resolve the `FROM` table against the catalog,
+    /// translate under that table's plan, and validate every referenced
+    /// physical column against the target's schema — once. Repeated calls
+    /// with the same SQL return the cached statement.
+    ///
+    /// Every failure is typed and client-side: [`SeabedError::Parse`] for
+    /// malformed SQL (including placeholders in unsupported positions),
+    /// [`SchemaError::UnknownTable`] for a `FROM` no catalog entry matches,
+    /// [`SeabedError::Translate`] / [`SeabedError::Schema`] for plans the
+    /// encrypted schema cannot run.
+    pub fn prepare(&self, sql: &str) -> Result<Arc<PreparedQuery>, SeabedError> {
+        let statement_id = fnv1a64(sql.as_bytes());
+        if let Some(cached) = self
+            .cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .statements
+            .get(&statement_id)
+        {
+            // Guard against (astronomically unlikely) hash collisions: a hit
+            // only counts when the SQL text matches.
+            if cached.sql == sql {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(cached));
+            }
+        }
+
+        // A multi-table catalog needs a target that routes by table name; an
+        // anonymous single-table target would silently run every statement
+        // against its one table regardless of the FROM.
+        if self.catalog.len() > 1 && !self.target.routes_by_table() {
+            return Err(SeabedError::Plan(format!(
+                "the catalog registers {} tables but the execution target hosts a single anonymous table; \
+                 use a multi-table target (e.g. DistCoordinator::connect_tables) or a single-table catalog",
+                self.catalog.len()
+            )));
+        }
+
+        let query = parse(sql)?;
+        let table = query.from.base_table().to_string();
+        let client = self
+            .catalog
+            .client(&table)
+            .ok_or_else(|| SchemaError::UnknownTable(table.clone()))?;
+        let schema = self.target.schema_of(&table)?;
+        let translated = translate(&query, client.plan(), &client.translate_options)?;
+        validate_against_schema(schema, &translated)?;
+        // Encrypt every inline literal now; placeholder positions stay open
+        // until bind time.
+        let filters = if translated.is_bound() {
+            PreparedFilters::Fixed(client.encrypt_filters(schema, &translated)?)
+        } else {
+            let param_positions: std::collections::HashSet<usize> =
+                translated.params.iter().map(|slot| slot.filter_index).collect();
+            let template = translated
+                .filters
+                .iter()
+                .enumerate()
+                .map(|(i, filter)| {
+                    if param_positions.contains(&i) {
+                        Ok(None)
+                    } else {
+                        client.encrypt_filter(schema, filter).map(Some)
+                    }
+                })
+                .collect::<Result<Vec<_>, SeabedError>>()?;
+            PreparedFilters::Template(template)
+        };
+
+        let prepared = Arc::new(PreparedQuery {
+            table,
+            sql: sql.to_string(),
+            statement_id,
+            query,
+            translated,
+            filters,
+        });
+        self.statements_prepared.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(statement_id, Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    /// Number of statements currently held by the cache.
+    pub fn cached_statements(&self) -> usize {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner()).statements.len()
+    }
+
+    /// Executes a prepared statement with `params` bound to its `?`
+    /// placeholders (in left-to-right order; empty for fully-bound
+    /// statements), returning the decrypted result.
+    ///
+    /// Decryption runs against the statement's stored plan: binding never
+    /// changes the plan *shape* (aggregates, grouping, inflation, post
+    /// steps), which is all decryption reads, so fully-bound statements pay
+    /// no per-execute allocation or crypto at all.
+    pub fn execute(&self, prepared: &PreparedQuery, params: &[Literal]) -> Result<QueryResult, SeabedError> {
+        let client = self
+            .catalog
+            .client(&prepared.table)
+            .ok_or_else(|| SchemaError::UnknownTable(prepared.table.clone()))?;
+        let (_, response) = self.dispatch(client, prepared, params)?;
+        let result = client.decrypt_response(&prepared.query, &prepared.translated, response)?;
+        self.executes.fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// The one bind-and-dispatch path both `execute` and `execute_encrypted`
+    /// share: binds the placeholders (arity/type checked), encrypts **only**
+    /// the placeholder positions (inline literals were encrypted at prepare;
+    /// fully-bound statements borrow their fixed filters with zero
+    /// per-execute crypto or allocation), and dispatches. Returns the bound
+    /// plan when the statement has placeholders (`None` for fully-bound
+    /// statements, whose plan *is* `prepared.translated`).
+    fn dispatch(
+        &self,
+        client: &SeabedClient,
+        prepared: &PreparedQuery,
+        params: &[Literal],
+    ) -> Result<(Option<TranslatedQuery>, ServerResponse), SeabedError> {
+        match &prepared.filters {
+            PreparedFilters::Fixed(fixed) => {
+                // Arity is still checked: a fully-bound statement takes no
+                // parameters.
+                if !params.is_empty() {
+                    return Err(SchemaError::ParamCount {
+                        expected: 0,
+                        actual: params.len(),
+                    }
+                    .into());
+                }
+                let response = self
+                    .target
+                    .execute_prepared(&prepared.translated, prepared.statement_id, fixed)?;
+                Ok((None, response))
+            }
+            PreparedFilters::Template(template) => {
+                let bound = prepared.translated.bind(params)?;
+                let schema = self.target.schema_of(&prepared.table)?;
+                let mut filters = Vec::with_capacity(template.len());
+                for (i, slot) in template.iter().enumerate() {
+                    match slot {
+                        Some(fixed) => filters.push(fixed.clone()),
+                        None => {
+                            let filter = bound.filters.get(i).ok_or_else(|| {
+                                SeabedError::engine(format!("filter template position {i} exceeds the bound plan"))
+                            })?;
+                            filters.push(client.encrypt_filter(schema, filter)?);
+                        }
+                    }
+                }
+                let response = self
+                    .target
+                    .execute_prepared(&prepared.translated, prepared.statement_id, &filters)?;
+                Ok((Some(bound), response))
+            }
+        }
+    }
+
+    /// [`SeabedSession::execute`] up to (and including) server execution,
+    /// without decryption: returns the bound plan and the still-encrypted
+    /// response. The equivalence suite uses this to compare prepared
+    /// execution byte-for-byte against the one-shot path.
+    pub fn execute_encrypted(
+        &self,
+        prepared: &PreparedQuery,
+        params: &[Literal],
+    ) -> Result<(TranslatedQuery, ServerResponse), SeabedError> {
+        let client = self
+            .catalog
+            .client(&prepared.table)
+            .ok_or_else(|| SchemaError::UnknownTable(prepared.table.clone()))?;
+        let (bound, response) = self.dispatch(client, prepared, params)?;
+        // Fully-bound statements' plan is already the bound plan.
+        Ok((bound.unwrap_or_else(|| prepared.translated.clone()), response))
+    }
+
+    /// Prepare-and-execute in one call: the session-cached replacement for
+    /// `SeabedClient::query`. The statement cache makes repeated calls with
+    /// the same SQL skip parse/translate/validate entirely.
+    pub fn query(&self, sql: &str, params: &[Literal]) -> Result<QueryResult, SeabedError> {
+        let prepared = self.prepare(sql)?;
+        self.execute(&prepared, params)
+    }
+}
+
+/// Prepare-time validation of a translated plan against the target table's
+/// physical schema: every column the plan will touch — filters (including
+/// the ones placeholders will bind), aggregates, group keys — must exist
+/// with the physical type the operation reads. This is what makes "fails at
+/// prepare or bind time, never at execute time on the server" true for
+/// schema errors.
+fn validate_against_schema(schema: &Schema, translated: &TranslatedQuery) -> Result<(), SeabedError> {
+    let require = |name: &str, expected: ColumnType| -> Result<(), SeabedError> {
+        let idx = schema
+            .index_of(name)
+            .ok_or_else(|| SeabedError::unknown_physical_column(name))?;
+        let actual = schema.fields[idx].ty;
+        if actual != expected {
+            return Err(SchemaError::TypeMismatch {
+                column: name.to_string(),
+                expected: format!("{expected:?}"),
+                actual: format!("{actual:?}"),
+            }
+            .into());
+        }
+        Ok(())
+    };
+    for filter in &translated.filters {
+        // Same rule set as bind-time encryption (an unbound placeholder only
+        // needs existence here; its type is checked against the bound
+        // literal at bind time).
+        crate::client::require_filter_column(schema, filter)?;
+    }
+    for agg in &translated.aggregates {
+        match agg {
+            seabed_query::ServerAggregate::AsheSum { column } => require(column, ColumnType::UInt64)?,
+            seabed_query::ServerAggregate::CountRows => {}
+            seabed_query::ServerAggregate::OpeMin { column } | seabed_query::ServerAggregate::OpeMax { column } => {
+                require(column, ColumnType::Bytes)?
+            }
+        }
+    }
+    for group in &translated.group_by {
+        require(&group.physical_column, ColumnType::UInt64)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ResultValue;
+    use crate::dataset::PlainDataset;
+    use crate::server::SeabedServer;
+    use seabed_engine::{Cluster, ClusterConfig};
+    use seabed_query::{ColumnSpec, PlannerConfig};
+
+    fn fixture(name: &str, seed: &[u8]) -> (SeabedClient, SeabedServer, PlainDataset) {
+        let n = 240usize;
+        let dataset = PlainDataset::new(name)
+            .with_text_column("dept", (0..n).map(|i| format!("d{}", i % 4)).collect())
+            .with_uint_column("revenue", (0..n as u64).map(|i| (i * 7) % 1000).collect())
+            .with_uint_column("ts", (0..n as u64).map(|i| (i * 13) % 500).collect());
+        let columns = vec![
+            ColumnSpec::sensitive("dept"),
+            ColumnSpec::sensitive("revenue"),
+            ColumnSpec::sensitive("ts"),
+        ];
+        let samples = vec![
+            parse(&format!("SELECT SUM(revenue) FROM {name} WHERE dept = 'd1'")).expect("sample"),
+            parse(&format!("SELECT SUM(revenue) FROM {name} WHERE ts >= 100")).expect("sample"),
+            parse(&format!("SELECT dept, SUM(revenue) FROM {name} GROUP BY dept")).expect("sample"),
+        ];
+        let mut client = SeabedClient::create_plan(seed, &columns, &samples, &PlannerConfig::default());
+        let encrypted = client.encrypt_dataset(&dataset, 4, &mut rand::rng());
+        let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(4)));
+        (client, server, dataset)
+    }
+
+    fn expected_sum(dataset: &PlainDataset, dept: &str, min_ts: u64) -> u64 {
+        let d = dataset.column("dept").expect("dept");
+        let r = dataset.column("revenue").expect("revenue");
+        let t = dataset.column("ts").expect("ts");
+        (0..dataset.num_rows())
+            .filter(|&i| d.text_at(i) == dept && t.u64_at(i).unwrap_or_default() >= min_ts)
+            .map(|i| r.u64_at(i).unwrap_or_default())
+            .sum()
+    }
+
+    #[test]
+    fn prepared_execution_binds_parameters() -> Result<(), SeabedError> {
+        let (client, server, dataset) = fixture("sales", b"session-1");
+        let session = SeabedSession::single("sales", client, &server);
+        let prepared = session.prepare("SELECT SUM(revenue) FROM sales WHERE dept = ? AND ts >= ?")?;
+        assert_eq!(prepared.param_count(), 2);
+        for (dept, min_ts) in [("d0", 0u64), ("d1", 100), ("d3", 444)] {
+            let result = session.execute(&prepared, &[Literal::Text(dept.to_string()), Literal::Integer(min_ts)])?;
+            assert_eq!(
+                result.rows,
+                vec![vec![ResultValue::UInt(expected_sum(&dataset, dept, min_ts))]],
+                "dept={dept} min_ts={min_ts}"
+            );
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn statement_cache_hits_on_repeat_prepare() -> Result<(), SeabedError> {
+        let (client, server, _) = fixture("sales", b"session-2");
+        let session = SeabedSession::single("sales", client, &server);
+        let sql = "SELECT SUM(revenue) FROM sales WHERE ts >= ?";
+        let a = session.prepare(sql)?;
+        let b = session.prepare(sql)?;
+        assert!(Arc::ptr_eq(&a, &b), "second prepare must hit the cache");
+        let stats = session.stats();
+        assert_eq!(stats.statements_prepared, 1);
+        assert_eq!(stats.cache_hits, 1);
+        session.invalidate_statements();
+        let c = session.prepare(sql)?;
+        assert!(!Arc::ptr_eq(&a, &c), "invalidation must drop the cached statement");
+        Ok(())
+    }
+
+    /// A multi-table catalog over an anonymous single-table target is
+    /// refused up front: the target cannot route by name, so a query against
+    /// the second table would silently scan the wrong data and decrypt it
+    /// with the wrong keys. (Multi-table sessions over a routing target are
+    /// exercised in `tests/multi_table_dist.rs`.)
+    #[test]
+    fn multi_table_catalog_requires_a_routing_target() {
+        let (sales_client, sales_server, _) = fixture("sales", b"session-3a");
+        let (ads_client, _ads_server, _) = fixture("ads", b"session-3b");
+        let catalog = Catalog::new()
+            .with_table("sales", sales_client)
+            .with_table("ads", ads_client);
+        let session = SeabedSession::new(catalog, &sales_server);
+        assert_eq!(session.catalog().len(), 2);
+        let outcome = session.prepare("SELECT SUM(revenue) FROM sales");
+        assert!(
+            matches!(&outcome, Err(SeabedError::Plan(msg)) if msg.contains("anonymous")),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn statement_cache_is_bounded_with_fifo_eviction() -> Result<(), SeabedError> {
+        let (client, server, _) = fixture("sales", b"session-8");
+        let session = SeabedSession::single("sales", client, &server).with_statement_capacity(2);
+        let a = session.prepare("SELECT SUM(revenue) FROM sales WHERE ts >= 1")?;
+        session.prepare("SELECT SUM(revenue) FROM sales WHERE ts >= 2")?;
+        session.prepare("SELECT SUM(revenue) FROM sales WHERE ts >= 3")?; // evicts the first
+        assert_eq!(session.cached_statements(), 2);
+        // The evicted statement re-prepares (a fresh Arc), the newest hits.
+        let a2 = session.prepare("SELECT SUM(revenue) FROM sales WHERE ts >= 1")?;
+        assert!(!Arc::ptr_eq(&a, &a2), "evicted statement must be re-prepared");
+        let stats = session.stats();
+        assert_eq!(stats.statements_prepared, 4);
+        assert_eq!(stats.cache_hits, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn unknown_table_fails_at_prepare_not_execute() {
+        let (client, server, _) = fixture("sales", b"session-4");
+        let session = SeabedSession::single("sales", client, &server);
+        let outcome = session.prepare("SELECT SUM(revenue) FROM ghosts");
+        assert!(
+            matches!(outcome, Err(SeabedError::Schema(SchemaError::UnknownTable(ref t))) if t == "ghosts"),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn bind_errors_are_typed_and_client_side() -> Result<(), SeabedError> {
+        let (client, server, _) = fixture("sales", b"session-5");
+        let session = SeabedSession::single("sales", client, &server);
+        let prepared = session.prepare("SELECT SUM(revenue) FROM sales WHERE ts >= ?")?;
+        assert!(matches!(
+            session.execute(&prepared, &[]),
+            Err(SeabedError::Schema(SchemaError::ParamCount { expected: 1, actual: 0 }))
+        ));
+        assert!(matches!(
+            session.execute(&prepared, &[Literal::Integer(1), Literal::Integer(2)]),
+            Err(SeabedError::Schema(SchemaError::ParamCount { .. }))
+        ));
+        assert!(matches!(
+            session.execute(&prepared, &[Literal::Text("later".to_string())]),
+            Err(SeabedError::Schema(SchemaError::TypeMismatch { .. }))
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn one_shot_client_rejects_unbound_placeholders() {
+        let (client, server, _) = fixture("sales", b"session-6");
+        let outcome = client.query(&server, "SELECT SUM(revenue) FROM sales WHERE ts >= ?");
+        assert!(
+            matches!(outcome, Err(SeabedError::Translate(ref msg)) if msg.contains("placeholder")),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn prepared_equals_one_shot_in_process() -> Result<(), SeabedError> {
+        let (client, server, _) = fixture("sales", b"session-7");
+        let session = SeabedSession::single("sales", client.clone(), &server);
+        for (parameterized, params, inline) in [
+            (
+                "SELECT SUM(revenue) FROM sales WHERE dept = ? AND ts >= ?",
+                vec![Literal::Text("d2".to_string()), Literal::Integer(50)],
+                "SELECT SUM(revenue) FROM sales WHERE dept = 'd2' AND ts >= 50",
+            ),
+            (
+                "SELECT dept, SUM(revenue) FROM sales GROUP BY dept",
+                vec![],
+                "SELECT dept, SUM(revenue) FROM sales GROUP BY dept",
+            ),
+        ] {
+            let prepared = session.prepare(parameterized)?;
+            let (_, prepared_response) = session.execute_encrypted(&prepared, &params)?;
+            let (_, translated, filters) = client.prepare(&server, inline)?;
+            let one_shot_response = server.execute(&translated, &filters)?;
+            // Byte-identical payload; stats carry measured wall times and are
+            // expected to differ run to run.
+            assert_eq!(prepared_response.groups, one_shot_response.groups, "{parameterized}");
+            assert_eq!(prepared_response.result_bytes, one_shot_response.result_bytes);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned so the net layer's statement handles stay compatible with
+        // values computed elsewhere.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"SELECT 1"), fnv1a64(b"SELECT 2"));
+    }
+}

@@ -112,7 +112,9 @@ impl DistConfig {
 /// scale-out bench's measured-vs-predicted comparison).
 #[derive(Clone, Debug)]
 pub struct ShardRun {
-    /// Shard identifier.
+    /// Table the shard belongs to.
+    pub table_id: u32,
+    /// Shard identifier within the table.
     pub shard: u32,
     /// Label (address) of the worker that answered.
     pub worker: String,
@@ -145,8 +147,9 @@ pub struct WorkerSummary {
     pub label: String,
     /// False once the connection was poisoned by a failure.
     pub alive: bool,
-    /// Shards currently assigned to this worker.
-    pub shards: Vec<u32>,
+    /// Shards currently assigned to this worker, as (table id, shard id)
+    /// pairs — one pool serves every registered table.
+    pub shards: Vec<(u32, u32)>,
     /// Shard queries answered by this worker.
     pub queries: u64,
     /// Bytes written to this worker.
@@ -269,15 +272,24 @@ fn retry_elsewhere(err: &SeabedError) -> bool {
     )
 }
 
-/// The scatter/gather coordinator over N `seabed-net` workers.
-pub struct DistCoordinator {
+/// One encrypted table hosted by the coordinator: its shards (retained so a
+/// dead worker's shards can be re-loaded onto a survivor mid-query), its
+/// schema, and the standing shard → worker assignment.
+struct TableEntry {
+    /// `None` for the legacy single-table constructor, which accepts any
+    /// `FROM` name; named entries route strictly.
+    name: Option<String>,
     schema: Schema,
-    /// Every shard is retained so a dead worker's shards can be re-loaded
-    /// onto a survivor mid-query.
     shards: Vec<Table>,
-    workers: Vec<WorkerLink>,
     /// `assignment[shard] = worker index`.
     assignment: Mutex<Vec<usize>>,
+}
+
+/// The scatter/gather coordinator over N `seabed-net` workers, hosting one
+/// or many encrypted tables on the same worker pool.
+pub struct DistCoordinator {
+    tables: Vec<TableEntry>,
+    workers: Vec<WorkerLink>,
     epoch: u64,
     seq: AtomicU64,
     config: DistConfig,
@@ -286,23 +298,72 @@ pub struct DistCoordinator {
 }
 
 impl DistCoordinator {
-    /// Connects to `addrs`, shards `table`'s partitions across them
-    /// (contiguous ranges, one shard per worker; extra workers stay empty as
-    /// hot spares for re-dispatch), announces a fresh epoch, and loads every
-    /// shard. Workers keep their shards until a coordinator with a different
-    /// epoch claims them.
+    /// Connects to `addrs` and hosts a single anonymous table: shards its
+    /// partitions across the workers (contiguous ranges, one shard per
+    /// worker; extra workers stay empty as hot spares for re-dispatch),
+    /// announces a fresh epoch, and loads every shard. Workers keep their
+    /// shards until a coordinator with a different epoch claims them.
+    ///
+    /// Queries against this coordinator may use any `FROM` name; to host
+    /// several tables on one pool with strict name routing, use
+    /// [`DistCoordinator::connect_tables`].
     pub fn connect<A: ToSocketAddrs>(
         addrs: &[A],
         table: Table,
         config: DistConfig,
     ) -> Result<DistCoordinator, SeabedError> {
+        DistCoordinator::connect_internal(addrs, vec![(None, table)], config)
+    }
+
+    /// Connects to `addrs` and hosts every named table on the one worker
+    /// pool — the multi-tenant deployment shape: shard identifiers carry the
+    /// table id, queries route by their `FROM` name, and a query naming a
+    /// table this coordinator does not host fails with a typed
+    /// [`seabed_error::SchemaError::UnknownTable`] before anything is
+    /// scattered.
+    pub fn connect_tables<A: ToSocketAddrs>(
+        addrs: &[A],
+        tables: Vec<(String, Table)>,
+        config: DistConfig,
+    ) -> Result<DistCoordinator, SeabedError> {
+        if tables.is_empty() {
+            return Err(SeabedError::dist("coordinator", "no tables given"));
+        }
+        for (i, (name, _)) in tables.iter().enumerate() {
+            if tables[..i].iter().any(|(other, _)| other == name) {
+                return Err(SeabedError::dist(
+                    "coordinator",
+                    format!("table {name} registered twice"),
+                ));
+            }
+        }
+        DistCoordinator::connect_internal(
+            addrs,
+            tables.into_iter().map(|(name, table)| (Some(name), table)).collect(),
+            config,
+        )
+    }
+
+    fn connect_internal<A: ToSocketAddrs>(
+        addrs: &[A],
+        tables: Vec<(Option<String>, Table)>,
+        config: DistConfig,
+    ) -> Result<DistCoordinator, SeabedError> {
         if addrs.is_empty() {
             return Err(SeabedError::dist("coordinator", "no worker addresses given"));
         }
-        table.validate_layout()?;
-        let schema = table.schema.clone();
-        let num_shards = addrs.len().min(table.partitions.len()).max(1);
-        let shards = split_into_shards(table, num_shards);
+        let mut entries = Vec::with_capacity(tables.len());
+        for (name, table) in tables {
+            table.validate_layout()?;
+            let schema = table.schema.clone();
+            let num_shards = addrs.len().min(table.partitions.len()).max(1);
+            entries.push(TableEntry {
+                name,
+                schema,
+                shards: split_into_shards(table, num_shards),
+                assignment: Mutex::new(Vec::new()),
+            });
+        }
 
         // The epoch orders coordinator generations: workers drop shards of
         // any other epoch at handshake, so a restarted coordinator can never
@@ -319,34 +380,62 @@ impl DistCoordinator {
         }
 
         let coordinator = DistCoordinator {
-            schema,
-            shards,
+            tables: entries,
             workers,
-            assignment: Mutex::new(Vec::new()),
             epoch,
             seq: AtomicU64::new(0),
             config,
             discarded: AtomicU64::new(0),
             last_report: Mutex::new(QueryReport::default()),
         };
-        // Initial placement: shard i on worker i.
-        let mut assignment = Vec::with_capacity(coordinator.shards.len());
-        for shard in 0..coordinator.shards.len() {
-            coordinator.load_shard(shard as u32, shard)?;
-            assignment.push(shard);
+        // Initial placement: table t's shard i on worker (t + i) mod N, so
+        // several tables spread across the pool instead of piling their
+        // first shards onto worker 0.
+        for table_id in 0..coordinator.tables.len() {
+            let shards = coordinator.tables[table_id].shards.len();
+            let mut assignment = Vec::with_capacity(shards);
+            for shard in 0..shards {
+                let worker = (table_id + shard) % coordinator.workers.len();
+                coordinator.load_shard(table_id as u32, shard as u32, worker)?;
+                assignment.push(worker);
+            }
+            *coordinator.tables[table_id]
+                .assignment
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()) = assignment;
         }
-        *coordinator.assignment.lock().unwrap_or_else(|p| p.into_inner()) = assignment;
         Ok(coordinator)
     }
 
-    /// The schema queries are prepared against (identical on every shard).
-    pub fn schema(&self) -> &Schema {
-        &self.schema
+    /// Resolves a `FROM` name to a hosted table. The legacy single-table
+    /// coordinator accepts any name; named tables route strictly.
+    fn resolve(&self, table: &str) -> Result<(u32, &TableEntry), SeabedError> {
+        if self.tables.len() == 1 && self.tables[0].name.is_none() {
+            return Ok((0, &self.tables[0]));
+        }
+        self.tables
+            .iter()
+            .enumerate()
+            .find(|(_, entry)| entry.name.as_deref() == Some(table))
+            .map(|(id, entry)| (id as u32, entry))
+            .ok_or_else(|| seabed_error::SchemaError::UnknownTable(table.to_string()).into())
     }
 
-    /// Number of shards the table was split into.
+    /// The schema of the first hosted table (the single-table legacy
+    /// accessor; multi-table callers go through [`QueryTarget::schema_of`]).
+    pub fn schema(&self) -> &Schema {
+        &self.tables[0].schema
+    }
+
+    /// Names of the hosted tables (empty strings for the anonymous legacy
+    /// table), in registration order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.iter().map(|t| t.name.clone().unwrap_or_default()).collect()
+    }
+
+    /// Total number of shards across every hosted table.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.tables.iter().map(|t| t.shards.len()).sum()
     }
 
     /// The shard epoch in force on every worker.
@@ -361,7 +450,11 @@ impl DistCoordinator {
 
     /// Health and traffic summaries, one per worker.
     pub fn worker_summaries(&self) -> Vec<WorkerSummary> {
-        let assignment = self.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let assignments: Vec<Vec<usize>> = self
+            .tables
+            .iter()
+            .map(|t| t.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone())
+            .collect();
         self.workers
             .iter()
             .enumerate()
@@ -370,11 +463,16 @@ impl DistCoordinator {
                 WorkerSummary {
                     label: link.label.clone(),
                     alive: link.alive(),
-                    shards: assignment
+                    shards: assignments
                         .iter()
                         .enumerate()
-                        .filter(|&(_, &owner)| owner == w)
-                        .map(|(shard, _)| shard as u32)
+                        .flat_map(|(table_id, assignment)| {
+                            assignment
+                                .iter()
+                                .enumerate()
+                                .filter(move |&(_, &owner)| owner == w)
+                                .map(move |(shard, _)| (table_id as u32, shard as u32))
+                        })
                         .collect(),
                     queries: link.queries.load(Ordering::Relaxed),
                     bytes_sent,
@@ -384,14 +482,15 @@ impl DistCoordinator {
             .collect()
     }
 
-    /// Executes a translated query across every shard and merges the partial
-    /// results into one response, byte-identical to single-server execution.
-    /// Shards on a worker that died or stalled are re-dispatched to
-    /// survivors; the call fails only when a shard cannot run anywhere or a
-    /// worker reports a deterministic query error.
+    /// Executes a translated query across every shard of the table it names
+    /// and merges the partial results into one response, byte-identical to
+    /// single-server execution. Shards on a worker that died or stalled are
+    /// re-dispatched to survivors; the call fails only when a shard cannot
+    /// run anywhere or a worker reports a deterministic query error.
     pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
         let started = Instant::now();
-        let assignment = self.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let (table_id, entry) = self.resolve(&query.base_table)?;
+        let assignment = entry.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone();
         let discarded_before = self.discarded.load(Ordering::Relaxed);
 
         // Scatter: group shards by owning worker, one lane per worker.
@@ -408,7 +507,7 @@ impl DistCoordinator {
         match self.config.scatter {
             ScatterMode::Sequential => {
                 for (worker, shards) in &lanes {
-                    let (mut ok, mut bad) = self.query_lane(*worker, shards, query, filters);
+                    let (mut ok, mut bad) = self.query_lane(*worker, table_id, shards, query, filters);
                     runs.append(&mut ok);
                     failed.append(&mut bad);
                 }
@@ -420,7 +519,7 @@ impl DistCoordinator {
                         .map(|(worker, shards)| {
                             let worker = *worker;
                             let shards = shards.as_slice();
-                            scope.spawn(move || self.query_lane(worker, shards, query, filters))
+                            scope.spawn(move || self.query_lane(worker, table_id, shards, query, filters))
                         })
                         .collect();
                     handles
@@ -448,7 +547,7 @@ impl DistCoordinator {
             if !retry_elsewhere(&err) || shard == u32::MAX {
                 return Err(err);
             }
-            let run = self.redispatch(shard, query, filters)?;
+            let run = self.redispatch(table_id, shard, query, filters)?;
             runs.push(run);
         }
 
@@ -473,6 +572,7 @@ impl DistCoordinator {
             runs: runs
                 .into_iter()
                 .map(|r| ShardRun {
+                    table_id,
                     shard: r.shard,
                     worker: r.worker,
                     stats: r.stats,
@@ -495,6 +595,7 @@ impl DistCoordinator {
     fn query_lane(
         &self,
         worker: usize,
+        table_id: u32,
         shards: &[u32],
         query: &TranslatedQuery,
         filters: &[PhysicalFilter],
@@ -502,7 +603,7 @@ impl DistCoordinator {
         let mut ok = Vec::new();
         let mut bad = Vec::new();
         for (i, &shard) in shards.iter().enumerate() {
-            match self.query_shard(worker, shard, query, filters) {
+            match self.query_shard(worker, table_id, shard, query, filters) {
                 Ok(run) => ok.push(run),
                 Err(err) => {
                     bad.push((shard, err));
@@ -532,6 +633,7 @@ impl DistCoordinator {
     fn query_shard(
         &self,
         worker: usize,
+        table_id: u32,
         shard: u32,
         query: &TranslatedQuery,
         filters: &[PhysicalFilter],
@@ -540,6 +642,7 @@ impl DistCoordinator {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let request = Frame::ShardQuery {
             epoch: self.epoch,
+            table_id,
             shard,
             seq,
             query: query.clone(),
@@ -559,10 +662,11 @@ impl DistCoordinator {
                 match conn.recv(max_frame_len)? {
                     Frame::ShardPartial {
                         epoch: e,
+                        table_id: t,
                         shard: s,
                         seq: q,
                         partial,
-                    } if e == epoch && s == shard && q == seq => {
+                    } if e == epoch && t == table_id && s == shard && q == seq => {
                         // Shape-check before the partial may reach the merge:
                         // a forged or buggy partial must be rejected here,
                         // never silently zip-truncated by the fold.
@@ -584,7 +688,7 @@ impl DistCoordinator {
                         return Err(SeabedError::dist(
                             label,
                             format!(
-                                "expected the partial for (shard {shard}, seq {seq}), got {:?}",
+                                "expected the partial for (table {table_id}, shard {shard}, seq {seq}), got {:?}",
                                 other.kind()
                             ),
                         ))
@@ -603,13 +707,15 @@ impl DistCoordinator {
         })
     }
 
-    /// Loads shard `shard` onto `worker` and verifies the acknowledgement.
-    fn load_shard(&self, shard: u32, worker: usize) -> Result<(), SeabedError> {
+    /// Loads shard `shard` of table `table_id` onto `worker` and verifies
+    /// the acknowledgement.
+    fn load_shard(&self, table_id: u32, shard: u32, worker: usize) -> Result<(), SeabedError> {
         let link = &self.workers[worker];
-        let table = self.shards[shard as usize].clone();
+        let table = self.tables[table_id as usize].shards[shard as usize].clone();
         let rows = table.num_rows() as u64;
         let frame = Frame::LoadShard {
             epoch: self.epoch,
+            table_id,
             shard,
             exec: self.config.exec,
             table,
@@ -625,13 +731,17 @@ impl DistCoordinator {
             match conn.recv(max_frame_len)? {
                 Frame::ShardLoaded {
                     epoch: e,
+                    table_id: t,
                     shard: s,
                     rows: r,
-                } if e == epoch && s == shard && r == rows => Ok(Ok(())),
+                } if e == epoch && t == table_id && s == shard && r == rows => Ok(Ok(())),
                 Frame::Error(err) => Ok(Err(err)),
                 other => Err(SeabedError::dist(
                     label,
-                    format!("expected the load ack for shard {shard}, got {:?}", other.kind()),
+                    format!(
+                        "expected the load ack for table {table_id} shard {shard}, got {:?}",
+                        other.kind()
+                    ),
                 )),
             }
         })
@@ -643,6 +753,7 @@ impl DistCoordinator {
     /// queries go straight to the survivor.
     fn redispatch(
         &self,
+        table_id: u32,
         shard: u32,
         query: &TranslatedQuery,
         filters: &[PhysicalFilter],
@@ -653,12 +764,15 @@ impl DistCoordinator {
                 continue;
             }
             let attempt = self
-                .load_shard(shard, worker)
-                .and_then(|()| self.query_shard(worker, shard, query, filters));
+                .load_shard(table_id, shard, worker)
+                .and_then(|()| self.query_shard(worker, table_id, shard, query, filters));
             match attempt {
                 Ok(mut run) => {
                     run.redispatched = true;
-                    let mut assignment = self.assignment.lock().unwrap_or_else(|p| p.into_inner());
+                    let mut assignment = self.tables[table_id as usize]
+                        .assignment
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner());
                     if let Some(slot) = assignment.get_mut(shard as usize) {
                         *slot = worker;
                     }
@@ -676,14 +790,20 @@ impl DistCoordinator {
         }
         Err(SeabedError::dist(
             "coordinator",
-            format!("shard {shard} could not be re-dispatched: {last_err}"),
+            format!("table {table_id} shard {shard} could not be re-dispatched: {last_err}"),
         ))
     }
 }
 
 impl QueryTarget for DistCoordinator {
-    fn schema(&self) -> &Schema {
-        &self.schema
+    fn schema_of(&self, table: &str) -> Result<&Schema, SeabedError> {
+        self.resolve(table).map(|(_, entry)| &entry.schema)
+    }
+
+    fn routes_by_table(&self) -> bool {
+        // Named tables route strictly; only the legacy anonymous single-table
+        // constructor accepts any name.
+        !(self.tables.len() == 1 && self.tables[0].name.is_none())
     }
 
     fn execute_query(

@@ -66,6 +66,19 @@ impl std::error::Error for TranslateError {}
 /// physical representation does not support the requested operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SchemaError {
+    /// A table name no catalog entry (or hosted table) matches. Raised at
+    /// *prepare* time by `seabed_core::SeabedSession` / multi-table targets,
+    /// so an unknown `FROM` never reaches a server.
+    UnknownTable(String),
+    /// A prepared statement was executed with the wrong number of bound
+    /// parameters (`?` placeholders). Raised at *bind* time, before anything
+    /// ships to a server.
+    ParamCount {
+        /// Placeholders the statement declares.
+        expected: usize,
+        /// Parameters the caller supplied.
+        actual: usize,
+    },
     /// A logical column the schema plan does not know about.
     UnknownColumn(String),
     /// A physical column missing from the encrypted table.
@@ -94,6 +107,10 @@ pub enum SchemaError {
 impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SchemaError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SchemaError::ParamCount { expected, actual } => {
+                write!(f, "statement takes {expected} parameter(s), {actual} bound")
+            }
             SchemaError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             SchemaError::UnknownPhysicalColumn(c) => write!(f, "unknown physical column: {c}"),
             SchemaError::TypeMismatch {
@@ -155,6 +172,11 @@ pub enum SeabedError {
         /// What went wrong.
         message: String,
     },
+    /// A prepared-statement handle the server no longer recognizes (evicted
+    /// from its statement cache, or the server restarted). Carries the stale
+    /// handle; clients recover by re-preparing the statement — the
+    /// `seabed-net` remote client does so transparently, once.
+    StaleStatement(u64),
 }
 
 impl fmt::Display for SeabedError {
@@ -170,6 +192,9 @@ impl fmt::Display for SeabedError {
             SeabedError::Net(msg) => write!(f, "net: {msg}"),
             SeabedError::Wire(msg) => write!(f, "wire: {msg}"),
             SeabedError::Dist { worker, message } => write!(f, "dist: worker {worker}: {message}"),
+            SeabedError::StaleStatement(handle) => {
+                write!(f, "stale statement handle {handle:#x}: re-prepare the statement")
+            }
         }
     }
 }
@@ -286,6 +311,18 @@ mod tests {
         assert_eq!(
             SeabedError::dist("127.0.0.1:7070", "stalled mid-query").to_string(),
             "dist: worker 127.0.0.1:7070: stalled mid-query"
+        );
+        assert_eq!(
+            SeabedError::Schema(SchemaError::UnknownTable("ghosts".to_string())).to_string(),
+            "schema: unknown table: ghosts"
+        );
+        assert_eq!(
+            SeabedError::Schema(SchemaError::ParamCount { expected: 2, actual: 3 }).to_string(),
+            "schema: statement takes 2 parameter(s), 3 bound"
+        );
+        assert_eq!(
+            SeabedError::StaleStatement(0xbeef).to_string(),
+            "stale statement handle 0xbeef: re-prepare the statement"
         );
     }
 

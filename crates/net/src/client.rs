@@ -17,10 +17,11 @@
 //! meet (§6.6).
 
 use crate::wire::{self, Frame, HEADER_LEN};
-use seabed_core::{PhysicalFilter, QueryResult, SeabedClient, ServerResponse};
+use seabed_core::{PhysicalFilter, QueryResult, QueryTarget, SeabedClient, ServerResponse};
 use seabed_engine::Schema;
 use seabed_error::SeabedError;
 use seabed_query::{Query, TranslatedQuery};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
@@ -112,6 +113,51 @@ pub struct RemoteSeabedClient {
     peer: SocketAddr,
     max_frame_len: u32,
     conn: Mutex<Connection>,
+    /// Server-side statement handles, keyed by the statement's *plan
+    /// content* hash (the same bytes the server hashes into the handle) —
+    /// never by the caller's statement id alone, so a statement whose plan
+    /// changed under the same SQL text (re-planned catalog entry, or an SQL
+    /// hash collision) can never be paired with a stale registration. A
+    /// handle the server reports stale is dropped, the statement re-prepared
+    /// once, and the execution retried — transparently to the caller. The
+    /// cache is capacity-bounded (FIFO), mirroring the server store, so a
+    /// long-lived client with many distinct statements cannot grow it
+    /// without limit.
+    handles: Mutex<HandleCache>,
+}
+
+/// Bounded (FIFO) map of plan-content hash → server statement handle.
+struct HandleCache {
+    handles: HashMap<u64, u64>,
+    order: std::collections::VecDeque<u64>,
+}
+
+/// Capacity of the client-side handle cache; matches the server statement
+/// store's default so the two stay roughly in step.
+const HANDLE_CACHE_CAPACITY: usize = 1024;
+
+impl HandleCache {
+    fn new() -> HandleCache {
+        HandleCache {
+            handles: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        self.handles.get(&key).copied()
+    }
+
+    fn insert(&mut self, key: u64, handle: u64) {
+        self.order.retain(|&k| k != key);
+        self.order.push_back(key);
+        self.handles.insert(key, handle);
+        while self.order.len() > HANDLE_CACHE_CAPACITY {
+            if let Some(old) = self.order.pop_front() {
+                self.handles.remove(&old);
+            }
+        }
+    }
 }
 
 impl RemoteSeabedClient {
@@ -161,6 +207,7 @@ impl RemoteSeabedClient {
             peer,
             max_frame_len,
             conn: Mutex::new(conn),
+            handles: Mutex::new(HandleCache::new()),
         })
     }
 
@@ -220,6 +267,93 @@ impl RemoteSeabedClient {
         }
     }
 
+    /// Registers a statement's (unbound) plan on the server, returning the
+    /// server-side handle. Identical plans map to identical handles.
+    fn prepare_remote_statement(&self, statement: &TranslatedQuery) -> Result<u64, SeabedError> {
+        let frame = Frame::PrepareStatement {
+            query: statement.clone(),
+        };
+        let mut conn = self.conn.lock().unwrap_or_else(|p| p.into_inner());
+        match conn.round_trip(&frame, self.max_frame_len)? {
+            (Frame::StatementPrepared { handle }, _) => Ok(handle),
+            (Frame::Error(err), _) => Err(err),
+            (other, _) => Err(SeabedError::wire(format!(
+                "expected a statement handle, got {:?}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// One `ExecuteStatement` round trip. A stale handle comes back as
+    /// `Err(StaleStatement)` for the caller to recover from.
+    fn execute_handle(&self, handle: u64, filters: &[PhysicalFilter]) -> Result<(ServerResponse, u64), SeabedError> {
+        let frame = Frame::ExecuteStatement {
+            handle,
+            filters: filters.to_vec(),
+        };
+        let mut conn = self.conn.lock().unwrap_or_else(|p| p.into_inner());
+        match conn.round_trip(&frame, self.max_frame_len)? {
+            (Frame::Response(response), frame_bytes) => Ok((response, frame_bytes)),
+            (Frame::Error(err), _) => Err(err),
+            (other, _) => Err(SeabedError::wire(format!(
+                "expected a response frame, got {:?}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Executes a prepared statement over the wire: the plan is registered
+    /// once (per `statement_id`) and subsequent executions ship only the
+    /// 8-byte handle plus the bound filters — no SQL, no translated plan. A
+    /// [`SeabedError::StaleStatement`] from the server (evicted handle,
+    /// server restart) is recovered from by re-preparing once; a second
+    /// staleness in a row surfaces to the caller.
+    ///
+    /// This is [`QueryTarget::execute_prepared`], so a
+    /// [`seabed_core::SeabedSession`] over a remote client gets the
+    /// thin-wire path automatically.
+    pub fn execute_prepared_measured(
+        &self,
+        statement: &TranslatedQuery,
+        statement_id: u64,
+        filters: &[PhysicalFilter],
+    ) -> Result<(ServerResponse, u64), SeabedError> {
+        // The handle cache is keyed by the statement's plan *content* (the
+        // exact bytes the server hashes into the handle), not by
+        // `statement_id`: a caller that re-prepares the same SQL text under
+        // a new plan gets a fresh registration instead of the old plan's
+        // handle.
+        let _ = statement_id;
+        let mut payload = Vec::new();
+        wire::write_statement_payload(&mut payload, statement);
+        let content_key = seabed_core::fnv1a64(&payload);
+        let cached = self.handles.lock().unwrap_or_else(|p| p.into_inner()).get(content_key);
+        let handle = match cached {
+            Some(handle) => handle,
+            None => {
+                let handle = self.prepare_remote_statement(statement)?;
+                self.handles
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .insert(content_key, handle);
+                handle
+            }
+        };
+        match self.execute_handle(handle, filters) {
+            Err(SeabedError::StaleStatement(_)) => {
+                // The server forgot the statement (eviction or restart):
+                // re-prepare once and retry. A repeat staleness is surfaced.
+                let fresh = self.prepare_remote_statement(statement)?;
+                self.handles
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .insert(content_key, fresh);
+                self.execute_handle(fresh, filters)
+            }
+            outcome => outcome,
+        }
+    }
+
     /// Decrypts a server response — the wire twin of
     /// [`SeabedClient::decrypt_response`].
     pub fn decrypt_response(
@@ -243,6 +377,35 @@ impl RemoteSeabedClient {
         let mut result = self.inner.decrypt_response(&query, &translated, response)?;
         result.timings.network = self.inner.network.transfer_time(wire_response_bytes as usize);
         Ok(result)
+    }
+}
+
+/// A remote client is itself a [`QueryTarget`], so a
+/// [`seabed_core::SeabedSession`] can sit on top of it: one-shot executions
+/// go out as full request frames, prepared executions as statement handles
+/// plus bound filters.
+impl QueryTarget for RemoteSeabedClient {
+    fn schema_of(&self, _table: &str) -> Result<&Schema, SeabedError> {
+        // The remote service hosts one (anonymous) table; the session's
+        // catalog is the authority on table names.
+        Ok(&self.schema)
+    }
+
+    fn execute_query(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+    ) -> Result<ServerResponse, SeabedError> {
+        self.execute(query, filters)
+    }
+
+    fn execute_prepared(
+        &self,
+        statement: &TranslatedQuery,
+        statement_id: u64,
+        filters: &[PhysicalFilter],
+    ) -> Result<ServerResponse, SeabedError> {
+        Ok(self.execute_prepared_measured(statement, statement_id, filters)?.0)
     }
 }
 

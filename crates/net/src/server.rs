@@ -28,6 +28,7 @@ use crate::wire::{self, Frame, FrameKind, HEADER_LEN};
 use seabed_core::SeabedServer;
 use seabed_engine::{Cluster, ClusterConfig};
 use seabed_error::SeabedError;
+use seabed_query::TranslatedQuery;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -53,6 +54,10 @@ pub struct ServiceConfig {
     /// Upper bound on a frame payload; larger length prefixes are rejected
     /// before any allocation.
     pub max_frame_len: u32,
+    /// Capacity of the prepared-statement store. When full, the oldest
+    /// registration is evicted; clients executing an evicted handle receive
+    /// a typed [`SeabedError::StaleStatement`] frame and re-prepare.
+    pub statement_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +70,7 @@ impl Default for ServiceConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+            statement_capacity: 1024,
         }
     }
 }
@@ -79,6 +85,12 @@ impl ServiceConfig {
     /// Returns the configuration with the frame limit replaced.
     pub fn max_frame_len(mut self, limit: u32) -> ServiceConfig {
         self.max_frame_len = limit;
+        self
+    }
+
+    /// Returns the configuration with the statement-store capacity replaced.
+    pub fn statement_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.statement_capacity = capacity.max(1);
         self
     }
 }
@@ -96,6 +108,12 @@ pub struct ServiceStats {
     pub bytes_in: u64,
     /// Bytes written to all sockets.
     pub bytes_out: u64,
+    /// Statements registered through `PrepareStatement` frames (re-preparing
+    /// an identical statement counts again but reuses the handle).
+    pub statements_prepared: u64,
+    /// Statements evicted from the store to make room (executions of their
+    /// handles come back as typed `StaleStatement` frames).
+    pub statements_evicted: u64,
 }
 
 /// Final accounting of one closed connection.
@@ -120,6 +138,8 @@ struct SharedStats {
     error_frames: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    statements_prepared: AtomicU64,
+    statements_evicted: AtomicU64,
     closed: Mutex<Vec<ConnectionStats>>,
 }
 
@@ -128,7 +148,8 @@ struct SharedStats {
 const POLL_TICK: Duration = Duration::from_millis(50);
 
 /// Shards resident on this service for the `seabed-dist` scatter/gather
-/// protocol, keyed by coordinator-assigned shard id under one epoch.
+/// protocol, keyed by coordinator-assigned **(table id, shard id)** under one
+/// epoch — one worker pool hosts shards of many encrypted tables.
 ///
 /// A coordinator announces its epoch with a `WorkerHandshake`; seeing a *new*
 /// epoch drops every shard of the old one, so a restarted coordinator can
@@ -143,7 +164,7 @@ struct ShardStore {
 #[derive(Default)]
 struct ShardEpoch {
     epoch: u64,
-    shards: HashMap<u32, Arc<SeabedServer>>,
+    shards: HashMap<(u32, u32), Arc<SeabedServer>>,
 }
 
 impl ShardStore {
@@ -158,24 +179,31 @@ impl ShardStore {
     }
 
     /// Installs a shard under `epoch`; fails when the epoch is not current.
-    fn load(&self, identity: &str, epoch: u64, shard: u32, server: SeabedServer) -> Result<u64, SeabedError> {
+    fn load(
+        &self,
+        identity: &str,
+        epoch: u64,
+        table_id: u32,
+        shard: u32,
+        server: SeabedServer,
+    ) -> Result<u64, SeabedError> {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if inner.epoch != epoch {
             return Err(SeabedError::dist(
                 identity,
                 format!(
-                    "shard {shard} arrived for epoch {epoch} but epoch {} is in force",
+                    "shard {table_id}/{shard} arrived for epoch {epoch} but epoch {} is in force",
                     inner.epoch
                 ),
             ));
         }
         let rows = server.table().num_rows() as u64;
-        inner.shards.insert(shard, Arc::new(server));
+        inner.shards.insert((table_id, shard), Arc::new(server));
         Ok(rows)
     }
 
     /// Fetches a shard for querying; fails on epoch mismatch or unknown id.
-    fn get(&self, identity: &str, epoch: u64, shard: u32) -> Result<Arc<SeabedServer>, SeabedError> {
+    fn get(&self, identity: &str, epoch: u64, table_id: u32, shard: u32) -> Result<Arc<SeabedServer>, SeabedError> {
         let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if inner.epoch != epoch {
             return Err(SeabedError::dist(
@@ -183,11 +211,74 @@ impl ShardStore {
                 format!("query for epoch {epoch} but epoch {} is in force", inner.epoch),
             ));
         }
-        inner
-            .shards
-            .get(&shard)
+        inner.shards.get(&(table_id, shard)).cloned().ok_or_else(|| {
+            SeabedError::dist(
+                identity,
+                format!("shard {table_id}/{shard} is not resident on this worker"),
+            )
+        })
+    }
+}
+
+/// Prepared statements registered by clients, keyed by a content-derived
+/// handle (FNV-1a of the statement's encoded payload, so identical plans map
+/// to identical handles across clients and reconnects).
+///
+/// The store is capacity-bounded: registrations beyond
+/// [`ServiceConfig::statement_capacity`] evict the oldest handle (FIFO —
+/// re-preparing refreshes a statement's position). Executing an evicted or
+/// never-registered handle yields a typed [`SeabedError::StaleStatement`]
+/// frame, which clients recover from by re-preparing; the `seabed-net`
+/// client does so transparently, once.
+struct StatementStore {
+    inner: Mutex<StatementsInner>,
+    capacity: usize,
+}
+
+#[derive(Default)]
+struct StatementsInner {
+    statements: HashMap<u64, Arc<TranslatedQuery>>,
+    /// Insertion order for FIFO eviction.
+    order: std::collections::VecDeque<u64>,
+}
+
+impl StatementStore {
+    fn new(capacity: usize) -> StatementStore {
+        StatementStore {
+            inner: Mutex::new(StatementsInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Registers `query`, returning its handle and how many statements were
+    /// evicted to make room.
+    fn prepare(&self, query: TranslatedQuery) -> (u64, u64) {
+        let mut payload = Vec::new();
+        wire::write_statement_payload(&mut payload, &query);
+        let handle = seabed_core::fnv1a64(&payload);
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        // Re-preparing refreshes the statement's eviction position.
+        inner.order.retain(|&h| h != handle);
+        inner.order.push_back(handle);
+        inner.statements.insert(handle, Arc::new(query));
+        let mut evicted = 0u64;
+        while inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.statements.remove(&old);
+                evicted += 1;
+            }
+        }
+        (handle, evicted)
+    }
+
+    fn get(&self, handle: u64) -> Result<Arc<TranslatedQuery>, SeabedError> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .statements
+            .get(&handle)
             .cloned()
-            .ok_or_else(|| SeabedError::dist(identity, format!("shard {shard} is not resident on this worker")))
+            .ok_or(SeabedError::StaleStatement(handle))
     }
 }
 
@@ -217,6 +308,7 @@ impl NetServer {
         let stats = Arc::new(SharedStats::default());
         let server = Arc::new(server);
         let shards = Arc::new(ShardStore::default());
+        let statements = Arc::new(StatementStore::new(config.statement_capacity));
         // Worker identity carried in SeabedError::Dist reports, so a
         // coordinator log names the node that failed.
         let identity: Arc<str> = Arc::from(local_addr.to_string());
@@ -230,6 +322,7 @@ impl NetServer {
             let stats = Arc::clone(&stats);
             let shutdown = Arc::clone(&shutdown);
             let shards = Arc::clone(&shards);
+            let statements = Arc::clone(&statements);
             let identity = Arc::clone(&identity);
             let config = config.clone();
             workers.push(std::thread::spawn(move || loop {
@@ -244,8 +337,10 @@ impl NetServer {
                         let ctx = ConnContext {
                             server: &server,
                             shards: &shards,
+                            statements: &statements,
                             identity: &identity,
                             config: &config,
+                            stats: &stats,
                         };
                         handle_connection(id, stream, ctx, &stats, &shutdown)
                     }
@@ -305,6 +400,8 @@ impl NetServer {
             error_frames: self.stats.error_frames.load(Ordering::Relaxed),
             bytes_in: self.stats.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.stats.bytes_out.load(Ordering::Relaxed),
+            statements_prepared: self.stats.statements_prepared.load(Ordering::Relaxed),
+            statements_evicted: self.stats.statements_evicted.load(Ordering::Relaxed),
         }
     }
 
@@ -357,8 +454,10 @@ enum ConnExit {
 struct ConnContext<'a> {
     server: &'a SeabedServer,
     shards: &'a ShardStore,
+    statements: &'a StatementStore,
     identity: &'a str,
     config: &'a ServiceConfig,
+    stats: &'a SharedStats,
 }
 
 fn handle_connection(
@@ -459,6 +558,7 @@ fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
         },
         Frame::LoadShard {
             epoch,
+            table_id,
             shard,
             exec,
             table,
@@ -473,31 +573,52 @@ fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
                 .and_then(|cluster| table.validate_layout().map(|()| cluster))
                 .and_then(|cluster| {
                     ctx.shards
-                        .load(ctx.identity, epoch, shard, SeabedServer::new(table, cluster))
+                        .load(ctx.identity, epoch, table_id, shard, SeabedServer::new(table, cluster))
                 });
             match loaded {
-                Ok(rows) => Frame::ShardLoaded { epoch, shard, rows },
+                Ok(rows) => Frame::ShardLoaded {
+                    epoch,
+                    table_id,
+                    shard,
+                    rows,
+                },
                 Err(err) => Frame::Error(err),
             }
         }
         Frame::ShardQuery {
             epoch,
+            table_id,
             shard,
             seq,
             query,
             filters,
         } => match ctx
             .shards
-            .get(ctx.identity, epoch, shard)
+            .get(ctx.identity, epoch, table_id, shard)
             // The Arc clone lets the scan run outside the store lock.
             .and_then(|server| server.execute_partial(&query, &filters))
         {
             Ok(partial) => Frame::ShardPartial {
                 epoch,
+                table_id,
                 shard,
                 seq,
                 partial,
             },
+            Err(err) => Frame::Error(err),
+        },
+        Frame::PrepareStatement { query } => {
+            let (handle, evicted) = ctx.statements.prepare(query);
+            ctx.stats.statements_prepared.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.statements_evicted.fetch_add(evicted, Ordering::Relaxed);
+            Frame::StatementPrepared { handle }
+        }
+        Frame::ExecuteStatement { handle, filters } => match ctx
+            .statements
+            .get(handle)
+            .and_then(|statement| ctx.server.execute(&statement, &filters))
+        {
+            Ok(response) => Frame::Response(response),
             Err(err) => Frame::Error(err),
         },
         other => Frame::Error(SeabedError::wire(format!(
@@ -619,6 +740,7 @@ mod tests {
             client_post: vec![],
             preserve_row_ids: true,
             category: SupportCategory::ServerOnly,
+            params: vec![],
         }
     }
 
@@ -750,6 +872,7 @@ mod tests {
             &mut stream,
             &Frame::LoadShard {
                 epoch: 42,
+                table_id: 5,
                 shard: 3,
                 exec,
                 table: shard_table.clone(),
@@ -759,6 +882,7 @@ mod tests {
             reply,
             Frame::ShardLoaded {
                 epoch: 42,
+                table_id: 5,
                 shard: 3,
                 rows: 10
             }
@@ -769,6 +893,7 @@ mod tests {
             &mut stream,
             &Frame::LoadShard {
                 epoch: 41,
+                table_id: 5,
                 shard: 9,
                 exec,
                 table: shard_table,
@@ -776,7 +901,7 @@ mod tests {
         );
         assert!(matches!(reply, Frame::Error(SeabedError::Dist { .. })), "{reply:?}");
 
-        // A shard query returns the mergeable partial, echoing the triple.
+        // A shard query returns the mergeable partial, echoing the tuple.
         let mut query = sum_query();
         query.aggregates = vec![seabed_query::ServerAggregate::AsheSum {
             column: "m__ashe".to_string(),
@@ -785,6 +910,7 @@ mod tests {
             &mut stream,
             &Frame::ShardQuery {
                 epoch: 42,
+                table_id: 5,
                 shard: 3,
                 seq: 7,
                 query: query.clone(),
@@ -793,6 +919,7 @@ mod tests {
         );
         let Frame::ShardPartial {
             epoch: 42,
+            table_id: 5,
             shard: 3,
             seq: 7,
             partial,
@@ -807,11 +934,27 @@ mod tests {
             "{states:?}"
         );
 
-        // Unknown shard → Dist error; new epoch evicts shard 3.
+        // The same (shard) id under another table id is not resident: shard
+        // identity includes the table.
         let reply = round_trip(
             &mut stream,
             &Frame::ShardQuery {
                 epoch: 42,
+                table_id: 6,
+                shard: 3,
+                seq: 11,
+                query: query.clone(),
+                filters: vec![],
+            },
+        );
+        assert!(matches!(reply, Frame::Error(SeabedError::Dist { .. })), "{reply:?}");
+
+        // Unknown shard → Dist error; new epoch evicts shard (5, 3).
+        let reply = round_trip(
+            &mut stream,
+            &Frame::ShardQuery {
+                epoch: 42,
+                table_id: 5,
                 shard: 8,
                 seq: 8,
                 query: query.clone(),
@@ -825,6 +968,7 @@ mod tests {
             &mut stream,
             &Frame::ShardQuery {
                 epoch: 43,
+                table_id: 5,
                 shard: 3,
                 seq: 9,
                 query,
@@ -834,6 +978,103 @@ mod tests {
         assert!(matches!(reply, Frame::Error(SeabedError::Dist { .. })), "{reply:?}");
 
         net.shutdown();
+    }
+
+    /// The prepared-statement sub-protocol on one connection: PREPARE yields
+    /// a stable handle, EXECUTE ships only the handle plus bound filters and
+    /// returns a response identical to the one-shot Request path, an unknown
+    /// handle is a typed StaleStatement error (connection survives), and
+    /// eviction under a capacity-1 store makes older handles stale.
+    #[test]
+    fn prepared_statement_protocol() {
+        let net = NetServer::serve(
+            test_server(),
+            "127.0.0.1:0",
+            ServiceConfig::default().statement_capacity(1),
+        )
+        .expect("serve");
+        let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        // One-shot reference.
+        let reply = round_trip(
+            &mut stream,
+            &Frame::Request {
+                query: sum_query(),
+                filters: vec![],
+            },
+        );
+        let Frame::Response(one_shot) = reply else {
+            panic!("expected a response, got {reply:?}");
+        };
+
+        // PREPARE is idempotent: the same plan maps to the same handle.
+        let Frame::StatementPrepared { handle } =
+            round_trip(&mut stream, &Frame::PrepareStatement { query: sum_query() })
+        else {
+            panic!("expected a statement handle");
+        };
+        let Frame::StatementPrepared { handle: again } =
+            round_trip(&mut stream, &Frame::PrepareStatement { query: sum_query() })
+        else {
+            panic!("expected a statement handle");
+        };
+        assert_eq!(handle, again, "identical plans must share a handle");
+
+        // EXECUTE returns a payload byte-identical to the one-shot path.
+        let reply = round_trip(
+            &mut stream,
+            &Frame::ExecuteStatement {
+                handle,
+                filters: vec![],
+            },
+        );
+        let Frame::Response(prepared) = reply else {
+            panic!("expected a response, got {reply:?}");
+        };
+        assert_eq!(prepared.groups, one_shot.groups);
+        assert_eq!(prepared.result_bytes, one_shot.result_bytes);
+
+        // An unknown handle is a typed StaleStatement error and the
+        // connection survives.
+        let reply = round_trip(
+            &mut stream,
+            &Frame::ExecuteStatement {
+                handle: handle ^ 0xffff,
+                filters: vec![],
+            },
+        );
+        assert!(
+            matches!(reply, Frame::Error(SeabedError::StaleStatement(h)) if h == handle ^ 0xffff),
+            "{reply:?}"
+        );
+
+        // Capacity 1: preparing a different statement evicts the first.
+        let mut other = sum_query();
+        other.aggregates = vec![ServerAggregate::AsheSum {
+            column: "m__ashe".to_string(),
+        }];
+        let Frame::StatementPrepared { handle: other_handle } =
+            round_trip(&mut stream, &Frame::PrepareStatement { query: other })
+        else {
+            panic!("expected a statement handle");
+        };
+        assert_ne!(other_handle, handle);
+        let reply = round_trip(
+            &mut stream,
+            &Frame::ExecuteStatement {
+                handle,
+                filters: vec![],
+            },
+        );
+        assert!(
+            matches!(reply, Frame::Error(SeabedError::StaleStatement(h)) if h == handle),
+            "{reply:?}"
+        );
+
+        let stats = net.shutdown();
+        assert_eq!(stats.statements_prepared, 3);
+        assert!(stats.statements_evicted >= 1);
     }
 
     #[test]

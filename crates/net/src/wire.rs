@@ -33,18 +33,31 @@
 //! | 5    | server → client | schema: `seabed_engine::Schema`                |
 //! | 6    | coord → worker  | worker handshake: shard epoch                  |
 //! | 7    | worker → coord  | handshake ack: epoch + resident shard count    |
-//! | 8    | coord → worker  | shard assignment: epoch, shard id, exec config, serialized `Table` |
-//! | 9    | worker → coord  | shard loaded: epoch, shard id, row count       |
-//! | 10   | coord → worker  | shard query: epoch, shard id, sequence number, `TranslatedQuery` + filters |
-//! | 11   | worker → coord  | shard partial: echoed (epoch, shard, seq) + mergeable `PartialResponse` |
+//! | 8    | coord → worker  | shard assignment: epoch, (table id, shard id), exec config, serialized `Table` |
+//! | 9    | worker → coord  | shard loaded: epoch, (table id, shard id), row count |
+//! | 10   | coord → worker  | shard query: epoch, (table id, shard id), sequence number, `TranslatedQuery` + filters |
+//! | 11   | worker → coord  | shard partial: echoed (epoch, table, shard, seq) + mergeable `PartialResponse` |
+//! | 12   | client → server | prepare statement: unbound `TranslatedQuery`   |
+//! | 13   | server → client | statement handle: u64                          |
+//! | 14   | client → server | execute statement: handle + bound `PhysicalFilter`s |
 //!
 //! Kinds 6–11 are the `seabed-dist` scatter/gather sub-protocol. A worker
-//! echoes the `(epoch, shard, seq)` triple of the query it answers, so a
-//! coordinator can never pair a late or duplicated partial with the wrong
-//! in-flight request; partials carry *mergeable* state (ASHE partial sums
-//! with ID lists, MIN/MAX ORE candidates) rather than finalized aggregates,
-//! so the coordinator's gather is the same
-//! [`seabed_engine::merge`] fold the in-process driver runs.
+//! echoes the `(epoch, table, shard, seq)` tuple of the query it answers, so
+//! a coordinator can never pair a late or duplicated partial with the wrong
+//! in-flight request; shard identifiers carry the **table id**, so one
+//! worker pool hosts shards of many encrypted tables under one epoch;
+//! partials carry *mergeable* state (ASHE partial sums with ID lists, MIN/MAX
+//! ORE candidates) rather than finalized aggregates, so the coordinator's
+//! gather is the same [`seabed_engine::merge`] fold the in-process driver
+//! runs.
+//!
+//! Kinds 12–14 are the prepared-statement sub-protocol: a client registers a
+//! statement's (redacted, unbound) plan once and thereafter ships only the
+//! 8-byte handle plus the bound, proxy-encrypted filters per execution — the
+//! wire-level half of the `SeabedSession` prepare/execute lifecycle. A
+//! handle the server no longer holds (evicted, restarted) is answered with a
+//! typed [`SeabedError::StaleStatement`] error frame; the `seabed-net`
+//! client transparently re-prepares once.
 //!
 //! Request frames never carry the plaintext predicate literals of DET/OPE
 //! filters — those are redacted structurally at encode time (see
@@ -69,7 +82,11 @@ pub const MAGIC: [u8; 4] = *b"SBWF";
 
 /// Version of the wire protocol. Receivers reject frames from any other
 /// version with a typed error instead of guessing at the layout.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2: shard frames carry a table id (multi-table worker pools),
+/// translated queries carry `?` parameter slots, and the prepared-statement
+/// frames (kinds 12–14) exist.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 11;
@@ -105,6 +122,12 @@ pub enum FrameKind {
     ShardQuery = 10,
     /// Worker → coordinator: the mergeable partial result of a shard query.
     ShardPartial = 11,
+    /// Client → server: register a statement's unbound plan, get a handle.
+    PrepareStatement = 12,
+    /// Server → client: the statement handle.
+    StatementPrepared = 13,
+    /// Client → server: execute a registered statement with bound filters.
+    ExecuteStatement = 14,
 }
 
 impl FrameKind {
@@ -122,6 +145,9 @@ impl FrameKind {
             9 => FrameKind::ShardLoaded,
             10 => FrameKind::ShardQuery,
             11 => FrameKind::ShardPartial,
+            12 => FrameKind::PrepareStatement,
+            13 => FrameKind::StatementPrepared,
+            14 => FrameKind::ExecuteStatement,
             _ => return None,
         })
     }
@@ -171,11 +197,14 @@ pub enum Frame {
         /// Number of shards resident under that epoch.
         shards: u64,
     },
-    /// Coordinator → worker: take ownership of one shard of the table.
+    /// Coordinator → worker: take ownership of one shard of one table.
     LoadShard {
         /// Shard epoch the assignment belongs to.
         epoch: u64,
-        /// Coordinator-assigned shard identifier.
+        /// Coordinator-assigned table identifier: one worker pool hosts
+        /// shards of many encrypted tables under one epoch.
+        table_id: u32,
+        /// Coordinator-assigned shard identifier within the table.
         shard: u32,
         /// Execution knobs for this shard's scans.
         exec: ShardExecConfig,
@@ -187,6 +216,8 @@ pub enum Frame {
     ShardLoaded {
         /// Echoed shard epoch.
         epoch: u64,
+        /// Echoed table identifier.
+        table_id: u32,
         /// Echoed shard identifier.
         shard: u32,
         /// Rows now resident for this shard.
@@ -196,7 +227,9 @@ pub enum Frame {
     ShardQuery {
         /// Shard epoch the query belongs to.
         epoch: u64,
-        /// Target shard.
+        /// Target table.
+        table_id: u32,
+        /// Target shard within the table.
         shard: u32,
         /// Coordinator-assigned sequence number; echoed in the partial so a
         /// late or duplicated response can never be paired with the wrong
@@ -211,12 +244,37 @@ pub enum Frame {
     ShardPartial {
         /// Echoed shard epoch.
         epoch: u64,
+        /// Echoed table identifier.
+        table_id: u32,
         /// Echoed shard identifier.
         shard: u32,
         /// Echoed sequence number.
         seq: u64,
         /// Mergeable per-group partial aggregates plus scan statistics.
         partial: PartialResponse,
+    },
+    /// Client → server: register a statement's (redacted, possibly unbound)
+    /// plan and receive a [`Frame::StatementPrepared`] handle for it.
+    PrepareStatement {
+        /// The unbound translated plan (DET/OPE literals redacted on encode,
+        /// like every query that crosses the wire).
+        query: TranslatedQuery,
+    },
+    /// Server → client: the handle a [`Frame::PrepareStatement`] registered.
+    StatementPrepared {
+        /// Server-side statement handle (stable for identical plans).
+        handle: u64,
+    },
+    /// Client → server: execute a registered statement, shipping only the
+    /// handle and this execution's bound, proxy-encrypted filters. Answered
+    /// with a [`Frame::Response`], or a typed
+    /// [`SeabedError::StaleStatement`] error frame when the handle is no
+    /// longer resident.
+    ExecuteStatement {
+        /// The statement handle from [`Frame::StatementPrepared`].
+        handle: u64,
+        /// Bound, literal-encrypted filters of this execution.
+        filters: Vec<PhysicalFilter>,
     },
 }
 
@@ -235,6 +293,9 @@ impl Frame {
             Frame::ShardLoaded { .. } => FrameKind::ShardLoaded,
             Frame::ShardQuery { .. } => FrameKind::ShardQuery,
             Frame::ShardPartial { .. } => FrameKind::ShardPartial,
+            Frame::PrepareStatement { .. } => FrameKind::PrepareStatement,
+            Frame::StatementPrepared { .. } => FrameKind::StatementPrepared,
+            Frame::ExecuteStatement { .. } => FrameKind::ExecuteStatement,
         }
     }
 }
@@ -269,11 +330,13 @@ pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, Seabed
         }
         Frame::LoadShard {
             epoch,
+            table_id,
             shard,
             exec,
             table,
         } => {
             write_varint(&mut payload, *epoch);
+            write_varint(&mut payload, u64::from(*table_id));
             write_varint(&mut payload, u64::from(*shard));
             write_varint(&mut payload, u64::from(exec.local_threads));
             payload.push(match exec.exec_mode {
@@ -282,19 +345,27 @@ pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, Seabed
             });
             write_bytes(&mut payload, &storage::serialize_table(table));
         }
-        Frame::ShardLoaded { epoch, shard, rows } => {
+        Frame::ShardLoaded {
+            epoch,
+            table_id,
+            shard,
+            rows,
+        } => {
             write_varint(&mut payload, *epoch);
+            write_varint(&mut payload, u64::from(*table_id));
             write_varint(&mut payload, u64::from(*shard));
             write_varint(&mut payload, *rows);
         }
         Frame::ShardQuery {
             epoch,
+            table_id,
             shard,
             seq,
             query,
             filters,
         } => {
             write_varint(&mut payload, *epoch);
+            write_varint(&mut payload, u64::from(*table_id));
             write_varint(&mut payload, u64::from(*shard));
             write_varint(&mut payload, *seq);
             write_translated_query(&mut payload, query);
@@ -302,14 +373,22 @@ pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, Seabed
         }
         Frame::ShardPartial {
             epoch,
+            table_id,
             shard,
             seq,
             partial,
         } => {
             write_varint(&mut payload, *epoch);
+            write_varint(&mut payload, u64::from(*table_id));
             write_varint(&mut payload, u64::from(*shard));
             write_varint(&mut payload, *seq);
             write_partial_response(&mut payload, partial);
+        }
+        Frame::PrepareStatement { query } => write_translated_query(&mut payload, query),
+        Frame::StatementPrepared { handle } => write_varint(&mut payload, *handle),
+        Frame::ExecuteStatement { handle, filters } => {
+            write_varint(&mut payload, *handle);
+            write_vec(&mut payload, filters, write_physical_filter);
         }
     }
     if payload.len() > max_frame_len as usize {
@@ -374,6 +453,7 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
         },
         FrameKind::LoadShard => {
             let epoch = r.varint()?;
+            let table_id = read_u32(&mut r, "table id")?;
             let shard = read_u32(&mut r, "shard id")?;
             let local_threads = read_u32(&mut r, "local thread count")?;
             let exec_mode = match r.u8()? {
@@ -386,6 +466,7 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
                 .ok_or_else(|| SeabedError::wire("shard table payload is corrupt or truncated"))?;
             Frame::LoadShard {
                 epoch,
+                table_id,
                 shard,
                 exec: ShardExecConfig {
                     local_threads,
@@ -396,11 +477,13 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
         }
         FrameKind::ShardLoaded => Frame::ShardLoaded {
             epoch: r.varint()?,
+            table_id: read_u32(&mut r, "table id")?,
             shard: read_u32(&mut r, "shard id")?,
             rows: r.varint()?,
         },
         FrameKind::ShardQuery => Frame::ShardQuery {
             epoch: r.varint()?,
+            table_id: read_u32(&mut r, "table id")?,
             shard: read_u32(&mut r, "shard id")?,
             seq: r.varint()?,
             query: read_translated_query(&mut r)?,
@@ -408,13 +491,33 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
         },
         FrameKind::ShardPartial => Frame::ShardPartial {
             epoch: r.varint()?,
+            table_id: read_u32(&mut r, "table id")?,
             shard: read_u32(&mut r, "shard id")?,
             seq: r.varint()?,
             partial: read_partial_response(&mut r)?,
         },
+        FrameKind::PrepareStatement => Frame::PrepareStatement {
+            query: read_translated_query(&mut r)?,
+        },
+        FrameKind::StatementPrepared => Frame::StatementPrepared { handle: r.varint()? },
+        FrameKind::ExecuteStatement => Frame::ExecuteStatement {
+            handle: r.varint()?,
+            filters: read_vec(&mut r, 2, read_physical_filter)?,
+        },
     };
     r.finish()?;
     Ok(frame)
+}
+
+/// Serializes a translated query exactly as it travels inside frames
+/// (DET/OPE literals structurally redacted). The server's statement store
+/// hashes these bytes into the statement handle, so identical plans map to
+/// identical handles across clients and reconnects. Two statements that
+/// differ only in redacted literals share a handle by design: the server
+/// side of a plan only reads its shape, and the bound `PhysicalFilter`s —
+/// which do differ — travel with every execution.
+pub fn write_statement_payload(out: &mut Vec<u8>, query: &TranslatedQuery) {
+    write_translated_query(out, query);
 }
 
 /// Decodes one complete frame from a byte slice (header + payload, consumed
@@ -605,6 +708,10 @@ fn write_literal(out: &mut Vec<u8>, literal: &Literal) {
             out.push(1);
             write_string(out, s);
         }
+        Literal::Param(ordinal) => {
+            out.push(2);
+            write_varint(out, *ordinal as u64);
+        }
     }
 }
 
@@ -612,6 +719,7 @@ fn read_literal(r: &mut Reader<'_>) -> Result<Literal, SeabedError> {
     Ok(match r.u8()? {
         0 => Literal::Integer(r.varint()?),
         1 => Literal::Text(r.string()?),
+        2 => Literal::Param(r.len()?),
         other => return Err(SeabedError::wire(format!("invalid literal tag {other}"))),
     })
 }
@@ -788,6 +896,29 @@ fn read_support_category(r: &mut Reader<'_>) -> Result<SupportCategory, SeabedEr
     })
 }
 
+fn write_param_slot(out: &mut Vec<u8>, slot: &seabed_query::ParamSlot) {
+    write_varint(out, slot.filter_index as u64);
+    write_string(out, &slot.column);
+    out.push(match slot.kind {
+        seabed_query::ParamKind::Plain => 0,
+        seabed_query::ParamKind::Det => 1,
+        seabed_query::ParamKind::Ope => 2,
+    });
+}
+
+fn read_param_slot(r: &mut Reader<'_>) -> Result<seabed_query::ParamSlot, SeabedError> {
+    Ok(seabed_query::ParamSlot {
+        filter_index: r.len()?,
+        column: r.string()?,
+        kind: match r.u8()? {
+            0 => seabed_query::ParamKind::Plain,
+            1 => seabed_query::ParamKind::Det,
+            2 => seabed_query::ParamKind::Ope,
+            other => return Err(SeabedError::wire(format!("invalid param-kind tag {other}"))),
+        },
+    })
+}
+
 fn write_translated_query(out: &mut Vec<u8>, q: &TranslatedQuery) {
     write_string(out, &q.base_table);
     write_vec(out, &q.filters, write_server_filter);
@@ -797,6 +928,7 @@ fn write_translated_query(out: &mut Vec<u8>, q: &TranslatedQuery) {
     write_vec(out, &q.client_post, write_client_post_step);
     write_bool(out, q.preserve_row_ids);
     write_support_category(out, q.category);
+    write_vec(out, &q.params, write_param_slot);
 }
 
 fn read_translated_query(r: &mut Reader<'_>) -> Result<TranslatedQuery, SeabedError> {
@@ -810,6 +942,7 @@ fn read_translated_query(r: &mut Reader<'_>) -> Result<TranslatedQuery, SeabedEr
     let client_post = read_vec(r, 1, read_client_post_step)?;
     let preserve_row_ids = r.bool()?;
     let category = read_support_category(r)?;
+    let params = read_vec(r, 3, read_param_slot)?;
     Ok(TranslatedQuery {
         base_table,
         filters,
@@ -819,6 +952,7 @@ fn read_translated_query(r: &mut Reader<'_>) -> Result<TranslatedQuery, SeabedEr
         client_post,
         preserve_row_ids,
         category,
+        params,
     })
 }
 
@@ -1187,6 +1321,15 @@ fn write_error(out: &mut Vec<u8>, error: &SeabedError) {
                     write_varint(out, *partition as u64);
                     write_string(out, detail);
                 }
+                SchemaError::UnknownTable(t) => {
+                    out.push(4);
+                    write_string(out, t);
+                }
+                SchemaError::ParamCount { expected, actual } => {
+                    out.push(5);
+                    write_varint(out, *expected as u64);
+                    write_varint(out, *actual as u64);
+                }
             }
         }
         SeabedError::Net(msg) => {
@@ -1201,6 +1344,10 @@ fn write_error(out: &mut Vec<u8>, error: &SeabedError) {
             out.push(9);
             write_string(out, worker);
             write_string(out, message);
+        }
+        SeabedError::StaleStatement(handle) => {
+            out.push(10);
+            write_varint(out, *handle);
         }
         // `SeabedError` is #[non_exhaustive]; a variant this protocol version
         // does not know still crosses the wire with its layer erased but its
@@ -1235,6 +1382,11 @@ fn read_error(r: &mut Reader<'_>) -> Result<SeabedError, SeabedError> {
                 partition: r.len()?,
                 detail: r.string()?,
             },
+            4 => SchemaError::UnknownTable(r.string()?),
+            5 => SchemaError::ParamCount {
+                expected: r.len()?,
+                actual: r.len()?,
+            },
             other => return Err(SeabedError::wire(format!("invalid schema-error tag {other}"))),
         }),
         7 => SeabedError::Net(r.string()?),
@@ -1243,6 +1395,7 @@ fn read_error(r: &mut Reader<'_>) -> Result<SeabedError, SeabedError> {
             worker: r.string()?,
             message: r.string()?,
         },
+        10 => SeabedError::StaleStatement(r.varint()?),
         other => return Err(SeabedError::wire(format!("invalid error tag {other}"))),
     })
 }
@@ -1304,6 +1457,18 @@ mod tests {
             ],
             preserve_row_ids: true,
             category: SupportCategory::ClientPostProcessing,
+            params: vec![
+                seabed_query::ParamSlot {
+                    filter_index: 1,
+                    column: "country".to_string(),
+                    kind: seabed_query::ParamKind::Det,
+                },
+                seabed_query::ParamSlot {
+                    filter_index: 2,
+                    column: "ts".to_string(),
+                    kind: seabed_query::ParamKind::Ope,
+                },
+            ],
         }
     }
 
@@ -1414,6 +1579,7 @@ mod tests {
             client_post: vec![],
             preserve_row_ids: true,
             category: SupportCategory::ServerOnly,
+            params: vec![],
         };
         let bytes = encode_frame(&Frame::Request { query, filters: vec![] }, DEFAULT_MAX_FRAME_LEN).unwrap();
         assert!(
@@ -1478,6 +1644,9 @@ mod tests {
                 worker: "127.0.0.1:9999".to_string(),
                 message: "stalled mid-query".to_string(),
             },
+            SeabedError::Schema(SchemaError::UnknownTable("ghosts".to_string())),
+            SeabedError::Schema(SchemaError::ParamCount { expected: 2, actual: 0 }),
+            SeabedError::StaleStatement(u64::MAX),
         ];
         for error in errors {
             let frame = Frame::Error(error.clone());
@@ -1554,6 +1723,7 @@ mod tests {
             Frame::WorkerReady { epoch: 7, shards: 3 },
             Frame::LoadShard {
                 epoch: 7,
+                table_id: 1,
                 shard: 2,
                 exec: ShardExecConfig {
                     local_threads: 4,
@@ -1563,11 +1733,13 @@ mod tests {
             },
             Frame::ShardLoaded {
                 epoch: 7,
+                table_id: 1,
                 shard: 2,
                 rows: 50,
             },
             Frame::ShardQuery {
                 epoch: 7,
+                table_id: 1,
                 shard: 2,
                 seq: 99,
                 query: redact_query(&sample_query()),
@@ -1575,9 +1747,18 @@ mod tests {
             },
             Frame::ShardPartial {
                 epoch: 7,
+                table_id: 1,
                 shard: 2,
                 seq: 99,
                 partial: sample_partial(),
+            },
+            Frame::PrepareStatement {
+                query: redact_query(&sample_query()),
+            },
+            Frame::StatementPrepared { handle: u64::MAX },
+            Frame::ExecuteStatement {
+                handle: 0xdead_beef,
+                filters: sample_filters(),
             },
         ];
         for frame in frames {
@@ -1592,6 +1773,7 @@ mod tests {
     fn partial_response_encoding_is_deterministic() {
         let frame = Frame::ShardPartial {
             epoch: 1,
+            table_id: 0,
             shard: 0,
             seq: 1,
             partial: sample_partial(),
@@ -1605,6 +1787,7 @@ mod tests {
     fn corrupt_shard_table_payload_is_a_wire_error() {
         let frame = Frame::LoadShard {
             epoch: 1,
+            table_id: 0,
             shard: 0,
             exec: ShardExecConfig {
                 local_threads: 1,

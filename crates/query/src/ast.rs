@@ -127,6 +127,12 @@ pub enum Literal {
     Integer(u64),
     /// A string literal.
     Text(String),
+    /// An unbound `?` placeholder, carrying its zero-based ordinal in
+    /// left-to-right source order. Placeholders survive parsing and
+    /// translation ([`crate::TranslatedQuery::bind`] substitutes real
+    /// literals at execute time) but are rejected by one-shot execution
+    /// paths, which have no parameters to bind.
+    Param(usize),
 }
 
 impl Literal {
@@ -134,7 +140,7 @@ impl Literal {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Literal::Integer(v) => Some(*v),
-            Literal::Text(_) => None,
+            Literal::Text(_) | Literal::Param(_) => None,
         }
     }
 
@@ -142,8 +148,13 @@ impl Literal {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Literal::Text(s) => Some(s),
-            Literal::Integer(_) => None,
+            Literal::Integer(_) | Literal::Param(_) => None,
         }
+    }
+
+    /// True if this is an unbound `?` placeholder.
+    pub fn is_param(&self) -> bool {
+        matches!(self, Literal::Param(_))
     }
 }
 
@@ -210,6 +221,16 @@ pub struct Query {
 }
 
 impl Query {
+    /// Number of `?` placeholders in the query (predicate ordinals are
+    /// assigned left to right by the parser).
+    pub fn param_count(&self) -> usize {
+        let mut count = self.predicates.iter().filter(|p| p.value.is_param()).count();
+        if let TableRef::Subquery(inner, _) = &self.from {
+            count += inner.param_count();
+        }
+        count
+    }
+
     /// All aggregate items in the projection.
     pub fn aggregates(&self) -> Vec<(&AggregateFunction, &str)> {
         self.select
@@ -272,6 +293,7 @@ impl Query {
                     let value = match &p.value {
                         Literal::Integer(v) => v.to_string(),
                         Literal::Text(s) => format!("'{s}'"),
+                        Literal::Param(_) => "?".to_string(),
                     };
                     format!("{} {} {}", p.column, p.op.symbol(), value)
                 })
@@ -370,5 +392,32 @@ mod tests {
         assert_eq!(Literal::Integer(5).as_str(), None);
         assert_eq!(Literal::Text("x".into()).as_str(), Some("x"));
         assert_eq!(Literal::Text("x".into()).as_u64(), None);
+        assert_eq!(Literal::Param(0).as_u64(), None);
+        assert_eq!(Literal::Param(0).as_str(), None);
+        assert!(Literal::Param(3).is_param());
+        assert!(!Literal::Integer(3).is_param());
+    }
+
+    #[test]
+    fn param_count_walks_subqueries() {
+        let mut q = sample_query();
+        assert_eq!(q.param_count(), 0);
+        q.predicates[0].value = Literal::Param(0);
+        assert_eq!(q.param_count(), 1);
+        let outer = Query {
+            select: vec![SelectItem::Aggregate {
+                func: AggregateFunction::Sum,
+                column: "revenue".to_string(),
+            }],
+            from: TableRef::Subquery(Box::new(q), "tmp".to_string()),
+            predicates: vec![Predicate {
+                column: "year".to_string(),
+                op: CompareOp::Lt,
+                value: Literal::Param(1),
+            }],
+            group_by: vec![],
+            limit: None,
+        };
+        assert_eq!(outer.param_count(), 2);
     }
 }

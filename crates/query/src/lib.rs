@@ -27,8 +27,8 @@ pub use planner::{
     classify_roles, plan_schema, ColumnPlan, ColumnRole, ColumnSpec, EncryptionChoice, PlannerConfig, SchemaPlan,
 };
 pub use translate::{
-    encnames, translate, ClientPostStep, GroupByColumn, ServerAggregate, ServerFilter, SupportCategory, TranslateError,
-    TranslateOptions, TranslatedQuery,
+    encnames, translate, ClientPostStep, GroupByColumn, ParamKind, ParamSlot, ServerAggregate, ServerFilter,
+    SupportCategory, TranslateError, TranslateOptions, TranslatedQuery,
 };
 
 #[cfg(test)]

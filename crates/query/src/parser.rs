@@ -8,11 +8,17 @@
 //! item       := ident | func "(" (ident | "*") ")"
 //! source     := ident | "(" query ")" ident
 //! conjuncts  := predicate ("AND" predicate)*
-//! predicate  := ident op literal
+//! predicate  := ident op (literal | "?")
 //! op         := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
 //! literal    := integer | "'" text "'"
 //! cols       := ident ("," ident)*
 //! ```
+//!
+//! A `?` placeholder parses to [`Literal::Param`] with its zero-based ordinal
+//! in left-to-right source order; it is only legal where a predicate literal
+//! is (placeholders in `LIMIT`, the select list or `GROUP BY` are typed parse
+//! errors — positions where the *plan shape* would depend on the bound
+//! value).
 
 use crate::ast::{AggregateFunction, CompareOp, Literal, Predicate, Query, SelectItem, TableRef};
 
@@ -24,6 +30,7 @@ enum Token {
     Integer(u64),
     Text(String),
     Symbol(char),
+    Placeholder,
     Le,
     Ge,
     Ne,
@@ -53,6 +60,10 @@ impl<'a> Tokenizer<'a> {
                 }
                 '(' | ')' | ',' | '*' | '=' | '+' | '-' | '.' => {
                     tokens.push((Token::Symbol(c), start));
+                    self.pos += 1;
+                }
+                '?' => {
+                    tokens.push((Token::Placeholder, start));
                     self.pos += 1;
                 }
                 '<' => {
@@ -147,6 +158,8 @@ impl<'a> Tokenizer<'a> {
 struct Parser {
     tokens: Vec<(Token, usize)>,
     pos: usize,
+    /// Next `?` placeholder ordinal (assigned left to right).
+    params: usize,
 }
 
 impl Parser {
@@ -243,6 +256,9 @@ impl Parser {
         if self.consume_keyword("LIMIT") {
             match self.next() {
                 Some(Token::Integer(n)) => limit = Some(n as usize),
+                Some(Token::Placeholder) => {
+                    return Err(self.error("placeholders are not supported in LIMIT: bind the literal in the SQL"))
+                }
                 _ => return Err(self.error("expected integer after LIMIT")),
             }
         }
@@ -312,6 +328,11 @@ impl Parser {
         let value = match self.next() {
             Some(Token::Integer(v)) => Literal::Integer(v),
             Some(Token::Text(s)) => Literal::Text(s),
+            Some(Token::Placeholder) => {
+                let ordinal = self.params;
+                self.params += 1;
+                Literal::Param(ordinal)
+            }
             _ => return Err(self.error("expected literal value")),
         };
         Ok(Predicate { column, op, value })
@@ -321,7 +342,11 @@ impl Parser {
 /// Parses a SQL string into a [`Query`].
 pub fn parse(sql: &str) -> Result<Query, ParseError> {
     let tokens = Tokenizer::new(sql).tokenize()?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let query = parser.parse_query()?;
     if parser.pos != parser.tokens.len() {
         return Err(parser.error("unexpected trailing tokens"));
@@ -465,6 +490,46 @@ mod tests {
         assert_eq!(q.group_by, vec!["g".to_string()]);
         assert_eq!(q.limit, Some(2));
         Ok(())
+    }
+
+    #[test]
+    fn placeholders_take_left_to_right_ordinals() -> Result<(), ParseError> {
+        let q = parse("SELECT SUM(x) FROM t WHERE a = ? AND b >= 10 AND c < ?")?;
+        assert_eq!(q.predicates[0].value, Literal::Param(0));
+        assert_eq!(q.predicates[1].value, Literal::Integer(10));
+        assert_eq!(q.predicates[2].value, Literal::Param(1));
+        assert_eq!(q.param_count(), 2);
+        // Rendering and re-parsing preserves the placeholder shape.
+        assert_eq!(parse(&q.to_sql())?, q);
+        Ok(())
+    }
+
+    #[test]
+    fn placeholders_thread_through_subqueries() -> Result<(), ParseError> {
+        let q = parse("SELECT sum(tmp.a) FROM (SELECT a FROM t WHERE b > ?) tmp WHERE c = ?")?;
+        assert_eq!(q.param_count(), 2);
+        // The outer predicate parses after the subquery's, so ordinals follow
+        // source order: subquery placeholder first.
+        if let TableRef::Subquery(inner, _) = &q.from {
+            assert_eq!(inner.predicates[0].value, Literal::Param(0));
+        } else {
+            panic!("expected a subquery");
+        }
+        assert_eq!(q.predicates[0].value, Literal::Param(1));
+        Ok(())
+    }
+
+    #[test]
+    fn placeholders_in_unsupported_positions_are_parse_errors() {
+        // LIMIT ? — the plan shape would depend on the bound value.
+        let err = parse("SELECT SUM(x) FROM t LIMIT ?").expect_err("LIMIT ? must not parse");
+        assert!(err.to_string().contains("LIMIT"), "{err}");
+        // Placeholders in the select list or GROUP BY are not identifiers.
+        assert!(parse("SELECT ? FROM t").is_err());
+        assert!(parse("SELECT SUM(?) FROM t").is_err());
+        assert!(parse("SELECT a, SUM(x) FROM t GROUP BY ?").is_err());
+        // A bare ? where a column is expected.
+        assert!(parse("SELECT SUM(x) FROM t WHERE ? = 3").is_err());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! [`TranslatedQuery`] and are encrypted by the proxy (which owns the keys)
 //! just before the query ships to the server.
 
-use crate::ast::{AggregateFunction, CompareOp, Predicate, Query, SelectItem, TableRef};
+use crate::ast::{AggregateFunction, CompareOp, Literal, Predicate, Query, SelectItem, TableRef};
 use crate::planner::{EncryptionChoice, SchemaPlan};
 use serde::{Deserialize, Serialize};
 
@@ -168,6 +168,33 @@ pub struct GroupByColumn {
 }
 
 pub use seabed_error::TranslateError;
+use seabed_error::{SchemaError, SeabedError};
+
+/// How a `?` placeholder's literal is consumed when it is bound: which
+/// encryption the proxy applies before the filter ships to the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Binds the literal of a plaintext predicate verbatim (integer or text).
+    Plain,
+    /// Binds a DET equality: the proxy tags the literal under the column key.
+    Det,
+    /// Binds an ORE comparison: the literal must be an integer; the proxy
+    /// encrypts it under the column's OPE key.
+    Ope,
+}
+
+/// One `?` placeholder of a prepared statement: where it lands in the
+/// translated filter list and how its literal is consumed at bind time.
+/// `TranslatedQuery::params[i]` describes placeholder ordinal `i`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParamSlot {
+    /// Index into [`TranslatedQuery::filters`] this placeholder binds.
+    pub filter_index: usize,
+    /// The logical (plaintext) column name, for error messages.
+    pub column: String,
+    /// How the bound literal is consumed.
+    pub kind: ParamKind,
+}
 
 /// The rewritten query.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -190,9 +217,78 @@ pub struct TranslatedQuery {
     pub preserve_row_ids: bool,
     /// The support category of the original query.
     pub category: SupportCategory,
+    /// Unbound `?` placeholders, indexed by ordinal. Empty for fully-bound
+    /// queries; non-empty queries must go through [`TranslatedQuery::bind`]
+    /// before literals can be encrypted and the query executed.
+    pub params: Vec<ParamSlot>,
 }
 
 impl TranslatedQuery {
+    /// True when every placeholder has been bound (or none existed).
+    pub fn is_bound(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Binds `?` placeholders with literals, by ordinal, returning the bound
+    /// plan. Fails with a typed [`SeabedError::Schema`] — never a server-side
+    /// error — when the arity is wrong ([`SchemaError::ParamCount`]) or a
+    /// literal's type does not fit its slot
+    /// ([`SchemaError::TypeMismatch`], e.g. a text literal bound to an ORE
+    /// comparison). The receiver is unchanged, so one prepared plan can be
+    /// bound many times.
+    pub fn bind(&self, params: &[Literal]) -> Result<TranslatedQuery, SeabedError> {
+        if params.len() != self.params.len() {
+            return Err(SchemaError::ParamCount {
+                expected: self.params.len(),
+                actual: params.len(),
+            }
+            .into());
+        }
+        let mut bound = self.clone();
+        for (slot, literal) in self.params.iter().zip(params) {
+            if literal.is_param() {
+                return Err(SchemaError::TypeMismatch {
+                    column: slot.column.clone(),
+                    expected: "a literal".to_string(),
+                    actual: "an unbound placeholder".to_string(),
+                }
+                .into());
+            }
+            let filter = bound.filters.get_mut(slot.filter_index).ok_or_else(|| {
+                SeabedError::engine(format!(
+                    "param slot for {} points at filter {} of {}",
+                    slot.column,
+                    slot.filter_index,
+                    self.filters.len()
+                ))
+            })?;
+            match (filter, slot.kind) {
+                (ServerFilter::Plain(pred), ParamKind::Plain) => pred.value = literal.clone(),
+                (ServerFilter::DetEquals { value, .. }, ParamKind::Det) => {
+                    *value = match literal {
+                        Literal::Text(s) => s.clone(),
+                        Literal::Integer(v) => v.to_string(),
+                        Literal::Param(_) => unreachable!("rejected above"),
+                    };
+                }
+                (ServerFilter::OpeCompare { value, .. }, ParamKind::Ope) => {
+                    *value = literal.as_u64().ok_or_else(|| SchemaError::TypeMismatch {
+                        column: slot.column.clone(),
+                        expected: "an integer literal".to_string(),
+                        actual: "a text literal".to_string(),
+                    })?;
+                }
+                (filter, kind) => {
+                    return Err(SeabedError::engine(format!(
+                        "param slot kind {kind:?} does not match filter {filter:?}"
+                    )))
+                }
+            }
+        }
+        bound.params.clear();
+        Ok(bound)
+    }
+
     /// Renders a human-readable description of the server-side plan, in the
     /// spirit of the "Seabed" rows of Table 2.
     pub fn describe(&self) -> String {
@@ -267,12 +363,32 @@ pub fn translate(
 
     let mut filters = Vec::new();
     let mut splashe_filters: Vec<(String, String)> = Vec::new();
+    // `?` placeholders, keyed by ordinal; sorted into `params` once the
+    // filter list is final (subquery flattening visits predicates out of
+    // source order, ordinals restore it).
+    let mut param_slots: Vec<(usize, ParamSlot)> = Vec::new();
+    let mut note_param =
+        |predicates_value: &crate::ast::Literal, filter_index: usize, column: &str, kind: ParamKind| {
+            if let crate::ast::Literal::Param(ordinal) = predicates_value {
+                param_slots.push((
+                    *ordinal,
+                    ParamSlot {
+                        filter_index,
+                        column: column.to_string(),
+                        kind,
+                    },
+                ));
+            }
+        };
     for pred in &predicates {
         let col_plan = plan
             .column(&pred.column)
             .ok_or_else(|| TranslateError::UnknownColumn(pred.column.clone()))?;
         match &col_plan.encryption {
-            EncryptionChoice::Plaintext => filters.push(ServerFilter::Plain(pred.clone())),
+            EncryptionChoice::Plaintext => {
+                note_param(&pred.value, filters.len(), &pred.column, ParamKind::Plain);
+                filters.push(ServerFilter::Plain(pred.clone()));
+            }
             EncryptionChoice::Det => {
                 if pred.op != CompareOp::Eq {
                     return Err(TranslateError::Unsupported(format!(
@@ -280,15 +396,27 @@ pub fn translate(
                         pred.column
                     )));
                 }
+                note_param(&pred.value, filters.len(), &pred.column, ParamKind::Det);
                 filters.push(ServerFilter::DetEquals {
                     column: encnames::det(&pred.column),
-                    value: literal_text(pred),
+                    // Placeholder predicates leave the literal empty until
+                    // `TranslatedQuery::bind` fills it in.
+                    value: if pred.value.is_param() {
+                        String::new()
+                    } else {
+                        literal_text(pred)
+                    },
                 });
             }
             EncryptionChoice::Ope => {
-                let value = pred.value.as_u64().ok_or_else(|| {
-                    TranslateError::Unsupported(format!("OPE predicates need integer literals ({})", pred.column))
-                })?;
+                let value = if pred.value.is_param() {
+                    note_param(&pred.value, filters.len(), &pred.column, ParamKind::Ope);
+                    0
+                } else {
+                    pred.value.as_u64().ok_or_else(|| {
+                        TranslateError::Unsupported(format!("OPE predicates need integer literals ({})", pred.column))
+                    })?
+                };
                 filters.push(ServerFilter::OpeCompare {
                     column: encnames::ope(&pred.column),
                     op: pred.op,
@@ -302,6 +430,9 @@ pub fn translate(
                         pred.column
                     )));
                 }
+                if pred.value.is_param() {
+                    return Err(splashe_param_error(&pred.column));
+                }
                 // Basic SPLASHE absorbs the predicate entirely: the aggregate
                 // reads the per-value splayed column.
                 splashe_filters.push((pred.column.clone(), literal_text(pred)));
@@ -312,6 +443,9 @@ pub fn translate(
                         "SPLASHE column {} only supports equality predicates",
                         pred.column
                     )));
+                }
+                if pred.value.is_param() {
+                    return Err(splashe_param_error(&pred.column));
                 }
                 let value = literal_text(pred);
                 // Frequent values read their dedicated column; infrequent
@@ -459,6 +593,21 @@ pub fn translate(
         .iter()
         .any(|a| matches!(a, ServerAggregate::AsheSum { .. } | ServerAggregate::CountRows));
 
+    // Order placeholder slots by source ordinal so `bind(&[p0, p1, ...])`
+    // matches the `?`s left to right, and reject a malformed AST whose
+    // ordinals are not exactly 0..n (hand-built queries; the parser always
+    // numbers them correctly).
+    param_slots.sort_by_key(|(ordinal, _)| *ordinal);
+    for (expected, (ordinal, slot)) in param_slots.iter().enumerate() {
+        if *ordinal != expected {
+            return Err(TranslateError::Unsupported(format!(
+                "placeholder ordinals are not contiguous: expected ?{expected}, found ?{ordinal} on column {}",
+                slot.column
+            )));
+        }
+    }
+    let params = param_slots.into_iter().map(|(_, slot)| slot).collect();
+
     Ok(TranslatedQuery {
         base_table,
         filters,
@@ -468,7 +617,18 @@ pub fn translate(
         client_post,
         preserve_row_ids,
         category,
+        params,
     })
+}
+
+/// The typed rejection for a `?` on a splayed (SPLASHE) dimension: the bound
+/// value decides *which physical column* the plan reads, so the plan shape
+/// cannot be fixed at prepare time. Reported at prepare, never server-side.
+fn splashe_param_error(column: &str) -> TranslateError {
+    TranslateError::Unsupported(format!(
+        "placeholder on SPLASHE column {column}: the bound value selects the splayed \
+         physical column, so the literal must be inline in the SQL"
+    ))
 }
 
 impl SupportCategory {
@@ -495,6 +655,9 @@ fn literal_text(pred: &Predicate) -> String {
     match &pred.value {
         crate::ast::Literal::Text(s) => s.clone(),
         crate::ast::Literal::Integer(v) => v.to_string(),
+        // Callers check `is_param()` first; an unbound placeholder has no
+        // text image.
+        crate::ast::Literal::Param(_) => String::new(),
     }
 }
 
@@ -831,6 +994,99 @@ mod tests {
         );
         let q2 = parse("SELECT MAX(salary) FROM emp")?;
         assert!(translate(&q2, &plan, &TranslateOptions::default()).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn placeholders_translate_to_param_slots() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        // dept is DET, ts is OPE, public_flag is plaintext.
+        let q = parse("SELECT SUM(salary) FROM emp WHERE dept = ? AND ts >= ? AND public_flag = ?")?;
+        let t = translate(&q, &plan, &TranslateOptions::default())?;
+        assert_eq!(t.params.len(), 3);
+        assert!(!t.is_bound());
+        assert_eq!(t.params[0].kind, ParamKind::Det);
+        assert_eq!(t.params[0].column, "dept");
+        assert_eq!(t.params[1].kind, ParamKind::Ope);
+        assert_eq!(t.params[2].kind, ParamKind::Plain);
+        // Unbound image: DET literal empty, OPE literal zero, Plain keeps the
+        // placeholder.
+        assert!(matches!(&t.filters[t.params[0].filter_index],
+            ServerFilter::DetEquals { value, .. } if value.is_empty()));
+        assert!(matches!(
+            &t.filters[t.params[1].filter_index],
+            ServerFilter::OpeCompare { value: 0, .. }
+        ));
+        assert!(matches!(&t.filters[t.params[2].filter_index],
+            ServerFilter::Plain(p) if p.value.is_param()));
+        Ok(())
+    }
+
+    #[test]
+    fn bind_substitutes_literals_by_ordinal() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        let q = parse("SELECT SUM(salary) FROM emp WHERE dept = ? AND ts >= ?")?;
+        let t = translate(&q, &plan, &TranslateOptions::default())?;
+        let bound = t.bind(&[Literal::Text("eng".to_string()), Literal::Integer(100)])?;
+        assert!(bound.is_bound());
+        // The bound image is identical to translating the literal SQL.
+        let inline = parse("SELECT SUM(salary) FROM emp WHERE dept = 'eng' AND ts >= 100")?;
+        let expected = translate(&inline, &plan, &TranslateOptions::default())?;
+        assert_eq!(bound, expected);
+        // The prepared plan is reusable: a second bind sees clean slots.
+        let again = t.bind(&[Literal::Text("ops".to_string()), Literal::Integer(7)])?;
+        assert!(matches!(&again.filters[0], ServerFilter::DetEquals { value, .. } if value == "ops"));
+        Ok(())
+    }
+
+    #[test]
+    fn bind_rejects_wrong_arity_and_types() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        let q = parse("SELECT SUM(salary) FROM emp WHERE ts >= ?")?;
+        let t = translate(&q, &plan, &TranslateOptions::default())?;
+        // Unbound and over-bound are typed Schema errors at bind time.
+        assert!(matches!(
+            t.bind(&[]),
+            Err(SeabedError::Schema(seabed_error::SchemaError::ParamCount {
+                expected: 1,
+                actual: 0
+            }))
+        ));
+        assert!(matches!(
+            t.bind(&[Literal::Integer(1), Literal::Integer(2)]),
+            Err(SeabedError::Schema(seabed_error::SchemaError::ParamCount { .. }))
+        ));
+        // A text literal cannot bind an ORE comparison.
+        assert!(matches!(
+            t.bind(&[Literal::Text("ten".to_string())]),
+            Err(SeabedError::Schema(seabed_error::SchemaError::TypeMismatch { .. }))
+        ));
+        // Binding a placeholder with a placeholder is rejected.
+        assert!(t.bind(&[Literal::Param(0)]).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn placeholder_on_splashe_column_is_rejected_at_prepare() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        // country is enhanced SPLASHE: the bound value selects the physical
+        // column, so a placeholder cannot be planned.
+        let q = parse("SELECT SUM(salary) FROM emp WHERE country = ?")?;
+        let outcome = translate(&q, &plan, &TranslateOptions::default());
+        assert!(
+            matches!(&outcome, Err(TranslateError::Unsupported(msg)) if msg.contains("SPLASHE")),
+            "{outcome:?}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn non_contiguous_hand_built_ordinals_are_rejected() -> Result<(), SeabedError> {
+        let plan = sample_plan()?;
+        let mut q = parse("SELECT SUM(salary) FROM emp WHERE ts >= ?")?;
+        // Hand-corrupt the ordinal; the parser never produces this.
+        q.predicates[0].value = Literal::Param(3);
+        assert!(translate(&q, &plan, &TranslateOptions::default()).is_err());
         Ok(())
     }
 

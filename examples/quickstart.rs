@@ -1,10 +1,13 @@
-//! Quickstart: plan, encrypt, upload and query a small dataset with Seabed.
+//! Quickstart: plan, encrypt, upload and query a small dataset with Seabed —
+//! through the session API: a [`Catalog`] of encrypted tables, a
+//! [`SeabedSession`] over an execution target, and prepared, parameterized
+//! statements.
 //!
 //! Run with: `cargo run -p seabed-core --release --example quickstart`
 
-use seabed_core::{PlainDataset, SeabedClient, SeabedServer};
+use seabed_core::{Catalog, PlainDataset, SeabedClient, SeabedServer, SeabedSession};
 use seabed_engine::{Cluster, ClusterConfig};
-use seabed_query::{parse, ColumnSpec, PlannerConfig};
+use seabed_query::{parse, ColumnSpec, Literal, PlannerConfig};
 
 fn main() {
     // 1. The data collector's plaintext table.
@@ -44,19 +47,45 @@ fn main() {
     }
     let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(8)));
 
-    // 4. Ask questions in plain SQL; the proxy translates, the server computes
-    //    on ciphertexts, the proxy decrypts.
+    // 4. Open a session: the catalog registers the table's proxy state (plan,
+    //    keys, DET dictionaries) under its name; the session resolves every
+    //    query's FROM against it and caches prepared statements.
+    let catalog = Catalog::new().with_table("sales", client);
+    let session = SeabedSession::new(catalog, &server);
+
+    // 5. One-shot style through the session (prepare + execute in one call;
+    //    the statement cache absorbs repeats).
     for sql in [
         "SELECT SUM(revenue) FROM sales",
         "SELECT SUM(revenue) FROM sales WHERE country = 'USA'",
-        "SELECT SUM(revenue) FROM sales WHERE country = 'India'",
-        "SELECT COUNT(*) FROM sales WHERE year >= 2016",
         "SELECT AVG(revenue) FROM sales",
     ] {
-        let result = client.query(&server, sql).expect("query failed");
+        let result = session.query(sql, &[]).expect("query failed");
         println!(
             "\n{sql}\n  -> {:?}  (server {:?}, client {:?})",
             result.rows, result.timings.server, result.timings.client
         );
     }
+
+    // 6. Prepared, parameterized execution: parse/plan/translate happen once;
+    //    each execute binds the `?` literals, encrypts only those, and ships.
+    let prepared = session
+        .prepare("SELECT COUNT(*) FROM sales WHERE year >= ?")
+        .expect("prepare failed");
+    println!(
+        "\nprepared: {} ({} parameter(s))",
+        prepared.sql(),
+        prepared.param_count()
+    );
+    for year in [2014u64, 2015, 2016] {
+        let result = session
+            .execute(&prepared, &[Literal::Integer(year)])
+            .expect("execute failed");
+        println!("  year >= {year} -> {:?}", result.rows);
+    }
+    let stats = session.stats();
+    println!(
+        "\nsession: {} statement(s) prepared, {} cache hit(s), {} execution(s)",
+        stats.statements_prepared, stats.cache_hits, stats.executes
+    );
 }

@@ -213,6 +213,7 @@ fn query(group_cols: &[&str], inflation: u32, extreme: Option<bool>) -> Translat
         client_post: vec![],
         preserve_row_ids: true,
         category: SupportCategory::ServerOnly,
+        params: vec![],
     }
 }
 
@@ -474,6 +475,7 @@ proptest! {
                 client_post: vec![],
                 preserve_row_ids: true,
                 category: SupportCategory::ServerOnly,
+                params: vec![],
             };
             let resp = match s.execute(&q, &[]) {
                 Ok(r) => r,

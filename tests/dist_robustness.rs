@@ -52,6 +52,7 @@ fn sum_query(group_by: bool) -> TranslatedQuery {
         client_post: vec![],
         preserve_row_ids: true,
         category: SupportCategory::ServerOnly,
+        params: vec![],
     }
 }
 
@@ -112,17 +113,30 @@ fn fake_worker(behavior: Misbehavior) -> (SocketAddr, std::thread::JoinHandle<()
             match frame {
                 Frame::WorkerHandshake { epoch } => send_frame(&mut stream, &Frame::WorkerReady { epoch, shards: 0 }),
                 Frame::LoadShard {
-                    epoch, shard, table, ..
+                    epoch,
+                    table_id,
+                    shard,
+                    table,
+                    ..
                 } => {
                     let rows = table.num_rows() as u64;
                     shards.insert(
                         shard,
                         SeabedServer::new(table, Cluster::new(ClusterConfig::with_workers(1).local_threads(1))),
                     );
-                    send_frame(&mut stream, &Frame::ShardLoaded { epoch, shard, rows });
+                    send_frame(
+                        &mut stream,
+                        &Frame::ShardLoaded {
+                            epoch,
+                            table_id,
+                            shard,
+                            rows,
+                        },
+                    );
                 }
                 Frame::ShardQuery {
                     epoch,
+                    table_id,
                     shard,
                     seq,
                     query,
@@ -162,6 +176,7 @@ fn fake_worker(behavior: Misbehavior) -> (SocketAddr, std::thread::JoinHandle<()
                             &mut stream,
                             &Frame::ShardPartial {
                                 epoch,
+                                table_id,
                                 shard,
                                 seq,
                                 partial,
@@ -180,6 +195,7 @@ fn fake_worker(behavior: Misbehavior) -> (SocketAddr, std::thread::JoinHandle<()
                             &mut stream,
                             &Frame::ShardPartial {
                                 epoch,
+                                table_id,
                                 shard,
                                 seq: seq.saturating_sub(1),
                                 partial: partial.clone(),
@@ -189,6 +205,7 @@ fn fake_worker(behavior: Misbehavior) -> (SocketAddr, std::thread::JoinHandle<()
                             &mut stream,
                             &Frame::ShardPartial {
                                 epoch,
+                                table_id,
                                 shard,
                                 seq,
                                 partial,

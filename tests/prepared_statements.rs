@@ -1,0 +1,244 @@
+//! Prepared-statement lifecycle robustness on the wire.
+//!
+//! The server's statement store is capacity-bounded and forgets handles on
+//! restart, so the client must treat [`SeabedError::StaleStatement`] as a
+//! recoverable signal: re-prepare once, retry once, and only surface the
+//! error if the server stays stale. A scripted fake server pins the exact
+//! recovery sequence (regression test for the transparent re-prepare), and a
+//! real `NetServer` with a capacity-1 store exercises eviction end to end
+//! through a `SeabedSession`.
+
+use seabed_core::{EncryptedAggregate, GroupResult, PlainDataset, SeabedClient, SeabedServer, SeabedSession};
+use seabed_core::{ResultValue, ServerResponse};
+use seabed_engine::{Cluster, ClusterConfig, ExecStats};
+use seabed_error::SeabedError;
+use seabed_net::wire::{self, Frame, HEADER_LEN};
+use seabed_net::{NetServer, RemoteSeabedClient, ServiceConfig};
+use seabed_query::{parse, ColumnSpec, Literal, PlannerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn read_frame(stream: &mut TcpStream) -> Option<Frame> {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header_bytes).ok()?;
+    let header = wire::decode_header(&header_bytes, wire::DEFAULT_MAX_FRAME_LEN).ok()?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    stream.read_exact(&mut payload).ok()?;
+    wire::decode_payload(header.kind, &payload).ok()
+}
+
+fn send_frame(stream: &mut TcpStream, frame: &Frame) {
+    let bytes = wire::encode_frame(frame, wire::DEFAULT_MAX_FRAME_LEN).expect("encode");
+    let _ = stream.write_all(&bytes);
+}
+
+fn canned_response() -> ServerResponse {
+    ServerResponse {
+        groups: vec![GroupResult {
+            key: vec![],
+            aggregates: vec![EncryptedAggregate::Count { rows: 7 }],
+        }],
+        stats: ExecStats::default(),
+        result_bytes: 8,
+    }
+}
+
+/// Counters the fake server exposes so tests can pin the recovery sequence.
+#[derive(Default)]
+struct FakeCounters {
+    prepares: AtomicU64,
+    executes: AtomicU64,
+}
+
+/// A scripted statement server: answers the schema handshake, hands out
+/// handles on PREPARE, and replies `StaleStatement` to the first
+/// `stale_executes` EXECUTE frames before serving real responses.
+fn fake_statement_server(stale_executes: u64) -> (SocketAddr, Arc<FakeCounters>, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let counters = Arc::new(FakeCounters::default());
+    let thread_counters = Arc::clone(&counters);
+    let handle = std::thread::spawn(move || {
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        while let Some(frame) = read_frame(&mut stream) {
+            match frame {
+                Frame::SchemaRequest => send_frame(
+                    &mut stream,
+                    &Frame::Schema(seabed_engine::Schema::new([(
+                        "x".to_string(),
+                        seabed_engine::ColumnType::UInt64,
+                    )])),
+                ),
+                Frame::PrepareStatement { .. } => {
+                    let n = thread_counters.prepares.fetch_add(1, Ordering::SeqCst) + 1;
+                    send_frame(&mut stream, &Frame::StatementPrepared { handle: 1000 + n });
+                }
+                Frame::ExecuteStatement { handle, .. } => {
+                    let n = thread_counters.executes.fetch_add(1, Ordering::SeqCst) + 1;
+                    if n <= stale_executes {
+                        send_frame(&mut stream, &Frame::Error(SeabedError::StaleStatement(handle)));
+                    } else {
+                        send_frame(&mut stream, &Frame::Response(canned_response()));
+                    }
+                }
+                _ => return,
+            }
+        }
+    });
+    (addr, counters, handle)
+}
+
+fn trivial_client() -> SeabedClient {
+    let columns = vec![ColumnSpec::public("x")];
+    let samples = vec![parse("SELECT COUNT(*) FROM t").expect("sample")];
+    SeabedClient::create_plan(b"stale", &columns, &samples, &PlannerConfig::default())
+}
+
+fn count_statement() -> seabed_query::TranslatedQuery {
+    let client = trivial_client();
+    let plan = client.plan().clone();
+    let query = parse("SELECT COUNT(*) FROM t").expect("parse");
+    seabed_query::translate(&query, &plan, &seabed_query::TranslateOptions::default()).expect("translate")
+}
+
+/// One stale EXECUTE: the client re-prepares exactly once and the retry
+/// succeeds — the caller never sees the staleness.
+#[test]
+fn client_transparently_reprepares_once_on_stale_handle() {
+    let (addr, counters, server) = fake_statement_server(1);
+    let remote = RemoteSeabedClient::connect(addr, trivial_client()).expect("connect");
+    let statement = count_statement();
+
+    let (response, _) = remote
+        .execute_prepared_measured(&statement, 42, &[])
+        .expect("stale handle must be recovered transparently");
+    assert_eq!(response, canned_response());
+    // Sequence on the wire: PREPARE, EXECUTE (stale), PREPARE, EXECUTE (ok).
+    assert_eq!(counters.prepares.load(Ordering::SeqCst), 2);
+    assert_eq!(counters.executes.load(Ordering::SeqCst), 2);
+
+    // A later execution reuses the refreshed handle: no further prepares.
+    let (response, _) = remote.execute_prepared_measured(&statement, 42, &[]).expect("execute");
+    assert_eq!(response, canned_response());
+    assert_eq!(counters.prepares.load(Ordering::SeqCst), 2);
+    drop(remote);
+    server.join().expect("fake server");
+}
+
+/// A server that stays stale after the re-prepare: the client retries exactly
+/// once, then surfaces the typed error instead of looping.
+#[test]
+fn repeated_staleness_surfaces_after_one_retry() {
+    let (addr, counters, server) = fake_statement_server(u64::MAX);
+    let remote = RemoteSeabedClient::connect(addr, trivial_client()).expect("connect");
+    let statement = count_statement();
+
+    let outcome = remote.execute_prepared_measured(&statement, 7, &[]);
+    assert!(matches!(outcome, Err(SeabedError::StaleStatement(_))), "{outcome:?}");
+    // Exactly one recovery attempt: PREPARE, EXECUTE, PREPARE, EXECUTE.
+    assert_eq!(counters.prepares.load(Ordering::SeqCst), 2);
+    assert_eq!(counters.executes.load(Ordering::SeqCst), 2);
+    drop(remote);
+    server.join().expect("fake server");
+}
+
+/// The remote handle cache keys on the statement's *plan content*, not the
+/// caller's statement id: a different plan under the same id (re-planned
+/// SQL, or an SQL-hash collision) must trigger a fresh registration and run
+/// its own plan — never the previously registered one.
+#[test]
+fn changed_plan_under_same_statement_id_registers_fresh() {
+    let n = 120usize;
+    let dataset = PlainDataset::new("t").with_uint_column("m", (1..=n as u64).collect());
+    let columns = vec![ColumnSpec::sensitive("m")];
+    let samples = vec![parse("SELECT SUM(m) FROM t").expect("sample")];
+    let mut client = SeabedClient::create_plan(b"replan", &columns, &samples, &PlannerConfig::default());
+    let encrypted = client.encrypt_dataset(&dataset, 4, &mut rand::rng());
+    let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(4)));
+    let net = NetServer::serve(server, "127.0.0.1:0", ServiceConfig::default()).expect("serve");
+    let remote = RemoteSeabedClient::connect(net.local_addr(), client.clone()).expect("connect");
+
+    let plan = client.plan().clone();
+    let opts = seabed_query::TranslateOptions::default();
+    let count_plan =
+        seabed_query::translate(&parse("SELECT COUNT(*) FROM t").expect("parse"), &plan, &opts).expect("translate");
+    let sum_plan =
+        seabed_query::translate(&parse("SELECT SUM(m) FROM t").expect("parse"), &plan, &opts).expect("translate");
+
+    // Same statement_id (99) for two different plans: each must execute its
+    // own plan.
+    let (count_resp, _) = remote
+        .execute_prepared_measured(&count_plan, 99, &[])
+        .expect("count plan");
+    assert!(
+        matches!(
+            count_resp.groups[0].aggregates[0],
+            EncryptedAggregate::Count { rows } if rows == n as u64
+        ),
+        "{:?}",
+        count_resp.groups[0].aggregates[0]
+    );
+    let (sum_resp, _) = remote.execute_prepared_measured(&sum_plan, 99, &[]).expect("sum plan");
+    assert!(
+        matches!(&sum_resp.groups[0].aggregates[0], EncryptedAggregate::AsheSum { .. }),
+        "the second plan must run, not the cached first one: {:?}",
+        sum_resp.groups[0].aggregates[0]
+    );
+
+    let stats = net.shutdown();
+    assert_eq!(stats.statements_prepared, 2, "each distinct plan registers once");
+}
+
+/// End to end against a real server with a capacity-1 statement store:
+/// preparing a second statement evicts the first; executing the first again
+/// triggers the transparent re-prepare and still returns correct data.
+#[test]
+fn eviction_on_a_real_server_is_recovered_through_the_session() {
+    let n = 300usize;
+    let dataset = PlainDataset::new("sales")
+        .with_uint_column("revenue", (0..n as u64).map(|i| i % 100).collect())
+        .with_uint_column("ts", (0..n as u64).collect());
+    let columns = vec![ColumnSpec::sensitive("revenue"), ColumnSpec::sensitive("ts")];
+    let samples = vec![
+        parse("SELECT SUM(revenue) FROM sales WHERE ts >= 10").expect("sample"),
+        parse("SELECT COUNT(*) FROM sales WHERE ts >= 10").expect("sample"),
+    ];
+    let mut client = SeabedClient::create_plan(b"evict", &columns, &samples, &PlannerConfig::default());
+    let encrypted = client.encrypt_dataset(&dataset, 4, &mut rand::rng());
+    let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(4)));
+    let expected_sum = |min_ts: u64| -> u64 { (0..n as u64).filter(|&i| i >= min_ts).map(|i| i % 100).sum() };
+
+    let net = NetServer::serve(server, "127.0.0.1:0", ServiceConfig::default().statement_capacity(1)).expect("serve");
+    let remote = RemoteSeabedClient::connect(net.local_addr(), client.clone()).expect("connect");
+    let session = SeabedSession::single("sales", client, &remote);
+
+    let sum = session
+        .prepare("SELECT SUM(revenue) FROM sales WHERE ts >= ?")
+        .expect("prepare sum");
+    let count = session
+        .prepare("SELECT COUNT(*) FROM sales WHERE ts >= ?")
+        .expect("prepare count");
+
+    // Register + run the sum statement, then the count statement (evicting
+    // the sum's handle on the capacity-1 server), then the sum again.
+    let r = session.execute(&sum, &[Literal::Integer(100)]).expect("sum 1");
+    assert_eq!(r.rows, vec![vec![ResultValue::UInt(expected_sum(100))]]);
+    let r = session.execute(&count, &[Literal::Integer(200)]).expect("count");
+    assert_eq!(r.rows, vec![vec![ResultValue::UInt(100)]]);
+    let r = session
+        .execute(&sum, &[Literal::Integer(250)])
+        .expect("evicted handle must be recovered transparently");
+    assert_eq!(r.rows, vec![vec![ResultValue::UInt(expected_sum(250))]]);
+
+    let stats = net.shutdown();
+    // Three registrations: sum, count, and the transparent re-prepare of sum.
+    assert_eq!(stats.statements_prepared, 3);
+    assert!(stats.statements_evicted >= 2);
+    assert_eq!(stats.requests_served, 3);
+}

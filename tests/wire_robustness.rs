@@ -104,6 +104,17 @@ fn random_query(rng: &mut StdRng) -> TranslatedQuery {
             _ => ClientPostStep::MergeInflatedGroups,
         })
         .collect();
+    let params = (0..rng.random_range(0..3usize))
+        .map(|_| seabed::query::ParamSlot {
+            filter_index: rng.random_range(0..8u64) as usize,
+            column: random_string(rng),
+            kind: [
+                seabed::query::ParamKind::Plain,
+                seabed::query::ParamKind::Det,
+                seabed::query::ParamKind::Ope,
+            ][rng.random_range(0..3usize)],
+        })
+        .collect();
     TranslatedQuery {
         base_table: random_string(rng),
         filters,
@@ -118,6 +129,7 @@ fn random_query(rng: &mut StdRng) -> TranslatedQuery {
             SupportCategory::ClientPostProcessing,
             SupportCategory::TwoRoundTrips,
         ][rng.random_range(0..4usize)],
+        params,
     }
 }
 
@@ -246,14 +258,35 @@ mod roundtrip {
 
         /// Arbitrary garbage after a valid header must decode to a typed
         /// error (or, astronomically rarely, a valid payload) — never panic.
+        /// Sweeps every known frame kind (1–14, including the PREPARE /
+        /// EXECUTE statement kinds) plus a margin of unknown ones.
         #[test]
         fn garbage_payloads_never_panic(seed in any::<u64>(), len in 0usize..512) {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut payload = vec![0u8; len];
             rng.fill(&mut payload);
-            for kind in 0u8..8 {
+            for kind in 0u8..20 {
                 let _ = seabed::net::wire::decode_payload(kind, &payload);
             }
+        }
+
+        /// The prepared-statement frames round-trip losslessly (modulo the
+        /// structural DET/OPE redaction requests already have).
+        #[test]
+        fn statement_frame_roundtrip(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let query = random_query(&mut rng);
+            let prepare = Frame::PrepareStatement { query: seabed::net::wire::redact_query(&query) };
+            let bytes = encode_frame(&prepare, DEFAULT_MAX_FRAME_LEN).expect("encode");
+            prop_assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).expect("decode"), prepare);
+
+            let handle = Frame::StatementPrepared { handle: rng.random::<u64>() };
+            let bytes = encode_frame(&handle, DEFAULT_MAX_FRAME_LEN).expect("encode");
+            prop_assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).expect("decode"), handle);
+
+            let execute = Frame::ExecuteStatement { handle: rng.random::<u64>(), filters: random_filters(&mut rng) };
+            let bytes = encode_frame(&execute, DEFAULT_MAX_FRAME_LEN).expect("encode");
+            prop_assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).expect("decode"), execute);
         }
     }
 }
@@ -273,7 +306,16 @@ fn sample_frames() -> Vec<Frame> {
         },
         Frame::Response(random_response(&mut rng)),
         Frame::Error(SeabedError::engine("boom")),
+        Frame::Error(SeabedError::StaleStatement(0xdead_beef)),
         Frame::SchemaRequest,
+        Frame::PrepareStatement {
+            query: seabed::net::wire::redact_query(&random_query(&mut rng)),
+        },
+        Frame::StatementPrepared { handle: u64::MAX },
+        Frame::ExecuteStatement {
+            handle: 42,
+            filters: random_filters(&mut rng),
+        },
     ]
 }
 
@@ -347,8 +389,9 @@ fn forged_interior_counts_are_rejected() {
 /// Unknown protocol versions and unknown frame kinds yield typed errors.
 #[test]
 fn unknown_version_and_kind_are_typed_errors() {
+    use seabed::net::wire::PROTOCOL_VERSION;
     let good = encode_frame(&Frame::SchemaRequest, DEFAULT_MAX_FRAME_LEN).expect("encode");
-    for version in [0u16, 2, 7, u16::MAX] {
+    for version in [0u16, PROTOCOL_VERSION - 1, PROTOCOL_VERSION + 1, 7, u16::MAX] {
         let mut bad = good.clone();
         bad[4..6].copy_from_slice(&version.to_le_bytes());
         let outcome = decode_frame(&bad, DEFAULT_MAX_FRAME_LEN);
@@ -357,7 +400,10 @@ fn unknown_version_and_kind_are_typed_errors() {
             other => panic!("version {version}: {other:?}"),
         }
     }
-    for kind in [0u8, 6, 99, 255] {
+    // Kind 0, the first unassigned kind (15), and far-out values. Known kinds
+    // with a garbage (empty) payload fail at payload decode instead, which
+    // the proptest sweep covers.
+    for kind in [0u8, 15, 99, 255] {
         let mut bad = good.clone();
         bad[6] = kind;
         assert!(matches!(
@@ -418,7 +464,7 @@ fn live_server_survives_adversarial_volley() {
             // A valid header with a garbage payload exercises the decode path
             // rather than the magic check.
             blob[..4].copy_from_slice(b"SBWF");
-            blob[4..6].copy_from_slice(&1u16.to_le_bytes());
+            blob[4..6].copy_from_slice(&seabed::net::wire::PROTOCOL_VERSION.to_le_bytes());
             blob[6] = 1; // request
             blob[7..11].copy_from_slice(&((len - 11) as u32).to_le_bytes());
         }
