@@ -23,7 +23,9 @@ pub mod batch;
 pub mod idset;
 pub mod scheme;
 
-pub use batch::{aggregate_where, decrypt_column, encrypt_column, encrypt_column_parallel, EncryptedColumn};
+pub use batch::{
+    aggregate_where, decrypt_column, encrypt_column, encrypt_column_parallel, encrypt_column_scalar, EncryptedColumn,
+};
 pub use idset::IdSet;
 pub use scheme::{AsheCiphertext, AsheScheme};
 

@@ -24,7 +24,7 @@
 
 use crate::idset::IdSet;
 use seabed_crypto::prf::{AnyPrf, Prf, PrfKind};
-use seabed_crypto::AesPrf;
+use seabed_crypto::{AesPrf, FixedUint};
 
 /// An ASHE ciphertext: a masked group element plus the identifiers whose masks
 /// it carries.
@@ -111,6 +111,51 @@ impl AsheScheme {
         }
     }
 
+    /// Batch counterpart of [`AsheScheme::mask`]: fills `out` with the masks
+    /// of the consecutive (wrapping) identifiers `first_id, first_id + 1, …`.
+    ///
+    /// With the AES PRF the packed two-identifiers-per-block layout means a
+    /// run of N identifiers costs ~N/2 block encryptions, expanded through
+    /// the batched keystream kernel in a handful of dispatches instead of one
+    /// per identifier. Output is identical to calling [`AsheScheme::mask`]
+    /// per identifier.
+    pub fn mask_run(&self, first_id: u64, out: &mut [u64]) {
+        match &self.packed_prf {
+            Some(prf) => {
+                // The packed block index `id >> 1` is only monotonic while the
+                // identifier space does not wrap past u64::MAX, so split the
+                // run into non-wrapping segments (at most two in practice).
+                let mut offset = 0usize;
+                while offset < out.len() {
+                    let start = first_id.wrapping_add(offset as u64);
+                    let until_wrap = (u64::MAX - start) as u128 + 1;
+                    let seg = ((out.len() - offset) as u128).min(until_wrap) as usize;
+                    self.mask_run_segment(prf, start, &mut out[offset..offset + seg]);
+                    offset += seg;
+                }
+            }
+            None => self.prf.eval_run(first_id, self.modulus, out),
+        }
+    }
+
+    /// Masks for the non-wrapping identifier segment `first_id..=first_id+len-1`.
+    fn mask_run_segment(&self, prf: &AesPrf, first_id: u64, out: &mut [u64]) {
+        const IDS_PER_CHUNK: usize = 64;
+        let mut wide = [[0u64; 2]; IDS_PER_CHUNK / 2 + 1];
+        for (chunk_index, chunk) in out.chunks_mut(IDS_PER_CHUNK).enumerate() {
+            let chunk_first = first_id + (chunk_index * IDS_PER_CHUNK) as u64;
+            let chunk_last = chunk_first + (chunk.len() - 1) as u64;
+            let first_block = chunk_first >> 1;
+            let nblocks = ((chunk_last >> 1) - first_block + 1) as usize;
+            prf.eval_wide_run(first_block, &mut wide[..nblocks]);
+            for (i, value) in chunk.iter_mut().enumerate() {
+                let id = chunk_first + i as u64;
+                let raw = wide[((id >> 1) - first_block) as usize][(id & 1) as usize];
+                *value = if self.modulus == 0 { raw } else { raw % self.modulus };
+            }
+        }
+    }
+
     #[inline]
     fn reduce(&self, v: u128) -> u64 {
         if self.modulus == 0 {
@@ -154,6 +199,37 @@ impl AsheScheme {
         }
     }
 
+    /// Encrypts a run of values under the consecutive (wrapping) identifiers
+    /// `first_id, first_id + 1, …` — the layout Seabed's encryption module
+    /// produces — re-deriving each shared boundary mask once.
+    ///
+    /// A run of N values needs the N+1 masks of identifiers
+    /// `first_id - 1 ..= first_id + N - 1`; with the packed AES PRF that is
+    /// ~(N+1)/2 batched block encryptions, where per-value
+    /// [`AsheScheme::encrypt`] calls would pay 2 unbatched blocks per value.
+    /// Ciphertexts are identical to the scalar path's.
+    pub fn encrypt_run(&self, values: &[u64], first_id: u64) -> Vec<AsheCiphertext> {
+        if values.is_empty() {
+            return Vec::new();
+        }
+        let mut masks = vec![0u64; values.len() + 1];
+        self.mask_run(first_id.wrapping_sub(1), &mut masks);
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let id = first_id.wrapping_add(i as u64);
+                let reduced_m = if self.modulus == 0 { m } else { m % self.modulus };
+                // masks[i] = F(id - 1), masks[i + 1] = F(id)
+                let value = self.add_group(self.sub_group(reduced_m, masks[i + 1]), masks[i]);
+                AsheCiphertext {
+                    value,
+                    ids: IdSet::single(id),
+                }
+            })
+            .collect()
+    }
+
     /// The homomorphic ⊕: adds the group elements and unions the ID sets.
     pub fn add(&self, a: &AsheCiphertext, b: &AsheCiphertext) -> AsheCiphertext {
         AsheCiphertext {
@@ -171,14 +247,28 @@ impl AsheScheme {
 
     /// Decrypts a ciphertext, re-deriving one pair of PRF masks per run of
     /// contiguous identifiers (§3.2's telescoping optimisation).
+    ///
+    /// For an explicit modulus the boundary masks are accumulated at full
+    /// width in stack-allocated [`FixedUint`] sums — no per-term `u128`
+    /// reduction, no heap traffic — and reduced once at the end; the group
+    /// is commutative so the result matches the term-by-term reference.
     pub fn decrypt(&self, c: &AsheCiphertext) -> u64 {
-        let mut acc = c.value;
-        for (end, before_start) in c.ids.boundary_pairs() {
-            let mask_end = self.mask(end);
-            let mask_before = self.mask(before_start);
-            acc = self.add_group(acc, self.sub_group(mask_end, mask_before));
+        if self.modulus == 0 {
+            let mut acc = c.value;
+            for (end, before_start) in c.ids.boundary_pairs() {
+                acc = acc.wrapping_add(self.mask(end)).wrapping_sub(self.mask(before_start));
+            }
+            acc
+        } else {
+            let mut added = FixedUint::<2>::ZERO;
+            let mut subtracted = FixedUint::<2>::ZERO;
+            for (end, before_start) in c.ids.boundary_pairs() {
+                added.add_assign_u64(self.mask(end));
+                subtracted.add_assign_u64(self.mask(before_start));
+            }
+            let delta = self.sub_group(added.rem_u64(self.modulus), subtracted.rem_u64(self.modulus));
+            self.add_group(c.value, delta)
         }
-        acc
     }
 
     /// Number of PRF evaluations [`AsheScheme::decrypt`] will perform for this
@@ -324,6 +414,65 @@ mod tests {
         assert_eq!(s.decrypt(&c), 12345);
         let sum = s.sum(&[s.encrypt(1, 0), s.encrypt(2, 1), s.encrypt(3, 2)]);
         assert_eq!(s.decrypt(&sum), 6);
+    }
+
+    #[test]
+    fn mask_run_matches_scalar_mask() {
+        let schemes = [
+            scheme(),
+            AsheScheme::with_options(&[5u8; 16], PrfKind::Aes, 1_000_003),
+            AsheScheme::with_options(&[5u8; 16], PrfKind::Hash, 0),
+            AsheScheme::with_options(&[5u8; 16], PrfKind::Hash, 97),
+        ];
+        for s in &schemes {
+            for (start, len) in [
+                (0u64, 0usize),
+                (0, 1),
+                (1, 2),
+                (6, 7),
+                (3, 64),
+                (10, 129),
+                (u64::MAX - 5, 9),
+            ] {
+                let mut run = vec![0u64; len];
+                s.mask_run(start, &mut run);
+                for (i, got) in run.iter().enumerate() {
+                    assert_eq!(*got, s.mask(start.wrapping_add(i as u64)), "start={start} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encrypt_run_matches_scalar_encrypt() {
+        let schemes = [
+            scheme(),
+            AsheScheme::with_options(&[5u8; 16], PrfKind::Aes, 1_000_003),
+            AsheScheme::with_options(&[5u8; 16], PrfKind::Hash, 0),
+        ];
+        for s in &schemes {
+            // first_id = 0 exercises the wrap-around predecessor u64::MAX;
+            // first_id near u64::MAX exercises identifier wrap mid-run.
+            for first_id in [0u64, 1, 7, 1 << 40, u64::MAX - 3] {
+                let values: Vec<u64> = (0..70u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+                for len in [0usize, 1, 2, 70] {
+                    let batch = s.encrypt_run(&values[..len], first_id);
+                    assert_eq!(batch.len(), len);
+                    for (i, c) in batch.iter().enumerate() {
+                        let reference = s.encrypt(values[i], first_id.wrapping_add(i as u64));
+                        assert_eq!(*c, reference, "first_id={first_id} i={i}");
+                        assert_eq!(
+                            s.decrypt(c),
+                            if s.modulus() == 0 {
+                                values[i]
+                            } else {
+                                values[i] % s.modulus()
+                            }
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,218 +7,156 @@
 //! cargo run -p seabed-bench --release --bin harness -- --json-dir=out fig6
 //! ```
 //!
-//! Besides the human-readable tables, every experiment is written as
-//! machine-readable `BENCH_<name>.json` (default directory `bench_results/`)
-//! so successive runs have a perf trajectory to diff against.
+//! The binary is a thin shell: it parses flags, registers every experiment
+//! with the [`ExperimentRunner`] matrix, and prints what the runner reports.
+//! Measurement lives in the `exp_*` functions, rendering and the
+//! machine-readable `BENCH_<name>.json` artifacts (default directory
+//! `bench_results/`) in `seabed_bench::metrics`.
 
 use seabed_bench::*;
-use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let json_dir: PathBuf = args
+    let json_dir = args
         .iter()
         .find_map(|a| a.strip_prefix("--json-dir="))
         .unwrap_or("bench_results")
-        .into();
+        .to_string();
     let scale = if smoke { Scale::smoke() } else { Scale::default() };
-    // "fig8" runs both halves; the emitted JSON names "fig8ab"/"fig8c" are
-    // also accepted so a file name seen in bench_results/ can be replayed.
-    const EXPERIMENTS: [&str; 20] = [
-        "table1",
-        "table2",
-        "table3",
-        "table4",
-        "table5",
-        "table6",
-        "fig6",
-        "fig7",
-        "fig8",
-        "fig8ab",
-        "fig8c",
-        "fig9a",
-        "fig9bc",
-        "fig10a",
-        "fig10b",
-        "scan_throughput",
-        "groupby_card",
-        "net_qps",
-        "prepared_qps",
-        "scaleout",
-    ];
     let mut requested: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if requested.is_empty() {
         requested.push("all".to_string());
     }
-    let unknown: Vec<&String> = requested
-        .iter()
-        .filter(|r| *r != "all" && !EXPERIMENTS.contains(&r.as_str()))
-        .collect();
+
+    let mut runner = ExperimentRunner::new(ExperimentConfig::new(scale).json_dir(json_dir));
+    runner.register(
+        "table1",
+        "Table 1: cost of cryptographic operations (ns/op)",
+        exp_table1,
+    );
+    runner.register("table2", "Table 2: query translation examples", |_| {
+        exp_table2()
+            .into_iter()
+            .map(|(sql, plan)| Row::new(format!("{sql} => {plan}")))
+            .collect()
+    });
+    runner.register("table3", "Table 3: ID-list encodings of [2..14, 19..23]", |_| {
+        exp_table3()
+    });
+    runner.register("table4", "Table 4: query support categories", exp_table4);
+    runner.register("table5", "Table 5: dataset sizes (scaled)", exp_table5);
+    runner.register("table6", "Table 6: MDX function support matrix", |_| {
+        exp_table6()
+            .into_iter()
+            .map(|(name, how, category)| Row::new(format!("{name} [{category}] {how}")))
+            .collect()
+    });
+    runner.register("fig6", "Figure 6: end-to-end latency vs rows", |scale| {
+        latency_rows(&exp_fig6(scale), false)
+    });
+    runner.register("fig7", "Figure 7: server latency vs workers", |scale| {
+        latency_rows(&exp_fig7(scale), true)
+    });
+    // "fig8" runs both halves; the emitted JSON names "fig8ab"/"fig8c" are
+    // also accepted so a file name seen in bench_results/ can be replayed.
+    runner.register_aliased(
+        "fig8ab",
+        &["fig8"],
+        "Figure 8(a,b): ID-list size and response time vs selectivity",
+        |scale| {
+            exp_fig8ab(scale)
+                .into_iter()
+                .map(|p| {
+                    Row::new(format!("{} sel={:.0}%", p.config, p.selectivity * 100.0))
+                        .with("result_mb", p.result_bytes as f64 / 1e6)
+                        .with("response_s", p.response.as_secs_f64())
+                })
+                .collect()
+        },
+    );
+    runner.register_aliased("fig8c", &["fig8"], "Figure 8(c): OPE selection overhead", |scale| {
+        exp_fig8c(scale)
+            .into_iter()
+            .map(|p| {
+                Row::new(format!("{} sel={:.0}%", p.config, p.selectivity * 100.0))
+                    .with("response_s", p.response.as_secs_f64())
+            })
+            .collect()
+    });
+    runner.register("fig9a", "Figure 9(a): group-by microbenchmark", |scale| {
+        exp_fig9a(scale)
+            .into_iter()
+            .map(|p| Row::new(format!("{} groups={}", p.system, p.groups)).with("response_s", p.response.as_secs_f64()))
+            .collect()
+    });
+    runner.register("fig9bc", "Figure 9(b,c): Big Data Benchmark", |scale| {
+        exp_fig9bc(scale)
+            .into_iter()
+            .map(|p| Row::new(format!("{} {}", p.query, p.system)).with("response_s", p.response.as_secs_f64()))
+            .collect()
+    });
+    runner.register("fig10a", "Figure 10(a): Ad-Analytics response times", |scale| {
+        exp_fig10a(scale)
+            .into_iter()
+            .map(|p| Row::new(format!("{} groups={}", p.system, p.groups)).with("response_s", p.response.as_secs_f64()))
+            .collect()
+    });
+    runner.register(
+        "fig10b",
+        "Figure 10(b): SPLASHE storage overhead (cumulative x)",
+        exp_fig10b,
+    );
+    runner.register(
+        "scan_throughput",
+        "Scan throughput vs selectivity: scalar vs vectorized single-filter SUM",
+        exp_scan_throughput,
+    );
+    runner.register(
+        "groupby_card",
+        "Group-by cardinality sweep: scalar vs vectorized",
+        exp_groupby_cardinality,
+    );
+    runner.register(
+        "net_qps",
+        "Service layer: QPS and latency vs concurrent TCP clients",
+        exp_net_qps,
+    );
+    runner.register(
+        "prepared_qps",
+        "Prepared statements: prepared-execute vs one-shot QPS over the TCP service",
+        exp_prepared_qps,
+    );
+    runner.register(
+        "crypto_throughput",
+        "Crypto hot path: batched vs scalar kernels; warm partial cache vs cold scatter",
+        exp_crypto_throughput,
+    );
+    runner.register(
+        "scaleout",
+        "Scale-out: distributed workers, measured vs Cluster::simulate-predicted",
+        exp_scaleout,
+    );
+
+    let unknown = runner.unknown(&requested);
     if !unknown.is_empty() {
         eprintln!(
             "unknown experiment(s): {unknown:?}\nvalid names: all {}",
-            EXPERIMENTS.join(" ")
+            runner.names().join(" ")
         );
         std::process::exit(2);
     }
-    let want = |name: &str| requested.iter().any(|r| r == name || r == "all");
 
     println!(
         "Seabed experiment harness (scale: 1/{} of paper row counts)\n",
         scale.row_divisor
     );
-
-    // Prints the aligned table and writes BENCH_<name>.json alongside.
-    let emit = |name: &str, title: &str, rows: &[Row]| {
-        println!("{}", format_rows(title, rows));
-        match write_bench_json(&json_dir, name, &scale, rows) {
-            Ok(path) => println!("  -> wrote {}\n", path.display()),
-            Err(err) => eprintln!("  !! could not write {name} json: {err}\n"),
+    for report in runner.run(&requested) {
+        println!("{}", report.rendered);
+        match (&report.json_path, &report.json_error) {
+            (Some(path), _) => println!("  -> wrote {}\n", path.display()),
+            (None, Some(err)) => eprintln!("  !! could not write {} json: {err}\n", report.name),
+            (None, None) => {}
         }
-    };
-
-    if want("table1") {
-        emit(
-            "table1",
-            "Table 1: cost of cryptographic operations (ns/op)",
-            &exp_table1(&scale),
-        );
-    }
-    if want("table2") {
-        println!("## Table 2: query translation examples");
-        let mut rows = Vec::new();
-        for (sql, plan) in exp_table2() {
-            println!("  SQL   : {sql}");
-            println!("  Seabed: {plan}");
-            rows.push(Row::new(format!("{sql} => {plan}")));
-        }
-        println!();
-        if let Ok(path) = write_bench_json(&json_dir, "table2", &scale, &rows) {
-            println!("  -> wrote {}\n", path.display());
-        }
-    }
-    if want("table3") {
-        emit("table3", "Table 3: ID-list encodings of [2..14, 19..23]", &exp_table3());
-    }
-    if want("table4") {
-        emit("table4", "Table 4: query support categories", &exp_table4(&scale));
-    }
-    if want("table5") {
-        emit("table5", "Table 5: dataset sizes (scaled)", &exp_table5(&scale));
-    }
-    if want("table6") {
-        println!("## Table 6: MDX function support matrix");
-        let mut rows = Vec::new();
-        for (name, how, category) in exp_table6() {
-            println!("  {name:<24} {category:<22} {how}");
-            rows.push(Row::new(format!("{name} [{category}] {how}")));
-        }
-        println!();
-        if let Ok(path) = write_bench_json(&json_dir, "table6", &scale, &rows) {
-            println!("  -> wrote {}\n", path.display());
-        }
-    }
-    if want("fig6") {
-        emit(
-            "fig6",
-            "Figure 6: end-to-end latency vs rows",
-            &latency_rows(&exp_fig6(&scale), false),
-        );
-    }
-    if want("fig7") {
-        emit(
-            "fig7",
-            "Figure 7: server latency vs workers",
-            &latency_rows(&exp_fig7(&scale), true),
-        );
-    }
-    if want("fig8") || want("fig8ab") {
-        let rows: Vec<Row> = exp_fig8ab(&scale)
-            .into_iter()
-            .map(|p| {
-                Row::new(format!("{} sel={:.0}%", p.config, p.selectivity * 100.0))
-                    .with("result_mb", p.result_bytes as f64 / 1e6)
-                    .with("response_s", p.response.as_secs_f64())
-            })
-            .collect();
-        emit(
-            "fig8ab",
-            "Figure 8(a,b): ID-list size and response time vs selectivity",
-            &rows,
-        );
-    }
-    if want("fig8") || want("fig8c") {
-        let rows: Vec<Row> = exp_fig8c(&scale)
-            .into_iter()
-            .map(|p| {
-                Row::new(format!("{} sel={:.0}%", p.config, p.selectivity * 100.0))
-                    .with("response_s", p.response.as_secs_f64())
-            })
-            .collect();
-        emit("fig8c", "Figure 8(c): OPE selection overhead", &rows);
-    }
-    if want("fig9a") {
-        let rows: Vec<Row> = exp_fig9a(&scale)
-            .into_iter()
-            .map(|p| Row::new(format!("{} groups={}", p.system, p.groups)).with("response_s", p.response.as_secs_f64()))
-            .collect();
-        emit("fig9a", "Figure 9(a): group-by microbenchmark", &rows);
-    }
-    if want("fig9bc") {
-        let rows: Vec<Row> = exp_fig9bc(&scale)
-            .into_iter()
-            .map(|p| Row::new(format!("{} {}", p.query, p.system)).with("response_s", p.response.as_secs_f64()))
-            .collect();
-        emit("fig9bc", "Figure 9(b,c): Big Data Benchmark", &rows);
-    }
-    if want("fig10a") {
-        let rows: Vec<Row> = exp_fig10a(&scale)
-            .into_iter()
-            .map(|p| Row::new(format!("{} groups={}", p.system, p.groups)).with("response_s", p.response.as_secs_f64()))
-            .collect();
-        emit("fig10a", "Figure 10(a): Ad-Analytics response times", &rows);
-    }
-    if want("fig10b") {
-        emit(
-            "fig10b",
-            "Figure 10(b): SPLASHE storage overhead (cumulative x)",
-            &exp_fig10b(&scale),
-        );
-    }
-    if want("scan_throughput") {
-        emit(
-            "scan_throughput",
-            "Scan throughput vs selectivity: scalar vs vectorized single-filter SUM",
-            &exp_scan_throughput(&scale),
-        );
-    }
-    if want("groupby_card") {
-        emit(
-            "groupby_card",
-            "Group-by cardinality sweep: scalar vs vectorized",
-            &exp_groupby_cardinality(&scale),
-        );
-    }
-    if want("net_qps") {
-        emit(
-            "net_qps",
-            "Service layer: QPS and latency vs concurrent TCP clients",
-            &exp_net_qps(&scale),
-        );
-    }
-    if want("prepared_qps") {
-        emit(
-            "prepared_qps",
-            "Prepared statements: prepared-execute vs one-shot QPS over the TCP service",
-            &exp_prepared_qps(&scale),
-        );
-    }
-    if want("scaleout") {
-        emit(
-            "scaleout",
-            "Scale-out: distributed workers, measured vs Cluster::simulate-predicted",
-            &exp_scaleout(&scale),
-        );
     }
 }

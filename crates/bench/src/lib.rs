@@ -15,6 +15,12 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
+pub mod runner;
+
+pub use metrics::{format_rows, rows_to_json, write_bench_json, Row};
+pub use runner::{ExperimentConfig, ExperimentReport, ExperimentRunner};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use seabed_ashe::{AsheScheme, IdSet};
@@ -83,125 +89,6 @@ impl Scale {
     fn rng(&self) -> StdRng {
         StdRng::seed_from_u64(self.seed)
     }
-}
-
-/// A generic result row: a label plus named numeric fields, printable as a
-/// table row by the harness.
-#[derive(Clone, Debug)]
-pub struct Row {
-    /// Row label (e.g. "ASHE encryption", "sel=50%", "Q2A").
-    pub label: String,
-    /// Named values in presentation order.
-    pub values: Vec<(String, f64)>,
-}
-
-impl Row {
-    /// Creates a row.
-    pub fn new(label: impl Into<String>) -> Row {
-        Row {
-            label: label.into(),
-            values: Vec::new(),
-        }
-    }
-
-    /// Adds a named value.
-    pub fn with(mut self, name: &str, value: f64) -> Row {
-        self.values.push((name.to_string(), value));
-        self
-    }
-}
-
-/// Formats rows as an aligned text table.
-pub fn format_rows(title: &str, rows: &[Row]) -> String {
-    let mut out = format!("## {title}\n");
-    for row in rows {
-        out.push_str(&format!("{:<32}", row.label));
-        for (name, value) in &row.values {
-            if value.abs() >= 1000.0 || (*value != 0.0 && value.abs() < 0.01) {
-                out.push_str(&format!("  {name}={value:.3e}"));
-            } else {
-                out.push_str(&format!("  {name}={value:.3}"));
-            }
-        }
-        out.push('\n');
-    }
-    out
-}
-
-/// Escapes a string for embedding in a JSON document.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Formats an `f64` as a JSON number (`null` for non-finite values).
-fn json_number(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-/// Serializes experiment rows as a machine-readable JSON document:
-///
-/// ```json
-/// {
-///   "experiment": "fig6",
-///   "scale": {"row_divisor": 1000, "partitions": 64, ...},
-///   "rows": [{"label": "...", "values": {"response_s": 1.25}}]
-/// }
-/// ```
-pub fn rows_to_json(experiment: &str, scale: &Scale, rows: &[Row]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"experiment\": \"{}\",\n", json_escape(experiment)));
-    out.push_str(&format!(
-        "  \"scale\": {{\"row_divisor\": {}, \"paillier_row_cap\": {}, \"paillier_bits\": {}, \"partitions\": {}, \"seed\": {}}},\n",
-        scale.row_divisor, scale.paillier_row_cap, scale.paillier_bits, scale.partitions, scale.seed
-    ));
-    out.push_str("  \"rows\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"values\": {{",
-            json_escape(&row.label)
-        ));
-        for (j, (name, value)) in row.values.iter().enumerate() {
-            if j > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!("\"{}\": {}", json_escape(name), json_number(*value)));
-        }
-        out.push_str("}}");
-        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
-/// Writes one experiment's rows to `<dir>/BENCH_<experiment>.json` so future
-/// runs have a perf trajectory to diff against. Returns the file path.
-pub fn write_bench_json(
-    dir: &std::path::Path,
-    experiment: &str,
-    scale: &Scale,
-    rows: &[Row],
-) -> std::io::Result<std::path::PathBuf> {
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("BENCH_{experiment}.json"));
-    std::fs::write(&path, rows_to_json(experiment, scale, rows))?;
-    Ok(path)
 }
 
 fn time_per_op<F: FnMut()>(iterations: u64, mut f: F) -> f64 {
@@ -1852,6 +1739,186 @@ pub fn exp_scaleout(scale: &Scale) -> Vec<Row> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Crypto hot path: batched kernels and the warm partial cache
+// ---------------------------------------------------------------------------
+
+/// Batched-vs-scalar throughput of the crypto hot-path kernels, and
+/// warm-vs-cold throughput of repeated prepared executes through the dist
+/// coordinator's statement-keyed partial cache.
+///
+/// Kernel rows pit each batched kernel against its pinned scalar reference
+/// (the differential tests guarantee identical outputs; this experiment
+/// reports the price difference):
+///
+/// * `ashe_encrypt` — [`seabed_ashe::encrypt_column`]'s amortised keystream
+///   expansion vs the per-row scalar path;
+/// * `prf_eval` — `AesPrf::eval_run`'s chunked multi-block AES dispatches vs
+///   per-id `eval`;
+/// * `ore_encrypt` — the one-dispatch 64-block ORE encryption vs the per-bit
+///   scalar reference.
+///
+/// The cache rows measure a repeated prepared execute — same statement, same
+/// bound literal, the dashboard access pattern — through a real two-worker
+/// coordinator, stopping at the encrypted response (decryption is identical
+/// in both modes and costed by the kernel rows). `cold scatter` disables the
+/// partial cache (capacity 0: every execute re-scatters and every worker
+/// re-scans); `warm cache` runs the default cache, answering every shard at
+/// the coordinator after the first execute. The `speedup` row's `warm_x`
+/// acceptance bar is ≥ 3.
+pub fn exp_crypto_throughput(scale: &Scale) -> Vec<Row> {
+    use seabed_ashe::{encrypt_column, encrypt_column_scalar};
+    use seabed_core::SeabedSession;
+    use seabed_crypto::{AesPrf, OreScheme, Prf};
+    use seabed_dist::{DistConfig, DistCoordinator};
+    use seabed_net::ServiceConfig;
+    use seabed_query::Literal;
+
+    let mut out = Vec::new();
+
+    // --- batched kernels vs their scalar references ------------------------
+    // Throughput of `f` in operations/second: one warm-up pass, then the
+    // best of three timed passes (the minimum is the least-noisy estimator
+    // on a busy host).
+    let ops_per_sec = |ops: usize, f: &mut dyn FnMut()| -> f64 {
+        f();
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let started = Instant::now();
+            f();
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        ops as f64 / best.max(1e-12)
+    };
+    let kernel_row = |label: &str, ops: usize, batched: &mut dyn FnMut(), scalar: &mut dyn FnMut()| -> Row {
+        let batched = ops_per_sec(ops, batched);
+        let scalar = ops_per_sec(ops, scalar);
+        Row::new(label)
+            .with("batched_mops", batched / 1e6)
+            .with("scalar_mops", scalar / 1e6)
+            .with("batch_x", batched / scalar.max(1e-9))
+    };
+
+    let n = if scale.row_divisor > 1_000 { 8_192 } else { 65_536 };
+    let key = [0x5eu8; 16];
+    let values: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+
+    let ashe = AsheScheme::new(&key);
+    out.push(kernel_row(
+        "ashe_encrypt",
+        n,
+        &mut || {
+            std::hint::black_box(encrypt_column(&ashe, &values, 1));
+        },
+        &mut || {
+            std::hint::black_box(encrypt_column_scalar(&ashe, &values, 1));
+        },
+    ));
+
+    let prf = AesPrf::new(&key);
+    let batched_out = std::cell::RefCell::new(vec![0u64; n]);
+    let scalar_out = std::cell::RefCell::new(vec![0u64; n]);
+    out.push(kernel_row(
+        "prf_eval",
+        n,
+        &mut || {
+            let mut run_out = batched_out.borrow_mut();
+            prf.eval_run(1, 0, &mut run_out);
+            std::hint::black_box(&*run_out);
+        },
+        &mut || {
+            let mut run_out = scalar_out.borrow_mut();
+            for (i, slot) in run_out.iter_mut().enumerate() {
+                *slot = prf.eval(1 + i as u64, 0);
+            }
+            std::hint::black_box(&*run_out);
+        },
+    ));
+
+    // ORE encrypts 64 AES blocks per value; fewer values keep the pass short.
+    let ore = OreScheme::new(&key);
+    let n_ore = n / 16;
+    out.push(kernel_row(
+        "ore_encrypt",
+        n_ore,
+        &mut || {
+            for m in 0..n_ore as u64 {
+                std::hint::black_box(ore.encrypt(m.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            }
+        },
+        &mut || {
+            for m in 0..n_ore as u64 {
+                std::hint::black_box(ore.encrypt_scalar(m.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            }
+        },
+    ));
+
+    // --- warm partial cache vs cold scatter/gather -------------------------
+    let rows = scale.rows(400).min(400_000); // 400 k at the default scale
+    let mut rng = scale.rng();
+    let dataset = PlainDataset::new("hot")
+        .with_text_column("tag", (0..rows).map(|i| format!("v{}", i % 16)).collect())
+        .with_uint_column("m", (0..rows).map(|_| rng.random_range(0..100_000u64)).collect());
+    let specs = vec![ColumnSpec::sensitive("tag"), ColumnSpec::sensitive("m")];
+    let samples = vec![parse("SELECT SUM(m) FROM hot WHERE tag = 'v3'").expect("sample")];
+    let mut client = SeabedClient::create_plan(b"crypto-throughput", &specs, &samples, &PlannerConfig::default());
+    let encrypted = client.encrypt_dataset(&dataset, 8, &mut rng);
+
+    let window = Duration::from_millis(300);
+    let params = vec![Literal::Text("v3".to_string())];
+    // One coordinator per mode, torn down in between: a worker only hosts
+    // one coordinator generation at a time (a new epoch handshake evicts the
+    // previous coordinator's shards).
+    let mut run_mode = |label: &str, config: DistConfig| -> f64 {
+        let services: Vec<_> = (0..2)
+            .map(|_| {
+                seabed_dist::spawn_worker("127.0.0.1:0", ServiceConfig::default().worker_threads(2))
+                    .expect("cache bench worker must start")
+            })
+            .collect();
+        let addrs: Vec<_> = services.iter().map(|s| s.local_addr()).collect();
+        let coordinator =
+            DistCoordinator::connect(&addrs, encrypted.table.clone(), config).expect("cache bench coordinator");
+        let session = SeabedSession::single("hot", client.clone(), &coordinator);
+        let prepared = session
+            .prepare("SELECT SUM(m) FROM hot WHERE tag = ?")
+            .expect("prepare");
+        // Decrypt the warm-up once to force the full pipeline; the measured
+        // loop stops at the encrypted response so the two modes compare the
+        // scatter/gather path the cache actually changes — client-side
+        // decryption is byte-identical in both modes (pinned by
+        // `tests/dist_cache_equivalence.rs`) and costed by the kernel rows.
+        session.execute(&prepared, &params).expect("warm-up");
+        let (_, expected) = session.execute_encrypted(&prepared, &params).expect("warm-up");
+        let started = Instant::now();
+        let mut executes = 0u64;
+        while started.elapsed() < window {
+            let (_, response) = session.execute_encrypted(&prepared, &params).expect("prepared execute");
+            debug_assert_eq!(response.groups, expected.groups);
+            executes += 1;
+        }
+        let qps = executes as f64 / started.elapsed().as_secs_f64().max(1e-9);
+        let stats = coordinator.cache_stats();
+        out.push(
+            Row::new(label)
+                .with("qps", qps)
+                .with("rows", rows as f64)
+                .with("cache_hits", stats.hits as f64)
+                .with("cache_misses", stats.misses as f64),
+        );
+        drop(session);
+        drop(coordinator);
+        for service in services {
+            service.shutdown();
+        }
+        qps
+    };
+    let cold_qps = run_mode("cold scatter", DistConfig::default().partial_cache_capacity(0));
+    let warm_qps = run_mode("warm cache", DistConfig::default());
+    out.push(Row::new("speedup").with("warm_x", warm_qps / cold_qps.max(1e-9)));
+    out
+}
+
 /// Helper converting latency points into printable rows.
 pub fn latency_rows(points: &[LatencyPoint], by_workers: bool) -> Vec<Row> {
     points
@@ -1973,6 +2040,29 @@ mod tests {
         // emits 5 × (scalar + vectorized + speedup).
         assert_eq!(rows.len(), 15);
         assert!(rows.iter().any(|r| r.label.starts_with("speedup groups=")));
+    }
+
+    #[test]
+    fn crypto_throughput_reports_kernels_and_cache_modes() {
+        let rows = exp_crypto_throughput(&tiny_scale());
+        let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+        for kernel in ["ashe_encrypt", "prf_eval", "ore_encrypt"] {
+            let row = rows.iter().find(|r| r.label == kernel).expect(kernel);
+            let x = row.value("batch_x").expect("batch_x");
+            assert!(x.is_finite() && x > 0.0, "{kernel}: {x}");
+        }
+        assert!(
+            labels.contains(&"cold scatter") && labels.contains(&"warm cache"),
+            "{labels:?}"
+        );
+        let warm = rows.iter().find(|r| r.label == "warm cache").unwrap();
+        assert!(
+            warm.value("cache_hits").unwrap() > 0.0,
+            "warm mode must answer shards from the cache"
+        );
+        let speedup = rows.iter().find(|r| r.label == "speedup").unwrap();
+        let x = speedup.value("warm_x").unwrap();
+        assert!(x.is_finite() && x > 0.0, "warm_x: {x}");
     }
 
     #[test]

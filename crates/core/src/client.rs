@@ -93,6 +93,45 @@ pub struct QueryResult {
     pub client_prf_evals: usize,
 }
 
+/// Pre-instantiated per-column filter-encryption schemes for one statement.
+///
+/// Constructing a [`DetScheme`] or [`OreScheme`] pays an AES key schedule
+/// (DET also splits an HMAC key); on the prepared hot path that cost used to
+/// be paid once per execute per bound literal. A `FilterEncryptor` is built
+/// once — by [`SeabedClient::filter_encryptor`] at statement-prepare time —
+/// and shared by every subsequent execute, so binding K literals performs
+/// zero key schedules. The schemes are deterministic per key, making
+/// encryptor-based and from-scratch encryption byte-identical.
+#[derive(Clone, Default)]
+pub struct FilterEncryptor {
+    /// DET schemes keyed by *physical* column name (e.g. `dept__det`).
+    det: HashMap<String, DetScheme>,
+    /// ORE schemes keyed by physical column name (e.g. `ts__ope`).
+    ore: HashMap<String, OreScheme>,
+}
+
+impl FilterEncryptor {
+    /// Number of cached per-column schemes (DET + ORE).
+    pub fn len(&self) -> usize {
+        self.det.len() + self.ore.len()
+    }
+
+    /// True when no scheme is cached (every filter falls back to a fresh
+    /// key schedule).
+    pub fn is_empty(&self) -> bool {
+        self.det.is_empty() && self.ore.is_empty()
+    }
+}
+
+impl std::fmt::Debug for FilterEncryptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilterEncryptor")
+            .field("det_columns", &self.det.keys().collect::<Vec<_>>())
+            .field("ore_columns", &self.ore.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
 /// The Seabed client proxy.
 ///
 /// `Clone` is cheap relative to the data it manages (keys, plan, DET
@@ -216,22 +255,79 @@ impl SeabedClient {
     /// Every filter column is resolved against `schema` and type-checked
     /// *here*, at the proxy — a mismatch is a typed [`SeabedError::Schema`]
     /// at bind time, never a server-side execution failure.
+    ///
+    /// One [`FilterEncryptor`] is built for the whole call, so repeated
+    /// filters on the same column share a single key schedule.
     pub fn encrypt_filters(
         &self,
         schema: &Schema,
         translated: &TranslatedQuery,
     ) -> Result<Vec<PhysicalFilter>, SeabedError> {
+        let encryptor = self.filter_encryptor(translated);
         translated
             .filters
             .iter()
-            .map(|filter| self.encrypt_filter(schema, filter))
+            .map(|filter| self.encrypt_filter_with(&encryptor, schema, filter))
             .collect()
+    }
+
+    /// Builds the per-statement [`FilterEncryptor`]: one DET/ORE scheme
+    /// instance per distinct filter column of `translated`, each paying its
+    /// AES key schedule exactly once. Placeholder positions carry their
+    /// column name even before binding, so the encryptor built at prepare
+    /// time covers every literal a later bind can produce.
+    pub fn filter_encryptor(&self, translated: &TranslatedQuery) -> FilterEncryptor {
+        let mut encryptor = FilterEncryptor::default();
+        for filter in &translated.filters {
+            match filter {
+                ServerFilter::Plain(_) => {}
+                ServerFilter::DetEquals { column, .. } => {
+                    encryptor
+                        .det
+                        .entry(column.clone())
+                        .or_insert_with(|| self.det_scheme_for(column));
+                }
+                ServerFilter::OpeCompare { column, .. } => {
+                    encryptor
+                        .ore
+                        .entry(column.clone())
+                        .or_insert_with(|| self.ore_scheme_for(column));
+                }
+            }
+        }
+        encryptor
+    }
+
+    fn det_scheme_for(&self, column: &str) -> DetScheme {
+        let logical = column.strip_suffix("__det").unwrap_or(column);
+        DetScheme::new(&self.keys.det_key(logical))
+    }
+
+    fn ore_scheme_for(&self, column: &str) -> OreScheme {
+        let logical = column.strip_suffix("__ope").unwrap_or(column);
+        OreScheme::new(&self.keys.ope_key(logical))
     }
 
     /// Encrypts one fully-bound server filter into its physical form — the
     /// unit the session uses to re-encrypt *only* the placeholder positions
-    /// of a partially-bound statement per execution.
+    /// of a partially-bound statement per execution. Builds the column's
+    /// scheme from scratch; the hot path goes through
+    /// [`SeabedClient::encrypt_filter_with`] and a prepare-time
+    /// [`FilterEncryptor`] instead, with identical output.
     pub fn encrypt_filter(&self, schema: &Schema, filter: &ServerFilter) -> Result<PhysicalFilter, SeabedError> {
+        self.encrypt_filter_with(&FilterEncryptor::default(), schema, filter)
+    }
+
+    /// Encrypts one fully-bound server filter using `encryptor`'s cached
+    /// per-column schemes, falling back to a freshly-built scheme for a
+    /// column the encryptor does not cover (the schemes are deterministic
+    /// per key, so the output is identical either way).
+    pub fn encrypt_filter_with(
+        &self,
+        encryptor: &FilterEncryptor,
+        schema: &Schema,
+        filter: &ServerFilter,
+    ) -> Result<PhysicalFilter, SeabedError> {
         // One shared rule set (`filter_column_expectation`) decides which
         // physical type each filter reads, so prepare-time validation and
         // bind-time encryption cannot diverge.
@@ -255,20 +351,21 @@ impl SeabedClient {
                 }
             },
             ServerFilter::DetEquals { column, value } => {
-                let logical = column.strip_suffix("__det").unwrap_or(column);
-                let det = DetScheme::new(&self.keys.det_key(logical));
-                PhysicalFilter::DetTag {
-                    column: idx,
-                    tag: det.tag64_of(value.as_bytes()),
-                }
+                let tag = match encryptor.det.get(column) {
+                    Some(det) => det.tag64_of(value.as_bytes()),
+                    None => self.det_scheme_for(column).tag64_of(value.as_bytes()),
+                };
+                PhysicalFilter::DetTag { column: idx, tag }
             }
             ServerFilter::OpeCompare { column, op, value } => {
-                let logical = column.strip_suffix("__ope").unwrap_or(column);
-                let ore = OreScheme::new(&self.keys.ope_key(logical));
+                let ciphertext = match encryptor.ore.get(column) {
+                    Some(ore) => ore.encrypt(*value),
+                    None => self.ore_scheme_for(column).encrypt(*value),
+                };
                 PhysicalFilter::Ope {
                     column: idx,
                     op: *op,
-                    ciphertext: ore.encrypt(*value),
+                    ciphertext,
                 }
             }
         })

@@ -55,7 +55,7 @@ pub mod server;
 pub mod session;
 
 pub use baseline::{row_selected, BaselineResult, NoEncSystem, PaillierSystem};
-pub use client::{QueryResult, QueryTimings, ResultValue, SeabedClient};
+pub use client::{FilterEncryptor, QueryResult, QueryTimings, ResultValue, SeabedClient};
 pub use dataset::{PlainColumn, PlainDataset};
 pub use encrypt::{encrypt_dataset, physical_ashe_keys, EncryptedTable};
 pub use keys::KeyStore;
@@ -63,4 +63,4 @@ pub use server::{
     finalize_partials, EncryptedAggregate, GroupResult, PartialResponse, PhysicalFilter, QueryTarget, SeabedServer,
     ServerResponse,
 };
-pub use session::{fnv1a64, Catalog, PreparedQuery, SeabedSession, SessionStats};
+pub use session::{fnv1a64, validate_against_schema, Catalog, PreparedQuery, SeabedSession, SessionStats};

@@ -31,11 +31,11 @@
 //! filter encryption is deterministic — `tests/prepared_equivalence.rs` pins
 //! this across all three execution targets.
 
-use crate::client::{QueryResult, SeabedClient};
+use crate::client::{FilterEncryptor, QueryResult, SeabedClient};
 use crate::server::{PhysicalFilter, QueryTarget, ServerResponse};
 use seabed_engine::{ColumnType, Schema};
 use seabed_error::{SchemaError, SeabedError};
-use seabed_query::{parse, translate, Literal, Query, TranslatedQuery};
+use seabed_query::{parse, translate, Literal, Query, ServerFilter, TranslatedQuery};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -116,7 +116,20 @@ pub struct PreparedQuery {
     query: Query,
     translated: TranslatedQuery,
     filters: PreparedFilters,
+    /// Per-column DET/ORE schemes instantiated at prepare time, so an
+    /// execute binding K literals performs zero AES key schedules.
+    encryptor: Arc<FilterEncryptor>,
+    /// Bound-literal ciphertext memo, one slot per placeholder position.
+    /// DET tags and ORE ciphertexts are deterministic per key, so re-binding
+    /// a literal this statement has seen before reuses the ciphertext byte
+    /// for byte instead of re-paying its AES work — the common shape of a
+    /// hot prepared statement is a small set of recurring bindings.
+    bind_memo: Mutex<HashMap<usize, Vec<(ServerFilter, PhysicalFilter)>>>,
 }
+
+/// Distinct bindings remembered per placeholder slot; a slot that sees more
+/// evicts its oldest entry (recurring literals re-enter on next use).
+const BIND_MEMO_PER_SLOT: usize = 32;
 
 /// The physical filters of a prepared statement, encrypted as far as prepare
 /// time allows: every literal that is inline in the SQL is encrypted exactly
@@ -127,8 +140,8 @@ enum PreparedFilters {
     /// (zero per-execute allocation or crypto).
     Fixed(Vec<PhysicalFilter>),
     /// Placeholders present: `Some` at inline-literal positions (encrypted
-    /// at prepare), `None` at placeholder positions (encrypted per execute
-    /// from the bound literal).
+    /// at prepare), `None` at placeholder positions (encrypted from the
+    /// bound literal on first use, then served from the bind memo).
     Template(Vec<Option<PhysicalFilter>>),
 }
 
@@ -136,6 +149,27 @@ impl PreparedQuery {
     /// The catalog table this statement reads.
     pub fn table(&self) -> &str {
         &self.table
+    }
+
+    /// Returns the memoized ciphertext for `filter` at placeholder slot
+    /// `slot`, if this statement has encrypted that binding before.
+    fn memoized_bound_filter(&self, slot: usize, filter: &ServerFilter) -> Option<PhysicalFilter> {
+        let memo = self.bind_memo.lock().unwrap_or_else(|p| p.into_inner());
+        memo.get(&slot)?
+            .iter()
+            .find(|(bound, _)| bound == filter)
+            .map(|(_, encrypted)| encrypted.clone())
+    }
+
+    /// Remembers the ciphertext for `filter` at placeholder slot `slot`,
+    /// evicting the slot's oldest binding past [`BIND_MEMO_PER_SLOT`].
+    fn memoize_bound_filter(&self, slot: usize, filter: &ServerFilter, encrypted: &PhysicalFilter) {
+        let mut memo = self.bind_memo.lock().unwrap_or_else(|p| p.into_inner());
+        let entries = memo.entry(slot).or_default();
+        if entries.len() >= BIND_MEMO_PER_SLOT {
+            entries.remove(0);
+        }
+        entries.push((filter.clone(), encrypted.clone()));
     }
 
     /// The original SQL text.
@@ -166,6 +200,12 @@ impl PreparedQuery {
     /// The unbound translated plan.
     pub fn translated(&self) -> &TranslatedQuery {
         &self.translated
+    }
+
+    /// The prepare-time filter encryptor (cached per-column DET/ORE
+    /// schemes) every execute of this statement shares.
+    pub fn encryptor(&self) -> &Arc<FilterEncryptor> {
+        &self.encryptor
     }
 }
 
@@ -334,10 +374,19 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
         let schema = self.target.schema_of(&table)?;
         let translated = translate(&query, client.plan(), &client.translate_options)?;
         validate_against_schema(schema, &translated)?;
+        // Build the per-column DET/ORE schemes once; every execute (and the
+        // inline-literal encryption below) shares them.
+        let encryptor = Arc::new(client.filter_encryptor(&translated));
         // Encrypt every inline literal now; placeholder positions stay open
         // until bind time.
         let filters = if translated.is_bound() {
-            PreparedFilters::Fixed(client.encrypt_filters(schema, &translated)?)
+            PreparedFilters::Fixed(
+                translated
+                    .filters
+                    .iter()
+                    .map(|filter| client.encrypt_filter_with(&encryptor, schema, filter))
+                    .collect::<Result<Vec<_>, SeabedError>>()?,
+            )
         } else {
             let param_positions: std::collections::HashSet<usize> =
                 translated.params.iter().map(|slot| slot.filter_index).collect();
@@ -349,7 +398,7 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
                     if param_positions.contains(&i) {
                         Ok(None)
                     } else {
-                        client.encrypt_filter(schema, filter).map(Some)
+                        client.encrypt_filter_with(&encryptor, schema, filter).map(Some)
                     }
                 })
                 .collect::<Result<Vec<_>, SeabedError>>()?;
@@ -363,6 +412,8 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
             query,
             translated,
             filters,
+            encryptor,
+            bind_memo: Mutex::new(HashMap::new()),
         });
         self.statements_prepared.fetch_add(1, Ordering::Relaxed);
         self.cache
@@ -436,7 +487,17 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
                             let filter = bound.filters.get(i).ok_or_else(|| {
                                 SeabedError::engine(format!("filter template position {i} exceeds the bound plan"))
                             })?;
-                            filters.push(client.encrypt_filter(schema, filter)?);
+                            // Deterministic encryption makes the memo sound:
+                            // a repeated binding reuses its ciphertext byte
+                            // for byte, so only first-seen literals pay AES.
+                            match prepared.memoized_bound_filter(i, filter) {
+                                Some(encrypted) => filters.push(encrypted),
+                                None => {
+                                    let encrypted = client.encrypt_filter_with(&prepared.encryptor, schema, filter)?;
+                                    prepared.memoize_bound_filter(i, filter, &encrypted);
+                                    filters.push(encrypted);
+                                }
+                            }
                         }
                     }
                 }
@@ -481,7 +542,11 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
 /// with the physical type the operation reads. This is what makes "fails at
 /// prepare or bind time, never at execute time on the server" true for
 /// schema errors.
-fn validate_against_schema(schema: &Schema, translated: &TranslatedQuery) -> Result<(), SeabedError> {
+///
+/// Public because the `seabed-net` statement store runs the same check when
+/// a remote PREPARE registers a plan against the hosted table, so a bad plan
+/// fails at registration with a typed error instead of at first EXECUTE.
+pub fn validate_against_schema(schema: &Schema, translated: &TranslatedQuery) -> Result<(), SeabedError> {
     let require = |name: &str, expected: ColumnType| -> Result<(), SeabedError> {
         let idx = schema
             .index_of(name)

@@ -3,7 +3,7 @@
 //! Seabed evaluates its pseudo-random function `F_k` with hardware-accelerated
 //! AES (Intel AES-NI) on the client; this repository uses a portable,
 //! table-free software implementation of the same cipher. Absolute per-block
-//! cost is higher than AES-NI (documented in EXPERIMENTS.md), but every code
+//! cost is higher than AES-NI (the `crypto_throughput` bench records it), but every code
 //! path that depends on AES — ASHE's PRF, deterministic encryption, and the
 //! ORE scheme's per-bit PRF — exercises the identical algorithm.
 //!
@@ -129,6 +129,98 @@ fn encrypt_block_generic(round_keys: &[u8], rounds: usize, block: &[u8; 16]) -> 
     state
 }
 
+/// Number of blocks the batched kernel advances together through each round.
+/// Four independent states fit comfortably in registers and give the compiler
+/// freedom to interleave their S-box lookups and column mixes.
+const BATCH_LANES: usize = 4;
+
+/// Doubles every byte of a packed column in GF(2^8): the word-parallel form
+/// of [`xtime`], reducing each byte that overflows by the AES polynomial.
+#[inline]
+fn xtime_word(w: u32) -> u32 {
+    ((w & 0x7f7f_7f7f) << 1) ^ (((w >> 7) & 0x0101_0101).wrapping_mul(0x1b))
+}
+
+/// Fused SubBytes + ShiftRows for one output column: row `r` of output
+/// column `c` comes from row `r` of input column `(c + r) % 4`, so passing
+/// the four input columns starting at `c` gathers the shifted diagonal
+/// through the S-box in one step.
+#[inline]
+fn sub_shift_word(c0: u32, c1: u32, c2: u32, c3: u32) -> u32 {
+    (SBOX[(c0 & 0xff) as usize] as u32)
+        | (SBOX[((c1 >> 8) & 0xff) as usize] as u32) << 8
+        | (SBOX[((c2 >> 16) & 0xff) as usize] as u32) << 16
+        | (SBOX[((c3 >> 24) & 0xff) as usize] as u32) << 24
+}
+
+/// MixColumns on one packed column. With bytes `a0..a3` packed
+/// little-endian, `2·a` is [`xtime_word`], `3·a` is `xtime_word(a) ^ a`, and
+/// each byte rotation aligns the neighbour terms, giving
+/// `b_i = 2·a_i ^ 3·a_{i+1} ^ a_{i+2} ^ a_{i+3}` for all four bytes at once.
+#[inline]
+fn mix_word(a: u32) -> u32 {
+    let x = xtime_word(a);
+    x ^ (x ^ a).rotate_right(8) ^ a.rotate_right(16) ^ a.rotate_right(24)
+}
+
+/// Encrypts many blocks in place with a word-sliced kernel: each lane's
+/// state is held as four packed `u32` columns in registers for the whole
+/// round sweep (no per-round memory round-trips), SubBytes and ShiftRows are
+/// fused into diagonal S-box gathers, and MixColumns is rotate/xor word
+/// arithmetic instead of per-byte [`xtime`] calls. Four independent lanes
+/// advance together so their S-box loads interleave. Bitwise-identical to
+/// calling [`encrypt_block_generic`] per block, which stays as the readable
+/// byte-wise reference the differential suite pins this kernel against.
+fn encrypt_blocks_generic(round_keys: &[u8], rounds: usize, blocks: &mut [[u8; 16]]) {
+    // Round keys as packed columns, resolved once per dispatch. AES-256 is
+    // the widest schedule: 15 round keys of 4 columns each.
+    let mut rk = [0u32; 60];
+    let rk_words = 4 * (rounds + 1);
+    for (word, bytes) in rk[..rk_words].iter_mut().zip(round_keys.chunks_exact(4)) {
+        *word = u32::from_le_bytes(bytes.try_into().expect("4-byte round-key column"));
+    }
+    let rk = &rk[..rk_words];
+
+    let mut chunks = blocks.chunks_exact_mut(BATCH_LANES);
+    for chunk in &mut chunks {
+        // The state is column-major in memory (`state[4c + r]`), so each
+        // 4-byte slice loads as one packed column with row r at bits 8r.
+        let mut lanes = [[0u32; 4]; BATCH_LANES];
+        for (lane, block) in lanes.iter_mut().zip(chunk.iter()) {
+            for (c, column) in lane.iter_mut().enumerate() {
+                *column = u32::from_le_bytes(block[4 * c..4 * c + 4].try_into().expect("4-byte column")) ^ rk[c];
+            }
+        }
+        for round in 1..rounds {
+            let k = &rk[4 * round..4 * round + 4];
+            for s in lanes.iter_mut() {
+                let t0 = sub_shift_word(s[0], s[1], s[2], s[3]);
+                let t1 = sub_shift_word(s[1], s[2], s[3], s[0]);
+                let t2 = sub_shift_word(s[2], s[3], s[0], s[1]);
+                let t3 = sub_shift_word(s[3], s[0], s[1], s[2]);
+                s[0] = mix_word(t0) ^ k[0];
+                s[1] = mix_word(t1) ^ k[1];
+                s[2] = mix_word(t2) ^ k[2];
+                s[3] = mix_word(t3) ^ k[3];
+            }
+        }
+        let k = &rk[4 * rounds..4 * rounds + 4];
+        for (lane, block) in lanes.iter().zip(chunk.iter_mut()) {
+            let t0 = sub_shift_word(lane[0], lane[1], lane[2], lane[3]) ^ k[0];
+            let t1 = sub_shift_word(lane[1], lane[2], lane[3], lane[0]) ^ k[1];
+            let t2 = sub_shift_word(lane[2], lane[3], lane[0], lane[1]) ^ k[2];
+            let t3 = sub_shift_word(lane[3], lane[0], lane[1], lane[2]) ^ k[3];
+            block[..4].copy_from_slice(&t0.to_le_bytes());
+            block[4..8].copy_from_slice(&t1.to_le_bytes());
+            block[8..12].copy_from_slice(&t2.to_le_bytes());
+            block[12..16].copy_from_slice(&t3.to_le_bytes());
+        }
+    }
+    for state in chunks.into_remainder() {
+        *state = encrypt_block_generic(round_keys, rounds, state);
+    }
+}
+
 /// AES-128 block cipher (encryption direction only; Seabed uses AES as a PRF
 /// in counter mode, so the inverse cipher is never needed).
 #[derive(Clone)]
@@ -150,6 +242,14 @@ impl Aes128 {
     /// Encrypts a single 16-byte block.
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
         encrypt_block_generic(&self.round_keys, Self::ROUNDS, block)
+    }
+
+    /// Encrypts many blocks in place with one kernel dispatch: the round loop
+    /// runs outside the block loop (4 lanes at a time), amortizing round-key
+    /// resolution and letting independent lanes' work interleave. Produces
+    /// exactly the same bytes as [`Aes128::encrypt_block`] per block.
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        encrypt_blocks_generic(&self.round_keys, Self::ROUNDS, blocks);
     }
 }
 
@@ -173,6 +273,12 @@ impl Aes256 {
     /// Encrypts a single 16-byte block.
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
         encrypt_block_generic(&self.round_keys, Self::ROUNDS, block)
+    }
+
+    /// Batched counterpart of [`Aes256::encrypt_block`]; see
+    /// [`Aes128::encrypt_blocks`] for the kernel shape.
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        encrypt_blocks_generic(&self.round_keys, Self::ROUNDS, blocks);
     }
 }
 
@@ -212,6 +318,19 @@ impl AesCtr {
             u64::from_be_bytes(block[..8].try_into().unwrap()),
             u64::from_be_bytes(block[8..].try_into().unwrap()),
         ]
+    }
+
+    /// Fills `out` with the keystream blocks for consecutive counters
+    /// `counter, counter + 1, …` (wrapping), encrypted in one batched kernel
+    /// dispatch instead of one per block. Identical output to calling
+    /// [`AesCtr::keystream_block`] per counter.
+    pub fn keystream_blocks(&self, counter: u64, out: &mut [[u8; 16]]) {
+        let nonce = self.nonce.to_be_bytes();
+        for (i, block) in out.iter_mut().enumerate() {
+            block[..8].copy_from_slice(&nonce);
+            block[8..].copy_from_slice(&counter.wrapping_add(i as u64).to_be_bytes());
+        }
+        self.cipher.encrypt_blocks(out);
     }
 
     /// XORs the keystream into `data`, starting at block `counter`.
@@ -298,6 +417,46 @@ mod tests {
         let block = ctr.keystream_block(5);
         assert_eq!(a, u64::from_be_bytes(block[..8].try_into().unwrap()));
         assert_eq!(b, u64::from_be_bytes(block[8..].try_into().unwrap()));
+    }
+
+    /// The batched kernel must be bitwise-identical to the scalar reference
+    /// at every length, including the empty batch, a partial 4-lane chunk,
+    /// and lengths straddling several chunks.
+    #[test]
+    fn encrypt_blocks_matches_scalar_reference() {
+        let aes128 = Aes128::new(&[0x5e, 0xab, 0xed, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+        let aes256 = Aes256::new(&[0xa7u8; 32]);
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 16, 33] {
+            let blocks: Vec<[u8; 16]> = (0..len)
+                .map(|i| std::array::from_fn(|j| (i * 31 + j * 7) as u8))
+                .collect();
+            let mut batched = blocks.clone();
+            aes128.encrypt_blocks(&mut batched);
+            for (input, output) in blocks.iter().zip(batched.iter()) {
+                assert_eq!(*output, aes128.encrypt_block(input), "aes128 len={len}");
+            }
+            let mut batched = blocks.clone();
+            aes256.encrypt_blocks(&mut batched);
+            for (input, output) in blocks.iter().zip(batched.iter()) {
+                assert_eq!(*output, aes256.encrypt_block(input), "aes256 len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn keystream_blocks_matches_per_counter_blocks() {
+        let ctr = AesCtr::new(&[9u8; 16], 0x5eab_ed00);
+        for (start, len) in [(0u64, 0usize), (7, 1), (100, 5), (u64::MAX - 2, 6)] {
+            let mut run = vec![[0u8; 16]; len];
+            ctr.keystream_blocks(start, &mut run);
+            for (i, block) in run.iter().enumerate() {
+                assert_eq!(
+                    *block,
+                    ctr.keystream_block(start.wrapping_add(i as u64)),
+                    "start={start} i={i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -585,6 +585,173 @@ impl BigUint {
     }
 }
 
+/// Allocation-free fixed-width unsigned arithmetic for hot-path accumulation.
+///
+/// [`BigUint`] allocates a `Vec` per operation, which is fine for key
+/// generation and Paillier but far too slow for the ASHE telescoping sums
+/// that run once per decrypted row group. [`fixed::FixedUint`] keeps its
+/// limbs on the stack (`[u64; LIMBS]`) so adds, multiplies and small-modulus
+/// reductions compile down to straight-line carry chains with no heap
+/// traffic. The differential proptests in this crate pin every operation
+/// against the [`BigUint`] reference implementation.
+pub mod fixed {
+    use super::BigUint;
+
+    /// A stack-allocated little-endian unsigned integer with `LIMBS` 64-bit
+    /// limbs, wrapping at `2^(64 * LIMBS)`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct FixedUint<const LIMBS: usize> {
+        /// Little-endian 64-bit limbs.
+        pub limbs: [u64; LIMBS],
+    }
+
+    impl<const LIMBS: usize> Default for FixedUint<LIMBS> {
+        fn default() -> Self {
+            Self::ZERO
+        }
+    }
+
+    impl<const LIMBS: usize> FixedUint<LIMBS> {
+        /// The zero value.
+        pub const ZERO: Self = FixedUint { limbs: [0; LIMBS] };
+
+        /// Builds the value from a `u64`.
+        #[inline]
+        pub fn from_u64(v: u64) -> Self {
+            let mut limbs = [0u64; LIMBS];
+            limbs[0] = v;
+            FixedUint { limbs }
+        }
+
+        /// Builds the value from a `u128` (low limbs first; panics if the
+        /// width cannot hold it, i.e. `LIMBS == 1` and the high word is set).
+        #[inline]
+        pub fn from_u128(v: u128) -> Self {
+            let mut limbs = [0u64; LIMBS];
+            limbs[0] = v as u64;
+            let high = (v >> 64) as u64;
+            if high != 0 {
+                assert!(LIMBS >= 2, "u128 value does not fit in {LIMBS} limb(s)");
+                limbs[1] = high;
+            }
+            FixedUint { limbs }
+        }
+
+        /// True if every limb is zero.
+        #[inline]
+        pub fn is_zero(&self) -> bool {
+            self.limbs.iter().all(|&l| l == 0)
+        }
+
+        /// Adds `other` in place, returning the carry out of the top limb
+        /// (`1` on wrap-around, else `0`).
+        #[inline]
+        pub fn add_assign(&mut self, other: &Self) -> u64 {
+            let mut carry = 0u64;
+            for i in 0..LIMBS {
+                let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+                let (s2, c2) = s1.overflowing_add(carry);
+                self.limbs[i] = s2;
+                carry = (c1 as u64) + (c2 as u64);
+            }
+            carry
+        }
+
+        /// Adds a `u64` in place, returning the carry out of the top limb.
+        #[inline]
+        pub fn add_assign_u64(&mut self, v: u64) -> u64 {
+            let mut carry = v;
+            for limb in self.limbs.iter_mut() {
+                if carry == 0 {
+                    return 0;
+                }
+                let (s, c) = limb.overflowing_add(carry);
+                *limb = s;
+                carry = c as u64;
+            }
+            carry
+        }
+
+        /// Subtracts `other` in place (wrapping), returning the borrow out of
+        /// the top limb (`1` if `other > self`, else `0`).
+        #[inline]
+        pub fn sub_assign(&mut self, other: &Self) -> u64 {
+            let mut borrow = 0u64;
+            for i in 0..LIMBS {
+                let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                self.limbs[i] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            borrow
+        }
+
+        /// Multiplies by a `u64` in place, returning the carry out of the top
+        /// limb (`0` when the product fits the width).
+        #[inline]
+        pub fn mul_u64(&mut self, v: u64) -> u64 {
+            let mut carry = 0u64;
+            for limb in self.limbs.iter_mut() {
+                let prod = (*limb as u128) * (v as u128) + carry as u128;
+                *limb = prod as u64;
+                carry = (prod >> 64) as u64;
+            }
+            carry
+        }
+
+        /// Full schoolbook product, returned as `(low, high)` halves each of
+        /// `LIMBS` limbs — no truncation, no allocation.
+        #[inline]
+        pub fn mul(&self, other: &Self) -> (Self, Self) {
+            let mut wide = [0u64; 64]; // supports LIMBS <= 32
+            assert!(2 * LIMBS <= wide.len(), "FixedUint::mul supports at most 32 limbs");
+            for i in 0..LIMBS {
+                let mut carry = 0u128;
+                for j in 0..LIMBS {
+                    let idx = i + j;
+                    let cur = wide[idx] as u128 + (self.limbs[i] as u128) * (other.limbs[j] as u128) + carry;
+                    wide[idx] = cur as u64;
+                    carry = cur >> 64;
+                }
+                wide[i + LIMBS] = wide[i + LIMBS].wrapping_add(carry as u64);
+            }
+            let mut lo = [0u64; LIMBS];
+            let mut hi = [0u64; LIMBS];
+            lo.copy_from_slice(&wide[..LIMBS]);
+            hi.copy_from_slice(&wide[LIMBS..2 * LIMBS]);
+            (FixedUint { limbs: lo }, FixedUint { limbs: hi })
+        }
+
+        /// Computes `self mod m` for a non-zero `u64` modulus.
+        #[inline]
+        pub fn rem_u64(&self, m: u64) -> u64 {
+            assert!(m != 0);
+            let mut rem: u128 = 0;
+            for &limb in self.limbs.iter().rev() {
+                rem = ((rem << 64) | limb as u128) % m as u128;
+            }
+            rem as u64
+        }
+
+        /// Truncates to the low 128 bits.
+        #[inline]
+        pub fn to_u128_truncated(&self) -> u128 {
+            let lo = self.limbs[0] as u128;
+            let hi = if LIMBS >= 2 { self.limbs[1] as u128 } else { 0 };
+            lo | (hi << 64)
+        }
+
+        /// Converts to the heap-allocated reference representation.
+        pub fn to_biguint(&self) -> BigUint {
+            let mut bytes = Vec::with_capacity(LIMBS * 8);
+            for limb in self.limbs.iter().rev() {
+                bytes.extend_from_slice(&limb.to_be_bytes());
+            }
+            BigUint::from_bytes_be(&bytes)
+        }
+    }
+}
+
 /// Computes a - b where a and b are signed magnitudes, returning a signed
 /// magnitude. Used only by the extended Euclidean algorithm.
 fn signed_sub(a: (bool, BigUint), b: (bool, BigUint)) -> (bool, BigUint) {
@@ -731,6 +898,53 @@ mod tests {
         let a = BigUint::from_hex("abcdef0123456789abcdef0123456789").unwrap();
         let m = 1_000_000_007u64;
         assert_eq!(a.rem_u64(m), a.rem(&big(m)).to_u64().unwrap());
+    }
+
+    #[test]
+    fn fixed_uint_matches_biguint_reference() {
+        use super::fixed::FixedUint;
+        let samples: [u128; 6] = [
+            0,
+            1,
+            u64::MAX as u128,
+            (u64::MAX as u128) + 1,
+            0xdead_beef_cafe_f00d_1234_5678_9abc_def0,
+            u128::MAX,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                let (mut fa, fb) = (FixedUint::<2>::from_u128(a), FixedUint::<2>::from_u128(b));
+                assert_eq!(fa.to_biguint(), BigUint::from_u128(a));
+                let carry = fa.add_assign(&fb);
+                let wide = a.wrapping_add(b);
+                assert_eq!(fa.to_u128_truncated(), wide, "add {a} {b}");
+                assert_eq!(carry == 1, a.checked_add(b).is_none(), "carry {a} {b}");
+                let mut fs = FixedUint::<2>::from_u128(a);
+                let borrow = fs.sub_assign(&fb);
+                assert_eq!(fs.to_u128_truncated(), a.wrapping_sub(b), "sub {a} {b}");
+                assert_eq!(borrow == 1, b > a, "borrow {a} {b}");
+                let (lo, hi) = FixedUint::<2>::from_u128(a).mul(&fb);
+                let reference = BigUint::from_u128(a).mul(&BigUint::from_u128(b));
+                let mut got = hi.to_biguint().shl(128);
+                got = got.add(&lo.to_biguint());
+                assert_eq!(got, reference, "mul {a} {b}");
+            }
+            let m = 1_000_000_007u64;
+            assert_eq!(
+                FixedUint::<2>::from_u128(a).rem_u64(m),
+                BigUint::from_u128(a).rem_u64(m),
+                "rem {a}"
+            );
+        }
+        let mut f = FixedUint::<3>::from_u64(u64::MAX);
+        assert_eq!(f.mul_u64(u64::MAX), 0);
+        assert_eq!(
+            f.to_biguint(),
+            BigUint::from_u64(u64::MAX).mul(&BigUint::from_u64(u64::MAX))
+        );
+        assert_eq!(f.add_assign_u64(1), 0);
+        assert!(!f.is_zero());
+        assert!(FixedUint::<2>::ZERO.is_zero());
     }
 
     #[test]

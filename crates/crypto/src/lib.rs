@@ -29,6 +29,7 @@ pub mod prime;
 pub mod sha256;
 
 pub use aes::{Aes128, Aes256, AesCtr};
+pub use bigint::fixed::FixedUint;
 pub use bigint::BigUint;
 pub use det::{DetCiphertext, DetScheme};
 pub use ore::{try_compare_symbols, OreCiphertext, OreScheme};

@@ -1,0 +1,234 @@
+//! Statement-keyed partial-result cache.
+//!
+//! Dashboards re-execute the same prepared statement with the same bound
+//! literals over data that only changes when shards are re-loaded. Workers
+//! therefore recompute identical per-shard partials on every execute. This
+//! module caches those partials at the coordinator, keyed by
+//! `(cache epoch, table, shard, statement handle, bound-filter hash)`:
+//!
+//! * the **statement handle** is the FNV-1a hash of the plan's wire payload
+//!   ([`seabed_net::wire::write_statement_payload`]) — identical plans share
+//!   an entry across clients and reconnects;
+//! * the **filter hash** covers the bound, literal-encrypted filters
+//!   ([`seabed_net::wire::write_filters_payload`]) — any differing literal
+//!   changes the key;
+//! * the **cache epoch** fences staleness: worker death or a shard
+//!   re-dispatch bumps it, which unreaches every earlier entry at once. A
+//!   partial produced before a recovery can therefore never merge into a
+//!   post-recovery response.
+//!
+//! Entries record the worker that produced them, so a dead worker's entries
+//! are additionally purged (reclaiming space; the epoch bump already fenced
+//! them). Capacity is LRU-bounded; `capacity = 0` disables caching entirely.
+
+use seabed_core::PartialResponse;
+use std::collections::HashMap;
+
+/// Key of one cached per-shard partial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PartialKey {
+    /// Cache epoch the entry was inserted under; a bump unreaches it.
+    pub cache_epoch: u64,
+    /// Hosted table the shard belongs to.
+    pub table_id: u32,
+    /// Shard identifier within the table.
+    pub shard: u32,
+    /// FNV-1a hash of the statement's wire payload.
+    pub statement: u64,
+    /// FNV-1a hash of the bound filters' wire payload.
+    pub filters: u64,
+}
+
+/// Counters of one cache's lifetime activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that missed (and caused a shard scatter).
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Entries purged by worker-death invalidation.
+    pub invalidated: u64,
+}
+
+struct CacheEntry {
+    partial: PartialResponse,
+    /// Worker index that produced the partial (purged if it dies).
+    worker: usize,
+    /// LRU tick of the most recent touch.
+    last_used: u64,
+}
+
+/// A capacity-bounded LRU of per-shard partials. Not internally synchronized;
+/// the coordinator holds it behind a mutex.
+pub struct PartialCache {
+    entries: HashMap<PartialKey, CacheEntry>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl PartialCache {
+    /// Creates a cache bounded to `capacity` entries (`0` disables caching:
+    /// every probe misses and inserts are dropped).
+    pub fn new(capacity: usize) -> PartialCache {
+        PartialCache {
+            entries: HashMap::new(),
+            capacity,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Probes for a cached partial, bumping its LRU position on a hit.
+    pub fn get(&mut self, key: &PartialKey) -> Option<&PartialResponse> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(&entry.partial)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a partial, evicting the least-recently-used
+    /// entry when the capacity bound is exceeded.
+    pub fn insert(&mut self, key: PartialKey, worker: usize, partial: PartialResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                partial,
+                worker,
+                last_used: self.tick,
+            },
+        );
+        self.stats.insertions += 1;
+        while self.entries.len() > self.capacity {
+            // O(n) eviction scan; the capacity bound keeps n small and
+            // insertion is already a scatter's worth of work away from hot.
+            let Some(oldest) = self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k) else {
+                break;
+            };
+            self.entries.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Purges every entry produced by `worker` (after its death; the epoch
+    /// bump has already fenced them, this reclaims the space).
+    pub fn purge_worker(&mut self, worker: usize) {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.worker != worker);
+        self.stats.invalidated += (before - self.entries.len()) as u64;
+    }
+
+    /// Purges every entry of a cache epoch older than `current` (fenced and
+    /// unreachable; this reclaims the space).
+    pub fn purge_stale_epochs(&mut self, current: u64) {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.cache_epoch == current);
+        self.stats.invalidated += (before - self.entries.len()) as u64;
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seabed_engine::merge::PartialGroups;
+    use seabed_engine::ExecStats;
+
+    fn key(epoch: u64, shard: u32, statement: u64) -> PartialKey {
+        PartialKey {
+            cache_epoch: epoch,
+            table_id: 0,
+            shard,
+            statement,
+            filters: 7,
+        }
+    }
+
+    fn partial(marker: u64) -> PartialResponse {
+        PartialResponse {
+            groups: PartialGroups::new(),
+            stats: ExecStats {
+                tasks: marker as usize,
+                ..ExecStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_after_epoch_bump() {
+        let mut cache = PartialCache::new(8);
+        assert!(cache.get(&key(1, 0, 42)).is_none());
+        cache.insert(key(1, 0, 42), 0, partial(5));
+        assert_eq!(cache.get(&key(1, 0, 42)).unwrap().stats.tasks, 5);
+        // A bumped epoch is a different key: the old entry is unreachable.
+        assert!(cache.get(&key(2, 0, 42)).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 2, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut cache = PartialCache::new(2);
+        cache.insert(key(1, 0, 1), 0, partial(0));
+        cache.insert(key(1, 1, 1), 0, partial(1));
+        assert!(cache.get(&key(1, 0, 1)).is_some()); // touch shard 0
+        cache.insert(key(1, 2, 1), 0, partial(2)); // evicts shard 1
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1, 1, 1)).is_none());
+        assert!(cache.get(&key(1, 0, 1)).is_some());
+        assert!(cache.get(&key(1, 2, 1)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn purges_by_worker_and_epoch() {
+        let mut cache = PartialCache::new(8);
+        cache.insert(key(1, 0, 1), 0, partial(0));
+        cache.insert(key(1, 1, 1), 1, partial(1));
+        cache.insert(key(2, 2, 1), 1, partial(2));
+        cache.purge_worker(1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(1, 0, 1)).is_some());
+        cache.purge_stale_epochs(2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidated, 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = PartialCache::new(0);
+        cache.insert(key(1, 0, 1), 0, partial(0));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(1, 0, 1)).is_none());
+    }
+}

@@ -32,7 +32,8 @@
 //! the connection, reusing the `seabed-net` rule that a response can never be
 //! paired with the wrong request.
 
-use seabed_core::{finalize_partials, PartialResponse, PhysicalFilter, QueryTarget, ServerResponse};
+use crate::cache::{CacheStats, PartialCache, PartialKey};
+use seabed_core::{finalize_partials, fnv1a64, PartialResponse, PhysicalFilter, QueryTarget, ServerResponse};
 use seabed_engine::merge::{merge_partial_groups, PartialGroups};
 use seabed_engine::{ExecStats, Schema, Table};
 use seabed_error::SeabedError;
@@ -72,6 +73,9 @@ pub struct DistConfig {
     pub exec: ShardExecConfig,
     /// Scatter strategy.
     pub scatter: ScatterMode,
+    /// Entry bound of the statement-keyed partial-result cache serving
+    /// prepared executes ([`crate::cache`]); `0` disables caching.
+    pub partial_cache_capacity: usize,
 }
 
 impl Default for DistConfig {
@@ -84,6 +88,7 @@ impl Default for DistConfig {
                 exec_mode: seabed_engine::ExecMode::Vectorized,
             },
             scatter: ScatterMode::Concurrent,
+            partial_cache_capacity: 1024,
         }
     }
 }
@@ -104,6 +109,13 @@ impl DistConfig {
     /// Returns the configuration with the per-shard execution knobs replaced.
     pub fn exec(mut self, exec: ShardExecConfig) -> DistConfig {
         self.exec = exec;
+        self
+    }
+
+    /// Returns the configuration with the partial-cache bound replaced
+    /// (`0` disables the cache).
+    pub fn partial_cache_capacity(mut self, capacity: usize) -> DistConfig {
+        self.partial_cache_capacity = capacity;
         self
     }
 }
@@ -138,6 +150,11 @@ pub struct QueryReport {
     pub wall_time: Duration,
     /// Stale (duplicate or late) partials discarded during this query.
     pub discarded_partials: u64,
+    /// Shards answered from the partial cache (prepared executes only).
+    pub cache_hits: u64,
+    /// Shards that missed the partial cache and were scattered (prepared
+    /// executes only; one-shot queries never probe and count nothing).
+    pub cache_misses: u64,
 }
 
 /// Health and traffic summary of one worker.
@@ -295,6 +312,13 @@ pub struct DistCoordinator {
     config: DistConfig,
     discarded: AtomicU64,
     last_report: Mutex<QueryReport>,
+    /// Statement-keyed partial-result cache serving prepared executes.
+    cache: Mutex<PartialCache>,
+    /// Fencing epoch of the partial cache. Distinct from the wire `epoch`
+    /// (which orders coordinator *generations* and is constant for this
+    /// coordinator's lifetime): this one is bumped on every worker loss, so
+    /// entries cached before a recovery can never answer a probe after it.
+    cache_epoch: AtomicU64,
 }
 
 impl DistCoordinator {
@@ -384,9 +408,11 @@ impl DistCoordinator {
             workers,
             epoch,
             seq: AtomicU64::new(0),
-            config,
             discarded: AtomicU64::new(0),
             last_report: Mutex::new(QueryReport::default()),
+            cache: Mutex::new(PartialCache::new(config.partial_cache_capacity)),
+            cache_epoch: AtomicU64::new(1),
+            config,
         };
         // Initial placement: table t's shard i on worker (t + i) mod N, so
         // several tables spread across the pool instead of piling their
@@ -443,6 +469,21 @@ impl DistCoordinator {
         self.epoch
     }
 
+    /// The partial cache's fencing epoch (bumped on every worker loss).
+    pub fn cache_epoch(&self) -> u64 {
+        self.cache_epoch.load(Ordering::Acquire)
+    }
+
+    /// Lifetime counters of the partial cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner()).stats()
+    }
+
+    /// Number of live entries in the partial cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
     /// What the most recent `execute` did, shard by shard.
     pub fn last_report(&self) -> QueryReport {
         self.last_report.lock().unwrap_or_else(|p| p.into_inner()).clone()
@@ -488,17 +529,58 @@ impl DistCoordinator {
     /// re-dispatched to survivors; the call fails only when a shard cannot
     /// run anywhere or a worker reports a deterministic query error.
     pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
+        self.execute_internal(query, filters, None)
+    }
+
+    /// The scatter/gather behind both entry points. `cache_key` is
+    /// `Some((statement hash, filter hash))` for prepared executes, which may
+    /// answer shards from the partial cache and insert fresh partials back;
+    /// one-shot queries pass `None` and never touch the cache.
+    fn execute_internal(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+        cache_key: Option<(u64, u64)>,
+    ) -> Result<ServerResponse, SeabedError> {
         let started = Instant::now();
         let (table_id, entry) = self.resolve(&query.base_table)?;
         let assignment = entry.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone();
         let discarded_before = self.discarded.load(Ordering::Relaxed);
 
-        // Scatter: group shards by owning worker, one lane per worker.
+        // Probe: a prepared execute answers every shard it can from the
+        // cache and scatters only to the rest. The probe epoch is re-read
+        // under the lock so a concurrent bump can't resurrect fenced entries.
+        let mut cached: Vec<(u32, PartialResponse)> = Vec::new();
+        let mut missing: Vec<u32> = Vec::new();
+        match cache_key {
+            Some((statement, filter_hash)) => {
+                let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+                let probe_epoch = self.cache_epoch.load(Ordering::Acquire);
+                for shard in 0..assignment.len() as u32 {
+                    let key = PartialKey {
+                        cache_epoch: probe_epoch,
+                        table_id,
+                        shard,
+                        statement,
+                        filters: filter_hash,
+                    };
+                    match cache.get(&key) {
+                        Some(partial) => cached.push((shard, partial.clone())),
+                        None => missing.push(shard),
+                    }
+                }
+            }
+            None => missing.extend(0..assignment.len() as u32),
+        }
+
+        // Scatter: group the uncached shards by owning worker, one lane per
+        // worker.
         let mut lanes: Vec<(usize, Vec<u32>)> = Vec::new();
-        for (shard, &worker) in assignment.iter().enumerate() {
+        for &shard in &missing {
+            let worker = assignment[shard as usize];
             match lanes.iter_mut().find(|(w, _)| *w == worker) {
-                Some((_, shards)) => shards.push(shard as u32),
-                None => lanes.push((worker, vec![shard as u32])),
+                Some((_, shards)) => shards.push(shard),
+                None => lanes.push((worker, vec![shard])),
             }
         }
 
@@ -542,7 +624,23 @@ impl DistCoordinator {
         }
 
         // Re-dispatch: transport/protocol casualties move to survivors; a
-        // deterministic query error fails the whole query immediately.
+        // deterministic query error fails the whole query immediately. A
+        // worker loss also bumps the cache epoch — every partial cached
+        // before this recovery is fenced at once — and reclaims the fenced
+        // entries (the dead worker's first, so the purge is attributable).
+        if failed
+            .iter()
+            .any(|(shard, err)| *shard != u32::MAX && retry_elsewhere(err))
+        {
+            let bumped = self.cache_epoch.fetch_add(1, Ordering::AcqRel) + 1;
+            let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+            for (worker, link) in self.workers.iter().enumerate() {
+                if !link.alive() {
+                    cache.purge_worker(worker);
+                }
+            }
+            cache.purge_stale_epochs(bumped);
+        }
         for (shard, err) in failed {
             if !retry_elsewhere(&err) || shard == u32::MAX {
                 return Err(err);
@@ -551,20 +649,48 @@ impl DistCoordinator {
             runs.push(run);
         }
 
-        // Gather: fold every shard's partial groups through the shared merge
-        // implementation, then finalize exactly as the in-process driver.
+        // Fresh partials of a prepared execute go back into the cache under
+        // the *current* epoch — post-bump if this very query lost a worker,
+        // so a recovery never caches under a fenced generation.
+        if let Some((statement, filter_hash)) = cache_key {
+            let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+            let insert_epoch = self.cache_epoch.load(Ordering::Acquire);
+            for run in &runs {
+                if let Some(partial) = &run.partial {
+                    let key = PartialKey {
+                        cache_epoch: insert_epoch,
+                        table_id,
+                        shard: run.shard,
+                        statement,
+                        filters: filter_hash,
+                    };
+                    cache.insert(key, run.worker_index, partial.clone());
+                }
+            }
+        }
+
+        // Gather: fold every shard's partial groups — cached and fresh — in
+        // shard order through the shared merge implementation, then finalize
+        // exactly as the in-process driver.
         let gather_started = Instant::now();
-        let mut merged: PartialGroups = PartialGroups::new();
-        let mut stats = ExecStats::default();
-        runs.sort_by_key(|r| r.shard);
+        let cache_hits = cached.len() as u64;
+        let cache_misses = if cache_key.is_some() { missing.len() as u64 } else { 0 };
+        let mut partials: Vec<(u32, PartialResponse)> = cached;
         for run in &mut runs {
             let partial = std::mem::take(&mut run.partial);
             let Some(partial) = partial else {
                 return Err(SeabedError::dist(&run.worker, "shard partial vanished before gather"));
             };
+            partials.push((run.shard, partial));
+        }
+        partials.sort_by_key(|(shard, _)| *shard);
+        let mut merged: PartialGroups = PartialGroups::new();
+        let mut stats = ExecStats::default();
+        for (_, partial) in partials {
             stats = stats.merge(&partial.stats);
             merge_partial_groups(&mut merged, partial.groups);
         }
+        runs.sort_by_key(|r| r.shard);
         stats.wall_time = started.elapsed();
         let response = finalize_partials(query, merged, stats);
 
@@ -583,6 +709,8 @@ impl DistCoordinator {
             gather_time: gather_started.elapsed(),
             wall_time: started.elapsed(),
             discarded_partials: self.discarded.load(Ordering::Relaxed) - discarded_before,
+            cache_hits,
+            cache_misses,
         };
         *self.last_report.lock().unwrap_or_else(|p| p.into_inner()) = report;
         Ok(response)
@@ -700,6 +828,7 @@ impl DistCoordinator {
         Ok(LaneRun {
             shard,
             worker: link.label.clone(),
+            worker_index: worker,
             stats: partial.stats.clone(),
             partial: Some(partial),
             round_trip: started.elapsed(),
@@ -813,6 +942,29 @@ impl QueryTarget for DistCoordinator {
     ) -> Result<ServerResponse, SeabedError> {
         self.execute(query, filters)
     }
+
+    /// Prepared executes route through the partial cache. The cache key is
+    /// *content*-derived — FNV-1a over the statement's and the bound filters'
+    /// wire payloads — not the session's `statement_id`, mirroring the net
+    /// client's handle cache: two sessions preparing the same SQL and binding
+    /// the same literals share entries.
+    fn execute_prepared(
+        &self,
+        statement: &TranslatedQuery,
+        statement_id: u64,
+        filters: &[PhysicalFilter],
+    ) -> Result<ServerResponse, SeabedError> {
+        let _ = statement_id;
+        let mut statement_bytes = Vec::new();
+        wire::write_statement_payload(&mut statement_bytes, statement);
+        let mut filter_bytes = Vec::new();
+        wire::write_filters_payload(&mut filter_bytes, filters);
+        self.execute_internal(
+            statement,
+            filters,
+            Some((fnv1a64(&statement_bytes), fnv1a64(&filter_bytes))),
+        )
+    }
 }
 
 /// What one worker lane produced: completed shard runs plus the shards that
@@ -823,6 +975,9 @@ type LaneOutcome = (Vec<LaneRun>, Vec<(u32, SeabedError)>);
 struct LaneRun {
     shard: u32,
     worker: String,
+    /// Index of the answering worker, recorded so a cached copy of the
+    /// partial can be purged if that worker later dies.
+    worker_index: usize,
     stats: ExecStats,
     partial: Option<PartialResponse>,
     round_trip: Duration,

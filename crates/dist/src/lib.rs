@@ -38,8 +38,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod coordinator;
 pub mod worker;
 
+pub use cache::{CacheStats, PartialCache, PartialKey};
 pub use coordinator::{DistConfig, DistCoordinator, QueryReport, ScatterMode, ShardRun, WorkerSummary};
 pub use worker::spawn_worker;

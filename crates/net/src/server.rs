@@ -608,6 +608,15 @@ fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
             Err(err) => Frame::Error(err),
         },
         Frame::PrepareStatement { query } => {
+            // Resolve the plan against the hosted table *now*: a statement
+            // whose columns don't exist (or carry the wrong physical type)
+            // fails at PREPARE with a typed schema error, never at first
+            // EXECUTE. Placeholders are validated too — translation leaves
+            // typed placeholder filters in the plan, so the columns a later
+            // bind will touch are already visible here.
+            if let Err(err) = seabed_core::validate_against_schema(ctx.server.schema(), &query) {
+                return Frame::Error(err);
+            }
             let (handle, evicted) = ctx.statements.prepare(query);
             ctx.stats.statements_prepared.fetch_add(1, Ordering::Relaxed);
             ctx.stats.statements_evicted.fetch_add(evicted, Ordering::Relaxed);
@@ -1075,6 +1084,63 @@ mod tests {
         let stats = net.shutdown();
         assert_eq!(stats.statements_prepared, 3);
         assert!(stats.statements_evicted >= 1);
+    }
+
+    /// PREPARE resolves the plan against the hosted table: a statement whose
+    /// columns don't exist fails at registration with a typed schema error —
+    /// never at first EXECUTE — nothing is registered, and the connection
+    /// survives to prepare a corrected plan.
+    #[test]
+    fn prepare_validates_the_plan_against_the_hosted_schema() {
+        let net = NetServer::serve(test_server(), "127.0.0.1:0", ServiceConfig::default()).expect("serve");
+        let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        let mut bad = sum_query();
+        bad.aggregates = vec![ServerAggregate::AsheSum {
+            column: "no_such__ashe".to_string(),
+        }];
+        let bad_handle = {
+            let mut payload = Vec::new();
+            wire::write_statement_payload(&mut payload, &bad);
+            seabed_core::fnv1a64(&payload)
+        };
+        let reply = round_trip(&mut stream, &Frame::PrepareStatement { query: bad });
+        assert!(
+            matches!(reply, Frame::Error(SeabedError::Schema(_))),
+            "expected a typed schema error at PREPARE, got {reply:?}"
+        );
+
+        // Nothing was registered under the rejected plan's content handle.
+        let reply = round_trip(
+            &mut stream,
+            &Frame::ExecuteStatement {
+                handle: bad_handle,
+                filters: vec![],
+            },
+        );
+        assert!(
+            matches!(reply, Frame::Error(SeabedError::StaleStatement(h)) if h == bad_handle),
+            "{reply:?}"
+        );
+
+        // The connection is healthy: a corrected plan registers and runs.
+        let Frame::StatementPrepared { handle } =
+            round_trip(&mut stream, &Frame::PrepareStatement { query: sum_query() })
+        else {
+            panic!("expected a statement handle");
+        };
+        let reply = round_trip(
+            &mut stream,
+            &Frame::ExecuteStatement {
+                handle,
+                filters: vec![],
+            },
+        );
+        assert!(matches!(reply, Frame::Response(_)), "{reply:?}");
+
+        let stats = net.shutdown();
+        assert_eq!(stats.statements_prepared, 1, "the rejected plan must not count");
     }
 
     #[test]

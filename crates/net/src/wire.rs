@@ -520,6 +520,15 @@ pub fn write_statement_payload(out: &mut Vec<u8>, query: &TranslatedQuery) {
     write_translated_query(out, query);
 }
 
+/// Serializes a bound filter list exactly as it travels inside frames. The
+/// dist coordinator hashes these bytes — together with the statement payload
+/// — into its partial-result cache key, so two executes binding identical
+/// literals map to the same cached entry regardless of which client sent
+/// them, and any differing literal changes the key.
+pub fn write_filters_payload(out: &mut Vec<u8>, filters: &[PhysicalFilter]) {
+    write_vec(out, filters, write_physical_filter);
+}
+
 /// Decodes one complete frame from a byte slice (header + payload, consumed
 /// exactly). This is the slice-level entry point the adversarial tests drive;
 /// connections read the header and payload off the socket separately.

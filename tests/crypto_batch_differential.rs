@@ -1,0 +1,285 @@
+//! Differential property tests pinning every batched crypto kernel to its
+//! scalar reference path.
+//!
+//! The batched hot paths (multi-block AES dispatch, PRF keystream runs, the
+//! packed ASHE mask runs, run-encryption, the batched ORE prefix encryption,
+//! and the fixed-width bigint accumulators) exist purely for throughput:
+//! each must be *bit-identical* to the scalar path it replaces, over random
+//! key material, random values, random identifiers — including identifier
+//! runs that wrap `u64::MAX`, empty batches, and single-element batches.
+//! The scalar paths stay in the tree as the differential reference, and this
+//! file is the contract that keeps them honest.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use seabed_ashe::{encrypt_column, encrypt_column_scalar, AsheScheme};
+use seabed_crypto::prf::{AesPrf, AnyPrf, Prf, PrfKind};
+use seabed_crypto::{Aes128, Aes256, AesCtr, BigUint, FixedUint, OreScheme};
+
+/// Maps a raw draw onto a batch length, biased to the internal chunk
+/// boundaries (the AES kernel processes 4 lanes per dispatch, the PRF run
+/// evaluators 32 blocks, the packed mask runs 64 identifiers): empty,
+/// singleton, odd, and just past each boundary — plus arbitrary lengths.
+fn batch_len(raw: u64) -> usize {
+    const BOUNDARIES: [usize; 12] = [0, 1, 2, 3, 5, 31, 32, 33, 63, 64, 65, 129];
+    if raw & 1 == 0 {
+        BOUNDARIES[(raw >> 1) as usize % BOUNDARIES.len()]
+    } else {
+        ((raw >> 1) % 160) as usize
+    }
+}
+
+/// Maps a raw draw onto a run start: anywhere, or so close to `u64::MAX`
+/// that the run wraps (the packed two-ids-per-block layout splits those
+/// into segments).
+fn start_id(raw: u64) -> u64 {
+    if raw & 1 == 0 {
+        raw
+    } else {
+        u64::MAX - ((raw >> 1) % 256)
+    }
+}
+
+/// Maps a raw draw onto a PRF / ASHE group modulus: 0 (the free `2^64`
+/// wrap-around group) a quarter of the time, otherwise arbitrary non-zero.
+fn pick_modulus(raw: u64) -> u64 {
+    match raw & 3 {
+        0 => 0,
+        _ => (raw >> 2).max(1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------------------------------------------------------
+    // AES: the multi-block kernel is the single-block cipher, N times.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn aes128_encrypt_blocks_matches_per_block(key in any::<[u8; 16]>(), blocks in pvec(any::<[u8; 16]>(), 0..70)) {
+        let aes = Aes128::new(&key);
+        let mut batched = blocks.clone();
+        aes.encrypt_blocks(&mut batched);
+        let scalar: Vec<[u8; 16]> = blocks.iter().map(|b| aes.encrypt_block(b)).collect();
+        prop_assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn aes256_encrypt_blocks_matches_per_block(key in any::<[u8; 32]>(), blocks in pvec(any::<[u8; 16]>(), 0..70)) {
+        let aes = Aes256::new(&key);
+        let mut batched = blocks.clone();
+        aes.encrypt_blocks(&mut batched);
+        let scalar: Vec<[u8; 16]> = blocks.iter().map(|b| aes.encrypt_block(b)).collect();
+        prop_assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn aes_ctr_keystream_run_matches_per_counter(
+        key in any::<[u8; 16]>(),
+        nonce in any::<u64>(),
+        raw_start in any::<u64>(),
+        raw_len in any::<u64>(),
+    ) {
+        let ctr = AesCtr::new(&key, nonce);
+        let counter = start_id(raw_start);
+        let mut run = vec![[0u8; 16]; batch_len(raw_len)];
+        ctr.keystream_blocks(counter, &mut run);
+        for (i, block) in run.iter().enumerate() {
+            let words = ctr.keystream_u64x2(counter.wrapping_add(i as u64));
+            prop_assert_eq!(u64::from_be_bytes(block[..8].try_into().unwrap()), words[0]);
+            prop_assert_eq!(u64::from_be_bytes(block[8..].try_into().unwrap()), words[1]);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // PRF: eval_run / eval_wide_run ≡ eval / eval_wide per identifier.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn aes_prf_eval_run_matches_eval(
+        key in any::<[u8; 16]>(),
+        raw_start in any::<u64>(),
+        raw_len in any::<u64>(),
+        raw_mod in any::<u64>(),
+    ) {
+        let prf = AesPrf::new(&key);
+        let (start, modulus) = (start_id(raw_start), pick_modulus(raw_mod));
+        let mut run = vec![0u64; batch_len(raw_len)];
+        prf.eval_run(start, modulus, &mut run);
+        for (i, &value) in run.iter().enumerate() {
+            prop_assert_eq!(value, prf.eval(start.wrapping_add(i as u64), modulus));
+        }
+    }
+
+    #[test]
+    fn aes_prf_eval_wide_run_matches_eval_wide(
+        key in any::<[u8; 16]>(),
+        raw_start in any::<u64>(),
+        raw_len in any::<u64>(),
+    ) {
+        let prf = AesPrf::new(&key);
+        let start = start_id(raw_start);
+        let mut run = vec![[0u64; 2]; batch_len(raw_len)];
+        prf.eval_wide_run(start, &mut run);
+        for (i, &pair) in run.iter().enumerate() {
+            prop_assert_eq!(pair, prf.eval_wide(start.wrapping_add(i as u64)));
+        }
+    }
+
+    /// The `AnyPrf` dispatch must route runs to the batched kernel (AES) or
+    /// the default per-id loop (hash) without changing a single output.
+    #[test]
+    fn any_prf_eval_run_matches_eval(
+        key in any::<[u8; 16]>(),
+        aes in any::<bool>(),
+        raw_start in any::<u64>(),
+        raw_len in any::<u64>(),
+        raw_mod in any::<u64>(),
+    ) {
+        let prf = AnyPrf::new(if aes { PrfKind::Aes } else { PrfKind::Hash }, &key);
+        let (start, modulus) = (start_id(raw_start), pick_modulus(raw_mod));
+        let mut run = vec![0u64; batch_len(raw_len)];
+        prf.eval_run(start, modulus, &mut run);
+        for (i, &value) in run.iter().enumerate() {
+            prop_assert_eq!(value, prf.eval(start.wrapping_add(i as u64), modulus));
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // ASHE: packed mask runs and run-encryption ≡ the scalar scheme.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn ashe_mask_run_matches_mask(
+        key in any::<[u8; 16]>(),
+        aes in any::<bool>(),
+        raw_start in any::<u64>(),
+        raw_len in any::<u64>(),
+        raw_mod in any::<u64>(),
+    ) {
+        let kind = if aes { PrfKind::Aes } else { PrfKind::Hash };
+        let scheme = AsheScheme::with_options(&key, kind, pick_modulus(raw_mod));
+        let start = start_id(raw_start);
+        let mut run = vec![0u64; batch_len(raw_len)];
+        scheme.mask_run(start, &mut run);
+        for (i, &value) in run.iter().enumerate() {
+            prop_assert_eq!(
+                value,
+                scheme.mask(start.wrapping_add(i as u64)),
+                "mask diverged at offset {} of a run starting at {}",
+                i,
+                start
+            );
+        }
+    }
+
+    #[test]
+    fn ashe_encrypt_run_matches_encrypt(
+        key in any::<[u8; 16]>(),
+        aes in any::<bool>(),
+        raw_start in any::<u64>(),
+        values in pvec(any::<u64>(), 0..130),
+        raw_mod in any::<u64>(),
+    ) {
+        let kind = if aes { PrfKind::Aes } else { PrfKind::Hash };
+        let scheme = AsheScheme::with_options(&key, kind, pick_modulus(raw_mod));
+        let start = start_id(raw_start);
+        let run = scheme.encrypt_run(&values, start);
+        prop_assert_eq!(run.len(), values.len());
+        for (i, ciphertext) in run.iter().enumerate() {
+            let scalar = scheme.encrypt(values[i], start.wrapping_add(i as u64));
+            prop_assert_eq!(ciphertext.value, scalar.value);
+            prop_assert_eq!(&ciphertext.ids, &scalar.ids);
+        }
+    }
+
+    /// The column front door: batched `encrypt_column` ≡ the retained scalar
+    /// reference, and both telescope back to the plaintext.
+    #[test]
+    fn ashe_encrypt_column_matches_scalar_and_roundtrips(
+        key in any::<[u8; 16]>(),
+        start in any::<u64>(),
+        values in pvec(any::<u64>(), 0..100),
+    ) {
+        let scheme = AsheScheme::new(&key);
+        let batched = encrypt_column(&scheme, &values, start);
+        let scalar = encrypt_column_scalar(&scheme, &values, start);
+        prop_assert_eq!(batched.len(), values.len());
+        for (i, &value) in values.iter().enumerate() {
+            let b = batched.ciphertext_at(i);
+            let s = scalar.ciphertext_at(i);
+            prop_assert_eq!(b.value, s.value);
+            prop_assert_eq!(&b.ids, &s.ids);
+            prop_assert_eq!(scheme.decrypt(&b), value);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // ORE: the batched prefix encryption ≡ the scalar per-bit walk.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn ore_encrypt_matches_scalar(key in any::<[u8; 16]>(), values in pvec(any::<u64>(), 1..24)) {
+        let ore = OreScheme::new(&key);
+        for &m in &values {
+            prop_assert_eq!(ore.encrypt(m).symbols, ore.encrypt_scalar(m).symbols);
+        }
+        // Order must survive the batched path end-to-end.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            prop_assert_eq!(ore.encrypt(pair[0]).compare(&ore.encrypt(pair[1])), pair[0].cmp(&pair[1]));
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // FixedUint: the allocation-free accumulator ≡ BigUint, wrapping at
+    // 2^(64 * LIMBS).
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn fixed_uint_arithmetic_matches_biguint(a in any::<u128>(), b in any::<u128>(), raw_m in any::<u64>()) {
+        let m = raw_m.max(1);
+        let width = BigUint::one().shl(128); // 2^(64 * LIMBS) for LIMBS = 2
+        let fa = FixedUint::<2>::from_u128(a);
+        let fb = FixedUint::<2>::from_u128(b);
+        let ba = BigUint::from_u128(a);
+        let bb = BigUint::from_u128(b);
+
+        let mut sum = fa;
+        sum.add_assign(&fb);
+        prop_assert_eq!(sum.to_biguint(), ba.add(&bb).rem(&width));
+
+        let mut diff = fa;
+        diff.sub_assign(&fb);
+        prop_assert_eq!(diff.to_biguint(), ba.add(&width).sub(&bb).rem(&width));
+
+        let mut scaled = fa;
+        scaled.mul_u64(m);
+        prop_assert_eq!(scaled.to_biguint(), ba.mul(&BigUint::from_u64(m)).rem(&width));
+
+        prop_assert_eq!(fa.rem_u64(m), ba.rem(&BigUint::from_u64(m)).to_u64_truncated());
+        prop_assert_eq!(fa.to_u128_truncated(), a);
+    }
+}
+
+/// The exact batch sizes a prepared-statement bind produces (a handful of
+/// literals) must go through the same code the proptests exercised — pin the
+/// tiny sizes explicitly so a future fast path for them cannot drift.
+#[test]
+fn tiny_bind_batches_are_pinned() {
+    let scheme = AsheScheme::new(&[7u8; 16]);
+    for n in 0..5u64 {
+        let values: Vec<u64> = (0..n).map(|v| v * 1_000_003).collect();
+        let run = scheme.encrypt_run(&values, 40);
+        assert_eq!(run.len(), values.len());
+        for (i, c) in run.iter().enumerate() {
+            assert_eq!(c.value, scheme.encrypt(values[i], 40 + i as u64).value);
+        }
+    }
+    let prf = AesPrf::new(&[3u8; 16]);
+    let mut out = [0u64; 1];
+    prf.eval_run(u64::MAX, 0, &mut out);
+    assert_eq!(out[0], prf.eval(u64::MAX, 0));
+}

@@ -394,6 +394,84 @@ fn forged_short_partials_are_rejected_and_redispatched() {
 }
 
 // ---------------------------------------------------------------------------
+// Partial-cache invalidation under worker death
+// ---------------------------------------------------------------------------
+
+/// Worker death discovered mid-sweep bumps the cache epoch and fences every
+/// pre-death cached partial: the next execute of a previously-warm statement
+/// is fully cold (a stale partial can never merge into a post-recovery
+/// response), re-merges only fresh partials, and matches the single-server
+/// reference byte for byte — then re-warms under the new epoch.
+#[test]
+fn worker_death_mid_sweep_fences_cached_partials() {
+    use seabed_core::QueryTarget;
+    let table = test_table(2_000, 8);
+    let stmt_a = sum_query(false);
+    let stmt_b = sum_query(true);
+    let expected_a = local_answer(&table, &stmt_a);
+    let expected_b = local_answer(&table, &stmt_b);
+
+    let mut workers: Vec<_> = (0..3)
+        .map(|_| spawn_worker("127.0.0.1:0", ServiceConfig::default()).expect("worker"))
+        .collect();
+    let addrs: Vec<SocketAddr> = workers.iter().map(|w| w.local_addr()).collect();
+    let coordinator = DistCoordinator::connect(&addrs, table, DistConfig::default()).expect("connect");
+
+    // Populate statement A (cold), then confirm it answers warm.
+    let first = coordinator.execute_prepared(&stmt_a, 1, &[]).expect("populate");
+    assert_eq!(expected_a.groups, first.groups);
+    let report = coordinator.last_report();
+    assert!(report.cache_misses > 0 && report.cache_hits == 0, "{report:?}");
+    let warm = coordinator.execute_prepared(&stmt_a, 1, &[]).expect("warm");
+    assert_eq!(expected_a.groups, warm.groups);
+    assert_eq!(expected_a.result_bytes, warm.result_bytes);
+    assert!(coordinator.last_report().cache_hits > 0);
+
+    let epoch_before = coordinator.cache_epoch();
+    assert!(coordinator.cache_len() > 0, "partials must be resident before the kill");
+
+    // Kill a worker for real. The next sweep (statement B, nothing cached)
+    // runs into the dead connections mid-scatter: re-dispatch completes the
+    // query, and the discovery bumps the cache epoch and evicts stale
+    // entries.
+    workers.remove(1).shutdown();
+    let b = coordinator
+        .execute_prepared(&stmt_b, 2, &[])
+        .expect("query after the kill");
+    assert_eq!(expected_b.groups, b.groups);
+    assert!(coordinator.last_report().runs.iter().any(|r| r.redispatched));
+    assert!(
+        coordinator.cache_epoch() > epoch_before,
+        "worker death must bump the cache epoch"
+    );
+    assert!(
+        coordinator.cache_stats().invalidated > 0,
+        "the dead worker's cached partials must be evicted: {:?}",
+        coordinator.cache_stats()
+    );
+
+    // Statement A again: every pre-death partial is fenced, so the execute
+    // is fully cold and byte-identical to the reference.
+    let recovered = coordinator.execute_prepared(&stmt_a, 1, &[]).expect("post-recovery");
+    let report = coordinator.last_report();
+    assert_eq!(
+        report.cache_hits, 0,
+        "a stale partial must never merge into a post-recovery response: {report:?}"
+    );
+    assert!(report.cache_misses > 0, "{report:?}");
+    assert_eq!(expected_a.groups, recovered.groups);
+    assert_eq!(expected_a.result_bytes, recovered.result_bytes);
+
+    // And the cache re-warms under the new epoch.
+    let rewarmed = coordinator.execute_prepared(&stmt_a, 1, &[]).expect("re-warm");
+    assert!(coordinator.last_report().cache_hits > 0);
+    assert_eq!(expected_a.groups, rewarmed.groups);
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Duplicate / late partials
 // ---------------------------------------------------------------------------
 
