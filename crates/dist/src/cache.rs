@@ -12,10 +12,11 @@
 //! * the **filter hash** covers the bound, literal-encrypted filters
 //!   ([`seabed_net::wire::write_filters_payload`]) — any differing literal
 //!   changes the key;
-//! * the **cache epoch** fences staleness: worker death or a shard
-//!   re-dispatch bumps it, which unreaches every earlier entry at once. A
-//!   partial produced before a recovery can therefore never merge into a
-//!   post-recovery response.
+//! * the **cache epoch** fences staleness: worker death, a shard
+//!   re-dispatch, or a membership change (a worker joining or leaving the
+//!   cluster rewrites replica sets) bumps it, which unreaches every earlier
+//!   entry at once. A partial produced before a recovery or rebalance can
+//!   therefore never merge into a post-change response.
 //!
 //! Entries record the worker that produced them, so a dead worker's entries
 //! are additionally purged (reclaiming space; the epoch bump already fenced

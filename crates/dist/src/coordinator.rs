@@ -3,36 +3,64 @@
 //! [`DistCoordinator::connect`] shards an encrypted [`Table`]'s partitions
 //! across N workers (contiguous partition ranges, so per-worker ID lists stay
 //! run-compressed), announces a fresh **epoch** to every worker, and loads
-//! each shard over the wire. [`DistCoordinator::execute`] then scatters the
-//! translated query to every worker holding shards — concurrently over the
-//! persistent connections — and gathers the mergeable partial results into
-//! one [`ServerResponse`] via [`seabed_engine::merge`] +
-//! [`seabed_core::finalize_partials`]: the *same* two steps in-process
-//! execution runs, so the distributed answer is byte-identical by
-//! construction.
+//! each shard onto its **replica set** — `replication` workers per shard
+//! (default 2), generalizing the old single-owner `(t + i) % N` placement to
+//! `{(t + i + k) % N : k < R}`. [`DistCoordinator::execute`] then scatters
+//! the translated query to every shard's *primary* (the first live member of
+//! its replica set) — concurrently over the persistent connections — and
+//! gathers the mergeable partial results into one [`ServerResponse`] via
+//! [`seabed_engine::merge`] + [`seabed_core::finalize_partials`]: the *same*
+//! two steps in-process execution runs, so the distributed answer is
+//! byte-identical by construction.
 //!
 //! # Failure semantics
 //!
 //! Per shard query, the coordinator distinguishes:
 //!
-//! * **transport/protocol failures** (connect reset, mid-frame stall past the
-//!   read timeout, framing desync, epoch/sequence mismatch, shard not
-//!   resident): the worker's connection is poisoned and the shard is
-//!   **re-dispatched** — re-loaded from the coordinator's retained copy onto
-//!   a surviving worker and re-queried there. The coordinator itself never
-//!   dies; only when no worker survives does the query return a typed
-//!   [`SeabedError::Dist`].
+//! * **transport/protocol failures** (connect reset, mid-request stall past
+//!   the round-trip deadline, framing desync, epoch/sequence mismatch, shard
+//!   not resident): the worker's connection is poisoned and the shard is
+//!   **re-dispatched** — first to a live replica that already holds it (no
+//!   re-transfer on the critical path), then, only if no replica survives, by
+//!   re-loading the coordinator's retained copy onto any other live worker.
+//!   The coordinator itself never dies; only when no live replica or worker
+//!   is left does the query return a typed [`SeabedError::Dist`].
 //! * **query failures** (schema mismatch, corrupt shard, translation
 //!   problems): deterministic — every worker would answer the same — so they
 //!   propagate to the caller immediately instead of burning retries.
 //!
+//! # Hedged reads
+//!
+//! A primary that is merely *slow* — not provably dead — is hedged instead of
+//! waited out: once a shard's reply is outstanding longer than
+//! [`DistConfig::hedge_after`] (and a live second replica exists), the
+//! coordinator abandons the wait **without poisoning the connection** (the
+//! stream is still frame-aligned; nothing of the reply has arrived) and
+//! re-issues the query to a replica under a fresh sequence number. The first
+//! valid `(epoch, shard, seq)` echo wins; the loser's partial, arriving later
+//! with an older seq, is discarded by the stale-seq rule below and can never
+//! be merged twice. Hedging never engages when `hedge_after >=`
+//! [`DistConfig::read_timeout`] or no live replica is available.
+//!
+//! # Elastic membership
+//!
+//! [`DistCoordinator::join_worker`] connects a new worker under the *same*
+//! epoch and greedily rebalances replica slots onto it — moving only shards
+//! whose replica set changed (load onto the joiner, then unload from the
+//! donor). [`DistCoordinator::leave_worker`] re-homes every replica slot the
+//! leaver held onto the least-loaded survivors before dropping its
+//! connection, and refuses (typed error, membership unchanged) if a shard
+//! would lose its last copy. Both bump the partial cache's fencing epoch, so
+//! partials cached under the old membership can never answer a later probe.
+//!
 //! A worker's reply must echo the `(epoch, shard, seq)` triple of the
-//! in-flight request. Stale triples (a duplicate or a late answer to an
-//! earlier sequence number) are discarded and counted; anything else poisons
-//! the connection, reusing the `seabed-net` rule that a response can never be
-//! paired with the wrong request.
+//! in-flight request. Stale triples (a duplicate, a hedge loser, or a late
+//! answer to an earlier sequence number) are discarded and counted; anything
+//! else poisons the connection, reusing the `seabed-net` rule that a
+//! response can never be paired with the wrong request.
 
 use crate::cache::{CacheStats, PartialCache, PartialKey};
+use rand::RngCore;
 use seabed_core::{finalize_partials, fnv1a64, PartialResponse, PhysicalFilter, QueryTarget, ServerResponse};
 use seabed_engine::merge::{merge_partial_groups, PartialGroups};
 use seabed_engine::{ExecStats, Schema, Table};
@@ -41,8 +69,8 @@ use seabed_net::wire::{self, Frame, ShardExecConfig, HEADER_LEN};
 use seabed_query::TranslatedQuery;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant, SystemTime};
 
 /// How the coordinator walks the workers during a query.
@@ -61,9 +89,10 @@ pub enum ScatterMode {
 /// Configuration of a [`DistCoordinator`].
 #[derive(Clone, Copy, Debug)]
 pub struct DistConfig {
-    /// Stall timeout for one worker round trip (connect, load, or query):
-    /// a worker that goes silent longer than this mid-request is treated as
-    /// dead and its shards are re-dispatched.
+    /// Total stall budget for one worker round trip (connect, load, unload,
+    /// or query): the deadline covers the request *and the whole reply* —
+    /// including every stale partial drained while waiting — so a worker
+    /// trickling bytes cannot stretch a single round trip past it.
     pub read_timeout: Duration,
     /// Frame limit for worker connections (shard loads carry whole partition
     /// sets, so this defaults to the wire maximum).
@@ -76,6 +105,14 @@ pub struct DistConfig {
     /// Entry bound of the statement-keyed partial-result cache serving
     /// prepared executes ([`crate::cache`]); `0` disables caching.
     pub partial_cache_capacity: usize,
+    /// Replicas per shard. Clamped to `1..=N` at connect time; `1` restores
+    /// the old single-owner placement (and disables hedging for lack of a
+    /// second copy).
+    pub replication: usize,
+    /// How long a shard query may stay outstanding on its primary before the
+    /// coordinator hedges it against a replica. Hedging only engages when
+    /// this is strictly below `read_timeout` and a live replica exists.
+    pub hedge_after: Duration,
 }
 
 impl Default for DistConfig {
@@ -89,6 +126,8 @@ impl Default for DistConfig {
             },
             scatter: ScatterMode::Concurrent,
             partial_cache_capacity: 1024,
+            replication: 2,
+            hedge_after: Duration::from_secs(2),
         }
     }
 }
@@ -118,6 +157,18 @@ impl DistConfig {
         self.partial_cache_capacity = capacity;
         self
     }
+
+    /// Returns the configuration with the replica count replaced.
+    pub fn replication(mut self, replicas: usize) -> DistConfig {
+        self.replication = replicas;
+        self
+    }
+
+    /// Returns the configuration with the hedge trigger replaced.
+    pub fn hedge_after(mut self, after: Duration) -> DistConfig {
+        self.hedge_after = after;
+        self
+    }
 }
 
 /// One shard's execution record within a query (for observability and the
@@ -137,6 +188,9 @@ pub struct ShardRun {
     /// True when the shard had to be re-dispatched away from its original
     /// worker during this query.
     pub redispatched: bool,
+    /// True when the answer came from a hedge replica because the primary
+    /// left the request outstanding past the hedge trigger.
+    pub hedged: bool,
 }
 
 /// What one `execute` call did, shard by shard.
@@ -148,13 +202,17 @@ pub struct QueryReport {
     pub gather_time: Duration,
     /// End-to-end wall time of the scatter/gather.
     pub wall_time: Duration,
-    /// Stale (duplicate or late) partials discarded during this query.
+    /// Stale (duplicate, hedge-loser, or late) partials discarded during
+    /// this query.
     pub discarded_partials: u64,
     /// Shards answered from the partial cache (prepared executes only).
     pub cache_hits: u64,
     /// Shards that missed the partial cache and were scattered (prepared
     /// executes only; one-shot queries never probe and count nothing).
     pub cache_misses: u64,
+    /// Hedged reads launched during this query (slow primaries raced
+    /// against a replica).
+    pub hedged_reads: u64,
 }
 
 /// Health and traffic summary of one worker.
@@ -162,10 +220,11 @@ pub struct QueryReport {
 pub struct WorkerSummary {
     /// Worker label (resolved address).
     pub label: String,
-    /// False once the connection was poisoned by a failure.
+    /// False once the connection was poisoned by a failure or the worker
+    /// left the cluster.
     pub alive: bool,
-    /// Shards currently assigned to this worker, as (table id, shard id)
-    /// pairs — one pool serves every registered table.
+    /// Shards whose replica set contains this worker, as (table id, shard
+    /// id) pairs — one pool serves every registered table.
     pub shards: Vec<(u32, u32)>,
     /// Shard queries answered by this worker.
     pub queries: u64,
@@ -173,6 +232,26 @@ pub struct WorkerSummary {
     pub bytes_sent: u64,
     /// Bytes read from this worker.
     pub bytes_received: u64,
+}
+
+/// How a deadline-bounded receive failed.
+enum RecvError {
+    /// The deadline passed before *any* byte of the next frame arrived. The
+    /// stream is still frame-aligned, so a hedging caller may abandon the
+    /// wait without poisoning the connection.
+    TimedOutIdle,
+    /// Transport or framing failure — including a deadline that passed
+    /// mid-frame, after which the stream can no longer be trusted.
+    Failed(SeabedError),
+}
+
+impl RecvError {
+    fn into_error(self) -> SeabedError {
+        match self {
+            RecvError::TimedOutIdle => SeabedError::net("worker stalled past the read timeout"),
+            RecvError::Failed(err) => err,
+        }
+    }
 }
 
 /// A framed, persistent connection to one worker. Any transport or framing
@@ -198,25 +277,61 @@ impl FramedConn {
         Ok(())
     }
 
-    fn recv(&mut self, max_frame_len: u32) -> Result<Frame, SeabedError> {
+    /// Receives one frame under a *total* deadline: header and payload share
+    /// it, so a worker trickling one byte per read-timeout interval — which
+    /// a per-chunk timeout would wait out indefinitely — still fails the
+    /// round trip when the budget runs dry.
+    fn recv_deadline(&mut self, max_frame_len: u32, deadline: Instant) -> Result<Frame, RecvError> {
         let mut header_bytes = [0u8; HEADER_LEN];
-        read_exact(&mut self.stream, &mut header_bytes)?;
-        let header = wire::decode_header(&header_bytes, max_frame_len)?;
+        read_exact_deadline(&mut self.stream, &mut header_bytes, deadline)?;
+        let header = wire::decode_header(&header_bytes, max_frame_len).map_err(RecvError::Failed)?;
         let mut payload = vec![0u8; header.payload_len as usize];
-        read_exact(&mut self.stream, &mut payload)?;
+        read_exact_deadline(&mut self.stream, &mut payload, deadline).map_err(|e| match e {
+            // The header arrived but the payload did not: mid-frame, the
+            // stream is desynced and must not be reused.
+            RecvError::TimedOutIdle => {
+                RecvError::Failed(SeabedError::net("worker stalled mid-frame past the read timeout"))
+            }
+            failed => failed,
+        })?;
         self.bytes_received += (HEADER_LEN + payload.len()) as u64;
-        wire::decode_payload(header.kind, &payload)
+        wire::decode_payload(header.kind, &payload).map_err(RecvError::Failed)
     }
 }
 
-fn read_exact(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), SeabedError> {
-    stream.read_exact(buf).map_err(|e| match e.kind() {
-        std::io::ErrorKind::UnexpectedEof => SeabedError::net("worker closed the connection"),
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
-            SeabedError::net("worker stalled past the read timeout")
+/// Fills `buf` from `stream` under `deadline`. Each read waits at most the
+/// *remaining* budget, so the total wait is bounded no matter how many
+/// partial reads the peer spreads it over. A timeout with bytes already
+/// consumed is reported as a hard failure (the frame boundary is lost); a
+/// timeout on a pristine buffer is [`RecvError::TimedOutIdle`].
+fn read_exact_deadline(stream: &mut TcpStream, buf: &mut [u8], deadline: Instant) -> Result<(), RecvError> {
+    let timed_out = |filled: usize| {
+        if filled > 0 {
+            RecvError::Failed(SeabedError::net("worker stalled mid-frame past the read timeout"))
+        } else {
+            RecvError::TimedOutIdle
         }
-        _ => SeabedError::net(format!("receive: {e}")),
-    })
+    };
+    let mut filled = 0;
+    while filled < buf.len() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(timed_out(filled));
+        }
+        stream
+            .set_read_timeout(Some(remaining))
+            .map_err(|e| RecvError::Failed(SeabedError::net(format!("set_read_timeout: {e}"))))?;
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(RecvError::Failed(SeabedError::net("worker closed the connection"))),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut => {
+                return Err(timed_out(filled))
+            }
+            Err(e) => return Err(RecvError::Failed(SeabedError::net(format!("receive: {e}")))),
+        }
+    }
+    Ok(())
 }
 
 /// One worker as the coordinator sees it.
@@ -225,6 +340,10 @@ struct WorkerLink {
     /// `None` once poisoned. Guarded per worker, so concurrent scatter
     /// threads to *different* workers never contend.
     conn: Mutex<Option<FramedConn>>,
+    /// Set when the worker left the cluster via
+    /// [`DistCoordinator::leave_worker`]; a removed worker is never selected
+    /// again (worker indices stay stable, the slot is retired in place).
+    removed: AtomicBool,
     queries: AtomicU64,
     /// Cumulative traffic totals, mirrored out of the connection after every
     /// exchange so they survive poisoning — the post-mortem summary of a dead
@@ -266,7 +385,7 @@ impl WorkerLink {
     }
 
     fn alive(&self) -> bool {
-        self.conn.lock().unwrap_or_else(|p| p.into_inner()).is_some()
+        !self.removed.load(Ordering::Acquire) && self.conn.lock().unwrap_or_else(|p| p.into_inner()).is_some()
     }
 
     fn traffic(&self) -> (u64, u64) {
@@ -289,35 +408,98 @@ fn retry_elsewhere(err: &SeabedError) -> bool {
     )
 }
 
+/// Per-process epoch nonce: drawn once from the vendored RNG, so two
+/// coordinator processes reading the same clock still derive distinct epochs.
+fn epoch_nonce() -> u64 {
+    static NONCE: OnceLock<u64> = OnceLock::new();
+    *NONCE.get_or_init(|| rand::rng().next_u64() | 1)
+}
+
+/// Per-process monotonic salt: distinguishes coordinators created back to
+/// back *within* one process, where the nonce alone would collide.
+static EPOCH_SALT: AtomicU64 = AtomicU64::new(0);
+
+/// SplitMix64-style finalizer over (clock, nonce, salt). The result is
+/// non-zero — workers boot with epoch 0, and an epoch of 0 would make a
+/// fresh coordinator look like no coordinator at all.
+fn mix_epoch(nanos: u64, nonce: u64, salt: u64) -> u64 {
+    let mut z = nanos ^ nonce.rotate_left(17) ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)).max(1)
+}
+
+/// Derives a fresh shard epoch from `now`. A clock reading before the UNIX
+/// epoch is a typed error — silently truncating it (the old behavior) would
+/// let a host with a stepped-back clock claim shards under an epoch workers
+/// have already retired.
+fn fresh_epoch_at(now: SystemTime) -> Result<u64, SeabedError> {
+    let nanos = now
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_err(|_| {
+            SeabedError::dist(
+                "coordinator",
+                "system clock reads before the UNIX epoch; refusing to derive a shard epoch",
+            )
+        })?
+        .as_nanos() as u64;
+    let salt = EPOCH_SALT.fetch_add(1, Ordering::Relaxed);
+    Ok(mix_epoch(nanos, epoch_nonce(), salt))
+}
+
+/// The replica set of shard `shard` of table `table_id` at connect time:
+/// `R` consecutive workers starting at the old single-owner slot
+/// `(table_id + shard) % N`, so `replication = 1` reproduces the legacy
+/// placement exactly and the members are always distinct.
+fn initial_replica_set(table_id: usize, shard: usize, num_workers: usize, replication: usize) -> Vec<usize> {
+    let r = replication.clamp(1, num_workers);
+    (0..r).map(|k| (table_id + shard + k) % num_workers).collect()
+}
+
+/// The immutable per-query inputs threaded through scatter, hedge, and
+/// re-dispatch.
+#[derive(Clone, Copy)]
+struct QueryContext<'a> {
+    table_id: u32,
+    query: &'a TranslatedQuery,
+    filters: &'a [PhysicalFilter],
+}
+
 /// One encrypted table hosted by the coordinator: its shards (retained so a
 /// dead worker's shards can be re-loaded onto a survivor mid-query), its
-/// schema, and the standing shard → worker assignment.
+/// schema, and the standing shard → replica-set assignment.
 struct TableEntry {
     /// `None` for the legacy single-table constructor, which accepts any
     /// `FROM` name; named entries route strictly.
     name: Option<String>,
     schema: Schema,
     shards: Vec<Table>,
-    /// `assignment[shard] = worker index`.
-    assignment: Mutex<Vec<usize>>,
+    /// `assignment[shard]` is the shard's replica set, primary first. Every
+    /// member holds a loaded copy; queries go to the first live member.
+    assignment: Mutex<Vec<Vec<usize>>>,
 }
 
 /// The scatter/gather coordinator over N `seabed-net` workers, hosting one
 /// or many encrypted tables on the same worker pool.
 pub struct DistCoordinator {
     tables: Vec<TableEntry>,
-    workers: Vec<WorkerLink>,
+    /// Worker slots. Indices are stable for the coordinator's lifetime:
+    /// joiners append, leavers are retired in place (`removed` flag), so
+    /// replica sets and the partial cache's worker keys never dangle.
+    workers: RwLock<Vec<Arc<WorkerLink>>>,
     epoch: u64,
     seq: AtomicU64,
     config: DistConfig,
     discarded: AtomicU64,
+    hedged: AtomicU64,
     last_report: Mutex<QueryReport>,
     /// Statement-keyed partial-result cache serving prepared executes.
     cache: Mutex<PartialCache>,
     /// Fencing epoch of the partial cache. Distinct from the wire `epoch`
     /// (which orders coordinator *generations* and is constant for this
-    /// coordinator's lifetime): this one is bumped on every worker loss, so
-    /// entries cached before a recovery can never answer a probe after it.
+    /// coordinator's lifetime): this one is bumped on every worker loss and
+    /// every membership change, so entries cached before a recovery or a
+    /// rebalance can never answer a probe after it.
     cache_epoch: AtomicU64,
 }
 
@@ -325,8 +507,9 @@ impl DistCoordinator {
     /// Connects to `addrs` and hosts a single anonymous table: shards its
     /// partitions across the workers (contiguous ranges, one shard per
     /// worker; extra workers stay empty as hot spares for re-dispatch),
-    /// announces a fresh epoch, and loads every shard. Workers keep their
-    /// shards until a coordinator with a different epoch claims them.
+    /// announces a fresh epoch, and loads every shard onto its replica set.
+    /// Workers keep their shards until a coordinator with a different epoch
+    /// claims them.
     ///
     /// Queries against this coordinator may use any `FROM` name; to host
     /// several tables on one pool with strict name routing, use
@@ -391,39 +574,41 @@ impl DistCoordinator {
 
         // The epoch orders coordinator generations: workers drop shards of
         // any other epoch at handshake, so a restarted coordinator can never
-        // race its own stale assignments.
-        let epoch = SystemTime::now()
-            .duration_since(SystemTime::UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(1)
-            .max(1);
+        // race its own stale assignments. Clock ⊕ process nonce ⊕ counter —
+        // two coordinators reading the same clock still get distinct epochs.
+        let epoch = fresh_epoch_at(SystemTime::now())?;
 
         let mut workers = Vec::with_capacity(addrs.len());
         for addr in addrs {
-            workers.push(connect_worker(addr, epoch, &config)?);
+            workers.push(Arc::new(connect_worker(addr, epoch, &config)?));
         }
+        let num_workers = workers.len();
 
         let coordinator = DistCoordinator {
             tables: entries,
-            workers,
+            workers: RwLock::new(workers),
             epoch,
             seq: AtomicU64::new(0),
             discarded: AtomicU64::new(0),
+            hedged: AtomicU64::new(0),
             last_report: Mutex::new(QueryReport::default()),
             cache: Mutex::new(PartialCache::new(config.partial_cache_capacity)),
             cache_epoch: AtomicU64::new(1),
             config,
         };
-        // Initial placement: table t's shard i on worker (t + i) mod N, so
-        // several tables spread across the pool instead of piling their
-        // first shards onto worker 0.
+        // Initial placement: table t's shard i lives on the R consecutive
+        // workers starting at (t + i) mod N, so several tables spread across
+        // the pool instead of piling their first shards onto worker 0, and
+        // every shard has a replica to hedge against or fail over to.
         for table_id in 0..coordinator.tables.len() {
             let shards = coordinator.tables[table_id].shards.len();
             let mut assignment = Vec::with_capacity(shards);
             for shard in 0..shards {
-                let worker = (table_id + shard) % coordinator.workers.len();
-                coordinator.load_shard(table_id as u32, shard as u32, worker)?;
-                assignment.push(worker);
+                let set = initial_replica_set(table_id, shard, num_workers, config.replication);
+                for &worker in &set {
+                    coordinator.load_shard(table_id as u32, shard as u32, worker)?;
+                }
+                assignment.push(set);
             }
             *coordinator.tables[table_id]
                 .assignment
@@ -464,12 +649,18 @@ impl DistCoordinator {
         self.tables.iter().map(|t| t.shards.len()).sum()
     }
 
+    /// Number of worker slots, including retired ones (indices are stable).
+    pub fn num_workers(&self) -> usize {
+        self.workers.read().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
     /// The shard epoch in force on every worker.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
-    /// The partial cache's fencing epoch (bumped on every worker loss).
+    /// The partial cache's fencing epoch (bumped on every worker loss and
+    /// membership change).
     pub fn cache_epoch(&self) -> u64 {
         self.cache_epoch.load(Ordering::Acquire)
     }
@@ -489,14 +680,36 @@ impl DistCoordinator {
         self.last_report.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
-    /// Health and traffic summaries, one per worker.
+    fn worker(&self, index: usize) -> Result<Arc<WorkerLink>, SeabedError> {
+        self.workers
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(index)
+            .cloned()
+            .ok_or_else(|| SeabedError::dist("coordinator", format!("worker index {index} is out of range")))
+    }
+
+    fn workers_snapshot(&self) -> Vec<Arc<WorkerLink>> {
+        self.workers.read().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    fn worker_alive(&self, index: usize) -> bool {
+        self.workers
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(index)
+            .map(|link| link.alive())
+            .unwrap_or(false)
+    }
+
+    /// Health and traffic summaries, one per worker slot.
     pub fn worker_summaries(&self) -> Vec<WorkerSummary> {
-        let assignments: Vec<Vec<usize>> = self
+        let assignments: Vec<Vec<Vec<usize>>> = self
             .tables
             .iter()
             .map(|t| t.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone())
             .collect();
-        self.workers
+        self.workers_snapshot()
             .iter()
             .enumerate()
             .map(|(w, link)| {
@@ -511,7 +724,7 @@ impl DistCoordinator {
                             assignment
                                 .iter()
                                 .enumerate()
-                                .filter(move |&(_, &owner)| owner == w)
+                                .filter(move |(_, set)| set.contains(&w))
                                 .map(move |(shard, _)| (table_id as u32, shard as u32))
                         })
                         .collect(),
@@ -523,11 +736,24 @@ impl DistCoordinator {
             .collect()
     }
 
+    /// Bumps the cache fencing epoch and reclaims everything it fences
+    /// (entries of the named dead/departed workers first, so the purge is
+    /// attributable, then every remaining stale-epoch entry).
+    fn fence_cache(&self, dead: &[usize]) {
+        let bumped = self.cache_epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        for &worker in dead {
+            cache.purge_worker(worker);
+        }
+        cache.purge_stale_epochs(bumped);
+    }
+
     /// Executes a translated query across every shard of the table it names
     /// and merges the partial results into one response, byte-identical to
-    /// single-server execution. Shards on a worker that died or stalled are
-    /// re-dispatched to survivors; the call fails only when a shard cannot
-    /// run anywhere or a worker reports a deterministic query error.
+    /// single-server execution. Slow primaries are hedged against replicas;
+    /// shards on a worker that died are re-dispatched (replicas first); the
+    /// call fails only when a shard cannot run anywhere or a worker reports
+    /// a deterministic query error.
     pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
         self.execute_internal(query, filters, None)
     }
@@ -544,8 +770,14 @@ impl DistCoordinator {
     ) -> Result<ServerResponse, SeabedError> {
         let started = Instant::now();
         let (table_id, entry) = self.resolve(&query.base_table)?;
-        let assignment = entry.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let assignment: Vec<Vec<usize>> = entry.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone();
         let discarded_before = self.discarded.load(Ordering::Relaxed);
+        let hedged_before = self.hedged.load(Ordering::Relaxed);
+        let ctx = QueryContext {
+            table_id,
+            query,
+            filters,
+        };
 
         // Probe: a prepared execute answers every shard it can from the
         // cache and scatters only to the rest. The probe epoch is re-read
@@ -573,11 +805,21 @@ impl DistCoordinator {
             None => missing.extend(0..assignment.len() as u32),
         }
 
-        // Scatter: group the uncached shards by owning worker, one lane per
+        // Scatter: group the uncached shards by *primary* (first live member
+        // of the replica set, falling back to the nominal head so a fully
+        // dead set still fails over through re-dispatch), one lane per
         // worker.
+        let workers = self.workers_snapshot();
+        let primary_of = |set: &[usize]| -> usize {
+            set.iter()
+                .copied()
+                .find(|&w| workers.get(w).map(|l| l.alive()).unwrap_or(false))
+                .or_else(|| set.first().copied())
+                .unwrap_or(0)
+        };
         let mut lanes: Vec<(usize, Vec<u32>)> = Vec::new();
         for &shard in &missing {
-            let worker = assignment[shard as usize];
+            let worker = primary_of(&assignment[shard as usize]);
             match lanes.iter_mut().find(|(w, _)| *w == worker) {
                 Some((_, shards)) => shards.push(shard),
                 None => lanes.push((worker, vec![shard])),
@@ -589,19 +831,20 @@ impl DistCoordinator {
         match self.config.scatter {
             ScatterMode::Sequential => {
                 for (worker, shards) in &lanes {
-                    let (mut ok, mut bad) = self.query_lane(*worker, table_id, shards, query, filters);
+                    let (mut ok, mut bad) = self.query_lane(*worker, shards, ctx, &assignment);
                     runs.append(&mut ok);
                     failed.append(&mut bad);
                 }
             }
             ScatterMode::Concurrent => {
+                let assignment_ref = &assignment;
                 let outcomes: Vec<LaneOutcome> = std::thread::scope(|scope| {
                     let handles: Vec<_> = lanes
                         .iter()
                         .map(|(worker, shards)| {
                             let worker = *worker;
                             let shards = shards.as_slice();
-                            scope.spawn(move || self.query_lane(worker, table_id, shards, query, filters))
+                            scope.spawn(move || self.query_lane(worker, shards, ctx, assignment_ref))
                         })
                         .collect();
                     handles
@@ -623,29 +866,29 @@ impl DistCoordinator {
             }
         }
 
-        // Re-dispatch: transport/protocol casualties move to survivors; a
-        // deterministic query error fails the whole query immediately. A
-        // worker loss also bumps the cache epoch — every partial cached
-        // before this recovery is fenced at once — and reclaims the fenced
-        // entries (the dead worker's first, so the purge is attributable).
+        // Re-dispatch: transport/protocol casualties move to a live replica
+        // (or, failing that, any survivor); a deterministic query error
+        // fails the whole query immediately. A worker loss also bumps the
+        // cache epoch — every partial cached before this recovery is fenced
+        // at once — and reclaims the fenced entries (the dead workers'
+        // first, so the purge is attributable).
         if failed
             .iter()
             .any(|(shard, err)| *shard != u32::MAX && retry_elsewhere(err))
         {
-            let bumped = self.cache_epoch.fetch_add(1, Ordering::AcqRel) + 1;
-            let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
-            for (worker, link) in self.workers.iter().enumerate() {
-                if !link.alive() {
-                    cache.purge_worker(worker);
-                }
-            }
-            cache.purge_stale_epochs(bumped);
+            let dead: Vec<usize> = workers
+                .iter()
+                .enumerate()
+                .filter(|(_, link)| !link.alive())
+                .map(|(w, _)| w)
+                .collect();
+            self.fence_cache(&dead);
         }
         for (shard, err) in failed {
             if !retry_elsewhere(&err) || shard == u32::MAX {
                 return Err(err);
             }
-            let run = self.redispatch(table_id, shard, query, filters)?;
+            let run = self.redispatch(shard, ctx)?;
             runs.push(run);
         }
 
@@ -704,6 +947,7 @@ impl DistCoordinator {
                     stats: r.stats,
                     round_trip: r.round_trip,
                     redispatched: r.redispatched,
+                    hedged: r.hedged,
                 })
                 .collect(),
             gather_time: gather_started.elapsed(),
@@ -711,38 +955,41 @@ impl DistCoordinator {
             discarded_partials: self.discarded.load(Ordering::Relaxed) - discarded_before,
             cache_hits,
             cache_misses,
+            hedged_reads: self.hedged.load(Ordering::Relaxed) - hedged_before,
         };
         *self.last_report.lock().unwrap_or_else(|p| p.into_inner()) = report;
         Ok(response)
     }
 
     /// Queries every shard in one worker's lane sequentially over its
-    /// persistent connection. Once the lane's connection is actually gone
-    /// (poisoned), the remaining shards are failed without further round
-    /// trips and handed to re-dispatch.
+    /// persistent connection, hedging slow shards against their replicas.
+    /// Once the lane's connection is actually gone (poisoned), the remaining
+    /// shards are failed without further round trips and handed to
+    /// re-dispatch — which tries their live replicas first.
     fn query_lane(
         &self,
         worker: usize,
-        table_id: u32,
         shards: &[u32],
-        query: &TranslatedQuery,
-        filters: &[PhysicalFilter],
+        ctx: QueryContext<'_>,
+        assignment: &[Vec<usize>],
     ) -> LaneOutcome {
         let mut ok = Vec::new();
         let mut bad = Vec::new();
         for (i, &shard) in shards.iter().enumerate() {
-            match self.query_shard(worker, table_id, shard, query, filters) {
+            let set: &[usize] = assignment.get(shard as usize).map(|s| s.as_slice()).unwrap_or(&[]);
+            match self.query_shard_hedged(shard, ctx, set, worker) {
                 Ok(run) => ok.push(run),
                 Err(err) => {
                     bad.push((shard, err));
-                    if !self.workers[worker].alive() {
+                    if !self.worker_alive(worker) {
                         // The lane's connection is gone; every remaining
                         // shard fails the same way without more round trips.
+                        let label = self
+                            .worker(worker)
+                            .map(|l| l.label.clone())
+                            .unwrap_or_else(|_| "coordinator".to_string());
                         for &rest in &shards[i + 1..] {
-                            bad.push((
-                                rest,
-                                SeabedError::dist(&self.workers[worker].label, "lane lost before this shard ran"),
-                            ));
+                            bad.push((rest, SeabedError::dist(&label, "lane lost before this shard ran")));
                         }
                         break;
                     }
@@ -752,21 +999,98 @@ impl DistCoordinator {
         (ok, bad)
     }
 
+    /// One shard query with hedging: the primary gets `hedge_after` to
+    /// answer; if the reply is still outstanding after that (and hedging is
+    /// enabled and a live replica exists), the primary's wait is abandoned
+    /// *without* poisoning its connection and the query is re-issued to each
+    /// live replica in turn under the full round-trip budget. The abandoned
+    /// primary's partial, if it ever lands, carries an older seq and is
+    /// discarded by the stale-seq rule. If every hedge fails, a retryable
+    /// error is returned so the shard flows into re-dispatch under a fresh
+    /// sequence number.
+    fn query_shard_hedged(
+        &self,
+        shard: u32,
+        ctx: QueryContext<'_>,
+        set: &[usize],
+        primary: usize,
+    ) -> Result<LaneRun, SeabedError> {
+        let hedging = self.config.hedge_after < self.config.read_timeout
+            && set.iter().any(|&w| w != primary && self.worker_alive(w));
+        if !hedging {
+            return self.query_shard(primary, shard, ctx);
+        }
+        let link = self.worker(primary)?;
+        match self.query_shard_once(primary, &link, shard, ctx, self.config.hedge_after, true) {
+            Ok(Some(run)) => return Ok(run),
+            Ok(None) => {}
+            Err(err) => return Err(err),
+        }
+        // The primary is outstanding. Race a replica; first valid echo wins.
+        self.hedged.fetch_add(1, Ordering::Relaxed);
+        let mut last_err: Option<SeabedError> = None;
+        for &replica in set {
+            if replica == primary || !self.worker_alive(replica) {
+                continue;
+            }
+            let link = match self.worker(replica) {
+                Ok(link) => link,
+                Err(err) => {
+                    last_err = Some(err);
+                    continue;
+                }
+            };
+            match self.query_shard_once(replica, &link, shard, ctx, self.config.read_timeout, false) {
+                Ok(Some(mut run)) => {
+                    run.hedged = true;
+                    return Ok(run);
+                }
+                Ok(None) => unreachable!("non-hedged query never abandons the wait"),
+                Err(err) if retry_elsewhere(&err) => last_err = Some(err),
+                Err(err) => return Err(err),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            SeabedError::dist(
+                "coordinator",
+                format!(
+                    "hedged read of table {} shard {shard} found no live replica",
+                    ctx.table_id
+                ),
+            )
+        }))
+    }
+
+    /// One plain (non-hedged) shard query under the full round-trip budget.
+    fn query_shard(&self, worker: usize, shard: u32, ctx: QueryContext<'_>) -> Result<LaneRun, SeabedError> {
+        let link = self.worker(worker)?;
+        match self.query_shard_once(worker, &link, shard, ctx, self.config.read_timeout, false)? {
+            Some(run) => Ok(run),
+            None => unreachable!("non-hedged query never abandons the wait"),
+        }
+    }
+
     /// One shard query on one worker: send, then read until the reply that
     /// echoes this request's `(epoch, shard, seq)` arrives and shape-checks
-    /// against the query. Stale triples (late or duplicated partials of
-    /// earlier sequence numbers) are discarded; error frames are
-    /// worker-reported failures that leave the connection healthy; anything
-    /// else — including a malformed partial — poisons the connection.
-    fn query_shard(
+    /// against the query, all under one total `budget`. Stale triples (late,
+    /// duplicated, or hedge-loser partials of earlier sequence numbers) are
+    /// discarded; error frames are worker-reported failures that leave the
+    /// connection healthy; anything else — including a malformed partial —
+    /// poisons the connection. With `hedge_mode`, a budget that runs dry
+    /// *between* frames returns `Ok(None)` and leaves the connection healthy
+    /// (nothing of the reply was consumed, the stream is still aligned); a
+    /// mid-frame stall always poisons.
+    fn query_shard_once(
         &self,
         worker: usize,
-        table_id: u32,
+        link: &WorkerLink,
         shard: u32,
-        query: &TranslatedQuery,
-        filters: &[PhysicalFilter],
-    ) -> Result<LaneRun, SeabedError> {
-        let link = &self.workers[worker];
+        ctx: QueryContext<'_>,
+        budget: Duration,
+        hedge_mode: bool,
+    ) -> Result<Option<LaneRun>, SeabedError> {
+        let table_id = ctx.table_id;
+        let query = ctx.query;
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let request = Frame::ShardQuery {
             epoch: self.epoch,
@@ -774,7 +1098,7 @@ impl DistCoordinator {
             shard,
             seq,
             query: query.clone(),
-            filters: filters.to_vec(),
+            filters: ctx.filters.to_vec(),
         };
         // Encode before touching the connection: a request that cannot be
         // framed is a deterministic failure, not worker death.
@@ -786,8 +1110,14 @@ impl DistCoordinator {
         let label = &link.label;
         let partial = link.with_conn(|conn| {
             conn.send(&request_bytes)?;
+            let deadline = Instant::now() + budget;
             loop {
-                match conn.recv(max_frame_len)? {
+                let frame = match conn.recv_deadline(max_frame_len, deadline) {
+                    Ok(frame) => frame,
+                    Err(RecvError::TimedOutIdle) if hedge_mode => return Ok(Ok(None)),
+                    Err(err) => return Err(err.into_error()),
+                };
+                match frame {
                     Frame::ShardPartial {
                         epoch: e,
                         table_id: t,
@@ -799,13 +1129,13 @@ impl DistCoordinator {
                         // a forged or buggy partial must be rejected here,
                         // never silently zip-truncated by the fold.
                         return match validate_partial(query, &partial) {
-                            Ok(()) => Ok(Ok(partial)),
+                            Ok(()) => Ok(Ok(Some(partial))),
                             Err(detail) => Err(SeabedError::dist(label, detail)),
                         };
                     }
-                    // A stale reply: a duplicate, or the late answer to an
-                    // earlier (timed-out, re-dispatched) request. Discard and
-                    // keep waiting for ours.
+                    // A stale reply: a duplicate, a hedge loser, or the late
+                    // answer to an earlier (timed-out, re-dispatched)
+                    // request. Discard and keep waiting for ours.
                     Frame::ShardPartial { epoch: e, seq: q, .. } if e == epoch && q < seq => {
                         discarded.fetch_add(1, Ordering::Relaxed);
                     }
@@ -824,8 +1154,11 @@ impl DistCoordinator {
                 }
             }
         })?;
+        let Some(partial) = partial else {
+            return Ok(None);
+        };
         link.queries.fetch_add(1, Ordering::Relaxed);
-        Ok(LaneRun {
+        Ok(Some(LaneRun {
             shard,
             worker: link.label.clone(),
             worker_index: worker,
@@ -833,13 +1166,16 @@ impl DistCoordinator {
             partial: Some(partial),
             round_trip: started.elapsed(),
             redispatched: false,
-        })
+            hedged: false,
+        }))
     }
 
     /// Loads shard `shard` of table `table_id` onto `worker` and verifies
-    /// the acknowledgement.
+    /// the acknowledgement. Stale partials (e.g. a hedge-abandoned reply
+    /// landing between requests) are drained and counted, not mistaken for
+    /// a bad ack.
     fn load_shard(&self, table_id: u32, shard: u32, worker: usize) -> Result<(), SeabedError> {
-        let link = &self.workers[worker];
+        let link = self.worker(worker)?;
         let table = self.tables[table_id as usize].shards[shard as usize].clone();
         let rows = table.num_rows() as u64;
         let frame = Frame::LoadShard {
@@ -853,58 +1189,140 @@ impl DistCoordinator {
         // reported as-is without condemning the worker.
         let frame_bytes = wire::encode_frame(&frame, self.config.max_frame_len)?;
         let max_frame_len = self.config.max_frame_len;
+        let read_timeout = self.config.read_timeout;
         let epoch = self.epoch;
+        let discarded = &self.discarded;
         let label = &link.label;
         link.with_conn(|conn| {
             conn.send(&frame_bytes)?;
-            match conn.recv(max_frame_len)? {
-                Frame::ShardLoaded {
-                    epoch: e,
-                    table_id: t,
-                    shard: s,
-                    rows: r,
-                } if e == epoch && t == table_id && s == shard && r == rows => Ok(Ok(())),
-                Frame::Error(err) => Ok(Err(err)),
-                other => Err(SeabedError::dist(
-                    label,
-                    format!(
-                        "expected the load ack for table {table_id} shard {shard}, got {:?}",
-                        other.kind()
-                    ),
-                )),
+            let deadline = Instant::now() + read_timeout;
+            loop {
+                match conn
+                    .recv_deadline(max_frame_len, deadline)
+                    .map_err(RecvError::into_error)?
+                {
+                    Frame::ShardLoaded {
+                        epoch: e,
+                        table_id: t,
+                        shard: s,
+                        rows: r,
+                    } if e == epoch && t == table_id && s == shard && r == rows => return Ok(Ok(())),
+                    Frame::ShardPartial { epoch: e, .. } if e == epoch => {
+                        discarded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Frame::Error(err) => return Ok(Err(err)),
+                    other => {
+                        return Err(SeabedError::dist(
+                            label,
+                            format!(
+                                "expected the load ack for table {table_id} shard {shard}, got {:?}",
+                                other.kind()
+                            ),
+                        ))
+                    }
+                }
             }
         })
     }
 
-    /// Moves a failed shard to a surviving worker and re-runs the query
-    /// there: the hedged retry of the subsystem. Tries every live worker
-    /// before giving up; success updates the standing assignment so later
-    /// queries go straight to the survivor.
-    fn redispatch(
-        &self,
-        table_id: u32,
-        shard: u32,
-        query: &TranslatedQuery,
-        filters: &[PhysicalFilter],
-    ) -> Result<LaneRun, SeabedError> {
-        let mut last_err = SeabedError::dist("coordinator", format!("no surviving worker could take shard {shard}"));
-        for (worker, link) in self.workers.iter().enumerate() {
-            if !link.alive() {
+    /// Asks `worker` to drop its copy of shard `shard` (after a rebalance
+    /// moved the replica elsewhere) and verifies the acknowledgement. Stale
+    /// partials are drained exactly as in [`DistCoordinator::load_shard`].
+    fn unload_shard(&self, table_id: u32, shard: u32, worker: usize) -> Result<u64, SeabedError> {
+        let link = self.worker(worker)?;
+        let frame = Frame::UnloadShard {
+            epoch: self.epoch,
+            table_id,
+            shard,
+        };
+        let frame_bytes = wire::encode_frame(&frame, self.config.max_frame_len)?;
+        let max_frame_len = self.config.max_frame_len;
+        let read_timeout = self.config.read_timeout;
+        let epoch = self.epoch;
+        let discarded = &self.discarded;
+        let label = &link.label;
+        link.with_conn(|conn| {
+            conn.send(&frame_bytes)?;
+            let deadline = Instant::now() + read_timeout;
+            loop {
+                match conn
+                    .recv_deadline(max_frame_len, deadline)
+                    .map_err(RecvError::into_error)?
+                {
+                    Frame::ShardUnloaded {
+                        epoch: e,
+                        table_id: t,
+                        shard: s,
+                        remaining,
+                    } if e == epoch && t == table_id && s == shard => return Ok(Ok(remaining)),
+                    Frame::ShardPartial { epoch: e, .. } if e == epoch => {
+                        discarded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Frame::Error(err) => return Ok(Err(err)),
+                    other => {
+                        return Err(SeabedError::dist(
+                            label,
+                            format!(
+                                "expected the unload ack for table {table_id} shard {shard}, got {:?}",
+                                other.kind()
+                            ),
+                        ))
+                    }
+                }
+            }
+        })
+    }
+
+    /// Moves `worker` to the front of the shard's replica set (it just
+    /// proved it can answer), evicting its old slot or the first dead
+    /// member so the set stays bounded. Liveness is snapshotted before the
+    /// assignment lock is taken — the two locks are never held together.
+    fn promote(&self, table_id: u32, shard: u32, worker: usize) {
+        let workers = self.workers_snapshot();
+        let alive = |w: usize| workers.get(w).map(|l| l.alive()).unwrap_or(false);
+        let mut assignment = self.tables[table_id as usize]
+            .assignment
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let Some(set) = assignment.get_mut(shard as usize) else {
+            return;
+        };
+        if let Some(pos) = set.iter().position(|&w| w == worker) {
+            set.remove(pos);
+        } else if let Some(pos) = set.iter().position(|&w| !alive(w)) {
+            set.remove(pos);
+        }
+        set.insert(0, worker);
+    }
+
+    /// Re-runs a failed shard query elsewhere: first on every live replica
+    /// that already holds the shard (query only — no re-transfer on the
+    /// critical path), then, only if no replica survives, on any other live
+    /// worker by re-loading the coordinator's retained copy. Dead workers
+    /// are never selected; success promotes the answering worker to primary
+    /// so later queries go straight there; when nothing live is left the
+    /// query fails with a typed [`SeabedError::Dist`] instead of hanging.
+    fn redispatch(&self, shard: u32, ctx: QueryContext<'_>) -> Result<LaneRun, SeabedError> {
+        let table_id = ctx.table_id;
+        let set: Vec<usize> = self.tables[table_id as usize]
+            .assignment
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(shard as usize)
+            .cloned()
+            .unwrap_or_default();
+        let workers = self.workers_snapshot();
+        let mut last_err: Option<SeabedError> = None;
+
+        // Pass 1: live replicas already holding the shard.
+        for &replica in &set {
+            if !workers.get(replica).map(|l| l.alive()).unwrap_or(false) {
                 continue;
             }
-            let attempt = self
-                .load_shard(table_id, shard, worker)
-                .and_then(|()| self.query_shard(worker, table_id, shard, query, filters));
-            match attempt {
+            match self.query_shard(replica, shard, ctx) {
                 Ok(mut run) => {
                     run.redispatched = true;
-                    let mut assignment = self.tables[table_id as usize]
-                        .assignment
-                        .lock()
-                        .unwrap_or_else(|p| p.into_inner());
-                    if let Some(slot) = assignment.get_mut(shard as usize) {
-                        *slot = worker;
-                    }
+                    self.promote(table_id, shard, replica);
                     return Ok(run);
                 }
                 Err(err) => {
@@ -913,14 +1331,211 @@ impl DistCoordinator {
                     if !retry_elsewhere(&err) {
                         return Err(err);
                     }
-                    last_err = err;
+                    last_err = Some(err);
                 }
             }
         }
-        Err(SeabedError::dist(
-            "coordinator",
-            format!("table {table_id} shard {shard} could not be re-dispatched: {last_err}"),
-        ))
+
+        // Pass 2: any other live worker takes a fresh copy.
+        for (worker, link) in workers.iter().enumerate() {
+            if set.contains(&worker) || !link.alive() {
+                continue;
+            }
+            let attempt = self
+                .load_shard(table_id, shard, worker)
+                .and_then(|()| self.query_shard(worker, shard, ctx));
+            match attempt {
+                Ok(mut run) => {
+                    run.redispatched = true;
+                    self.promote(table_id, shard, worker);
+                    return Ok(run);
+                }
+                Err(err) => {
+                    if !retry_elsewhere(&err) {
+                        return Err(err);
+                    }
+                    last_err = Some(err);
+                }
+            }
+        }
+        let detail = match last_err {
+            Some(err) => format!("table {table_id} shard {shard} could not be re-dispatched: {err}"),
+            None => format!("table {table_id} shard {shard} has no live replica or worker left to run on"),
+        };
+        Err(SeabedError::dist("coordinator", detail))
+    }
+
+    /// Connects a new worker under this coordinator's epoch, appends it to
+    /// the pool, and greedily rebalances replica slots onto it from the
+    /// most-loaded live workers — moving only shards whose replica set
+    /// changed (load onto the joiner, then unload from the donor). Bumps the
+    /// cache fencing epoch so partials cached under the old membership never
+    /// answer a later probe. Returns the joiner's stable worker index.
+    pub fn join_worker<A: ToSocketAddrs>(&self, addr: A) -> Result<usize, SeabedError> {
+        let link = Arc::new(connect_worker(&addr, self.epoch, &self.config)?);
+        let index = {
+            let mut workers = self.workers.write().unwrap_or_else(|p| p.into_inner());
+            workers.push(link);
+            workers.len() - 1
+        };
+        self.rebalance_onto(index)?;
+        self.fence_cache(&[]);
+        Ok(index)
+    }
+
+    /// Greedily moves replica slots from the most-loaded live workers onto
+    /// `joiner` until it carries its fair share (⌊total slots / live
+    /// workers⌋) or no eligible donor remains. Each move is: load the shard
+    /// onto the joiner, swap the donor out of the replica set, then
+    /// best-effort unload the donor's copy (a failed unload wastes memory
+    /// on the donor but is otherwise harmless — the set no longer names it).
+    fn rebalance_onto(&self, joiner: usize) -> Result<(), SeabedError> {
+        loop {
+            let workers = self.workers_snapshot();
+            let alive = |w: usize| workers.get(w).map(|l| l.alive()).unwrap_or(false);
+            let live_count = workers.iter().filter(|l| l.alive()).count();
+            if live_count == 0 || !alive(joiner) {
+                return Err(SeabedError::dist("coordinator", "rebalance target is not alive"));
+            }
+            let mut counts = vec![0usize; workers.len()];
+            let mut slots: Vec<(u32, u32, Vec<usize>)> = Vec::new();
+            for (table_id, entry) in self.tables.iter().enumerate() {
+                let assignment = entry.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone();
+                for (shard, set) in assignment.iter().enumerate() {
+                    for &w in set {
+                        if let Some(slot) = counts.get_mut(w) {
+                            *slot += 1;
+                        }
+                    }
+                    slots.push((table_id as u32, shard as u32, set.clone()));
+                }
+            }
+            let total: usize = counts.iter().sum();
+            let target = (total / live_count).max(1);
+            if counts[joiner] >= target {
+                return Ok(());
+            }
+            // Donor: the most-loaded live worker holding a shard whose set
+            // lacks the joiner.
+            let mut pick: Option<(u32, u32, usize)> = None;
+            for (t, s, set) in &slots {
+                if set.contains(&joiner) {
+                    continue;
+                }
+                for &w in set {
+                    if w == joiner || !alive(w) || counts[w] <= counts[joiner] {
+                        continue;
+                    }
+                    let better = match pick {
+                        Some((_, _, best)) => counts[w] > counts[best],
+                        None => true,
+                    };
+                    if better {
+                        pick = Some((*t, *s, w));
+                    }
+                }
+            }
+            let Some((t, s, donor)) = pick else {
+                return Ok(());
+            };
+            self.load_shard(t, s, joiner)?;
+            {
+                let mut assignment = self.tables[t as usize]
+                    .assignment
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                if let Some(set) = assignment.get_mut(s as usize) {
+                    if !set.contains(&joiner) {
+                        match set.iter().position(|&w| w == donor) {
+                            Some(pos) => set[pos] = joiner,
+                            None => set.push(joiner),
+                        }
+                    }
+                }
+            }
+            let _ = self.unload_shard(t, s, donor);
+        }
+    }
+
+    /// Retires `worker` from the cluster: every replica slot it held is
+    /// re-homed onto the least-loaded live worker outside the shard's set
+    /// (loading a fresh copy off the critical path), its connection is
+    /// dropped, and the cache fencing epoch is bumped. If a shard would lose
+    /// its *last* copy — the leaver is its only live replica and no other
+    /// live worker can take it — the call fails with a typed error and the
+    /// membership is unchanged. Leaving twice is an idempotent no-op.
+    pub fn leave_worker(&self, worker: usize) -> Result<(), SeabedError> {
+        let link = self.worker(worker)?;
+        if link.removed.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        let workers = self.workers_snapshot();
+        let alive = |w: usize| workers.get(w).map(|l| l.alive()).unwrap_or(false);
+        let mut counts = vec![0usize; workers.len()];
+        let mut affected: Vec<(u32, u32, Vec<usize>)> = Vec::new();
+        for (table_id, entry) in self.tables.iter().enumerate() {
+            let assignment = entry.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone();
+            for (shard, set) in assignment.iter().enumerate() {
+                for &w in set {
+                    if let Some(slot) = counts.get_mut(w) {
+                        *slot += 1;
+                    }
+                }
+                if set.contains(&worker) {
+                    affected.push((table_id as u32, shard as u32, set.clone()));
+                }
+            }
+        }
+        for (t, s, set) in affected {
+            let has_survivor = set.iter().any(|&w| w != worker && alive(w));
+            let candidate = workers
+                .iter()
+                .enumerate()
+                .filter(|(w, l)| l.alive() && !set.contains(w))
+                .min_by_key(|(w, _)| counts[*w])
+                .map(|(w, _)| w);
+            let replacement = match candidate {
+                Some(c) => match self.load_shard(t, s, c) {
+                    Ok(()) => {
+                        counts[c] += 1;
+                        Some(c)
+                    }
+                    // The shard still has a live copy: degrade below R
+                    // rather than blocking the departure.
+                    Err(_) if has_survivor => None,
+                    Err(err) => {
+                        link.removed.store(false, Ordering::Release);
+                        return Err(SeabedError::dist(
+                            &link.label,
+                            format!("cannot leave: table {t} shard {s} would lose its last copy ({err})"),
+                        ));
+                    }
+                },
+                None if has_survivor => None,
+                None => {
+                    link.removed.store(false, Ordering::Release);
+                    return Err(SeabedError::dist(
+                        &link.label,
+                        format!("cannot leave: table {t} shard {s} has no other live replica and no worker to take it"),
+                    ));
+                }
+            };
+            let mut assignment = self.tables[t as usize]
+                .assignment
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            if let Some(slot) = assignment.get_mut(s as usize) {
+                slot.retain(|&w| w != worker);
+                if let Some(r) = replacement {
+                    if !slot.contains(&r) {
+                        slot.push(r);
+                    }
+                }
+            }
+        }
+        *link.conn.lock().unwrap_or_else(|p| p.into_inner()) = None;
+        self.fence_cache(&[worker]);
+        Ok(())
     }
 }
 
@@ -982,6 +1597,7 @@ struct LaneRun {
     partial: Option<PartialResponse>,
     round_trip: Duration,
     redispatched: bool,
+    hedged: bool,
 }
 
 /// Splits a table's partitions into exactly `min(num_shards, partitions)`
@@ -1059,7 +1675,8 @@ fn validate_partial(query: &TranslatedQuery, partial: &PartialResponse) -> Resul
     Ok(())
 }
 
-/// Connects to one worker and performs the epoch handshake.
+/// Connects to one worker and performs the epoch handshake, all under the
+/// configured round-trip budget.
 fn connect_worker<A: ToSocketAddrs>(addr: &A, epoch: u64, config: &DistConfig) -> Result<WorkerLink, SeabedError> {
     let addr = addr
         .to_socket_addrs()
@@ -1082,7 +1699,11 @@ fn connect_worker<A: ToSocketAddrs>(addr: &A, epoch: u64, config: &DistConfig) -
     };
     let hello = wire::encode_frame(&Frame::WorkerHandshake { epoch }, config.max_frame_len)?;
     conn.send(&hello)?;
-    match conn.recv(config.max_frame_len)? {
+    let deadline = Instant::now() + config.read_timeout;
+    match conn
+        .recv_deadline(config.max_frame_len, deadline)
+        .map_err(RecvError::into_error)?
+    {
         Frame::WorkerReady { epoch: e, .. } if e == epoch => {}
         Frame::Error(err) => return Err(err),
         other => {
@@ -1094,6 +1715,7 @@ fn connect_worker<A: ToSocketAddrs>(addr: &A, epoch: u64, config: &DistConfig) -
     }
     Ok(WorkerLink {
         label,
+        removed: AtomicBool::new(false),
         queries: AtomicU64::new(0),
         bytes_sent: AtomicU64::new(conn.bytes_sent),
         bytes_received: AtomicU64::new(conn.bytes_received),
@@ -1167,5 +1789,58 @@ mod tests {
     fn connecting_with_no_workers_is_a_dist_error() {
         let outcome = DistCoordinator::connect::<std::net::SocketAddr>(&[], table(10, 2), DistConfig::default());
         assert!(matches!(outcome, Err(SeabedError::Dist { .. })));
+    }
+
+    /// Two coordinators reading the *same* clock value must still derive
+    /// distinct epochs — the pre-fix derivation (`SystemTime` nanos alone)
+    /// collides, letting one coordinator's workers silently serve another's
+    /// assignments.
+    #[test]
+    fn epochs_from_the_same_clock_reading_are_distinct() {
+        let now = SystemTime::now();
+        let a = fresh_epoch_at(now).expect("clock is past the UNIX epoch");
+        let b = fresh_epoch_at(now).expect("clock is past the UNIX epoch");
+        assert_ne!(a, b, "same clock reading produced colliding epochs");
+        assert!(a >= 1 && b >= 1, "epoch 0 is reserved for unclaimed workers");
+    }
+
+    /// A clock stepped back before the UNIX epoch must be a typed error, not
+    /// a silent truncation to a constant epoch that workers may have
+    /// already retired.
+    #[test]
+    fn pre_unix_epoch_clock_is_a_typed_error() {
+        let before = SystemTime::UNIX_EPOCH - Duration::from_secs(1);
+        assert!(matches!(fresh_epoch_at(before), Err(SeabedError::Dist { .. })));
+    }
+
+    #[test]
+    fn replica_sets_are_distinct_clamped_and_legacy_compatible() {
+        // R = 1 reproduces the old single-owner placement.
+        assert_eq!(initial_replica_set(0, 1, 4, 1), vec![1]);
+        assert_eq!(initial_replica_set(2, 3, 4, 1), vec![1]);
+        // R = 2 adds the next worker around the ring.
+        assert_eq!(initial_replica_set(0, 1, 4, 2), vec![1, 2]);
+        assert_eq!(initial_replica_set(0, 3, 4, 2), vec![3, 0]);
+        // R is clamped to the pool size; members never repeat.
+        assert_eq!(initial_replica_set(0, 0, 1, 3), vec![0]);
+        for (t, s, n, r) in [(0usize, 0usize, 3usize, 5usize), (1, 2, 4, 4), (2, 7, 5, 3)] {
+            let set = initial_replica_set(t, s, n, r);
+            let mut dedup = set.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), set.len(), "replica set {set:?} repeats a worker");
+            assert!(set.iter().all(|&w| w < n));
+        }
+    }
+
+    /// The epoch mix must not be degenerate: varying any single input
+    /// changes the output, and the result is never 0.
+    #[test]
+    fn epoch_mix_varies_with_every_input() {
+        let base = mix_epoch(1_000, 42, 7);
+        assert_ne!(base, mix_epoch(1_001, 42, 7));
+        assert_ne!(base, mix_epoch(1_000, 43, 7));
+        assert_ne!(base, mix_epoch(1_000, 42, 8));
+        assert!(mix_epoch(0, 0, 0) >= 1);
     }
 }

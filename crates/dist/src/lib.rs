@@ -12,7 +12,8 @@
 //! ```
 //!
 //! * [`coordinator`] — [`DistCoordinator`]: splits a table's partitions into
-//!   shards, assigns them to workers under a fresh **epoch**, scatters
+//!   shards, loads every shard onto its **replica set** (R workers, R = 2 by
+//!   default) under a fresh collision-resistant **epoch**, scatters
 //!   partition-scoped sub-queries concurrently over persistent connections,
 //!   and gathers the workers' *mergeable* partial results — ASHE partial
 //!   sums with ID lists, SPLASHE splayed counts, MIN/MAX ORE candidates,
@@ -21,14 +22,24 @@
 //!   byte-identical to single-server execution by construction.
 //! * [`worker`] — a one-call helper standing up a shard-hosting
 //!   [`seabed_net::NetServer`]; the worker side of the protocol lives in
-//!   `seabed-net` itself (frame kinds 6–11).
+//!   `seabed-net` itself (frame kinds 6–11 plus the 15/16 unload pair).
 //!
-//! Resilience: a worker that dies or stalls mid-query has its shards
-//! re-dispatched to a surviving worker (the coordinator retains every
-//! shard, so it can re-load and re-query); per-shard sequence numbers echo
-//! through the protocol so a late or duplicated partial can never be paired
-//! with the wrong request, and any transport or framing failure poisons the
-//! worker's connection rather than risking a desynchronized stream.
+//! Resilience: a worker that leaves a shard query outstanding past the
+//! hedge trigger is raced against another replica — first valid
+//! `(epoch, shard, seq)` echo wins, the loser's late partial is discarded
+//! by its stale sequence number (the merge algebra is *not* idempotent, so
+//! seq-dedup is the only thing standing between a duplicated partial and a
+//! silently doubled sum). A worker that dies outright has its shards
+//! re-dispatched to the surviving replicas — or, if none remain live,
+//! re-loaded onto any surviving worker (the coordinator retains every
+//! shard); when no live worker is left the query fails with a typed
+//! [`seabed_error::SeabedError::Dist`] rather than hanging. Workers can
+//! also [join](coordinator::DistCoordinator::join_worker) or
+//! [leave](coordinator::DistCoordinator::leave_worker) a live cluster:
+//! rebalancing moves only shards whose replica set changed, and every
+//! membership change fences the partial cache so pre-change partials never
+//! answer again. Any transport or framing failure poisons the worker's
+//! connection rather than risking a desynchronized stream.
 //!
 //! The trust model is unchanged from `seabed-net`: workers are untrusted and
 //! only ever see ciphertexts, deterministic tags and ORE symbols; all keys

@@ -1,11 +1,17 @@
 //! Standing up shard-hosting workers.
 //!
 //! A `seabed-dist` worker is just a [`seabed_net::NetServer`]: the worker
-//! side of the shard protocol (handshake, shard load, shard query) is part of
-//! every service. This helper starts one with an *empty* base table — the
-//! worker owns no data until a coordinator assigns it shards, which is the
-//! natural deployment shape (workers boot first, a coordinator shards the
-//! encrypted table across whatever registered).
+//! side of the shard protocol (handshake, shard load, shard query, shard
+//! unload) is part of every service. This helper starts one with an *empty*
+//! base table — the worker owns no data until a coordinator assigns it
+//! shards, which is the natural deployment shape (workers boot first, a
+//! coordinator shards the encrypted table across whatever registered).
+//! Because the shard store is epoch-checked on every load, query, and
+//! unload, a worker can also be handed to a *running* coordinator's
+//! [`join_worker`](crate::DistCoordinator::join_worker): rebalancing loads
+//! replica slots onto it under the cluster's live epoch and unloads them
+//! from the donors, and a stray frame from any other (older or racing)
+//! coordinator is refused with a typed error.
 
 use seabed_core::SeabedServer;
 use seabed_engine::{Cluster, ClusterConfig, Schema, Table};

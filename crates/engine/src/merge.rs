@@ -298,6 +298,58 @@ mod tests {
         assert_eq!(into[&vec![2u64]], vec![sum(7, &[4])]);
     }
 
+    /// The algebra is deliberately NOT idempotent: folding the same Sum
+    /// partial twice double-counts its masked value, while the ID union
+    /// absorbs the duplicate IDs — so the corrupted state still *looks*
+    /// plausible and nothing downstream can detect it. This is exactly why
+    /// the `seabed-dist` coordinator discards duplicate and hedge-loser
+    /// partials by sequence number *before* the fold: dedup-by-seq is the
+    /// only line of defense against merging twice.
+    #[test]
+    fn double_merging_the_same_partial_double_counts_undetectably() {
+        let part = sum(21, &[1, 4]);
+        let mut once = sum(0, &[]);
+        once.merge(part.clone());
+        let mut twice = once.clone();
+        twice.merge(part);
+        let PartialAggregate::Sum { value: v1, ids: i1 } = &once else {
+            panic!("kind changed");
+        };
+        let PartialAggregate::Sum { value: v2, ids: i2 } = &twice else {
+            panic!("kind changed");
+        };
+        assert_eq!(*v1, 21);
+        assert_eq!(*v2, 42, "the masked sum silently double-counts");
+        assert_eq!(
+            i1.iter().collect::<Vec<_>>(),
+            i2.iter().collect::<Vec<_>>(),
+            "the ID union hides the duplication — the state stays plausible"
+        );
+    }
+
+    /// Same at the group-map level: replaying a whole shard partial (a hedge
+    /// loser folded alongside the winner) corrupts every group's sum while
+    /// every group key and ID set still validates.
+    #[test]
+    fn replaying_a_shard_partial_corrupts_group_sums() {
+        let shard = || {
+            let mut groups: PartialGroups = HashMap::new();
+            groups.insert(vec![1], vec![sum(10, &[0, 2])]);
+            groups.insert(vec![2], vec![sum(7, &[5])]);
+            groups
+        };
+        let mut merged: PartialGroups = HashMap::new();
+        merge_partial_groups(&mut merged, shard());
+        let mut replayed = merged.clone();
+        merge_partial_groups(&mut replayed, shard());
+        assert_eq!(replayed[&vec![1u64]], vec![sum(20, &[0, 2])]);
+        assert_eq!(replayed[&vec![2u64]], vec![sum(14, &[5])]);
+        assert_ne!(
+            merged, replayed,
+            "a replayed partial must change the fold — it can only be stopped by seq"
+        );
+    }
+
     #[test]
     fn empty_identity() {
         assert!(sum(0, &[]).is_empty());

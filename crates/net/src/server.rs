@@ -202,6 +202,25 @@ impl ShardStore {
         Ok(rows)
     }
 
+    /// Drops a shard (replica rebalance moved it off this worker); returns
+    /// the number of shards still resident. Unloading a shard that is not
+    /// resident succeeds too — the coordinator's unload is idempotent — but
+    /// an epoch mismatch is a typed error like every other stale-epoch frame.
+    fn unload(&self, identity: &str, epoch: u64, table_id: u32, shard: u32) -> Result<u64, SeabedError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.epoch != epoch {
+            return Err(SeabedError::dist(
+                identity,
+                format!(
+                    "unload of shard {table_id}/{shard} names epoch {epoch} but epoch {} is in force",
+                    inner.epoch
+                ),
+            ));
+        }
+        inner.shards.remove(&(table_id, shard));
+        Ok(inner.shards.len() as u64)
+    }
+
     /// Fetches a shard for querying; fails on epoch mismatch or unknown id.
     fn get(&self, identity: &str, epoch: u64, table_id: u32, shard: u32) -> Result<Arc<SeabedServer>, SeabedError> {
         let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
@@ -607,6 +626,17 @@ fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
             },
             Err(err) => Frame::Error(err),
         },
+        Frame::UnloadShard { epoch, table_id, shard } => {
+            match ctx.shards.unload(ctx.identity, epoch, table_id, shard) {
+                Ok(remaining) => Frame::ShardUnloaded {
+                    epoch,
+                    table_id,
+                    shard,
+                    remaining,
+                },
+                Err(err) => Frame::Error(err),
+            }
+        }
         Frame::PrepareStatement { query } => {
             // Resolve the plan against the hosted table *now*: a statement
             // whose columns don't exist (or carry the wrong physical type)

@@ -40,8 +40,10 @@
 //! | 12   | client → server | prepare statement: unbound `TranslatedQuery`   |
 //! | 13   | server → client | statement handle: u64                          |
 //! | 14   | client → server | execute statement: handle + bound `PhysicalFilter`s |
+//! | 15   | coord → worker  | unload shard: epoch, (table id, shard id)      |
+//! | 16   | worker → coord  | shard unloaded: echoed triple + remaining shard count |
 //!
-//! Kinds 6–11 are the `seabed-dist` scatter/gather sub-protocol. A worker
+//! Kinds 6–11 and 15–16 are the `seabed-dist` scatter/gather sub-protocol. A worker
 //! echoes the `(epoch, table, shard, seq)` tuple of the query it answers, so
 //! a coordinator can never pair a late or duplicated partial with the wrong
 //! in-flight request; shard identifiers carry the **table id**, so one
@@ -49,7 +51,9 @@
 //! partials carry *mergeable* state (ASHE partial sums with ID lists, MIN/MAX
 //! ORE candidates) rather than finalized aggregates, so the coordinator's
 //! gather is the same [`seabed_engine::merge`] fold the in-process driver
-//! runs.
+//! runs. Kinds 15–16 move a shard *off* a worker: a replica rebalance (a
+//! worker joining or leaving the pool) unloads the shards whose replica set
+//! no longer includes the donor, so memory tracks the standing assignment.
 //!
 //! Kinds 12–14 are the prepared-statement sub-protocol: a client registers a
 //! statement's (redacted, unbound) plan once and thereafter ships only the
@@ -85,7 +89,10 @@ pub const MAGIC: [u8; 4] = *b"SBWF";
 ///
 /// Version 2: shard frames carry a table id (multi-table worker pools),
 /// translated queries carry `?` parameter slots, and the prepared-statement
-/// frames (kinds 12–14) exist.
+/// frames (kinds 12–14) exist. The shard-unload frames (kinds 15–16) were
+/// added within version 2: a receiver that predates them answers with a
+/// typed unknown-kind error, which the coordinator treats like any other
+/// failed unload (the shard stays resident, nothing desynchronizes).
 pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Size of the fixed frame header in bytes.
@@ -128,6 +135,10 @@ pub enum FrameKind {
     StatementPrepared = 13,
     /// Client → server: execute a registered statement with bound filters.
     ExecuteStatement = 14,
+    /// Coordinator → worker: drop one resident shard (replica rebalance).
+    UnloadShard = 15,
+    /// Worker → coordinator: shard-unload acknowledgement.
+    ShardUnloaded = 16,
 }
 
 impl FrameKind {
@@ -148,6 +159,8 @@ impl FrameKind {
             12 => FrameKind::PrepareStatement,
             13 => FrameKind::StatementPrepared,
             14 => FrameKind::ExecuteStatement,
+            15 => FrameKind::UnloadShard,
+            16 => FrameKind::ShardUnloaded,
             _ => return None,
         })
     }
@@ -276,6 +289,30 @@ pub enum Frame {
         /// Bound, literal-encrypted filters of this execution.
         filters: Vec<PhysicalFilter>,
     },
+    /// Coordinator → worker: drop one resident shard. Sent when a replica
+    /// rebalance (a worker joining or leaving the pool) moves the shard off
+    /// this worker, so the donor frees the memory instead of holding a
+    /// replica the coordinator will never query again.
+    UnloadShard {
+        /// Shard epoch the unload belongs to; a mismatch is a typed error.
+        epoch: u64,
+        /// Target table.
+        table_id: u32,
+        /// Target shard within the table.
+        shard: u32,
+    },
+    /// Worker → coordinator: shard-unload acknowledgement. Unloading a shard
+    /// that is not resident is acknowledged too (the unload is idempotent).
+    ShardUnloaded {
+        /// Echoed shard epoch.
+        epoch: u64,
+        /// Echoed table identifier.
+        table_id: u32,
+        /// Echoed shard identifier.
+        shard: u32,
+        /// Shards still resident on the worker after the unload.
+        remaining: u64,
+    },
 }
 
 impl Frame {
@@ -296,6 +333,8 @@ impl Frame {
             Frame::PrepareStatement { .. } => FrameKind::PrepareStatement,
             Frame::StatementPrepared { .. } => FrameKind::StatementPrepared,
             Frame::ExecuteStatement { .. } => FrameKind::ExecuteStatement,
+            Frame::UnloadShard { .. } => FrameKind::UnloadShard,
+            Frame::ShardUnloaded { .. } => FrameKind::ShardUnloaded,
         }
     }
 }
@@ -389,6 +428,22 @@ pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, Seabed
         Frame::ExecuteStatement { handle, filters } => {
             write_varint(&mut payload, *handle);
             write_vec(&mut payload, filters, write_physical_filter);
+        }
+        Frame::UnloadShard { epoch, table_id, shard } => {
+            write_varint(&mut payload, *epoch);
+            write_varint(&mut payload, u64::from(*table_id));
+            write_varint(&mut payload, u64::from(*shard));
+        }
+        Frame::ShardUnloaded {
+            epoch,
+            table_id,
+            shard,
+            remaining,
+        } => {
+            write_varint(&mut payload, *epoch);
+            write_varint(&mut payload, u64::from(*table_id));
+            write_varint(&mut payload, u64::from(*shard));
+            write_varint(&mut payload, *remaining);
         }
     }
     if payload.len() > max_frame_len as usize {
@@ -503,6 +558,17 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
         FrameKind::ExecuteStatement => Frame::ExecuteStatement {
             handle: r.varint()?,
             filters: read_vec(&mut r, 2, read_physical_filter)?,
+        },
+        FrameKind::UnloadShard => Frame::UnloadShard {
+            epoch: r.varint()?,
+            table_id: read_u32(&mut r, "table id")?,
+            shard: read_u32(&mut r, "shard id")?,
+        },
+        FrameKind::ShardUnloaded => Frame::ShardUnloaded {
+            epoch: r.varint()?,
+            table_id: read_u32(&mut r, "table id")?,
+            shard: read_u32(&mut r, "shard id")?,
+            remaining: r.varint()?,
         },
     };
     r.finish()?;
@@ -1768,6 +1834,17 @@ mod tests {
             Frame::ExecuteStatement {
                 handle: 0xdead_beef,
                 filters: sample_filters(),
+            },
+            Frame::UnloadShard {
+                epoch: 7,
+                table_id: 1,
+                shard: 2,
+            },
+            Frame::ShardUnloaded {
+                epoch: 7,
+                table_id: 1,
+                shard: 2,
+                remaining: 4,
             },
         ];
         for frame in frames {

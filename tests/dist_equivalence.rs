@@ -115,6 +115,42 @@ fn sales_fixture_is_byte_identical_across_three_workers() {
     }
 }
 
+/// With the hedge trigger forced to zero, *every* shard query abandons its
+/// primary immediately and is answered by a replica — the most hostile
+/// hedging schedule possible. The encrypted responses must still be
+/// byte-identical to single-server execution on every query: hedge winners
+/// merge exactly once and the abandoned primaries' late partials never leak
+/// into any response.
+#[test]
+fn always_hedged_execution_is_byte_identical() {
+    let (client, server, _) = sales_fixture();
+    let workers: Vec<NetServer> = (0..3)
+        .map(|_| spawn_worker("127.0.0.1:0", ServiceConfig::default()).expect("worker must start"))
+        .collect();
+    let addrs: Vec<_> = workers.iter().map(|w| w.local_addr()).collect();
+    let config = DistConfig::default().hedge_after(std::time::Duration::ZERO);
+    let coordinator =
+        DistCoordinator::connect(&addrs, server.table().clone(), config).expect("coordinator must connect");
+    let mut hedged_total = 0;
+    for sql in [
+        "SELECT SUM(revenue) FROM sales",
+        "SELECT SUM(revenue) FROM sales WHERE country = 'USA'",
+        "SELECT dept, SUM(revenue) FROM sales GROUP BY dept",
+        "SELECT MIN(ts) FROM sales",
+        "SELECT MAX(ts) FROM sales",
+        "SELECT AVG(revenue) FROM sales",
+    ] {
+        assert_equivalent(&client, &server, &coordinator, sql);
+        hedged_total += coordinator.last_report().hedged_reads;
+    }
+    assert!(hedged_total > 0, "a zero hedge trigger must actually hedge");
+    // Hedging routes around slow primaries without condemning them.
+    assert!(coordinator.worker_summaries().iter().all(|s| s.alive));
+    for w in workers {
+        w.shutdown();
+    }
+}
+
 /// Group inflation produces inflated (suffixed) group keys on the server;
 /// the distributed merge must keep every inflated shard-group intact so the
 /// proxy's de-inflation (and its exact de-inflated ID sets) sees identical

@@ -84,6 +84,15 @@ enum Misbehavior {
     /// Answer with a well-framed partial whose groups carry fewer aggregates
     /// than the query requested (a forged/buggy shape).
     ForgedShortPartial,
+    /// Answer correctly but trickle the frame one byte at a time, each byte
+    /// well inside a per-chunk timeout — only a *total* round-trip budget
+    /// catches this.
+    TrickleOnQuery,
+    /// Answer the first shard query correctly but far too late (slower than
+    /// the hedge trigger, faster than the stall timeout), then answer every
+    /// later query promptly. The late reply is a hedge *loser*: a
+    /// valid-looking partial under a stale sequence number.
+    SlowPartialOnce,
 }
 
 fn read_frame(stream: &mut TcpStream) -> Option<Frame> {
@@ -109,6 +118,7 @@ fn fake_worker(behavior: Misbehavior) -> (SocketAddr, std::thread::JoinHandle<()
             return;
         };
         let mut shards: HashMap<u32, SeabedServer> = HashMap::new();
+        let mut first_query = true;
         while let Some(frame) = read_frame(&mut stream) {
             match frame {
                 Frame::WorkerHandshake { epoch } => send_frame(&mut stream, &Frame::WorkerReady { epoch, shards: 0 }),
@@ -172,6 +182,58 @@ fn fake_worker(behavior: Misbehavior) -> (SocketAddr, std::thread::JoinHandle<()
                         for states in partial.groups.values_mut() {
                             states.truncate(1);
                         }
+                        send_frame(
+                            &mut stream,
+                            &Frame::ShardPartial {
+                                epoch,
+                                table_id,
+                                shard,
+                                seq,
+                                partial,
+                            },
+                        );
+                    }
+                    Misbehavior::TrickleOnQuery => {
+                        let partial = shards
+                            .get(&shard)
+                            .expect("shard resident")
+                            .execute_partial(&query, &filters)
+                            .expect("shard execution");
+                        let bytes = wire::encode_frame(
+                            &Frame::ShardPartial {
+                                epoch,
+                                table_id,
+                                shard,
+                                seq,
+                                partial,
+                            },
+                            wire::DEFAULT_MAX_FRAME_LEN,
+                        )
+                        .expect("encode");
+                        // One byte per 60 ms: each chunk is comfortably
+                        // inside a 400 ms per-chunk timeout, but the whole
+                        // frame takes many seconds. A deadline-based budget
+                        // must cut this off; the coordinator closing the
+                        // connection errors the write and ends the trickle.
+                        for byte in &bytes {
+                            if stream.write_all(std::slice::from_ref(byte)).is_err() {
+                                return;
+                            }
+                            let _ = stream.flush();
+                            std::thread::sleep(Duration::from_millis(60));
+                        }
+                        return;
+                    }
+                    Misbehavior::SlowPartialOnce => {
+                        if first_query {
+                            first_query = false;
+                            std::thread::sleep(Duration::from_millis(700));
+                        }
+                        let partial = shards
+                            .get(&shard)
+                            .expect("shard resident")
+                            .execute_partial(&query, &filters)
+                            .expect("shard execution");
                         send_frame(
                             &mut stream,
                             &Frame::ShardPartial {
@@ -501,6 +563,185 @@ fn duplicate_stale_partials_are_discarded_not_merged() {
     // the coordinator closes it, so the join below can complete.
     drop(coordinator);
     fake.join().expect("fake worker");
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline budgets, hedging, and dead-worker re-dispatch
+// ---------------------------------------------------------------------------
+
+/// Regression: the coordinator used to apply `read_timeout` per `read_exact`
+/// chunk, so a worker trickling one byte per interval evaded the stall guard
+/// indefinitely and one query could hang for `timeout × frame bytes`. With a
+/// deadline-based total budget, the trickler is cut off within one round-trip
+/// budget, its shard is re-dispatched, and the answer stays byte-identical.
+#[test]
+fn trickled_partials_exhaust_the_total_budget_not_per_chunk() {
+    let table = test_table(600, 4);
+    let query = sum_query(false);
+    let expected = local_answer(&table, &query);
+    let config = DistConfig::default().read_timeout(Duration::from_millis(400));
+    let (workers, fake, coordinator) = mixed_cluster(2, Misbehavior::TrickleOnQuery, table, config);
+
+    let started = std::time::Instant::now();
+    let response = coordinator
+        .execute(&query, &[])
+        .expect("survivors must carry the query");
+    let elapsed = started.elapsed();
+    assert_eq!(expected.groups, response.groups);
+    assert_eq!(expected.result_bytes, response.result_bytes);
+    // Pre-fix this took ~60 ms × frame length (tens of seconds); post-fix the
+    // trickler burns one 400 ms budget plus a fast re-dispatch.
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "trickler evaded the round-trip stall budget: {elapsed:?}"
+    );
+    assert!(coordinator.last_report().runs.iter().any(|r| r.redispatched));
+
+    drop(coordinator);
+    fake.join().expect("fake worker");
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+/// A slow (not dead) primary is hedged against a replica: the replica's
+/// answer wins, the slow worker's connection stays healthy, and the hedge
+/// loser's late partial — a valid-looking frame under a stale sequence
+/// number — is discarded by seq on the next round trip, never merged twice.
+#[test]
+fn hedged_reads_race_replicas_and_discard_the_loser_by_seq() {
+    let table = test_table(1_500, 6);
+    let query = sum_query(false);
+    let expected = local_answer(&table, &query);
+    let config = DistConfig::default()
+        .read_timeout(Duration::from_secs(5))
+        .hedge_after(Duration::from_millis(150));
+    let (workers, fake, coordinator) = mixed_cluster(2, Misbehavior::SlowPartialOnce, table, config);
+
+    // First query: the fake sits on its shard for 700 ms, the coordinator
+    // hedges at 150 ms, and a replica carries the shard.
+    let response = coordinator.execute(&query, &[]).expect("hedged query");
+    assert_eq!(expected.groups, response.groups);
+    assert_eq!(expected.result_bytes, response.result_bytes);
+    let report = coordinator.last_report();
+    assert!(
+        report.hedged_reads >= 1,
+        "the slow shard must have been hedged: {report:?}"
+    );
+    assert!(report.runs.iter().any(|r| r.hedged), "{report:?}");
+    assert!(
+        coordinator.worker_summaries().iter().all(|w| w.alive),
+        "a merely-slow worker must not be poisoned: {:?}",
+        coordinator.worker_summaries()
+    );
+
+    // Let the hedge loser's late partial land on the (healthy) connection.
+    std::thread::sleep(Duration::from_millis(1_000));
+
+    // Second query: the stale partial is drained and counted as discarded,
+    // then the now-prompt worker answers — byte-identical again.
+    let again = coordinator.execute(&query, &[]).expect("follow-up query");
+    assert_eq!(expected.groups, again.groups);
+    assert_eq!(expected.result_bytes, again.result_bytes);
+    let report = coordinator.last_report();
+    assert!(
+        report.discarded_partials >= 1,
+        "the hedge loser must be discarded by seq, not merged: {report:?}"
+    );
+    assert!(coordinator.worker_summaries().iter().all(|w| w.alive));
+
+    drop(coordinator);
+    fake.join().expect("fake worker");
+    for w in workers {
+        w.shutdown();
+    }
+}
+
+/// Regression: re-dispatch must never select a worker already marked dead,
+/// and when no live replica or worker remains it must surface a typed
+/// `SeabedError::Dist` promptly — not hang re-probing corpses.
+#[test]
+fn redispatch_with_no_live_worker_is_a_typed_error_not_a_hang() {
+    let table = test_table(600, 4);
+    let query = sum_query(false);
+    let (f1, h1) = fake_worker(Misbehavior::DieOnQuery);
+    let (f2, h2) = fake_worker(Misbehavior::DieOnQuery);
+    let config = DistConfig::default().read_timeout(Duration::from_millis(500));
+    let coordinator = DistCoordinator::connect(&[f1, f2], table, config).expect("connect");
+
+    let started = std::time::Instant::now();
+    let outcome = coordinator.execute(&query, &[]);
+    assert!(matches!(outcome, Err(SeabedError::Dist { .. })), "{outcome:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "exhausted re-dispatch must fail fast: {:?}",
+        started.elapsed()
+    );
+    assert!(coordinator.worker_summaries().iter().all(|w| !w.alive));
+
+    // Every worker is known dead now: a further execute fails typed and
+    // near-instantly, without a single new round trip to a corpse.
+    let started = std::time::Instant::now();
+    let again = coordinator.execute(&query, &[]);
+    assert!(matches!(again, Err(SeabedError::Dist { .. })), "{again:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "dead workers must never be re-selected: {:?}",
+        started.elapsed()
+    );
+
+    h1.join().expect("fake worker");
+    h2.join().expect("fake worker");
+}
+
+/// Regression for the clock-derived epoch: two coordinators racing one
+/// worker pool must claim it under *distinct* epochs, so the loser's shards
+/// are evicted and its queries fail typed instead of silently reading the
+/// winner's data (pre-fix, coordinators starting on the same clock reading
+/// collided and shared an epoch).
+#[test]
+fn racing_coordinators_get_distinct_epochs_and_the_loser_fails_typed() {
+    let table_a = test_table(800, 4);
+    // Different data for B: a silent epoch collision would let A's queries
+    // answer from B's shards with a plausible—but wrong—result.
+    let table_b = Table::from_columns(
+        Schema::new([
+            ("m__ashe".to_string(), ColumnType::UInt64),
+            ("g".to_string(), ColumnType::UInt64),
+        ]),
+        vec![
+            ColumnData::UInt64((0..800u64).map(|i| i * 11 + 5).collect()),
+            ColumnData::UInt64((0..800u64).map(|i| i % 3).collect()),
+        ],
+        4,
+    );
+    let query = sum_query(false);
+    let expected_b = local_answer(&table_b, &query);
+
+    let workers: Vec<_> = (0..2)
+        .map(|_| spawn_worker("127.0.0.1:0", ServiceConfig::default()).expect("worker"))
+        .collect();
+    let addrs: Vec<SocketAddr> = workers.iter().map(|w| w.local_addr()).collect();
+    let a = DistCoordinator::connect(&addrs, table_a, DistConfig::default()).expect("coordinator A");
+    let b = DistCoordinator::connect(&addrs, table_b, DistConfig::default()).expect("coordinator B");
+    assert_ne!(a.epoch(), b.epoch(), "racing coordinators must never share an epoch");
+
+    // B claimed the pool last: it answers correctly.
+    let rb = b.execute(&query, &[]).expect("the winning coordinator");
+    assert_eq!(expected_b.groups, rb.groups);
+    assert_eq!(expected_b.result_bytes, rb.result_bytes);
+
+    // A's epoch is fenced on every worker: a typed Dist error, never B's
+    // data and never a hang.
+    let ra = a.execute(&query, &[]);
+    assert!(matches!(ra, Err(SeabedError::Dist { .. })), "{ra:?}");
+
+    // And B keeps working afterwards.
+    let rb = b.execute(&query, &[]).expect("the winner is unaffected");
+    assert_eq!(expected_b.groups, rb.groups);
     for w in workers {
         w.shutdown();
     }

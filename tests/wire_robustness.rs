@@ -258,8 +258,9 @@ mod roundtrip {
 
         /// Arbitrary garbage after a valid header must decode to a typed
         /// error (or, astronomically rarely, a valid payload) — never panic.
-        /// Sweeps every known frame kind (1–14, including the PREPARE /
-        /// EXECUTE statement kinds) plus a margin of unknown ones.
+        /// Sweeps every known frame kind (1–16, including the PREPARE /
+        /// EXECUTE statement kinds and the shard unload pair) plus a margin
+        /// of unknown ones.
         #[test]
         fn garbage_payloads_never_panic(seed in any::<u64>(), len in 0usize..512) {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -400,10 +401,10 @@ fn unknown_version_and_kind_are_typed_errors() {
             other => panic!("version {version}: {other:?}"),
         }
     }
-    // Kind 0, the first unassigned kind (15), and far-out values. Known kinds
+    // Kind 0, the first unassigned kind (17), and far-out values. Known kinds
     // with a garbage (empty) payload fail at payload decode instead, which
     // the proptest sweep covers.
-    for kind in [0u8, 15, 99, 255] {
+    for kind in [0u8, 17, 99, 255] {
         let mut bad = good.clone();
         bad[6] = kind;
         assert!(matches!(
