@@ -29,7 +29,10 @@ fn main() {
         requested.push("all".to_string());
     }
 
-    let mut runner = ExperimentRunner::new(ExperimentConfig::new(scale).json_dir(json_dir));
+    // One provenance stamp per invocation: every artifact of this run
+    // carries the same timestamp and commit.
+    let meta = RunMeta::capture();
+    let mut runner = ExperimentRunner::new(ExperimentConfig::new(scale).json_dir(json_dir).meta(meta));
     runner.register(
         "table1",
         "Table 1: cost of cryptographic operations (ns/op)",

@@ -18,7 +18,7 @@
 pub mod metrics;
 pub mod runner;
 
-pub use metrics::{format_rows, rows_to_json, write_bench_json, Row};
+pub use metrics::{format_rows, rows_to_json, write_bench_json, Row, RunMeta};
 pub use runner::{ExperimentConfig, ExperimentReport, ExperimentRunner};
 
 use rand::rngs::StdRng;
@@ -1349,6 +1349,37 @@ pub fn exp_net_qps(scale: &Scale) -> Vec<Row> {
         ));
     }
 
+    // Live-scrape the still-running service over the wire (kinds 17/18) —
+    // the same path an external monitor takes. The scraped latency view
+    // lands in the rows (and thus in `BENCH_net_qps.json`); when
+    // `SEABED_METRICS_SNAPSHOT` names a path, the full JSON exposition is
+    // archived there too (CI uploads it as an artifact).
+    match seabed_net::scrape_metrics(addr, false, Duration::from_secs(5)) {
+        Ok((snapshot, _)) => {
+            let request_ns = snapshot.histogram("net_request_ns");
+            out.push(
+                Row::new("scrape net_request_ns")
+                    .with("count", request_ns.map(|h| h.count).unwrap_or(0) as f64)
+                    .with("p50_ms", request_ns.map(|h| h.p50()).unwrap_or(0) as f64 / 1e6)
+                    .with("p99_ms", request_ns.map(|h| h.p99()).unwrap_or(0) as f64 / 1e6)
+                    .with(
+                        "requests_served",
+                        snapshot.counter("net_requests_served").unwrap_or(0) as f64,
+                    ),
+            );
+            if let Ok(path) = std::env::var("SEABED_METRICS_SNAPSHOT") {
+                if let Some(parent) = std::path::Path::new(&path).parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                match std::fs::write(&path, snapshot.to_json()) {
+                    Ok(()) => println!("  -> wrote metrics snapshot {path}"),
+                    Err(err) => eprintln!("  !! could not write metrics snapshot {path}: {err}"),
+                }
+            }
+        }
+        Err(err) => eprintln!("  !! live metrics scrape failed: {err}"),
+    }
+
     let stats = net.shutdown();
     out.push(
         Row::new("service totals")
@@ -2171,8 +2202,9 @@ mod tests {
             Row::new("ASHE \"enc\"").with("ns_per_op", 42.5).with("bad", f64::NAN),
             Row::new("line\ntwo").with("x", 1e9),
         ];
-        let json = rows_to_json("table1", &Scale::smoke(), &rows);
+        let json = rows_to_json("table1", &Scale::smoke(), &RunMeta::default(), &rows);
         assert!(json.contains("\"experiment\": \"table1\""));
+        assert!(json.contains("\"meta\": {\"unix_timestamp\": 0, \"git_commit\": \"unknown\"}"));
         assert!(json.contains("\"row_divisor\": 20000"));
         assert!(json.contains("\"ASHE \\\"enc\\\"\""));
         assert!(json.contains("\"ns_per_op\": 42.5"));
@@ -2187,10 +2219,11 @@ mod tests {
     fn bench_json_writes_file() {
         let dir = std::env::temp_dir().join("seabed_bench_json_test");
         let rows = vec![Row::new("r").with("v", 1.0)];
-        let path = write_bench_json(&dir, "smoke", &Scale::smoke(), &rows).expect("write json");
+        let path = write_bench_json(&dir, "smoke", &Scale::smoke(), &RunMeta::capture(), &rows).expect("write json");
         let content = std::fs::read_to_string(&path).expect("read back");
         assert!(path.ends_with("BENCH_smoke.json"));
         assert!(content.contains("\"experiment\": \"smoke\""));
+        assert!(content.contains("\"git_commit\": \""));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

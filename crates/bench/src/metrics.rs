@@ -55,6 +55,55 @@ pub fn format_rows(title: &str, rows: &[Row]) -> String {
     out
 }
 
+/// Schema-stable provenance stamped into every `BENCH_*.json` artifact:
+/// when the run happened and what code produced it. Captured **once per
+/// harness invocation** at the entrypoint (so every artifact of one run
+/// carries the same stamp) and threaded through
+/// [`crate::runner::ExperimentConfig`].
+#[derive(Clone, Debug)]
+pub struct RunMeta {
+    /// Seconds since the UNIX epoch when the harness run started (`0` when
+    /// the clock could not be read).
+    pub unix_timestamp: u64,
+    /// `git rev-parse HEAD` of the tree that produced the numbers, or
+    /// `"unknown"` when git or the repository is unavailable.
+    pub git_commit: String,
+}
+
+impl Default for RunMeta {
+    fn default() -> RunMeta {
+        RunMeta {
+            unix_timestamp: 0,
+            git_commit: "unknown".to_string(),
+        }
+    }
+}
+
+impl RunMeta {
+    /// Captures the current wall clock and git commit. Both are
+    /// best-effort: a pre-epoch clock stamps `0`, a missing git binary or
+    /// repository stamps `"unknown"` — an artifact is always written.
+    pub fn capture() -> RunMeta {
+        let unix_timestamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let git_commit = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        RunMeta {
+            unix_timestamp,
+            git_commit,
+        }
+    }
+}
+
 /// Escapes a string for embedding in a JSON document.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -86,14 +135,24 @@ fn json_number(v: f64) -> String {
 /// ```json
 /// {
 ///   "experiment": "fig6",
+///   "meta": {"unix_timestamp": 1754600000, "git_commit": "abc123..."},
 ///   "scale": {"row_divisor": 1000, "partitions": 64, ...},
 ///   "rows": [{"label": "...", "values": {"response_s": 1.25}}]
 /// }
 /// ```
-pub fn rows_to_json(experiment: &str, scale: &Scale, rows: &[Row]) -> String {
+///
+/// `experiment` names the run, `meta` stamps its provenance, and `scale` is
+/// the full configuration snapshot — together they make every artifact
+/// self-describing for trajectory diffs.
+pub fn rows_to_json(experiment: &str, scale: &Scale, meta: &RunMeta, rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"experiment\": \"{}\",\n", json_escape(experiment)));
+    out.push_str(&format!(
+        "  \"meta\": {{\"unix_timestamp\": {}, \"git_commit\": \"{}\"}},\n",
+        meta.unix_timestamp,
+        json_escape(&meta.git_commit)
+    ));
     out.push_str(&format!(
         "  \"scale\": {{\"row_divisor\": {}, \"paillier_row_cap\": {}, \"paillier_bits\": {}, \"partitions\": {}, \"seed\": {}}},\n",
         scale.row_divisor, scale.paillier_row_cap, scale.paillier_bits, scale.partitions, scale.seed
@@ -123,10 +182,11 @@ pub fn write_bench_json(
     dir: &std::path::Path,
     experiment: &str,
     scale: &Scale,
+    meta: &RunMeta,
     rows: &[Row],
 ) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("BENCH_{experiment}.json"));
-    std::fs::write(&path, rows_to_json(experiment, scale, rows))?;
+    std::fs::write(&path, rows_to_json(experiment, scale, meta, rows))?;
     Ok(path)
 }

@@ -23,7 +23,7 @@
 //! }
 //! ```
 
-use crate::metrics::{format_rows, write_bench_json, Row};
+use crate::metrics::{format_rows, write_bench_json, Row, RunMeta};
 use crate::Scale;
 use std::path::PathBuf;
 
@@ -34,17 +34,31 @@ pub struct ExperimentConfig {
     pub scale: Scale,
     /// Where `BENCH_<name>.json` artifacts go; `None` skips JSON emission.
     pub json_dir: Option<PathBuf>,
+    /// Provenance stamped into every artifact of this invocation (the
+    /// entrypoint captures it once via [`RunMeta::capture`]).
+    pub meta: RunMeta,
 }
 
 impl ExperimentConfig {
-    /// A configuration running at `scale` with JSON emission disabled.
+    /// A configuration running at `scale` with JSON emission disabled and a
+    /// default (unstamped) [`RunMeta`].
     pub fn new(scale: Scale) -> ExperimentConfig {
-        ExperimentConfig { scale, json_dir: None }
+        ExperimentConfig {
+            scale,
+            json_dir: None,
+            meta: RunMeta::default(),
+        }
     }
 
     /// Returns the configuration with JSON artifacts written to `dir`.
     pub fn json_dir(mut self, dir: impl Into<PathBuf>) -> ExperimentConfig {
         self.json_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns the configuration with the artifact provenance stamp replaced.
+    pub fn meta(mut self, meta: RunMeta) -> ExperimentConfig {
+        self.meta = meta;
         self
     }
 }
@@ -150,7 +164,7 @@ impl ExperimentRunner {
                 let rows = (exp.run)(&self.config.scale);
                 let rendered = format_rows(exp.title, &rows);
                 let (json_path, json_error) = match &self.config.json_dir {
-                    Some(dir) => match write_bench_json(dir, exp.name, &self.config.scale, &rows) {
+                    Some(dir) => match write_bench_json(dir, exp.name, &self.config.scale, &self.config.meta, &rows) {
                         Ok(path) => (Some(path), None),
                         Err(err) => (None, Some(err)),
                     },
@@ -215,13 +229,19 @@ mod tests {
     fn json_artifacts_land_in_the_configured_dir() {
         let dir = std::env::temp_dir().join("seabed_bench_runner_test");
         let _ = std::fs::remove_dir_all(&dir);
-        let mut runner = ExperimentRunner::new(ExperimentConfig::new(Scale::smoke()).json_dir(&dir));
+        let stamp = RunMeta {
+            unix_timestamp: 1_754_600_000,
+            git_commit: "deadbeef".to_string(),
+        };
+        let mut runner = ExperimentRunner::new(ExperimentConfig::new(Scale::smoke()).json_dir(&dir).meta(stamp));
         runner.register("gamma", "Gamma", |_| vec![Row::new("g").with("v", 1.0)]);
         let reports = runner.run(&["gamma".to_string()]);
         let path = reports[0].json_path.as_ref().expect("json written");
         assert!(path.ends_with("BENCH_gamma.json"));
         let content = std::fs::read_to_string(path).expect("read back");
         assert!(content.contains("\"experiment\": \"gamma\""));
+        assert!(content.contains("\"unix_timestamp\": 1754600000"));
+        assert!(content.contains("\"git_commit\": \"deadbeef\""));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -781,6 +781,23 @@ pub trait QueryTarget {
         let _ = statement_id;
         self.execute_query(statement, filters)
     }
+
+    /// [`QueryTarget::execute_prepared`] with a propagated trace id
+    /// ([`seabed_obs::UNTRACED`] for an untraced execution). Targets that
+    /// cross a process boundary (remote proxy, distributed coordinator)
+    /// override this to ship the id with the query and record their own
+    /// spans under it; the default simply drops the id — an in-process
+    /// target has no spans of its own to contribute.
+    fn execute_prepared_traced(
+        &self,
+        statement: &TranslatedQuery,
+        statement_id: u64,
+        filters: &[PhysicalFilter],
+        trace_id: u64,
+    ) -> Result<ServerResponse, SeabedError> {
+        let _ = trace_id;
+        self.execute_prepared(statement, statement_id, filters)
+    }
 }
 
 impl QueryTarget for SeabedServer {

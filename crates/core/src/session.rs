@@ -35,9 +35,9 @@ use crate::client::{FilterEncryptor, QueryResult, SeabedClient};
 use crate::server::{PhysicalFilter, QueryTarget, ServerResponse};
 use seabed_engine::{ColumnType, Schema};
 use seabed_error::{SchemaError, SeabedError};
+use seabed_obs::{Counter, Histogram, Registry, TraceBuilder, TraceId, UNTRACED};
 use seabed_query::{parse, translate, Literal, Query, ServerFilter, TranslatedQuery};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// 64-bit FNV-1a, the statement-cache hash. Stable across processes (the
@@ -209,7 +209,10 @@ impl PreparedQuery {
     }
 }
 
-/// Counters of one session's lifecycle activity.
+/// Counters of one session's lifecycle activity — a thin snapshot view over
+/// the session registry's `session_*` counters (see
+/// [`SeabedSession::registry`] for the full instrument set, including the
+/// prepare/execute latency histograms).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// `prepare` calls that built a new statement (cache misses).
@@ -218,6 +221,34 @@ pub struct SessionStats {
     pub cache_hits: u64,
     /// Successful `execute` calls.
     pub executes: u64,
+}
+
+/// The session's pre-registered instrument handles, looked up once so the
+/// per-query paths never touch the registry's maps.
+struct SessionMetrics {
+    /// Cache-miss prepares (statements actually built).
+    statements_prepared: Counter,
+    /// Prepares answered from the statement cache.
+    cache_hits: Counter,
+    /// Successful executes.
+    executes: Counter,
+    /// Wall time of a cache-miss prepare (parse → translate → validate →
+    /// encrypt inline literals).
+    prepare_ns: Histogram,
+    /// Wall time of an execute (bind → dispatch → decrypt).
+    execute_ns: Histogram,
+}
+
+impl SessionMetrics {
+    fn new(obs: &Registry) -> SessionMetrics {
+        SessionMetrics {
+            statements_prepared: obs.counter("session_prepares"),
+            cache_hits: obs.counter("session_cache_hits"),
+            executes: obs.counter("session_executes"),
+            prepare_ns: obs.histogram("session_prepare_ns"),
+            execute_ns: obs.histogram("session_execute_ns"),
+        }
+    }
 }
 
 /// A multi-table, prepared-statement query session over one execution target.
@@ -230,9 +261,8 @@ pub struct SeabedSession<'t, T: QueryTarget + ?Sized> {
     catalog: Catalog,
     target: &'t T,
     cache: Mutex<StatementCache>,
-    statements_prepared: AtomicU64,
-    cache_hits: AtomicU64,
-    executes: AtomicU64,
+    obs: Registry,
+    metrics: SessionMetrics,
 }
 
 /// The session's bounded statement cache: FIFO eviction beyond `capacity`
@@ -275,15 +305,17 @@ impl StatementCache {
 pub const DEFAULT_STATEMENT_CAPACITY: usize = 256;
 
 impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
-    /// Opens a session over `target` with the given catalog.
+    /// Opens a session over `target` with the given catalog, with a fresh
+    /// (enabled) metrics registry.
     pub fn new(catalog: Catalog, target: &'t T) -> SeabedSession<'t, T> {
+        let obs = Registry::default();
+        let metrics = SessionMetrics::new(&obs);
         SeabedSession {
             catalog,
             target,
             cache: Mutex::new(StatementCache::new(DEFAULT_STATEMENT_CAPACITY)),
-            statements_prepared: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            executes: AtomicU64::new(0),
+            obs,
+            metrics,
         }
     }
 
@@ -291,6 +323,23 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
     pub fn with_statement_capacity(mut self, capacity: usize) -> SeabedSession<'t, T> {
         self.cache = Mutex::new(StatementCache::new(capacity));
         self
+    }
+
+    /// Replaces the session's metrics registry. Pass a clone of the
+    /// execution target's registry (e.g. a coordinator's) to collect the
+    /// session's spans and the target's into one timeline, stitchable with
+    /// [`Registry::merged_trace`]; pass [`Registry::disabled`] to turn
+    /// histogram timers and tracing off entirely.
+    pub fn with_obs(mut self, obs: Registry) -> SeabedSession<'t, T> {
+        self.metrics = SessionMetrics::new(&obs);
+        self.obs = obs;
+        self
+    }
+
+    /// The session's metrics registry (shared interior — a clone sees every
+    /// later update).
+    pub fn registry(&self) -> Registry {
+        self.obs.clone()
     }
 
     /// Convenience constructor for the single-table case — what the legacy
@@ -312,9 +361,9 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
     /// A snapshot of the session counters.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
-            statements_prepared: self.statements_prepared.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            executes: self.executes.load(Ordering::Relaxed),
+            statements_prepared: self.metrics.statements_prepared.get(),
+            cache_hits: self.metrics.cache_hits.get(),
+            executes: self.metrics.executes.get(),
         }
     }
 
@@ -338,6 +387,13 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
     /// [`SeabedError::Translate`] / [`SeabedError::Schema`] for plans the
     /// encrypted schema cannot run.
     pub fn prepare(&self, sql: &str) -> Result<Arc<PreparedQuery>, SeabedError> {
+        self.prepare_traced(sql, &TraceBuilder::noop())
+    }
+
+    /// [`SeabedSession::prepare`] recording its stages (`parse`,
+    /// `translate`, `encrypt-filters`) into `tb`. A cache hit records no
+    /// spans — nothing was parsed or encrypted.
+    fn prepare_traced(&self, sql: &str, tb: &TraceBuilder) -> Result<Arc<PreparedQuery>, SeabedError> {
         let statement_id = fnv1a64(sql.as_bytes());
         if let Some(cached) = self
             .cache
@@ -349,10 +405,11 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
             // Guard against (astronomically unlikely) hash collisions: a hit
             // only counts when the SQL text matches.
             if cached.sql == sql {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.cache_hits.incr();
                 return Ok(Arc::clone(cached));
             }
         }
+        let prepare_timer = self.metrics.prepare_ns.start();
 
         // A multi-table catalog needs a target that routes by table name; an
         // anonymous single-table target would silently run every statement
@@ -365,15 +422,20 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
             )));
         }
 
+        let span = tb.start();
         let query = parse(sql)?;
+        tb.end("parse", span);
         let table = query.from.base_table().to_string();
         let client = self
             .catalog
             .client(&table)
             .ok_or_else(|| SchemaError::UnknownTable(table.clone()))?;
         let schema = self.target.schema_of(&table)?;
+        let span = tb.start();
         let translated = translate(&query, client.plan(), &client.translate_options)?;
         validate_against_schema(schema, &translated)?;
+        tb.end("translate", span);
+        let span = tb.start();
         // Build the per-column DET/ORE schemes once; every execute (and the
         // inline-literal encryption below) shares them.
         let encryptor = Arc::new(client.filter_encryptor(&translated));
@@ -404,6 +466,7 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
                 .collect::<Result<Vec<_>, SeabedError>>()?;
             PreparedFilters::Template(template)
         };
+        tb.end("encrypt-filters", span);
 
         let prepared = Arc::new(PreparedQuery {
             table,
@@ -415,7 +478,8 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
             encryptor,
             bind_memo: Mutex::new(HashMap::new()),
         });
-        self.statements_prepared.fetch_add(1, Ordering::Relaxed);
+        self.metrics.statements_prepared.incr();
+        self.metrics.prepare_ns.stop(prepare_timer);
         self.cache
             .lock()
             .unwrap_or_else(|p| p.into_inner())
@@ -437,13 +501,59 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
     /// steps), which is all decryption reads, so fully-bound statements pay
     /// no per-execute allocation or crypto at all.
     pub fn execute(&self, prepared: &PreparedQuery, params: &[Literal]) -> Result<QueryResult, SeabedError> {
+        Ok(self.execute_traced(prepared, params)?.0)
+    }
+
+    /// [`SeabedSession::execute`] under a freshly minted [`TraceId`]: the
+    /// session's `bind` / `dispatch` / `decrypt` spans land in its registry
+    /// under the returned id, and the id travels to the target (a
+    /// coordinator records its scatter/gather/merge spans under it, a remote
+    /// worker its shard-execute span). Returns [`UNTRACED`] when the
+    /// registry is disabled.
+    pub fn execute_traced(
+        &self,
+        prepared: &PreparedQuery,
+        params: &[Literal],
+    ) -> Result<(QueryResult, u64), SeabedError> {
+        let trace_id = self.mint_trace_id();
+        let mut tb = self.obs.trace_builder(trace_id, "session");
+        tb.set_statement_id(prepared.statement_id);
+        let result = self.execute_with(prepared, params, &tb, trace_id)?;
+        if let Some(trace) = tb.finish() {
+            self.obs.record_trace(trace);
+        }
+        Ok((result, trace_id))
+    }
+
+    /// A fresh trace id, or [`UNTRACED`] when the registry is disabled (so
+    /// disabled sessions also skip the propagation work downstream).
+    fn mint_trace_id(&self) -> u64 {
+        if self.obs.enabled() {
+            TraceId::mint().as_u64()
+        } else {
+            UNTRACED
+        }
+    }
+
+    /// The shared execute body: dispatch, then decrypt (as a span on `tb`).
+    fn execute_with(
+        &self,
+        prepared: &PreparedQuery,
+        params: &[Literal],
+        tb: &TraceBuilder,
+        trace_id: u64,
+    ) -> Result<QueryResult, SeabedError> {
+        let execute_timer = self.metrics.execute_ns.start();
         let client = self
             .catalog
             .client(&prepared.table)
             .ok_or_else(|| SchemaError::UnknownTable(prepared.table.clone()))?;
-        let (_, response) = self.dispatch(client, prepared, params)?;
+        let (_, response) = self.dispatch(client, prepared, params, tb, trace_id)?;
+        let span = tb.start();
         let result = client.decrypt_response(&prepared.query, &prepared.translated, response)?;
-        self.executes.fetch_add(1, Ordering::Relaxed);
+        tb.end("decrypt", span);
+        self.metrics.execute_ns.stop(execute_timer);
+        self.metrics.executes.incr();
         Ok(result)
     }
 
@@ -459,6 +569,8 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
         client: &SeabedClient,
         prepared: &PreparedQuery,
         params: &[Literal],
+        tb: &TraceBuilder,
+        trace_id: u64,
     ) -> Result<(Option<TranslatedQuery>, ServerResponse), SeabedError> {
         match &prepared.filters {
             PreparedFilters::Fixed(fixed) => {
@@ -471,12 +583,18 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
                     }
                     .into());
                 }
-                let response = self
-                    .target
-                    .execute_prepared(&prepared.translated, prepared.statement_id, fixed)?;
+                let span = tb.start();
+                let response = self.target.execute_prepared_traced(
+                    &prepared.translated,
+                    prepared.statement_id,
+                    fixed,
+                    trace_id,
+                )?;
+                tb.end("dispatch", span);
                 Ok((None, response))
             }
             PreparedFilters::Template(template) => {
+                let bind_span = tb.start();
                 let bound = prepared.translated.bind(params)?;
                 let schema = self.target.schema_of(&prepared.table)?;
                 let mut filters = Vec::with_capacity(template.len());
@@ -501,9 +619,15 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
                         }
                     }
                 }
-                let response = self
-                    .target
-                    .execute_prepared(&prepared.translated, prepared.statement_id, &filters)?;
+                tb.end("bind", bind_span);
+                let span = tb.start();
+                let response = self.target.execute_prepared_traced(
+                    &prepared.translated,
+                    prepared.statement_id,
+                    &filters,
+                    trace_id,
+                )?;
+                tb.end("dispatch", span);
                 Ok((Some(bound), response))
             }
         }
@@ -522,7 +646,7 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
             .catalog
             .client(&prepared.table)
             .ok_or_else(|| SchemaError::UnknownTable(prepared.table.clone()))?;
-        let (bound, response) = self.dispatch(client, prepared, params)?;
+        let (bound, response) = self.dispatch(client, prepared, params, &TraceBuilder::noop(), UNTRACED)?;
         // Fully-bound statements' plan is already the bound plan.
         Ok((bound.unwrap_or_else(|| prepared.translated.clone()), response))
     }
@@ -531,8 +655,29 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
     /// `SeabedClient::query`. The statement cache makes repeated calls with
     /// the same SQL skip parse/translate/validate entirely.
     pub fn query(&self, sql: &str, params: &[Literal]) -> Result<QueryResult, SeabedError> {
-        let prepared = self.prepare(sql)?;
-        self.execute(&prepared, params)
+        Ok(self.query_traced(sql, params)?.0)
+    }
+
+    /// [`SeabedSession::query`] with end-to-end tracing: one [`TraceId`] is
+    /// minted for the whole lifecycle, the session's prepare spans (`parse`,
+    /// `translate`, `encrypt-filters` — on a cache miss), `bind`,
+    /// `dispatch`, and `decrypt` spans are recorded into its registry under
+    /// that id, and the id is propagated to the execution target so its
+    /// spans (scatter/per-shard/gather/merge on a coordinator, shard
+    /// executes on remote workers) correlate. Returns the result and the
+    /// trace id; when the session and target share a registry (see
+    /// [`SeabedSession::with_obs`]), [`Registry::merged_trace`] stitches the
+    /// whole timeline.
+    pub fn query_traced(&self, sql: &str, params: &[Literal]) -> Result<(QueryResult, u64), SeabedError> {
+        let trace_id = self.mint_trace_id();
+        let mut tb = self.obs.trace_builder(trace_id, "session");
+        tb.set_statement_id(fnv1a64(sql.as_bytes()));
+        let prepared = self.prepare_traced(sql, &tb)?;
+        let result = self.execute_with(&prepared, params, &tb, trace_id)?;
+        if let Some(trace) = tb.finish() {
+            self.obs.record_trace(trace);
+        }
+        Ok((result, trace_id))
     }
 }
 
@@ -762,6 +907,56 @@ mod tests {
             assert_eq!(prepared_response.groups, one_shot_response.groups, "{parameterized}");
             assert_eq!(prepared_response.result_bytes, one_shot_response.result_bytes);
         }
+        Ok(())
+    }
+
+    /// One traced query records the whole session-side lifecycle under one
+    /// minted id — and a disabled registry runs the same query untraced,
+    /// with the legacy counters still live.
+    #[test]
+    fn traced_query_records_session_spans_and_metrics() -> Result<(), SeabedError> {
+        let (client, server, _) = fixture("sales", b"session-9");
+        let session = SeabedSession::single("sales", client, &server);
+        let sql = "SELECT SUM(revenue) FROM sales WHERE ts >= 100";
+        let (_, trace_id) = session.query_traced(sql, &[])?;
+        assert_ne!(trace_id, UNTRACED);
+        let trace = session.registry().merged_trace(trace_id).expect("trace recorded");
+        assert_eq!(trace.statement_id, fnv1a64(sql.as_bytes()));
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["parse", "translate", "encrypt-filters", "dispatch", "decrypt"],
+            "cold prepare + fully-bound execute"
+        );
+        let snap = session.registry().snapshot();
+        assert_eq!(snap.counter("session_prepares"), Some(1));
+        assert_eq!(snap.counter("session_executes"), Some(1));
+        assert!(snap.histogram("session_prepare_ns").unwrap().count == 1);
+        assert!(snap.histogram("session_execute_ns").unwrap().count == 1);
+
+        // A cache-hit execution has no prepare spans.
+        let (_, second_id) = session.query_traced(sql, &[])?;
+        let second = session.registry().merged_trace(second_id).expect("trace recorded");
+        let names: Vec<&str> = second.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["dispatch", "decrypt"]);
+        assert_eq!(session.registry().snapshot().counter("session_cache_hits"), Some(1));
+
+        // Disabled registry: untraced, timerless, but counters stay live.
+        let (client, server, _) = fixture("sales", b"session-9");
+        let session = SeabedSession::single("sales", client, &server).with_obs(Registry::disabled());
+        let (_, trace_id) = session.query_traced(sql, &[])?;
+        assert_eq!(trace_id, UNTRACED);
+        assert!(session.registry().recent_traces().is_empty());
+        assert_eq!(session.stats().executes, 1);
+        assert_eq!(
+            session
+                .registry()
+                .snapshot()
+                .histogram("session_execute_ns")
+                .unwrap()
+                .count,
+            0
+        );
         Ok(())
     }
 

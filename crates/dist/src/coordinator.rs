@@ -66,6 +66,7 @@ use seabed_engine::merge::{merge_partial_groups, PartialGroups};
 use seabed_engine::{ExecStats, Schema, Table};
 use seabed_error::SeabedError;
 use seabed_net::wire::{self, Frame, ShardExecConfig, HEADER_LEN};
+use seabed_obs::{Counter, Histogram, Registry, UNTRACED};
 use seabed_query::TranslatedQuery;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -463,6 +464,43 @@ struct QueryContext<'a> {
     table_id: u32,
     query: &'a TranslatedQuery,
     filters: &'a [PhysicalFilter],
+    /// Propagated per-query trace id ([`UNTRACED`] for untraced queries),
+    /// shipped inside every `ShardQuery` frame so worker-side spans
+    /// correlate with the coordinator's.
+    trace_id: u64,
+}
+
+/// The coordinator's registered instruments (`dist_*`). The counters mirror
+/// the lifetime totals behind [`QueryReport`] and
+/// [`CacheStats`](crate::cache::CacheStats) — those structs stay the
+/// per-query/per-cache snapshot views — while the histograms accumulate the
+/// phase latencies a single report only shows once.
+struct DistMetrics {
+    hedged_reads: Counter,
+    redispatches: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    scatter_ns: Histogram,
+    gather_ns: Histogram,
+    merge_ns: Histogram,
+    cache_hit_ns: Histogram,
+    cache_miss_ns: Histogram,
+}
+
+impl DistMetrics {
+    fn new(obs: &Registry) -> DistMetrics {
+        DistMetrics {
+            hedged_reads: obs.counter("dist_hedged_reads"),
+            redispatches: obs.counter("dist_redispatches"),
+            cache_hits: obs.counter("dist_cache_hits"),
+            cache_misses: obs.counter("dist_cache_misses"),
+            scatter_ns: obs.histogram("dist_scatter_ns"),
+            gather_ns: obs.histogram("dist_gather_ns"),
+            merge_ns: obs.histogram("dist_merge_ns"),
+            cache_hit_ns: obs.histogram("dist_cache_hit_ns"),
+            cache_miss_ns: obs.histogram("dist_cache_miss_ns"),
+        }
+    }
 }
 
 /// One encrypted table hosted by the coordinator: its shards (retained so a
@@ -501,6 +539,10 @@ pub struct DistCoordinator {
     /// every membership change, so entries cached before a recovery or a
     /// rebalance can never answer a probe after it.
     cache_epoch: AtomicU64,
+    /// Metrics/trace registry; [`DistCoordinator::with_obs`] swaps in a
+    /// shared one so session- and coordinator-side spans merge.
+    obs: Registry,
+    metrics: DistMetrics,
 }
 
 impl DistCoordinator {
@@ -584,6 +626,8 @@ impl DistCoordinator {
         }
         let num_workers = workers.len();
 
+        let obs = Registry::default();
+        let metrics = DistMetrics::new(&obs);
         let coordinator = DistCoordinator {
             tables: entries,
             workers: RwLock::new(workers),
@@ -595,6 +639,8 @@ impl DistCoordinator {
             cache: Mutex::new(PartialCache::new(config.partial_cache_capacity)),
             cache_epoch: AtomicU64::new(1),
             config,
+            obs,
+            metrics,
         };
         // Initial placement: table t's shard i lives on the R consecutive
         // workers starting at (t + i) mod N, so several tables spread across
@@ -680,6 +726,21 @@ impl DistCoordinator {
         self.last_report.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
+    /// The coordinator's metrics/trace registry (`dist_*` instruments plus
+    /// the ring of recent coordinator-side [`seabed_obs::QueryTrace`]s).
+    pub fn registry(&self) -> Registry {
+        self.obs.clone()
+    }
+
+    /// Replaces the registry — typically with the driving session's, so one
+    /// [`Registry::merged_trace`] covers parse → … → merge — re-registering
+    /// the coordinator's instruments on it.
+    pub fn with_obs(mut self, obs: Registry) -> DistCoordinator {
+        self.metrics = DistMetrics::new(&obs);
+        self.obs = obs;
+        self
+    }
+
     fn worker(&self, index: usize) -> Result<Arc<WorkerLink>, SeabedError> {
         self.workers
             .read()
@@ -755,7 +816,7 @@ impl DistCoordinator {
     /// call fails only when a shard cannot run anywhere or a worker reports
     /// a deterministic query error.
     pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
-        self.execute_internal(query, filters, None)
+        self.execute_internal(query, filters, None, UNTRACED)
     }
 
     /// The scatter/gather behind both entry points. `cache_key` is
@@ -767,8 +828,10 @@ impl DistCoordinator {
         query: &TranslatedQuery,
         filters: &[PhysicalFilter],
         cache_key: Option<(u64, u64)>,
+        trace_id: u64,
     ) -> Result<ServerResponse, SeabedError> {
         let started = Instant::now();
+        let tb = self.obs.trace_builder(trace_id, "coordinator");
         let (table_id, entry) = self.resolve(&query.base_table)?;
         let assignment: Vec<Vec<usize>> = entry.assignment.lock().unwrap_or_else(|p| p.into_inner()).clone();
         let discarded_before = self.discarded.load(Ordering::Relaxed);
@@ -777,6 +840,7 @@ impl DistCoordinator {
             table_id,
             query,
             filters,
+            trace_id,
         };
 
         // Probe: a prepared execute answers every shard it can from the
@@ -809,6 +873,7 @@ impl DistCoordinator {
         // of the replica set, falling back to the nominal head so a fully
         // dead set still fails over through re-dispatch), one lane per
         // worker.
+        let scatter_timer = self.metrics.scatter_ns.start();
         let workers = self.workers_snapshot();
         let primary_of = |set: &[usize]| -> usize {
             set.iter()
@@ -891,6 +956,14 @@ impl DistCoordinator {
             let run = self.redispatch(shard, ctx)?;
             runs.push(run);
         }
+        let scatter_ns = self.metrics.scatter_ns.stop(scatter_timer);
+        tb.add_span_ns("scatter", scatter_ns);
+        for run in &runs {
+            tb.add_span_ns(
+                "shard-execute",
+                u64::try_from(run.round_trip.as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
 
         // Fresh partials of a prepared execute go back into the cache under
         // the *current* epoch — post-bump if this very query lost a worker,
@@ -916,6 +989,7 @@ impl DistCoordinator {
         // shard order through the shared merge implementation, then finalize
         // exactly as the in-process driver.
         let gather_started = Instant::now();
+        let gather_timer = self.metrics.gather_ns.start();
         let cache_hits = cached.len() as u64;
         let cache_misses = if cache_key.is_some() { missing.len() as u64 } else { 0 };
         let mut partials: Vec<(u32, PartialResponse)> = cached;
@@ -927,15 +1001,20 @@ impl DistCoordinator {
             partials.push((run.shard, partial));
         }
         partials.sort_by_key(|(shard, _)| *shard);
+        let merge_timer = self.metrics.merge_ns.start();
         let mut merged: PartialGroups = PartialGroups::new();
         let mut stats = ExecStats::default();
         for (_, partial) in partials {
             stats = stats.merge(&partial.stats);
             merge_partial_groups(&mut merged, partial.groups);
         }
+        let merge_ns = self.metrics.merge_ns.stop(merge_timer);
         runs.sort_by_key(|r| r.shard);
         stats.wall_time = started.elapsed();
         let response = finalize_partials(query, merged, stats);
+        let gather_ns = self.metrics.gather_ns.stop(gather_timer);
+        tb.add_span_ns("gather", gather_ns);
+        tb.add_span_ns("merge", merge_ns);
 
         let report = QueryReport {
             runs: runs
@@ -957,7 +1036,27 @@ impl DistCoordinator {
             cache_misses,
             hedged_reads: self.hedged.load(Ordering::Relaxed) - hedged_before,
         };
+        self.metrics.hedged_reads.add(report.hedged_reads);
+        self.metrics.cache_hits.add(report.cache_hits);
+        self.metrics.cache_misses.add(report.cache_misses);
+        self.metrics
+            .redispatches
+            .add(report.runs.iter().filter(|r| r.redispatched).count() as u64);
+        // Latency split of prepared executes: a fully cached answer never
+        // touched the network; anything that scattered lands in the miss
+        // histogram. One-shot queries never probe and record neither.
+        if cache_key.is_some() {
+            let wall_ns = u64::try_from(report.wall_time.as_nanos()).unwrap_or(u64::MAX);
+            if report.cache_misses == 0 {
+                self.metrics.cache_hit_ns.record_ns(wall_ns);
+            } else {
+                self.metrics.cache_miss_ns.record_ns(wall_ns);
+            }
+        }
         *self.last_report.lock().unwrap_or_else(|p| p.into_inner()) = report;
+        if let Some(trace) = tb.finish() {
+            self.obs.record_trace(trace);
+        }
         Ok(response)
     }
 
@@ -1097,6 +1196,7 @@ impl DistCoordinator {
             table_id,
             shard,
             seq,
+            trace_id: ctx.trace_id,
             query: query.clone(),
             filters: ctx.filters.to_vec(),
         };
@@ -1569,6 +1669,20 @@ impl QueryTarget for DistCoordinator {
         statement_id: u64,
         filters: &[PhysicalFilter],
     ) -> Result<ServerResponse, SeabedError> {
+        self.execute_prepared_traced(statement, statement_id, filters, UNTRACED)
+    }
+
+    /// The traced variant additionally records coordinator-side spans
+    /// (scatter, per-shard execute, gather, merge) under `trace_id` and
+    /// ships the id in every `ShardQuery` frame, so worker-side traces of
+    /// the same query are scrapeable under the same id.
+    fn execute_prepared_traced(
+        &self,
+        statement: &TranslatedQuery,
+        statement_id: u64,
+        filters: &[PhysicalFilter],
+        trace_id: u64,
+    ) -> Result<ServerResponse, SeabedError> {
         let _ = statement_id;
         let mut statement_bytes = Vec::new();
         wire::write_statement_payload(&mut statement_bytes, statement);
@@ -1578,6 +1692,7 @@ impl QueryTarget for DistCoordinator {
             statement,
             filters,
             Some((fnv1a64(&statement_bytes), fnv1a64(&filter_bytes))),
+            trace_id,
         )
     }
 }

@@ -145,6 +145,14 @@ pub struct ExecStats {
 impl ExecStats {
     /// Merges statistics from a second stage run as part of the same query
     /// (e.g. a map stage followed by a reduce stage).
+    ///
+    /// Every field is combined additively except `max_task_time`, which
+    /// takes the maximum — **including `wall_time`**: the merge models
+    /// stages (and shards) run *sequentially* on one driver, so the merged
+    /// wall time is the sum of the parts, not their overlap. Callers that
+    /// ran the parts concurrently (the distributed coordinator's scatter)
+    /// must overwrite `wall_time` with their own end-to-end measurement
+    /// after folding, which is exactly what `DistCoordinator` does.
     pub fn merge(&self, other: &ExecStats) -> ExecStats {
         ExecStats {
             tasks: self.tasks + other.tasks,
@@ -418,6 +426,9 @@ mod tests {
         assert_eq!(m.max_task_time, Duration::from_millis(9));
         assert_eq!(m.simulated_server_time, Duration::from_millis(27));
         assert_eq!(m.bytes_to_driver, 150);
+        // Documented additive semantics: merge models sequential stages, so
+        // wall times sum (concurrent callers overwrite the field afterward).
+        assert_eq!(m.wall_time, Duration::from_millis(23));
     }
 
     /// Regression tests for degenerate configurations: `with_workers(0)` and

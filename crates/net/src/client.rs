@@ -20,6 +20,7 @@ use crate::wire::{self, Frame, HEADER_LEN};
 use seabed_core::{PhysicalFilter, QueryResult, QueryTarget, SeabedClient, ServerResponse};
 use seabed_engine::Schema;
 use seabed_error::SeabedError;
+use seabed_obs::{MetricsSnapshot, QueryTrace, TraceId, UNTRACED};
 use seabed_query::{Query, TranslatedQuery};
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -241,20 +242,24 @@ impl RemoteSeabedClient {
     /// server response. A typed error frame from the server is surfaced as
     /// the [`SeabedError`] it carries.
     pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
-        Ok(self.execute_measured(query, filters)?.0)
+        Ok(self.execute_measured(query, filters, UNTRACED)?.0)
     }
 
     /// [`RemoteSeabedClient::execute`] plus the measured size of the response
     /// frame, captured inside the connection lock so concurrent queries on a
-    /// shared client cannot attribute each other's frames.
+    /// shared client cannot attribute each other's frames. A non-zero
+    /// `trace_id` travels in the request frame, so the server records its
+    /// execute span under the same id this client (or its session) uses.
     fn execute_measured(
         &self,
         query: &TranslatedQuery,
         filters: &[PhysicalFilter],
+        trace_id: u64,
     ) -> Result<(ServerResponse, u64), SeabedError> {
         let request = Frame::Request {
             query: query.clone(),
             filters: filters.to_vec(),
+            trace_id,
         };
         let mut conn = self.conn.lock().unwrap_or_else(|p| p.into_inner());
         match conn.round_trip(&request, self.max_frame_len)? {
@@ -286,9 +291,15 @@ impl RemoteSeabedClient {
 
     /// One `ExecuteStatement` round trip. A stale handle comes back as
     /// `Err(StaleStatement)` for the caller to recover from.
-    fn execute_handle(&self, handle: u64, filters: &[PhysicalFilter]) -> Result<(ServerResponse, u64), SeabedError> {
+    fn execute_handle(
+        &self,
+        handle: u64,
+        filters: &[PhysicalFilter],
+        trace_id: u64,
+    ) -> Result<(ServerResponse, u64), SeabedError> {
         let frame = Frame::ExecuteStatement {
             handle,
+            trace_id,
             filters: filters.to_vec(),
         };
         let mut conn = self.conn.lock().unwrap_or_else(|p| p.into_inner());
@@ -318,6 +329,20 @@ impl RemoteSeabedClient {
         statement_id: u64,
         filters: &[PhysicalFilter],
     ) -> Result<(ServerResponse, u64), SeabedError> {
+        self.execute_prepared_measured_traced(statement, statement_id, filters, UNTRACED)
+    }
+
+    /// [`RemoteSeabedClient::execute_prepared_measured`] with a propagated
+    /// trace id: the server records its execute span under `trace_id`, so a
+    /// later metrics scrape can stitch the remote side into the session's
+    /// timeline.
+    pub fn execute_prepared_measured_traced(
+        &self,
+        statement: &TranslatedQuery,
+        statement_id: u64,
+        filters: &[PhysicalFilter],
+        trace_id: u64,
+    ) -> Result<(ServerResponse, u64), SeabedError> {
         // The handle cache is keyed by the statement's plan *content* (the
         // exact bytes the server hashes into the handle), not by
         // `statement_id`: a caller that re-prepares the same SQL text under
@@ -339,7 +364,7 @@ impl RemoteSeabedClient {
                 handle
             }
         };
-        match self.execute_handle(handle, filters) {
+        match self.execute_handle(handle, filters, trace_id) {
             Err(SeabedError::StaleStatement(_)) => {
                 // The server forgot the statement (eviction or restart):
                 // re-prepare once and retry. A repeat staleness is surfaced.
@@ -348,7 +373,7 @@ impl RemoteSeabedClient {
                     .lock()
                     .unwrap_or_else(|p| p.into_inner())
                     .insert(content_key, fresh);
-                self.execute_handle(fresh, filters)
+                self.execute_handle(fresh, filters, trace_id)
             }
             outcome => outcome,
         }
@@ -373,10 +398,48 @@ impl RemoteSeabedClient {
     /// response frame that actually crossed the wire.
     pub fn query(&self, sql: &str) -> Result<QueryResult, SeabedError> {
         let (query, translated, filters) = self.prepare(sql)?;
-        let (response, wire_response_bytes) = self.execute_measured(&translated, &filters)?;
+        // A fresh id per query: the server's execute span lands in its trace
+        // ring under this id, scrapeable via [`scrape_metrics`].
+        let trace_id = TraceId::mint().as_u64();
+        let (response, wire_response_bytes) = self.execute_measured(&translated, &filters, trace_id)?;
         let mut result = self.inner.decrypt_response(&query, &translated, response)?;
         result.timings.network = self.inner.network.transfer_time(wire_response_bytes as usize);
         Ok(result)
+    }
+}
+
+/// Scrapes a live Seabed service's metrics snapshot (and, when
+/// `include_traces` is set, its ring of recent query traces) over a fresh
+/// connection. No schema handshake and no keys: the telemetry surface never
+/// carries plaintext (metric names are static identifiers, traces carry
+/// stage names, durations, and statement hashes), so an operator's scraper
+/// does not need a [`SeabedClient`].
+pub fn scrape_metrics(
+    addr: impl ToSocketAddrs,
+    include_traces: bool,
+    read_timeout: Duration,
+) -> Result<(MetricsSnapshot, Vec<QueryTrace>), SeabedError> {
+    let peer = addr
+        .to_socket_addrs()
+        .map_err(|e| SeabedError::net(format!("resolve: {e}")))?
+        .next()
+        .ok_or_else(|| SeabedError::net("address resolved to nothing"))?;
+    let stream = TcpStream::connect(peer).map_err(|e| SeabedError::net(format!("connect {peer}: {e}")))?;
+    stream
+        .set_read_timeout(Some(read_timeout))
+        .map_err(|e| SeabedError::net(format!("set_read_timeout: {e}")))?;
+    let mut conn = Connection {
+        stream,
+        stats: WireStats::default(),
+        poisoned: false,
+    };
+    match conn.round_trip(&Frame::MetricsRequest { include_traces }, wire::DEFAULT_MAX_FRAME_LEN)? {
+        (Frame::MetricsSnapshot { metrics, traces }, _) => Ok((metrics, traces)),
+        (Frame::Error(err), _) => Err(err),
+        (other, _) => Err(SeabedError::wire(format!(
+            "expected a metrics snapshot, got {:?}",
+            other.kind()
+        ))),
     }
 }
 
@@ -406,6 +469,18 @@ impl QueryTarget for RemoteSeabedClient {
         filters: &[PhysicalFilter],
     ) -> Result<ServerResponse, SeabedError> {
         Ok(self.execute_prepared_measured(statement, statement_id, filters)?.0)
+    }
+
+    fn execute_prepared_traced(
+        &self,
+        statement: &TranslatedQuery,
+        statement_id: u64,
+        filters: &[PhysicalFilter],
+        trace_id: u64,
+    ) -> Result<ServerResponse, SeabedError> {
+        Ok(self
+            .execute_prepared_measured_traced(statement, statement_id, filters, trace_id)?
+            .0)
     }
 }
 

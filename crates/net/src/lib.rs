@@ -33,6 +33,6 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{RemoteSeabedClient, WireStats};
+pub use client::{scrape_metrics, RemoteSeabedClient, WireStats};
 pub use server::{ConnectionStats, NetServer, ServiceConfig, ServiceStats};
 pub use wire::{Frame, FrameKind, ShardExecConfig, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};

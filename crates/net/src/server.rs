@@ -28,11 +28,12 @@ use crate::wire::{self, Frame, FrameKind, HEADER_LEN};
 use seabed_core::SeabedServer;
 use seabed_engine::{Cluster, ClusterConfig};
 use seabed_error::SeabedError;
+use seabed_obs::{Counter, Gauge, Histogram, ObsConfig, Registry};
 use seabed_query::TranslatedQuery;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -58,6 +59,14 @@ pub struct ServiceConfig {
     /// registration is evicted; clients executing an evicted handle receive
     /// a typed [`SeabedError::StaleStatement`] frame and re-prepare.
     pub statement_capacity: usize,
+    /// Capacity of the closed-connection log. The log is a ring: once full,
+    /// logging a newly closed connection evicts the oldest entry, so a
+    /// long-lived service churning short connections holds a bounded amount
+    /// of accounting, not one entry per connection ever served.
+    pub connection_log_capacity: usize,
+    /// Observability configuration for the service's [`Registry`]
+    /// (histogram timers and trace recording; counters always count).
+    pub obs: ObsConfig,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +80,8 @@ impl Default for ServiceConfig {
             write_timeout: Duration::from_secs(10),
             max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
             statement_capacity: 1024,
+            connection_log_capacity: 1024,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -91,6 +102,18 @@ impl ServiceConfig {
     /// Returns the configuration with the statement-store capacity replaced.
     pub fn statement_capacity(mut self, capacity: usize) -> ServiceConfig {
         self.statement_capacity = capacity.max(1);
+        self
+    }
+
+    /// Returns the configuration with the connection-log capacity replaced.
+    pub fn connection_log_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.connection_log_capacity = capacity.max(1);
+        self
+    }
+
+    /// Returns the configuration with the observability config replaced.
+    pub fn obs(mut self, obs: ObsConfig) -> ServiceConfig {
+        self.obs = obs;
         self
     }
 }
@@ -131,16 +154,87 @@ pub struct ConnectionStats {
     pub bytes_out: u64,
 }
 
-#[derive(Default)]
+/// The aggregate counters, held as [`Registry`] handles so the same numbers
+/// answer both the in-process [`NetServer::stats`] view and a remote
+/// metrics scrape. The closed-connection log rides along because it is
+/// flushed at the same point (connection teardown).
 struct SharedStats {
-    connections: AtomicU64,
-    requests_served: AtomicU64,
-    error_frames: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    statements_prepared: AtomicU64,
-    statements_evicted: AtomicU64,
-    closed: Mutex<Vec<ConnectionStats>>,
+    connections: Counter,
+    requests_served: Counter,
+    error_frames: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    statements_prepared: Counter,
+    statements_evicted: Counter,
+    closed: Mutex<VecDeque<ConnectionStats>>,
+}
+
+impl SharedStats {
+    fn new(obs: &Registry) -> SharedStats {
+        SharedStats {
+            connections: obs.counter("net_connections"),
+            requests_served: obs.counter("net_requests_served"),
+            error_frames: obs.counter("net_error_frames"),
+            bytes_in: obs.counter("net_bytes_in"),
+            bytes_out: obs.counter("net_bytes_out"),
+            statements_prepared: obs.counter("net_statements_prepared"),
+            statements_evicted: obs.counter("net_statements_evicted"),
+            closed: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+/// Pre-registered instrument handles for the request hot path — looked up
+/// once at serve time so recording never touches the registry's maps.
+struct NetMetrics {
+    /// Wall time from a complete frame payload to its computed reply.
+    request_ns: Histogram,
+    /// Shard-scan execute time on this worker (successful scans only).
+    shard_execute_ns: Histogram,
+    /// Shards currently resident in the shard store.
+    shard_store_size: Gauge,
+    /// Ingress frame counters indexed by the wire kind byte
+    /// (`net_frames_<kind>`); index 0 is never hit (kind bytes start at 1).
+    frames_by_kind: Vec<Counter>,
+}
+
+impl NetMetrics {
+    fn new(obs: &Registry) -> NetMetrics {
+        let frames_by_kind = (0..=FrameKind::MetricsSnapshot as u8)
+            .map(|byte| match FrameKind::from_u8(byte) {
+                Some(kind) => obs.counter(&format!("net_frames_{}", kind_slug(kind))),
+                None => obs.counter("net_frames_unknown"),
+            })
+            .collect();
+        NetMetrics {
+            request_ns: obs.histogram("net_request_ns"),
+            shard_execute_ns: obs.histogram("shard_execute_ns"),
+            shard_store_size: obs.gauge("shard_store_size"),
+            frames_by_kind,
+        }
+    }
+
+    fn count_frame(&self, kind_byte: u8) {
+        if let Some(counter) = self.frames_by_kind.get(kind_byte as usize) {
+            counter.incr();
+        }
+    }
+}
+
+/// `ShardQuery` → `shard_query`: the metric-name slug of a frame kind.
+fn kind_slug(kind: FrameKind) -> String {
+    let mut slug = String::new();
+    for c in format!("{kind:?}").chars() {
+        if c.is_ascii_uppercase() {
+            if !slug.is_empty() {
+                slug.push('_');
+            }
+            slug.push(c.to_ascii_lowercase());
+        } else {
+            slug.push(c);
+        }
+    }
+    slug
 }
 
 /// Poll tick for blocking reads: the granularity at which idle workers notice
@@ -219,6 +313,11 @@ impl ShardStore {
         }
         inner.shards.remove(&(table_id, shard));
         Ok(inner.shards.len() as u64)
+    }
+
+    /// Number of shards currently resident (for the store-size gauge).
+    fn resident(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).shards.len() as u64
     }
 
     /// Fetches a shard for querying; fails on epoch mismatch or unknown id.
@@ -309,6 +408,7 @@ pub struct NetServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     stats: Arc<SharedStats>,
+    obs: Registry,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -324,7 +424,9 @@ impl NetServer {
             .local_addr()
             .map_err(|e| SeabedError::net(format!("local_addr: {e}")))?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(SharedStats::default());
+        let obs = Registry::new(config.obs);
+        let stats = Arc::new(SharedStats::new(&obs));
+        let metrics = Arc::new(NetMetrics::new(&obs));
         let server = Arc::new(server);
         let shards = Arc::new(ShardStore::default());
         let statements = Arc::new(StatementStore::new(config.statement_capacity));
@@ -344,6 +446,8 @@ impl NetServer {
             let statements = Arc::clone(&statements);
             let identity = Arc::clone(&identity);
             let config = config.clone();
+            let obs = obs.clone();
+            let metrics = Arc::clone(&metrics);
             workers.push(std::thread::spawn(move || loop {
                 // Holding the lock only for the recv keeps the pool honest:
                 // one queued connection wakes exactly one worker.
@@ -360,6 +464,8 @@ impl NetServer {
                             identity: &identity,
                             config: &config,
                             stats: &stats,
+                            obs: &obs,
+                            metrics: &metrics,
                         };
                         handle_connection(id, stream, ctx, &stats, &shutdown)
                     }
@@ -381,7 +487,7 @@ impl NetServer {
                             // The pre-increment value is the connection's
                             // sequence number; it travels with the stream so
                             // the handling worker cannot race the counter.
-                            let id = stats.connections.fetch_add(1, Ordering::Relaxed);
+                            let id = stats.connections.fetch_incr();
                             if tx.send((id, stream)).is_err() {
                                 break;
                             }
@@ -401,6 +507,7 @@ impl NetServer {
             local_addr,
             shutdown,
             stats,
+            obs,
             acceptor: Some(acceptor),
             workers,
         })
@@ -411,22 +518,37 @@ impl NetServer {
         self.local_addr
     }
 
-    /// A snapshot of the aggregate counters.
+    /// The service's metrics registry (shared interior — a clone sees every
+    /// later update). The same snapshot is served remotely to
+    /// [`Frame::MetricsRequest`] scrapes.
+    pub fn registry(&self) -> Registry {
+        self.obs.clone()
+    }
+
+    /// A snapshot of the aggregate counters — a thin view over the
+    /// registry's `net_*` counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
-            connections: self.stats.connections.load(Ordering::Relaxed),
-            requests_served: self.stats.requests_served.load(Ordering::Relaxed),
-            error_frames: self.stats.error_frames.load(Ordering::Relaxed),
-            bytes_in: self.stats.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.stats.bytes_out.load(Ordering::Relaxed),
-            statements_prepared: self.stats.statements_prepared.load(Ordering::Relaxed),
-            statements_evicted: self.stats.statements_evicted.load(Ordering::Relaxed),
+            connections: self.stats.connections.get(),
+            requests_served: self.stats.requests_served.get(),
+            error_frames: self.stats.error_frames.get(),
+            bytes_in: self.stats.bytes_in.get(),
+            bytes_out: self.stats.bytes_out.get(),
+            statements_prepared: self.stats.statements_prepared.get(),
+            statements_evicted: self.stats.statements_evicted.get(),
         }
     }
 
-    /// Per-connection accounting of every connection closed so far.
+    /// Per-connection accounting of the most recently closed connections
+    /// (oldest first), bounded by [`ServiceConfig::connection_log_capacity`].
     pub fn connection_log(&self) -> Vec<ConnectionStats> {
-        self.stats.closed.lock().unwrap_or_else(|p| p.into_inner()).clone()
+        self.stats
+            .closed
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .copied()
+            .collect()
     }
 
     /// Gracefully stops the service: stops accepting, lets every worker
@@ -477,6 +599,8 @@ struct ConnContext<'a> {
     identity: &'a str,
     config: &'a ServiceConfig,
     stats: &'a SharedStats,
+    obs: &'a Registry,
+    metrics: &'a NetMetrics,
 }
 
 fn handle_connection(
@@ -494,16 +618,47 @@ fn handle_connection(
     let _ = stream.set_read_timeout(Some(POLL_TICK));
     let _ = stream.set_write_timeout(Some(ctx.config.write_timeout));
     let mut stream = stream;
+    let mut flushed = FlushedCounters::default();
     // Both exit reasons end the connection the same way; the distinction only
     // matters inside the framing loop.
-    let (ConnExit::Closed | ConnExit::Shutdown) = serve_frames(&mut stream, ctx, shutdown, &mut conn);
-    shared
+    let (ConnExit::Closed | ConnExit::Shutdown) = serve_frames(&mut stream, ctx, shutdown, &mut conn, &mut flushed);
+    // Pick up whatever the last partial frame accumulated after the final
+    // per-frame flush (e.g. bytes read before an EOF).
+    flush_live(shared, &conn, &mut flushed);
+    // The connection log is a bounded ring: evict the oldest entries rather
+    // than growing one entry per connection for the life of the service.
+    let mut closed = shared.closed.lock().unwrap_or_else(|p| p.into_inner());
+    while closed.len() >= ctx.config.connection_log_capacity.max(1) {
+        closed.pop_front();
+    }
+    closed.push_back(conn);
+}
+
+/// Watermarks of what a connection has already pushed into the live registry
+/// counters, so per-frame flushing never double counts.
+#[derive(Default)]
+struct FlushedCounters {
+    requests_served: u64,
+    error_frames: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+/// Pushes a connection's traffic counters into the shared registry
+/// incrementally. Flushed after every frame (not only at connection close) so
+/// a live scrape of a worker with long-lived coordinator connections sees its
+/// traffic, not zeros.
+fn flush_live(stats: &SharedStats, conn: &ConnectionStats, flushed: &mut FlushedCounters) {
+    stats
         .requests_served
-        .fetch_add(conn.requests_served, Ordering::Relaxed);
-    shared.error_frames.fetch_add(conn.error_frames, Ordering::Relaxed);
-    shared.bytes_in.fetch_add(conn.bytes_in, Ordering::Relaxed);
-    shared.bytes_out.fetch_add(conn.bytes_out, Ordering::Relaxed);
-    shared.closed.lock().unwrap_or_else(|p| p.into_inner()).push(conn);
+        .add(conn.requests_served - flushed.requests_served);
+    stats.error_frames.add(conn.error_frames - flushed.error_frames);
+    stats.bytes_in.add(conn.bytes_in - flushed.bytes_in);
+    stats.bytes_out.add(conn.bytes_out - flushed.bytes_out);
+    flushed.requests_served = conn.requests_served;
+    flushed.error_frames = conn.error_frames;
+    flushed.bytes_in = conn.bytes_in;
+    flushed.bytes_out = conn.bytes_out;
 }
 
 /// Serves frames until the connection must close or the service shuts down.
@@ -512,6 +667,7 @@ fn serve_frames(
     ctx: ConnContext<'_>,
     shutdown: &Arc<AtomicBool>,
     conn: &mut ConnectionStats,
+    flushed: &mut FlushedCounters,
 ) -> ConnExit {
     let config = ctx.config;
     loop {
@@ -544,10 +700,13 @@ fn serve_frames(
         // --- decode and dispatch --------------------------------------------------
         // The frame boundary is intact from here on, so every failure below
         // is answered with a typed error frame and the connection survives.
+        ctx.metrics.count_frame(header.kind);
+        let request_timer = ctx.metrics.request_ns.start();
         let reply = match wire::decode_payload(header.kind, &payload) {
             Err(err) => Frame::Error(err),
             Ok(frame) => dispatch_frame(frame, ctx),
         };
+        ctx.metrics.request_ns.stop(request_timer);
         match send_frame(stream, &reply, config, conn) {
             None => return ConnExit::Closed,
             // Counted off the frame that actually went out: a response that
@@ -556,6 +715,7 @@ fn serve_frames(
             Some(FrameKind::Response | FrameKind::ShardPartial) => conn.requests_served += 1,
             Some(_) => {}
         }
+        flush_live(ctx.stats, conn, flushed);
         if shutdown.load(Ordering::SeqCst) {
             return ConnExit::Shutdown;
         }
@@ -566,15 +726,32 @@ fn serve_frames(
 /// back as typed error frames; the connection framing above is unaffected.
 fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
     match frame {
-        Frame::Request { query, filters } => match ctx.server.execute(&query, &filters) {
-            Ok(response) => Frame::Response(response),
-            Err(err) => Frame::Error(err),
-        },
+        Frame::Request {
+            query,
+            filters,
+            trace_id,
+        } => {
+            // A traced request records its server-side execute span into this
+            // service's ring under the propagated id, so a client (or a
+            // coordinator on its behalf) can scrape it back out later.
+            let tb = ctx.obs.trace_builder(trace_id, ctx.identity);
+            let span = tb.start();
+            let outcome = ctx.server.execute(&query, &filters);
+            tb.end("server-execute", span);
+            if let Some(trace) = tb.finish() {
+                ctx.obs.record_trace(trace);
+            }
+            match outcome {
+                Ok(response) => Frame::Response(response),
+                Err(err) => Frame::Error(err),
+            }
+        }
         Frame::SchemaRequest => Frame::Schema(ctx.server.table().schema.clone()),
-        Frame::WorkerHandshake { epoch } => Frame::WorkerReady {
-            epoch,
-            shards: ctx.shards.handshake(epoch),
-        },
+        Frame::WorkerHandshake { epoch } => {
+            let shards = ctx.shards.handshake(epoch);
+            ctx.metrics.shard_store_size.set(shards);
+            Frame::WorkerReady { epoch, shards }
+        }
         Frame::LoadShard {
             epoch,
             table_id,
@@ -595,12 +772,15 @@ fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
                         .load(ctx.identity, epoch, table_id, shard, SeabedServer::new(table, cluster))
                 });
             match loaded {
-                Ok(rows) => Frame::ShardLoaded {
-                    epoch,
-                    table_id,
-                    shard,
-                    rows,
-                },
+                Ok(rows) => {
+                    ctx.metrics.shard_store_size.set(ctx.shards.resident());
+                    Frame::ShardLoaded {
+                        epoch,
+                        table_id,
+                        shard,
+                        rows,
+                    }
+                }
                 Err(err) => Frame::Error(err),
             }
         }
@@ -609,31 +789,49 @@ fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
             table_id,
             shard,
             seq,
+            trace_id,
             query,
             filters,
-        } => match ctx
-            .shards
-            .get(ctx.identity, epoch, table_id, shard)
-            // The Arc clone lets the scan run outside the store lock.
-            .and_then(|server| server.execute_partial(&query, &filters))
-        {
-            Ok(partial) => Frame::ShardPartial {
-                epoch,
-                table_id,
-                shard,
-                seq,
-                partial,
-            },
-            Err(err) => Frame::Error(err),
-        },
+        } => {
+            let tb = ctx.obs.trace_builder(trace_id, ctx.identity);
+            let span = tb.start();
+            let timer = ctx.metrics.shard_execute_ns.start();
+            match ctx
+                .shards
+                .get(ctx.identity, epoch, table_id, shard)
+                // The Arc clone lets the scan run outside the store lock.
+                .and_then(|server| server.execute_partial(&query, &filters))
+            {
+                Ok(partial) => {
+                    // Only successful scans feed the execute histogram and
+                    // the trace — a stale-epoch rejection is not a scan.
+                    ctx.metrics.shard_execute_ns.stop(timer);
+                    tb.end("shard-execute", span);
+                    if let Some(trace) = tb.finish() {
+                        ctx.obs.record_trace(trace);
+                    }
+                    Frame::ShardPartial {
+                        epoch,
+                        table_id,
+                        shard,
+                        seq,
+                        partial,
+                    }
+                }
+                Err(err) => Frame::Error(err),
+            }
+        }
         Frame::UnloadShard { epoch, table_id, shard } => {
             match ctx.shards.unload(ctx.identity, epoch, table_id, shard) {
-                Ok(remaining) => Frame::ShardUnloaded {
-                    epoch,
-                    table_id,
-                    shard,
-                    remaining,
-                },
+                Ok(remaining) => {
+                    ctx.metrics.shard_store_size.set(remaining);
+                    Frame::ShardUnloaded {
+                        epoch,
+                        table_id,
+                        shard,
+                        remaining,
+                    }
+                }
                 Err(err) => Frame::Error(err),
             }
         }
@@ -648,17 +846,40 @@ fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
                 return Frame::Error(err);
             }
             let (handle, evicted) = ctx.statements.prepare(query);
-            ctx.stats.statements_prepared.fetch_add(1, Ordering::Relaxed);
-            ctx.stats.statements_evicted.fetch_add(evicted, Ordering::Relaxed);
+            ctx.stats.statements_prepared.incr();
+            ctx.stats.statements_evicted.add(evicted);
             Frame::StatementPrepared { handle }
         }
-        Frame::ExecuteStatement { handle, filters } => match ctx
-            .statements
-            .get(handle)
-            .and_then(|statement| ctx.server.execute(&statement, &filters))
-        {
-            Ok(response) => Frame::Response(response),
-            Err(err) => Frame::Error(err),
+        Frame::ExecuteStatement {
+            handle,
+            trace_id,
+            filters,
+        } => {
+            let mut tb = ctx.obs.trace_builder(trace_id, ctx.identity);
+            // The handle *is* the statement's content hash — an identity,
+            // never the SQL text (redaction rule).
+            tb.set_statement_id(handle);
+            let span = tb.start();
+            let outcome = ctx
+                .statements
+                .get(handle)
+                .and_then(|statement| ctx.server.execute(&statement, &filters));
+            tb.end("server-execute", span);
+            if let Some(trace) = tb.finish() {
+                ctx.obs.record_trace(trace);
+            }
+            match outcome {
+                Ok(response) => Frame::Response(response),
+                Err(err) => Frame::Error(err),
+            }
+        }
+        Frame::MetricsRequest { include_traces } => Frame::MetricsSnapshot {
+            metrics: ctx.obs.snapshot(),
+            traces: if include_traces {
+                ctx.obs.recent_traces()
+            } else {
+                Vec::new()
+            },
         },
         other => Frame::Error(SeabedError::wire(format!(
             "unexpected {:?} frame from a client",
@@ -816,6 +1037,7 @@ mod tests {
             &Frame::Request {
                 query: sum_query(),
                 filters: vec![],
+                trace_id: 0,
             },
         );
         let Frame::Response(response) = reply else {
@@ -836,6 +1058,7 @@ mod tests {
             &Frame::Request {
                 query: bad,
                 filters: vec![],
+                trace_id: 0,
             },
         );
         assert!(matches!(reply, Frame::Error(SeabedError::Schema(_))), "{reply:?}");
@@ -846,6 +1069,7 @@ mod tests {
             &Frame::Request {
                 query: sum_query(),
                 filters: vec![],
+                trace_id: 0,
             },
         );
         assert!(matches!(reply, Frame::Response(_)));
@@ -952,6 +1176,7 @@ mod tests {
                 table_id: 5,
                 shard: 3,
                 seq: 7,
+                trace_id: 0,
                 query: query.clone(),
                 filters: vec![],
             },
@@ -982,6 +1207,7 @@ mod tests {
                 table_id: 6,
                 shard: 3,
                 seq: 11,
+                trace_id: 0,
                 query: query.clone(),
                 filters: vec![],
             },
@@ -996,6 +1222,7 @@ mod tests {
                 table_id: 5,
                 shard: 8,
                 seq: 8,
+                trace_id: 0,
                 query: query.clone(),
                 filters: vec![],
             },
@@ -1010,6 +1237,7 @@ mod tests {
                 table_id: 5,
                 shard: 3,
                 seq: 9,
+                trace_id: 0,
                 query,
                 filters: vec![],
             },
@@ -1041,6 +1269,7 @@ mod tests {
             &Frame::Request {
                 query: sum_query(),
                 filters: vec![],
+                trace_id: 0,
             },
         );
         let Frame::Response(one_shot) = reply else {
@@ -1065,6 +1294,7 @@ mod tests {
             &mut stream,
             &Frame::ExecuteStatement {
                 handle,
+                trace_id: 0,
                 filters: vec![],
             },
         );
@@ -1080,6 +1310,7 @@ mod tests {
             &mut stream,
             &Frame::ExecuteStatement {
                 handle: handle ^ 0xffff,
+                trace_id: 0,
                 filters: vec![],
             },
         );
@@ -1103,6 +1334,7 @@ mod tests {
             &mut stream,
             &Frame::ExecuteStatement {
                 handle,
+                trace_id: 0,
                 filters: vec![],
             },
         );
@@ -1146,6 +1378,7 @@ mod tests {
             &mut stream,
             &Frame::ExecuteStatement {
                 handle: bad_handle,
+                trace_id: 0,
                 filters: vec![],
             },
         );
@@ -1164,6 +1397,7 @@ mod tests {
             &mut stream,
             &Frame::ExecuteStatement {
                 handle,
+                trace_id: 0,
                 filters: vec![],
             },
         );
@@ -1171,6 +1405,104 @@ mod tests {
 
         let stats = net.shutdown();
         assert_eq!(stats.statements_prepared, 1, "the rejected plan must not count");
+    }
+
+    /// Churning connections far past `connection_log_capacity` keeps the
+    /// closed-connection log at its cap, holding the newest entries — the
+    /// regression guard for the formerly unbounded log.
+    #[test]
+    fn connection_log_is_a_bounded_ring() {
+        // One worker serializes connections: each one is fully closed (and
+        // logged) before the next is served, so ids land in order.
+        let net = NetServer::serve(
+            test_server(),
+            "127.0.0.1:0",
+            ServiceConfig::default().worker_threads(1).connection_log_capacity(4),
+        )
+        .expect("serve");
+        for _ in 0..10 {
+            let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            assert!(matches!(
+                round_trip(&mut stream, &Frame::SchemaRequest),
+                Frame::Schema(_)
+            ));
+        }
+        // The last drop is observed asynchronously; poll for it, asserting
+        // the cap is never exceeded along the way.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let log = loop {
+            let log = net.connection_log();
+            assert!(log.len() <= 4, "log exceeded its capacity: {}", log.len());
+            if log.iter().any(|c| c.id == 9) {
+                break log;
+            }
+            assert!(Instant::now() < deadline, "server never logged the final close");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let ids: Vec<u64> = log.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9], "oldest entries must be evicted first");
+        let stats = net.shutdown();
+        assert_eq!(stats.connections, 10, "the aggregate count still sees every connection");
+    }
+
+    /// A `MetricsRequest` frame is answered with this service's live
+    /// registry snapshot, and a traced request leaves a scrapeable trace
+    /// under its propagated id — while an untraced one leaves none.
+    #[test]
+    fn metrics_scrape_returns_counters_histograms_and_traces() {
+        let net = NetServer::serve(test_server(), "127.0.0.1:0", ServiceConfig::default()).expect("serve");
+        let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        // One untraced and one traced request.
+        assert!(matches!(
+            round_trip(
+                &mut stream,
+                &Frame::Request {
+                    query: sum_query(),
+                    filters: vec![],
+                    trace_id: 0,
+                }
+            ),
+            Frame::Response(_)
+        ));
+        assert!(matches!(
+            round_trip(
+                &mut stream,
+                &Frame::Request {
+                    query: sum_query(),
+                    filters: vec![],
+                    trace_id: 0xdead_beef,
+                }
+            ),
+            Frame::Response(_)
+        ));
+
+        let reply = round_trip(&mut stream, &Frame::MetricsRequest { include_traces: true });
+        let Frame::MetricsSnapshot { metrics, traces } = reply else {
+            panic!("expected a metrics snapshot, got {reply:?}");
+        };
+        assert_eq!(metrics.counter("net_frames_request"), Some(2));
+        assert_eq!(metrics.counter("net_connections"), Some(1));
+        let request_ns = metrics.histogram("net_request_ns").expect("request histogram");
+        assert!(request_ns.count >= 2, "{request_ns:?}");
+        assert!(request_ns.sum > 0);
+        // Exactly the traced request left a trace, under its id.
+        assert_eq!(traces.len(), 1, "{traces:?}");
+        assert_eq!(traces[0].trace_id, 0xdead_beef);
+        assert_eq!(traces[0].spans[0].name, "server-execute");
+
+        // include_traces: false omits the ring.
+        let reply = round_trip(&mut stream, &Frame::MetricsRequest { include_traces: false });
+        let Frame::MetricsSnapshot { traces, .. } = reply else {
+            panic!("expected a metrics snapshot, got {reply:?}");
+        };
+        assert!(traces.is_empty());
+
+        // The in-process registry view sees the same numbers.
+        assert_eq!(net.registry().snapshot().counter("net_frames_metrics_request"), Some(2));
+        net.shutdown();
     }
 
     #[test]

@@ -42,6 +42,8 @@
 //! | 14   | client → server | execute statement: handle + bound `PhysicalFilter`s |
 //! | 15   | coord → worker  | unload shard: epoch, (table id, shard id)      |
 //! | 16   | worker → coord  | shard unloaded: echoed triple + remaining shard count |
+//! | 17   | client → server | metrics request: scrape the live metrics registry |
+//! | 18   | server → client | metrics snapshot: counters/gauges/histograms + recent traces |
 //!
 //! Kinds 6–11 and 15–16 are the `seabed-dist` scatter/gather sub-protocol. A worker
 //! echoes the `(epoch, table, shard, seq)` tuple of the query it answers, so
@@ -93,7 +95,13 @@ pub const MAGIC: [u8; 4] = *b"SBWF";
 /// added within version 2: a receiver that predates them answers with a
 /// typed unknown-kind error, which the coordinator treats like any other
 /// failed unload (the shard stays resident, nothing desynchronizes).
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// Version 3: every query-carrying frame (kinds 1, 10, 14) leads with a
+/// trace id varint (0 = untraced) so one query's spans correlate across
+/// session, coordinator, and workers, and the metrics-scrape frames
+/// (kinds 17–18) exist. The layout change to existing kinds is why this is
+/// a version bump rather than an in-version addition.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 11;
@@ -139,6 +147,10 @@ pub enum FrameKind {
     UnloadShard = 15,
     /// Worker → coordinator: shard-unload acknowledgement.
     ShardUnloaded = 16,
+    /// Client → server: scrape the live metrics registry.
+    MetricsRequest = 17,
+    /// Server → client: a point-in-time metrics snapshot (+ recent traces).
+    MetricsSnapshot = 18,
 }
 
 impl FrameKind {
@@ -161,6 +173,8 @@ impl FrameKind {
             14 => FrameKind::ExecuteStatement,
             15 => FrameKind::UnloadShard,
             16 => FrameKind::ShardUnloaded,
+            17 => FrameKind::MetricsRequest,
+            18 => FrameKind::MetricsSnapshot,
             _ => return None,
         })
     }
@@ -187,6 +201,9 @@ pub enum Frame {
         /// Physical filters with proxy-encrypted literals, one per
         /// `query.filters` entry.
         filters: Vec<PhysicalFilter>,
+        /// Propagated per-query trace id ([`seabed_obs::UNTRACED`] = 0 when
+        /// the request is not traced).
+        trace_id: u64,
     },
     /// A query response.
     Response(ServerResponse),
@@ -252,6 +269,9 @@ pub enum Frame {
         query: TranslatedQuery,
         /// Proxy-encrypted physical filters.
         filters: Vec<PhysicalFilter>,
+        /// Propagated per-query trace id (0 = untraced), so a worker's
+        /// shard-execute spans correlate with the coordinator's.
+        trace_id: u64,
     },
     /// Worker → coordinator: the mergeable partial result of a shard query.
     ShardPartial {
@@ -288,6 +308,8 @@ pub enum Frame {
         handle: u64,
         /// Bound, literal-encrypted filters of this execution.
         filters: Vec<PhysicalFilter>,
+        /// Propagated per-query trace id (0 = untraced).
+        trace_id: u64,
     },
     /// Coordinator → worker: drop one resident shard. Sent when a replica
     /// rebalance (a worker joining or leaving the pool) moves the shard off
@@ -313,6 +335,22 @@ pub enum Frame {
         /// Shards still resident on the worker after the unload.
         remaining: u64,
     },
+    /// Client → server: scrape the receiver's live metrics registry.
+    /// Carries no query state; answered with [`Frame::MetricsSnapshot`].
+    MetricsRequest {
+        /// When true, the snapshot includes the receiver's recent traces.
+        include_traces: bool,
+    },
+    /// Server → client: a point-in-time snapshot of the receiver's metrics
+    /// registry. Metric names are static identifiers and traces carry only
+    /// span names, durations, and statement hashes — the same redaction
+    /// rule as [`redact_query`], extended to telemetry.
+    MetricsSnapshot {
+        /// Counters, gauges, and histograms at scrape time.
+        metrics: seabed_obs::MetricsSnapshot,
+        /// Recent traces (empty unless the request asked for them).
+        traces: Vec<seabed_obs::QueryTrace>,
+    },
 }
 
 impl Frame {
@@ -335,6 +373,8 @@ impl Frame {
             Frame::ExecuteStatement { .. } => FrameKind::ExecuteStatement,
             Frame::UnloadShard { .. } => FrameKind::UnloadShard,
             Frame::ShardUnloaded { .. } => FrameKind::ShardUnloaded,
+            Frame::MetricsRequest { .. } => FrameKind::MetricsRequest,
+            Frame::MetricsSnapshot { .. } => FrameKind::MetricsSnapshot,
         }
     }
 }
@@ -354,7 +394,12 @@ pub struct FrameHeader {
 pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, SeabedError> {
     let mut payload = Vec::new();
     match frame {
-        Frame::Request { query, filters } => {
+        Frame::Request {
+            query,
+            filters,
+            trace_id,
+        } => {
+            write_varint(&mut payload, *trace_id);
             write_translated_query(&mut payload, query);
             write_vec(&mut payload, filters, write_physical_filter);
         }
@@ -402,11 +447,13 @@ pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, Seabed
             seq,
             query,
             filters,
+            trace_id,
         } => {
             write_varint(&mut payload, *epoch);
             write_varint(&mut payload, u64::from(*table_id));
             write_varint(&mut payload, u64::from(*shard));
             write_varint(&mut payload, *seq);
+            write_varint(&mut payload, *trace_id);
             write_translated_query(&mut payload, query);
             write_vec(&mut payload, filters, write_physical_filter);
         }
@@ -425,8 +472,13 @@ pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, Seabed
         }
         Frame::PrepareStatement { query } => write_translated_query(&mut payload, query),
         Frame::StatementPrepared { handle } => write_varint(&mut payload, *handle),
-        Frame::ExecuteStatement { handle, filters } => {
+        Frame::ExecuteStatement {
+            handle,
+            filters,
+            trace_id,
+        } => {
             write_varint(&mut payload, *handle);
+            write_varint(&mut payload, *trace_id);
             write_vec(&mut payload, filters, write_physical_filter);
         }
         Frame::UnloadShard { epoch, table_id, shard } => {
@@ -444,6 +496,11 @@ pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, Seabed
             write_varint(&mut payload, u64::from(*table_id));
             write_varint(&mut payload, u64::from(*shard));
             write_varint(&mut payload, *remaining);
+        }
+        Frame::MetricsRequest { include_traces } => write_bool(&mut payload, *include_traces),
+        Frame::MetricsSnapshot { metrics, traces } => {
+            write_metrics_snapshot(&mut payload, metrics);
+            write_vec(&mut payload, traces, write_query_trace);
         }
     }
     if payload.len() > max_frame_len as usize {
@@ -493,9 +550,14 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
     let mut r = Reader::new(payload);
     let frame = match kind {
         FrameKind::Request => {
+            let trace_id = r.varint()?;
             let query = read_translated_query(&mut r)?;
             let filters = read_vec(&mut r, 2, read_physical_filter)?;
-            Frame::Request { query, filters }
+            Frame::Request {
+                query,
+                filters,
+                trace_id,
+            }
         }
         FrameKind::Response => Frame::Response(read_server_response(&mut r)?),
         FrameKind::Error => Frame::Error(read_error(&mut r)?),
@@ -541,6 +603,7 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
             table_id: read_u32(&mut r, "table id")?,
             shard: read_u32(&mut r, "shard id")?,
             seq: r.varint()?,
+            trace_id: r.varint()?,
             query: read_translated_query(&mut r)?,
             filters: read_vec(&mut r, 2, read_physical_filter)?,
         },
@@ -557,6 +620,7 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
         FrameKind::StatementPrepared => Frame::StatementPrepared { handle: r.varint()? },
         FrameKind::ExecuteStatement => Frame::ExecuteStatement {
             handle: r.varint()?,
+            trace_id: r.varint()?,
             filters: read_vec(&mut r, 2, read_physical_filter)?,
         },
         FrameKind::UnloadShard => Frame::UnloadShard {
@@ -569,6 +633,13 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
             table_id: read_u32(&mut r, "table id")?,
             shard: read_u32(&mut r, "shard id")?,
             remaining: r.varint()?,
+        },
+        FrameKind::MetricsRequest => Frame::MetricsRequest {
+            include_traces: r.bool()?,
+        },
+        FrameKind::MetricsSnapshot => Frame::MetricsSnapshot {
+            metrics: read_metrics_snapshot(&mut r)?,
+            traces: read_vec(&mut r, 4, read_query_trace)?,
         },
     };
     r.finish()?;
@@ -1309,6 +1380,91 @@ fn read_partial_response(r: &mut Reader<'_>) -> Result<PartialResponse, SeabedEr
 }
 
 // ---------------------------------------------------------------------------
+// Metrics snapshots and query traces (the observability scrape direction)
+// ---------------------------------------------------------------------------
+
+fn write_scalar_metrics(out: &mut Vec<u8>, entries: &[(String, u64)]) {
+    write_vec(out, entries, |out, (name, value)| {
+        write_string(out, name);
+        write_varint(out, *value);
+    });
+}
+
+fn read_scalar_metrics(r: &mut Reader<'_>) -> Result<Vec<(String, u64)>, SeabedError> {
+    read_vec(r, 2, |r| Ok((r.string()?, r.varint()?)))
+}
+
+fn write_histogram_snapshot(out: &mut Vec<u8>, h: &seabed_obs::HistogramSnapshot) {
+    write_varint(out, h.count);
+    write_varint(out, h.sum);
+    write_varint(out, h.max);
+    write_vec(out, &h.buckets, |out, (bucket, n)| {
+        out.push(*bucket);
+        write_varint(out, *n);
+    });
+}
+
+fn read_histogram_snapshot(r: &mut Reader<'_>) -> Result<seabed_obs::HistogramSnapshot, SeabedError> {
+    Ok(seabed_obs::HistogramSnapshot {
+        count: r.varint()?,
+        sum: r.varint()?,
+        max: r.varint()?,
+        buckets: read_vec(r, 2, |r| {
+            let bucket = r.u8()?;
+            if usize::from(bucket) >= seabed_obs::HISTOGRAM_BUCKETS {
+                return Err(SeabedError::wire(format!(
+                    "histogram bucket index {bucket} out of range"
+                )));
+            }
+            Ok((bucket, r.varint()?))
+        })?,
+    })
+}
+
+fn write_metrics_snapshot(out: &mut Vec<u8>, snapshot: &seabed_obs::MetricsSnapshot) {
+    write_scalar_metrics(out, &snapshot.counters);
+    write_scalar_metrics(out, &snapshot.gauges);
+    write_vec(out, &snapshot.histograms, |out, (name, h)| {
+        write_string(out, name);
+        write_histogram_snapshot(out, h);
+    });
+}
+
+fn read_metrics_snapshot(r: &mut Reader<'_>) -> Result<seabed_obs::MetricsSnapshot, SeabedError> {
+    Ok(seabed_obs::MetricsSnapshot {
+        counters: read_scalar_metrics(r)?,
+        gauges: read_scalar_metrics(r)?,
+        histograms: read_vec(r, 4, |r| Ok((r.string()?, read_histogram_snapshot(r)?)))?,
+    })
+}
+
+fn write_query_trace(out: &mut Vec<u8>, trace: &seabed_obs::QueryTrace) {
+    write_varint(out, trace.trace_id);
+    write_varint(out, trace.statement_id);
+    write_string(out, &trace.node);
+    write_vec(out, &trace.spans, |out, span| {
+        write_string(out, &span.name);
+        write_varint(out, span.start_ns);
+        write_varint(out, span.duration_ns);
+    });
+}
+
+fn read_query_trace(r: &mut Reader<'_>) -> Result<seabed_obs::QueryTrace, SeabedError> {
+    Ok(seabed_obs::QueryTrace {
+        trace_id: r.varint()?,
+        statement_id: r.varint()?,
+        node: r.string()?,
+        spans: read_vec(r, 3, |r| {
+            Ok(seabed_obs::TraceSpan {
+                name: r.string()?,
+                start_ns: r.varint()?,
+                duration_ns: r.varint()?,
+            })
+        })?,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Schema
 // ---------------------------------------------------------------------------
 
@@ -1617,11 +1773,13 @@ mod tests {
         let frame = Frame::Request {
             query: sample_query(),
             filters: sample_filters(),
+            trace_id: 0xfeed_f00d,
         };
         let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
         let expected = Frame::Request {
             query: redact_query(&sample_query()),
             filters: sample_filters(),
+            trace_id: 0xfeed_f00d,
         };
         assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap(), expected);
         // A query whose filters are already redacted round-trips exactly.
@@ -1656,7 +1814,15 @@ mod tests {
             category: SupportCategory::ServerOnly,
             params: vec![],
         };
-        let bytes = encode_frame(&Frame::Request { query, filters: vec![] }, DEFAULT_MAX_FRAME_LEN).unwrap();
+        let bytes = encode_frame(
+            &Frame::Request {
+                query,
+                filters: vec![],
+                trace_id: 0,
+            },
+            DEFAULT_MAX_FRAME_LEN,
+        )
+        .unwrap();
         assert!(
             !bytes.windows(secret.len()).any(|w| w == secret.as_bytes()),
             "DET literal leaked into the request frame"
@@ -1819,6 +1985,7 @@ mod tests {
                 seq: 99,
                 query: redact_query(&sample_query()),
                 filters: sample_filters(),
+                trace_id: 0xabad_1dea,
             },
             Frame::ShardPartial {
                 epoch: 7,
@@ -1834,6 +2001,7 @@ mod tests {
             Frame::ExecuteStatement {
                 handle: 0xdead_beef,
                 filters: sample_filters(),
+                trace_id: u64::MAX,
             },
             Frame::UnloadShard {
                 epoch: 7,
@@ -1851,6 +2019,79 @@ mod tests {
             let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
             assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap(), frame);
         }
+    }
+
+    fn sample_metrics_snapshot() -> seabed_obs::MetricsSnapshot {
+        seabed_obs::MetricsSnapshot {
+            counters: vec![("net_requests".to_string(), 42), ("hedged_reads".to_string(), 3)],
+            gauges: vec![("shard_store_size".to_string(), 8)],
+            histograms: vec![(
+                "shard_execute_ns".to_string(),
+                seabed_obs::HistogramSnapshot {
+                    count: 5,
+                    sum: 1_000_000,
+                    max: 400_000,
+                    buckets: vec![(12, 2), (19, 3)],
+                },
+            )],
+        }
+    }
+
+    fn sample_traces() -> Vec<seabed_obs::QueryTrace> {
+        vec![seabed_obs::QueryTrace {
+            trace_id: 0xfeed_f00d,
+            statement_id: 0xdead_beef,
+            node: "worker:9042".to_string(),
+            spans: vec![seabed_obs::TraceSpan {
+                name: "shard-execute".to_string(),
+                start_ns: 100,
+                duration_ns: 250_000,
+            }],
+        }]
+    }
+
+    #[test]
+    fn metrics_frames_roundtrip() {
+        for frame in [
+            Frame::MetricsRequest { include_traces: true },
+            Frame::MetricsRequest { include_traces: false },
+            Frame::MetricsSnapshot {
+                metrics: sample_metrics_snapshot(),
+                traces: sample_traces(),
+            },
+            Frame::MetricsSnapshot {
+                metrics: seabed_obs::MetricsSnapshot::default(),
+                traces: vec![],
+            },
+        ] {
+            let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+            assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_rejects_out_of_range_bucket_index() {
+        let frame = Frame::MetricsSnapshot {
+            metrics: seabed_obs::MetricsSnapshot {
+                counters: vec![],
+                gauges: vec![],
+                histograms: vec![(
+                    "h".to_string(),
+                    seabed_obs::HistogramSnapshot {
+                        count: 1,
+                        sum: 1,
+                        max: 1,
+                        buckets: vec![(seabed_obs::HISTOGRAM_BUCKETS as u8, 1)],
+                    },
+                )],
+            },
+            traces: vec![],
+        };
+        let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN),
+            Err(SeabedError::Wire(_))
+        ));
     }
 
     /// A partial response serializes deterministically (groups sorted by key)

@@ -1,0 +1,245 @@
+//! Per-query tracing: [`TraceId`] minting, [`TraceSpan`]s, and the
+//! [`TraceBuilder`] each component uses to time its stages of a query.
+//!
+//! Redaction rule (same as `wire::redact_query`): a trace names *stages*
+//! and carries durations and statement hashes — never SQL text, literals,
+//! or any plaintext derived from them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The wire value meaning "this request is not traced".
+pub const UNTRACED: u64 = 0;
+
+/// A per-query identity minted at the session/client and propagated over
+/// the wire so every component's spans can be correlated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Mints a fresh, process-unique, non-[`UNTRACED`] id. Ids mix a
+    /// per-process nonce (derived from the clock at first use) with a
+    /// monotonic counter, so concurrent coordinators scraping into one
+    /// collector do not collide in practice.
+    pub fn mint() -> TraceId {
+        static NONCE: OnceLock<u64> = OnceLock::new();
+        static COUNTER: AtomicU64 = AtomicU64::new(1);
+        let nonce = *NONCE.get_or_init(|| {
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x9e37_79b9_7f4a_7c15);
+            // SplitMix64 finalizer: spread the clock bits across the word.
+            let mut z = now.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        });
+        let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let id = nonce.rotate_left(17) ^ seq.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        TraceId(if id == UNTRACED { 1 } else { id })
+    }
+
+    /// The raw wire value.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// Wraps a raw wire value (`None` for [`UNTRACED`]).
+    pub fn from_u64(raw: u64) -> Option<TraceId> {
+        (raw != UNTRACED).then_some(TraceId(raw))
+    }
+}
+
+/// One timed stage of a query inside one component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Stage name (static identifier, e.g. `"parse"`, `"shard-execute"`).
+    pub name: String,
+    /// Offset from the component's trace start, in nanoseconds.
+    pub start_ns: u64,
+    /// Stage duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// The spans one component recorded for one query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// The propagated per-query id ([`UNTRACED`] never appears in a ring).
+    pub trace_id: u64,
+    /// FNV-1a hash of the statement's SQL text (0 when unknown) — an
+    /// identity, deliberately not the text itself.
+    pub statement_id: u64,
+    /// Which component recorded these spans (e.g. `"session"`,
+    /// `"coordinator"`, `"worker:9042"`).
+    pub node: String,
+    /// Recorded spans, in recording order.
+    pub spans: Vec<TraceSpan>,
+}
+
+/// An in-flight span handle from [`TraceBuilder::start`].
+pub struct SpanStart {
+    at: Option<Instant>,
+}
+
+struct BuilderState {
+    trace_id: u64,
+    statement_id: u64,
+    node: String,
+    t0: Instant,
+    spans: Mutex<Vec<TraceSpan>>,
+}
+
+/// Collects one component's spans for one query. Obtained from
+/// [`Registry::trace_builder`](crate::Registry::trace_builder); a no-op
+/// builder (disabled registry or untraced request) skips all clock reads
+/// and allocations. Span recording is internally locked, so scatter lanes
+/// may record into a shared builder concurrently.
+pub struct TraceBuilder {
+    state: Option<BuilderState>,
+}
+
+impl TraceBuilder {
+    pub(crate) fn new(trace_id: u64, node: &str) -> TraceBuilder {
+        TraceBuilder {
+            state: Some(BuilderState {
+                trace_id,
+                statement_id: 0,
+                node: node.to_string(),
+                t0: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A builder that records nothing — the explicit "no trace context"
+    /// value for code paths that thread a builder through optionally.
+    pub fn noop() -> TraceBuilder {
+        TraceBuilder { state: None }
+    }
+
+    /// True when spans recorded here will reach a ring buffer.
+    pub fn is_active(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The trace id, or [`UNTRACED`] for a no-op builder.
+    pub fn trace_id(&self) -> u64 {
+        self.state.as_ref().map_or(UNTRACED, |s| s.trace_id)
+    }
+
+    /// Attaches the statement hash (an identity, never the SQL text).
+    pub fn set_statement_id(&mut self, statement_id: u64) {
+        if let Some(state) = &mut self.state {
+            state.statement_id = statement_id;
+        }
+    }
+
+    /// Starts timing a span (no clock read when inactive).
+    pub fn start(&self) -> SpanStart {
+        SpanStart {
+            at: self.state.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Ends `span`, recording it under `name`. Returns the span duration in
+    /// nanoseconds (0 when inactive).
+    pub fn end(&self, name: &str, span: SpanStart) -> u64 {
+        let (Some(state), Some(at)) = (&self.state, span.at) else {
+            return 0;
+        };
+        let start_ns = saturating_ns(at.duration_since(state.t0).as_nanos());
+        let duration_ns = saturating_ns(at.elapsed().as_nanos());
+        state.spans.lock().unwrap_or_else(|p| p.into_inner()).push(TraceSpan {
+            name: name.to_string(),
+            start_ns,
+            duration_ns,
+        });
+        duration_ns
+    }
+
+    /// Records an already-measured span (used when a duration is observed
+    /// by other means, e.g. a worker-reported execute time).
+    pub fn add_span_ns(&self, name: &str, duration_ns: u64) {
+        let Some(state) = &self.state else { return };
+        let start_ns = saturating_ns(state.t0.elapsed().as_nanos()).saturating_sub(duration_ns);
+        state.spans.lock().unwrap_or_else(|p| p.into_inner()).push(TraceSpan {
+            name: name.to_string(),
+            start_ns,
+            duration_ns,
+        });
+    }
+
+    /// Finishes the builder into a [`QueryTrace`] (`None` when inactive,
+    /// or when no span was recorded — an empty trace carries no signal).
+    pub fn finish(self) -> Option<QueryTrace> {
+        let state = self.state?;
+        let spans = state.spans.into_inner().unwrap_or_else(|p| p.into_inner());
+        if spans.is_empty() {
+            return None;
+        }
+        Some(QueryTrace {
+            trace_id: state.trace_id,
+            statement_id: state.statement_id,
+            node: state.node,
+            spans,
+        })
+    }
+}
+
+fn saturating_ns(ns: u128) -> u64 {
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = TraceId::mint();
+            assert_ne!(id.as_u64(), UNTRACED);
+            assert!(seen.insert(id.as_u64()), "duplicate trace id");
+        }
+        assert_eq!(TraceId::from_u64(UNTRACED), None);
+        assert_eq!(TraceId::from_u64(7).map(|t| t.as_u64()), Some(7));
+    }
+
+    #[test]
+    fn builder_records_named_spans_in_order() {
+        let mut tb = TraceBuilder::new(11, "session");
+        tb.set_statement_id(99);
+        let s = tb.start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let d = tb.end("parse", s);
+        assert!(d > 0);
+        tb.add_span_ns("shard-execute", 500);
+        let trace = tb.finish().expect("active builder with spans");
+        assert_eq!(trace.trace_id, 11);
+        assert_eq!(trace.statement_id, 99);
+        assert_eq!(trace.node, "session");
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["parse", "shard-execute"]);
+        assert!(trace.spans[0].duration_ns >= 1_000_000);
+        assert_eq!(trace.spans[1].duration_ns, 500);
+    }
+
+    #[test]
+    fn noop_builder_records_nothing() {
+        let tb = TraceBuilder::noop();
+        assert!(!tb.is_active());
+        assert_eq!(tb.trace_id(), UNTRACED);
+        let s = tb.start();
+        assert_eq!(tb.end("parse", s), 0);
+        tb.add_span_ns("x", 1);
+        assert!(tb.finish().is_none());
+    }
+
+    #[test]
+    fn empty_active_builder_finishes_to_none() {
+        assert!(TraceBuilder::new(3, "n").finish().is_none());
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`engine`] — the partitioned columnar engine and cluster cost model;
 //! * [`query`] — SQL dialect, data planner, query translator;
 //! * [`core`] — client proxy, untrusted server, baselines;
+//! * [`obs`] — unified metrics registry (counters, gauges, log-bucket
+//!   latency histograms) and end-to-end query tracing;
 //! * [`net`] — wire protocol + concurrent TCP service layer (the proxy ↔
 //!   server boundary as a real socket);
 //! * [`dist`] — sharded scatter/gather execution: a coordinator fanning
@@ -31,6 +33,7 @@ pub use seabed_encoding as encoding;
 pub use seabed_engine as engine;
 pub use seabed_error as error;
 pub use seabed_net as net;
+pub use seabed_obs as obs;
 pub use seabed_query as query;
 pub use seabed_splashe as splashe;
 pub use seabed_workloads as workloads;

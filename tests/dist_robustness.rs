@@ -151,6 +151,7 @@ fn fake_worker(behavior: Misbehavior) -> (SocketAddr, std::thread::JoinHandle<()
                     seq,
                     query,
                     filters,
+                    ..
                 } => match behavior {
                     Misbehavior::DieOnQuery => return,
                     Misbehavior::StallOnQuery => {

@@ -239,8 +239,9 @@ mod roundtrip {
             let mut rng = StdRng::seed_from_u64(seed);
             let query = random_query(&mut rng);
             let filters = random_filters(&mut rng);
-            let frame = Frame::Request { query: query.clone(), filters: filters.clone() };
-            let expected = Frame::Request { query: seabed::net::wire::redact_query(&query), filters };
+            let trace_id = rng.random::<u64>();
+            let frame = Frame::Request { query: query.clone(), filters: filters.clone(), trace_id };
+            let expected = Frame::Request { query: seabed::net::wire::redact_query(&query), filters, trace_id };
             let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).expect("encode");
             prop_assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).expect("decode"), expected.clone());
             let redacted_bytes = encode_frame(&expected, DEFAULT_MAX_FRAME_LEN).expect("encode");
@@ -258,15 +259,15 @@ mod roundtrip {
 
         /// Arbitrary garbage after a valid header must decode to a typed
         /// error (or, astronomically rarely, a valid payload) — never panic.
-        /// Sweeps every known frame kind (1–16, including the PREPARE /
-        /// EXECUTE statement kinds and the shard unload pair) plus a margin
-        /// of unknown ones.
+        /// Sweeps every known frame kind (1–18, including the PREPARE /
+        /// EXECUTE statement kinds, the shard unload pair, and the metrics
+        /// scrape pair) plus a margin of unknown ones.
         #[test]
         fn garbage_payloads_never_panic(seed in any::<u64>(), len in 0usize..512) {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut payload = vec![0u8; len];
             rng.fill(&mut payload);
-            for kind in 0u8..20 {
+            for kind in 0u8..22 {
                 let _ = seabed::net::wire::decode_payload(kind, &payload);
             }
         }
@@ -285,7 +286,11 @@ mod roundtrip {
             let bytes = encode_frame(&handle, DEFAULT_MAX_FRAME_LEN).expect("encode");
             prop_assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).expect("decode"), handle);
 
-            let execute = Frame::ExecuteStatement { handle: rng.random::<u64>(), filters: random_filters(&mut rng) };
+            let execute = Frame::ExecuteStatement {
+                handle: rng.random::<u64>(),
+                trace_id: rng.random::<u64>(),
+                filters: random_filters(&mut rng),
+            };
             let bytes = encode_frame(&execute, DEFAULT_MAX_FRAME_LEN).expect("encode");
             prop_assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).expect("decode"), execute);
         }
@@ -304,6 +309,7 @@ fn sample_frames() -> Vec<Frame> {
             // strips DET/OPE literals), so full-frame decodes compare equal.
             query: seabed::net::wire::redact_query(&random_query(&mut rng)),
             filters: random_filters(&mut rng),
+            trace_id: 0x5eab_ed01,
         },
         Frame::Response(random_response(&mut rng)),
         Frame::Error(SeabedError::engine("boom")),
@@ -315,7 +321,34 @@ fn sample_frames() -> Vec<Frame> {
         Frame::StatementPrepared { handle: u64::MAX },
         Frame::ExecuteStatement {
             handle: 42,
+            trace_id: 7,
             filters: random_filters(&mut rng),
+        },
+        Frame::MetricsRequest { include_traces: true },
+        Frame::MetricsSnapshot {
+            metrics: seabed::obs::MetricsSnapshot {
+                counters: vec![("net_requests_served".to_string(), 9)],
+                gauges: vec![("shard_store_size".to_string(), 3)],
+                histograms: vec![(
+                    "net_request_ns".to_string(),
+                    seabed::obs::HistogramSnapshot {
+                        count: 2,
+                        sum: 300,
+                        max: 200,
+                        buckets: vec![(7, 1), (8, 1)],
+                    },
+                )],
+            },
+            traces: vec![seabed::obs::QueryTrace {
+                trace_id: 0xfeed,
+                statement_id: 0xbeef,
+                node: "worker:1".to_string(),
+                spans: vec![seabed::obs::TraceSpan {
+                    name: "shard-execute".to_string(),
+                    start_ns: 10,
+                    duration_ns: 90,
+                }],
+            }],
         },
     ]
 }
@@ -401,10 +434,10 @@ fn unknown_version_and_kind_are_typed_errors() {
             other => panic!("version {version}: {other:?}"),
         }
     }
-    // Kind 0, the first unassigned kind (17), and far-out values. Known kinds
+    // Kind 0, the first unassigned kind (19), and far-out values. Known kinds
     // with a garbage (empty) payload fail at payload decode instead, which
     // the proptest sweep covers.
-    for kind in [0u8, 17, 99, 255] {
+    for kind in [0u8, 19, 99, 255] {
         let mut bad = good.clone();
         bad[6] = kind;
         assert!(matches!(
