@@ -140,6 +140,11 @@ fn main() {
         "Scale-out: distributed workers, measured vs Cluster::simulate-predicted",
         exp_scaleout,
     );
+    runner.register(
+        "explain_overhead",
+        "EXPLAIN ANALYZE: per-operator profiling overhead on the 1M-row scan",
+        exp_explain_overhead,
+    );
 
     let unknown = runner.unknown(&requested);
     if !unknown.is_empty() {

@@ -1354,8 +1354,8 @@ pub fn exp_net_qps(scale: &Scale) -> Vec<Row> {
     // lands in the rows (and thus in `BENCH_net_qps.json`); when
     // `SEABED_METRICS_SNAPSHOT` names a path, the full JSON exposition is
     // archived there too (CI uploads it as an artifact).
-    match seabed_net::scrape_metrics(addr, false, Duration::from_secs(5)) {
-        Ok((snapshot, _)) => {
+    match seabed_net::scrape_metrics(addr, false, false, Duration::from_secs(5)) {
+        Ok((snapshot, _, _)) => {
             let request_ns = snapshot.histogram("net_request_ns");
             out.push(
                 Row::new("scrape net_request_ns")
@@ -1856,10 +1856,112 @@ pub fn exp_scaleout(scale: &Scale) -> Vec<Row> {
             .with("hedged", hedged as f64)
             .with("redispatched", redispatched as f64),
     );
+    // One `EXPLAIN ANALYZE` through the same (replicated, post-kill)
+    // coordinator: the stitched cluster plan — scatter, one node per shard
+    // run naming its worker and carrying measured per-operator profiles,
+    // gather, merge. The plan is archived when `SEABED_EXPLAIN_PLAN` names a
+    // path (CI uploads it as an artifact next to the bench JSON).
+    {
+        use seabed_core::QueryTarget;
+        let analyzed = coordinator
+            .execute_query_analyzed(&sum_query, &sum_filters, seabed_obs::UNTRACED, true)
+            .expect("analyzed distributed execution");
+        assert_eq!(
+            expected.groups, analyzed.groups,
+            "EXPLAIN ANALYZE diverged from plain execution"
+        );
+        let plan = coordinator.analyzed_plan().expect("analyzed plan recorded");
+        let shard_nodes = plan.children.iter().filter(|c| c.op == "shard").count();
+        let operator_nodes: usize = plan
+            .children
+            .iter()
+            .filter(|c| c.op == "shard")
+            .map(|c| c.children.iter().filter(|o| o.op == "operator").count())
+            .sum();
+        out.push(
+            Row::new("explain analyze stitched plan")
+                .with("shard_nodes", shard_nodes as f64)
+                .with("operator_nodes", operator_nodes as f64),
+        );
+        println!("EXPLAIN ANALYZE (distributed 1M-row SUM):\n{}", plan.render());
+        if let Ok(path) = std::env::var("SEABED_EXPLAIN_PLAN") {
+            if let Some(parent) = std::path::Path::new(&path).parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::write(&path, plan.to_json()) {
+                Ok(()) => println!("  -> wrote explain plan {path}"),
+                Err(err) => eprintln!("  !! could not write explain plan {path}: {err}"),
+            }
+        }
+    }
     for service in services {
         service.shutdown();
     }
     out
+}
+
+/// `EXPLAIN ANALYZE` overhead on the 1M-row single-filter SUM scan.
+///
+/// Runs the same scan through [`SeabedServer`] twice per round — once plain,
+/// once with per-operator profiling on (`execute_query_analyzed(..,
+/// analyze=true)`) — interleaved so host noise hits both sides equally, and
+/// asserts the two responses byte-identical every round. The profiled side
+/// pays one `Instant::now` pair per operator per batch; the acceptance bar
+/// (recorded, not asserted: shared CI hosts are noisy) is `overhead_pct` ≤ 5
+/// on the stable CPU-time signal.
+pub fn exp_explain_overhead(scale: &Scale) -> Vec<Row> {
+    use seabed_core::QueryTarget;
+
+    let rows = scale.rows(1000); // 1 M rows at the default scale
+    let server = exec_bench_server(rows, 1, scale, ExecMode::Vectorized);
+    let query = exec_bench_query(false);
+    let filters = vec![PhysicalFilter::PlainU64 {
+        column: 1,
+        op: CompareOp::Lt,
+        value: 500,
+    }];
+
+    let mut best_plain_cpu = Duration::MAX;
+    let mut best_plain_wall = Duration::MAX;
+    let mut best_analyzed_cpu = Duration::MAX;
+    let mut best_analyzed_wall = Duration::MAX;
+    let mut operator_count = 0usize;
+    for _ in 0..5 {
+        let started = Instant::now();
+        let plain = server.execute(&query, &filters).expect("plain execution");
+        best_plain_wall = best_plain_wall.min(started.elapsed());
+        best_plain_cpu = best_plain_cpu.min(plain.stats.total_task_time);
+
+        let started = Instant::now();
+        let analyzed = server
+            .execute_query_analyzed(&query, &filters, seabed_obs::UNTRACED, true)
+            .expect("analyzed execution");
+        best_analyzed_wall = best_analyzed_wall.min(started.elapsed());
+        best_analyzed_cpu = best_analyzed_cpu.min(analyzed.stats.total_task_time);
+
+        assert_eq!(plain.groups, analyzed.groups, "profiled scan diverged");
+        assert_eq!(plain.result_bytes, analyzed.result_bytes, "profiled bytes diverged");
+        assert!(plain.stats.operators.is_empty(), "plain execution must not profile");
+        operator_count = analyzed.stats.operators.len();
+        assert!(operator_count > 0, "analyzed execution must record operators");
+    }
+
+    let cpu_overhead = best_analyzed_cpu.as_secs_f64() / best_plain_cpu.as_secs_f64().max(1e-12) - 1.0;
+    let wall_overhead = best_analyzed_wall.as_secs_f64() / best_plain_wall.as_secs_f64().max(1e-12) - 1.0;
+    vec![
+        Row::new("profiling off")
+            .with("rows", rows as f64)
+            .with("cpu_s", best_plain_cpu.as_secs_f64())
+            .with("wall_s", best_plain_wall.as_secs_f64()),
+        Row::new("profiling on")
+            .with("rows", rows as f64)
+            .with("cpu_s", best_analyzed_cpu.as_secs_f64())
+            .with("wall_s", best_analyzed_wall.as_secs_f64())
+            .with("operators", operator_count as f64),
+        Row::new("overhead")
+            .with("cpu_overhead_pct", cpu_overhead * 100.0)
+            .with("wall_overhead_pct", wall_overhead * 100.0),
+    ]
 }
 
 // ---------------------------------------------------------------------------

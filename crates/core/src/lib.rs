@@ -63,4 +63,7 @@ pub use server::{
     finalize_partials, EncryptedAggregate, GroupResult, PartialResponse, PhysicalFilter, QueryTarget, SeabedServer,
     ServerResponse,
 };
-pub use session::{fnv1a64, validate_against_schema, Catalog, PreparedQuery, SeabedSession, SessionStats};
+pub use session::{
+    event_operators, fnv1a64, outcome_tag, validate_against_schema, Catalog, Explanation, PreparedQuery, SeabedSession,
+    SessionStats,
+};

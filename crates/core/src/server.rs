@@ -42,9 +42,12 @@ use seabed_crypto::ore::{try_compare_symbols, OreCiphertext};
 use seabed_encoding::IdListEncoding;
 use seabed_engine::exec::{self, SelectionVector};
 use seabed_engine::merge::{extreme_replaces, merge_partial_groups, ExtremeCandidate, PartialAggregate, PartialGroups};
-use seabed_engine::{Cluster, ColumnType, ExecMode, ExecStats, Partition, Schema, Table, TaskOutput};
+use seabed_engine::{
+    merge_operator_profiles, Cluster, ColumnType, ExecMode, ExecStats, OperatorProfile, Partition, ProfileSink, Schema,
+    Table, TaskOutput,
+};
 use seabed_error::SeabedError;
-use seabed_query::{CompareOp, ServerAggregate, TranslatedQuery};
+use seabed_query::{CompareOp, PlanNode, ServerAggregate, TranslatedQuery};
 use std::collections::HashMap;
 
 /// A filter with its literal already encrypted by the proxy.
@@ -573,7 +576,22 @@ impl SeabedServer {
     /// yields `Err(SeabedError::Schema(SchemaError::CorruptPartition { .. }))`
     /// instead of silently mis-grouping rows.
     pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
-        let partial = self.execute_partial(query, filters)?;
+        self.execute_analyzed(query, filters, false)
+    }
+
+    /// [`SeabedServer::execute`] with per-operator profiling. With `analyze`
+    /// set, every filter kernel and the aggregation pass record rows in,
+    /// selection survivors, batches and nanoseconds into
+    /// `response.stats.operators` (merged across partitions); with it unset
+    /// this *is* `execute` — the scan threads a disabled [`ProfileSink`]
+    /// through, which never reads the clock and never allocates.
+    pub fn execute_analyzed(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+        analyze: bool,
+    ) -> Result<ServerResponse, SeabedError> {
+        let partial = self.execute_partial_analyzed(query, filters, analyze)?;
         Ok(finalize_partials(query, partial.groups, partial.stats))
     }
 
@@ -589,6 +607,21 @@ impl SeabedServer {
         &self,
         query: &TranslatedQuery,
         filters: &[PhysicalFilter],
+    ) -> Result<PartialResponse, SeabedError> {
+        self.execute_partial_analyzed(query, filters, false)
+    }
+
+    /// [`SeabedServer::execute_partial`] with per-operator profiling: the map
+    /// side of `EXPLAIN ANALYZE`. Each partition scan carries a
+    /// [`ProfileSink`] (enabled only when `analyze` is set); the per-partition
+    /// breakdowns are merged element-wise into
+    /// `PartialResponse.stats.operators`, which then merges shard-wise at the
+    /// coordinator through [`ExecStats::merge`].
+    pub fn execute_partial_analyzed(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+        analyze: bool,
     ) -> Result<PartialResponse, SeabedError> {
         // Degenerate cluster configurations (zero workers / zero local
         // threads) are rejected before any scan starts.
@@ -622,11 +655,29 @@ impl SeabedServer {
         // and conjunction order cannot change the result either way.
         let mut ordered: Vec<&PhysicalFilter> = filters.iter().collect();
         ordered.sort_by_key(|f| f.cost_rank());
+        // Operator labels are built once, outside the per-partition closure:
+        // a filter class plus the *physical* column name, never a literal —
+        // the same labels `query::plan_node` emits, so measured operators can
+        // be matched back onto structural plan nodes.
+        let filter_labels: Vec<String> = ordered.iter().map(|f| filter_label(f, &self.table.schema)).collect();
 
-        let (partials, stats) = self.cluster.run(table, |partition| {
+        let (partials, mut stats) = self.cluster.run(table, |partition| {
+            let mut sink = if analyze {
+                ProfileSink::enabled()
+            } else {
+                ProfileSink::disabled()
+            };
             let scanned = match mode {
-                ExecMode::Scalar => scan_scalar(partition, filters, &group_columns, &resolved, inflation),
-                ExecMode::Vectorized => scan_vectorized(partition, &ordered, &group_columns, &resolved, inflation),
+                ExecMode::Scalar => scan_scalar(partition, filters, &group_columns, &resolved, inflation, &mut sink),
+                ExecMode::Vectorized => scan_vectorized(
+                    partition,
+                    &ordered,
+                    &filter_labels,
+                    &group_columns,
+                    &resolved,
+                    inflation,
+                    &mut sink,
+                ),
             };
             match scanned {
                 Ok(groups) => {
@@ -634,20 +685,43 @@ impl SeabedServer {
                     // driver: report the compressed partial-result size as
                     // shuffle bytes.
                     let bytes = partial_bytes(&groups, encoding, group_columns.len());
-                    TaskOutput::new(Ok(groups), bytes)
+                    TaskOutput::new(Ok((groups, sink.into_operators())), bytes)
                 }
                 Err(err) => TaskOutput::new(Err(err), 0),
             }
         });
 
         // Driver: merge partial groups (propagating any partition failure)
-        // through the shared merge implementation.
+        // through the shared merge implementation; per-partition operator
+        // profiles merge element-wise — every partition records the same
+        // operator sequence, including zeroed slots past an empty selection.
         let mut merged: PartialGroups = HashMap::new();
+        let mut operators: Vec<OperatorProfile> = Vec::new();
         for partial in partials {
-            merge_partial_groups(&mut merged, partial?);
+            let (groups, partition_ops) = partial?;
+            merge_partial_groups(&mut merged, groups);
+            operators = merge_operator_profiles(&operators, &partition_ops);
         }
+        stats.operators = operators;
         Ok(PartialResponse { groups: merged, stats })
     }
+}
+
+/// The structural operator label of a physical filter: its class plus the
+/// *physical* column name it reads. No literal (plaintext, tag or ORE
+/// ciphertext) ever appears in a label, so labels can cross the redacted
+/// observability surface unmodified. The format is shared with
+/// `seabed_query::plan_node`, which emits the same strings for its filter
+/// nodes so analyzed profiles can be matched back onto the plan.
+fn filter_label(filter: &PhysicalFilter, schema: &Schema) -> String {
+    let (class, column) = match filter {
+        PhysicalFilter::PlainU64 { column, .. } => ("plain", *column),
+        PhysicalFilter::PlainText { column, .. } => ("text", *column),
+        PhysicalFilter::DetTag { column, .. } => ("det", *column),
+        PhysicalFilter::Ope { column, .. } => ("ore", *column),
+    };
+    let name = schema.fields.get(column).map(|f| f.name.as_str()).unwrap_or("?");
+    format!("filter:{class}:{name}")
 }
 
 /// The ID-list encoding a query's response uses: aggregation queries use the
@@ -798,6 +872,33 @@ pub trait QueryTarget {
         let _ = trace_id;
         self.execute_prepared(statement, statement_id, filters)
     }
+
+    /// One-shot execution with an optional per-operator profiling pass: the
+    /// dispatch entry of `EXPLAIN ANALYZE`. With `analyze` set, the response's
+    /// `stats.operators` carries the measured per-operator breakdown (merged
+    /// across partitions, and across shards for a distributed target). The
+    /// default drops both extras and delegates to [`QueryTarget::execute_query`],
+    /// so targets without a profiled path keep working — they simply return
+    /// no operator rows.
+    fn execute_query_analyzed(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+        trace_id: u64,
+        analyze: bool,
+    ) -> Result<ServerResponse, SeabedError> {
+        let _ = (trace_id, analyze);
+        self.execute_query(query, filters)
+    }
+
+    /// The target-side plan subtree of the most recent analyzed execution on
+    /// this target — a distributed coordinator reports its scatter/gather/
+    /// merge stages and per-shard runs here so the session can stitch them
+    /// under the structural plan. `None` (the default) for targets whose
+    /// whole execution is already described by the client-side plan.
+    fn analyzed_plan(&self) -> Option<PlanNode> {
+        None
+    }
 }
 
 impl QueryTarget for SeabedServer {
@@ -814,22 +915,39 @@ impl QueryTarget for SeabedServer {
     ) -> Result<ServerResponse, SeabedError> {
         self.execute(query, filters)
     }
+
+    fn execute_query_analyzed(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+        _trace_id: u64,
+        analyze: bool,
+    ) -> Result<ServerResponse, SeabedError> {
+        self.execute_analyzed(query, filters, analyze)
+    }
 }
 
-/// Reference row-at-a-time partition scan.
+/// Reference row-at-a-time partition scan. The scalar loop interleaves
+/// filtering and accumulation per row, so it profiles as one fused
+/// `scan:scalar` operator rather than a per-filter breakdown (which is a
+/// vectorized concept).
 fn scan_scalar(
     partition: &Partition,
     filters: &[PhysicalFilter],
     group_columns: &[usize],
     resolved: &[ResolvedAggregate],
     inflation: u64,
+    sink: &mut ProfileSink,
 ) -> Result<PartialGroups, SeabedError> {
+    let started = sink.begin();
     let mut groups: PartialGroups = HashMap::new();
     let n = partition.num_rows();
+    let mut matched = 0u64;
     for row in 0..n {
         if !filters.iter().all(|f| f.matches(partition, row)) {
             continue;
         }
+        matched += 1;
         let mut key: Vec<u64> = Vec::with_capacity(group_columns.len() + usize::from(inflation > 1));
         for &c in group_columns {
             // A missing or mistyped group column must fail loudly: defaulting
@@ -856,6 +974,7 @@ fn scan_scalar(
             spec.observe(state, partition, row);
         }
     }
+    sink.finish(started, "scan:scalar", n as u64, matched, 1);
     Ok(groups)
 }
 
@@ -891,9 +1010,11 @@ fn for_each_selected(
 fn scan_vectorized(
     partition: &Partition,
     ordered_filters: &[&PhysicalFilter],
+    filter_labels: &[String],
     group_columns: &[usize],
     resolved: &[ResolvedAggregate],
     inflation: u64,
+    sink: &mut ProfileSink,
 ) -> Result<PartialGroups, SeabedError> {
     let n = partition.num_rows();
     if n > exec::MAX_PARTITION_ROWS {
@@ -905,15 +1026,44 @@ fn scan_vectorized(
     // The cheapest filter dense-selects in one pass; the rest refine the
     // shrinking selection. An unfiltered scan builds no selection at all —
     // the aggregation below then streams the partition densely.
+    //
+    // Every filter slot is recorded even when the selection empties early:
+    // the skipped filters get zeroed entries, so every partition reports the
+    // same operator sequence and profiles merge element-wise.
     let sel: Option<SelectionVector> = match ordered_filters.split_first() {
         None => None,
         Some((first, rest)) => {
+            let t0 = sink.begin();
             let mut sel = first.select_dense(partition)?;
-            for filter in rest {
+            sink.finish(
+                t0,
+                filter_labels.first().map(String::as_str).unwrap_or("filter:?"),
+                n as u64,
+                sel.len() as u64,
+                1,
+            );
+            for (i, filter) in rest.iter().enumerate() {
                 if sel.is_empty() {
+                    if sink.is_enabled() {
+                        for label in &filter_labels[i + 1..] {
+                            sink.record(OperatorProfile {
+                                label: label.clone(),
+                                ..OperatorProfile::default()
+                            });
+                        }
+                    }
                     break;
                 }
+                let rows_in = sel.len() as u64;
+                let t = sink.begin();
                 filter.refine(partition, &mut sel)?;
+                sink.finish(
+                    t,
+                    filter_labels.get(i + 1).map(String::as_str).unwrap_or("filter:?"),
+                    rows_in,
+                    sel.len() as u64,
+                    1,
+                );
             }
             Some(sel)
         }
@@ -921,9 +1071,17 @@ fn scan_vectorized(
 
     let mut groups: PartialGroups = HashMap::new();
     let selected_rows = sel.as_ref().map_or(n, |s| s.len());
+    let agg_batches = (selected_rows as u64).div_ceil(exec::BATCH_ROWS as u64);
     if selected_rows == 0 {
+        // Keep the aggregate slot in the sequence so shapes stay stable.
+        sink.record(OperatorProfile {
+            label: "aggregate".to_string(),
+            batches: agg_batches,
+            ..OperatorProfile::default()
+        });
         return Ok(groups);
     }
+    let agg_started = sink.begin();
 
     if group_columns.is_empty() {
         // Global aggregation: one partial-state vector, no per-row key
@@ -985,6 +1143,13 @@ fn scan_vectorized(
             Ok(())
         })?;
     }
+    sink.finish(
+        agg_started,
+        "aggregate",
+        selected_rows as u64,
+        groups.len() as u64,
+        agg_batches,
+    );
     Ok(groups)
 }
 

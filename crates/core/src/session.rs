@@ -33,12 +33,16 @@
 
 use crate::client::{FilterEncryptor, QueryResult, SeabedClient};
 use crate::server::{PhysicalFilter, QueryTarget, ServerResponse};
-use seabed_engine::{ColumnType, Schema};
+use seabed_engine::{ColumnType, OperatorProfile, Schema};
 use seabed_error::{SchemaError, SeabedError};
-use seabed_obs::{Counter, Histogram, Registry, TraceBuilder, TraceId, UNTRACED};
-use seabed_query::{parse, translate, Literal, Query, ServerFilter, TranslatedQuery};
+use seabed_obs::{Counter, EventOperator, Histogram, QueryEvent, Registry, TraceBuilder, TraceId, UNTRACED};
+use seabed_query::{
+    parse, parse_statement, translate, ExplainMode, Literal, PlanNode, PlanProfile, Query, ServerFilter,
+    TranslatedQuery,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// 64-bit FNV-1a, the statement-cache hash. Stable across processes (the
 /// `seabed-net` statement handles reuse it on the server side), no
@@ -50,6 +54,62 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x100_0000_01b3);
     }
     hash
+}
+
+/// The static outcome tag a [`QueryEvent`] records for a query execution.
+/// Deliberately a classification, never an error *message*: messages can echo
+/// caller-supplied text (SQL fragments, table names), and the event log is
+/// redacted by construction.
+pub fn outcome_tag<T>(outcome: &Result<T, SeabedError>) -> &'static str {
+    match outcome {
+        Ok(_) => "ok",
+        Err(SeabedError::Parse(_)) => "parse-error",
+        Err(SeabedError::Translate(_)) | Err(SeabedError::Plan(_)) => "plan-error",
+        Err(SeabedError::Schema(_)) => "schema-error",
+        Err(SeabedError::Net(_)) | Err(SeabedError::Wire(_)) => "net-error",
+        Err(SeabedError::Dist { .. }) => "dist-error",
+        Err(_) => "error",
+    }
+}
+
+/// Converts the engine's measured per-operator counters into the event-log
+/// representation ([`QueryEvent::operators`]).
+pub fn event_operators(operators: &[OperatorProfile]) -> Vec<EventOperator> {
+    operators
+        .iter()
+        .map(|op| EventOperator {
+            label: op.label.clone(),
+            rows_in: op.rows_in,
+            rows_out: op.rows_out,
+            batches: op.batches,
+            nanos: op.nanos,
+        })
+        .collect()
+}
+
+/// The outcome of [`SeabedSession::explain`]: the structural plan tree (with
+/// measured per-operator profiles when analyzed) and — for `EXPLAIN ANALYZE`
+/// only — the decrypted query result the profiled execution produced.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The plan tree. Redacted by construction: operator classes and physical
+    /// column names only, never predicate literals or SQL text.
+    pub plan: PlanNode,
+    /// True when the plan was produced by `EXPLAIN ANALYZE` (the query ran
+    /// and the tree carries measured profiles); false for plain `EXPLAIN`
+    /// (nothing executed).
+    pub analyzed: bool,
+    /// The decrypted result of the analyzed execution; `None` for plain
+    /// `EXPLAIN`.
+    pub result: Option<QueryResult>,
+}
+
+impl Explanation {
+    /// The indented text rendering of the plan tree
+    /// (see [`PlanNode::render`]).
+    pub fn render(&self) -> String {
+        self.plan.render()
+    }
 }
 
 /// A registry of encrypted tables: one [`SeabedClient`] — schema plan, keys,
@@ -544,14 +604,36 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
         trace_id: u64,
     ) -> Result<QueryResult, SeabedError> {
         let execute_timer = self.metrics.execute_ns.start();
+        let started = self.obs.enabled().then(Instant::now);
         let client = self
             .catalog
             .client(&prepared.table)
             .ok_or_else(|| SchemaError::UnknownTable(prepared.table.clone()))?;
-        let (_, response) = self.dispatch(client, prepared, params, tb, trace_id)?;
-        let span = tb.start();
-        let result = client.decrypt_response(&prepared.query, &prepared.translated, response)?;
-        tb.end("decrypt", span);
+        let outcome = self
+            .dispatch(client, prepared, params, tb, trace_id)
+            .and_then(|(_, response)| {
+                let span = tb.start();
+                let result = client.decrypt_response(&prepared.query, &prepared.translated, response)?;
+                tb.end("decrypt", span);
+                Ok(result)
+            });
+        // Every execute — traced or not, successful or not — lands in the
+        // slow-query event ring (when the registry is enabled). The plan is
+        // the translated plan's structural description; nothing in the event
+        // carries SQL text or literals.
+        if let Some(started) = started {
+            self.obs.record_event(QueryEvent {
+                trace_id,
+                statement_id: prepared.statement_id,
+                node: "session".to_string(),
+                plan: prepared.translated.describe(),
+                operators: Vec::new(),
+                total_ns: started.elapsed().as_nanos() as u64,
+                slow: false,
+                outcome: outcome_tag(&outcome).to_string(),
+            });
+        }
+        let result = outcome?;
         self.metrics.execute_ns.stop(execute_timer);
         self.metrics.executes.incr();
         Ok(result)
@@ -649,6 +731,141 @@ impl<'t, T: QueryTarget + ?Sized> SeabedSession<'t, T> {
         let (bound, response) = self.dispatch(client, prepared, params, &TraceBuilder::noop(), UNTRACED)?;
         // Fully-bound statements' plan is already the bound plan.
         Ok((bound.unwrap_or_else(|| prepared.translated.clone()), response))
+    }
+
+    /// Binds `params` and returns the complete encrypted filter list as an
+    /// owned vector (plus the bound plan when the statement has
+    /// placeholders). The explain path uses this instead of
+    /// [`SeabedSession::dispatch`] — explain is never hot, so the clone of a
+    /// fully-bound statement's fixed filters is acceptable there, and the
+    /// bind memo is shared with regular executes.
+    fn bound_filters(
+        &self,
+        client: &SeabedClient,
+        prepared: &PreparedQuery,
+        params: &[Literal],
+    ) -> Result<(Option<TranslatedQuery>, Vec<PhysicalFilter>), SeabedError> {
+        match &prepared.filters {
+            PreparedFilters::Fixed(fixed) => {
+                if !params.is_empty() {
+                    return Err(SchemaError::ParamCount {
+                        expected: 0,
+                        actual: params.len(),
+                    }
+                    .into());
+                }
+                Ok((None, fixed.clone()))
+            }
+            PreparedFilters::Template(template) => {
+                let bound = prepared.translated.bind(params)?;
+                let schema = self.target.schema_of(&prepared.table)?;
+                let mut filters = Vec::with_capacity(template.len());
+                for (i, slot) in template.iter().enumerate() {
+                    match slot {
+                        Some(fixed) => filters.push(fixed.clone()),
+                        None => {
+                            let filter = bound.filters.get(i).ok_or_else(|| {
+                                SeabedError::engine(format!("filter template position {i} exceeds the bound plan"))
+                            })?;
+                            match prepared.memoized_bound_filter(i, filter) {
+                                Some(encrypted) => filters.push(encrypted),
+                                None => {
+                                    let encrypted = client.encrypt_filter_with(&prepared.encryptor, schema, filter)?;
+                                    prepared.memoize_bound_filter(i, filter, &encrypted);
+                                    filters.push(encrypted);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok((Some(bound), filters))
+            }
+        }
+    }
+
+    /// `EXPLAIN` / `EXPLAIN ANALYZE`: returns the structural plan tree of
+    /// `sql`, optionally annotated with a measured per-operator profile.
+    ///
+    /// The SQL may carry the `EXPLAIN [ANALYZE]` prefix or be a bare query
+    /// (treated as plain `EXPLAIN`). Plain `EXPLAIN` never touches the
+    /// execution target beyond schema validation at prepare time — the plan
+    /// is derived entirely from the client-side translated query, so nothing
+    /// is dispatched, no shard traffic happens, and the call works even when
+    /// every worker is down. `EXPLAIN ANALYZE` executes the query through the
+    /// target's profiled path, annotates each plan node with the measured
+    /// rows/batches/nanos (merged across partitions and shards), appends the
+    /// target's own execution subtree when it has one (a distributed
+    /// coordinator contributes its scatter/gather/merge stages and per-shard
+    /// runs), and returns the decrypted result alongside the tree.
+    ///
+    /// The returned plan is redacted by construction: operator classes and
+    /// physical column names only — never predicate literals, parameter
+    /// values, or SQL text. See [`PlanNode`].
+    pub fn explain(&self, sql: &str, params: &[Literal]) -> Result<Explanation, SeabedError> {
+        let statement = parse_statement(sql)?;
+        let analyze = statement.explain == ExplainMode::Analyze;
+        // Prepare the *inner* query under its canonical rendering so an
+        // explained statement shares its cache slot (and bind memo) with
+        // plain executions of the same query.
+        let inner_sql = statement.query.to_sql();
+        let prepared = self.prepare(&inner_sql)?;
+        let mut plan = PlanNode::from_translated(&prepared.translated);
+        if !analyze {
+            return Ok(Explanation {
+                plan,
+                analyzed: false,
+                result: None,
+            });
+        }
+
+        let client = self
+            .catalog
+            .client(&prepared.table)
+            .ok_or_else(|| SchemaError::UnknownTable(prepared.table.clone()))?;
+        let trace_id = self.mint_trace_id();
+        let started = Instant::now();
+        let (bound, filters) = self.bound_filters(client, &prepared, params)?;
+        let query_plan = bound.as_ref().unwrap_or(&prepared.translated);
+        let response = self
+            .target
+            .execute_query_analyzed(query_plan, &filters, trace_id, true)?;
+        let operators = response.stats.operators.clone();
+        let result = client.decrypt_response(&prepared.query, &prepared.translated, response)?;
+
+        let profiles: Vec<(String, PlanProfile)> = operators
+            .iter()
+            .map(|op| {
+                (
+                    op.label.clone(),
+                    PlanProfile {
+                        rows_in: op.rows_in,
+                        rows_out: op.rows_out,
+                        batches: op.batches,
+                        nanos: op.nanos,
+                    },
+                )
+            })
+            .collect();
+        plan.annotate(&profiles);
+        if let Some(subtree) = self.target.analyzed_plan() {
+            plan.children.push(subtree);
+        }
+
+        self.obs.record_event(QueryEvent {
+            trace_id,
+            statement_id: prepared.statement_id,
+            node: "session".to_string(),
+            plan: plan.render(),
+            operators: event_operators(&operators),
+            total_ns: started.elapsed().as_nanos() as u64,
+            slow: false,
+            outcome: "ok".to_string(),
+        });
+        Ok(Explanation {
+            plan,
+            analyzed: true,
+            result: Some(result),
+        })
     }
 
     /// Prepare-and-execute in one call: the session-cached replacement for

@@ -61,13 +61,16 @@
 
 use crate::cache::{CacheStats, PartialCache, PartialKey};
 use rand::RngCore;
-use seabed_core::{finalize_partials, fnv1a64, PartialResponse, PhysicalFilter, QueryTarget, ServerResponse};
+use seabed_core::{
+    event_operators, finalize_partials, fnv1a64, outcome_tag, PartialResponse, PhysicalFilter, QueryTarget,
+    ServerResponse,
+};
 use seabed_engine::merge::{merge_partial_groups, PartialGroups};
-use seabed_engine::{ExecStats, Schema, Table};
+use seabed_engine::{ExecStats, OperatorProfile, Schema, Table};
 use seabed_error::SeabedError;
 use seabed_net::wire::{self, Frame, ShardExecConfig, HEADER_LEN};
-use seabed_obs::{Counter, Histogram, Registry, UNTRACED};
-use seabed_query::TranslatedQuery;
+use seabed_obs::{Counter, Gauge, Histogram, QueryEvent, Registry, UNTRACED};
+use seabed_query::{PlanNode, PlanProfile, TranslatedQuery};
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -468,6 +471,9 @@ struct QueryContext<'a> {
     /// shipped inside every `ShardQuery` frame so worker-side spans
     /// correlate with the coordinator's.
     trace_id: u64,
+    /// `EXPLAIN ANALYZE`: workers run their shard with per-operator
+    /// profiling on and ship the breakdown back inside the partial's stats.
+    analyze: bool,
 }
 
 /// The coordinator's registered instruments (`dist_*`). The counters mirror
@@ -485,6 +491,12 @@ struct DistMetrics {
     merge_ns: Histogram,
     cache_hit_ns: Histogram,
     cache_miss_ns: Histogram,
+    /// Current number of entries in the partial-result cache, re-published
+    /// on every insert and every fence.
+    partial_cache_len: Gauge,
+    /// Workers currently alive (connected and not retired), re-published on
+    /// every membership change and every cache fence.
+    live_workers: Gauge,
 }
 
 impl DistMetrics {
@@ -499,6 +511,8 @@ impl DistMetrics {
             merge_ns: obs.histogram("dist_merge_ns"),
             cache_hit_ns: obs.histogram("dist_cache_hit_ns"),
             cache_miss_ns: obs.histogram("dist_cache_miss_ns"),
+            partial_cache_len: obs.gauge("dist_partial_cache_len"),
+            live_workers: obs.gauge("dist_live_workers"),
         }
     }
 }
@@ -543,6 +557,10 @@ pub struct DistCoordinator {
     /// shared one so session- and coordinator-side spans merge.
     obs: Registry,
     metrics: DistMetrics,
+    /// The stitched scatter/gather/merge subtree of the most recent
+    /// `EXPLAIN ANALYZE` execution, served to the session through
+    /// [`QueryTarget::analyzed_plan`].
+    analyzed: Mutex<Option<PlanNode>>,
 }
 
 impl DistCoordinator {
@@ -641,6 +659,7 @@ impl DistCoordinator {
             config,
             obs,
             metrics,
+            analyzed: Mutex::new(None),
         };
         // Initial placement: table t's shard i lives on the R consecutive
         // workers starting at (t + i) mod N, so several tables spread across
@@ -661,6 +680,7 @@ impl DistCoordinator {
                 .lock()
                 .unwrap_or_else(|p| p.into_inner()) = assignment;
         }
+        coordinator.publish_gauges();
         Ok(coordinator)
     }
 
@@ -802,11 +822,25 @@ impl DistCoordinator {
     /// attributable, then every remaining stale-epoch entry).
     fn fence_cache(&self, dead: &[usize]) {
         let bumped = self.cache_epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
-        for &worker in dead {
-            cache.purge_worker(worker);
+        {
+            let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+            for &worker in dead {
+                cache.purge_worker(worker);
+            }
+            cache.purge_stale_epochs(bumped);
         }
-        cache.purge_stale_epochs(bumped);
+        self.publish_gauges();
+    }
+
+    /// Re-publishes the `dist_live_workers` and `dist_partial_cache_len`
+    /// gauges from the current membership and cache occupancy. Called after
+    /// every membership change and cache fence (and the cache-length half
+    /// after inserts), so a scrape always sees the post-transition values.
+    fn publish_gauges(&self) {
+        let live = self.workers_snapshot().iter().filter(|link| link.alive()).count();
+        self.metrics.live_workers.set(live as u64);
+        let len = self.cache.lock().unwrap_or_else(|p| p.into_inner()).len();
+        self.metrics.partial_cache_len.set(len as u64);
     }
 
     /// Executes a translated query across every shard of the table it names
@@ -816,19 +850,65 @@ impl DistCoordinator {
     /// call fails only when a shard cannot run anywhere or a worker reports
     /// a deterministic query error.
     pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
-        self.execute_internal(query, filters, None, UNTRACED)
+        self.execute_internal(query, filters, None, UNTRACED, false)
     }
 
-    /// The scatter/gather behind both entry points. `cache_key` is
-    /// `Some((statement hash, filter hash))` for prepared executes, which may
-    /// answer shards from the partial cache and insert fresh partials back;
-    /// one-shot queries pass `None` and never touch the cache.
+    /// Wraps [`DistCoordinator::execute_core`] with the coordinator's query
+    /// event: every execution — including failed ones — leaves one redacted
+    /// [`QueryEvent`] in the shared registry (node `coordinator`, carrying
+    /// the stitched plan when analyzed and the translated query's redacted
+    /// description otherwise, never SQL text or literals).
     fn execute_internal(
         &self,
         query: &TranslatedQuery,
         filters: &[PhysicalFilter],
         cache_key: Option<(u64, u64)>,
         trace_id: u64,
+        analyze: bool,
+    ) -> Result<ServerResponse, SeabedError> {
+        let started = self.obs.enabled().then(Instant::now);
+        let outcome = self.execute_core(query, filters, cache_key, trace_id, analyze);
+        if let Some(started) = started {
+            let mut statement_bytes = Vec::new();
+            wire::write_statement_payload(&mut statement_bytes, query);
+            let plan = if analyze {
+                self.analyzed
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .as_ref()
+                    .map(PlanNode::render)
+                    .unwrap_or_else(|| query.describe())
+            } else {
+                query.describe()
+            };
+            self.obs.record_event(QueryEvent {
+                trace_id,
+                statement_id: fnv1a64(&statement_bytes),
+                node: "coordinator".to_string(),
+                plan,
+                operators: event_operators(outcome.as_ref().map(|r| r.stats.operators.as_slice()).unwrap_or(&[])),
+                total_ns: started.elapsed().as_nanos() as u64,
+                slow: false,
+                outcome: outcome_tag(&outcome).to_string(),
+            });
+        }
+        outcome
+    }
+
+    /// The scatter/gather behind both entry points. `cache_key` is
+    /// `Some((statement hash, filter hash))` for prepared executes, which may
+    /// answer shards from the partial cache and insert fresh partials back;
+    /// one-shot queries pass `None` and never touch the cache. With
+    /// `analyze` set, every `ShardQuery` asks its worker for a per-operator
+    /// profile and the stitched scatter/gather/merge plan of this execution
+    /// is left in [`DistCoordinator::analyzed`].
+    fn execute_core(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+        cache_key: Option<(u64, u64)>,
+        trace_id: u64,
+        analyze: bool,
     ) -> Result<ServerResponse, SeabedError> {
         let started = Instant::now();
         let tb = self.obs.trace_builder(trace_id, "coordinator");
@@ -841,6 +921,7 @@ impl DistCoordinator {
             query,
             filters,
             trace_id,
+            analyze,
         };
 
         // Probe: a prepared execute answers every shard it can from the
@@ -983,6 +1064,7 @@ impl DistCoordinator {
                     cache.insert(key, run.worker_index, partial.clone());
                 }
             }
+            self.metrics.partial_cache_len.set(cache.len() as u64);
         }
 
         // Gather: fold every shard's partial groups — cached and fresh — in
@@ -992,6 +1074,17 @@ impl DistCoordinator {
         let gather_timer = self.metrics.gather_ns.start();
         let cache_hits = cached.len() as u64;
         let cache_misses = if cache_key.is_some() { missing.len() as u64 } else { 0 };
+        // `EXPLAIN ANALYZE`: keep the cached shards' identities (and any
+        // operator breakdowns their partials carried) before the gather
+        // consumes them, for the stitched plan's `(cached)` nodes.
+        let cached_nodes: Vec<(u32, Vec<OperatorProfile>)> = if analyze {
+            cached
+                .iter()
+                .map(|(shard, partial)| (*shard, partial.stats.operators.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut partials: Vec<(u32, PartialResponse)> = cached;
         for run in &mut runs {
             let partial = std::mem::take(&mut run.partial);
@@ -1052,6 +1145,79 @@ impl DistCoordinator {
             } else {
                 self.metrics.cache_miss_ns.record_ns(wall_ns);
             }
+        }
+        // `EXPLAIN ANALYZE`: stitch this execution into the plan subtree the
+        // session hangs under the structural plan — one node per coordinator
+        // stage and one per shard, hedged/redispatched/cached shards marked,
+        // each fresh shard carrying its worker's measured per-operator
+        // breakdown as children. Labels name workers and physical columns
+        // only, never predicate literals or SQL text.
+        if analyze {
+            let total_shards = assignment.len();
+            let operator_node = |op: &OperatorProfile| {
+                PlanNode::new("operator", op.label.clone()).with_profile(PlanProfile {
+                    rows_in: op.rows_in,
+                    rows_out: op.rows_out,
+                    batches: op.batches,
+                    nanos: op.nanos,
+                })
+            };
+            let mut shard_nodes: Vec<(u32, PlanNode)> = Vec::new();
+            for run in &report.runs {
+                let mut marks = String::new();
+                if run.hedged {
+                    marks.push_str(", hedged");
+                }
+                if run.redispatched {
+                    marks.push_str(", redispatched");
+                }
+                let mut node = PlanNode::new("shard", format!("{}/{total_shards} @{}{marks}", run.shard, run.worker))
+                    .with_profile(PlanProfile {
+                        nanos: u64::try_from(run.round_trip.as_nanos()).unwrap_or(u64::MAX),
+                        ..PlanProfile::default()
+                    });
+                node.children.extend(run.stats.operators.iter().map(operator_node));
+                shard_nodes.push((run.shard, node));
+            }
+            for (shard, operators) in &cached_nodes {
+                let mut node = PlanNode::new("shard", format!("{shard}/{total_shards} (cached)"));
+                node.children.extend(operators.iter().map(operator_node));
+                shard_nodes.push((*shard, node));
+            }
+            shard_nodes.sort_by_key(|(shard, _)| *shard);
+            let mut dist = PlanNode::new(
+                "dist",
+                format!(
+                    "{} of {total_shards} shards scattered over {} lanes, {} cached",
+                    report.runs.len(),
+                    lanes.len(),
+                    report.cache_hits
+                ),
+            )
+            .with_profile(PlanProfile {
+                nanos: u64::try_from(report.wall_time.as_nanos()).unwrap_or(u64::MAX),
+                ..PlanProfile::default()
+            });
+            dist.children.push(
+                PlanNode::new("scatter", format!("{} lanes", lanes.len())).with_profile(PlanProfile {
+                    nanos: scatter_ns,
+                    ..PlanProfile::default()
+                }),
+            );
+            dist.children.extend(shard_nodes.into_iter().map(|(_, node)| node));
+            dist.children.push(
+                PlanNode::new("gather", format!("{total_shards} partials")).with_profile(PlanProfile {
+                    nanos: gather_ns,
+                    ..PlanProfile::default()
+                }),
+            );
+            dist.children.push(
+                PlanNode::new("merge", format!("{} groups", response.groups.len())).with_profile(PlanProfile {
+                    nanos: merge_ns,
+                    ..PlanProfile::default()
+                }),
+            );
+            *self.analyzed.lock().unwrap_or_else(|p| p.into_inner()) = Some(dist);
         }
         *self.last_report.lock().unwrap_or_else(|p| p.into_inner()) = report;
         if let Some(trace) = tb.finish() {
@@ -1197,6 +1363,7 @@ impl DistCoordinator {
             shard,
             seq,
             trace_id: ctx.trace_id,
+            analyze: ctx.analyze,
             query: query.clone(),
             filters: ctx.filters.to_vec(),
         };
@@ -1693,7 +1860,26 @@ impl QueryTarget for DistCoordinator {
             filters,
             Some((fnv1a64(&statement_bytes), fnv1a64(&filter_bytes))),
             trace_id,
+            false,
         )
+    }
+
+    fn execute_query_analyzed(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+        trace_id: u64,
+        analyze: bool,
+    ) -> Result<ServerResponse, SeabedError> {
+        self.execute_internal(query, filters, None, trace_id, analyze)
+    }
+
+    /// The stitched scatter/gather/merge subtree of the most recent
+    /// `EXPLAIN ANALYZE` on this coordinator: one child per shard (worker,
+    /// hedged/redispatched/cached markers, per-operator breakdown) plus the
+    /// coordinator's own scatter, gather, and merge stages.
+    fn analyzed_plan(&self) -> Option<PlanNode> {
+        self.analyzed.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 }
 

@@ -17,7 +17,7 @@
 //! while remaining faithful to the real per-row computation costs, which are
 //! measured rather than modeled.
 
-use crate::exec::ExecMode;
+use crate::exec::{merge_operator_profiles, ExecMode, OperatorProfile};
 use crate::table::{Partition, Table};
 use rand::{Rng, SeedableRng};
 use seabed_error::SeabedError;
@@ -140,6 +140,10 @@ pub struct ExecStats {
     pub bytes_to_driver: usize,
     /// Wall-clock time the real execution took on the local thread pool.
     pub wall_time: Duration,
+    /// Per-operator execution breakdown, in plan order. Empty on plain
+    /// (un-analyzed) executions; populated by `EXPLAIN ANALYZE` via the
+    /// [`crate::exec::ProfileSink`] threaded through the scan.
+    pub operators: Vec<OperatorProfile>,
 }
 
 impl ExecStats {
@@ -153,6 +157,11 @@ impl ExecStats {
     /// ran the parts concurrently (the distributed coordinator's scatter)
     /// must overwrite `wall_time` with their own end-to-end measurement
     /// after folding, which is exactly what `DistCoordinator` does.
+    ///
+    /// Per-operator profiles merge shard-wise via
+    /// [`merge_operator_profiles`]: matching operator sequences sum
+    /// element-wise, an empty side passes the other through, and mismatched
+    /// shapes concatenate.
     pub fn merge(&self, other: &ExecStats) -> ExecStats {
         ExecStats {
             tasks: self.tasks + other.tasks,
@@ -161,6 +170,7 @@ impl ExecStats {
             simulated_server_time: self.simulated_server_time + other.simulated_server_time,
             bytes_to_driver: self.bytes_to_driver + other.bytes_to_driver,
             wall_time: self.wall_time + other.wall_time,
+            operators: merge_operator_profiles(&self.operators, &other.operators),
         }
     }
 }
@@ -292,6 +302,7 @@ impl Cluster {
             simulated_server_time: makespan,
             bytes_to_driver,
             wall_time,
+            operators: Vec::new(),
         }
     }
 }
@@ -404,6 +415,13 @@ mod tests {
 
     #[test]
     fn stats_merge_adds_up() {
+        let op = |rows_in: u64| OperatorProfile {
+            label: "filter:plain:v".to_string(),
+            rows_in,
+            rows_out: rows_in / 2,
+            batches: 1,
+            nanos: 5,
+        };
         let a = ExecStats {
             tasks: 2,
             total_task_time: Duration::from_millis(10),
@@ -411,6 +429,7 @@ mod tests {
             simulated_server_time: Duration::from_millis(12),
             bytes_to_driver: 100,
             wall_time: Duration::from_millis(9),
+            operators: vec![op(100)],
         };
         let b = ExecStats {
             tasks: 3,
@@ -419,6 +438,7 @@ mod tests {
             simulated_server_time: Duration::from_millis(15),
             bytes_to_driver: 50,
             wall_time: Duration::from_millis(14),
+            operators: vec![op(60)],
         };
         let m = a.merge(&b);
         assert_eq!(m.tasks, 5);
@@ -429,6 +449,12 @@ mod tests {
         // Documented additive semantics: merge models sequential stages, so
         // wall times sum (concurrent callers overwrite the field afterward).
         assert_eq!(m.wall_time, Duration::from_millis(23));
+        // Matching operator sequences merge element-wise (shard-wise sums).
+        assert_eq!(m.operators.len(), 1);
+        assert_eq!(m.operators[0].rows_in, 160);
+        assert_eq!(m.operators[0].rows_out, 80);
+        assert_eq!(m.operators[0].batches, 2);
+        assert_eq!(m.operators[0].nanos, 10);
     }
 
     /// Regression tests for degenerate configurations: `with_workers(0)` and

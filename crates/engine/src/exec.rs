@@ -32,6 +32,8 @@
 //! literal) *out* of the loop so each call monomorphizes into a tight,
 //! branch-predictable scan over one column slice.
 
+use std::time::Instant;
+
 /// How the server executes the per-partition scan of a query.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecMode {
@@ -99,6 +101,142 @@ impl SelectionVector {
     /// cache-friendly aggregation loops.
     pub fn batches(&self) -> impl Iterator<Item = &[u32]> {
         self.rows.chunks(BATCH_ROWS)
+    }
+}
+
+/// Measured execution profile of one plan operator (one filter kernel, one
+/// aggregation pass, or one coordinator stage).
+///
+/// Labels are structural identifiers — a filter class plus a *physical*
+/// column name (`"filter:det:dept"`), an aggregation slot (`"aggregate"`),
+/// or a stage name (`"gather"`). They never carry predicate literals or SQL
+/// text, so a profile can cross the redacted observability surface
+/// unmodified.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OperatorProfile {
+    /// Structural operator label (class + physical column, never a literal).
+    pub label: String,
+    /// Rows the operator looked at (partition rows for a dense select, the
+    /// surviving selection for a refinement).
+    pub rows_in: u64,
+    /// Rows that survived the operator (selection survivors; groups for the
+    /// aggregation slot).
+    pub rows_out: u64,
+    /// Number of batches / passes the operator ran.
+    pub batches: u64,
+    /// Wall-clock nanoseconds spent inside the operator.
+    pub nanos: u64,
+}
+
+impl OperatorProfile {
+    /// Adds another measurement of the *same* operator (another partition or
+    /// shard) into this one. Counters sum; the label is kept.
+    pub fn absorb(&mut self, other: &OperatorProfile) {
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.batches += other.batches;
+        self.nanos += other.nanos;
+    }
+}
+
+/// Merges two per-operator breakdowns shard-wise.
+///
+/// * one side empty → the other side, unchanged (plain executions carry no
+///   profiles, so merging them is free);
+/// * same operator sequence (equal length, matching labels) → element-wise
+///   [`OperatorProfile::absorb`] — partitions and shards of the same plan sum
+///   into one breakdown;
+/// * different shapes → concatenation, so nothing measured is ever dropped
+///   (heterogeneous stages keep their own entries).
+pub fn merge_operator_profiles(a: &[OperatorProfile], b: &[OperatorProfile]) -> Vec<OperatorProfile> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    if a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.label == y.label) {
+        return a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let mut merged = x.clone();
+                merged.absorb(y);
+                merged
+            })
+            .collect();
+    }
+    let mut out = a.to_vec();
+    out.extend_from_slice(b);
+    out
+}
+
+/// A per-operator profile collector threaded through the scan kernels.
+///
+/// Zero-cost when disabled: [`ProfileSink::begin`] returns `None` without
+/// touching the clock, [`ProfileSink::finish`] on a `None` start is a single
+/// branch, and no allocation happens until the first recorded operator. The
+/// instrumented-off scan therefore executes the exact same instruction
+/// sequence as an uninstrumented one, which is what keeps plain execution
+/// byte-identical and inside the profiling-overhead budget.
+#[derive(Debug, Default)]
+pub struct ProfileSink {
+    enabled: bool,
+    operators: Vec<OperatorProfile>,
+}
+
+impl ProfileSink {
+    /// A sink that records nothing (the plain-execution default).
+    pub fn disabled() -> ProfileSink {
+        ProfileSink {
+            enabled: false,
+            operators: Vec::new(),
+        }
+    }
+
+    /// A sink that records every operator (the `EXPLAIN ANALYZE` path).
+    pub fn enabled() -> ProfileSink {
+        ProfileSink {
+            enabled: true,
+            operators: Vec::new(),
+        }
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts timing one operator. `None` when disabled — the clock is never
+    /// read on the plain path.
+    pub fn begin(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    /// Finishes the operator started by [`ProfileSink::begin`], recording its
+    /// measurements. A `None` start (disabled sink) records nothing.
+    pub fn finish(&mut self, started: Option<Instant>, label: &str, rows_in: u64, rows_out: u64, batches: u64) {
+        if let Some(t0) = started {
+            self.operators.push(OperatorProfile {
+                label: label.to_string(),
+                rows_in,
+                rows_out,
+                batches,
+                nanos: t0.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+
+    /// Records a fully measured operator (for stages timed externally).
+    pub fn record(&mut self, profile: OperatorProfile) {
+        if self.enabled {
+            self.operators.push(profile);
+        }
+    }
+
+    /// The recorded operators, in execution order.
+    pub fn into_operators(self) -> Vec<OperatorProfile> {
+        self.operators
     }
 }
 
@@ -205,5 +343,66 @@ mod tests {
     #[test]
     fn exec_mode_defaults_to_vectorized() {
         assert_eq!(ExecMode::default(), ExecMode::Vectorized);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing_and_never_reads_the_clock() {
+        let mut sink = ProfileSink::disabled();
+        assert!(!sink.is_enabled());
+        let t0 = sink.begin();
+        assert!(t0.is_none(), "disabled sink must not touch the clock");
+        sink.finish(t0, "filter:plain:v", 100, 50, 1);
+        sink.record(OperatorProfile {
+            label: "aggregate".into(),
+            rows_in: 50,
+            rows_out: 3,
+            batches: 1,
+            nanos: 1,
+        });
+        assert!(sink.into_operators().is_empty());
+    }
+
+    #[test]
+    fn enabled_sink_records_in_order() {
+        let mut sink = ProfileSink::enabled();
+        let t0 = sink.begin();
+        assert!(t0.is_some());
+        sink.finish(t0, "filter:plain:v", 100, 50, 1);
+        let t1 = sink.begin();
+        sink.finish(t1, "aggregate", 50, 3, 1);
+        let ops = sink.into_operators();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].label, "filter:plain:v");
+        assert_eq!((ops[0].rows_in, ops[0].rows_out, ops[0].batches), (100, 50, 1));
+        assert_eq!(ops[1].label, "aggregate");
+    }
+
+    #[test]
+    fn profile_merge_sums_matching_shapes_and_keeps_mismatches() {
+        let op = |label: &str, rows_in: u64| OperatorProfile {
+            label: label.to_string(),
+            rows_in,
+            rows_out: rows_in / 2,
+            batches: 1,
+            nanos: 10,
+        };
+        let a = vec![op("filter:det:dept", 100), op("aggregate", 50)];
+        let b = vec![op("filter:det:dept", 60), op("aggregate", 30)];
+        let merged = merge_operator_profiles(&a, &b);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].rows_in, 160);
+        assert_eq!(merged[0].rows_out, 80);
+        assert_eq!(merged[0].batches, 2);
+        assert_eq!(merged[0].nanos, 20);
+
+        // One side empty: the other passes through unchanged.
+        assert_eq!(merge_operator_profiles(&a, &[]), a);
+        assert_eq!(merge_operator_profiles(&[], &b), b);
+
+        // Shape mismatch: concatenate, never drop measurements.
+        let c = vec![op("scan:scalar", 10)];
+        let cat = merge_operator_profiles(&a, &c);
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat[2].label, "scan:scalar");
     }
 }

@@ -20,7 +20,7 @@ use crate::wire::{self, Frame, HEADER_LEN};
 use seabed_core::{PhysicalFilter, QueryResult, QueryTarget, SeabedClient, ServerResponse};
 use seabed_engine::Schema;
 use seabed_error::SeabedError;
-use seabed_obs::{MetricsSnapshot, QueryTrace, TraceId, UNTRACED};
+use seabed_obs::{MetricsSnapshot, QueryEvent, QueryTrace, TraceId, UNTRACED};
 use seabed_query::{Query, TranslatedQuery};
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -242,24 +242,28 @@ impl RemoteSeabedClient {
     /// server response. A typed error frame from the server is surfaced as
     /// the [`SeabedError`] it carries.
     pub fn execute(&self, query: &TranslatedQuery, filters: &[PhysicalFilter]) -> Result<ServerResponse, SeabedError> {
-        Ok(self.execute_measured(query, filters, UNTRACED)?.0)
+        Ok(self.execute_measured(query, filters, UNTRACED, false)?.0)
     }
 
     /// [`RemoteSeabedClient::execute`] plus the measured size of the response
     /// frame, captured inside the connection lock so concurrent queries on a
     /// shared client cannot attribute each other's frames. A non-zero
     /// `trace_id` travels in the request frame, so the server records its
-    /// execute span under the same id this client (or its session) uses.
+    /// execute span under the same id this client (or its session) uses;
+    /// `analyze` asks the server for the per-operator profile
+    /// (`EXPLAIN ANALYZE`).
     fn execute_measured(
         &self,
         query: &TranslatedQuery,
         filters: &[PhysicalFilter],
         trace_id: u64,
+        analyze: bool,
     ) -> Result<(ServerResponse, u64), SeabedError> {
         let request = Frame::Request {
             query: query.clone(),
             filters: filters.to_vec(),
             trace_id,
+            analyze,
         };
         let mut conn = self.conn.lock().unwrap_or_else(|p| p.into_inner());
         match conn.round_trip(&request, self.max_frame_len)? {
@@ -401,7 +405,7 @@ impl RemoteSeabedClient {
         // A fresh id per query: the server's execute span lands in its trace
         // ring under this id, scrapeable via [`scrape_metrics`].
         let trace_id = TraceId::mint().as_u64();
-        let (response, wire_response_bytes) = self.execute_measured(&translated, &filters, trace_id)?;
+        let (response, wire_response_bytes) = self.execute_measured(&translated, &filters, trace_id, false)?;
         let mut result = self.inner.decrypt_response(&query, &translated, response)?;
         result.timings.network = self.inner.network.transfer_time(wire_response_bytes as usize);
         Ok(result)
@@ -409,16 +413,18 @@ impl RemoteSeabedClient {
 }
 
 /// Scrapes a live Seabed service's metrics snapshot (and, when
-/// `include_traces` is set, its ring of recent query traces) over a fresh
-/// connection. No schema handshake and no keys: the telemetry surface never
-/// carries plaintext (metric names are static identifiers, traces carry
-/// stage names, durations, and statement hashes), so an operator's scraper
-/// does not need a [`SeabedClient`].
+/// `include_traces` / `include_events` are set, its rings of recent query
+/// traces and slow-query events) over a fresh connection. No schema
+/// handshake and no keys: the telemetry surface never carries plaintext
+/// (metric names are static identifiers, traces carry stage names,
+/// durations, and statement hashes, events carry structural plan strings and
+/// outcome tags), so an operator's scraper does not need a [`SeabedClient`].
 pub fn scrape_metrics(
     addr: impl ToSocketAddrs,
     include_traces: bool,
+    include_events: bool,
     read_timeout: Duration,
-) -> Result<(MetricsSnapshot, Vec<QueryTrace>), SeabedError> {
+) -> Result<(MetricsSnapshot, Vec<QueryTrace>, Vec<QueryEvent>), SeabedError> {
     let peer = addr
         .to_socket_addrs()
         .map_err(|e| SeabedError::net(format!("resolve: {e}")))?
@@ -433,8 +439,19 @@ pub fn scrape_metrics(
         stats: WireStats::default(),
         poisoned: false,
     };
-    match conn.round_trip(&Frame::MetricsRequest { include_traces }, wire::DEFAULT_MAX_FRAME_LEN)? {
-        (Frame::MetricsSnapshot { metrics, traces }, _) => Ok((metrics, traces)),
+    let request = Frame::MetricsRequest {
+        include_traces,
+        include_events,
+    };
+    match conn.round_trip(&request, wire::DEFAULT_MAX_FRAME_LEN)? {
+        (
+            Frame::MetricsSnapshot {
+                metrics,
+                traces,
+                events,
+            },
+            _,
+        ) => Ok((metrics, traces, events)),
         (Frame::Error(err), _) => Err(err),
         (other, _) => Err(SeabedError::wire(format!(
             "expected a metrics snapshot, got {:?}",
@@ -460,6 +477,16 @@ impl QueryTarget for RemoteSeabedClient {
         filters: &[PhysicalFilter],
     ) -> Result<ServerResponse, SeabedError> {
         self.execute(query, filters)
+    }
+
+    fn execute_query_analyzed(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+        trace_id: u64,
+        analyze: bool,
+    ) -> Result<ServerResponse, SeabedError> {
+        Ok(self.execute_measured(query, filters, trace_id, analyze)?.0)
     }
 
     fn execute_prepared(

@@ -730,16 +730,36 @@ fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
             query,
             filters,
             trace_id,
+            analyze,
         } => {
             // A traced request records its server-side execute span into this
             // service's ring under the propagated id, so a client (or a
             // coordinator on its behalf) can scrape it back out later.
             let tb = ctx.obs.trace_builder(trace_id, ctx.identity);
+            let started = ctx.obs.enabled().then(std::time::Instant::now);
             let span = tb.start();
-            let outcome = ctx.server.execute(&query, &filters);
+            let outcome = ctx.server.execute_analyzed(&query, &filters, analyze);
             tb.end("server-execute", span);
             if let Some(trace) = tb.finish() {
                 ctx.obs.record_trace(trace);
+            }
+            if let Some(started) = started {
+                // The event's statement id is the plan's wire-content hash —
+                // the same identity prepared statements use — never SQL text.
+                let mut payload = Vec::new();
+                wire::write_statement_payload(&mut payload, &query);
+                ctx.obs.record_event(seabed_obs::QueryEvent {
+                    trace_id,
+                    statement_id: seabed_core::fnv1a64(&payload),
+                    node: ctx.identity.to_string(),
+                    plan: query.describe(),
+                    operators: seabed_core::event_operators(
+                        outcome.as_ref().map(|r| r.stats.operators.as_slice()).unwrap_or(&[]),
+                    ),
+                    total_ns: started.elapsed().as_nanos() as u64,
+                    slow: false,
+                    outcome: seabed_core::outcome_tag(&outcome).to_string(),
+                });
             }
             match outcome {
                 Ok(response) => Frame::Response(response),
@@ -792,6 +812,7 @@ fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
             trace_id,
             query,
             filters,
+            analyze,
         } => {
             let tb = ctx.obs.trace_builder(trace_id, ctx.identity);
             let span = tb.start();
@@ -800,7 +821,7 @@ fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
                 .shards
                 .get(ctx.identity, epoch, table_id, shard)
                 // The Arc clone lets the scan run outside the store lock.
-                .and_then(|server| server.execute_partial(&query, &filters))
+                .and_then(|server| server.execute_partial_analyzed(&query, &filters, analyze))
             {
                 Ok(partial) => {
                     // Only successful scans feed the execute histogram and
@@ -859,24 +880,44 @@ fn dispatch_frame(frame: Frame, ctx: ConnContext<'_>) -> Frame {
             // The handle *is* the statement's content hash — an identity,
             // never the SQL text (redaction rule).
             tb.set_statement_id(handle);
+            let started = ctx.obs.enabled().then(std::time::Instant::now);
             let span = tb.start();
-            let outcome = ctx
-                .statements
-                .get(handle)
-                .and_then(|statement| ctx.server.execute(&statement, &filters));
+            let statement = ctx.statements.get(handle);
+            let plan = statement.as_ref().map(|s| s.describe()).unwrap_or_default();
+            let outcome = statement.and_then(|statement| ctx.server.execute(&statement, &filters));
             tb.end("server-execute", span);
             if let Some(trace) = tb.finish() {
                 ctx.obs.record_trace(trace);
+            }
+            if let Some(started) = started {
+                ctx.obs.record_event(seabed_obs::QueryEvent {
+                    trace_id,
+                    statement_id: handle,
+                    node: ctx.identity.to_string(),
+                    plan,
+                    operators: Vec::new(),
+                    total_ns: started.elapsed().as_nanos() as u64,
+                    slow: false,
+                    outcome: seabed_core::outcome_tag(&outcome).to_string(),
+                });
             }
             match outcome {
                 Ok(response) => Frame::Response(response),
                 Err(err) => Frame::Error(err),
             }
         }
-        Frame::MetricsRequest { include_traces } => Frame::MetricsSnapshot {
+        Frame::MetricsRequest {
+            include_traces,
+            include_events,
+        } => Frame::MetricsSnapshot {
             metrics: ctx.obs.snapshot(),
             traces: if include_traces {
                 ctx.obs.recent_traces()
+            } else {
+                Vec::new()
+            },
+            events: if include_events {
+                ctx.obs.recent_events()
             } else {
                 Vec::new()
             },
@@ -1038,6 +1079,7 @@ mod tests {
                 query: sum_query(),
                 filters: vec![],
                 trace_id: 0,
+                analyze: false,
             },
         );
         let Frame::Response(response) = reply else {
@@ -1059,6 +1101,7 @@ mod tests {
                 query: bad,
                 filters: vec![],
                 trace_id: 0,
+                analyze: false,
             },
         );
         assert!(matches!(reply, Frame::Error(SeabedError::Schema(_))), "{reply:?}");
@@ -1070,6 +1113,7 @@ mod tests {
                 query: sum_query(),
                 filters: vec![],
                 trace_id: 0,
+                analyze: false,
             },
         );
         assert!(matches!(reply, Frame::Response(_)));
@@ -1177,6 +1221,7 @@ mod tests {
                 shard: 3,
                 seq: 7,
                 trace_id: 0,
+                analyze: false,
                 query: query.clone(),
                 filters: vec![],
             },
@@ -1208,6 +1253,7 @@ mod tests {
                 shard: 3,
                 seq: 11,
                 trace_id: 0,
+                analyze: false,
                 query: query.clone(),
                 filters: vec![],
             },
@@ -1223,6 +1269,7 @@ mod tests {
                 shard: 8,
                 seq: 8,
                 trace_id: 0,
+                analyze: false,
                 query: query.clone(),
                 filters: vec![],
             },
@@ -1238,6 +1285,7 @@ mod tests {
                 shard: 3,
                 seq: 9,
                 trace_id: 0,
+                analyze: false,
                 query,
                 filters: vec![],
             },
@@ -1270,6 +1318,7 @@ mod tests {
                 query: sum_query(),
                 filters: vec![],
                 trace_id: 0,
+                analyze: false,
             },
         );
         let Frame::Response(one_shot) = reply else {
@@ -1463,6 +1512,7 @@ mod tests {
                     query: sum_query(),
                     filters: vec![],
                     trace_id: 0,
+                    analyze: false,
                 }
             ),
             Frame::Response(_)
@@ -1474,13 +1524,20 @@ mod tests {
                     query: sum_query(),
                     filters: vec![],
                     trace_id: 0xdead_beef,
+                    analyze: false,
                 }
             ),
             Frame::Response(_)
         ));
 
-        let reply = round_trip(&mut stream, &Frame::MetricsRequest { include_traces: true });
-        let Frame::MetricsSnapshot { metrics, traces } = reply else {
+        let reply = round_trip(
+            &mut stream,
+            &Frame::MetricsRequest {
+                include_traces: true,
+                include_events: false,
+            },
+        );
+        let Frame::MetricsSnapshot { metrics, traces, .. } = reply else {
             panic!("expected a metrics snapshot, got {reply:?}");
         };
         assert_eq!(metrics.counter("net_frames_request"), Some(2));
@@ -1494,7 +1551,13 @@ mod tests {
         assert_eq!(traces[0].spans[0].name, "server-execute");
 
         // include_traces: false omits the ring.
-        let reply = round_trip(&mut stream, &Frame::MetricsRequest { include_traces: false });
+        let reply = round_trip(
+            &mut stream,
+            &Frame::MetricsRequest {
+                include_traces: false,
+                include_events: false,
+            },
+        );
         let Frame::MetricsSnapshot { traces, .. } = reply else {
             panic!("expected a metrics snapshot, got {reply:?}");
         };

@@ -75,7 +75,7 @@
 use seabed_core::{EncryptedAggregate, GroupResult, PartialResponse, PhysicalFilter, ServerResponse};
 use seabed_encoding::{varint, IdListEncoding};
 use seabed_engine::merge::{ExtremeCandidate, PartialAggregate, PartialGroups};
-use seabed_engine::{storage, ColumnType, ExecMode, ExecStats, Schema, Table};
+use seabed_engine::{storage, ColumnType, ExecMode, ExecStats, OperatorProfile, Schema, Table};
 use seabed_error::{ParseError, SchemaError, SeabedError};
 use seabed_query::{
     ClientPostStep, CompareOp, GroupByColumn, Literal, Predicate, ServerAggregate, ServerFilter, SupportCategory,
@@ -101,7 +101,14 @@ pub const MAGIC: [u8; 4] = *b"SBWF";
 /// session, coordinator, and workers, and the metrics-scrape frames
 /// (kinds 17–18) exist. The layout change to existing kinds is why this is
 /// a version bump rather than an in-version addition.
-pub const PROTOCOL_VERSION: u16 = 3;
+///
+/// Version 4: the one-shot query frames (kinds 1 and 10) carry an `analyze`
+/// flag after the trace id (`EXPLAIN ANALYZE` requests a per-operator
+/// profile), exec stats carry the measured operator breakdown, and the
+/// metrics-scrape frames additionally negotiate the slow-query event ring
+/// (`include_events` on the request, `events` on the snapshot). Layout
+/// changes to existing kinds again force the version bump.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 11;
@@ -204,6 +211,9 @@ pub enum Frame {
         /// Propagated per-query trace id ([`seabed_obs::UNTRACED`] = 0 when
         /// the request is not traced).
         trace_id: u64,
+        /// When true (`EXPLAIN ANALYZE`), the response's exec stats carry
+        /// the measured per-operator profile of the execution.
+        analyze: bool,
     },
     /// A query response.
     Response(ServerResponse),
@@ -272,6 +282,9 @@ pub enum Frame {
         /// Propagated per-query trace id (0 = untraced), so a worker's
         /// shard-execute spans correlate with the coordinator's.
         trace_id: u64,
+        /// When true, the partial's exec stats carry the shard's measured
+        /// per-operator profile (the coordinator merges them shard-wise).
+        analyze: bool,
     },
     /// Worker → coordinator: the mergeable partial result of a shard query.
     ShardPartial {
@@ -340,16 +353,24 @@ pub enum Frame {
     MetricsRequest {
         /// When true, the snapshot includes the receiver's recent traces.
         include_traces: bool,
+        /// When true, the snapshot includes the receiver's recent query
+        /// events (the slow-query ring).
+        include_events: bool,
     },
     /// Server → client: a point-in-time snapshot of the receiver's metrics
-    /// registry. Metric names are static identifiers and traces carry only
-    /// span names, durations, and statement hashes — the same redaction
-    /// rule as [`redact_query`], extended to telemetry.
+    /// registry. Metric names are static identifiers, traces carry only
+    /// span names, durations, and statement hashes, and query events carry
+    /// only statement hashes, structural plan strings, operator labels, and
+    /// outcome tags — the same redaction rule as [`redact_query`], extended
+    /// to telemetry.
     MetricsSnapshot {
         /// Counters, gauges, and histograms at scrape time.
         metrics: seabed_obs::MetricsSnapshot,
         /// Recent traces (empty unless the request asked for them).
         traces: Vec<seabed_obs::QueryTrace>,
+        /// Recent query events, oldest first (empty unless the request asked
+        /// for them).
+        events: Vec<seabed_obs::QueryEvent>,
     },
 }
 
@@ -398,8 +419,10 @@ pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, Seabed
             query,
             filters,
             trace_id,
+            analyze,
         } => {
             write_varint(&mut payload, *trace_id);
+            write_bool(&mut payload, *analyze);
             write_translated_query(&mut payload, query);
             write_vec(&mut payload, filters, write_physical_filter);
         }
@@ -448,12 +471,14 @@ pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, Seabed
             query,
             filters,
             trace_id,
+            analyze,
         } => {
             write_varint(&mut payload, *epoch);
             write_varint(&mut payload, u64::from(*table_id));
             write_varint(&mut payload, u64::from(*shard));
             write_varint(&mut payload, *seq);
             write_varint(&mut payload, *trace_id);
+            write_bool(&mut payload, *analyze);
             write_translated_query(&mut payload, query);
             write_vec(&mut payload, filters, write_physical_filter);
         }
@@ -497,10 +522,21 @@ pub fn encode_frame(frame: &Frame, max_frame_len: u32) -> Result<Vec<u8>, Seabed
             write_varint(&mut payload, u64::from(*shard));
             write_varint(&mut payload, *remaining);
         }
-        Frame::MetricsRequest { include_traces } => write_bool(&mut payload, *include_traces),
-        Frame::MetricsSnapshot { metrics, traces } => {
+        Frame::MetricsRequest {
+            include_traces,
+            include_events,
+        } => {
+            write_bool(&mut payload, *include_traces);
+            write_bool(&mut payload, *include_events);
+        }
+        Frame::MetricsSnapshot {
+            metrics,
+            traces,
+            events,
+        } => {
             write_metrics_snapshot(&mut payload, metrics);
             write_vec(&mut payload, traces, write_query_trace);
+            write_vec(&mut payload, events, write_query_event);
         }
     }
     if payload.len() > max_frame_len as usize {
@@ -551,12 +587,14 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
     let frame = match kind {
         FrameKind::Request => {
             let trace_id = r.varint()?;
+            let analyze = r.bool()?;
             let query = read_translated_query(&mut r)?;
             let filters = read_vec(&mut r, 2, read_physical_filter)?;
             Frame::Request {
                 query,
                 filters,
                 trace_id,
+                analyze,
             }
         }
         FrameKind::Response => Frame::Response(read_server_response(&mut r)?),
@@ -604,6 +642,7 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
             shard: read_u32(&mut r, "shard id")?,
             seq: r.varint()?,
             trace_id: r.varint()?,
+            analyze: r.bool()?,
             query: read_translated_query(&mut r)?,
             filters: read_vec(&mut r, 2, read_physical_filter)?,
         },
@@ -636,10 +675,12 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, SeabedError> {
         },
         FrameKind::MetricsRequest => Frame::MetricsRequest {
             include_traces: r.bool()?,
+            include_events: r.bool()?,
         },
         FrameKind::MetricsSnapshot => Frame::MetricsSnapshot {
             metrics: read_metrics_snapshot(&mut r)?,
             traces: read_vec(&mut r, 4, read_query_trace)?,
+            events: read_vec(&mut r, 5, read_query_event)?,
         },
     };
     r.finish()?;
@@ -1252,6 +1293,7 @@ fn write_exec_stats(out: &mut Vec<u8>, stats: &ExecStats) {
     write_duration(out, stats.simulated_server_time);
     write_varint(out, stats.bytes_to_driver as u64);
     write_duration(out, stats.wall_time);
+    write_vec(out, &stats.operators, write_operator_profile);
 }
 
 fn read_exec_stats(r: &mut Reader<'_>) -> Result<ExecStats, SeabedError> {
@@ -1262,6 +1304,25 @@ fn read_exec_stats(r: &mut Reader<'_>) -> Result<ExecStats, SeabedError> {
         simulated_server_time: r.duration()?,
         bytes_to_driver: r.len()?,
         wall_time: r.duration()?,
+        operators: read_vec(r, 5, read_operator_profile)?,
+    })
+}
+
+fn write_operator_profile(out: &mut Vec<u8>, op: &OperatorProfile) {
+    write_string(out, &op.label);
+    write_varint(out, op.rows_in);
+    write_varint(out, op.rows_out);
+    write_varint(out, op.batches);
+    write_varint(out, op.nanos);
+}
+
+fn read_operator_profile(r: &mut Reader<'_>) -> Result<OperatorProfile, SeabedError> {
+    Ok(OperatorProfile {
+        label: r.string()?,
+        rows_in: r.varint()?,
+        rows_out: r.varint()?,
+        batches: r.varint()?,
+        nanos: r.varint()?,
     })
 }
 
@@ -1461,6 +1522,44 @@ fn read_query_trace(r: &mut Reader<'_>) -> Result<seabed_obs::QueryTrace, Seabed
                 duration_ns: r.varint()?,
             })
         })?,
+    })
+}
+
+fn write_query_event(out: &mut Vec<u8>, event: &seabed_obs::QueryEvent) {
+    write_varint(out, event.trace_id);
+    write_varint(out, event.statement_id);
+    write_string(out, &event.node);
+    write_string(out, &event.plan);
+    write_vec(out, &event.operators, |out, op| {
+        write_string(out, &op.label);
+        write_varint(out, op.rows_in);
+        write_varint(out, op.rows_out);
+        write_varint(out, op.batches);
+        write_varint(out, op.nanos);
+    });
+    write_varint(out, event.total_ns);
+    write_bool(out, event.slow);
+    write_string(out, &event.outcome);
+}
+
+fn read_query_event(r: &mut Reader<'_>) -> Result<seabed_obs::QueryEvent, SeabedError> {
+    Ok(seabed_obs::QueryEvent {
+        trace_id: r.varint()?,
+        statement_id: r.varint()?,
+        node: r.string()?,
+        plan: r.string()?,
+        operators: read_vec(r, 5, |r| {
+            Ok(seabed_obs::EventOperator {
+                label: r.string()?,
+                rows_in: r.varint()?,
+                rows_out: r.varint()?,
+                batches: r.varint()?,
+                nanos: r.varint()?,
+            })
+        })?,
+        total_ns: r.varint()?,
+        slow: r.bool()?,
+        outcome: r.string()?,
     })
 }
 
@@ -1763,6 +1862,13 @@ mod tests {
                 simulated_server_time: Duration::from_millis(52),
                 bytes_to_driver: 9000,
                 wall_time: Duration::from_micros(800),
+                operators: vec![OperatorProfile {
+                    label: "filter:det:country__det".to_string(),
+                    rows_in: 100,
+                    rows_out: 10,
+                    batches: 1,
+                    nanos: 1234,
+                }],
             },
             result_bytes: 123,
         }
@@ -1774,12 +1880,14 @@ mod tests {
             query: sample_query(),
             filters: sample_filters(),
             trace_id: 0xfeed_f00d,
+            analyze: true,
         };
         let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
         let expected = Frame::Request {
             query: redact_query(&sample_query()),
             filters: sample_filters(),
             trace_id: 0xfeed_f00d,
+            analyze: true,
         };
         assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap(), expected);
         // A query whose filters are already redacted round-trips exactly.
@@ -1819,6 +1927,7 @@ mod tests {
                 query,
                 filters: vec![],
                 trace_id: 0,
+                analyze: false,
             },
             DEFAULT_MAX_FRAME_LEN,
         )
@@ -1942,6 +2051,13 @@ mod tests {
                 simulated_server_time: Duration::from_millis(4),
                 bytes_to_driver: 1234,
                 wall_time: Duration::from_micros(450),
+                operators: vec![OperatorProfile {
+                    label: "aggregate".to_string(),
+                    rows_in: 10,
+                    rows_out: 2,
+                    batches: 1,
+                    nanos: 777,
+                }],
             },
         }
     }
@@ -1986,6 +2102,7 @@ mod tests {
                 query: redact_query(&sample_query()),
                 filters: sample_filters(),
                 trace_id: 0xabad_1dea,
+                analyze: true,
             },
             Frame::ShardPartial {
                 epoch: 7,
@@ -2050,18 +2167,45 @@ mod tests {
         }]
     }
 
+    fn sample_events() -> Vec<seabed_obs::QueryEvent> {
+        vec![seabed_obs::QueryEvent {
+            trace_id: 0xfeed_f00d,
+            statement_id: 0xdead_beef,
+            node: "coordinator".to_string(),
+            plan: "aggregate\n  scan sales".to_string(),
+            operators: vec![seabed_obs::EventOperator {
+                label: "filter:det:dept__det".to_string(),
+                rows_in: 1000,
+                rows_out: 250,
+                batches: 1,
+                nanos: 42_000,
+            }],
+            total_ns: 1_500_000,
+            slow: true,
+            outcome: "ok".to_string(),
+        }]
+    }
+
     #[test]
     fn metrics_frames_roundtrip() {
         for frame in [
-            Frame::MetricsRequest { include_traces: true },
-            Frame::MetricsRequest { include_traces: false },
+            Frame::MetricsRequest {
+                include_traces: true,
+                include_events: true,
+            },
+            Frame::MetricsRequest {
+                include_traces: false,
+                include_events: false,
+            },
             Frame::MetricsSnapshot {
                 metrics: sample_metrics_snapshot(),
                 traces: sample_traces(),
+                events: sample_events(),
             },
             Frame::MetricsSnapshot {
                 metrics: seabed_obs::MetricsSnapshot::default(),
                 traces: vec![],
+                events: vec![],
             },
         ] {
             let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
@@ -2086,6 +2230,7 @@ mod tests {
                 )],
             },
             traces: vec![],
+            events: vec![],
         };
         let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).unwrap();
         assert!(matches!(

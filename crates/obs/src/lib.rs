@@ -34,15 +34,18 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 mod metrics;
 mod trace;
 
+pub use events::{events_to_json, EventOperator, QueryEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Timer, HISTOGRAM_BUCKETS};
 pub use trace::{QueryTrace, SpanStart, TraceBuilder, TraceId, TraceSpan, UNTRACED};
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Configuration of a [`Registry`].
 #[derive(Clone, Copy, Debug)]
@@ -52,6 +55,11 @@ pub struct ObsConfig {
     pub enabled: bool,
     /// Capacity of the recent-trace ring buffer (oldest evicted first).
     pub trace_capacity: usize,
+    /// Capacity of the query-event ring buffer (oldest evicted first).
+    pub event_capacity: usize,
+    /// Executions at least this long are flagged `slow` in their
+    /// [`QueryEvent`] and counted under the `slow_queries` counter.
+    pub slow_query_threshold: Duration,
 }
 
 impl Default for ObsConfig {
@@ -59,6 +67,8 @@ impl Default for ObsConfig {
         ObsConfig {
             enabled: true,
             trace_capacity: 128,
+            event_capacity: 128,
+            slow_query_threshold: Duration::from_millis(100),
         }
     }
 }
@@ -69,7 +79,15 @@ impl ObsConfig {
         ObsConfig {
             enabled: false,
             trace_capacity: 0,
+            event_capacity: 0,
+            slow_query_threshold: Duration::from_millis(100),
         }
+    }
+
+    /// Returns the configuration with the slow-query threshold replaced.
+    pub fn slow_query_threshold(mut self, threshold: Duration) -> ObsConfig {
+        self.slow_query_threshold = threshold;
+        self
     }
 }
 
@@ -79,6 +97,7 @@ struct RegistryInner {
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<metrics::HistogramCore>>>,
     traces: Mutex<VecDeque<QueryTrace>>,
+    events: Mutex<VecDeque<QueryEvent>>,
 }
 
 /// A process-component metrics registry. Cheap to clone (shared interior);
@@ -105,6 +124,7 @@ impl Registry {
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 traces: Mutex::new(VecDeque::new()),
+                events: Mutex::new(VecDeque::new()),
             }),
         }
     }
@@ -164,6 +184,37 @@ impl Registry {
             ring.pop_front();
         }
         ring.push_back(trace);
+    }
+
+    /// Records a query event into the bounded event ring (oldest evicted
+    /// past capacity). The registry — not the caller — decides slowness:
+    /// `event.slow` is set from the configured `slow_query_threshold`, and
+    /// slow events increment the `slow_queries` counter. No-op for disabled
+    /// registries.
+    pub fn record_event(&self, mut event: QueryEvent) {
+        if !self.enabled() {
+            return;
+        }
+        event.slow = Duration::from_nanos(event.total_ns) >= self.inner.config.slow_query_threshold;
+        if event.slow {
+            self.counter("slow_queries").incr();
+        }
+        let mut ring = self.inner.events.lock().unwrap_or_else(|p| p.into_inner());
+        while ring.len() >= self.inner.config.event_capacity.max(1) {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// The recent query events, oldest first.
+    pub fn recent_events(&self) -> Vec<QueryEvent> {
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// The recent traces, oldest first.
@@ -284,8 +335,8 @@ mod tests {
     #[test]
     fn trace_ring_is_bounded_and_evicts_oldest() {
         let reg = Registry::new(ObsConfig {
-            enabled: true,
             trace_capacity: 3,
+            ..ObsConfig::default()
         });
         for id in 1..=5u64 {
             reg.record_trace(QueryTrace {
@@ -297,6 +348,39 @@ mod tests {
         }
         let ids: Vec<u64> = reg.recent_traces().iter().map(|t| t.trace_id).collect();
         assert_eq!(ids, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn event_ring_is_bounded_and_the_registry_decides_slowness() {
+        let reg = Registry::new(ObsConfig {
+            event_capacity: 2,
+            slow_query_threshold: Duration::from_micros(50),
+            ..ObsConfig::default()
+        });
+        let event = |id: u64, total_ns: u64| QueryEvent {
+            trace_id: id,
+            statement_id: id,
+            node: "session".to_string(),
+            plan: "scan t".to_string(),
+            operators: vec![],
+            total_ns,
+            // Caller-set slowness is overwritten by the registry.
+            slow: total_ns == 1,
+            outcome: "ok".to_string(),
+        };
+        reg.record_event(event(1, 1));
+        reg.record_event(event(2, 10_000));
+        reg.record_event(event(3, 60_000));
+        let events = reg.recent_events();
+        assert_eq!(events.len(), 2, "oldest evicted past capacity");
+        assert_eq!(events[0].trace_id, 2);
+        assert!(!events[0].slow, "10µs under the 50µs threshold");
+        assert!(events[1].slow, "60µs over the 50µs threshold");
+        assert_eq!(reg.snapshot().counter("slow_queries"), Some(1));
+
+        let off = Registry::disabled();
+        off.record_event(event(4, 60_000));
+        assert!(off.recent_events().is_empty(), "disabled registries skip events");
     }
 
     #[test]

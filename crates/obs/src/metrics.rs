@@ -302,19 +302,25 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Prometheus-style text exposition: counters and gauges as bare
+    /// Prometheus-style text exposition: every metric preceded by its
+    /// `# HELP` / `# TYPE` comment pair, counters and gauges as bare
     /// samples, histograms as cumulative `_bucket{le="…"}` series plus
     /// `_count` / `_sum` / `_max`.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+            let help = metric_help(name, "Monotonic event counter");
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
         }
         for (name, value) in &self.gauges {
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+            let help = metric_help(name, "Last-write-wins level gauge");
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"));
         }
         for (name, h) in &self.histograms {
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let help = metric_help(name, "Log2-bucketed value distribution");
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
             let mut cumulative = 0u64;
             for &(bucket, n) in &h.buckets {
                 cumulative += n;
@@ -330,6 +336,30 @@ impl MetricsSnapshot {
             ));
         }
         out
+    }
+}
+
+/// The `# HELP` text of a metric: a real description for the well-known
+/// Seabed instrument names, the caller's kind-generic phrase otherwise.
+/// Descriptions name components and phases only — the exposition stays
+/// redacted whatever flows through it.
+fn metric_help(name: &str, fallback: &'static str) -> &'static str {
+    match name {
+        "slow_queries" => "Queries whose total latency crossed the registry's slow-query threshold",
+        "net_requests_served" => "Frames the network service answered",
+        "net_request_ns" => "End-to-end latency of served frames in nanoseconds",
+        "shard_execute_ns" => "Worker-side shard query execution latency in nanoseconds",
+        "shard_store_size" => "Shards currently resident in the worker's store",
+        "dist_hedged_reads" => "Shard reads won by a hedge replica",
+        "dist_redispatches" => "Shard queries re-dispatched after a worker failure",
+        "dist_cache_hits" => "Shards answered from the coordinator's partial-result cache",
+        "dist_cache_misses" => "Shards that had to be scattered to a worker",
+        "dist_partial_cache_len" => "Entries currently resident in the coordinator's partial-result cache",
+        "dist_live_workers" => "Workers currently alive in the coordinator's pool",
+        "dist_scatter_ns" => "Coordinator scatter-phase latency in nanoseconds",
+        "dist_gather_ns" => "Coordinator gather-phase latency in nanoseconds",
+        "dist_merge_ns" => "Coordinator partial-merge latency in nanoseconds",
+        _ => fallback,
     }
 }
 
@@ -432,6 +462,40 @@ mod tests {
         assert!(prom.contains("# TYPE latency_ns histogram"), "{prom}");
         assert!(prom.contains("latency_ns_bucket{le=\"+Inf\"} 2"), "{prom}");
         assert!(prom.contains("latency_ns_count 2"), "{prom}");
+        assert!(prom.contains(&format!("latency_ns_sum {}", 5 + 1000)), "{prom}");
+    }
+
+    /// Every sample family is preceded by its `# HELP` / `# TYPE` pair, in
+    /// that order; well-known Seabed instrument names get a real
+    /// description while unknown ones fall back to a kind-generic phrase.
+    #[test]
+    fn prometheus_exposition_carries_help_and_type_for_every_family() {
+        let (h, core) = histogram();
+        h.record_ns(42);
+        let snap = MetricsSnapshot {
+            counters: vec![("dist_cache_hits".to_string(), 7), ("requests".to_string(), 1)],
+            gauges: vec![("dist_live_workers".to_string(), 3)],
+            histograms: vec![("latency_ns".to_string(), core.snapshot())],
+        };
+        let prom = snap.to_prometheus();
+        for family in ["dist_cache_hits", "requests", "dist_live_workers", "latency_ns"] {
+            let help = prom.find(&format!("# HELP {family} ")).unwrap_or_else(|| {
+                panic!("no HELP line for {family}: {prom}");
+            });
+            let typ = prom.find(&format!("# TYPE {family} ")).unwrap_or_else(|| {
+                panic!("no TYPE line for {family}: {prom}");
+            });
+            assert!(help < typ, "HELP must precede TYPE for {family}");
+        }
+        assert!(
+            prom.contains("# HELP dist_cache_hits Shards answered from the coordinator's partial-result cache"),
+            "known name gets its real description: {prom}"
+        );
+        assert!(
+            prom.contains("# HELP requests Monotonic event counter"),
+            "unknown counter falls back to the generic phrase: {prom}"
+        );
+        assert!(prom.contains("# TYPE dist_live_workers gauge"), "{prom}");
     }
 
     proptest! {

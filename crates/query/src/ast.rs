@@ -310,6 +310,50 @@ impl Query {
     }
 }
 
+/// How a top-level statement asks to be run: plainly, or as one of the
+/// `EXPLAIN` forms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExplainMode {
+    /// Execute the query and return its rows (the default).
+    #[default]
+    None,
+    /// `EXPLAIN`: return the structural plan tree *without executing*.
+    Plan,
+    /// `EXPLAIN ANALYZE`: execute the query and annotate every plan node
+    /// with its measured per-operator profile.
+    Analyze,
+}
+
+impl ExplainMode {
+    /// True for either `EXPLAIN` form.
+    pub fn is_explain(&self) -> bool {
+        !matches!(self, ExplainMode::None)
+    }
+}
+
+/// A parsed top-level statement: an optional `EXPLAIN` / `EXPLAIN ANALYZE`
+/// prefix wrapped around a [`Query`]. The wrapper keeps the explain request
+/// out of [`Query`] itself — translation, planning and the wire protocol all
+/// consume the inner query unchanged; only the session inspects the mode.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Statement {
+    /// The requested explain form ([`ExplainMode::None`] for plain execution).
+    pub explain: ExplainMode,
+    /// The query the statement runs (or explains).
+    pub query: Query,
+}
+
+impl Statement {
+    /// Renders the statement back to SQL text, including the explain prefix.
+    pub fn to_sql(&self) -> String {
+        match self.explain {
+            ExplainMode::None => self.query.to_sql(),
+            ExplainMode::Plan => format!("EXPLAIN {}", self.query.to_sql()),
+            ExplainMode::Analyze => format!("EXPLAIN ANALYZE {}", self.query.to_sql()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,17 +12,23 @@
 //!   encryption scheme (ASHE, SPLASHE, DET, OPE) under a storage budget;
 //! * [`translate`] — the query translator that rewrites plaintext queries into
 //!   encrypted server plans plus client-side post-processing steps, preserving
-//!   row IDs through subqueries and applying the group-by inflation heuristic.
+//!   row IDs through subqueries and applying the group-by inflation heuristic;
+//! * [`plan_node`] — structural plan trees for `EXPLAIN` / `EXPLAIN ANALYZE`:
+//!   redacted-by-construction operator nodes (scan, SPLASHE expansion,
+//!   class-labelled filters in execution order, inflation, group-by,
+//!   aggregate) that measured per-operator profiles annotate.
 
 #![warn(missing_docs)]
 
 pub mod ast;
 pub mod parser;
+pub mod plan_node;
 pub mod planner;
 pub mod translate;
 
-pub use ast::{AggregateFunction, CompareOp, Literal, Predicate, Query, SelectItem, TableRef};
-pub use parser::{parse, ParseError};
+pub use ast::{AggregateFunction, CompareOp, ExplainMode, Literal, Predicate, Query, SelectItem, Statement, TableRef};
+pub use parser::{parse, parse_statement, ParseError};
+pub use plan_node::{PlanNode, PlanProfile};
 pub use planner::{
     classify_roles, plan_schema, ColumnPlan, ColumnRole, ColumnSpec, EncryptionChoice, PlannerConfig, SchemaPlan,
 };

@@ -3,6 +3,7 @@
 //! Grammar (case-insensitive keywords):
 //!
 //! ```text
+//! statement  := ["EXPLAIN" ["ANALYZE"]] query
 //! query      := SELECT items FROM source [WHERE conjuncts] [GROUP BY cols] [LIMIT n]
 //! items      := item ("," item)*
 //! item       := ident | func "(" (ident | "*") ")"
@@ -20,7 +21,9 @@
 //! errors — positions where the *plan shape* would depend on the bound
 //! value).
 
-use crate::ast::{AggregateFunction, CompareOp, Literal, Predicate, Query, SelectItem, TableRef};
+use crate::ast::{
+    AggregateFunction, CompareOp, ExplainMode, Literal, Predicate, Query, SelectItem, Statement, TableRef,
+};
 
 pub use seabed_error::ParseError;
 
@@ -354,6 +357,33 @@ pub fn parse(sql: &str) -> Result<Query, ParseError> {
     Ok(query)
 }
 
+/// Parses a top-level statement: an optional `EXPLAIN` / `EXPLAIN ANALYZE`
+/// prefix followed by a query. Plain SQL parses with
+/// [`crate::ast::ExplainMode::None`], so this is a strict superset of
+/// [`parse`] — which stays unchanged and rejects the `EXPLAIN` keyword.
+pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
+    let tokens = Tokenizer::new(sql).tokenize()?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
+    let explain = if parser.consume_keyword("EXPLAIN") {
+        if parser.consume_keyword("ANALYZE") {
+            ExplainMode::Analyze
+        } else {
+            ExplainMode::Plan
+        }
+    } else {
+        ExplainMode::None
+    };
+    let query = parser.parse_query()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.error("unexpected trailing tokens"));
+    }
+    Ok(Statement { explain, query })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,5 +569,36 @@ mod tests {
         assert_eq!(q.select.len(), 2);
         assert_eq!(q.dimension_columns(), vec!["pageRank"]);
         Ok(())
+    }
+
+    #[test]
+    fn statements_parse_the_explain_prefix() -> Result<(), ParseError> {
+        let plain = parse_statement("SELECT SUM(v) FROM t")?;
+        assert_eq!(plain.explain, ExplainMode::None);
+        assert_eq!(plain.query, parse("SELECT SUM(v) FROM t")?);
+
+        let explain = parse_statement("EXPLAIN SELECT SUM(v) FROM t WHERE a = 3")?;
+        assert_eq!(explain.explain, ExplainMode::Plan);
+        assert_eq!(explain.query, parse("SELECT SUM(v) FROM t WHERE a = 3")?);
+
+        let analyze = parse_statement("explain analyze select sum(v) from t group by g")?;
+        assert_eq!(analyze.explain, ExplainMode::Analyze);
+        assert_eq!(analyze.query.group_by, vec!["g".to_string()]);
+
+        // Rendering round-trips the prefix.
+        assert_eq!(parse_statement(&analyze.to_sql())?, analyze);
+        assert_eq!(analyze.to_sql(), "EXPLAIN ANALYZE SELECT SUM(v) FROM t GROUP BY g");
+        Ok(())
+    }
+
+    #[test]
+    fn explain_is_rejected_by_the_plain_query_parser() {
+        // `parse` is deliberately untouched: EXPLAIN is a statement form.
+        let err = parse("EXPLAIN SELECT SUM(v) FROM t").expect_err("EXPLAIN must not parse as a query");
+        assert!(err.to_string().contains("SELECT"), "{err}");
+        // ANALYZE without EXPLAIN is not a statement either.
+        assert!(parse_statement("ANALYZE SELECT SUM(v) FROM t").is_err());
+        // Trailing garbage after a well-formed explained query still errors.
+        assert!(parse_statement("EXPLAIN SELECT SUM(v) FROM t nonsense").is_err());
     }
 }

@@ -74,6 +74,14 @@ fn main() {
     let (result, trace_id) = session.query_traced(sql, &[]).expect("traced query");
     println!("\n{sql}\n  -> {:?} (trace id {trace_id:#018x})", result.rows);
 
+    // 3b. EXPLAIN ANALYZE the same query: the structural plan annotated with
+    //     measured per-operator profiles, with the coordinator's stitched
+    //     scatter / per-shard / gather / merge subtree hanging underneath.
+    let explanation = session
+        .explain(&format!("EXPLAIN ANALYZE {sql}"), &[])
+        .expect("explain analyze");
+    println!("\nEXPLAIN ANALYZE {sql}\n{}", explanation.render());
+
     // 4. The stitched end-to-end timeline: session spans + coordinator spans
     //    under the one propagated id.
     let merged = session.registry().merged_trace(trace_id).expect("trace recorded");
@@ -90,7 +98,8 @@ fn main() {
     // 5. Scrape a live worker over the wire (kinds 17/18): its counters and
     //    shard-execute latency histogram, plus its trace ring — the same
     //    trace id shows up server-side.
-    let (snapshot, traces) = scrape_metrics(addrs[0], true, Duration::from_secs(5)).expect("worker scrape");
+    let (snapshot, traces, events) =
+        scrape_metrics(addrs[0], true, true, Duration::from_secs(5)).expect("worker scrape");
     println!("\nscraped worker {}:", addrs[0]);
     if let Some(h) = snapshot.histogram("shard_execute_ns") {
         println!(
@@ -106,6 +115,17 @@ fn main() {
     }
     let propagated = traces.iter().filter(|t| t.trace_id == trace_id).count();
     println!("  trace ring: {} trace(s), {propagated} carrying our id", traces.len());
+    println!("  event ring: {} event(s)", events.len());
+    if let Some(event) = events.last() {
+        println!(
+            "  last event: node={} outcome={} slow={} total={:.3} ms ({} operator rows)",
+            event.node,
+            event.outcome,
+            event.slow,
+            event.total_ns as f64 / 1e6,
+            event.operators.len()
+        );
+    }
 
     // 6. Both exposition formats. Everything here is metric names, span
     //    names and numbers — never a plaintext literal like 'USA'.

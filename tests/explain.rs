@@ -1,0 +1,284 @@
+//! Acceptance tests for `EXPLAIN` / `EXPLAIN ANALYZE`.
+//!
+//! Pins the three contract points of the profiling surface:
+//!
+//! 1. **`EXPLAIN` never executes** — the structural plan comes back without
+//!    a single call into the query target (locally) and without a single
+//!    frame reaching a worker (distributed).
+//! 2. **`EXPLAIN ANALYZE` is invisible in the data plane** — the analyzed
+//!    execution's decrypted rows are identical to a plain execution of the
+//!    same statement, on both the sales fixture and the Ad-Analytics
+//!    workload, locally and through a distributed coordinator (whose
+//!    stitched plan must carry per-shard per-operator measurements).
+//! 3. **Redaction** — nothing an explanation or a captured query event
+//!    renders ever contains a predicate literal or raw SQL text.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use seabed_core::{
+    PhysicalFilter, PlainDataset, QueryTarget, SeabedClient, SeabedServer, SeabedSession, ServerResponse,
+};
+use seabed_dist::{spawn_worker, DistConfig, DistCoordinator};
+use seabed_engine::{Cluster, ClusterConfig, Schema};
+use seabed_error::SeabedError;
+use seabed_net::{scrape_metrics, ServiceConfig};
+use seabed_query::{parse, ColumnSpec, PlanNode, PlannerConfig, TranslatedQuery};
+
+/// The plaintext literal the explained queries filter on; redaction asserts
+/// it never shows up in any explain surface.
+const SECRET_LITERAL: &str = "retail";
+
+fn sales_fixture() -> (SeabedClient, SeabedServer) {
+    let n = 1_200usize;
+    let depts = ["retail", "wholesale", "online", "partner"];
+    let dataset = PlainDataset::new("sales")
+        .with_text_column("dept", (0..n).map(|i| depts[i % depts.len()].to_string()).collect())
+        .with_uint_column("revenue", (0..n as u64).map(|i| (i * 13) % 500).collect())
+        .with_uint_column("ts", (0..n as u64).map(|i| (i * 7) % 1000).collect());
+    let columns = vec![
+        ColumnSpec::sensitive("dept"),
+        ColumnSpec::sensitive("revenue"),
+        ColumnSpec::sensitive("ts"),
+    ];
+    let samples = vec![
+        parse("SELECT SUM(revenue) FROM sales WHERE dept = 'retail'").expect("sample"),
+        parse("SELECT SUM(revenue) FROM sales WHERE ts >= 100").expect("sample"),
+    ];
+    let mut client = SeabedClient::create_plan(b"explain-it", &columns, &samples, &PlannerConfig::default());
+    let encrypted = client.encrypt_dataset(&dataset, 6, &mut rand::rng());
+    let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(4)));
+    (client, server)
+}
+
+/// A query target that counts every execution reaching it, so a test can
+/// assert that `EXPLAIN` performed exactly zero of them.
+struct CountingTarget<'a> {
+    inner: &'a SeabedServer,
+    executes: AtomicU64,
+}
+
+impl QueryTarget for CountingTarget<'_> {
+    fn schema_of(&self, table: &str) -> Result<&Schema, SeabedError> {
+        self.inner.schema_of(table)
+    }
+
+    fn execute_query(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+    ) -> Result<ServerResponse, SeabedError> {
+        self.executes.fetch_add(1, Ordering::Relaxed);
+        self.inner.execute_query(query, filters)
+    }
+
+    fn execute_query_analyzed(
+        &self,
+        query: &TranslatedQuery,
+        filters: &[PhysicalFilter],
+        trace_id: u64,
+        analyze: bool,
+    ) -> Result<ServerResponse, SeabedError> {
+        self.executes.fetch_add(1, Ordering::Relaxed);
+        self.inner.execute_query_analyzed(query, filters, trace_id, analyze)
+    }
+}
+
+#[test]
+fn explain_returns_the_plan_without_executing() {
+    let (client, server) = sales_fixture();
+    let target = CountingTarget {
+        inner: &server,
+        executes: AtomicU64::new(0),
+    };
+    let session = SeabedSession::single("sales", client, &target);
+
+    let sql = "EXPLAIN SELECT SUM(revenue) FROM sales WHERE dept = 'retail' AND ts >= 100";
+    let explanation = session.explain(sql, &[]).expect("explain");
+    assert_eq!(
+        target.executes.load(Ordering::Relaxed),
+        0,
+        "EXPLAIN must not execute anything"
+    );
+    assert!(!explanation.analyzed);
+    assert!(explanation.result.is_none(), "EXPLAIN returns no rows");
+
+    // The structural tree covers scan → filter chain → aggregate, labelled
+    // by operator class and physical column.
+    let rendered = explanation.render();
+    assert!(rendered.contains("scan sales"), "{rendered}");
+    assert!(rendered.contains("filter det:"), "{rendered}");
+    assert!(rendered.contains("aggregate"), "{rendered}");
+    // No node carries a profile: nothing was measured.
+    fn no_profiles(node: &PlanNode) {
+        assert!(node.profile.is_none(), "EXPLAIN node {} has a profile", node.op);
+        node.children.iter().for_each(no_profiles);
+    }
+    no_profiles(&explanation.plan);
+
+    // EXPLAIN ANALYZE on the same target executes exactly once.
+    let analyzed = session
+        .explain(
+            "EXPLAIN ANALYZE SELECT SUM(revenue) FROM sales WHERE dept = 'retail' AND ts >= 100",
+            &[],
+        )
+        .expect("explain analyze");
+    assert_eq!(target.executes.load(Ordering::Relaxed), 1);
+    assert!(analyzed.analyzed);
+    assert!(analyzed.result.is_some());
+}
+
+#[test]
+fn explain_analyze_rows_match_plain_execution_on_sales() {
+    let (client, server) = sales_fixture();
+    let session = SeabedSession::single("sales", client, &server);
+
+    let sql = "SELECT SUM(revenue) FROM sales WHERE dept = 'retail' AND ts >= 100";
+    let plain = session.query(sql, &[]).expect("plain query");
+    let explanation = session
+        .explain(&format!("EXPLAIN ANALYZE {sql}"), &[])
+        .expect("explain analyze");
+    let analyzed = explanation.result.as_ref().expect("EXPLAIN ANALYZE returns the rows");
+    assert_eq!(analyzed.rows, plain.rows, "analyzed execution diverged");
+    assert_eq!(analyzed.result_bytes, plain.result_bytes);
+
+    // The annotated plan carries measured per-operator profiles.
+    let rendered = explanation.render();
+    assert!(rendered.contains("rows_in="), "no measured profiles: {rendered}");
+}
+
+#[test]
+fn explain_analyze_rows_match_plain_execution_on_ad_analytics() {
+    let mut rng = rand::rng();
+    let dataset = seabed_workloads::ad_analytics::generate(&mut rng, 2_000);
+    let queries = seabed_workloads::ad_analytics::performance_query_set(&mut rng);
+    let specs: Vec<ColumnSpec> = dataset
+        .columns
+        .iter()
+        .map(|(n, _)| {
+            if n == "measure00" || n == "measure01" {
+                ColumnSpec::sensitive(n)
+            } else {
+                ColumnSpec::public(n)
+            }
+        })
+        .collect();
+    let samples: Vec<_> = queries.iter().map(|q| parse(&q.sql).expect("sample")).collect();
+    let mut client = SeabedClient::create_plan(b"explain-ada", &specs, &samples, &PlannerConfig::default());
+    let encrypted = client.encrypt_dataset(&dataset, 8, &mut rng);
+    let server = SeabedServer::new(encrypted.table.clone(), Cluster::new(ClusterConfig::with_workers(8)));
+    let session = SeabedSession::single("ad_analytics", client, &server);
+
+    for q in queries.iter().take(4) {
+        let plain = session.query(&q.sql, &[]).expect("plain query");
+        let explanation = session
+            .explain(&format!("EXPLAIN ANALYZE {}", q.sql), &[])
+            .expect("explain analyze");
+        let analyzed = explanation.result.expect("rows");
+        assert_eq!(analyzed.rows, plain.rows, "diverged on {}", q.sql);
+    }
+}
+
+/// The distributed acceptance criterion: one `EXPLAIN ANALYZE` through a
+/// coordinator returns the whole cluster's stitched plan — coordinator
+/// scatter/gather/merge stages plus one node per shard with its worker and
+/// its measured per-operator rows — while a plain `EXPLAIN` generates no
+/// worker traffic at all.
+#[test]
+fn distributed_explain_analyze_stitches_shard_profiles() {
+    let (client, server) = sales_fixture();
+    let workers: Vec<_> = (0..2)
+        .map(|_| spawn_worker("127.0.0.1:0", ServiceConfig::default()).expect("worker must start"))
+        .collect();
+    let addrs: Vec<_> = workers.iter().map(|w| w.local_addr()).collect();
+    let coordinator =
+        DistCoordinator::connect(&addrs, server.table().clone(), DistConfig::default()).expect("coordinator connects");
+    let session = SeabedSession::single("sales", client, &coordinator).with_obs(coordinator.registry());
+
+    let sql = "SELECT SUM(revenue) FROM sales WHERE dept = 'retail' AND ts >= 100";
+    let plain = session.query(sql, &[]).expect("plain query");
+
+    // --- Plain EXPLAIN: zero worker traffic. The shard-execute histogram
+    // only moves when a ShardQuery actually runs on a worker (the scrapes
+    // bumping `net_requests_served` don't touch it). ---
+    let shard_executes = |addrs: &[std::net::SocketAddr]| -> u64 {
+        addrs
+            .iter()
+            .map(|a| {
+                let (snapshot, _, _) = scrape_metrics(*a, false, false, Duration::from_secs(5)).expect("scrape");
+                snapshot.histogram("shard_execute_ns").map(|h| h.count).unwrap_or(0)
+            })
+            .sum()
+    };
+    let executed_before = shard_executes(&addrs);
+    let explained = session.explain(&format!("EXPLAIN {sql}"), &[]).expect("explain");
+    assert!(explained.result.is_none());
+    assert_eq!(
+        shard_executes(&addrs),
+        executed_before,
+        "EXPLAIN must not run a single shard query on any worker"
+    );
+
+    // --- EXPLAIN ANALYZE: identical rows plus the stitched cluster plan. ---
+    let explanation = session
+        .explain(&format!("EXPLAIN ANALYZE {sql}"), &[])
+        .expect("explain analyze");
+    let analyzed = explanation.result.as_ref().expect("rows");
+    assert_eq!(analyzed.rows, plain.rows, "analyzed distributed execution diverged");
+
+    let rendered = explanation.render();
+    for stage in ["dist", "scatter", "shard 0/", "shard 1/", "gather", "merge"] {
+        assert!(rendered.contains(stage), "stitched plan missing {stage:?}:\n{rendered}");
+    }
+    assert!(
+        rendered.contains('@'),
+        "shard nodes must name their worker:\n{rendered}"
+    );
+
+    // Each shard node carries measured per-operator children with real row
+    // counts flowing through.
+    fn shard_operator_rows(node: &PlanNode) -> u64 {
+        let own: u64 = if node.op == "shard" {
+            node.children
+                .iter()
+                .filter(|c| c.op == "operator")
+                .filter_map(|c| c.profile.as_ref())
+                .map(|p| p.rows_in)
+                .sum()
+        } else {
+            0
+        };
+        own + node.children.iter().map(shard_operator_rows).sum::<u64>()
+    }
+    assert!(
+        shard_operator_rows(&explanation.plan) > 0,
+        "per-shard operator profiles must carry rows:\n{rendered}"
+    );
+
+    // The shared registry captured coordinator-side query events whose plans
+    // are the same redacted trees.
+    let events = session.registry().recent_events();
+    assert!(
+        events.iter().any(|e| e.node == "coordinator"),
+        "coordinator must record query events"
+    );
+
+    // --- Redaction byte-scan over every explain surface. ---
+    for payload in [
+        rendered.clone(),
+        explanation.plan.to_json(),
+        seabed_obs::events_to_json(&events),
+    ] {
+        assert!(
+            !payload.contains(SECRET_LITERAL),
+            "explain surface leaked a predicate literal: {payload}"
+        );
+        assert!(!payload.contains("SELECT"), "explain surface leaked raw SQL: {payload}");
+    }
+
+    drop(session);
+    drop(coordinator);
+    for w in workers {
+        w.shutdown();
+    }
+}

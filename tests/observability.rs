@@ -109,8 +109,8 @@ fn distributed_query_propagates_one_trace_id_from_parse_to_merge() {
     let mut propagated_spans = 0usize;
     let mut shard_execute_count = 0u64;
     for worker in &workers {
-        let (snapshot, traces) =
-            scrape_metrics(worker.local_addr(), true, Duration::from_secs(5)).expect("worker scrape");
+        let (snapshot, traces, events) =
+            scrape_metrics(worker.local_addr(), true, true, Duration::from_secs(5)).expect("worker scrape");
         shard_execute_count += snapshot.histogram("shard_execute_ns").map(|h| h.count).unwrap_or(0);
         propagated_spans += traces
             .iter()
@@ -133,6 +133,17 @@ fn distributed_query_propagates_one_trace_id_from_parse_to_merge() {
             for span in &trace.spans {
                 assert!(!span.name.contains(SECRET_LITERAL), "span name leaked a literal");
             }
+        }
+        for event in &events {
+            let rendered = event.to_json();
+            assert!(
+                !rendered.contains(SECRET_LITERAL),
+                "scraped query event leaked a literal: {rendered}"
+            );
+            assert!(
+                !rendered.contains("SELECT"),
+                "scraped query event leaked SQL text: {rendered}"
+            );
         }
     }
     assert!(

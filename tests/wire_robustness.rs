@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use seabed::core::{EncryptedAggregate, GroupResult, PhysicalFilter, ServerResponse};
 use seabed::encoding::IdListEncoding;
-use seabed::engine::ExecStats;
+use seabed::engine::{ExecStats, OperatorProfile};
 use seabed::error::SeabedError;
 use seabed::net::wire::{decode_frame, encode_frame, Frame, DEFAULT_MAX_FRAME_LEN, HEADER_LEN};
 use seabed::query::{
@@ -163,6 +163,18 @@ fn random_filters(rng: &mut StdRng) -> Vec<PhysicalFilter> {
         .collect()
 }
 
+fn random_operators(rng: &mut StdRng) -> Vec<OperatorProfile> {
+    (0..rng.random_range(0..4usize))
+        .map(|_| OperatorProfile {
+            label: random_string(rng),
+            rows_in: rng.random::<u64>(),
+            rows_out: rng.random::<u64>(),
+            batches: rng.random::<u64>(),
+            nanos: rng.random::<u64>(),
+        })
+        .collect()
+}
+
 fn random_response(rng: &mut StdRng) -> ServerResponse {
     let encodings = [
         IdListEncoding::RangesVb,
@@ -212,6 +224,7 @@ fn random_response(rng: &mut StdRng) -> ServerResponse {
             simulated_server_time: Duration::from_nanos(rng.random::<u64>() >> 20),
             bytes_to_driver: rng.random_range(0..1_000_000u64) as usize,
             wall_time: Duration::from_nanos(rng.random::<u64>() >> 20),
+            operators: random_operators(rng),
         },
         result_bytes: rng.random_range(0..1_000_000u64) as usize,
     }
@@ -240,8 +253,9 @@ mod roundtrip {
             let query = random_query(&mut rng);
             let filters = random_filters(&mut rng);
             let trace_id = rng.random::<u64>();
-            let frame = Frame::Request { query: query.clone(), filters: filters.clone(), trace_id };
-            let expected = Frame::Request { query: seabed::net::wire::redact_query(&query), filters, trace_id };
+            let analyze = rng.random_range(0..2u64) == 1;
+            let frame = Frame::Request { query: query.clone(), filters: filters.clone(), trace_id, analyze };
+            let expected = Frame::Request { query: seabed::net::wire::redact_query(&query), filters, trace_id, analyze };
             let bytes = encode_frame(&frame, DEFAULT_MAX_FRAME_LEN).expect("encode");
             prop_assert_eq!(decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).expect("decode"), expected.clone());
             let redacted_bytes = encode_frame(&expected, DEFAULT_MAX_FRAME_LEN).expect("encode");
@@ -310,8 +324,38 @@ fn sample_frames() -> Vec<Frame> {
             query: seabed::net::wire::redact_query(&random_query(&mut rng)),
             filters: random_filters(&mut rng),
             trace_id: 0x5eab_ed01,
+            analyze: true,
         },
         Frame::Response(random_response(&mut rng)),
+        Frame::ShardQuery {
+            epoch: 0xe9_0c4,
+            table_id: 1,
+            shard: 3,
+            seq: 77,
+            trace_id: 0x5eab_ed02,
+            analyze: true,
+            query: seabed::net::wire::redact_query(&random_query(&mut rng)),
+            filters: random_filters(&mut rng),
+        },
+        Frame::ShardPartial {
+            epoch: 0xe9_0c4,
+            table_id: 1,
+            shard: 3,
+            seq: 77,
+            partial: seabed::core::PartialResponse {
+                groups: seabed::engine::merge::PartialGroups::new(),
+                stats: ExecStats {
+                    operators: vec![OperatorProfile {
+                        label: "filter:det:dept__det".to_string(),
+                        rows_in: 1000,
+                        rows_out: 10,
+                        batches: 2,
+                        nanos: 12_345,
+                    }],
+                    ..ExecStats::default()
+                },
+            },
+        },
         Frame::Error(SeabedError::engine("boom")),
         Frame::Error(SeabedError::StaleStatement(0xdead_beef)),
         Frame::SchemaRequest,
@@ -324,7 +368,10 @@ fn sample_frames() -> Vec<Frame> {
             trace_id: 7,
             filters: random_filters(&mut rng),
         },
-        Frame::MetricsRequest { include_traces: true },
+        Frame::MetricsRequest {
+            include_traces: true,
+            include_events: true,
+        },
         Frame::MetricsSnapshot {
             metrics: seabed::obs::MetricsSnapshot {
                 counters: vec![("net_requests_served".to_string(), 9)],
@@ -348,6 +395,22 @@ fn sample_frames() -> Vec<Frame> {
                     start_ns: 10,
                     duration_ns: 90,
                 }],
+            }],
+            events: vec![seabed::obs::QueryEvent {
+                trace_id: 0xfeed,
+                statement_id: 0xbeef,
+                node: "coordinator".to_string(),
+                plan: "aggregate\n  scan sales".to_string(),
+                operators: vec![seabed::obs::EventOperator {
+                    label: "filter:det:dept__det".to_string(),
+                    rows_in: 1000,
+                    rows_out: 10,
+                    batches: 2,
+                    nanos: 12_345,
+                }],
+                total_ns: 123_456,
+                slow: true,
+                outcome: "ok".to_string(),
             }],
         },
     ]
@@ -416,6 +479,74 @@ fn forged_interior_counts_are_rejected() {
     forged[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&new_len.to_le_bytes());
     assert!(matches!(
         decode_frame(&forged, DEFAULT_MAX_FRAME_LEN),
+        Err(SeabedError::Wire(_))
+    ));
+}
+
+/// A forged count on the v4 *trailing* vectors — the per-operator profile
+/// list inside exec stats and the query-event list of a metrics snapshot —
+/// must fail cleanly too: both are length-prefixed with capped
+/// pre-allocation, so a claimed u64::MAX entries cannot balloon and the
+/// element reads run out of bytes.
+#[test]
+fn forged_operator_and_event_counts_are_rejected() {
+    let maximal_varint = [0xffu8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+    let patch_len = |bytes: &mut Vec<u8>| {
+        let new_len = (bytes.len() - HEADER_LEN) as u32;
+        bytes[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&new_len.to_le_bytes());
+    };
+
+    // Response: the operators vector is the last field of the exec stats,
+    // followed only by the one-byte `result_bytes` varint — the payload tail
+    // is `..., operators-count=0, result_bytes=64`. Splice the forged count
+    // in place of the zero.
+    let response = Frame::Response(ServerResponse {
+        groups: Vec::new(),
+        stats: ExecStats::default(),
+        result_bytes: 64,
+    });
+    let bytes = encode_frame(&response, DEFAULT_MAX_FRAME_LEN).expect("encode");
+    let mut forged = bytes[..bytes.len() - 2].to_vec();
+    forged.extend_from_slice(&maximal_varint);
+    forged.push(bytes[bytes.len() - 1]);
+    patch_len(&mut forged);
+    assert!(matches!(
+        decode_frame(&forged, DEFAULT_MAX_FRAME_LEN),
+        Err(SeabedError::Wire(_))
+    ));
+
+    // MetricsSnapshot: events are the last vector; same splice at the tail.
+    let snapshot = Frame::MetricsSnapshot {
+        metrics: seabed::obs::MetricsSnapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        },
+        traces: Vec::new(),
+        events: Vec::new(),
+    };
+    let bytes = encode_frame(&snapshot, DEFAULT_MAX_FRAME_LEN).expect("encode");
+    let mut forged = bytes[..bytes.len() - 1].to_vec();
+    forged.extend_from_slice(&maximal_varint);
+    patch_len(&mut forged);
+    assert!(matches!(
+        decode_frame(&forged, DEFAULT_MAX_FRAME_LEN),
+        Err(SeabedError::Wire(_))
+    ));
+}
+
+/// The analyze flag and the profile/event payloads are a breaking layout
+/// change, so they came with a protocol version bump: this build speaks v4,
+/// and a frame stamped with the previous version is refused at the header.
+#[test]
+fn analyze_extensions_bumped_the_protocol_version() {
+    use seabed::net::wire::PROTOCOL_VERSION;
+    assert_eq!(PROTOCOL_VERSION, 4, "v4 added analyze flags, operator profiles, events");
+    let good = encode_frame(&Frame::SchemaRequest, DEFAULT_MAX_FRAME_LEN).expect("encode");
+    let mut v3 = good.clone();
+    v3[4..6].copy_from_slice(&3u16.to_le_bytes());
+    assert!(matches!(
+        decode_frame(&v3, DEFAULT_MAX_FRAME_LEN),
         Err(SeabedError::Wire(_))
     ));
 }
